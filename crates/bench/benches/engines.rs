@@ -1,0 +1,66 @@
+//! Cost of the metaheuristic engines at fixed small budgets: one cMA
+//! outer iteration (37 children with LMCTS), one Braun GA generation,
+//! and fixed child counts for the steady-state engines.
+//!
+//! These are the numbers to watch when touching the engine hot paths —
+//! the 90 s paper budget buys `children/s × 90` search effort.
+
+use std::hint::black_box;
+
+use cmags_cma::{CmaConfig, StopCondition};
+use cmags_core::Problem;
+use cmags_etc::{braun, InstanceClass};
+use cmags_ga::{BraunGa, SteadyStateGa, StruggleGa};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn problem() -> Problem {
+    let class: InstanceClass = "u_c_hihi.0".parse().unwrap();
+    Problem::from_instance(&braun::generate(class, 0))
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let p = problem();
+    let mut group = c.benchmark_group("engines_512x16");
+    group.sample_size(10);
+
+    group.bench_function("cma_one_iteration", |b| {
+        let config = CmaConfig::paper().with_stop(StopCondition::iterations(1));
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(config.run(&p, seed).fitness)
+        });
+    });
+
+    group.bench_function("braun_ga_one_generation", |b| {
+        let ga = BraunGa::default().with_stop(StopCondition::iterations(1));
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(ga.run(&p, seed).fitness)
+        });
+    });
+
+    group.bench_function("steady_state_200_children", |b| {
+        let ga = SteadyStateGa::default().with_stop(StopCondition::children(200));
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(ga.run(&p, seed).fitness)
+        });
+    });
+
+    group.bench_function("struggle_200_children", |b| {
+        let ga = StruggleGa::default().with_stop(StopCondition::children(200));
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(ga.run(&p, seed).fitness)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Evaluation substrate microbenchmarks: full re-evaluation vs the
+//! incremental `EvalState` paths, across problem sizes.
+//!
+//! This quantifies the ablation `DESIGN.md` calls ABL-6 with criterion
+//! rigour: local search affordability rests entirely on `peek_*` being
+//! orders of magnitude cheaper than `evaluate`.
+
+use std::hint::black_box;
+
+use cmags_core::{evaluate, EvalState, Problem, Schedule};
+use cmags_etc::{braun, InstanceClass};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn problem(jobs: u32, machines: u32) -> Problem {
+    let class: InstanceClass = "u_c_hihi.0".parse().unwrap();
+    Problem::from_instance(&braun::generate(class.with_dims(jobs, machines), 0))
+}
+
+fn spread_schedule(problem: &Problem) -> Schedule {
+    Schedule::from_assignment(
+        (0..problem.nb_jobs()).map(|j| (j % problem.nb_machines()) as u32).collect(),
+    )
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluation");
+    for (jobs, machines) in [(512u32, 16u32), (2048, 64)] {
+        let p = problem(jobs, machines);
+        let s = spread_schedule(&p);
+        let label = format!("{jobs}x{machines}");
+
+        group.bench_with_input(BenchmarkId::new("full_evaluate", &label), &p, |b, p| {
+            b.iter(|| black_box(evaluate(p, &s)));
+        });
+
+        group.bench_with_input(BenchmarkId::new("eval_state_new", &label), &p, |b, p| {
+            b.iter(|| black_box(EvalState::new(p, &s)));
+        });
+
+        let eval = EvalState::new(&p, &s);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let probes: Vec<(u32, u32)> = (0..256)
+            .map(|_| (rng.gen_range(0..jobs), rng.gen_range(0..machines)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("peek_move", &label), &p, |b, p| {
+            let mut i = 0;
+            b.iter(|| {
+                let (job, to) = probes[i % probes.len()];
+                i += 1;
+                black_box(eval.peek_move(p, &s, job, to))
+            });
+        });
+
+        let swaps: Vec<(u32, u32)> =
+            (0..256).map(|_| (rng.gen_range(0..jobs), rng.gen_range(0..jobs))).collect();
+        group.bench_with_input(BenchmarkId::new("peek_swap", &label), &p, |b, p| {
+            let mut i = 0;
+            b.iter(|| {
+                let (a, bj) = swaps[i % swaps.len()];
+                i += 1;
+                black_box(eval.peek_swap(p, &s, a, bj))
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("apply_move", &label), &p, |b, p| {
+            let mut eval = EvalState::new(p, &s);
+            let mut schedule = s.clone();
+            let mut i = 0;
+            b.iter(|| {
+                let (job, to) = probes[i % probes.len()];
+                i += 1;
+                eval.apply_move(p, &mut schedule, job, to);
+                black_box(eval.makespan())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Throughput of the ETC instance generator and the text parser.
+
+use std::hint::black_box;
+
+use cmags_etc::{braun, parser, InstanceClass};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("braun_generate");
+    for (jobs, machines) in [(512u32, 16u32), (4096, 128)] {
+        let class: InstanceClass = "u_c_hihi.0".parse().unwrap();
+        let class = class.with_dims(jobs, machines);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{jobs}x{machines}")),
+            &class,
+            |b, &class| {
+                b.iter(|| black_box(braun::generate_matrix(class, 0)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let class: InstanceClass = "u_s_hilo.0".parse().unwrap();
+    let matrix = braun::generate_matrix(class, 0);
+    let text = parser::format_matrix(&matrix);
+
+    let mut group = c.benchmark_group("parser");
+    group.bench_function("format_512x16", |b| {
+        b.iter(|| black_box(parser::format_matrix(&matrix)));
+    });
+    group.bench_function("parse_512x16", |b| {
+        b.iter(|| black_box(parser::parse_matrix(&text, None).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generator, bench_parser);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Cost of the constructive heuristics across problem scales — the
+//! immediate-mode family is linear, Min-Min/Max-Min/Sufferage are
+//! `O(jobs² · machines)` and dominate at the "larger instances" the
+//! paper lists as future work.
+
+use std::hint::black_box;
+
+use cmags_core::Problem;
+use cmags_etc::{braun, InstanceClass};
+use cmags_heuristics::constructive::ConstructiveKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn problem(jobs: u32, machines: u32) -> Problem {
+    let class: InstanceClass = "u_s_hihi.0".parse().unwrap();
+    Problem::from_instance(&braun::generate(class.with_dims(jobs, machines), 0))
+}
+
+fn bench_constructive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constructive");
+    for (jobs, machines) in [(512u32, 16u32), (1024, 32)] {
+        let p = problem(jobs, machines);
+        for kind in [
+            ConstructiveKind::LjfrSjfr,
+            ConstructiveKind::MinMin,
+            ConstructiveKind::MaxMin,
+            ConstructiveKind::Sufferage,
+            ConstructiveKind::Mct,
+            ConstructiveKind::Met,
+            ConstructiveKind::Olb,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), format!("{jobs}x{machines}")),
+                &kind,
+                |b, &kind| {
+                    let mut rng = SmallRng::seed_from_u64(0);
+                    b.iter(|| black_box(kind.build_seeded(&p, &mut rng)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_constructive);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Per-step cost of the local search methods (Fig. 2's contenders plus
+//! the VND extension) on the benchmark scale (512 × 16).
+//!
+//! LM probes one move, SLM scans the machines, LMCTS scans the jobs —
+//! the measured step costs should reflect exactly that hierarchy.
+
+use std::hint::black_box;
+
+use cmags_core::{EvalState, Problem, Schedule};
+use cmags_etc::{braun, InstanceClass};
+use cmags_heuristics::local_search::LocalSearchKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn problem() -> Problem {
+    let class: InstanceClass = "u_c_hihi.0".parse().unwrap();
+    Problem::from_instance(&braun::generate(class, 0))
+}
+
+fn bench_local_search(c: &mut Criterion) {
+    let p = problem();
+    let mut group = c.benchmark_group("local_search_step");
+    for kind in [
+        LocalSearchKind::Lm,
+        LocalSearchKind::Slm,
+        LocalSearchKind::Lmcts,
+        LocalSearchKind::Vnd,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            let mut rng = SmallRng::seed_from_u64(7);
+            let mut schedule = Schedule::from_assignment(
+                (0..p.nb_jobs()).map(|_| rng.gen_range(0..p.nb_machines() as u32)).collect(),
+            );
+            let mut eval = EvalState::new(&p, &schedule);
+            b.iter(|| {
+                black_box(kind.run(&p, &mut schedule, &mut eval, &mut rng, 1));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_search);
+criterion_main!(benches);

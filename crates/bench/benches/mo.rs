@@ -1,0 +1,96 @@
+//! Cost of the multi-objective machinery: non-dominated sorting,
+//! crowding, archive maintenance, the 2-D hypervolume, and fixed-budget
+//! MoCell / NSGA-II runs.
+//!
+//! The MO engines pay for dominance bookkeeping that the scalarised
+//! cMA avoids; these benches quantify that overhead so the front
+//! quality reported by `mo_front` can be weighed against its cost.
+
+use std::hint::black_box;
+
+use cmags_cma::StopCondition;
+use cmags_core::{Objectives, Problem, Schedule};
+use cmags_etc::{braun, InstanceClass};
+use cmags_mo::archive::{CrowdingArchive, MoSolution};
+use cmags_mo::crowding::crowding_distances;
+use cmags_mo::indicators::{hypervolume, reference_point};
+use cmags_mo::ranking::fronts;
+use cmags_mo::{MoCellConfig, Nsga2Config};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn problem() -> Problem {
+    let class: InstanceClass = "u_c_hihi.0".parse().unwrap();
+    Problem::from_instance(&braun::generate(class, 0))
+}
+
+/// A deterministic scatter of `n` objective points.
+fn scatter(n: usize) -> Vec<Objectives> {
+    let mut rng = SmallRng::seed_from_u64(42);
+    (0..n)
+        .map(|_| Objectives {
+            makespan: rng.gen_range(1.0..100.0),
+            flowtime: rng.gen_range(1.0..100.0),
+        })
+        .collect()
+}
+
+fn bench_pareto_machinery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mo_machinery");
+    for n in [64usize, 256] {
+        let points = scatter(n);
+        group.bench_function(format!("fast_nondominated_sort_{n}"), |b| {
+            b.iter(|| black_box(fronts(black_box(&points))))
+        });
+        group.bench_function(format!("crowding_distance_{n}"), |b| {
+            b.iter(|| black_box(crowding_distances(black_box(&points))))
+        });
+        group.bench_function(format!("hypervolume_{n}"), |b| {
+            let reference = reference_point(&[&points], 0.05);
+            b.iter(|| black_box(hypervolume(black_box(&points), reference)))
+        });
+        group.bench_function(format!("archive_offers_{n}"), |b| {
+            b.iter(|| {
+                let mut archive = CrowdingArchive::new(100);
+                for &objectives in &points {
+                    archive.offer(MoSolution {
+                        schedule: Schedule::uniform(1, 0),
+                        objectives,
+                    });
+                }
+                black_box(archive.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mo_engines(c: &mut Criterion) {
+    let p = problem();
+    let mut group = c.benchmark_group("mo_engines_512x16");
+    group.sample_size(10);
+
+    group.bench_function("mocell_100_children", |b| {
+        let config = MoCellConfig::suggested().with_stop(StopCondition::children(100));
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(config.run(&p, seed).children)
+        })
+    });
+    group.bench_function("nsga2_100_children", |b| {
+        let config = Nsga2Config::suggested()
+            .with_population(20)
+            .with_stop(StopCondition::children(100));
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(config.run(&p, seed).children)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pareto_machinery, bench_mo_engines);
+criterion_main!(benches);

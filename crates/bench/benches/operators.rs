@@ -1,0 +1,55 @@
+//! Cost of the encoding-level genetic operators at benchmark scale.
+
+use std::hint::black_box;
+
+use cmags_core::{EvalState, Problem, Schedule};
+use cmags_etc::{braun, InstanceClass};
+use cmags_heuristics::ops::{Crossover, Mutation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn problem() -> Problem {
+    let class: InstanceClass = "u_i_hihi.0".parse().unwrap();
+    Problem::from_instance(&braun::generate(class, 0))
+}
+
+fn random_schedule(p: &Problem, rng: &mut SmallRng) -> Schedule {
+    Schedule::from_assignment(
+        (0..p.nb_jobs()).map(|_| rng.gen_range(0..p.nb_machines() as u32)).collect(),
+    )
+}
+
+fn bench_crossovers(c: &mut Criterion) {
+    let p = problem();
+    let mut rng = SmallRng::seed_from_u64(3);
+    let a = random_schedule(&p, &mut rng);
+    let b_parent = random_schedule(&p, &mut rng);
+
+    let mut group = c.benchmark_group("crossover");
+    for xo in [Crossover::OnePoint, Crossover::TwoPoint, Crossover::Uniform] {
+        group.bench_with_input(BenchmarkId::from_parameter(xo.name()), &xo, |bench, &xo| {
+            bench.iter(|| black_box(xo.apply(&a, &b_parent, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mutations(c: &mut Criterion) {
+    let p = problem();
+    let mut group = c.benchmark_group("mutation");
+    for op in [Mutation::Rebalance, Mutation::Move, Mutation::Swap] {
+        group.bench_with_input(BenchmarkId::from_parameter(op.name()), &op, |bench, &op| {
+            let mut rng = SmallRng::seed_from_u64(9);
+            let mut schedule = random_schedule(&p, &mut rng);
+            let mut eval = EvalState::new(&p, &schedule);
+            bench.iter(|| {
+                black_box(op.apply(&p, &mut schedule, &mut eval, &mut rng));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crossovers, bench_mutations);
+criterion_main!(benches);

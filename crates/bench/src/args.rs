@@ -1,0 +1,203 @@
+//! Minimal command-line argument parsing for the experiment binaries.
+//!
+//! Hand-rolled on purpose: the workspace's dependency policy admits no
+//! CLI crate, and the experiments only need `--key value` pairs plus
+//! boolean flags.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use cmags_cma::StopCondition;
+
+/// Parsed command line.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    flags: BTreeSet<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args` (skipping the program name).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dangling `--key` without a value when the key is not a
+    /// known boolean flag.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit token stream (tests).
+    #[must_use]
+    pub fn parse(tokens: impl IntoIterator<Item = String>) -> Self {
+        const BOOL_FLAGS: [&str; 3] = ["--paper", "--quiet", "--help"];
+        let mut values = BTreeMap::new();
+        let mut flags = BTreeSet::new();
+        let mut iter = tokens.into_iter().peekable();
+        while let Some(token) = iter.next() {
+            if !token.starts_with("--") {
+                panic!("unexpected positional argument {token:?}");
+            }
+            if BOOL_FLAGS.contains(&token.as_str()) {
+                flags.insert(token);
+                continue;
+            }
+            let value = iter
+                .next()
+                .unwrap_or_else(|| panic!("missing value for argument {token}"));
+            values.insert(token, value);
+        }
+        Self { values, flags }
+    }
+
+    /// Whether a boolean flag is present.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.contains(name)
+    }
+
+    /// String value of `--name`.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Parsed numeric value with default.
+    #[must_use]
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        match self.get(name) {
+            Some(raw) => raw
+                .parse()
+                .unwrap_or_else(|e| panic!("invalid value for {name}: {raw:?} ({e:?})")),
+            None => default,
+        }
+    }
+}
+
+/// Experiment context shared by every binary, derived from [`Args`].
+#[derive(Debug, Clone)]
+pub struct Ctx {
+    /// Base RNG seed; run *r* uses `seed + r`.
+    pub seed: u64,
+    /// Independent runs per configuration (paper: 10).
+    pub runs: usize,
+    /// Per-run budget.
+    pub stop: StopCondition,
+    /// Worker threads.
+    pub threads: usize,
+    /// Instance dimensions (paper: 512 × 16).
+    pub nb_jobs: u32,
+    /// Machines.
+    pub nb_machines: u32,
+    /// Output directory for CSV/Markdown artefacts.
+    pub out_dir: PathBuf,
+    /// Suppress stdout tables.
+    pub quiet: bool,
+}
+
+impl Ctx {
+    /// Builds a context from arguments.
+    ///
+    /// Defaults: quick protocol — 3 runs × 500 ms on the full 512×16
+    /// instances. `--paper` switches to the paper protocol (10 runs ×
+    /// 90 s). `--budget-ms N` and `--budget-children N` override the
+    /// budget; if both are given, whichever trips first stops the run.
+    #[must_use]
+    pub fn from_args(args: &Args) -> Self {
+        let paper = args.flag("--paper");
+        let runs = args.num("--runs", if paper { 10 } else { 3 });
+        let default_ms: u64 = if paper { 90_000 } else { 500 };
+        let budget_ms = args.num("--budget-ms", default_ms);
+        let mut stop = StopCondition::time(Duration::from_millis(budget_ms));
+        if let Some(children) = args.get("--budget-children") {
+            let children: u64 = children.parse().expect("--budget-children must be an integer");
+            stop = stop.and_children(children);
+        }
+        let threads = args.num(
+            "--threads",
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
+        );
+        Self {
+            seed: args.num("--seed", 1u64),
+            runs,
+            stop,
+            threads: threads.max(1),
+            nb_jobs: args.num("--jobs", 512),
+            nb_machines: args.num("--machines", 16),
+            out_dir: PathBuf::from(args.get("--out").unwrap_or("results")),
+            quiet: args.flag("--quiet"),
+        }
+    }
+
+    /// The seeds of the independent runs.
+    #[must_use]
+    pub fn seeds(&self) -> Vec<u64> {
+        (0..self.runs as u64).map(|r| self.seed + r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let a = args("--seed 7 --paper --runs 5");
+        assert_eq!(a.get("--seed"), Some("7"));
+        assert!(a.flag("--paper"));
+        assert_eq!(a.num("--runs", 0usize), 5);
+        assert_eq!(a.num("--missing", 9u32), 9);
+    }
+
+    #[test]
+    fn ctx_defaults_quick_protocol() {
+        let ctx = Ctx::from_args(&args(""));
+        assert_eq!(ctx.runs, 3);
+        assert_eq!(ctx.nb_jobs, 512);
+        assert_eq!(ctx.nb_machines, 16);
+        assert_eq!(ctx.stop.time_limit, Some(Duration::from_millis(500)));
+        assert_eq!(ctx.seeds().len(), 3);
+    }
+
+    #[test]
+    fn paper_flag_switches_protocol() {
+        let ctx = Ctx::from_args(&args("--paper"));
+        assert_eq!(ctx.runs, 10);
+        assert_eq!(ctx.stop.time_limit, Some(Duration::from_secs(90)));
+    }
+
+    #[test]
+    fn budget_children_combines() {
+        let ctx = Ctx::from_args(&args("--budget-ms 100 --budget-children 42"));
+        assert_eq!(ctx.stop.max_children, Some(42));
+        assert_eq!(ctx.stop.time_limit, Some(Duration::from_millis(100)));
+    }
+
+    #[test]
+    fn seeds_are_consecutive() {
+        let ctx = Ctx::from_args(&args("--seed 10 --runs 4"));
+        assert_eq!(ctx.seeds(), vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    #[should_panic(expected = "missing value")]
+    fn dangling_key_panics() {
+        let _ = args("--seed");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid value")]
+    fn bad_number_panics() {
+        let a = args("--runs xyz");
+        let _ = a.num("--runs", 1usize);
+    }
+}

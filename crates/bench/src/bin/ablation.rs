@@ -1,0 +1,10 @@
+//! Runs the DESIGN.md ABL-* component ablations.
+
+use cmags_bench::args::{Args, Ctx};
+use cmags_bench::experiments::ablation;
+use cmags_bench::report::emit;
+
+fn main() {
+    let ctx = Ctx::from_args(&Args::from_env());
+    emit(&ctx, &ablation::all(&ctx));
+}

@@ -1,0 +1,13 @@
+//! Re-stages Braun et al.'s classic mapper line-up (one-shot
+//! heuristics, SA, Tabu, GAs) with the paper's cMA added, over the
+//! twelve benchmark classes under equal budgets.
+
+use cmags_bench::args::{Args, Ctx};
+use cmags_bench::experiments::baselines::baselines;
+use cmags_bench::report::emit;
+
+fn main() {
+    let ctx = Ctx::from_args(&Args::from_env());
+    let (detail, aggregate) = baselines(&ctx);
+    emit(&ctx, &[detail, aggregate]);
+}

@@ -1,0 +1,13 @@
+//! Re-runs the cMA-vs-Braun-GA comparison on CVB-generated instances
+//! (Ali et al.'s gamma/coefficient-of-variation ETC model) to test
+//! whether the paper's per-consistency-class findings generalise
+//! beyond the range-based distribution.
+
+use cmags_bench::args::{Args, Ctx};
+use cmags_bench::experiments::cvb_exp::cvb_generalisation;
+use cmags_bench::report::emit;
+
+fn main() {
+    let ctx = Ctx::from_args(&Args::from_env());
+    emit(&ctx, &[cvb_generalisation(&ctx)]);
+}

@@ -1,0 +1,11 @@
+//! Runs the dynamic-scheduler experiment (paper §1/§6 claim) on the
+//! discrete-event grid simulator.
+
+use cmags_bench::args::{Args, Ctx};
+use cmags_bench::experiments::dynamic::dynamic;
+use cmags_bench::report::emit;
+
+fn main() {
+    let ctx = Ctx::from_args(&Args::from_env());
+    emit(&ctx, &dynamic(&ctx));
+}

@@ -1,0 +1,11 @@
+//! Regenerates the paper's Figure 5 (see `cmags_bench::experiments::figs`).
+
+use cmags_bench::args::{Args, Ctx};
+use cmags_bench::experiments::figs::{run_figure, Figure};
+use cmags_bench::report::emit;
+
+fn main() {
+    let ctx = Ctx::from_args(&Args::from_env());
+    let (summary, raw) = run_figure(&ctx, Figure::SweepOrders);
+    emit(&ctx, &[summary, raw]);
+}

@@ -1,0 +1,65 @@
+//! Runs the complete evaluation — every figure, table, the robustness
+//! study, the ablations and the dynamic experiment — in one invocation.
+//!
+//! With default (quick) budgets this takes a few minutes; with `--paper`
+//! it reproduces the full 10-runs × 90 s protocol of the paper.
+
+use cmags_bench::args::{Args, Ctx};
+use cmags_bench::experiments::figs::{run_figure, Figure};
+use cmags_bench::experiments::{
+    ablation, baselines, cvb_exp, dynamic, mo_front, pareto_exp, robustness, significance,
+    tables,
+};
+use cmags_bench::report::emit;
+
+fn main() {
+    let ctx = Ctx::from_args(&Args::from_env());
+    let started = std::time::Instant::now();
+
+    for figure in [
+        Figure::LocalSearch,
+        Figure::Neighborhoods,
+        Figure::Selection,
+        Figure::SweepOrders,
+    ] {
+        eprintln!("[full_eval] figure {} ...", figure.number());
+        let (summary, raw) = run_figure(&ctx, figure);
+        emit(&ctx, &[summary, raw]);
+    }
+
+    eprintln!("[full_eval] table 2 ...");
+    emit(&ctx, &[tables::table2(&ctx)]);
+    eprintln!("[full_eval] table 3 ...");
+    emit(&ctx, &[tables::table3(&ctx)]);
+    eprintln!("[full_eval] table 4 ...");
+    emit(&ctx, &[tables::table4(&ctx)]);
+    eprintln!("[full_eval] table 5 ...");
+    emit(&ctx, &[tables::table5(&ctx)]);
+
+    eprintln!("[full_eval] robustness ...");
+    emit(&ctx, &[robustness::robustness(&ctx)]);
+
+    eprintln!("[full_eval] ablations ...");
+    emit(&ctx, &ablation::all(&ctx));
+
+    eprintln!("[full_eval] pareto lambda scan ...");
+    emit(&ctx, &[pareto_exp::pareto(&ctx)]);
+
+    eprintln!("[full_eval] multi-objective front comparison ...");
+    emit(&ctx, &[mo_front::mo_front(&ctx)]);
+
+    eprintln!("[full_eval] baseline line-up ...");
+    let (detail, aggregate) = baselines::baselines(&ctx);
+    emit(&ctx, &[detail, aggregate]);
+
+    eprintln!("[full_eval] significance analysis ...");
+    emit(&ctx, &[significance::significance(&ctx)]);
+
+    eprintln!("[full_eval] cvb generalisation ...");
+    emit(&ctx, &[cvb_exp::cvb_generalisation(&ctx)]);
+
+    eprintln!("[full_eval] dynamic grid ...");
+    emit(&ctx, &dynamic::dynamic(&ctx));
+
+    eprintln!("[full_eval] done in {:.1}s", started.elapsed().as_secs_f64());
+}

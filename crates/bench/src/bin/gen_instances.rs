@@ -1,0 +1,39 @@
+//! Writes the regenerated twelve-instance benchmark suite to disk in the
+//! classic text format, so it can be inspected, versioned, or swapped
+//! for the genuine Braun et al. files.
+//!
+//! ```text
+//! cargo run -p cmags-bench --bin gen_instances -- --out instances
+//! ```
+
+use cmags_bench::args::{Args, Ctx};
+use cmags_etc::{braun, parser, InstanceClass};
+
+fn main() {
+    let args = Args::from_env();
+    let ctx = Ctx::from_args(&args);
+    let dir = ctx.out_dir.join("instances");
+    std::fs::create_dir_all(&dir).expect("create instance directory");
+
+    for class in InstanceClass::braun_suite(0) {
+        let class = class.with_dims(ctx.nb_jobs, ctx.nb_machines);
+        let instance = braun::generate(class, 0);
+        let path = dir.join(format!("{}.txt", instance.name()));
+        parser::write_matrix(&path, instance.etc()).expect("write instance");
+        if !ctx.quiet {
+            let stats = cmags_etc::stats::MatrixStats::compute(instance.etc());
+            println!(
+                "{}  {}x{}  min {:.2}  max {:.2}  consistency {:?}",
+                path.display(),
+                instance.nb_jobs(),
+                instance.nb_machines(),
+                stats.min,
+                stats.max,
+                stats.consistency
+            );
+        }
+    }
+    if !ctx.quiet {
+        println!("wrote 12 instances to {}", dir.display());
+    }
+}

@@ -1,0 +1,12 @@
+//! Runs the dominance-based multi-objective comparison (paper §6
+//! future work): λ-scan vs MoCell vs NSGA-II, scored with hypervolume,
+//! additive ε, IGD and spread against the union front.
+
+use cmags_bench::args::{Args, Ctx};
+use cmags_bench::experiments::mo_front::mo_front;
+use cmags_bench::report::emit;
+
+fn main() {
+    let ctx = Ctx::from_args(&Args::from_env());
+    emit(&ctx, &[mo_front(&ctx)]);
+}

@@ -1,0 +1,11 @@
+//! Runs the multi-objective lambda-scan experiment (paper §6 future
+//! work): one Pareto front per consistency class.
+
+use cmags_bench::args::{Args, Ctx};
+use cmags_bench::experiments::pareto_exp::pareto;
+use cmags_bench::report::emit;
+
+fn main() {
+    let ctx = Ctx::from_args(&Args::from_env());
+    emit(&ctx, &[pareto(&ctx)]);
+}

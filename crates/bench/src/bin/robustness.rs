@@ -1,0 +1,10 @@
+//! Regenerates the §5.1 robustness study.
+
+use cmags_bench::args::{Args, Ctx};
+use cmags_bench::experiments::robustness::robustness;
+use cmags_bench::report::emit;
+
+fn main() {
+    let ctx = Ctx::from_args(&Args::from_env());
+    emit(&ctx, &[robustness(&ctx)]);
+}

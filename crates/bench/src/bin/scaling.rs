@@ -1,0 +1,13 @@
+//! Runs the larger-instances scaling sweep (paper §6 future work).
+//!
+//! Warning: the 4096x128 point is heavy; use `--budget-ms` to size the
+//! per-run budget accordingly.
+
+use cmags_bench::args::{Args, Ctx};
+use cmags_bench::experiments::scaling::scaling;
+use cmags_bench::report::emit;
+
+fn main() {
+    let ctx = Ctx::from_args(&Args::from_env());
+    emit(&ctx, &[scaling(&ctx)]);
+}

@@ -1,0 +1,12 @@
+//! Tests whether the cMA's advantage over each baseline is larger than
+//! run-to-run noise: Mann-Whitney U + Vargha-Delaney Â₁₂ over repeated
+//! seeded runs (methodological upgrade over the paper's best-of-10).
+
+use cmags_bench::args::{Args, Ctx};
+use cmags_bench::experiments::significance::significance;
+use cmags_bench::report::emit;
+
+fn main() {
+    let ctx = Ctx::from_args(&Args::from_env());
+    emit(&ctx, &[significance(&ctx)]);
+}

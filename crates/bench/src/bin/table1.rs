@@ -1,0 +1,35 @@
+//! Prints the tuned configuration — the paper's Table 1 — as read back
+//! from `CmaConfig::paper()`, so the shipped defaults are auditable.
+
+use cmags_bench::args::{Args, Ctx};
+use cmags_bench::report::{emit, Table};
+use cmags_cma::CmaConfig;
+
+fn main() {
+    let ctx = Ctx::from_args(&Args::from_env());
+    let c = CmaConfig::paper();
+    let mut table = Table::new("Table 1 parameter values", &["parameter", "value"]);
+    let rows: Vec<(&str, String)> = vec![
+        ("max exec time", "90 s (paper protocol)".to_owned()),
+        ("population height", c.pop_height.to_string()),
+        ("population width", c.pop_width.to_string()),
+        ("nb solutions to recombine", c.nb_to_recombine.to_string()),
+        ("nb recombinations", c.nb_recombinations.to_string()),
+        ("nb mutations", c.nb_mutations.to_string()),
+        ("start choice", c.seeding.name().to_owned()),
+        ("neighborhood pattern", c.neighborhood.name().to_owned()),
+        ("recombination order", c.rec_order.name().to_owned()),
+        ("mutation order", c.mut_order.name().to_owned()),
+        ("recombine choice", c.crossover.name().to_owned()),
+        ("recombine selection", c.selection.name()),
+        ("mutate choice", c.mutation.name().to_owned()),
+        ("local search choice", c.local_search.name().to_owned()),
+        ("nb local search iterations", c.ls_iterations.to_string()),
+        ("add only if better", c.add_only_if_better.to_string()),
+        ("lambda", cmags_core::FitnessWeights::default().lambda().to_string()),
+    ];
+    for (k, v) in rows {
+        table.push_row(vec![k.to_owned(), v]);
+    }
+    emit(&ctx, &[table]);
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Table 2 (see `cmags_bench::experiments::tables`).
+
+use cmags_bench::args::{Args, Ctx};
+use cmags_bench::experiments::tables;
+use cmags_bench::report::emit;
+
+fn main() {
+    let ctx = Ctx::from_args(&Args::from_env());
+    emit(&ctx, &[tables::table2(&ctx)]);
+}

@@ -1,0 +1,258 @@
+//! Component ablations (`DESIGN.md` ABL-*): what each design choice of
+//! the cMA buys, measured under equal budgets on the tuning instance.
+
+use std::time::Instant;
+
+use cmags_cma::{CmaConfig, UpdatePolicy};
+use cmags_core::{evaluate, EvalState, FitnessWeights, Problem, Schedule};
+use cmags_etc::braun;
+use cmags_ga::PanmicticMa;
+use cmags_heuristics::constructive::ConstructiveKind;
+use cmags_heuristics::local_search::LocalSearchKind;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::args::Ctx;
+use crate::report::{fmt_value, Table};
+use crate::runner::{parallel_map, Algo, Summary};
+
+use super::tuning_problem;
+
+/// Runs all labelled algorithm variants under the context budget and
+/// summarises best/mean fitness and makespan.
+fn sweep(ctx: &Ctx, problem: &Problem, variants: Vec<(String, Algo)>, title: &str) -> Table {
+    let seeds = ctx.seeds();
+    let jobs: Vec<(usize, u64)> = (0..variants.len())
+        .flat_map(|v| seeds.iter().map(move |&s| (v, s)))
+        .collect();
+    let flat: Vec<(usize, f64, f64)> = parallel_map(jobs, ctx.threads, |(v, seed)| {
+        let result = variants[v].1.clone().with_stop(ctx.stop).run(problem, seed);
+        (v, result.fitness, result.makespan)
+    });
+
+    let mut table =
+        Table::new(title, &["Variant", "best fitness", "mean fitness", "best makespan"]);
+    for (v, (label, _)) in variants.iter().enumerate() {
+        let fits: Vec<f64> = flat.iter().filter(|(i, ..)| *i == v).map(|(_, f, _)| *f).collect();
+        let mks: Vec<f64> = flat.iter().filter(|(i, ..)| *i == v).map(|(.., m)| *m).collect();
+        table.push_row(vec![
+            label.clone(),
+            fmt_value(Summary::of(&fits).best),
+            fmt_value(Summary::of(&fits).mean),
+            fmt_value(Summary::of(&mks).best),
+        ]);
+    }
+    table
+}
+
+/// ABL-1: local search on/off (cGA vs cMA vs VND extension).
+#[must_use]
+pub fn local_search_ablation(ctx: &Ctx) -> Table {
+    let problem = tuning_problem(ctx);
+    let base = CmaConfig::paper();
+    let variants = vec![
+        (
+            "cGA (no LS)".to_owned(),
+            Algo::Cma(base.clone().with_local_search(LocalSearchKind::None)),
+        ),
+        ("cMA (LMCTS)".to_owned(), Algo::Cma(base.clone())),
+        ("cMA (VND)".to_owned(), Algo::Cma(base.with_local_search(LocalSearchKind::Vnd))),
+    ];
+    sweep(ctx, &problem, variants, "Ablation local search")
+}
+
+/// ABL-2: asynchronous vs synchronous cell updating.
+#[must_use]
+pub fn update_policy_ablation(ctx: &Ctx) -> Table {
+    let problem = tuning_problem(ctx);
+    let base = CmaConfig::paper();
+    let variants = vec![
+        ("Asynchronous".to_owned(), Algo::Cma(base.clone())),
+        (
+            "Synchronous".to_owned(),
+            Algo::Cma(base.with_update_policy(UpdatePolicy::Synchronous)),
+        ),
+    ];
+    sweep(ctx, &problem, variants, "Ablation update policy")
+}
+
+/// ABL-3: population seeding (LJFR-SJFR vs Min-Min vs random).
+#[must_use]
+pub fn seeding_ablation(ctx: &Ctx) -> Table {
+    let problem = tuning_problem(ctx);
+    let base = CmaConfig::paper();
+    let variants = vec![
+        ("LJFR-SJFR".to_owned(), Algo::Cma(base.clone())),
+        ("Min-Min".to_owned(), Algo::Cma(base.clone().with_seeding(ConstructiveKind::MinMin))),
+        ("Random".to_owned(), Algo::Cma(base.with_seeding(ConstructiveKind::Random))),
+    ];
+    sweep(ctx, &problem, variants, "Ablation seeding")
+}
+
+/// ABL-4: cellular vs panmictic population at identical operators.
+#[must_use]
+pub fn topology_ablation(ctx: &Ctx) -> Table {
+    let problem = tuning_problem(ctx);
+    let variants = vec![
+        ("cMA (5x5 torus)".to_owned(), Algo::Cma(CmaConfig::paper())),
+        ("Panmictic MA".to_owned(), Algo::Panmictic(PanmicticMa::default())),
+    ];
+    sweep(ctx, &problem, variants, "Ablation topology")
+}
+
+/// ABL-5: λ sweep of the scalarisation (Eq. 3): the
+/// makespan-vs-flowtime trade-off around the paper's λ = 0.75.
+#[must_use]
+pub fn lambda_sweep(ctx: &Ctx) -> Table {
+    let class: cmags_etc::InstanceClass = "u_c_hihi.0".parse().expect("static label");
+    let class = class.with_dims(ctx.nb_jobs, ctx.nb_machines);
+    let instance = braun::generate(class, super::TUNING_STREAM);
+    let seeds = ctx.seeds();
+
+    let lambdas = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let jobs: Vec<(usize, u64)> = (0..lambdas.len())
+        .flat_map(|l| seeds.iter().map(move |&s| (l, s)))
+        .collect();
+    let flat: Vec<(usize, f64, f64)> = parallel_map(jobs, ctx.threads, |(l, seed)| {
+        let problem =
+            Problem::with_weights(&instance, FitnessWeights::new(lambdas[l]));
+        let outcome = CmaConfig::paper().with_stop(ctx.stop).run(&problem, seed);
+        (l, outcome.objectives.makespan, outcome.objectives.flowtime)
+    });
+
+    let mut table =
+        Table::new("Ablation lambda sweep", &["lambda", "best makespan", "best flowtime"]);
+    for (l, &lambda) in lambdas.iter().enumerate() {
+        let mks: Vec<f64> = flat.iter().filter(|(i, ..)| *i == l).map(|(_, m, _)| *m).collect();
+        let fls: Vec<f64> = flat.iter().filter(|(i, ..)| *i == l).map(|(.., f)| *f).collect();
+        table.push_row(vec![
+            format!("{lambda:.2}"),
+            fmt_value(Summary::of(&mks).best),
+            fmt_value(Summary::of(&fls).best),
+        ]);
+    }
+    table
+}
+
+/// ABL-6: incremental vs full evaluation microbenchmark — the substrate
+/// decision that makes 2007-scale budgets reach orders of magnitude more
+/// search on modern hardware.
+#[must_use]
+pub fn delta_eval_ablation(ctx: &Ctx) -> Table {
+    let problem = tuning_problem(ctx);
+    let mut rng = SmallRng::seed_from_u64(ctx.seed);
+    let nb_jobs = problem.nb_jobs() as u32;
+    let nb_machines = problem.nb_machines() as u32;
+    let mut schedule = Schedule::from_assignment(
+        (0..problem.nb_jobs()).map(|j| (j as u32) % nb_machines).collect(),
+    );
+    let moves: Vec<(u32, u32)> = (0..20_000)
+        .map(|_| (rng.gen_range(0..nb_jobs), rng.gen_range(0..nb_machines)))
+        .collect();
+
+    // Incremental path.
+    let mut eval = EvalState::new(&problem, &schedule);
+    let t0 = Instant::now();
+    for &(job, to) in &moves {
+        eval.apply_move(&problem, &mut schedule, job, to);
+    }
+    let delta_s = t0.elapsed().as_secs_f64();
+    let delta_obj = eval.objectives();
+
+    // Full re-evaluation path on the same move sequence.
+    let mut schedule2 = Schedule::from_assignment(
+        (0..problem.nb_jobs()).map(|j| (j as u32) % nb_machines).collect(),
+    );
+    let t0 = Instant::now();
+    let mut full_obj = evaluate(&problem, &schedule2);
+    for &(job, to) in &moves {
+        schedule2.assign(job, to);
+        full_obj = evaluate(&problem, &schedule2);
+    }
+    let full_s = t0.elapsed().as_secs_f64();
+
+    assert_eq!(delta_obj, full_obj, "the two paths must agree exactly");
+
+    let mut table = Table::new(
+        "Ablation delta evaluation",
+        &["path", "moves", "seconds", "moves/s", "speedup"],
+    );
+    table.push_row(vec![
+        "full re-evaluation".to_owned(),
+        moves.len().to_string(),
+        format!("{full_s:.4}"),
+        format!("{:.0}", moves.len() as f64 / full_s),
+        "1.0x".to_owned(),
+    ]);
+    table.push_row(vec![
+        "incremental (EvalState)".to_owned(),
+        moves.len().to_string(),
+        format!("{delta_s:.4}"),
+        format!("{:.0}", moves.len() as f64 / delta_s),
+        format!("{:.1}x", full_s / delta_s),
+    ]);
+    table
+}
+
+/// All ablation tables.
+#[must_use]
+pub fn all(ctx: &Ctx) -> Vec<Table> {
+    vec![
+        local_search_ablation(ctx),
+        update_policy_ablation(ctx),
+        seeding_ablation(ctx),
+        topology_ablation(ctx),
+        lambda_sweep(ctx),
+        delta_eval_ablation(ctx),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_ctx;
+    use super::*;
+
+    #[test]
+    fn local_search_ablation_shows_ls_value() {
+        let ctx = test_ctx(48, 6, 2, 250);
+        let t = local_search_ablation(&ctx);
+        assert_eq!(t.rows.len(), 3);
+        let no_ls: f64 = t.rows[0][1].parse().unwrap();
+        let lmcts: f64 = t.rows[1][1].parse().unwrap();
+        assert!(
+            lmcts < no_ls,
+            "memetic variant ({lmcts}) must beat the plain cGA ({no_ls}) at equal children"
+        );
+    }
+
+    #[test]
+    fn lambda_sweep_tradeoff_direction() {
+        let ctx = test_ctx(48, 6, 2, 300);
+        let t = lambda_sweep(&ctx);
+        assert_eq!(t.rows.len(), 5);
+        let makespan_at = |row: usize| -> f64 { t.rows[row][1].parse().unwrap() };
+        let flowtime_at = |row: usize| -> f64 { t.rows[row][2].parse().unwrap() };
+        // λ = 1 (pure makespan) should reach a makespan no worse than
+        // λ = 0 (pure flowtime), and vice versa for flowtime.
+        assert!(makespan_at(4) <= makespan_at(0) * 1.05);
+        assert!(flowtime_at(0) <= flowtime_at(4) * 1.05);
+    }
+
+    #[test]
+    fn delta_eval_agrees_and_reports_speedup() {
+        let ctx = test_ctx(128, 16, 1, 10);
+        let t = delta_eval_ablation(&ctx);
+        assert_eq!(t.rows.len(), 2);
+        let speedup: f64 = t.rows[1][4].trim_end_matches('x').parse().unwrap();
+        assert!(speedup > 1.0, "incremental path must be faster, got {speedup}x");
+    }
+
+    #[test]
+    fn update_policy_and_seeding_tables_have_expected_variants() {
+        let ctx = test_ctx(32, 4, 1, 60);
+        assert_eq!(update_policy_ablation(&ctx).rows.len(), 2);
+        let seeding = seeding_ablation(&ctx);
+        assert_eq!(seeding.rows.len(), 3);
+        assert_eq!(seeding.rows[0][0], "LJFR-SJFR");
+    }
+}

@@ -1,0 +1,158 @@
+//! BASELINES: the full classic line-up on the benchmark suite.
+//!
+//! Braun et al. (JPDC 2001) — the study this paper's benchmark comes
+//! from — ranked eleven mappers spanning one-shot heuristics (OLB, MET,
+//! MCT, Min-Min, Max-Min, …), local-search metaheuristics (SA, Tabu)
+//! and a GA. This experiment re-stages that line-up with the paper's
+//! cMA added, under equal budgets, over the twelve instance classes:
+//! per instance the best makespan of each contender, plus an aggregate
+//! table of average ranks and wins.
+
+use cmags_cma::CmaConfig;
+use cmags_ga::{
+    BraunGa, GeneticSimulatedAnnealing, SimulatedAnnealing, StruggleGa, TabuSearch,
+};
+use cmags_heuristics::constructive::ConstructiveKind;
+
+use crate::args::Ctx;
+use crate::report::{fmt_value, Table};
+use crate::runner::{parallel_map, Algo, Summary};
+
+/// The contenders of the line-up, in report order.
+#[must_use]
+pub fn lineup() -> Vec<Algo> {
+    vec![
+        Algo::Heuristic(ConstructiveKind::Olb),
+        Algo::Heuristic(ConstructiveKind::Met),
+        Algo::Heuristic(ConstructiveKind::Mct),
+        Algo::Heuristic(ConstructiveKind::MinMin),
+        Algo::Heuristic(ConstructiveKind::MaxMin),
+        Algo::Heuristic(ConstructiveKind::Duplex),
+        Algo::Heuristic(ConstructiveKind::Sufferage),
+        Algo::Heuristic(ConstructiveKind::LjfrSjfr),
+        Algo::Sa(SimulatedAnnealing::default()),
+        Algo::Tabu(TabuSearch::default()),
+        Algo::Gsa(GeneticSimulatedAnnealing::default()),
+        Algo::BraunGa(BraunGa::default()),
+        Algo::Struggle(StruggleGa::default()),
+        Algo::Cma(CmaConfig::paper()),
+    ]
+}
+
+/// Runs the line-up and returns (per-instance table, aggregate table).
+#[must_use]
+pub fn baselines(ctx: &Ctx) -> (Table, Table) {
+    let problems = super::suite_problems(ctx);
+    let algos = lineup();
+
+    let mut detail = Table::new(
+        "Baseline lineup best makespan",
+        &["instance", "algorithm", "best", "mean", "cv_pct"],
+    );
+    // best_makespan[instance][algo]
+    let mut best: Vec<Vec<f64>> = vec![vec![f64::INFINITY; algos.len()]; problems.len()];
+
+    for (pi, problem) in problems.iter().enumerate() {
+        for (ai, algo) in algos.iter().enumerate() {
+            let algo = algo.clone().with_stop(ctx.stop);
+            let seeds: Vec<u64> = (0..ctx.runs as u64).map(|r| ctx.seed + r).collect();
+            let makespans =
+                parallel_map(seeds, ctx.threads, |seed| algo.run(problem, seed).makespan);
+            let summary = Summary::of(&makespans);
+            best[pi][ai] = summary.best;
+            detail.push_row(vec![
+                problem.name().to_owned(),
+                algo.name(),
+                fmt_value(summary.best),
+                fmt_value(summary.mean),
+                format!("{:.2}", summary.cv_percent()),
+            ]);
+        }
+    }
+
+    // Aggregate: average rank (1 = best makespan on an instance; ties
+    // share the better rank) and outright wins.
+    let mut aggregate =
+        Table::new("Baseline lineup aggregate", &["algorithm", "avg_rank", "wins"]);
+    let mut rank_sum = vec![0.0f64; algos.len()];
+    let mut wins = vec![0usize; algos.len()];
+    for per_instance in &best {
+        let mut order: Vec<usize> = (0..algos.len()).collect();
+        order.sort_by(|&x, &y| per_instance[x].total_cmp(&per_instance[y]));
+        for (position, &ai) in order.iter().enumerate() {
+            // Shared rank for exact ties.
+            let rank = order[..position]
+                .iter()
+                .position(|&prev| per_instance[prev] == per_instance[ai])
+                .unwrap_or(position) as f64
+                + 1.0;
+            rank_sum[ai] += rank;
+        }
+        wins[order[0]] += 1;
+    }
+    for (ai, algo) in algos.iter().enumerate() {
+        aggregate.push_row(vec![
+            algo.name(),
+            format!("{:.2}", rank_sum[ai] / problems.len() as f64),
+            wins[ai].to_string(),
+        ]);
+    }
+    (detail, aggregate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_ctx;
+    use super::*;
+
+    #[test]
+    fn lineup_covers_heuristics_metaheuristics_and_the_cma() {
+        let names: Vec<String> = lineup().iter().map(Algo::name).collect();
+        for expected in
+            ["OLB", "MET", "MCT", "Min-Min", "Duplex", "SA", "Tabu", "GSA", "Braun GA", "cMA"]
+        {
+            assert!(names.iter().any(|n| n == expected), "{expected} missing from line-up");
+        }
+        assert_eq!(names.len(), 14, "a fourteen-mapper line-up");
+    }
+
+    #[test]
+    fn produces_full_tables_and_sane_ranks() {
+        let ctx = test_ctx(24, 3, 2, 40);
+        let (detail, aggregate) = baselines(&ctx);
+        assert_eq!(detail.rows.len(), 12 * lineup().len());
+        assert_eq!(aggregate.rows.len(), lineup().len());
+        let mut wins_total = 0usize;
+        for row in &aggregate.rows {
+            let avg_rank: f64 = row[1].parse().unwrap();
+            assert!(
+                (1.0..=lineup().len() as f64).contains(&avg_rank),
+                "rank {avg_rank} out of range"
+            );
+            wins_total += row[2].parse::<usize>().unwrap();
+        }
+        assert_eq!(wins_total, 12, "one win per instance");
+    }
+
+    #[test]
+    fn metaheuristics_beat_one_shot_heuristics_given_budget() {
+        // Even a tiny search budget must beat OLB (which ignores ETC
+        // values entirely) on every instance.
+        let ctx = test_ctx(24, 3, 1, 150);
+        let (detail, _) = baselines(&ctx);
+        for instance in ["u_c_hihi.0", "u_i_lolo.0"] {
+            let value = |algo: &str| -> f64 {
+                detail
+                    .rows
+                    .iter()
+                    .find(|r| r[0] == instance && r[1] == algo)
+                    .map(|r| r[2].parse().unwrap())
+                    .expect("row present")
+            };
+            assert!(
+                value("cMA") < value("OLB"),
+                "{instance}: cMA must beat OLB"
+            );
+        }
+    }
+}

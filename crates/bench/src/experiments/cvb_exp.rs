@@ -1,0 +1,73 @@
+//! CVB-GEN: does the paper's finding generalise across ETC
+//! distribution families?
+//!
+//! The paper's evaluation (§5.1) finds the cMA strongest on consistent
+//! and semi-consistent instances and weakest on inconsistent ones —
+//! all under the **range-based** ETC generator. This experiment
+//! re-runs the cMA-vs-Braun-GA comparison on instances drawn with the
+//! **CVB** method of Ali et al. (gamma-distributed, heterogeneity as
+//! coefficients of variation). If the win/loss pattern per consistency
+//! class persists, the paper's conclusion is a property of consistency
+//! structure, not of the uniform-range distribution.
+
+use cmags_cma::CmaConfig;
+use cmags_core::Problem;
+use cmags_etc::{cvb, InstanceClass};
+use cmags_ga::BraunGa;
+
+use crate::args::Ctx;
+use crate::report::{fmt_percent, fmt_value, Table};
+use crate::runner::{parallel_map, Algo, Summary};
+
+/// Runs cMA vs Braun GA on the twelve CVB classes; Δ% > 0 means the
+/// cMA found the better (smaller) best makespan.
+#[must_use]
+pub fn cvb_generalisation(ctx: &Ctx) -> Table {
+    let mut table = Table::new(
+        "CVB generalisation cma vs braun ga",
+        &["instance", "braun_ga_best", "cma_best", "delta_pct"],
+    );
+    let cma = Algo::Cma(CmaConfig::paper()).with_stop(ctx.stop);
+    let ga = Algo::BraunGa(BraunGa::default()).with_stop(ctx.stop);
+
+    for class in InstanceClass::braun_suite(0) {
+        let class = class.with_dims(ctx.nb_jobs, ctx.nb_machines);
+        let instance = cvb::generate(class, super::SUITE_STREAM);
+        let problem = Problem::from_instance(&instance);
+        let seeds: Vec<u64> = (0..ctx.runs as u64).map(|r| ctx.seed + r).collect();
+        let cma_best =
+            Summary::of(&parallel_map(seeds.clone(), ctx.threads, |s| {
+                cma.run(&problem, s).makespan
+            }))
+            .best;
+        let ga_best =
+            Summary::of(&parallel_map(seeds, ctx.threads, |s| ga.run(&problem, s).makespan))
+                .best;
+        table.push_row(vec![
+            instance.name().to_owned(),
+            fmt_value(ga_best),
+            fmt_value(cma_best),
+            fmt_percent((ga_best - cma_best) / ga_best * 100.0),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_ctx;
+    use super::*;
+
+    #[test]
+    fn covers_all_twelve_cvb_classes() {
+        let ctx = test_ctx(24, 3, 1, 50);
+        let t = cvb_generalisation(&ctx);
+        assert_eq!(t.rows.len(), 12);
+        for row in &t.rows {
+            assert!(row[0].starts_with("cvb_u_"));
+            let ga: f64 = row[1].parse().unwrap();
+            let cma: f64 = row[2].parse().unwrap();
+            assert!(ga > 0.0 && cma > 0.0);
+        }
+    }
+}

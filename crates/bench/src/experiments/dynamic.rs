@@ -1,0 +1,120 @@
+//! DYN: the dynamic-scheduler experiment (paper §1/§6 claim).
+//!
+//! Runs the discrete-event simulator with the cMA in periodic batch mode
+//! against the fast constructive baselines, on a calm and a churny grid.
+
+use cmags_cma::StopCondition;
+use cmags_gridsim::scheduler::{BatchScheduler, CmaScheduler, HeuristicScheduler, RandomScheduler};
+use cmags_gridsim::{SimConfig, Simulation};
+use cmags_heuristics::constructive::ConstructiveKind;
+
+use crate::args::Ctx;
+use crate::report::{fmt_value, Table};
+
+/// Builds the scheduler roster compared in the experiment.
+fn roster(budget: StopCondition) -> Vec<Box<dyn BatchScheduler>> {
+    vec![
+        Box::new(CmaScheduler::new(budget)),
+        Box::new(HeuristicScheduler::new(ConstructiveKind::MinMin)),
+        Box::new(HeuristicScheduler::new(ConstructiveKind::Mct)),
+        Box::new(HeuristicScheduler::new(ConstructiveKind::Olb)),
+        Box::new(RandomScheduler),
+    ]
+}
+
+/// Runs one scenario for every scheduler and tabulates the realized
+/// metrics.
+#[must_use]
+pub fn scenario_table(
+    title: &str,
+    config: &SimConfig,
+    seed: u64,
+    cma_budget: StopCondition,
+) -> Table {
+    let mut table = Table::new(
+        title,
+        &[
+            "Scheduler",
+            "jobs",
+            "resub",
+            "makespan",
+            "mean response",
+            "mean wait",
+            "util %",
+            "activations",
+            "sched wall s",
+        ],
+    );
+    for mut scheduler in roster(cma_budget) {
+        let report = Simulation::new(config.clone(), seed).run(scheduler.as_mut());
+        table.push_row(vec![
+            report.scheduler.clone(),
+            report.jobs_completed.to_string(),
+            report.resubmissions.to_string(),
+            fmt_value(report.realized_makespan),
+            fmt_value(report.mean_response()),
+            fmt_value(report.mean_wait()),
+            format!("{:.1}", report.utilization() * 100.0),
+            report.activations.to_string(),
+            format!("{:.3}", report.scheduler_wall_s),
+        ]);
+    }
+    table
+}
+
+/// The full dynamic experiment: calm and churny scenarios.
+#[must_use]
+pub fn dynamic(ctx: &Ctx) -> Vec<Table> {
+    // Scale the per-activation cMA budget off the context: the dynamic
+    // claim is about *short* activations.
+    let budget = StopCondition::children(2_000).and_time(
+        ctx.stop.time_limit.unwrap_or_else(|| std::time::Duration::from_millis(500)),
+    );
+    vec![
+        scenario_table("Dynamic grid calm scenario", &SimConfig::small(), ctx.seed, budget),
+        scenario_table("Dynamic grid churny scenario", &SimConfig::churny(), ctx.seed, budget),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_ctx;
+    use super::*;
+
+    #[test]
+    fn calm_scenario_ranks_cma_over_random() {
+        let t = scenario_table(
+            "test calm",
+            &SimConfig::small(),
+            3,
+            StopCondition::children(300),
+        );
+        assert_eq!(t.rows.len(), 5);
+        let response_of = |name: &str| -> f64 {
+            t.rows
+                .iter()
+                .find(|r| r[0] == name)
+                .unwrap_or_else(|| panic!("{name} missing"))[4]
+                .parse()
+                .unwrap()
+        };
+        assert!(
+            response_of("cMA") < response_of("Random"),
+            "cMA must beat random dispatch on mean response"
+        );
+    }
+
+    #[test]
+    fn dynamic_produces_two_scenarios() {
+        let ctx = test_ctx(32, 4, 1, 100);
+        let tables = dynamic(&ctx);
+        assert_eq!(tables.len(), 2);
+        for t in &tables {
+            // Every scheduler finished every job.
+            for row in &t.rows {
+                let jobs: u64 = row[1].parse().unwrap();
+                assert!(jobs > 0);
+            }
+        }
+    }
+}

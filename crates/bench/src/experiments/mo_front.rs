@@ -1,0 +1,159 @@
+//! MO-FRONT: dominance-based multi-objective search (paper §6 future
+//! work, beyond the λ-scan).
+//!
+//! Compares three ways of approximating the (makespan, flowtime) Pareto
+//! front on one instance per consistency class:
+//!
+//! * **λ-scan** — the weighted-sum scan of `cmags_cma::pareto` (one
+//!   scalarised cMA run per λ; exact only for the convex hull);
+//! * **MoCell** — the cellular multi-objective memetic engine of
+//!   `cmags_mo::mocell`;
+//! * **NSGA-II** — the panmictic baseline of `cmags_mo::nsga2`.
+//!
+//! All methods receive the same total children budget (the λ-scan's
+//! per-run budget × its number of runs). Fronts are scored with the
+//! standard indicators against the union of everything found: larger
+//! hypervolume share and smaller ε/IGD are better.
+
+use cmags_cma::pareto::pareto_front;
+use cmags_cma::{CmaConfig, StopCondition};
+use cmags_core::{Objectives, Problem};
+use cmags_etc::{braun, InstanceClass};
+use cmags_mo::indicators::{additive_epsilon, hypervolume, igd, reference_point, spread};
+use cmags_mo::ranking::non_dominated;
+use cmags_mo::{MoCellConfig, Nsga2Config};
+
+use crate::args::Ctx;
+use crate::experiments::pareto_exp::LAMBDAS;
+use crate::report::Table;
+
+/// The instances scored (one per consistency class).
+pub const INSTANCES: [&str; 3] = ["u_c_hihi.0", "u_i_hihi.0", "u_s_hihi.0"];
+
+/// One method's front on one instance.
+#[derive(Debug, Clone)]
+struct MethodFront {
+    method: &'static str,
+    points: Vec<Objectives>,
+}
+
+/// Runs the three methods on each instance and tabulates the indicator
+/// comparison.
+#[must_use]
+pub fn mo_front(ctx: &Ctx) -> Table {
+    let mut table = Table::new(
+        "Multi objective front comparison",
+        &["instance", "method", "front", "hv_share", "eps_to_union", "igd_to_union", "spread"],
+    );
+
+    // Equalised budget: the λ-scan spends `per_run` once per λ, so the
+    // single-run engines get |λ| times whichever bound is configured.
+    let per_run = ctx.stop;
+    let pooled = {
+        let factor = LAMBDAS.len() as u64;
+        let mut pooled = StopCondition::default();
+        if let Some(limit) = per_run.time_limit {
+            pooled = pooled.and_time(limit * factor as u32);
+        }
+        if let Some(children) = per_run.max_children {
+            pooled = pooled.and_children(children * factor);
+        }
+        if pooled.is_bounded() {
+            pooled
+        } else {
+            StopCondition::children(1_000 * factor)
+        }
+    };
+
+    for label in INSTANCES {
+        let class: InstanceClass = label.parse().expect("static label");
+        let instance =
+            braun::generate(class.with_dims(ctx.nb_jobs, ctx.nb_machines), super::SUITE_STREAM);
+        let problem = Problem::from_instance(&instance);
+
+        let scan = pareto_front(&instance, &CmaConfig::paper(), per_run, &LAMBDAS, ctx.seed);
+        let mocell = MoCellConfig::suggested().with_stop(pooled).run(&problem, ctx.seed);
+        let nsga2 = Nsga2Config::suggested().with_stop(pooled).run(&problem, ctx.seed);
+
+        let fronts = [
+            MethodFront {
+                method: "lambda-scan",
+                points: scan
+                    .points()
+                    .iter()
+                    .map(|p| Objectives { makespan: p.makespan, flowtime: p.flowtime })
+                    .collect(),
+            },
+            MethodFront { method: "MoCell", points: mocell.archive.objectives() },
+            MethodFront {
+                method: "NSGA-II",
+                points: nsga2.front.iter().map(|s| s.objectives).collect(),
+            },
+        ];
+
+        // Union front and shared reference point.
+        let union_all: Vec<Objectives> =
+            fronts.iter().flat_map(|f| f.points.iter().copied()).collect();
+        let union_front: Vec<Objectives> =
+            non_dominated(&union_all).into_iter().map(|i| union_all[i]).collect();
+        let reference = reference_point(&[&union_all], 0.05);
+        let hv_union = hypervolume(&union_front, reference);
+
+        for front in &fronts {
+            assert!(!front.points.is_empty(), "{}: empty front on {label}", front.method);
+            let hv = hypervolume(&front.points, reference);
+            table.push_row(vec![
+                label.to_owned(),
+                front.method.to_owned(),
+                front.points.len().to_string(),
+                format!("{:.4}", if hv_union > 0.0 { hv / hv_union } else { 1.0 }),
+                format!("{:.4}", additive_epsilon(&front.points, &union_front)),
+                format!("{:.4}", igd(&front.points, &union_front)),
+                format!("{:.4}", spread(&front.points)),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_ctx;
+    use super::*;
+
+    #[test]
+    fn compares_three_methods_per_instance() {
+        let ctx = test_ctx(32, 4, 1, 60);
+        let t = mo_front(&ctx);
+        assert_eq!(t.rows.len(), 3 * INSTANCES.len());
+        for row in &t.rows {
+            let hv_share: f64 = row[3].parse().unwrap();
+            assert!((0.0..=1.0 + 1e-9).contains(&hv_share), "hv share {hv_share} out of range");
+            let eps: f64 = row[4].parse().unwrap();
+            // ε against a union that contains your own points is ≥ 0 and 0
+            // only when the method alone spans the union front.
+            assert!(eps >= -1e-9, "epsilon to union cannot be negative: {eps}");
+            let igd_v: f64 = row[5].parse().unwrap();
+            assert!(igd_v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn hv_shares_bounded_by_union() {
+        let ctx = test_ctx(24, 3, 1, 40);
+        let t = mo_front(&ctx);
+        let best_per_instance: Vec<f64> = INSTANCES
+            .iter()
+            .map(|label| {
+                t.rows
+                    .iter()
+                    .filter(|r| r[0] == *label)
+                    .map(|r| r[3].parse::<f64>().unwrap())
+                    .fold(0.0, f64::max)
+            })
+            .collect();
+        for best in best_per_instance {
+            assert!(best > 0.0, "someone must dominate part of the union");
+        }
+    }
+}

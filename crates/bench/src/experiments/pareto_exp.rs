@@ -1,0 +1,67 @@
+//! PARETO: the paper's future-work item "tackle the problem with a
+//! multi-objective algorithm in order to find a set of non-dominated
+//! solutions" (§6), via the λ-scan archive of `cmags_cma::pareto`.
+
+use cmags_cma::pareto::pareto_front;
+use cmags_cma::CmaConfig;
+use cmags_etc::{braun, InstanceClass};
+
+use crate::args::Ctx;
+use crate::report::{fmt_value, Table};
+
+/// λ grid of the scan (dense around the paper's 0.75).
+pub const LAMBDAS: [f64; 7] = [0.0, 0.25, 0.5, 0.625, 0.75, 0.875, 1.0];
+
+/// Runs the λ-scan on one instance per consistency class and tabulates
+/// the merged fronts.
+#[must_use]
+pub fn pareto(ctx: &Ctx) -> Table {
+    let mut table = Table::new(
+        "Pareto front via lambda scan",
+        &["instance", "lambda", "makespan", "flowtime"],
+    );
+    for label in ["u_c_hihi.0", "u_i_hihi.0", "u_s_hihi.0"] {
+        let class: InstanceClass = label.parse().expect("static label");
+        let instance =
+            braun::generate(class.with_dims(ctx.nb_jobs, ctx.nb_machines), super::SUITE_STREAM);
+        let front =
+            pareto_front(&instance, &CmaConfig::paper(), ctx.stop, &LAMBDAS, ctx.seed);
+        assert!(front.is_consistent(), "archive invariant violated");
+        for point in front.points() {
+            table.push_row(vec![
+                label.to_owned(),
+                format!("{:.3}", point.lambda),
+                fmt_value(point.makespan),
+                fmt_value(point.flowtime),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_ctx;
+    use super::*;
+
+    #[test]
+    fn produces_consistent_fronts_per_instance() {
+        let ctx = test_ctx(48, 6, 1, 150);
+        let t = pareto(&ctx);
+        assert!(!t.rows.is_empty());
+        // Within each instance block, makespan ascends and flowtime
+        // descends (the 2-D non-domination invariant).
+        for label in ["u_c_hihi.0", "u_i_hihi.0", "u_s_hihi.0"] {
+            let rows: Vec<_> = t.rows.iter().filter(|r| r[0] == label).collect();
+            assert!(!rows.is_empty(), "{label} missing from table");
+            for w in rows.windows(2) {
+                let m0: f64 = w[0][2].parse().unwrap();
+                let m1: f64 = w[1][2].parse().unwrap();
+                let f0: f64 = w[0][3].parse().unwrap();
+                let f1: f64 = w[1][3].parse().unwrap();
+                assert!(m0 <= m1, "{label}: makespan must ascend");
+                assert!(f0 >= f1, "{label}: flowtime must descend");
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! §5.1 robustness study: "the standard deviation of the best makespan
+//! from the averaged makespan is very small (roughly 1%)".
+
+use cmags_cma::CmaConfig;
+
+use crate::args::Ctx;
+use crate::report::{fmt_value, Table};
+use crate::runner::{parallel_map, Algo, Summary};
+
+use super::suite_problems;
+
+/// Runs the cMA `ctx.runs` times on every suite instance and reports the
+/// spread of the achieved makespans.
+#[must_use]
+pub fn robustness(ctx: &Ctx) -> Table {
+    let problems = suite_problems(ctx);
+    let algo = Algo::Cma(CmaConfig::paper()).with_stop(ctx.stop);
+    let seeds = ctx.seeds();
+
+    let jobs: Vec<(usize, u64)> = (0..problems.len())
+        .flat_map(|i| seeds.iter().map(move |&s| (i, s)))
+        .collect();
+    let flat: Vec<(usize, f64)> =
+        parallel_map(jobs, ctx.threads, |(i, seed)| (i, algo.run(&problems[i], seed).makespan));
+
+    let mut table = Table::new(
+        "Robustness of cMA makespan",
+        &["Instance", "best", "mean", "std", "std/mean %"],
+    );
+    for (i, problem) in problems.iter().enumerate() {
+        let values: Vec<f64> =
+            flat.iter().filter(|(idx, _)| *idx == i).map(|(_, m)| *m).collect();
+        let summary = Summary::of(&values);
+        table.push_row(vec![
+            problem.name().to_owned(),
+            fmt_value(summary.best),
+            fmt_value(summary.mean),
+            fmt_value(summary.std),
+            format!("{:.2}", summary.cv_percent()),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_ctx;
+    use super::*;
+
+    #[test]
+    fn reports_spread_per_instance() {
+        let ctx = test_ctx(24, 4, 3, 100);
+        let t = robustness(&ctx);
+        assert_eq!(t.rows.len(), 12);
+        for row in &t.rows {
+            let best: f64 = row[1].parse().unwrap();
+            let mean: f64 = row[2].parse().unwrap();
+            let cv: f64 = row[4].parse().unwrap();
+            assert!(best <= mean + 1e-9, "best cannot exceed mean");
+            assert!(cv >= 0.0);
+        }
+    }
+}

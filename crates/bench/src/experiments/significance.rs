@@ -1,0 +1,88 @@
+//! SIGNIFICANCE: are the paper's Table 2/3 differences real?
+//!
+//! The paper compares *best-of-10* makespans, which cannot distinguish
+//! a genuine algorithmic advantage from lucky draws. This experiment
+//! repeats each cMA-vs-baseline comparison as a two-sample test over
+//! `runs` independent seeds per instance: Mann-Whitney U p-value plus
+//! the Vargha-Delaney Â₁₂ effect size (probability that a random cMA
+//! run beats a random baseline run; > 0.5 favours the cMA).
+
+use cmags_cma::CmaConfig;
+use cmags_ga::{BraunGa, SimulatedAnnealing, SteadyStateGa, StruggleGa, TabuSearch};
+
+use crate::args::Ctx;
+use crate::report::Table;
+use crate::runner::{parallel_map, Algo};
+use crate::stats::{a12_magnitude, mann_whitney_u, vargha_delaney_a12};
+
+/// The baselines the cMA is tested against.
+#[must_use]
+pub fn opponents() -> Vec<Algo> {
+    vec![
+        Algo::BraunGa(BraunGa::default()),
+        Algo::SteadyState(SteadyStateGa::default()),
+        Algo::Struggle(StruggleGa::default()),
+        Algo::Sa(SimulatedAnnealing::default()),
+        Algo::Tabu(TabuSearch::default()),
+    ]
+}
+
+/// Runs the significance analysis on one instance per consistency
+/// class (the full suite at paper budgets takes hours; classes share
+/// behaviour within the paper's own discussion).
+#[must_use]
+pub fn significance(ctx: &Ctx) -> Table {
+    let mut table = Table::new(
+        "Significance cma vs baselines",
+        &["instance", "opponent", "a12", "magnitude", "p_value", "significant_5pct"],
+    );
+    let problems = super::suite_problems(ctx);
+    let class_representatives: Vec<_> = problems
+        .iter()
+        .filter(|p| p.name().contains("hihi"))
+        .collect();
+
+    let cma = Algo::Cma(CmaConfig::paper()).with_stop(ctx.stop);
+    for problem in class_representatives {
+        let seeds: Vec<u64> = (0..ctx.runs as u64).map(|r| ctx.seed + r).collect();
+        let cma_makespans: Vec<f64> =
+            parallel_map(seeds.clone(), ctx.threads, |seed| cma.run(problem, seed).makespan);
+        for opponent in opponents() {
+            let opponent = opponent.with_stop(ctx.stop);
+            let opponent_makespans: Vec<f64> = parallel_map(seeds.clone(), ctx.threads, |seed| {
+                opponent.run(problem, seed).makespan
+            });
+            let a12 = vargha_delaney_a12(&cma_makespans, &opponent_makespans);
+            let test = mann_whitney_u(&cma_makespans, &opponent_makespans);
+            table.push_row(vec![
+                problem.name().to_owned(),
+                opponent.name(),
+                format!("{a12:.3}"),
+                a12_magnitude(a12).to_owned(),
+                format!("{:.4}", test.p_two_sided),
+                if test.significant(0.05) { "yes" } else { "no" }.to_owned(),
+            ]);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_ctx;
+    use super::*;
+
+    #[test]
+    fn covers_three_classes_times_five_opponents() {
+        let ctx = test_ctx(24, 3, 4, 60);
+        let t = significance(&ctx);
+        assert_eq!(t.rows.len(), 3 * opponents().len());
+        for row in &t.rows {
+            let a12: f64 = row[2].parse().unwrap();
+            assert!((0.0..=1.0).contains(&a12));
+            let p: f64 = row[4].parse().unwrap();
+            assert!((0.0..=1.0).contains(&p));
+            assert!(row[5] == "yes" || row[5] == "no");
+        }
+    }
+}

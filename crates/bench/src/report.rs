@@ -1,0 +1,181 @@
+//! Markdown/CSV result tables.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A rectangular result table with a title and column headers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table title (used as Markdown heading and file stem).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each must have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|&h| h.to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width mismatches the headers.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in {:?}", self.title);
+        self.rows.push(cells);
+    }
+
+    /// Renders GitHub-flavoured Markdown.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Renders CSV (RFC-4180-lite: quotes cells containing commas).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes `<stem>.md` and `<stem>.csv` under `dir` (created if
+    /// needed); the stem is the lowercased title with spaces replaced.
+    pub fn write_to(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let stem: String = self
+            .title
+            .to_lowercase()
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect();
+        fs::write(dir.join(format!("{stem}.md")), self.to_markdown())?;
+        fs::write(dir.join(format!("{stem}.csv")), self.to_csv())?;
+        Ok(())
+    }
+}
+
+/// Prints tables to stdout (unless `--quiet`) and writes them under the
+/// context's output directory. The shared tail of every experiment
+/// binary.
+pub fn emit(ctx: &crate::args::Ctx, tables: &[Table]) {
+    for table in tables {
+        if !ctx.quiet {
+            println!("{}", table.to_markdown());
+        }
+        if let Err(e) = table.write_to(&ctx.out_dir) {
+            eprintln!("warning: could not write {:?}: {e}", table.title);
+        }
+    }
+    if !ctx.quiet {
+        println!("(artifacts written to {})", ctx.out_dir.display());
+    }
+}
+
+/// Formats a time-unit value the way the paper prints them (3 decimals
+/// under a million, otherwise thousands separators are skipped and one
+/// decimal used).
+#[must_use]
+pub fn fmt_value(v: f64) -> String {
+    if !v.is_finite() {
+        return "—".to_owned();
+    }
+    if v.abs() >= 1e6 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1e3 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats a percentage with two decimals and explicit sign.
+#[must_use]
+pub fn fmt_percent(v: f64) -> String {
+    format!("{v:+.2}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Demo Table", &["a", "b"]);
+        t.push_row(vec!["1".into(), "x,y".into()]);
+        t.push_row(vec!["2".into(), "plain".into()]);
+        t
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("### Demo Table"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | x,y |"));
+        assert_eq!(md.lines().count(), 6);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let csv = sample().to_csv();
+        assert!(csv.contains("1,\"x,y\""));
+        assert!(csv.lines().count() == 3);
+    }
+
+    #[test]
+    fn write_creates_both_files() {
+        let dir = std::env::temp_dir().join("cmags-bench-report-test");
+        let _ = fs::remove_dir_all(&dir);
+        sample().write_to(&dir).unwrap();
+        assert!(dir.join("demo_table.md").exists());
+        assert!(dir.join("demo_table.csv").exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(fmt_value(7_700_929.751), "7700929.8");
+        assert_eq!(fmt_value(5218.18), "5218.18");
+        assert_eq!(fmt_value(42.5), "42.500");
+        assert_eq!(fmt_value(f64::NAN), "—");
+        assert_eq!(fmt_percent(4.349), "+4.35%");
+        assert_eq!(fmt_percent(-2.6), "-2.60%");
+    }
+}

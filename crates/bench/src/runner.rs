@@ -1,0 +1,276 @@
+//! Run orchestration: a uniform algorithm handle, parallel fan-out and
+//! summary statistics.
+
+use cmags_cma::{CmaConfig, StopCondition, TracePoint};
+use cmags_core::{evaluate, Problem};
+use cmags_ga::{
+    BraunGa, GeneticSimulatedAnnealing, PanmicticMa, SimulatedAnnealing, SteadyStateGa,
+    StruggleGa, TabuSearch,
+};
+use cmags_heuristics::constructive::ConstructiveKind;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A uniform view of one finished run, whatever the algorithm.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Best makespan found.
+    pub makespan: f64,
+    /// Best flowtime found.
+    pub flowtime: f64,
+    /// Best fitness under the algorithm's own weights.
+    pub fitness: f64,
+    /// Wall-clock seconds.
+    pub elapsed_s: f64,
+    /// Best-so-far trace.
+    pub trace: Vec<TracePoint>,
+}
+
+/// The algorithms the tables compare, as a uniform handle.
+#[derive(Debug, Clone)]
+pub enum Algo {
+    /// The paper's cellular memetic algorithm.
+    Cma(CmaConfig),
+    /// Braun et al.'s generational GA.
+    BraunGa(BraunGa),
+    /// Carretero & Xhafa-style steady-state GA.
+    SteadyState(SteadyStateGa),
+    /// Xhafa's Struggle GA.
+    Struggle(StruggleGa),
+    /// Unstructured MA (ablation).
+    Panmictic(PanmicticMa),
+    /// Simulated Annealing (Braun et al.'s classic line-up).
+    Sa(SimulatedAnnealing),
+    /// Tabu Search (Braun et al.'s classic line-up).
+    Tabu(TabuSearch),
+    /// Genetic Simulated Annealing (Braun et al.'s classic line-up).
+    Gsa(GeneticSimulatedAnnealing),
+    /// A one-shot constructive heuristic (budget ignored).
+    Heuristic(ConstructiveKind),
+}
+
+impl Algo {
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            Algo::Cma(_) => "cMA".to_owned(),
+            Algo::BraunGa(_) => "Braun GA".to_owned(),
+            Algo::SteadyState(_) => "SS-GA".to_owned(),
+            Algo::Struggle(_) => "Struggle GA".to_owned(),
+            Algo::Panmictic(_) => "Panmictic MA".to_owned(),
+            Algo::Sa(_) => "SA".to_owned(),
+            Algo::Tabu(_) => "Tabu".to_owned(),
+            Algo::Gsa(_) => "GSA".to_owned(),
+            Algo::Heuristic(kind) => kind.name().to_owned(),
+        }
+    }
+
+    /// Applies a stopping condition (no-op for constructive heuristics).
+    #[must_use]
+    pub fn with_stop(self, stop: StopCondition) -> Self {
+        match self {
+            Algo::Cma(c) => Algo::Cma(c.with_stop(stop)),
+            Algo::BraunGa(g) => Algo::BraunGa(g.with_stop(stop)),
+            Algo::SteadyState(g) => Algo::SteadyState(g.with_stop(stop)),
+            Algo::Struggle(g) => Algo::Struggle(g.with_stop(stop)),
+            Algo::Panmictic(g) => Algo::Panmictic(g.with_stop(stop)),
+            Algo::Sa(s) => Algo::Sa(s.with_stop(stop)),
+            Algo::Tabu(t) => Algo::Tabu(t.with_stop(stop)),
+            Algo::Gsa(g) => Algo::Gsa(g.with_stop(stop)),
+            Algo::Heuristic(k) => Algo::Heuristic(k),
+        }
+    }
+
+    /// Runs on `problem` with `seed`.
+    #[must_use]
+    pub fn run(&self, problem: &Problem, seed: u64) -> RunResult {
+        match self {
+            Algo::Cma(config) => {
+                let o = config.run(problem, seed);
+                RunResult {
+                    makespan: o.objectives.makespan,
+                    flowtime: o.objectives.flowtime,
+                    fitness: o.fitness,
+                    elapsed_s: o.elapsed.as_secs_f64(),
+                    trace: o.trace,
+                }
+            }
+            Algo::BraunGa(ga) => from_ga(ga.run(problem, seed)),
+            Algo::SteadyState(ga) => from_ga(ga.run(problem, seed)),
+            Algo::Struggle(ga) => from_ga(ga.run(problem, seed)),
+            Algo::Panmictic(ma) => from_ga(ma.run(problem, seed)),
+            Algo::Sa(sa) => from_ga(sa.run(problem, seed)),
+            Algo::Tabu(tabu) => from_ga(tabu.run(problem, seed)),
+            Algo::Gsa(gsa) => from_ga(gsa.run(problem, seed)),
+            Algo::Heuristic(kind) => {
+                let started = std::time::Instant::now();
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let schedule = kind.build_seeded(problem, &mut rng);
+                let objectives = evaluate(problem, &schedule);
+                RunResult {
+                    makespan: objectives.makespan,
+                    flowtime: objectives.flowtime,
+                    fitness: problem.fitness(objectives),
+                    elapsed_s: started.elapsed().as_secs_f64(),
+                    trace: Vec::new(),
+                }
+            }
+        }
+    }
+}
+
+fn from_ga(o: cmags_ga::GaOutcome) -> RunResult {
+    RunResult {
+        makespan: o.objectives.makespan,
+        flowtime: o.objectives.flowtime,
+        fitness: o.fitness,
+        elapsed_s: o.elapsed.as_secs_f64(),
+        trace: o.trace,
+    }
+}
+
+/// Summary statistics over repeated runs of one metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Minimum (the paper reports best-of-10).
+    pub best: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+impl Summary {
+    /// Computes best/mean/std of `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "summary of no runs");
+        let n = values.len() as f64;
+        let best = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        Self { best, mean, std: var.sqrt() }
+    }
+
+    /// `std / mean` in percent (the paper's §5.1 robustness metric).
+    #[must_use]
+    pub fn cv_percent(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std / self.mean * 100.0
+        }
+    }
+}
+
+/// Runs `f` over `items` on up to `threads` workers, preserving order.
+///
+/// Block partitioning over crossbeam scoped threads; items must be
+/// independent. Used to fan (instance × algorithm × seed) jobs out.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    assert!(threads > 0);
+    if threads == 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    // Pair each item with its destination slot, then split by chunks.
+    let mut work: Vec<(T, &mut Option<R>)> = items.into_iter().zip(slots.iter_mut()).collect();
+    crossbeam::thread::scope(|scope| {
+        while !work.is_empty() {
+            let batch: Vec<(T, &mut Option<R>)> =
+                work.drain(..chunk.min(work.len())).collect();
+            let f = &f;
+            scope.spawn(move |_| {
+                for (item, slot) in batch {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("parallel_map worker panicked");
+    slots.into_iter().map(|s| s.expect("slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmags_etc::braun;
+
+    fn problem() -> Problem {
+        let class: cmags_etc::InstanceClass = "u_c_hihi.0".parse().unwrap();
+        Problem::from_instance(&braun::generate(class.with_dims(48, 6), 0))
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = Summary::of(&[4.0, 6.0, 8.0]);
+        assert_eq!(s.best, 4.0);
+        assert_eq!(s.mean, 6.0);
+        assert!((s.std - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!(s.cv_percent() > 0.0);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..37).collect();
+        let doubled = parallel_map(items.clone(), 4, |x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_single_thread_path() {
+        assert_eq!(parallel_map(vec![1, 2, 3], 1, |x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn every_algo_runs_uniformly() {
+        let p = problem();
+        let stop = StopCondition::children(60);
+        let algos = vec![
+            Algo::Cma(CmaConfig::paper()),
+            Algo::BraunGa(BraunGa { population_size: 12, ..BraunGa::default() }),
+            Algo::SteadyState(SteadyStateGa { population_size: 12, ..SteadyStateGa::default() }),
+            Algo::Struggle(StruggleGa { population_size: 12, ..StruggleGa::default() }),
+            Algo::Panmictic(PanmicticMa { population_size: 12, ..PanmicticMa::default() }),
+            Algo::Sa(SimulatedAnnealing::default()),
+            Algo::Tabu(TabuSearch::default()),
+            Algo::Gsa(GeneticSimulatedAnnealing {
+                population_size: 12,
+                ..GeneticSimulatedAnnealing::default()
+            }),
+            Algo::Heuristic(ConstructiveKind::MinMin),
+        ];
+        for algo in algos {
+            let result = algo.clone().with_stop(stop).run(&p, 1);
+            assert!(result.makespan > 0.0, "{}", algo.name());
+            assert!(result.flowtime >= result.makespan, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn algo_runs_deterministically_across_threads() {
+        let p = problem();
+        let algo = Algo::Cma(CmaConfig::paper()).with_stop(StopCondition::children(50));
+        let jobs: Vec<u64> = vec![5, 5, 5, 5];
+        let results = parallel_map(jobs, 4, |seed| algo.run(&p, seed).makespan);
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "summary of no runs")]
+    fn empty_summary_panics() {
+        let _ = Summary::of(&[]);
+    }
+}

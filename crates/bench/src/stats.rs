@@ -1,0 +1,255 @@
+//! Nonparametric statistics for algorithm comparison.
+//!
+//! The paper reports best-of-10 values and a ≈1 % standard deviation as
+//! its robustness argument (§5.1). A credible reproduction should also
+//! say whether observed differences between algorithms are larger than
+//! run-to-run noise, so this module implements the two tools standard
+//! in metaheuristics methodology:
+//!
+//! * the **Mann-Whitney U test** (a.k.a. Wilcoxon rank-sum), with
+//!   mid-rank tie handling, tie-corrected normal approximation and
+//!   continuity correction — the distribution-free two-sample test;
+//! * the **Vargha-Delaney Â₁₂ effect size** — the probability that a
+//!   random run of A beats a random run of B (0.5 = no effect; the
+//!   conventional thresholds are 0.56 / 0.64 / 0.71 for
+//!   small / medium / large).
+//!
+//! Everything is hand-rolled on purpose: no statistics crate is in the
+//! approved dependency set, and both procedures are a page of code.
+
+/// Result of a two-sample Mann-Whitney U test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MannWhitney {
+    /// The U statistic of the first sample.
+    pub u: f64,
+    /// Standard-normal z value (tie-corrected, continuity-corrected).
+    pub z: f64,
+    /// Two-sided p-value from the normal approximation. Conservative
+    /// (1.0) for degenerate inputs (all values tied).
+    pub p_two_sided: f64,
+}
+
+impl MannWhitney {
+    /// Whether the difference is significant at level `alpha`.
+    #[must_use]
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_two_sided < alpha
+    }
+}
+
+/// Runs the Mann-Whitney U test on two samples.
+///
+/// Uses mid-ranks for ties, the tie-corrected variance and a 0.5
+/// continuity correction; the normal approximation is accurate for
+/// sample sizes ≥ 8, which every harness run satisfies (and remains a
+/// sane, conservative estimate below that).
+///
+/// # Panics
+///
+/// Panics if either sample is empty or contains NaN.
+#[must_use]
+pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> MannWhitney {
+    assert!(!a.is_empty() && !b.is_empty(), "mann-whitney needs non-empty samples");
+    assert!(
+        a.iter().chain(b).all(|v| !v.is_nan()),
+        "mann-whitney samples must not contain NaN"
+    );
+    let na = a.len() as f64;
+    let nb = b.len() as f64;
+    let n = na + nb;
+
+    // Joint mid-ranks.
+    let mut joint: Vec<(f64, usize)> = a
+        .iter()
+        .map(|&v| (v, 0usize))
+        .chain(b.iter().map(|&v| (v, 1usize)))
+        .collect();
+    joint.sort_by(|x, y| x.0.total_cmp(&y.0));
+    let mut rank_sum_a = 0.0f64;
+    let mut tie_term = 0.0f64; // Σ (t³ - t) over tie groups
+    let mut i = 0;
+    while i < joint.len() {
+        let mut j = i;
+        while j < joint.len() && joint[j].0 == joint[i].0 {
+            j += 1;
+        }
+        let group = (j - i) as f64;
+        // Mid-rank of the tie group [i, j): average of 1-based ranks.
+        let mid_rank = (i + 1 + j) as f64 / 2.0;
+        for entry in &joint[i..j] {
+            if entry.1 == 0 {
+                rank_sum_a += mid_rank;
+            }
+        }
+        tie_term += group * group * group - group;
+        i = j;
+    }
+
+    let u_a = rank_sum_a - na * (na + 1.0) / 2.0;
+    let mean_u = na * nb / 2.0;
+    let variance = na * nb / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+    if variance <= 0.0 {
+        // Every observation tied: no evidence of any difference.
+        return MannWhitney { u: u_a, z: 0.0, p_two_sided: 1.0 };
+    }
+    // Continuity correction toward the mean.
+    let diff = u_a - mean_u;
+    let corrected = diff.abs() - 0.5;
+    let z = if corrected <= 0.0 { 0.0 } else { corrected / variance.sqrt() * diff.signum() };
+    let p = (2.0 * normal_sf(z.abs())).min(1.0);
+    MannWhitney { u: u_a, z, p_two_sided: p }
+}
+
+/// Vargha-Delaney Â₁₂: the probability that a random value of `a` is
+/// **smaller** than a random value of `b` (ties count half). For
+/// minimisation objectives, Â₁₂ > 0.5 means `a` tends to win.
+///
+/// # Panics
+///
+/// Panics if either sample is empty.
+#[must_use]
+pub fn vargha_delaney_a12(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "A12 needs non-empty samples");
+    let mut favourable = 0.0f64;
+    for &x in a {
+        for &y in b {
+            if x < y {
+                favourable += 1.0;
+            } else if x == y {
+                favourable += 0.5;
+            }
+        }
+    }
+    favourable / (a.len() * b.len()) as f64
+}
+
+/// Magnitude label for an Â₁₂ effect size (Vargha & Delaney's
+/// conventional thresholds on `|A12 - 0.5|`).
+#[must_use]
+pub fn a12_magnitude(a12: f64) -> &'static str {
+    let d = (a12 - 0.5).abs();
+    if d < 0.06 {
+        "negligible"
+    } else if d < 0.14 {
+        "small"
+    } else if d < 0.21 {
+        "medium"
+    } else {
+        "large"
+    }
+}
+
+/// Standard normal survival function `P(Z > z)` via the Abramowitz &
+/// Stegun 7.1.26 erf polynomial (|error| < 1.5e-7, far below the
+/// precision any p-value here needs).
+#[must_use]
+pub fn normal_sf(z: f64) -> f64 {
+    0.5 * erfc(z / std::f64::consts::SQRT_2)
+}
+
+fn erfc(x: f64) -> f64 {
+    let sign_flip = x < 0.0;
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let erfc = poly * (-x * x).exp();
+    if sign_flip {
+        2.0 - erfc
+    } else {
+        erfc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_sf_known_values() {
+        assert!((normal_sf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_sf(1.959_964) - 0.025).abs() < 1e-4);
+        assert!((normal_sf(-1.959_964) - 0.975).abs() < 1e-4);
+        assert!(normal_sf(6.0) < 1e-8);
+    }
+
+    #[test]
+    fn u_statistic_on_textbook_example() {
+        // Complete separation: every a below every b.
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0, 12.0, 13.0];
+        let r = mann_whitney_u(&a, &b);
+        assert_eq!(r.u, 0.0, "no b value below any a value");
+        // Symmetric case.
+        let r2 = mann_whitney_u(&b, &a);
+        assert_eq!(r2.u, 12.0, "U_b = n_a * n_b - U_a");
+        assert!((r.p_two_sided - r2.p_two_sided).abs() < 1e-12, "two-sided is symmetric");
+    }
+
+    #[test]
+    fn identical_samples_are_not_significant() {
+        let a = [5.0, 5.0, 5.0, 5.0];
+        let r = mann_whitney_u(&a, &a);
+        assert_eq!(r.p_two_sided, 1.0);
+        assert!(!r.significant(0.05));
+    }
+
+    #[test]
+    fn clearly_shifted_samples_are_significant() {
+        let a: Vec<f64> = (0..12).map(|i| 10.0 + f64::from(i)).collect();
+        let b: Vec<f64> = (0..12).map(|i| 100.0 + f64::from(i)).collect();
+        let r = mann_whitney_u(&a, &b);
+        assert!(r.significant(0.01), "p = {}", r.p_two_sided);
+        assert!(r.z < 0.0, "a ranks below b");
+    }
+
+    #[test]
+    fn overlapping_samples_are_not_significant() {
+        let a = [10.0, 12.0, 11.0, 13.0, 12.5, 11.5];
+        let b = [10.5, 12.2, 11.1, 12.9, 12.4, 11.6];
+        let r = mann_whitney_u(&a, &b);
+        assert!(!r.significant(0.05), "p = {}", r.p_two_sided);
+    }
+
+    #[test]
+    fn ties_use_mid_ranks() {
+        // With heavy ties the statistic must stay finite and symmetric.
+        let a = [1.0, 2.0, 2.0, 3.0];
+        let b = [2.0, 2.0, 3.0, 4.0];
+        let r_ab = mann_whitney_u(&a, &b);
+        let r_ba = mann_whitney_u(&b, &a);
+        assert!((r_ab.u + r_ba.u - 16.0).abs() < 1e-12, "U_a + U_b = n_a·n_b");
+        assert!(r_ab.p_two_sided > 0.0 && r_ab.p_two_sided <= 1.0);
+    }
+
+    #[test]
+    fn a12_probability_interpretation() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0];
+        assert_eq!(vargha_delaney_a12(&a, &b), 1.0, "a always smaller");
+        assert_eq!(vargha_delaney_a12(&b, &a), 0.0);
+        assert_eq!(vargha_delaney_a12(&a, &a), 0.5, "ties count half");
+    }
+
+    #[test]
+    fn a12_magnitude_thresholds() {
+        assert_eq!(a12_magnitude(0.5), "negligible");
+        assert_eq!(a12_magnitude(0.58), "small");
+        assert_eq!(a12_magnitude(0.66), "medium");
+        assert_eq!(a12_magnitude(0.95), "large");
+        assert_eq!(a12_magnitude(0.05), "large", "symmetric below 0.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty samples")]
+    fn empty_sample_rejected() {
+        let _ = mann_whitney_u(&[], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not contain NaN")]
+    fn nan_rejected() {
+        let _ = mann_whitney_u(&[f64::NAN], &[1.0]);
+    }
+}

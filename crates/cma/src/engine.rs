@@ -1,0 +1,514 @@
+//! The cMA engine — a faithful implementation of the paper's Algorithm 1.
+//!
+//! ```text
+//! Initialize the mesh of n individuals P(t=0);
+//! Initialize permutations rec_order and mut_order;
+//! For each i ∈ P, LocalSearch(i); Evaluate(P);
+//! while not stopping condition do
+//!     for j = 1 … #recombinations do
+//!         SelectToRecombine S ⊆ N_P[rec_order.current];
+//!         i' = Recombine(S);
+//!         LocalSearch(i'); Evaluate(i');
+//!         Replace P[rec_order.current] by i' (if better);
+//!         rec_order.next();
+//!     for j = 1 … #mutations do
+//!         i = P[mut_order.current()];
+//!         i' = Mutate(i);
+//!         LocalSearch(i'); Evaluate(i');
+//!         Replace P[mut_order.current] by i' (if better);
+//!         mut_order.next();
+//!     Update rec_order and mut_order;
+//! ```
+//!
+//! Two template details deserve a note (`DESIGN.md` §2): the paper's
+//! pseudo-code writes `Replace P[rec_order.current]` inside the *mutation*
+//! loop and advances `rec_order` there; we treat both as typos for
+//! `mut_order` — mutating cell X and replacing cell Y would make the
+//! mutation pass incoherent. And `SelectToRecombine` returns
+//! `nb_to_recombine` tournament winners, of which the **two fittest** feed
+//! the (binary) one-point recombination.
+
+use std::time::{Duration, Instant};
+
+use cmags_core::{EvalState, Objectives, Problem, Schedule};
+use cmags_heuristics::perturb;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::config::{CmaConfig, UpdatePolicy};
+use crate::diversity::{self, DiversityPoint};
+use crate::topology::Torus;
+use crate::trace::TracePoint;
+
+/// One cell of the population: a schedule with its evaluation caches.
+#[derive(Debug, Clone)]
+pub struct Individual {
+    /// The chromosome.
+    pub schedule: Schedule,
+    /// Incremental evaluator, kept in lockstep with `schedule`.
+    pub eval: EvalState,
+    /// Cached scalarised fitness (lower is better).
+    pub fitness: f64,
+}
+
+impl Individual {
+    /// Evaluates `schedule` from scratch.
+    #[must_use]
+    pub fn new(problem: &Problem, schedule: Schedule) -> Self {
+        let eval = EvalState::new(problem, &schedule);
+        let fitness = eval.fitness(problem);
+        Self { schedule, eval, fitness }
+    }
+
+    /// Re-derives the cached fitness from the evaluator (after in-place
+    /// mutation or local search).
+    pub fn refresh_fitness(&mut self, problem: &Problem) {
+        self.fitness = self.eval.fitness(problem);
+    }
+
+    /// The objective pair of this individual.
+    #[must_use]
+    pub fn objectives(&self) -> Objectives {
+        self.eval.objectives()
+    }
+}
+
+/// Result of one cMA run.
+#[derive(Debug, Clone)]
+pub struct CmaOutcome {
+    /// Best schedule found.
+    pub schedule: Schedule,
+    /// Its objective values.
+    pub objectives: Objectives,
+    /// Its scalarised fitness.
+    pub fitness: f64,
+    /// Outer iterations completed.
+    pub iterations: u64,
+    /// Children generated (operator applications).
+    pub children: u64,
+    /// Children that replaced their cell.
+    pub accepted: u64,
+    /// Local-search steps that improved an offspring.
+    pub ls_improvements: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Best-so-far samples (one per improvement + start and end).
+    pub trace: Vec<TracePoint>,
+    /// Per-iteration population diversity samples (assignment entropy +
+    /// fitness spread) — the observable behind the paper's claim that
+    /// cellular populations sustain diversity.
+    pub diversity: Vec<DiversityPoint>,
+}
+
+/// Internal run state.
+struct Run<'a> {
+    problem: &'a Problem,
+    config: &'a CmaConfig,
+    population: Vec<Individual>,
+    torus: Torus,
+    rng: SmallRng,
+    start: Instant,
+    seed: u64,
+    iterations: u64,
+    children: u64,
+    accepted: u64,
+    ls_improvements: u64,
+    best: Individual,
+    trace: Vec<TracePoint>,
+    diversity: Vec<DiversityPoint>,
+    /// Scratch buffers, reused across operator applications.
+    neighbors: Vec<usize>,
+    parents: Vec<usize>,
+    /// Pending replacements for the synchronous ablation.
+    pending: Vec<Option<Individual>>,
+}
+
+/// Runs the configured cMA on `problem` with RNG `seed`.
+///
+/// # Panics
+///
+/// Panics on structurally invalid configurations (see
+/// [`CmaConfig::validate`]).
+#[must_use]
+pub fn run(config: &CmaConfig, problem: &Problem, seed: u64) -> CmaOutcome {
+    config.validate();
+    let start = Instant::now();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let torus = Torus::new(config.pop_height, config.pop_width);
+
+    // --- Initialize the mesh of n individuals P(t=0). ---
+    // Individual 0 comes from the seeding heuristic; the rest are large
+    // perturbations of it (paper §3.2).
+    let seed_schedule = config.seeding.build_seeded(problem, &mut rng);
+    let mut population = Vec::with_capacity(torus.len());
+    population.push(Individual::new(problem, seed_schedule.clone()));
+    for _ in 1..torus.len() {
+        let perturbed = perturb(problem, &seed_schedule, config.perturb_strength, &mut rng);
+        population.push(Individual::new(problem, perturbed));
+    }
+
+    // --- For each i ∈ P, LocalSearch(i); Evaluate(P). ---
+    let mut ls_improvements = 0u64;
+    for individual in &mut population {
+        ls_improvements += config.local_search.run(
+            problem,
+            &mut individual.schedule,
+            &mut individual.eval,
+            &mut rng,
+            config.ls_iterations,
+        ) as u64;
+        individual.refresh_fitness(problem);
+    }
+
+    let best = best_of_population(&population).clone();
+    let mut run = Run {
+        problem,
+        config,
+        torus,
+        rng,
+        start,
+        seed,
+        iterations: 0,
+        children: 0,
+        accepted: 0,
+        ls_improvements,
+        trace: vec![TracePoint::new(
+            start.elapsed(),
+            0,
+            0,
+            best.eval.makespan(),
+            best.eval.flowtime(),
+            best.fitness,
+        )],
+        best,
+        diversity: Vec::new(),
+        neighbors: Vec::new(),
+        parents: Vec::new(),
+        pending: vec![None; population.len()],
+        population,
+    };
+    run.sample_diversity();
+
+    // --- Initialize permutations rec_order and mut_order. ---
+    let mut rec_order =
+        crate::sweep::SweepState::new(config.rec_order, run.torus.len(), &mut run.rng);
+    let mut mut_order =
+        crate::sweep::SweepState::new(config.mut_order, run.torus.len(), &mut run.rng);
+
+    // --- Main loop. ---
+    'outer: loop {
+        // Recombination pass.
+        for _ in 0..config.nb_recombinations {
+            if run.should_stop() {
+                break 'outer;
+            }
+            let cell = rec_order.next_cell(&mut run.rng);
+            run.recombination_step(cell);
+        }
+        run.commit_pending();
+
+        // Mutation pass.
+        for _ in 0..config.nb_mutations {
+            if run.should_stop() {
+                break 'outer;
+            }
+            let cell = mut_order.next_cell(&mut run.rng);
+            run.mutation_step(cell);
+        }
+        run.commit_pending();
+
+        run.iterations += 1;
+        run.sample_diversity();
+        // ("Update rec_order and mut_order" happens inside SweepState at
+        // sweep boundaries.)
+    }
+
+    run.finish()
+}
+
+impl Run<'_> {
+    fn should_stop(&self) -> bool {
+        self.config.stop.should_stop(
+            self.start.elapsed(),
+            self.iterations,
+            self.children,
+            self.best.fitness,
+        )
+    }
+
+    /// `SelectToRecombine S ⊆ N_P[cell]; i' = Recombine(S); LocalSearch;
+    /// Evaluate; Replace if better.`
+    fn recombination_step(&mut self, cell: usize) {
+        self.config.neighborhood.collect(self.torus, cell, &mut self.neighbors);
+
+        // nb_to_recombine tournament winners from the neighbourhood...
+        // (explicit field borrows keep population reads disjoint from the
+        // RNG and scratch buffers)
+        {
+            let population = &self.population;
+            let fitness = |i: usize| population[i].fitness;
+            self.config.selection.select_many(
+                &self.neighbors,
+                &fitness,
+                &mut self.rng,
+                self.config.nb_to_recombine,
+                &mut self.parents,
+            );
+        }
+        // ...of which the two fittest recombine.
+        let population = &self.population;
+        let (first, second) = two_fittest(&self.parents, &|i: usize| population[i].fitness);
+        let child_schedule = self.config.crossover.apply(
+            &self.population[first].schedule,
+            &self.population[second].schedule,
+            &mut self.rng,
+        );
+
+        let mut child = Individual::new(self.problem, child_schedule);
+        self.improve(&mut child);
+        self.offer(cell, child);
+    }
+
+    /// `i' = Mutate(P[cell]); LocalSearch; Evaluate; Replace if better.`
+    fn mutation_step(&mut self, cell: usize) {
+        let mut child = self.population[cell].clone();
+        self.config.mutation.apply(
+            self.problem,
+            &mut child.schedule,
+            &mut child.eval,
+            &mut self.rng,
+        );
+        child.refresh_fitness(self.problem);
+        self.improve(&mut child);
+        self.offer(cell, child);
+    }
+
+    /// Bounded local search + fitness refresh.
+    fn improve(&mut self, child: &mut Individual) {
+        self.ls_improvements += self.config.local_search.run(
+            self.problem,
+            &mut child.schedule,
+            &mut child.eval,
+            &mut self.rng,
+            self.config.ls_iterations,
+        ) as u64;
+        child.refresh_fitness(self.problem);
+    }
+
+    /// Replacement: strict improvement only (`add_only_if_better`), or
+    /// unconditional when the ablation flag clears it.
+    fn offer(&mut self, cell: usize, child: Individual) {
+        self.children += 1;
+        let better = child.fitness < self.population[cell].fitness;
+        if better || !self.config.add_only_if_better {
+            if child.fitness < self.best.fitness {
+                self.best = child.clone();
+                self.record_trace_point();
+            }
+            match self.config.update_policy {
+                UpdatePolicy::Asynchronous => self.population[cell] = child,
+                UpdatePolicy::Synchronous => {
+                    // Last writer per cell wins within a pass.
+                    self.pending[cell] = Some(child);
+                }
+            }
+            if better {
+                self.accepted += 1;
+            }
+        }
+    }
+
+    /// Applies buffered replacements (synchronous mode only).
+    fn commit_pending(&mut self) {
+        if self.config.update_policy == UpdatePolicy::Synchronous {
+            for (cell, slot) in self.pending.iter_mut().enumerate() {
+                if let Some(child) = slot.take() {
+                    self.population[cell] = child;
+                }
+            }
+        }
+    }
+
+    /// Samples population diversity (cheap entropy estimator) once per
+    /// outer iteration.
+    fn sample_diversity(&mut self) {
+        if self.problem.nb_machines() < 2 {
+            return;
+        }
+        let schedules: Vec<&cmags_core::Schedule> =
+            self.population.iter().map(|i| &i.schedule).collect();
+        let fitness: Vec<f64> = self.population.iter().map(|i| i.fitness).collect();
+        self.diversity.push(DiversityPoint {
+            iteration: self.iterations,
+            entropy: diversity::assignment_entropy(&schedules, self.problem.nb_machines()),
+            fitness_spread: diversity::fitness_spread(&fitness),
+        });
+    }
+
+    fn record_trace_point(&mut self) {
+        self.trace.push(TracePoint::new(
+            self.start.elapsed(),
+            self.iterations,
+            self.children,
+            self.best.eval.makespan(),
+            self.best.eval.flowtime(),
+            self.best.fitness,
+        ));
+    }
+
+    fn finish(mut self) -> CmaOutcome {
+        self.record_trace_point();
+        CmaOutcome {
+            objectives: self.best.objectives(),
+            fitness: self.best.fitness,
+            schedule: self.best.schedule,
+            iterations: self.iterations,
+            children: self.children,
+            accepted: self.accepted,
+            ls_improvements: self.ls_improvements,
+            elapsed: self.start.elapsed(),
+            seed: self.seed,
+            trace: self.trace,
+            diversity: self.diversity,
+        }
+    }
+}
+
+/// The fittest individual of a population slice.
+fn best_of_population(population: &[Individual]) -> &Individual {
+    population
+        .iter()
+        .min_by(|a, b| a.fitness.total_cmp(&b.fitness))
+        .expect("population is never empty")
+}
+
+/// Indices of the two fittest entries of `parents` (which may repeat when
+/// selection returned duplicates — harmless: crossover of identical
+/// parents reproduces the parent).
+fn two_fittest(parents: &[usize], fitness: &dyn Fn(usize) -> f64) -> (usize, usize) {
+    debug_assert!(parents.len() >= 2);
+    let mut sorted: Vec<usize> = parents.to_vec();
+    sorted.sort_by(|&a, &b| fitness(a).total_cmp(&fitness(b)));
+    (sorted[0], sorted[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StopCondition;
+    use cmags_etc::braun;
+
+    fn problem() -> Problem {
+        let class: cmags_etc::InstanceClass = "u_c_hihi.0".parse().unwrap();
+        Problem::from_instance(&braun::generate(class.with_dims(128, 8), 0))
+    }
+
+    fn quick_config() -> CmaConfig {
+        CmaConfig::paper().with_stop(StopCondition::iterations(4))
+    }
+
+    #[test]
+    fn runs_and_reports_consistent_counters() {
+        let p = problem();
+        let outcome = quick_config().run(&p, 7);
+        assert_eq!(outcome.iterations, 4);
+        // 4 iterations x (25 + 12) children.
+        assert_eq!(outcome.children, 4 * 37);
+        assert!(outcome.accepted <= outcome.children);
+        assert!(outcome.trace.len() >= 2);
+        assert!(outcome.objectives.makespan > 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_iteration_budget() {
+        let p = problem();
+        let a = quick_config().run(&p, 99);
+        let b = quick_config().run(&p, 99);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.objectives, b.objectives);
+        assert_eq!(a.children, b.children);
+        let c = quick_config().run(&p, 100);
+        // Different seeds explore differently (overwhelmingly likely).
+        assert_ne!(a.schedule, c.schedule);
+    }
+
+    #[test]
+    fn improves_over_its_own_seed_heuristic() {
+        let p = problem();
+        use cmags_heuristics::constructive::{Constructive, LjfrSjfr};
+        let seed_fitness = Individual::new(&p, LjfrSjfr.build(&p)).fitness;
+        let outcome =
+            CmaConfig::paper().with_stop(StopCondition::iterations(10)).run(&p, 3);
+        assert!(
+            outcome.fitness < seed_fitness,
+            "cMA ({}) must improve on LJFR-SJFR ({seed_fitness})",
+            outcome.fitness
+        );
+    }
+
+    #[test]
+    fn trace_is_monotone_in_time_and_fitness() {
+        let p = problem();
+        let outcome = quick_config().run(&p, 11);
+        for w in outcome.trace.windows(2) {
+            assert!(w[1].elapsed_ms >= w[0].elapsed_ms);
+            assert!(w[1].fitness <= w[0].fitness);
+        }
+    }
+
+    #[test]
+    fn best_matches_reevaluation() {
+        let p = problem();
+        let outcome = quick_config().run(&p, 5);
+        let fresh = cmags_core::evaluate(&p, &outcome.schedule);
+        assert_eq!(outcome.objectives, fresh);
+        assert_eq!(outcome.fitness, p.fitness(fresh));
+    }
+
+    #[test]
+    fn children_budget_stops_early() {
+        let p = problem();
+        let outcome = CmaConfig::paper().with_stop(StopCondition::children(10)).run(&p, 1);
+        assert_eq!(outcome.children, 10);
+        assert_eq!(outcome.iterations, 0, "stopped mid-first-iteration");
+    }
+
+    #[test]
+    fn synchronous_policy_runs_and_improves() {
+        let p = problem();
+        let outcome = quick_config()
+            .with_update_policy(UpdatePolicy::Synchronous)
+            .run(&p, 13);
+        assert!(outcome.accepted > 0);
+        let fresh = cmags_core::evaluate(&p, &outcome.schedule);
+        assert_eq!(outcome.objectives, fresh);
+    }
+
+    #[test]
+    fn target_fitness_short_circuits() {
+        let p = problem();
+        // Target = infinity-ish: met immediately after init.
+        let outcome = CmaConfig::paper()
+            .with_stop(StopCondition::iterations(1000).and_target_fitness(f64::MAX))
+            .run(&p, 2);
+        assert_eq!(outcome.children, 0);
+    }
+
+    #[test]
+    fn panmictic_neighborhood_also_works() {
+        let p = problem();
+        let outcome = quick_config()
+            .with_neighborhood(crate::Neighborhood::Panmictic)
+            .run(&p, 21);
+        assert!(outcome.objectives.makespan > 0.0);
+    }
+
+    #[test]
+    fn two_fittest_orders_correctly() {
+        let fitness = |i: usize| [5.0, 1.0, 3.0][i];
+        assert_eq!(two_fittest(&[0, 1, 2], &fitness), (1, 2));
+        assert_eq!(two_fittest(&[2, 2], &fitness), (2, 2));
+    }
+}

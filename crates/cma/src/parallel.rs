@@ -1,0 +1,129 @@
+//! Parallel orchestration of independent cMA runs.
+//!
+//! The paper reports "the best makespan (out of 10 runs)"; those runs are
+//! embarrassingly parallel. This module fans independent seeds out over a
+//! bounded crossbeam scoped-thread pool. Each worker owns its RNG and its
+//! outcome slot, so no state is shared beyond the read-only problem and
+//! configuration — results are deterministic per seed regardless of the
+//! thread count (when the stop condition itself is deterministic).
+
+use cmags_core::Problem;
+use crossbeam::thread;
+
+use crate::{CmaConfig, CmaOutcome};
+
+/// Runs one cMA per seed, at most `threads` concurrently.
+///
+/// Outcomes are returned in seed order. `threads == 1` degenerates to a
+/// sequential loop (no thread spawn overhead).
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, if `seeds` is empty, or if a worker thread
+/// panics (configuration errors surface on first use).
+#[must_use]
+pub fn run_independent(
+    config: &CmaConfig,
+    problem: &Problem,
+    seeds: &[u64],
+    threads: usize,
+) -> Vec<CmaOutcome> {
+    assert!(threads > 0, "need at least one thread");
+    assert!(!seeds.is_empty(), "need at least one seed");
+
+    if threads == 1 || seeds.len() == 1 {
+        return seeds.iter().map(|&seed| config.run(problem, seed)).collect();
+    }
+
+    let mut outcomes: Vec<Option<CmaOutcome>> = (0..seeds.len()).map(|_| None).collect();
+    // Static block partition: contiguous chunks of the seed list, one per
+    // worker. Run durations are near-identical (same budget), so dynamic
+    // work stealing would buy nothing here.
+    let chunk = seeds.len().div_ceil(threads);
+    thread::scope(|scope| {
+        for (seed_chunk, out_chunk) in seeds.chunks(chunk).zip(outcomes.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (&seed, slot) in seed_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(config.run(problem, seed));
+                }
+            });
+        }
+    })
+    .expect("cMA worker thread panicked");
+
+    outcomes.into_iter().map(|o| o.expect("all slots filled")).collect()
+}
+
+/// The outcome with the lowest fitness (ties: first in seed order).
+///
+/// # Panics
+///
+/// Panics if `outcomes` is empty.
+#[must_use]
+pub fn best_of(outcomes: &[CmaOutcome]) -> &CmaOutcome {
+    outcomes
+        .iter()
+        .min_by(|a, b| a.fitness.total_cmp(&b.fitness))
+        .expect("at least one outcome required")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StopCondition;
+    use cmags_etc::braun;
+
+    fn problem() -> Problem {
+        let class: cmags_etc::InstanceClass = "u_s_hihi.0".parse().unwrap();
+        Problem::from_instance(&braun::generate(class.with_dims(64, 8), 0))
+    }
+
+    fn config() -> CmaConfig {
+        CmaConfig::paper().with_stop(StopCondition::iterations(2))
+    }
+
+    #[test]
+    fn parallel_equals_sequential_per_seed() {
+        let p = problem();
+        let seeds = [1u64, 2, 3, 4, 5];
+        let sequential = run_independent(&config(), &p, &seeds, 1);
+        let parallel = run_independent(&config(), &p, &seeds, 4);
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, par) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.schedule, par.schedule, "seed {} diverged across thread counts", s.seed);
+            assert_eq!(s.objectives, par.objectives);
+        }
+    }
+
+    #[test]
+    fn outcomes_in_seed_order() {
+        let p = problem();
+        let seeds = [10u64, 20, 30];
+        let outcomes = run_independent(&config(), &p, &seeds, 2);
+        let expected: Vec<u64> = seeds.to_vec();
+        let got: Vec<u64> = outcomes.iter().map(|o| o.seed).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn best_of_picks_minimum_fitness() {
+        let p = problem();
+        let outcomes = run_independent(&config(), &p, &[1, 2, 3, 4], 2);
+        let best = best_of(&outcomes);
+        assert!(outcomes.iter().all(|o| best.fitness <= o.fitness));
+    }
+
+    #[test]
+    fn more_threads_than_seeds_is_fine() {
+        let p = problem();
+        let outcomes = run_independent(&config(), &p, &[7], 8);
+        assert_eq!(outcomes.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seeds_rejected() {
+        let p = problem();
+        let _ = run_independent(&config(), &p, &[], 2);
+    }
+}

@@ -1,0 +1,252 @@
+//! Multi-objective extension: a Pareto archive over (makespan, flowtime).
+//!
+//! The paper's future work proposes "a multi-objective algorithm in
+//! order to find a set of non-dominated solutions to the problem" (§6).
+//! This module provides that as a thin layer over the existing engine:
+//!
+//! * [`ParetoArchive`] — a bounded archive of mutually non-dominated
+//!   `(makespan, flowtime)` points with their schedules;
+//! * [`pareto_front`] — runs the scalarised cMA across a spread of λ
+//!   weights (the classic weighted-sum scan, which is exact for the
+//!   convex hull of the front) and merges every run's trace into one
+//!   archive.
+//!
+//! The weighted-sum scan cannot discover points inside non-convex dents
+//! of the true front — documented limitation; the archive API also
+//! accepts externally generated candidates, so a dominance-based engine
+//! can reuse it.
+
+use cmags_core::{Objectives, Problem, Schedule};
+use serde::{Deserialize, Serialize};
+
+use crate::{CmaConfig, StopCondition};
+
+/// One non-dominated solution of the bi-objective problem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// Makespan of the schedule.
+    pub makespan: f64,
+    /// Flowtime of the schedule.
+    pub flowtime: f64,
+    /// The schedule achieving those objectives.
+    pub schedule: Schedule,
+    /// λ of the run that produced the point (provenance).
+    pub lambda: f64,
+}
+
+impl ParetoPoint {
+    /// Whether `self` dominates `other` (no worse in both objectives,
+    /// strictly better in at least one).
+    #[must_use]
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        dominates(
+            (self.makespan, self.flowtime),
+            (other.makespan, other.flowtime),
+        )
+    }
+}
+
+fn dominates(a: (f64, f64), b: (f64, f64)) -> bool {
+    (a.0 <= b.0 && a.1 <= b.1) && (a.0 < b.0 || a.1 < b.1)
+}
+
+/// A set of mutually non-dominated points, kept sorted by makespan.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ParetoArchive {
+    points: Vec<ParetoPoint>,
+}
+
+impl ParetoArchive {
+    /// Creates an empty archive.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offers a candidate. Returns `true` if it entered the archive
+    /// (i.e. no existing point dominates it); dominated incumbents are
+    /// evicted. Duplicate objective pairs are rejected.
+    pub fn offer(&mut self, candidate: ParetoPoint) -> bool {
+        for existing in &self.points {
+            if existing.dominates(&candidate)
+                || (existing.makespan == candidate.makespan
+                    && existing.flowtime == candidate.flowtime)
+            {
+                return false;
+            }
+        }
+        self.points.retain(|p| !candidate.dominates(p));
+        let at = self
+            .points
+            .partition_point(|p| p.makespan < candidate.makespan);
+        self.points.insert(at, candidate);
+        true
+    }
+
+    /// The archived points, ascending by makespan (hence descending by
+    /// flowtime — an invariant of mutual non-domination in 2-D).
+    #[must_use]
+    pub fn points(&self) -> &[ParetoPoint] {
+        &self.points
+    }
+
+    /// Number of archived points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the archive is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Verifies mutual non-domination (test support; `O(n²)`).
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        for (i, a) in self.points.iter().enumerate() {
+            for b in &self.points[i + 1..] {
+                if a.dominates(b) || b.dominates(a) {
+                    return false;
+                }
+            }
+        }
+        self.points.windows(2).all(|w| w[0].makespan <= w[1].makespan)
+    }
+}
+
+/// Runs the cMA once per λ in `lambdas` (each with `budget` and a seed
+/// derived from `base_seed`) and merges the best schedule of every run
+/// into one archive — the weighted-sum scan of the front.
+///
+/// # Panics
+///
+/// Panics if `lambdas` is empty or any λ is outside `[0, 1]`.
+#[must_use]
+pub fn pareto_front(
+    problem_template: &cmags_etc::GridInstance,
+    config: &CmaConfig,
+    budget: StopCondition,
+    lambdas: &[f64],
+    base_seed: u64,
+) -> ParetoArchive {
+    assert!(!lambdas.is_empty(), "need at least one lambda");
+    let mut archive = ParetoArchive::new();
+    for (i, &lambda) in lambdas.iter().enumerate() {
+        let problem = Problem::with_weights(
+            problem_template,
+            cmags_core::FitnessWeights::new(lambda),
+        );
+        let outcome = config.clone().with_stop(budget).run(&problem, base_seed + i as u64);
+        archive.offer(ParetoPoint {
+            makespan: outcome.objectives.makespan,
+            flowtime: outcome.objectives.flowtime,
+            schedule: outcome.schedule,
+            lambda,
+        });
+    }
+    archive
+}
+
+/// Evaluates and offers an external schedule into an archive (helper for
+/// dominance-based engines and tests).
+pub fn offer_schedule(
+    archive: &mut ParetoArchive,
+    problem: &Problem,
+    schedule: Schedule,
+    lambda: f64,
+) -> bool {
+    let Objectives { makespan, flowtime } = cmags_core::evaluate(problem, &schedule);
+    archive.offer(ParetoPoint { makespan, flowtime, schedule, lambda })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmags_etc::braun;
+
+    fn point(makespan: f64, flowtime: f64) -> ParetoPoint {
+        ParetoPoint {
+            makespan,
+            flowtime,
+            schedule: Schedule::uniform(1, 0),
+            lambda: 0.5,
+        }
+    }
+
+    #[test]
+    fn domination_rules() {
+        assert!(point(1.0, 1.0).dominates(&point(2.0, 2.0)));
+        assert!(point(1.0, 2.0).dominates(&point(1.0, 3.0)));
+        assert!(!point(1.0, 3.0).dominates(&point(2.0, 1.0)), "incomparable");
+        assert!(!point(1.0, 1.0).dominates(&point(1.0, 1.0)), "equal is not strict");
+    }
+
+    #[test]
+    fn archive_keeps_only_nondominated() {
+        let mut archive = ParetoArchive::new();
+        assert!(archive.offer(point(5.0, 5.0)));
+        assert!(archive.offer(point(3.0, 7.0)));
+        assert!(archive.offer(point(7.0, 3.0)));
+        assert_eq!(archive.len(), 3);
+        // Dominates (5,5): evicts it.
+        assert!(archive.offer(point(4.0, 4.0)));
+        assert_eq!(archive.len(), 3);
+        // Dominated by (4,4): rejected.
+        assert!(!archive.offer(point(4.5, 4.5)));
+        // Duplicate rejected.
+        assert!(!archive.offer(point(4.0, 4.0)));
+        assert!(archive.is_consistent());
+    }
+
+    #[test]
+    fn archive_sorted_by_makespan() {
+        let mut archive = ParetoArchive::new();
+        archive.offer(point(7.0, 1.0));
+        archive.offer(point(1.0, 7.0));
+        archive.offer(point(4.0, 4.0));
+        let makespans: Vec<f64> = archive.points().iter().map(|p| p.makespan).collect();
+        assert_eq!(makespans, vec![1.0, 4.0, 7.0]);
+        // In 2-D, flowtimes must then be descending.
+        let flowtimes: Vec<f64> = archive.points().iter().map(|p| p.flowtime).collect();
+        assert!(flowtimes.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn lambda_scan_produces_a_front() {
+        let class: cmags_etc::InstanceClass = "u_c_hihi.0".parse().unwrap();
+        let instance = braun::generate(class.with_dims(64, 8), 0);
+        let front = pareto_front(
+            &instance,
+            &CmaConfig::paper(),
+            StopCondition::children(200),
+            &[0.0, 0.5, 1.0],
+            3,
+        );
+        assert!(!front.is_empty());
+        assert!(front.is_consistent());
+        // Schedules in the archive re-evaluate to their stored objectives.
+        let problem = Problem::from_instance(&instance);
+        for p in front.points() {
+            let objectives = cmags_core::evaluate(&problem, &p.schedule);
+            assert_eq!(objectives.makespan, p.makespan);
+            assert_eq!(objectives.flowtime, p.flowtime);
+        }
+    }
+
+    #[test]
+    fn offer_schedule_helper_round_trips() {
+        let class: cmags_etc::InstanceClass = "u_i_lolo.0".parse().unwrap();
+        let instance = braun::generate(class.with_dims(16, 4), 0);
+        let problem = Problem::from_instance(&instance);
+        let mut archive = ParetoArchive::new();
+        assert!(offer_schedule(
+            &mut archive,
+            &problem,
+            Schedule::uniform(16, 0),
+            0.75
+        ));
+        assert_eq!(archive.len(), 1);
+    }
+}

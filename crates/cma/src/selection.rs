@@ -1,0 +1,161 @@
+//! Parent selection inside a neighbourhood (paper §3.2).
+
+use rand::{Rng, RngCore};
+
+/// Selection operator choosing parents from a neighbourhood.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Selection {
+    /// N-tournament: `n` uniformly drawn contestants, fittest wins
+    /// (paper default: N = 3; Fig. 4 compares N ∈ {3, 5, 7}).
+    NTournament(usize),
+    /// Uniform random choice (pressure-free baseline, for ablations).
+    Random,
+    /// Always the fittest neighbour (maximum pressure, for ablations).
+    Best,
+}
+
+impl Selection {
+    /// Selects one index out of `candidates`, ranking by `fitness`
+    /// (lower is better).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty or a tournament size of zero was
+    /// configured.
+    pub fn select(
+        self,
+        candidates: &[usize],
+        fitness: &dyn Fn(usize) -> f64,
+        rng: &mut dyn RngCore,
+    ) -> usize {
+        assert!(!candidates.is_empty(), "selection requires candidates");
+        match self {
+            Selection::NTournament(n) => {
+                assert!(n > 0, "tournament size must be positive");
+                let mut best = candidates[rng.gen_range(0..candidates.len())];
+                let mut best_fit = fitness(best);
+                for _ in 1..n {
+                    let c = candidates[rng.gen_range(0..candidates.len())];
+                    let f = fitness(c);
+                    if f < best_fit {
+                        best = c;
+                        best_fit = f;
+                    }
+                }
+                best
+            }
+            Selection::Random => candidates[rng.gen_range(0..candidates.len())],
+            Selection::Best => {
+                let mut best = candidates[0];
+                let mut best_fit = fitness(best);
+                for &c in &candidates[1..] {
+                    let f = fitness(c);
+                    if f < best_fit {
+                        best = c;
+                        best_fit = f;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Selects `k` parents (independent draws, as in repeated tournament
+    /// selection; duplicates possible, matching the paper's template where
+    /// `S ⊆ N_P` is a multiset of tournament winners).
+    pub fn select_many(
+        self,
+        candidates: &[usize],
+        fitness: &dyn Fn(usize) -> f64,
+        rng: &mut dyn RngCore,
+        k: usize,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
+        for _ in 0..k {
+            out.push(self.select(candidates, fitness, rng));
+        }
+    }
+
+    /// Report name.
+    #[must_use]
+    pub fn name(self) -> String {
+        match self {
+            Selection::NTournament(n) => format!("{n}-Tournament"),
+            Selection::Random => "Random".to_owned(),
+            Selection::Best => "Best".to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Candidate fitness: candidate i has fitness i (0 best).
+    fn fit(i: usize) -> f64 {
+        i as f64
+    }
+
+    #[test]
+    fn best_always_picks_minimum() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let candidates = vec![4, 2, 9, 7];
+        assert_eq!(Selection::Best.select(&candidates, &fit, &mut rng), 2);
+    }
+
+    #[test]
+    fn tournament_of_one_is_uniform() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let candidates: Vec<usize> = (0..10).collect();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(Selection::NTournament(1).select(&candidates, &fit, &mut rng));
+        }
+        assert!(seen.len() > 5, "tournament of 1 must not concentrate");
+    }
+
+    #[test]
+    fn larger_tournaments_increase_pressure() {
+        let candidates: Vec<usize> = (0..25).collect();
+        let mean_of = |n: usize| {
+            let mut rng = SmallRng::seed_from_u64(42);
+            let mut total = 0.0;
+            for _ in 0..2000 {
+                total += Selection::NTournament(n).select(&candidates, &fit, &mut rng) as f64;
+            }
+            total / 2000.0
+        };
+        let m3 = mean_of(3);
+        let m7 = mean_of(7);
+        assert!(
+            m7 < m3,
+            "7-tournament (mean {m7}) must select fitter candidates than 3-tournament ({m3})"
+        );
+    }
+
+    #[test]
+    fn select_many_fills_k() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let candidates: Vec<usize> = (0..9).collect();
+        let mut out = Vec::new();
+        Selection::NTournament(3).select_many(&candidates, &fit, &mut rng, 3, &mut out);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|c| candidates.contains(c)));
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Selection::NTournament(3).name(), "3-Tournament");
+        assert_eq!(Selection::Best.name(), "Best");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires candidates")]
+    fn empty_candidates_panic() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let _ = Selection::Random.select(&[], &fit, &mut rng);
+    }
+}

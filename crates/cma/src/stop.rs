@@ -1,0 +1,178 @@
+//! Stopping conditions.
+//!
+//! The paper stops on wall-clock time (90 s on its 2007 hardware). For
+//! reproducible tests and hardware-independent comparisons this module
+//! also supports budgets in iterations and in generated children, plus a
+//! target fitness; the run stops when **any** configured bound trips.
+
+use std::time::Duration;
+
+/// Combined stopping condition. All fields optional; empty means "run
+/// forever" (rejected by the engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StopCondition {
+    /// Wall-clock budget.
+    pub time_limit: Option<Duration>,
+    /// Maximum outer iterations (each = `#recombinations + #mutations`
+    /// operator applications).
+    pub max_iterations: Option<u64>,
+    /// Maximum children generated (operator applications).
+    pub max_children: Option<u64>,
+    /// Stop as soon as best fitness reaches this value (scaled by f64
+    /// bits, see [`StopCondition::target_fitness`]).
+    target_fitness_bits: Option<u64>,
+}
+
+impl StopCondition {
+    /// Budget of wall-clock time only.
+    #[must_use]
+    pub fn time(limit: Duration) -> Self {
+        Self { time_limit: Some(limit), ..Self::default() }
+    }
+
+    /// The paper's 90-second budget.
+    #[must_use]
+    pub fn paper_time() -> Self {
+        Self::time(Duration::from_secs(90))
+    }
+
+    /// Budget of outer iterations only (deterministic runs).
+    #[must_use]
+    pub fn iterations(n: u64) -> Self {
+        Self { max_iterations: Some(n), ..Self::default() }
+    }
+
+    /// Budget of generated children only (deterministic runs).
+    #[must_use]
+    pub fn children(n: u64) -> Self {
+        Self { max_children: Some(n), ..Self::default() }
+    }
+
+    /// Adds a wall-clock budget.
+    #[must_use]
+    pub fn and_time(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Adds an iteration budget.
+    #[must_use]
+    pub fn and_iterations(mut self, n: u64) -> Self {
+        self.max_iterations = Some(n);
+        self
+    }
+
+    /// Adds a children budget.
+    #[must_use]
+    pub fn and_children(mut self, n: u64) -> Self {
+        self.max_children = Some(n);
+        self
+    }
+
+    /// Adds a fitness target: stop once `best_fitness <= target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is NaN.
+    #[must_use]
+    pub fn and_target_fitness(mut self, target: f64) -> Self {
+        assert!(!target.is_nan(), "target fitness must not be NaN");
+        self.target_fitness_bits = Some(target.to_bits());
+        self
+    }
+
+    /// The configured fitness target, if any.
+    #[must_use]
+    pub fn target_fitness(&self) -> Option<f64> {
+        self.target_fitness_bits.map(f64::from_bits)
+    }
+
+    /// Whether at least one bound is configured.
+    #[must_use]
+    pub fn is_bounded(&self) -> bool {
+        self.time_limit.is_some()
+            || self.max_iterations.is_some()
+            || self.max_children.is_some()
+            || self.target_fitness_bits.is_some()
+    }
+
+    /// Evaluates the condition.
+    #[must_use]
+    pub fn should_stop(
+        &self,
+        elapsed: Duration,
+        iterations: u64,
+        children: u64,
+        best_fitness: f64,
+    ) -> bool {
+        if let Some(limit) = self.time_limit {
+            if elapsed >= limit {
+                return true;
+            }
+        }
+        if let Some(max) = self.max_iterations {
+            if iterations >= max {
+                return true;
+            }
+        }
+        if let Some(max) = self.max_children {
+            if children >= max {
+                return true;
+            }
+        }
+        if let Some(target) = self.target_fitness() {
+            if best_fitness <= target {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_stops() {
+        let stop = StopCondition::default();
+        assert!(!stop.is_bounded());
+        assert!(!stop.should_stop(Duration::from_secs(3600), u64::MAX, u64::MAX, f64::MIN));
+    }
+
+    #[test]
+    fn each_bound_trips_independently() {
+        let stop = StopCondition::time(Duration::from_secs(1));
+        assert!(stop.should_stop(Duration::from_secs(1), 0, 0, 0.0));
+        assert!(!stop.should_stop(Duration::from_millis(999), 0, 0, 0.0));
+
+        let stop = StopCondition::iterations(10);
+        assert!(stop.should_stop(Duration::ZERO, 10, 0, 0.0));
+        assert!(!stop.should_stop(Duration::ZERO, 9, 0, 0.0));
+
+        let stop = StopCondition::children(100);
+        assert!(stop.should_stop(Duration::ZERO, 0, 100, 0.0));
+
+        let stop = StopCondition::default().and_target_fitness(5.0);
+        assert!(stop.should_stop(Duration::ZERO, 0, 0, 5.0));
+        assert!(!stop.should_stop(Duration::ZERO, 0, 0, 5.1));
+    }
+
+    #[test]
+    fn bounds_combine_as_any() {
+        let stop = StopCondition::iterations(100).and_time(Duration::from_secs(1));
+        assert!(stop.should_stop(Duration::from_secs(2), 1, 0, 0.0), "time trips first");
+        assert!(stop.should_stop(Duration::ZERO, 100, 0, 0.0), "iterations trip first");
+    }
+
+    #[test]
+    fn paper_time_is_90s() {
+        assert_eq!(StopCondition::paper_time().time_limit, Some(Duration::from_secs(90)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_target_rejected() {
+        let _ = StopCondition::default().and_target_fitness(f64::NAN);
+    }
+}

@@ -1,0 +1,139 @@
+//! Toroidal grid geometry.
+
+/// A 2-D toroidal grid of cells, addressed row-major.
+///
+/// The paper's population topology (§3.2): positions wrap in both
+/// dimensions, so every cell has the same neighbourhood shape and no
+/// borders exist. `Torus` is a value type carrying only the dimensions;
+/// the population itself lives in the engine as a flat `Vec`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Torus {
+    height: usize,
+    width: usize,
+}
+
+impl Torus {
+    /// Creates a torus with `height` rows and `width` columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(height: usize, width: usize) -> Self {
+        assert!(height > 0 && width > 0, "torus dimensions must be positive");
+        Self { height, width }
+    }
+
+    /// Rows.
+    #[inline]
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Columns.
+    #[inline]
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total number of cells.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.height * self.width
+    }
+
+    /// Whether the torus has no cells (never true; kept for API hygiene).
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Row-major index of `(row, col)`.
+    #[inline]
+    #[must_use]
+    pub fn index(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.height && col < self.width);
+        row * self.width + col
+    }
+
+    /// `(row, col)` of a row-major index.
+    #[inline]
+    #[must_use]
+    pub fn position(&self, index: usize) -> (usize, usize) {
+        debug_assert!(index < self.len());
+        (index / self.width, index % self.width)
+    }
+
+    /// Index of the cell at signed offset `(dr, dc)` from `index`, with
+    /// toroidal wrap-around.
+    #[inline]
+    #[must_use]
+    pub fn offset(&self, index: usize, dr: isize, dc: isize) -> usize {
+        let (row, col) = self.position(index);
+        let h = self.height as isize;
+        let w = self.width as isize;
+        let nr = (row as isize + dr).rem_euclid(h) as usize;
+        let nc = (col as isize + dc).rem_euclid(w) as usize;
+        self.index(nr, nc)
+    }
+
+    /// Shortest toroidal Manhattan distance between two cells.
+    #[must_use]
+    pub fn manhattan(&self, a: usize, b: usize) -> usize {
+        let (ar, ac) = self.position(a);
+        let (br, bc) = self.position(b);
+        let dr = ar.abs_diff(br);
+        let dc = ac.abs_diff(bc);
+        dr.min(self.height - dr) + dc.min(self.width - dc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_position_round_trip() {
+        let t = Torus::new(5, 5);
+        for i in 0..t.len() {
+            let (r, c) = t.position(i);
+            assert_eq!(t.index(r, c), i);
+        }
+    }
+
+    #[test]
+    fn offsets_wrap_both_ways() {
+        let t = Torus::new(3, 4);
+        // Cell (0, 0): up wraps to row 2, left wraps to col 3.
+        assert_eq!(t.offset(0, -1, 0), t.index(2, 0));
+        assert_eq!(t.offset(0, 0, -1), t.index(0, 3));
+        // Down-right from the bottom-right corner wraps to (0, 0).
+        let corner = t.index(2, 3);
+        assert_eq!(t.offset(corner, 1, 1), 0);
+        // Offsets beyond one full wrap still land correctly.
+        assert_eq!(t.offset(0, 3, 4), 0);
+        assert_eq!(t.offset(0, -3, -4), 0);
+    }
+
+    #[test]
+    fn manhattan_uses_shortest_wrap() {
+        let t = Torus::new(5, 5);
+        let a = t.index(0, 0);
+        let b = t.index(4, 4);
+        // Direct distance 8, wrapped distance 1 + 1.
+        assert_eq!(t.manhattan(a, b), 2);
+        assert_eq!(t.manhattan(a, a), 0);
+        // Symmetry.
+        assert_eq!(t.manhattan(a, b), t.manhattan(b, a));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn rejects_zero_dimension() {
+        let _ = Torus::new(0, 5);
+    }
+}

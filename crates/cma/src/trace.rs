@@ -1,0 +1,84 @@
+//! Convergence traces — the raw material of the paper's Figs. 2–5.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// One sample of the best-so-far solution during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// Wall-clock time since run start, in milliseconds.
+    pub elapsed_ms: f64,
+    /// Outer iterations completed.
+    pub iterations: u64,
+    /// Children generated (operator applications).
+    pub children: u64,
+    /// Best makespan so far.
+    pub makespan: f64,
+    /// Best flowtime so far.
+    pub flowtime: f64,
+    /// Best scalarised fitness so far.
+    pub fitness: f64,
+}
+
+impl TracePoint {
+    /// Builds a point from run counters.
+    #[must_use]
+    pub fn new(
+        elapsed: Duration,
+        iterations: u64,
+        children: u64,
+        makespan: f64,
+        flowtime: f64,
+        fitness: f64,
+    ) -> Self {
+        Self {
+            elapsed_ms: elapsed.as_secs_f64() * 1e3,
+            iterations,
+            children,
+            makespan,
+            flowtime,
+            fitness,
+        }
+    }
+}
+
+/// Samples a step-plot value (best makespan at time `t_ms`) from a trace.
+///
+/// Traces record a point whenever the best improves, so the value at an
+/// arbitrary time is the last recorded point at or before it. Returns
+/// `None` before the first sample.
+#[must_use]
+pub fn value_at(trace: &[TracePoint], t_ms: f64) -> Option<&TracePoint> {
+    let idx = trace.partition_point(|p| p.elapsed_ms <= t_ms);
+    idx.checked_sub(1).map(|i| &trace[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TracePoint> {
+        vec![
+            TracePoint::new(Duration::from_millis(0), 0, 0, 100.0, 1000.0, 125.0),
+            TracePoint::new(Duration::from_millis(10), 1, 37, 90.0, 900.0, 110.0),
+            TracePoint::new(Duration::from_millis(50), 5, 185, 80.0, 800.0, 95.0),
+        ]
+    }
+
+    #[test]
+    fn value_at_steps() {
+        let trace = sample();
+        assert!(value_at(&trace, -1.0).is_none());
+        assert_eq!(value_at(&trace, 0.0).unwrap().makespan, 100.0);
+        assert_eq!(value_at(&trace, 9.9).unwrap().makespan, 100.0);
+        assert_eq!(value_at(&trace, 10.0).unwrap().makespan, 90.0);
+        assert_eq!(value_at(&trace, 1e9).unwrap().makespan, 80.0);
+    }
+
+    #[test]
+    fn elapsed_converted_to_ms() {
+        let p = TracePoint::new(Duration::from_secs(2), 1, 2, 3.0, 4.0, 5.0);
+        assert_eq!(p.elapsed_ms, 2000.0);
+    }
+}

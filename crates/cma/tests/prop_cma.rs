@@ -1,0 +1,112 @@
+//! Property-based tests of the cellular machinery: torus geometry,
+//! neighbourhood structure, sweep orders and engine invariants.
+
+use cmags_cma::{CmaConfig, Neighborhood, StopCondition, SweepOrder, SweepState, Torus};
+use cmags_core::{evaluate, Problem};
+use cmags_etc::braun;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_torus() -> impl Strategy<Value = Torus> {
+    (1usize..12, 1usize..12).prop_map(|(h, w)| Torus::new(h, w))
+}
+
+fn arb_neighborhood() -> impl Strategy<Value = Neighborhood> {
+    prop_oneof![
+        Just(Neighborhood::Panmictic),
+        Just(Neighborhood::L5),
+        Just(Neighborhood::L9),
+        Just(Neighborhood::C9),
+        Just(Neighborhood::C13),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Offset arithmetic stays within bounds and is invertible.
+    #[test]
+    fn torus_offsets_are_bijective(
+        torus in arb_torus(),
+        cell in 0usize..144,
+        dr in -5isize..6,
+        dc in -5isize..6,
+    ) {
+        let cell = cell % torus.len();
+        let moved = torus.offset(cell, dr, dc);
+        prop_assert!(moved < torus.len());
+        prop_assert_eq!(torus.offset(moved, -dr, -dc), cell, "offsets must invert");
+    }
+
+    /// Neighbourhood membership is symmetric, includes the centre, is
+    /// deduplicated and sorted, on arbitrary torus shapes.
+    #[test]
+    fn neighborhoods_are_symmetric_everywhere(
+        torus in arb_torus(),
+        pattern in arb_neighborhood(),
+    ) {
+        let mut buf = Vec::new();
+        let mut buf2 = Vec::new();
+        for center in 0..torus.len() {
+            pattern.collect(torus, center, &mut buf);
+            prop_assert!(buf.contains(&center));
+            prop_assert!(buf.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+            for &n in &buf {
+                pattern.collect(torus, n, &mut buf2);
+                prop_assert!(buf2.contains(&center), "symmetry violated");
+            }
+        }
+    }
+
+    /// Every sweep order yields each cell exactly once per sweep, from
+    /// any starting state and for any population size.
+    #[test]
+    fn sweeps_are_permutations(
+        n in 1usize..64,
+        seed in any::<u64>(),
+        order in prop_oneof![
+            Just(SweepOrder::FixedLineSweep),
+            Just(SweepOrder::FixedRandomSweep),
+            Just(SweepOrder::NewRandomSweep),
+        ],
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut state = SweepState::new(order, n, &mut rng);
+        for _ in 0..3 {
+            let mut sweep: Vec<usize> = (0..n).map(|_| state.next_cell(&mut rng)).collect();
+            sweep.sort_unstable();
+            prop_assert_eq!(sweep, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    /// Engine invariants on arbitrary (small) problems and grid shapes:
+    /// the outcome re-evaluates exactly, counters are consistent, and
+    /// the trace is monotone.
+    #[test]
+    fn engine_invariants_hold(
+        jobs in 8u32..40,
+        machines in 2u32..6,
+        h in 2usize..5,
+        w in 2usize..5,
+        seed in any::<u64>(),
+        pattern in arb_neighborhood(),
+    ) {
+        let class: cmags_etc::InstanceClass = "u_s_hihi.0".parse().unwrap();
+        let problem =
+            Problem::from_instance(&braun::generate(class.with_dims(jobs, machines), 1));
+        let config = CmaConfig::paper()
+            .with_population(h, w)
+            .with_neighborhood(pattern)
+            .with_stop(StopCondition::children(40));
+        let outcome = config.run(&problem, seed);
+
+        prop_assert_eq!(evaluate(&problem, &outcome.schedule), outcome.objectives);
+        prop_assert_eq!(outcome.children, 40);
+        prop_assert!(outcome.accepted <= outcome.children);
+        for pair in outcome.trace.windows(2) {
+            prop_assert!(pair[1].fitness <= pair[0].fitness);
+            prop_assert!(pair[1].elapsed_ms >= pair[0].elapsed_ms);
+        }
+    }
+}

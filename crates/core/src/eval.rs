@@ -1,0 +1,502 @@
+//! Incremental (delta) evaluation of schedules.
+//!
+//! Local search over this problem probes thousands of single-job moves and
+//! job swaps per second; re-evaluating the full schedule for each probe
+//! would cost `O(jobs · log jobs)`. [`EvalState`] instead keeps, per
+//! machine, the SPT-sorted list of assigned ETC values together with the
+//! machine's completion time and flowtime, so that
+//!
+//! * **peeking** a move/swap (computing the objectives it *would* produce)
+//!   costs one merge pass over the two affected machines, and
+//! * **applying** a move/swap costs the same plus two `memmove`s.
+//!
+//! Totals (makespan, flowtime) are re-derived from the per-machine caches
+//! with an `O(nb_machines)` fold after every change, which keeps them
+//! bit-for-bit equal to a from-scratch [`crate::evaluate`] — a property the
+//! test-suite checks exhaustively.
+
+use crate::{evaluate, JobId, MachineId, Objectives, Problem, Schedule};
+
+/// One job occupying a position in a machine's SPT order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Slot {
+    etc: f64,
+    job: JobId,
+}
+
+impl Slot {
+    /// Total order: by ETC, ties by job id — deterministic and consistent
+    /// with the job-order-insensitive flowtime value.
+    #[inline]
+    fn key_cmp(&self, other: &Slot) -> std::cmp::Ordering {
+        self.etc.total_cmp(&other.etc).then(self.job.cmp(&other.job))
+    }
+}
+
+/// Cached evaluation of one machine.
+#[derive(Debug, Clone, PartialEq)]
+struct MachineState {
+    ready: f64,
+    /// Jobs on the machine, sorted ascending by `(etc, job)`.
+    slots: Vec<Slot>,
+    /// `ready + Σ etc` (ready when idle).
+    completion: f64,
+    /// Sum of finishing times under SPT order.
+    flowtime: f64,
+}
+
+impl MachineState {
+    fn new(ready: f64) -> Self {
+        Self { ready, slots: Vec::new(), completion: ready, flowtime: 0.0 }
+    }
+
+    /// Recomputes `completion` and `flowtime` from the slot list.
+    fn rebuild(&mut self) {
+        let mut clock = self.ready;
+        let mut flowtime = 0.0;
+        for slot in &self.slots {
+            clock += slot.etc;
+            flowtime += clock;
+        }
+        self.completion = clock;
+        self.flowtime = flowtime;
+    }
+
+    /// Position of `job` (with ETC `etc`) in the slot list.
+    fn position_of(&self, job: JobId, etc: f64) -> usize {
+        let probe = Slot { etc, job };
+        let idx = self.slots.partition_point(|s| s.key_cmp(&probe) == std::cmp::Ordering::Less);
+        debug_assert!(
+            idx < self.slots.len() && self.slots[idx].job == job,
+            "job {job} not found on its machine"
+        );
+        idx
+    }
+
+    fn insert(&mut self, job: JobId, etc: f64) {
+        let probe = Slot { etc, job };
+        let idx = self.slots.partition_point(|s| s.key_cmp(&probe) == std::cmp::Ordering::Less);
+        self.slots.insert(idx, probe);
+        self.rebuild();
+    }
+
+    fn remove(&mut self, job: JobId, etc: f64) {
+        let idx = self.position_of(job, etc);
+        self.slots.remove(idx);
+        self.rebuild();
+    }
+
+    /// Completion and flowtime this machine *would* have if `skip_job`
+    /// were removed and/or a job `add` were inserted, in one allocation-free
+    /// merge pass.
+    fn simulate(&self, skip_job: Option<JobId>, add: Option<Slot>) -> (f64, f64) {
+        let mut clock = self.ready;
+        let mut flowtime = 0.0;
+        let mut pending = add;
+        for slot in &self.slots {
+            if Some(slot.job) == skip_job {
+                continue;
+            }
+            if let Some(p) = pending {
+                if p.key_cmp(slot) == std::cmp::Ordering::Less {
+                    clock += p.etc;
+                    flowtime += clock;
+                    pending = None;
+                }
+            }
+            clock += slot.etc;
+            flowtime += clock;
+        }
+        if let Some(p) = pending {
+            clock += p.etc;
+            flowtime += clock;
+        }
+        (clock, flowtime)
+    }
+}
+
+/// Incrementally maintained evaluation of a schedule.
+///
+/// Construct once per schedule with [`EvalState::new`], then keep it in
+/// lockstep with the schedule through [`EvalState::apply_move`] /
+/// [`EvalState::apply_swap`]. Probing neighbours without committing uses
+/// [`EvalState::peek_move`] / [`EvalState::peek_swap`].
+///
+/// The state is value-like (`Clone`) so population-based algorithms clone
+/// it together with the schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalState {
+    machines: Vec<MachineState>,
+    makespan: f64,
+    flowtime: f64,
+}
+
+impl EvalState {
+    /// Builds the cache for `schedule` in `O(jobs · log jobs)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule length mismatches the problem (debug) or any
+    /// machine index is out of range.
+    #[must_use]
+    pub fn new(problem: &Problem, schedule: &Schedule) -> Self {
+        debug_assert_eq!(schedule.nb_jobs(), problem.nb_jobs());
+        let mut machines: Vec<MachineState> =
+            (0..problem.nb_machines()).map(|m| MachineState::new(problem.ready(m as u32))).collect();
+        for (job, machine) in schedule.iter() {
+            machines[machine as usize]
+                .slots
+                .push(Slot { etc: problem.etc(job, machine), job });
+        }
+        for machine in &mut machines {
+            machine.slots.sort_by(Slot::key_cmp);
+            machine.rebuild();
+        }
+        let mut state = Self { machines, makespan: 0.0, flowtime: 0.0 };
+        state.refresh_totals();
+        state
+    }
+
+    /// Current makespan.
+    #[inline]
+    #[must_use]
+    pub fn makespan(&self) -> f64 {
+        self.makespan
+    }
+
+    /// Current flowtime.
+    #[inline]
+    #[must_use]
+    pub fn flowtime(&self) -> f64 {
+        self.flowtime
+    }
+
+    /// Current objective pair.
+    #[inline]
+    #[must_use]
+    pub fn objectives(&self) -> Objectives {
+        Objectives { makespan: self.makespan, flowtime: self.flowtime }
+    }
+
+    /// Scalarised fitness under the problem's weights.
+    #[inline]
+    #[must_use]
+    pub fn fitness(&self, problem: &Problem) -> f64 {
+        problem.fitness(self.objectives())
+    }
+
+    /// Completion time of one machine (Eq. 1).
+    #[inline]
+    #[must_use]
+    pub fn completion(&self, machine: MachineId) -> f64 {
+        self.machines[machine as usize].completion
+    }
+
+    /// Flowtime contributed by one machine.
+    #[inline]
+    #[must_use]
+    pub fn machine_flowtime(&self, machine: MachineId) -> f64 {
+        self.machines[machine as usize].flowtime
+    }
+
+    /// Number of jobs currently on `machine`.
+    #[inline]
+    #[must_use]
+    pub fn machine_len(&self, machine: MachineId) -> usize {
+        self.machines[machine as usize].slots.len()
+    }
+
+    /// Load factor of a machine: `completion[m] / makespan` ∈ (0, 1]
+    /// (paper §3.2, mutation operator).
+    #[must_use]
+    pub fn load_factor(&self, machine: MachineId) -> f64 {
+        if self.makespan == 0.0 {
+            1.0
+        } else {
+            self.completion(machine) / self.makespan
+        }
+    }
+
+    /// Machines sorted ascending by completion time (ties by index) —
+    /// "less overloaded first", as the rebalance mutation requires.
+    #[must_use]
+    pub fn machines_by_completion(&self) -> Vec<MachineId> {
+        let mut order: Vec<MachineId> = (0..self.machines.len() as MachineId).collect();
+        order.sort_by(|&a, &b| {
+            self.machines[a as usize]
+                .completion
+                .total_cmp(&self.machines[b as usize].completion)
+                .then(a.cmp(&b))
+        });
+        order
+    }
+
+    /// Objectives the schedule would have after moving `job` to `to`.
+    ///
+    /// Costs one merge pass over the two affected machines; no state is
+    /// modified.
+    #[must_use]
+    pub fn peek_move(
+        &self,
+        problem: &Problem,
+        schedule: &Schedule,
+        job: JobId,
+        to: MachineId,
+    ) -> Objectives {
+        let from = schedule.machine_of(job);
+        if from == to {
+            return self.objectives();
+        }
+        let (donor_completion, donor_flowtime) =
+            self.machines[from as usize].simulate(Some(job), None);
+        let (rcpt_completion, rcpt_flowtime) = self.machines[to as usize]
+            .simulate(None, Some(Slot { etc: problem.etc(job, to), job }));
+        self.totals_with_two(from, donor_completion, donor_flowtime, to, rcpt_completion, rcpt_flowtime)
+    }
+
+    /// Objectives the schedule would have after swapping the machines of
+    /// `job_a` and `job_b`.
+    ///
+    /// Returns the current objectives unchanged if both jobs share a
+    /// machine (an SPT-order swap on one machine is a no-op).
+    #[must_use]
+    pub fn peek_swap(
+        &self,
+        problem: &Problem,
+        schedule: &Schedule,
+        job_a: JobId,
+        job_b: JobId,
+    ) -> Objectives {
+        let ma = schedule.machine_of(job_a);
+        let mb = schedule.machine_of(job_b);
+        if ma == mb {
+            return self.objectives();
+        }
+        let (ca, fa) = self.machines[ma as usize]
+            .simulate(Some(job_a), Some(Slot { etc: problem.etc(job_b, ma), job: job_b }));
+        let (cb, fb) = self.machines[mb as usize]
+            .simulate(Some(job_b), Some(Slot { etc: problem.etc(job_a, mb), job: job_a }));
+        self.totals_with_two(ma, ca, fa, mb, cb, fb)
+    }
+
+    /// Moves `job` to machine `to`, updating schedule and caches.
+    pub fn apply_move(
+        &mut self,
+        problem: &Problem,
+        schedule: &mut Schedule,
+        job: JobId,
+        to: MachineId,
+    ) {
+        let from = schedule.machine_of(job);
+        if from == to {
+            return;
+        }
+        self.machines[from as usize].remove(job, problem.etc(job, from));
+        self.machines[to as usize].insert(job, problem.etc(job, to));
+        schedule.assign(job, to);
+        self.refresh_totals();
+    }
+
+    /// Exchanges the machines of `job_a` and `job_b`.
+    pub fn apply_swap(
+        &mut self,
+        problem: &Problem,
+        schedule: &mut Schedule,
+        job_a: JobId,
+        job_b: JobId,
+    ) {
+        let ma = schedule.machine_of(job_a);
+        let mb = schedule.machine_of(job_b);
+        if ma == mb {
+            return;
+        }
+        self.machines[ma as usize].remove(job_a, problem.etc(job_a, ma));
+        self.machines[mb as usize].remove(job_b, problem.etc(job_b, mb));
+        self.machines[ma as usize].insert(job_b, problem.etc(job_b, ma));
+        self.machines[mb as usize].insert(job_a, problem.etc(job_a, mb));
+        schedule.assign(job_a, mb);
+        schedule.assign(job_b, ma);
+        self.refresh_totals();
+    }
+
+    /// Asserts (in tests and debug builds) that the cache agrees with a
+    /// from-scratch evaluation of `schedule`.
+    pub fn debug_validate(&self, problem: &Problem, schedule: &Schedule) {
+        let fresh = evaluate(problem, schedule);
+        assert_eq!(
+            self.objectives(),
+            fresh,
+            "incremental evaluation diverged from full evaluation"
+        );
+        for (m, machine) in self.machines.iter().enumerate() {
+            assert!(
+                machine.slots.windows(2).all(|w| w[0].key_cmp(&w[1]) != std::cmp::Ordering::Greater),
+                "machine {m} slot order violated"
+            );
+        }
+    }
+
+    fn refresh_totals(&mut self) {
+        let mut makespan = 0.0f64;
+        let mut flowtime = 0.0f64;
+        for machine in &self.machines {
+            makespan = makespan.max(machine.completion);
+            flowtime += machine.flowtime;
+        }
+        self.makespan = makespan;
+        self.flowtime = flowtime;
+    }
+
+    /// Totals with machines `a` and `b` hypothetically replaced.
+    fn totals_with_two(
+        &self,
+        a: MachineId,
+        a_completion: f64,
+        a_flowtime: f64,
+        b: MachineId,
+        b_completion: f64,
+        b_flowtime: f64,
+    ) -> Objectives {
+        let mut makespan = a_completion.max(b_completion);
+        let mut flowtime = 0.0f64;
+        for (m, machine) in self.machines.iter().enumerate() {
+            let m = m as MachineId;
+            if m == a {
+                flowtime += a_flowtime;
+            } else if m == b {
+                flowtime += b_flowtime;
+            } else {
+                makespan = makespan.max(machine.completion);
+                flowtime += machine.flowtime;
+            }
+        }
+        Objectives { makespan, flowtime }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmags_etc::{EtcMatrix, GridInstance};
+
+    fn problem() -> Problem {
+        let etc = EtcMatrix::from_rows(
+            5,
+            3,
+            vec![
+                2.0, 4.0, 9.0, //
+                1.0, 8.0, 3.0, //
+                3.0, 2.0, 7.0, //
+                5.0, 6.0, 1.0, //
+                4.0, 4.0, 4.0,
+            ],
+        );
+        Problem::from_instance(&GridInstance::with_ready_times(
+            "t",
+            etc,
+            vec![1.0, 0.0, 2.0],
+        ))
+    }
+
+    #[test]
+    fn matches_full_evaluation_on_construction() {
+        let p = problem();
+        let s = Schedule::from_assignment(vec![0, 1, 2, 0, 1]);
+        let eval = EvalState::new(&p, &s);
+        assert_eq!(eval.objectives(), evaluate(&p, &s));
+        eval.debug_validate(&p, &s);
+    }
+
+    #[test]
+    fn apply_move_tracks_full_evaluation() {
+        let p = problem();
+        let mut s = Schedule::from_assignment(vec![0, 0, 0, 0, 0]);
+        let mut eval = EvalState::new(&p, &s);
+        for (job, to) in [(0u32, 1u32), (3, 2), (1, 2), (0, 0), (4, 1), (2, 1)] {
+            eval.apply_move(&p, &mut s, job, to);
+            eval.debug_validate(&p, &s);
+            assert_eq!(s.machine_of(job), to);
+        }
+    }
+
+    #[test]
+    fn peek_move_equals_apply_move() {
+        let p = problem();
+        let mut s = Schedule::from_assignment(vec![0, 1, 2, 0, 1]);
+        let eval = EvalState::new(&p, &s);
+        let peeked = eval.peek_move(&p, &s, 3, 2);
+        let mut applied = eval.clone();
+        applied.apply_move(&p, &mut s, 3, 2);
+        assert_eq!(peeked, applied.objectives());
+    }
+
+    #[test]
+    fn peek_swap_equals_apply_swap() {
+        let p = problem();
+        let mut s = Schedule::from_assignment(vec![0, 1, 2, 0, 1]);
+        let eval = EvalState::new(&p, &s);
+        let peeked = eval.peek_swap(&p, &s, 0, 2);
+        let mut applied = eval.clone();
+        applied.apply_swap(&p, &mut s, 0, 2);
+        assert_eq!(peeked, applied.objectives());
+        applied.debug_validate(&p, &s);
+    }
+
+    #[test]
+    fn same_machine_operations_are_noops() {
+        let p = problem();
+        let mut s = Schedule::from_assignment(vec![0, 0, 1, 1, 2]);
+        let mut eval = EvalState::new(&p, &s);
+        let before = eval.objectives();
+        assert_eq!(eval.peek_move(&p, &s, 0, 0), before);
+        assert_eq!(eval.peek_swap(&p, &s, 0, 1), before);
+        eval.apply_move(&p, &mut s, 0, 0);
+        eval.apply_swap(&p, &mut s, 0, 1);
+        assert_eq!(eval.objectives(), before);
+    }
+
+    #[test]
+    fn completion_and_load_factor() {
+        let p = problem();
+        let s = Schedule::from_assignment(vec![0, 0, 1, 1, 2]);
+        let eval = EvalState::new(&p, &s);
+        // m0: ready 1 + (2 + 1) = 4; m1: 0 + (2 + 6) = 8; m2: 2 + 4 = 6.
+        assert_eq!(eval.completion(0), 4.0);
+        assert_eq!(eval.completion(1), 8.0);
+        assert_eq!(eval.completion(2), 6.0);
+        assert_eq!(eval.makespan(), 8.0);
+        assert!((eval.load_factor(1) - 1.0).abs() < 1e-12);
+        assert!((eval.load_factor(0) - 0.5).abs() < 1e-12);
+        assert_eq!(eval.machines_by_completion(), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn machine_len_tracks_assignments() {
+        let p = problem();
+        let mut s = Schedule::uniform(5, 0);
+        let mut eval = EvalState::new(&p, &s);
+        assert_eq!(eval.machine_len(0), 5);
+        eval.apply_move(&p, &mut s, 2, 1);
+        assert_eq!(eval.machine_len(0), 4);
+        assert_eq!(eval.machine_len(1), 1);
+    }
+
+    #[test]
+    fn ties_in_etc_are_handled() {
+        // Jobs with identical ETC on the same machine exercise the
+        // (etc, job) tie-break in every code path.
+        let etc = EtcMatrix::from_rows(4, 2, vec![5.0; 8]);
+        let p = Problem::from_instance(&GridInstance::new("ties", etc));
+        let mut s = Schedule::from_assignment(vec![0, 0, 0, 1]);
+        let mut eval = EvalState::new(&p, &s);
+        eval.debug_validate(&p, &s);
+        eval.apply_swap(&p, &mut s, 1, 3);
+        eval.debug_validate(&p, &s);
+        eval.apply_move(&p, &mut s, 0, 1);
+        eval.debug_validate(&p, &s);
+        let peek = eval.peek_swap(&p, &s, 2, 3);
+        let mut applied = eval.clone();
+        applied.apply_swap(&p, &mut s, 2, 3);
+        assert_eq!(peek, applied.objectives());
+    }
+}

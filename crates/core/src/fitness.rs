@@ -1,0 +1,103 @@
+//! Scalarisation of the two objectives (paper Eq. 3).
+
+use serde::{Deserialize, Serialize};
+
+use crate::Objectives;
+
+/// Weights of the scalarised bi-objective fitness
+/// `λ·makespan + (1-λ)·mean_flowtime`.
+///
+/// Flowtime is divided by the number of machines ("mean flowtime") before
+/// weighting because raw flowtime has a higher order of magnitude than
+/// makespan (paper §2). λ = 0.75 is the value the authors fixed after
+/// tuning (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitnessWeights {
+    lambda: f64,
+}
+
+impl FitnessWeights {
+    /// The paper's tuned weight.
+    pub const PAPER_LAMBDA: f64 = 0.75;
+
+    /// Creates weights with the given λ ∈ [0, 1].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is outside `[0, 1]` or not finite.
+    #[must_use]
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda.is_finite() && (0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
+        Self { lambda }
+    }
+
+    /// Pure makespan optimisation (λ = 1) — the fitness used by Braun et
+    /// al.'s GA.
+    #[must_use]
+    pub fn makespan_only() -> Self {
+        Self { lambda: 1.0 }
+    }
+
+    /// Pure mean-flowtime optimisation (λ = 0).
+    #[must_use]
+    pub fn flowtime_only() -> Self {
+        Self { lambda: 0.0 }
+    }
+
+    /// The λ in effect.
+    #[must_use]
+    pub fn lambda(self) -> f64 {
+        self.lambda
+    }
+
+    /// Scalarises a pair of objective values.
+    #[inline]
+    #[must_use]
+    pub fn fitness(self, objectives: Objectives, nb_machines: usize) -> f64 {
+        self.lambda * objectives.makespan
+            + (1.0 - self.lambda) * objectives.flowtime / nb_machines as f64
+    }
+}
+
+impl Default for FitnessWeights {
+    /// The paper's λ = 0.75.
+    fn default() -> Self {
+        Self { lambda: Self::PAPER_LAMBDA }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default() {
+        assert_eq!(FitnessWeights::default().lambda(), 0.75);
+    }
+
+    #[test]
+    fn extremes_select_single_objectives() {
+        let obj = Objectives { makespan: 100.0, flowtime: 800.0 };
+        assert_eq!(FitnessWeights::makespan_only().fitness(obj, 4), 100.0);
+        assert_eq!(FitnessWeights::flowtime_only().fitness(obj, 4), 200.0);
+    }
+
+    #[test]
+    fn weighted_sum_matches_eq3() {
+        let obj = Objectives { makespan: 100.0, flowtime: 800.0 };
+        let f = FitnessWeights::new(0.75).fitness(obj, 4);
+        assert!((f - (0.75 * 100.0 + 0.25 * 200.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be in [0, 1]")]
+    fn rejects_out_of_range() {
+        let _ = FitnessWeights::new(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be in [0, 1]")]
+    fn rejects_nan() {
+        let _ = FitnessWeights::new(f64::NAN);
+    }
+}

@@ -1,0 +1,217 @@
+//! The scheduler-facing view of an ETC instance.
+
+use cmags_etc::GridInstance;
+
+use crate::{FitnessWeights, JobId, MachineId, Objectives};
+
+/// An immutable, evaluation-optimised view of a scheduling instance.
+///
+/// Owns a row-major copy of the ETC matrix plus the machine ready times and
+/// the fitness weights (Eq. 3). `Problem` is cheap to share by reference
+/// across threads (`Send + Sync`, no interior mutability); all algorithms
+/// in the workspace take `&Problem`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Problem {
+    name: String,
+    nb_jobs: usize,
+    nb_machines: usize,
+    /// Row-major: `etc[job * nb_machines + machine]`.
+    etc: Box<[f64]>,
+    ready: Box<[f64]>,
+    weights: FitnessWeights,
+}
+
+impl Problem {
+    /// Builds a problem from an instance with the paper's λ = 0.75.
+    #[must_use]
+    pub fn from_instance(instance: &GridInstance) -> Self {
+        Self::with_weights(instance, FitnessWeights::default())
+    }
+
+    /// Builds a problem with explicit fitness weights.
+    #[must_use]
+    pub fn with_weights(instance: &GridInstance, weights: FitnessWeights) -> Self {
+        Self {
+            name: instance.name().to_owned(),
+            nb_jobs: instance.nb_jobs(),
+            nb_machines: instance.nb_machines(),
+            etc: instance.etc().as_slice().into(),
+            ready: instance.ready_times().into(),
+            weights,
+        }
+    }
+
+    /// Instance name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of jobs.
+    #[inline]
+    #[must_use]
+    pub fn nb_jobs(&self) -> usize {
+        self.nb_jobs
+    }
+
+    /// Number of machines.
+    #[inline]
+    #[must_use]
+    pub fn nb_machines(&self) -> usize {
+        self.nb_machines
+    }
+
+    /// Expected time to compute `job` on `machine`.
+    #[inline]
+    #[must_use]
+    pub fn etc(&self, job: JobId, machine: MachineId) -> f64 {
+        debug_assert!((job as usize) < self.nb_jobs && (machine as usize) < self.nb_machines);
+        self.etc[job as usize * self.nb_machines + machine as usize]
+    }
+
+    /// The ETC row of one job — contiguous, for scanning candidate
+    /// machines.
+    #[inline]
+    #[must_use]
+    pub fn etc_row(&self, job: JobId) -> &[f64] {
+        let start = job as usize * self.nb_machines;
+        &self.etc[start..start + self.nb_machines]
+    }
+
+    /// Ready time of `machine`.
+    #[inline]
+    #[must_use]
+    pub fn ready(&self, machine: MachineId) -> f64 {
+        self.ready[machine as usize]
+    }
+
+    /// All ready times.
+    #[must_use]
+    pub fn ready_times(&self) -> &[f64] {
+        &self.ready
+    }
+
+    /// The fitness weights in effect.
+    #[must_use]
+    pub fn weights(&self) -> FitnessWeights {
+        self.weights
+    }
+
+    /// A copy of this problem with different fitness weights.
+    ///
+    /// Objectives are weight-independent, so any algorithm state computed
+    /// against `self` (schedules, [`crate::EvalState`] caches) remains
+    /// valid for the reweighted problem; only scalarised fitness values
+    /// change. Multi-objective engines use this to scalarise local-search
+    /// probes under varying λ without re-reading the instance.
+    #[must_use]
+    pub fn reweighted(&self, weights: FitnessWeights) -> Self {
+        Self { weights, ..self.clone() }
+    }
+
+    /// Scalarised fitness of a pair of objective values (Eq. 3).
+    #[inline]
+    #[must_use]
+    pub fn fitness(&self, objectives: Objectives) -> f64 {
+        self.weights.fitness(objectives, self.nb_machines)
+    }
+
+    /// Mean ETC of a job across machines (workload proxy).
+    #[must_use]
+    pub fn job_mean_etc(&self, job: JobId) -> f64 {
+        let row = self.etc_row(job);
+        row.iter().sum::<f64>() / row.len() as f64
+    }
+
+    /// Jobs sorted ascending by mean ETC (shortest first). Deterministic:
+    /// ties break by job id.
+    #[must_use]
+    pub fn jobs_by_workload(&self) -> Vec<JobId> {
+        let means: Vec<f64> = (0..self.nb_jobs as JobId).map(|j| self.job_mean_etc(j)).collect();
+        let mut order: Vec<JobId> = (0..self.nb_jobs as JobId).collect();
+        order.sort_by(|&a, &b| {
+            means[a as usize].total_cmp(&means[b as usize]).then(a.cmp(&b))
+        });
+        order
+    }
+
+    /// Machines sorted ascending by mean ETC over all jobs (fastest
+    /// first). Deterministic: ties break by machine id.
+    #[must_use]
+    pub fn machines_by_speed(&self) -> Vec<MachineId> {
+        let mut means = vec![0.0f64; self.nb_machines];
+        for job in 0..self.nb_jobs {
+            let row = &self.etc[job * self.nb_machines..(job + 1) * self.nb_machines];
+            for (m, &e) in row.iter().enumerate() {
+                means[m] += e;
+            }
+        }
+        let mut order: Vec<MachineId> = (0..self.nb_machines as MachineId).collect();
+        order.sort_by(|&a, &b| {
+            means[a as usize].total_cmp(&means[b as usize]).then(a.cmp(&b))
+        });
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmags_etc::EtcMatrix;
+
+    fn problem() -> Problem {
+        // 3 jobs x 2 machines; machine 0 uniformly faster.
+        let etc = EtcMatrix::from_rows(3, 2, vec![1.0, 2.0, 3.0, 6.0, 5.0, 10.0]);
+        let inst = GridInstance::with_ready_times("p", etc, vec![0.5, 0.0]);
+        Problem::from_instance(&inst)
+    }
+
+    #[test]
+    fn accessors() {
+        let p = problem();
+        assert_eq!(p.name(), "p");
+        assert_eq!(p.nb_jobs(), 3);
+        assert_eq!(p.nb_machines(), 2);
+        assert_eq!(p.etc(1, 1), 6.0);
+        assert_eq!(p.etc_row(2), &[5.0, 10.0]);
+        assert_eq!(p.ready(0), 0.5);
+        assert_eq!(p.ready_times(), &[0.5, 0.0]);
+    }
+
+    #[test]
+    fn workload_and_speed_orderings() {
+        let p = problem();
+        // Mean ETCs: job0=1.5, job1=4.5, job2=7.5 -> ascending already.
+        assert_eq!(p.jobs_by_workload(), vec![0, 1, 2]);
+        // Machine means: m0=3, m1=6 -> m0 fastest.
+        assert_eq!(p.machines_by_speed(), vec![0, 1]);
+    }
+
+    #[test]
+    fn fitness_uses_weights() {
+        let p = problem();
+        let obj = Objectives { makespan: 10.0, flowtime: 40.0 };
+        // lambda 0.75: 0.75*10 + 0.25*(40/2) = 7.5 + 5 = 12.5
+        assert!((p.fitness(obj) - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reweighted_changes_only_the_fitness() {
+        let p = problem();
+        let q = p.reweighted(FitnessWeights::new(0.25));
+        assert_eq!(p.nb_jobs(), q.nb_jobs());
+        assert_eq!(p.etc_row(1), q.etc_row(1));
+        let obj = Objectives { makespan: 10.0, flowtime: 40.0 };
+        // lambda 0.25: 0.25*10 + 0.75*(40/2) = 2.5 + 15 = 17.5
+        assert!((q.fitness(obj) - 17.5).abs() < 1e-12);
+        assert!((p.fitness(obj) - 12.5).abs() < 1e-12, "original untouched");
+    }
+
+    #[test]
+    fn orderings_are_deterministic_under_ties() {
+        let etc = EtcMatrix::from_rows(2, 2, vec![1.0, 1.0, 1.0, 1.0]);
+        let p = Problem::from_instance(&GridInstance::new("tie", etc));
+        assert_eq!(p.jobs_by_workload(), vec![0, 1]);
+        assert_eq!(p.machines_by_speed(), vec![0, 1]);
+    }
+}

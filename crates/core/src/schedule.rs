@@ -1,0 +1,223 @@
+//! Schedule representation: the assignment vector of the paper (§3.2).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a job (row of the ETC matrix).
+pub type JobId = u32;
+/// Index of a machine (column of the ETC matrix).
+pub type MachineId = u32;
+
+/// A feasible solution: `schedule[j] = m` assigns job `j` to machine `m`.
+///
+/// This is exactly the chromosome of the paper — "a vector of size
+/// `nb_jobs` in which its *j*th position (an integer value) indicates the
+/// machine where job *j* is assigned". Any vector whose entries are valid
+/// machine indices is feasible; operators therefore never need repair
+/// steps.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Schedule {
+    assignment: Vec<MachineId>,
+}
+
+/// Validation error for externally supplied assignment vectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The vector length differs from the problem's job count.
+    WrongLength {
+        /// Jobs in the vector.
+        found: usize,
+        /// Jobs in the problem.
+        expected: usize,
+    },
+    /// An entry references a machine outside the problem.
+    MachineOutOfRange {
+        /// Offending job.
+        job: JobId,
+        /// Machine the vector assigned.
+        machine: MachineId,
+        /// Number of machines in the problem.
+        nb_machines: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::WrongLength { found, expected } => {
+                write!(f, "schedule has {found} entries, problem has {expected} jobs")
+            }
+            ScheduleError::MachineOutOfRange { job, machine, nb_machines } => write!(
+                f,
+                "job {job} assigned to machine {machine}, but only {nb_machines} machines exist"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl Schedule {
+    /// Wraps an assignment vector without validation.
+    ///
+    /// Prefer [`Schedule::try_new`] for vectors from untrusted sources.
+    #[must_use]
+    pub fn from_assignment(assignment: Vec<MachineId>) -> Self {
+        Self { assignment }
+    }
+
+    /// Wraps an assignment vector, validating it against problem
+    /// dimensions.
+    pub fn try_new(
+        assignment: Vec<MachineId>,
+        nb_jobs: usize,
+        nb_machines: usize,
+    ) -> Result<Self, ScheduleError> {
+        if assignment.len() != nb_jobs {
+            return Err(ScheduleError::WrongLength { found: assignment.len(), expected: nb_jobs });
+        }
+        for (job, &machine) in assignment.iter().enumerate() {
+            if machine as usize >= nb_machines {
+                return Err(ScheduleError::MachineOutOfRange {
+                    job: job as JobId,
+                    machine,
+                    nb_machines,
+                });
+            }
+        }
+        Ok(Self { assignment })
+    }
+
+    /// All jobs on one machine.
+    #[must_use]
+    pub fn uniform(nb_jobs: usize, machine: MachineId) -> Self {
+        Self { assignment: vec![machine; nb_jobs] }
+    }
+
+    /// Number of jobs.
+    #[inline]
+    #[must_use]
+    pub fn nb_jobs(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Machine currently hosting `job`.
+    #[inline]
+    #[must_use]
+    pub fn machine_of(&self, job: JobId) -> MachineId {
+        self.assignment[job as usize]
+    }
+
+    /// Reassigns `job` to `machine`.
+    #[inline]
+    pub fn assign(&mut self, job: JobId, machine: MachineId) {
+        self.assignment[job as usize] = machine;
+    }
+
+    /// Exchanges the machines of two jobs.
+    #[inline]
+    pub fn swap_jobs(&mut self, a: JobId, b: JobId) {
+        self.assignment.swap(a as usize, b as usize);
+    }
+
+    /// The raw assignment vector.
+    #[must_use]
+    pub fn assignment(&self) -> &[MachineId] {
+        &self.assignment
+    }
+
+    /// Iterates `(job, machine)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (JobId, MachineId)> + '_ {
+        self.assignment.iter().enumerate().map(|(j, &m)| (j as JobId, m))
+    }
+
+    /// Jobs assigned to `machine`, in job order.
+    #[must_use]
+    pub fn jobs_on(&self, machine: MachineId) -> Vec<JobId> {
+        self.iter().filter(|&(_, m)| m == machine).map(|(j, _)| j).collect()
+    }
+
+    /// Number of positions on which two schedules differ (Hamming
+    /// distance) — the similarity metric of the Struggle GA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedules have different lengths.
+    #[must_use]
+    pub fn hamming_distance(&self, other: &Schedule) -> usize {
+        assert_eq!(self.assignment.len(), other.assignment.len());
+        self.assignment.iter().zip(&other.assignment).filter(|(a, b)| a != b).count()
+    }
+
+    /// Count of jobs per machine.
+    #[must_use]
+    pub fn load_histogram(&self, nb_machines: usize) -> Vec<usize> {
+        let mut histogram = vec![0usize; nb_machines];
+        for &m in &self.assignment {
+            histogram[m as usize] += 1;
+        }
+        histogram
+    }
+}
+
+impl From<Vec<MachineId>> for Schedule {
+    fn from(assignment: Vec<MachineId>) -> Self {
+        Self::from_assignment(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let s = Schedule::from_assignment(vec![0, 1, 2, 1]);
+        assert_eq!(s.nb_jobs(), 4);
+        assert_eq!(s.machine_of(2), 2);
+        assert_eq!(s.jobs_on(1), vec![1, 3]);
+    }
+
+    #[test]
+    fn try_new_validates() {
+        assert!(Schedule::try_new(vec![0, 1], 2, 2).is_ok());
+        assert_eq!(
+            Schedule::try_new(vec![0], 2, 2).unwrap_err(),
+            ScheduleError::WrongLength { found: 1, expected: 2 }
+        );
+        assert_eq!(
+            Schedule::try_new(vec![0, 5], 2, 2).unwrap_err(),
+            ScheduleError::MachineOutOfRange { job: 1, machine: 5, nb_machines: 2 }
+        );
+    }
+
+    #[test]
+    fn mutators() {
+        let mut s = Schedule::uniform(3, 0);
+        s.assign(1, 2);
+        assert_eq!(s.assignment(), &[0, 2, 0]);
+        s.swap_jobs(0, 1);
+        assert_eq!(s.assignment(), &[2, 0, 0]);
+    }
+
+    #[test]
+    fn hamming() {
+        let a = Schedule::from_assignment(vec![0, 1, 2]);
+        let b = Schedule::from_assignment(vec![0, 2, 2]);
+        assert_eq!(a.hamming_distance(&b), 1);
+        assert_eq!(a.hamming_distance(&a), 0);
+    }
+
+    #[test]
+    fn load_histogram_counts() {
+        let s = Schedule::from_assignment(vec![0, 1, 1, 3]);
+        assert_eq!(s.load_histogram(4), vec![1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = Schedule::try_new(vec![9], 1, 4).unwrap_err();
+        assert!(e.to_string().contains("machine 9"));
+    }
+}

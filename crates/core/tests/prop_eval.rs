@@ -1,0 +1,137 @@
+//! Property-based tests: the incremental evaluator must agree with the
+//! reference full evaluation on arbitrary problems and operation sequences.
+
+use cmags_core::{evaluate, EvalState, Problem, Schedule};
+use cmags_etc::{EtcMatrix, GridInstance};
+use proptest::prelude::*;
+
+/// Strategy producing a random problem (2–24 jobs, 2–6 machines, ETC in
+/// (0, 1000], ready times in [0, 50]) together with a feasible schedule.
+fn problem_and_schedule() -> impl Strategy<Value = (Problem, Schedule)> {
+    (2usize..24, 2usize..6).prop_flat_map(|(jobs, machines)| {
+        let etc = proptest::collection::vec(0.001f64..1000.0, jobs * machines);
+        let ready = proptest::collection::vec(0.0f64..50.0, machines);
+        let assignment = proptest::collection::vec(0u32..machines as u32, jobs);
+        (etc, ready, assignment).prop_map(move |(etc, ready, assignment)| {
+            let matrix = EtcMatrix::from_rows(jobs, machines, etc);
+            let inst = GridInstance::with_ready_times("prop", matrix, ready);
+            (Problem::from_instance(&inst), Schedule::from_assignment(assignment))
+        })
+    })
+}
+
+/// A random sequence of moves/swaps encoded dimension-agnostically:
+/// `(is_swap, a, b)` with `a`, `b` reduced modulo the problem dimensions.
+fn operations() -> impl Strategy<Value = Vec<(bool, u32, u32)>> {
+    proptest::collection::vec((any::<bool>(), 0u32..1024, 0u32..1024), 0..64)
+}
+
+proptest! {
+    /// Construction matches the reference evaluation.
+    #[test]
+    fn eval_state_matches_full((problem, schedule) in problem_and_schedule()) {
+        let eval = EvalState::new(&problem, &schedule);
+        prop_assert_eq!(eval.objectives(), evaluate(&problem, &schedule));
+    }
+
+    /// Any sequence of applied moves/swaps keeps the cache in lockstep
+    /// with the reference evaluation, bit-for-bit.
+    #[test]
+    fn eval_state_tracks_operation_sequences(
+        (problem, mut schedule) in problem_and_schedule(),
+        ops in operations(),
+    ) {
+        let mut eval = EvalState::new(&problem, &schedule);
+        for (is_swap, a, b) in ops {
+            if is_swap {
+                let ja = a % problem.nb_jobs() as u32;
+                let jb = b % problem.nb_jobs() as u32;
+                eval.apply_swap(&problem, &mut schedule, ja, jb);
+            } else {
+                let job = a % problem.nb_jobs() as u32;
+                let to = b % problem.nb_machines() as u32;
+                eval.apply_move(&problem, &mut schedule, job, to);
+            }
+            prop_assert_eq!(eval.objectives(), evaluate(&problem, &schedule));
+        }
+    }
+
+    /// Peeking never mutates, and agrees with applying.
+    #[test]
+    fn peek_agrees_with_apply(
+        (problem, mut schedule) in problem_and_schedule(),
+        job_a in 0u32..1024,
+        job_b in 0u32..1024,
+        to in 0u32..1024,
+    ) {
+        let job_a = job_a % problem.nb_jobs() as u32;
+        let job_b = job_b % problem.nb_jobs() as u32;
+        let to = to % problem.nb_machines() as u32;
+
+        let eval = EvalState::new(&problem, &schedule);
+        let before = eval.objectives();
+
+        let peek_mv = eval.peek_move(&problem, &schedule, job_a, to);
+        let peek_sw = eval.peek_swap(&problem, &schedule, job_a, job_b);
+        prop_assert_eq!(eval.objectives(), before, "peek must not mutate");
+
+        let mut apply_mv = eval.clone();
+        let mut s_mv = schedule.clone();
+        apply_mv.apply_move(&problem, &mut s_mv, job_a, to);
+        prop_assert_eq!(peek_mv, apply_mv.objectives());
+
+        let mut apply_sw = eval.clone();
+        apply_sw.apply_swap(&problem, &mut schedule, job_a, job_b);
+        prop_assert_eq!(peek_sw, apply_sw.objectives());
+    }
+
+    /// Structural invariants of the objectives themselves.
+    #[test]
+    fn objective_invariants((problem, schedule) in problem_and_schedule()) {
+        let obj = evaluate(&problem, &schedule);
+        // Makespan bounds: at least the largest single assigned ETC (plus
+        // that machine's ready) and at most ready_max + sum of all ETCs.
+        let mut max_single = 0.0f64;
+        let mut total: f64 = 0.0;
+        for (job, machine) in schedule.iter() {
+            let e = problem.etc(job, machine);
+            max_single = max_single.max(problem.ready(machine) + e);
+            total += e;
+        }
+        let ready_max = problem
+            .ready_times()
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max);
+        prop_assert!(obj.makespan >= max_single - 1e-9);
+        prop_assert!(obj.makespan <= ready_max + total + 1e-9);
+        // Every job finishes no later than the makespan, so flowtime is at
+        // most jobs * makespan; it is at least the sum of the assigned ETCs.
+        prop_assert!(obj.flowtime <= schedule.nb_jobs() as f64 * obj.makespan + 1e-9);
+        prop_assert!(obj.flowtime >= total - 1e-9);
+    }
+
+    /// SPT order is flowtime-optimal for a fixed assignment: the evaluator
+    /// must never report a flowtime above the value of any *other*
+    /// sequencing. We check against the pessimal (LPT) sequencing.
+    #[test]
+    fn spt_flowtime_is_minimal((problem, schedule) in problem_and_schedule()) {
+        let obj = evaluate(&problem, &schedule);
+        // Compute flowtime with longest-first sequencing by hand.
+        let mut lpt_flowtime = 0.0;
+        for m in 0..problem.nb_machines() as u32 {
+            let mut etcs: Vec<f64> = schedule
+                .iter()
+                .filter(|&(_, machine)| machine == m)
+                .map(|(job, _)| problem.etc(job, m))
+                .collect();
+            etcs.sort_by(|a, b| b.total_cmp(a));
+            let mut clock = problem.ready(m);
+            for e in etcs {
+                clock += e;
+                lpt_flowtime += clock;
+            }
+        }
+        prop_assert!(obj.flowtime <= lpt_flowtime + 1e-9);
+    }
+}

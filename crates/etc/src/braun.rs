@@ -1,0 +1,210 @@
+//! Range-based generator reproducing the Braun et al. benchmark
+//! distributions.
+//!
+//! The original `u_x_yyzz.k` files shipped with the 2001 JPDC paper are not
+//! redistributable here, so this module regenerates instances of the same
+//! classes with the published **range-based method**:
+//!
+//! 1. draw a task vector `B[i] ~ U(1, φ_task)` — one baseline workload per
+//!    job;
+//! 2. draw every entry as `ETC[i][j] = B[i] · r[i][j]` with
+//!    `r[i][j] ~ U(1, φ_mach)`;
+//! 3. post-process for consistency: sort each row ascending (consistent) or
+//!    sort the even-indexed entries of each row (semi-consistent);
+//!    inconsistent instances keep the raw draws.
+//!
+//! Heterogeneity ranges follow the benchmark: `φ_task = 3000` (hi) / `100`
+//! (lo) and `φ_mach = 1000` (hi) / `10` (lo), giving `hihi` entries up to
+//! `3·10⁶` time units — the magnitudes visible in the paper's tables.
+//!
+//! Generation is fully deterministic given `(class, stream)`; see
+//! [`InstanceClass::stable_seed`].
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Consistency, EtcMatrix, GridInstance, Heterogeneity, InstanceClass};
+
+/// Upper bound of the task-baseline range for high job heterogeneity.
+pub const PHI_TASK_HI: f64 = 3000.0;
+/// Upper bound of the task-baseline range for low job heterogeneity.
+pub const PHI_TASK_LO: f64 = 100.0;
+/// Upper bound of the machine-multiplier range for high machine heterogeneity.
+pub const PHI_MACH_HI: f64 = 1000.0;
+/// Upper bound of the machine-multiplier range for low machine heterogeneity.
+pub const PHI_MACH_LO: f64 = 10.0;
+
+/// Returns the `(φ_task, φ_mach)` ranges of a class.
+#[must_use]
+pub fn ranges(class: InstanceClass) -> (f64, f64) {
+    let phi_task = match class.job_heterogeneity {
+        Heterogeneity::Hi => PHI_TASK_HI,
+        Heterogeneity::Lo => PHI_TASK_LO,
+    };
+    let phi_mach = match class.machine_heterogeneity {
+        Heterogeneity::Hi => PHI_MACH_HI,
+        Heterogeneity::Lo => PHI_MACH_LO,
+    };
+    (phi_task, phi_mach)
+}
+
+/// Generates the ETC matrix of `class` deterministically.
+///
+/// `stream` decorrelates repeated draws of the same class (it plays the role
+/// of the `.k` replica index at the RNG level; the class's own `index` field
+/// already participates in the seed through the label).
+#[must_use]
+pub fn generate_matrix(class: InstanceClass, stream: u64) -> EtcMatrix {
+    let (phi_task, phi_mach) = ranges(class);
+    let mut rng = SmallRng::seed_from_u64(class.stable_seed(stream));
+    let nb_jobs = class.nb_jobs as usize;
+    let nb_machines = class.nb_machines as usize;
+
+    let mut data = Vec::with_capacity(nb_jobs * nb_machines);
+    for _ in 0..nb_jobs {
+        let baseline: f64 = rng.gen_range(1.0..=phi_task);
+        for _ in 0..nb_machines {
+            let mult: f64 = rng.gen_range(1.0..=phi_mach);
+            data.push(baseline * mult);
+        }
+    }
+    let mut matrix = EtcMatrix::from_rows(nb_jobs, nb_machines, data);
+    match class.consistency {
+        Consistency::Consistent => matrix.sort_rows(),
+        Consistency::SemiConsistent => matrix.sort_even_columns(),
+        Consistency::Inconsistent => {}
+    }
+    matrix
+}
+
+/// Generates a full [`GridInstance`] (matrix + zero ready times + label).
+///
+/// The static benchmark assumes idle machines; dynamic scenarios overwrite
+/// the ready times (see `cmags-gridsim`).
+#[must_use]
+pub fn generate(class: InstanceClass, stream: u64) -> GridInstance {
+    GridInstance::new(class.label(), generate_matrix(class, stream))
+}
+
+/// Generates the twelve-instance suite of the paper's tables
+/// (`u_{c,i,s}_{hihi,hilo,lohi,lolo}.index`).
+#[must_use]
+pub fn generate_suite(index: u32, stream: u64) -> Vec<GridInstance> {
+    InstanceClass::braun_suite(index).into_iter().map(|c| generate(c, stream)).collect()
+}
+
+/// Generates an instance from explicit job workloads (millions of
+/// instructions) and machine capacities (MIPS): `ETC[i][j] = wl[i] / mips[j]`.
+///
+/// This is the "workload / computing capacity" formulation of the problem
+/// statement (paper §2); by construction it yields a *consistent* matrix.
+///
+/// # Panics
+///
+/// Panics if any workload or capacity is not strictly positive and finite,
+/// or if either slice is empty.
+#[must_use]
+pub fn from_workloads(name: impl Into<String>, workloads: &[f64], mips: &[f64]) -> GridInstance {
+    assert!(!workloads.is_empty() && !mips.is_empty(), "need at least one job and machine");
+    assert!(
+        workloads.iter().chain(mips).all(|&x| x.is_finite() && x > 0.0),
+        "workloads and MIPS must be strictly positive and finite"
+    );
+    let matrix =
+        EtcMatrix::from_fn(workloads.len(), mips.len(), |i, j| workloads[i] / mips[j]);
+    GridInstance::new(name, matrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class(label: &str) -> InstanceClass {
+        label.parse().unwrap()
+    }
+
+    #[test]
+    fn dimensions_match_class() {
+        let inst = generate(class("u_i_hilo.0"), 0);
+        assert_eq!(inst.nb_jobs(), 512);
+        assert_eq!(inst.nb_machines(), 16);
+        assert_eq!(inst.name(), "u_i_hilo.0");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_matrix(class("u_c_hihi.0"), 3);
+        let b = generate_matrix(class("u_c_hihi.0"), 3);
+        assert_eq!(a, b);
+        let c = generate_matrix(class("u_c_hihi.0"), 4);
+        assert_ne!(a, c, "different streams must decorrelate");
+    }
+
+    #[test]
+    fn consistent_class_is_consistent() {
+        let m = generate_matrix(class("u_c_lolo.0"), 0);
+        assert!(m.is_consistent());
+    }
+
+    #[test]
+    fn semiconsistent_class_has_consistent_even_columns() {
+        let m = generate_matrix(class("u_s_hihi.0"), 0);
+        assert!(!m.is_consistent());
+        assert!(m.even_columns_consistent());
+        assert_eq!(m.classify(), Consistency::SemiConsistent);
+    }
+
+    #[test]
+    fn inconsistent_class_is_inconsistent() {
+        let m = generate_matrix(class("u_i_lohi.0"), 0);
+        assert_eq!(m.classify(), Consistency::Inconsistent);
+    }
+
+    #[test]
+    fn entries_respect_ranges() {
+        let m = generate_matrix(class("u_i_hihi.0"), 1);
+        assert!(m.min_etc() >= 1.0);
+        assert!(m.max_etc() <= PHI_TASK_HI * PHI_MACH_HI);
+
+        let m = generate_matrix(class("u_i_lolo.0"), 1);
+        assert!(m.max_etc() <= PHI_TASK_LO * PHI_MACH_LO);
+    }
+
+    #[test]
+    fn hihi_dominates_lolo_in_scale() {
+        let hi = generate_matrix(class("u_i_hihi.0"), 0);
+        let lo = generate_matrix(class("u_i_lolo.0"), 0);
+        assert!(hi.max_etc() > 100.0 * lo.max_etc());
+    }
+
+    #[test]
+    fn suite_covers_twelve_labels() {
+        let suite = generate_suite(0, 0);
+        assert_eq!(suite.len(), 12);
+        assert_eq!(suite[0].name(), "u_c_hihi.0");
+        assert_eq!(suite[11].name(), "u_s_lolo.0");
+    }
+
+    #[test]
+    fn scaled_dimensions() {
+        let c = class("u_c_hihi.0").with_dims(1024, 32);
+        let inst = generate(c, 0);
+        assert_eq!(inst.nb_jobs(), 1024);
+        assert_eq!(inst.nb_machines(), 32);
+        assert!(inst.etc().is_consistent());
+    }
+
+    #[test]
+    fn workload_formulation_is_consistent() {
+        let inst = from_workloads("wl", &[100.0, 50.0, 75.0], &[10.0, 2.0, 5.0]);
+        assert!(inst.etc().is_consistent());
+        assert_eq!(inst.etc().get(0, 0), 10.0);
+        assert_eq!(inst.etc().get(1, 1), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn workload_formulation_rejects_zero_mips() {
+        let _ = from_workloads("bad", &[1.0], &[0.0]);
+    }
+}

@@ -1,0 +1,355 @@
+//! The twelve-class taxonomy of the Braun et al. benchmark.
+//!
+//! Instances are labelled `u_x_yyzz.k` where
+//!
+//! * `u`  — the uniform distribution used when drawing matrix entries,
+//! * `x`  — the consistency type (`c`onsistent / `i`nconsistent /
+//!   `s`emi-consistent),
+//! * `yy` — job (task) heterogeneity (`hi` / `lo`),
+//! * `zz` — machine (resource) heterogeneity (`hi` / `lo`),
+//! * `k`  — the index of the instance within its class.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Consistency of an ETC matrix.
+///
+/// A matrix is *consistent* when machine speed orderings agree across jobs:
+/// if machine `a` runs some job faster than machine `b`, it runs **every**
+/// job faster than `b`. *Inconsistent* matrices have no such structure, and
+/// *semi-consistent* matrices contain a consistent sub-matrix (in the Braun
+/// construction: the even-indexed columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Consistency {
+    /// Machine orderings agree for every job (`c`).
+    Consistent,
+    /// No structure between rows (`i`).
+    Inconsistent,
+    /// The even-indexed columns form a consistent sub-matrix (`s`).
+    SemiConsistent,
+}
+
+impl Consistency {
+    /// One-letter code used in instance labels.
+    #[must_use]
+    pub fn code(self) -> char {
+        match self {
+            Consistency::Consistent => 'c',
+            Consistency::Inconsistent => 'i',
+            Consistency::SemiConsistent => 's',
+        }
+    }
+
+    /// All three consistency kinds, in the order the paper tabulates them.
+    pub const ALL: [Consistency; 3] = [
+        Consistency::Consistent,
+        Consistency::Inconsistent,
+        Consistency::SemiConsistent,
+    ];
+}
+
+impl fmt::Display for Consistency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+/// Two-level heterogeneity (variance) of job workloads or machine speeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Heterogeneity {
+    /// High heterogeneity (`hi`).
+    Hi,
+    /// Low heterogeneity (`lo`).
+    Lo,
+}
+
+impl Heterogeneity {
+    /// Two-letter code used in instance labels.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            Heterogeneity::Hi => "hi",
+            Heterogeneity::Lo => "lo",
+        }
+    }
+
+    /// Both heterogeneity levels, high first (paper ordering).
+    pub const ALL: [Heterogeneity; 2] = [Heterogeneity::Hi, Heterogeneity::Lo];
+}
+
+impl fmt::Display for Heterogeneity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// A fully qualified instance class plus index, e.g. `u_c_hihi.0`.
+///
+/// The struct also carries the instance dimensions. The classic benchmark
+/// fixes 512 jobs × 16 machines; [`InstanceClass::with_dims`] scales the
+/// class to other sizes (used by the "larger grid instances" extension the
+/// paper lists as future work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InstanceClass {
+    /// Consistency type (`x` in the label).
+    pub consistency: Consistency,
+    /// Job heterogeneity (`yy` in the label).
+    pub job_heterogeneity: Heterogeneity,
+    /// Machine heterogeneity (`zz` in the label).
+    pub machine_heterogeneity: Heterogeneity,
+    /// Instance index within the class (`k` in the label).
+    pub index: u32,
+    /// Number of jobs (512 in the classic benchmark).
+    pub nb_jobs: u32,
+    /// Number of machines (16 in the classic benchmark).
+    pub nb_machines: u32,
+}
+
+impl InstanceClass {
+    /// Number of jobs in the classic Braun benchmark.
+    pub const BRAUN_JOBS: u32 = 512;
+    /// Number of machines in the classic Braun benchmark.
+    pub const BRAUN_MACHINES: u32 = 16;
+
+    /// Creates a classic 512×16 class.
+    #[must_use]
+    pub fn new(
+        consistency: Consistency,
+        job_heterogeneity: Heterogeneity,
+        machine_heterogeneity: Heterogeneity,
+        index: u32,
+    ) -> Self {
+        Self {
+            consistency,
+            job_heterogeneity,
+            machine_heterogeneity,
+            index,
+            nb_jobs: Self::BRAUN_JOBS,
+            nb_machines: Self::BRAUN_MACHINES,
+        }
+    }
+
+    /// Returns the same class scaled to different dimensions.
+    #[must_use]
+    pub fn with_dims(mut self, nb_jobs: u32, nb_machines: u32) -> Self {
+        assert!(nb_jobs > 0 && nb_machines > 0, "dimensions must be positive");
+        self.nb_jobs = nb_jobs;
+        self.nb_machines = nb_machines;
+        self
+    }
+
+    /// The canonical label, e.g. `u_c_hihi.0`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "u_{}_{}{}.{}",
+            self.consistency.code(),
+            self.job_heterogeneity.code(),
+            self.machine_heterogeneity.code(),
+            self.index
+        )
+    }
+
+    /// The twelve classic benchmark classes, in the order of the paper's
+    /// tables (grouped by consistency, then job/machine heterogeneity
+    /// `hihi`, `hilo`, `lohi`, `lolo`).
+    #[must_use]
+    pub fn braun_suite(index: u32) -> Vec<InstanceClass> {
+        let mut suite = Vec::with_capacity(12);
+        for consistency in Consistency::ALL {
+            for (jh, mh) in [
+                (Heterogeneity::Hi, Heterogeneity::Hi),
+                (Heterogeneity::Hi, Heterogeneity::Lo),
+                (Heterogeneity::Lo, Heterogeneity::Hi),
+                (Heterogeneity::Lo, Heterogeneity::Lo),
+            ] {
+                suite.push(InstanceClass::new(consistency, jh, mh, index));
+            }
+        }
+        suite
+    }
+
+    /// A deterministic seed derived from the class so that every label maps
+    /// to a stable instance across runs and processes.
+    ///
+    /// The derivation mixes the label bytes with an FNV-1a hash; it has no
+    /// cryptographic ambitions, it only needs to be stable and to decorrelate
+    /// the twelve classes.
+    #[must_use]
+    pub fn stable_seed(&self, stream: u64) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for b in self.label().bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        for b in self.nb_jobs.to_le_bytes().into_iter().chain(self.nb_machines.to_le_bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+}
+
+impl fmt::Display for InstanceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Error produced when parsing an instance label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseClassError {
+    input: String,
+    reason: &'static str,
+}
+
+impl fmt::Display for ParseClassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instance label {:?}: {}", self.input, self.reason)
+    }
+}
+
+impl std::error::Error for ParseClassError {}
+
+impl FromStr for InstanceClass {
+    type Err = ParseClassError;
+
+    /// Parses labels of the form `u_x_yyzz.k` (the `.k` suffix is optional
+    /// and defaults to 0).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |reason| ParseClassError { input: s.to_owned(), reason };
+        let (body, index) = match s.split_once('.') {
+            Some((body, idx)) => {
+                let index: u32 = idx.parse().map_err(|_| err("index is not an integer"))?;
+                (body, index)
+            }
+            None => (s, 0),
+        };
+        let mut parts = body.split('_');
+        let dist = parts.next().ok_or_else(|| err("missing distribution field"))?;
+        if dist != "u" {
+            return Err(err("only the uniform (`u`) distribution is defined"));
+        }
+        let cons = parts.next().ok_or_else(|| err("missing consistency field"))?;
+        let consistency = match cons {
+            "c" => Consistency::Consistent,
+            "i" => Consistency::Inconsistent,
+            "s" => Consistency::SemiConsistent,
+            _ => return Err(err("consistency must be `c`, `i` or `s`")),
+        };
+        let het = parts.next().ok_or_else(|| err("missing heterogeneity field"))?;
+        if parts.next().is_some() {
+            return Err(err("too many `_`-separated fields"));
+        }
+        if het.len() != 4 {
+            return Err(err("heterogeneity field must be 4 characters (e.g. `hilo`)"));
+        }
+        let parse_het = |code: &str| -> Result<Heterogeneity, ParseClassError> {
+            match code {
+                "hi" => Ok(Heterogeneity::Hi),
+                "lo" => Ok(Heterogeneity::Lo),
+                _ => Err(err("heterogeneity codes must be `hi` or `lo`")),
+            }
+        };
+        let job = parse_het(&het[..2])?;
+        let machine = parse_het(&het[2..])?;
+        Ok(InstanceClass::new(consistency, job, machine, index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_round_trips() {
+        for class in InstanceClass::braun_suite(0) {
+            let label = class.label();
+            let parsed: InstanceClass = label.parse().unwrap();
+            assert_eq!(parsed, class, "label {label} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn parses_all_paper_labels() {
+        let labels = [
+            "u_c_hihi.0", "u_c_hilo.0", "u_c_lohi.0", "u_c_lolo.0",
+            "u_i_hihi.0", "u_i_hilo.0", "u_i_lohi.0", "u_i_lolo.0",
+            "u_s_hihi.0", "u_s_hilo.0", "u_s_lohi.0", "u_s_lolo.0",
+        ];
+        for label in labels {
+            let class: InstanceClass = label.parse().unwrap();
+            assert_eq!(class.label(), label);
+            assert_eq!(class.nb_jobs, 512);
+            assert_eq!(class.nb_machines, 16);
+        }
+    }
+
+    #[test]
+    fn index_defaults_to_zero() {
+        let class: InstanceClass = "u_s_lohi".parse().unwrap();
+        assert_eq!(class.index, 0);
+        assert_eq!(class.consistency, Consistency::SemiConsistent);
+        assert_eq!(class.job_heterogeneity, Heterogeneity::Lo);
+        assert_eq!(class.machine_heterogeneity, Heterogeneity::Hi);
+    }
+
+    #[test]
+    fn rejects_malformed_labels() {
+        for bad in [
+            "", "u", "u_c", "u_q_hihi.0", "g_c_hihi.0", "u_c_hixx.0",
+            "u_c_hihi.x", "u_c_hihi_extra.0", "u_c_hi.0",
+        ] {
+            assert!(bad.parse::<InstanceClass>().is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn suite_has_twelve_distinct_classes() {
+        let suite = InstanceClass::braun_suite(0);
+        assert_eq!(suite.len(), 12);
+        let labels: std::collections::HashSet<_> =
+            suite.iter().map(InstanceClass::label).collect();
+        assert_eq!(labels.len(), 12);
+    }
+
+    #[test]
+    fn stable_seed_is_stable_and_class_sensitive() {
+        let a: InstanceClass = "u_c_hihi.0".parse().unwrap();
+        let b: InstanceClass = "u_c_hihi.1".parse().unwrap();
+        assert_eq!(a.stable_seed(7), a.stable_seed(7));
+        assert_ne!(a.stable_seed(7), b.stable_seed(7));
+        assert_ne!(a.stable_seed(7), a.stable_seed(8));
+        // Dimensions participate in the seed.
+        assert_ne!(a.stable_seed(7), a.with_dims(1024, 32).stable_seed(7));
+    }
+
+    #[test]
+    fn with_dims_scales() {
+        let class = InstanceClass::new(
+            Consistency::Consistent,
+            Heterogeneity::Hi,
+            Heterogeneity::Hi,
+            0,
+        )
+        .with_dims(4096, 128);
+        assert_eq!(class.nb_jobs, 4096);
+        assert_eq!(class.nb_machines, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn with_dims_rejects_zero() {
+        let _ = InstanceClass::new(
+            Consistency::Consistent,
+            Heterogeneity::Hi,
+            Heterogeneity::Hi,
+            0,
+        )
+        .with_dims(0, 16);
+    }
+}

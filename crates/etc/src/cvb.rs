@@ -1,0 +1,276 @@
+//! Coefficient-of-Variation-Based (CVB) ETC generator (Ali, Siegel,
+//! Maheswaran, Hensgen & Ali, 2000).
+//!
+//! The range-based method of [`crate::braun`] controls heterogeneity
+//! through the *width* of uniform ranges, which couples heterogeneity
+//! to the mean. Ali et al.'s CVB method decouples them: task and
+//! machine heterogeneity are specified directly as **coefficients of
+//! variation** (`V = σ/μ`) of gamma distributions,
+//!
+//! 1. per job, draw a baseline `q[i] ~ Gamma(α_task, β_task)` with
+//!    `α_task = 1/V_task²` and `β_task = μ_task/α_task`;
+//! 2. per entry, draw `ETC[i][j] ~ Gamma(α_mach, q[i]/α_mach)` with
+//!    `α_mach = 1/V_mach²` — so row `i` has mean `q[i]` and
+//!    coefficient of variation `V_mach`;
+//! 3. apply the usual consistency post-processing (row sort /
+//!    even-column sort).
+//!
+//! Gamma variates are drawn with the Marsaglia-Tsang (2000) squeeze
+//! method (with the Ahrens boost for shape < 1), hand-rolled because
+//! `rand_distr` is outside the approved dependency set — the sampler
+//! is ~30 lines and property-tested against the distribution moments.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::{Consistency, EtcMatrix, GridInstance, Heterogeneity, InstanceClass};
+
+/// CVB parameters: mean task execution time and the two coefficients
+/// of variation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CvbParams {
+    /// Mean of the per-job baseline distribution (`μ_task`).
+    pub mean_task: f64,
+    /// Task (job) heterogeneity: coefficient of variation of the
+    /// baselines.
+    pub v_task: f64,
+    /// Machine heterogeneity: coefficient of variation within a row.
+    pub v_mach: f64,
+}
+
+impl CvbParams {
+    /// The coefficients used throughout the HC literature: `V = 0.9`
+    /// for high and `V = 0.1` for low heterogeneity, `μ_task = 1000`.
+    #[must_use]
+    pub fn for_class(class: InstanceClass) -> Self {
+        let v = |h: Heterogeneity| match h {
+            Heterogeneity::Hi => 0.9,
+            Heterogeneity::Lo => 0.1,
+        };
+        Self {
+            mean_task: 1000.0,
+            v_task: v(class.job_heterogeneity),
+            v_mach: v(class.machine_heterogeneity),
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.mean_task > 0.0 && self.mean_task.is_finite(),
+            "mean task time must be positive and finite"
+        );
+        assert!(
+            self.v_task > 0.0 && self.v_mach > 0.0,
+            "coefficients of variation must be positive"
+        );
+    }
+}
+
+/// Generates a CVB ETC matrix for `class` (consistency and dimensions
+/// from the class, heterogeneity from `params`), deterministically per
+/// `(class, stream)`.
+///
+/// # Panics
+///
+/// Panics on non-positive parameters.
+#[must_use]
+pub fn generate_matrix(class: InstanceClass, params: CvbParams, stream: u64) -> EtcMatrix {
+    params.validate();
+    // Offset the stream so CVB draws never collide with the range-based
+    // generator's stream space for the same class label.
+    let mut rng = SmallRng::seed_from_u64(class.stable_seed(stream).wrapping_add(0xC5B));
+    let nb_jobs = class.nb_jobs as usize;
+    let nb_machines = class.nb_machines as usize;
+
+    let alpha_task = 1.0 / (params.v_task * params.v_task);
+    let beta_task = params.mean_task / alpha_task;
+    let alpha_mach = 1.0 / (params.v_mach * params.v_mach);
+
+    let mut data = Vec::with_capacity(nb_jobs * nb_machines);
+    for _ in 0..nb_jobs {
+        let baseline = gamma(alpha_task, beta_task, &mut rng);
+        let beta_mach = baseline / alpha_mach;
+        for _ in 0..nb_machines {
+            data.push(gamma(alpha_mach, beta_mach, &mut rng));
+        }
+    }
+    let mut matrix = EtcMatrix::from_rows(nb_jobs, nb_machines, data);
+    match class.consistency {
+        Consistency::Consistent => matrix.sort_rows(),
+        Consistency::SemiConsistent => matrix.sort_even_columns(),
+        Consistency::Inconsistent => {}
+    }
+    matrix
+}
+
+/// Generates a full [`GridInstance`] with the class's default CVB
+/// parameters and a `cvb_` name prefix.
+#[must_use]
+pub fn generate(class: InstanceClass, stream: u64) -> GridInstance {
+    let matrix = generate_matrix(class, CvbParams::for_class(class), stream);
+    GridInstance::new(format!("cvb_{}", class.label()), matrix)
+}
+
+/// Draws one `Gamma(shape α, scale β)` variate.
+///
+/// Marsaglia-Tsang for `α ≥ 1`; for `α < 1` the Ahrens boost
+/// `Gamma(α) = Gamma(α+1) · U^{1/α}` is applied.
+///
+/// # Panics
+///
+/// Panics on non-positive shape or scale.
+pub fn gamma(shape: f64, scale: f64, rng: &mut dyn RngCore) -> f64 {
+    assert!(shape > 0.0 && scale > 0.0, "gamma requires positive shape and scale");
+    if shape < 1.0 {
+        // Boost: draw at shape + 1 and scale back.
+        let boost = rng.gen::<f64>().powf(1.0 / shape);
+        return gamma(shape + 1.0, scale, rng) * boost;
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // One standard normal via Box-Muller (the second variate is
+        // discarded — simplicity beats caching in a cold path).
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let x = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        // Squeeze, then full acceptance test.
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v * scale;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class(label: &str) -> InstanceClass {
+        label.parse().unwrap()
+    }
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+        (mean, var.sqrt() / mean)
+    }
+
+    #[test]
+    fn gamma_moments_match_high_shape() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        // Gamma(α=100/9, β) ⇒ mean αβ, cv 1/sqrt(α) = 0.3.
+        let alpha = 100.0 / 9.0;
+        let beta = 90.0;
+        let samples: Vec<f64> = (0..40_000).map(|_| gamma(alpha, beta, &mut rng)).collect();
+        let (mean, cv) = moments(&samples);
+        assert!((mean / (alpha * beta) - 1.0).abs() < 0.02, "mean {mean}");
+        assert!((cv - 0.3).abs() < 0.01, "cv {cv}");
+    }
+
+    #[test]
+    fn gamma_moments_match_low_shape() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        // Shape < 1 exercises the Ahrens boost path.
+        let samples: Vec<f64> = (0..40_000).map(|_| gamma(0.5, 2.0, &mut rng)).collect();
+        let (mean, cv) = moments(&samples);
+        assert!((mean - 1.0).abs() < 0.03, "mean {mean}");
+        assert!((cv - (1.0f64 / 0.5).sqrt()).abs() < 0.05, "cv {cv}");
+    }
+
+    #[test]
+    fn gamma_is_always_positive() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(gamma(1.23456, 0.5, &mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive shape")]
+    fn gamma_rejects_zero_shape() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = gamma(0.0, 1.0, &mut rng);
+    }
+
+    #[test]
+    fn matrix_heterogeneity_tracks_parameters() {
+        // Row CV should approximate v_mach; baseline CV v_task.
+        let c = class("u_i_hihi.0").with_dims(256, 64);
+        let m = generate_matrix(c, CvbParams::for_class(c), 0);
+        let mut row_cvs = Vec::new();
+        let mut row_means = Vec::new();
+        for row in m.rows() {
+            let (mean, cv) = moments(row);
+            row_means.push(mean);
+            row_cvs.push(cv);
+        }
+        let avg_row_cv = row_cvs.iter().sum::<f64>() / row_cvs.len() as f64;
+        assert!((avg_row_cv - 0.9).abs() < 0.15, "machine cv {avg_row_cv} should be ≈ 0.9");
+        let (baseline_mean, baseline_cv) = moments(&row_means);
+        assert!((baseline_mean / 1000.0 - 1.0).abs() < 0.25, "task mean {baseline_mean}");
+        assert!((baseline_cv - 0.9).abs() < 0.2, "task cv {baseline_cv} should be ≈ 0.9");
+    }
+
+    #[test]
+    fn lo_heterogeneity_is_much_tighter_than_hi() {
+        let hi = generate_matrix(
+            class("u_i_hihi.0").with_dims(128, 16),
+            CvbParams::for_class(class("u_i_hihi.0")),
+            0,
+        );
+        let lo = generate_matrix(
+            class("u_i_lolo.0").with_dims(128, 16),
+            CvbParams::for_class(class("u_i_lolo.0")),
+            0,
+        );
+        let spread = |m: &EtcMatrix| m.max_etc() / m.min_etc();
+        assert!(
+            spread(&hi) > 10.0 * spread(&lo),
+            "hi spread {} vs lo spread {}",
+            spread(&hi),
+            spread(&lo)
+        );
+    }
+
+    #[test]
+    fn consistency_post_processing_applies() {
+        assert!(generate(class("u_c_hihi.0").with_dims(64, 8), 0).etc().is_consistent());
+        assert_eq!(
+            generate(class("u_s_hihi.0").with_dims(64, 8), 0).etc().classify(),
+            Consistency::SemiConsistent
+        );
+        assert_eq!(
+            generate(class("u_i_hihi.0").with_dims(64, 8), 0).etc().classify(),
+            Consistency::Inconsistent
+        );
+    }
+
+    #[test]
+    fn deterministic_and_stream_decorrelated() {
+        let c = class("u_c_lolo.0").with_dims(32, 4);
+        let p = CvbParams::for_class(c);
+        assert_eq!(generate_matrix(c, p, 7), generate_matrix(c, p, 7));
+        assert_ne!(generate_matrix(c, p, 7), generate_matrix(c, p, 8));
+    }
+
+    #[test]
+    fn cvb_differs_from_range_based_draws() {
+        let c = class("u_i_hihi.0").with_dims(32, 4);
+        let cvb = generate_matrix(c, CvbParams::for_class(c), 0);
+        let range_based = crate::braun::generate_matrix(c, 0);
+        assert_ne!(cvb, range_based);
+    }
+
+    #[test]
+    fn instance_label_is_prefixed() {
+        let inst = generate(class("u_c_hihi.0").with_dims(16, 2), 0);
+        assert_eq!(inst.name(), "cvb_u_c_hihi.0");
+    }
+}

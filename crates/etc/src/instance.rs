@@ -1,0 +1,153 @@
+//! A complete scheduling instance: ETC matrix + machine ready times.
+
+use serde::{Deserialize, Serialize};
+
+use crate::EtcMatrix;
+
+/// A named scheduling instance.
+///
+/// Couples the [`EtcMatrix`] with the per-machine **ready times**
+/// (`ready[m]` — when machine `m` finishes the work assigned before this
+/// scheduling round; zero in the static benchmark) and a human-readable
+/// name. This is the unit every scheduler in the workspace consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridInstance {
+    name: String,
+    etc: EtcMatrix,
+    ready_times: Vec<f64>,
+}
+
+impl GridInstance {
+    /// Creates an instance with all machines immediately available
+    /// (`ready[m] = 0`), the static-benchmark setting.
+    #[must_use]
+    pub fn new(name: impl Into<String>, etc: EtcMatrix) -> Self {
+        let ready_times = vec![0.0; etc.nb_machines()];
+        Self { name: name.into(), etc, ready_times }
+    }
+
+    /// Creates an instance with explicit ready times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ready_times.len() != etc.nb_machines()` or any ready time
+    /// is negative or non-finite.
+    #[must_use]
+    pub fn with_ready_times(
+        name: impl Into<String>,
+        etc: EtcMatrix,
+        ready_times: Vec<f64>,
+    ) -> Self {
+        assert_eq!(
+            ready_times.len(),
+            etc.nb_machines(),
+            "one ready time per machine required"
+        );
+        assert!(
+            ready_times.iter().all(|&r| r.is_finite() && r >= 0.0),
+            "ready times must be finite and non-negative"
+        );
+        Self { name: name.into(), etc, ready_times }
+    }
+
+    /// Instance name (conventionally the class label, e.g. `u_c_hihi.0`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ETC matrix.
+    #[must_use]
+    pub fn etc(&self) -> &EtcMatrix {
+        &self.etc
+    }
+
+    /// Per-machine ready times.
+    #[must_use]
+    pub fn ready_times(&self) -> &[f64] {
+        &self.ready_times
+    }
+
+    /// Number of jobs.
+    #[inline]
+    #[must_use]
+    pub fn nb_jobs(&self) -> usize {
+        self.etc.nb_jobs()
+    }
+
+    /// Number of machines.
+    #[inline]
+    #[must_use]
+    pub fn nb_machines(&self) -> usize {
+        self.etc.nb_machines()
+    }
+
+    /// Replaces the ready times (used by the dynamic simulator between
+    /// scheduler activations).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`GridInstance::with_ready_times`].
+    pub fn set_ready_times(&mut self, ready_times: Vec<f64>) {
+        assert_eq!(ready_times.len(), self.etc.nb_machines());
+        assert!(ready_times.iter().all(|&r| r.is_finite() && r >= 0.0));
+        self.ready_times = ready_times;
+    }
+
+    /// Decomposes into `(name, etc, ready_times)`.
+    #[must_use]
+    pub fn into_parts(self) -> (String, EtcMatrix, Vec<f64>) {
+        (self.name, self.etc, self.ready_times)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> EtcMatrix {
+        EtcMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0])
+    }
+
+    #[test]
+    fn default_ready_times_are_zero() {
+        let inst = GridInstance::new("t", matrix());
+        assert_eq!(inst.ready_times(), &[0.0, 0.0]);
+        assert_eq!(inst.nb_jobs(), 2);
+        assert_eq!(inst.nb_machines(), 2);
+    }
+
+    #[test]
+    fn explicit_ready_times() {
+        let inst = GridInstance::with_ready_times("t", matrix(), vec![5.0, 0.5]);
+        assert_eq!(inst.ready_times(), &[5.0, 0.5]);
+    }
+
+    #[test]
+    fn set_ready_times_replaces() {
+        let mut inst = GridInstance::new("t", matrix());
+        inst.set_ready_times(vec![1.0, 2.0]);
+        assert_eq!(inst.ready_times(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one ready time per machine")]
+    fn rejects_wrong_ready_len() {
+        let _ = GridInstance::with_ready_times("t", matrix(), vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_ready() {
+        let _ = GridInstance::with_ready_times("t", matrix(), vec![1.0, -0.1]);
+    }
+
+    #[test]
+    fn into_parts_round_trip() {
+        let inst = GridInstance::with_ready_times("t", matrix(), vec![1.0, 2.0]);
+        let (name, etc, ready) = inst.into_parts();
+        assert_eq!(name, "t");
+        assert_eq!(etc, matrix());
+        assert_eq!(ready, vec![1.0, 2.0]);
+    }
+}

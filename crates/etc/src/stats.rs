@@ -1,0 +1,183 @@
+//! Statistical summaries of ETC matrices.
+//!
+//! Used to validate that generated instances exhibit the heterogeneity and
+//! consistency structure their class advertises, and by the reporting
+//! harness to describe workloads.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Consistency, EtcMatrix};
+
+/// Summary statistics of an ETC matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixStats {
+    /// Smallest entry.
+    pub min: f64,
+    /// Largest entry.
+    pub max: f64,
+    /// Mean of all entries.
+    pub mean: f64,
+    /// Coefficient of variation (σ/μ) of all entries.
+    pub cv: f64,
+    /// Mean coefficient of variation across rows — the empirical *machine*
+    /// heterogeneity (how much machines disagree about one job).
+    pub mean_row_cv: f64,
+    /// Coefficient of variation of the per-job mean ETC — the empirical
+    /// *job* heterogeneity (how much job sizes differ).
+    pub job_mean_cv: f64,
+    /// Mean over rows of `row_max / row_min` — the empirical *machine*
+    /// heterogeneity expressed as a speed spread. A `U(1, φ_mach)`
+    /// multiplier makes this grow with `φ_mach`, unlike the CV, which
+    /// saturates at `1/√3` for wide uniform ranges.
+    pub mean_row_spread: f64,
+    /// `max(job mean) / min(job mean)` — the empirical *job* heterogeneity
+    /// expressed as a workload spread, growing with `φ_task`.
+    pub job_spread: f64,
+    /// Structural classification.
+    pub consistency: Consistency,
+}
+
+/// Computes mean and population standard deviation of a slice.
+///
+/// Returns `(0, 0)` for an empty slice.
+#[must_use]
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Coefficient of variation; zero when the mean is zero.
+#[must_use]
+pub fn coefficient_of_variation(values: &[f64]) -> f64 {
+    let (mean, std) = mean_std(values);
+    if mean == 0.0 {
+        0.0
+    } else {
+        std / mean
+    }
+}
+
+impl MatrixStats {
+    /// Computes the summary of a matrix.
+    #[must_use]
+    pub fn compute(matrix: &EtcMatrix) -> Self {
+        let all = matrix.as_slice();
+        let (mean, std) = mean_std(all);
+        let cv = if mean == 0.0 { 0.0 } else { std / mean };
+
+        let mut row_cv_sum = 0.0;
+        let mut row_spread_sum = 0.0;
+        let mut job_means = Vec::with_capacity(matrix.nb_jobs());
+        for row in matrix.rows() {
+            row_cv_sum += coefficient_of_variation(row);
+            let row_min = row.iter().copied().fold(f64::INFINITY, f64::min);
+            let row_max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            row_spread_sum += row_max / row_min;
+            job_means.push(row.iter().sum::<f64>() / row.len() as f64);
+        }
+        let mean_row_cv = row_cv_sum / matrix.nb_jobs() as f64;
+        let mean_row_spread = row_spread_sum / matrix.nb_jobs() as f64;
+        let job_mean_cv = coefficient_of_variation(&job_means);
+        let job_min = job_means.iter().copied().fold(f64::INFINITY, f64::min);
+        let job_max = job_means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+
+        Self {
+            min: matrix.min_etc(),
+            max: matrix.max_etc(),
+            mean,
+            cv,
+            mean_row_cv,
+            job_mean_cv,
+            mean_row_spread,
+            job_spread: job_max / job_min,
+            consistency: matrix.classify(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::braun;
+    use crate::{Heterogeneity, InstanceClass};
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn cv_of_constant_is_zero() {
+        assert_eq!(coefficient_of_variation(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn stats_identify_consistency() {
+        let m = braun::generate_matrix("u_c_hihi.0".parse().unwrap(), 0);
+        assert_eq!(MatrixStats::compute(&m).consistency, Consistency::Consistent);
+    }
+
+    /// Empirical machine heterogeneity (within-row speed spread) must be
+    /// much larger in `*hi` machine classes than in `*lo` ones — the
+    /// defining property of the taxonomy. Note the *CV* cannot separate the
+    /// classes: for `U(1, φ)` it saturates at `1/√3` as `φ` grows.
+    #[test]
+    fn machine_heterogeneity_ordering_holds() {
+        let hi = braun::generate_matrix("u_i_hihi.0".parse().unwrap(), 0);
+        let lo = braun::generate_matrix("u_i_hilo.0".parse().unwrap(), 0);
+        let s_hi = MatrixStats::compute(&hi);
+        let s_lo = MatrixStats::compute(&lo);
+        assert!(
+            s_hi.mean_row_spread > 5.0 * s_lo.mean_row_spread,
+            "machine-hi spread {} should dominate machine-lo spread {}",
+            s_hi.mean_row_spread,
+            s_lo.mean_row_spread
+        );
+        // The lo class multiplier is U(1, 10), so spreads stay below 10.
+        assert!(s_lo.mean_row_spread <= 10.0);
+    }
+
+    /// Empirical job heterogeneity (workload spread) must be much larger in
+    /// `hi*` job classes than in `lo*` ones.
+    #[test]
+    fn job_heterogeneity_ordering_holds() {
+        // Use low machine heterogeneity so the job signal dominates.
+        let hi = braun::generate_matrix("u_i_hilo.0".parse().unwrap(), 0);
+        let lo = braun::generate_matrix("u_i_lolo.0".parse().unwrap(), 0);
+        let s_hi = MatrixStats::compute(&hi);
+        let s_lo = MatrixStats::compute(&lo);
+        assert!(
+            s_hi.job_spread > 2.0 * s_lo.job_spread,
+            "job-hi spread {} should dominate job-lo spread {}",
+            s_hi.job_spread,
+            s_lo.job_spread
+        );
+    }
+
+    /// The ordering is stable across every replica index we test — a cheap
+    /// robustness check on the generator as a whole.
+    #[test]
+    fn heterogeneity_ordering_stable_across_replicas() {
+        for index in 0..5 {
+            for cons in crate::Consistency::ALL {
+                let hi = braun::generate_matrix(
+                    InstanceClass::new(cons, Heterogeneity::Hi, Heterogeneity::Hi, index),
+                    0,
+                );
+                let lo = braun::generate_matrix(
+                    InstanceClass::new(cons, Heterogeneity::Lo, Heterogeneity::Lo, index),
+                    0,
+                );
+                assert!(MatrixStats::compute(&hi).max > MatrixStats::compute(&lo).max);
+            }
+        }
+    }
+}

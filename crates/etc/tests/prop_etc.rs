@@ -1,0 +1,158 @@
+//! Property-based tests of the ETC substrate: generator structure and
+//! parser round-trips on arbitrary shapes.
+
+use cmags_etc::{braun, parser, Consistency, EtcMatrix, Heterogeneity, InstanceClass};
+use proptest::prelude::*;
+
+fn arb_class() -> impl Strategy<Value = InstanceClass> {
+    (
+        prop_oneof![
+            Just(Consistency::Consistent),
+            Just(Consistency::Inconsistent),
+            Just(Consistency::SemiConsistent),
+        ],
+        prop_oneof![Just(Heterogeneity::Hi), Just(Heterogeneity::Lo)],
+        prop_oneof![Just(Heterogeneity::Hi), Just(Heterogeneity::Lo)],
+        0u32..50,
+        2u32..64,
+        2u32..12,
+    )
+        .prop_map(|(consistency, jh, mh, index, jobs, machines)| {
+            InstanceClass::new(consistency, jh, mh, index).with_dims(jobs, machines)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Entries always positive, finite, and within the class ranges.
+    #[test]
+    fn generated_entries_within_ranges(class in arb_class(), stream in any::<u64>()) {
+        let matrix = braun::generate_matrix(class, stream);
+        let (phi_task, phi_mach) = braun::ranges(class);
+        prop_assert!(matrix.min_etc() >= 1.0);
+        prop_assert!(matrix.max_etc() <= phi_task * phi_mach);
+    }
+
+    /// The structural consistency property matches the class, for any
+    /// dimensions and stream.
+    #[test]
+    fn generated_structure_matches_class(class in arb_class(), stream in any::<u64>()) {
+        let matrix = braun::generate_matrix(class, stream);
+        match class.consistency {
+            Consistency::Consistent => prop_assert!(matrix.is_consistent()),
+            Consistency::SemiConsistent => prop_assert!(matrix.even_columns_consistent()),
+            Consistency::Inconsistent => {
+                // Nothing is *guaranteed* here, but the matrix must still
+                // be classifiable without panicking.
+                let _ = matrix.classify();
+            }
+        }
+    }
+
+    /// Generation is a pure function of (class, stream).
+    #[test]
+    fn generation_is_deterministic(class in arb_class(), stream in any::<u64>()) {
+        prop_assert_eq!(
+            braun::generate_matrix(class, stream),
+            braun::generate_matrix(class, stream)
+        );
+    }
+
+    /// Labels round-trip for every class (dimensions aside, which labels
+    /// do not carry).
+    #[test]
+    fn labels_round_trip(class in arb_class()) {
+        let parsed: InstanceClass = class.label().parse().unwrap();
+        prop_assert_eq!(parsed.consistency, class.consistency);
+        prop_assert_eq!(parsed.job_heterogeneity, class.job_heterogeneity);
+        prop_assert_eq!(parsed.machine_heterogeneity, class.machine_heterogeneity);
+        prop_assert_eq!(parsed.index, class.index);
+    }
+
+    /// Text serialization round-trips arbitrary matrices exactly (the
+    /// writer uses shortest-round-trip float formatting).
+    #[test]
+    fn parser_round_trips(
+        jobs in 1usize..20,
+        machines in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let class = InstanceClass::new(
+            Consistency::Inconsistent,
+            Heterogeneity::Hi,
+            Heterogeneity::Hi,
+            0,
+        ).with_dims(jobs as u32, machines as u32);
+        let matrix = braun::generate_matrix(class, seed);
+        let text = parser::format_matrix(&matrix);
+        let parsed = parser::parse_matrix(&text, None).unwrap();
+        prop_assert_eq!(parsed, matrix);
+    }
+
+    /// The headerless layout with explicit dims agrees with the headered
+    /// parse.
+    #[test]
+    fn headerless_parse_agrees(jobs in 1usize..12, machines in 1usize..6, seed in any::<u64>()) {
+        let class = InstanceClass::new(
+            Consistency::Consistent,
+            Heterogeneity::Lo,
+            Heterogeneity::Lo,
+            0,
+        ).with_dims(jobs as u32, machines as u32);
+        let matrix = braun::generate_matrix(class, seed);
+        let headered = parser::format_matrix(&matrix);
+        // Strip the header line to get the raw layout.
+        let headerless: String = headered.lines().skip(1).collect::<Vec<_>>().join("\n");
+        let parsed = parser::parse_matrix(&headerless, Some((jobs, machines))).unwrap();
+        prop_assert_eq!(parsed, matrix);
+    }
+
+    /// Workload/MIPS formulation is consistent and dimensionally exact.
+    #[test]
+    fn workload_instances_are_consistent(
+        workloads in proptest::collection::vec(0.5f64..1e4, 1..24),
+        mips in proptest::collection::vec(0.5f64..100.0, 2..8),
+    ) {
+        let inst = braun::from_workloads("wl", &workloads, &mips);
+        prop_assert_eq!(inst.nb_jobs(), workloads.len());
+        prop_assert_eq!(inst.nb_machines(), mips.len());
+        prop_assert!(inst.etc().is_consistent());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser is total: arbitrary input produces `Ok` or `Err`,
+    /// never a panic — fuzz-style robustness for the file-loading path.
+    #[test]
+    fn parser_never_panics(input in ".{0,256}", dims in proptest::option::of((1usize..8, 1usize..8))) {
+        let _ = parser::parse_matrix(&input, dims);
+    }
+
+    /// Numeric-looking garbage with wrong shapes errors out cleanly.
+    #[test]
+    fn parser_rejects_wrong_shapes(
+        values in proptest::collection::vec(0.1f64..100.0, 1..40),
+        jobs in 1usize..8,
+        machines in 1usize..8,
+    ) {
+        let text: String =
+            values.iter().map(f64::to_string).collect::<Vec<_>>().join(" ");
+        let result = parser::parse_matrix(&text, Some((jobs, machines)));
+        if values.len() == jobs * machines {
+            prop_assert!(result.is_ok());
+        } else {
+            prop_assert!(result.is_err());
+        }
+    }
+}
+
+/// Non-proptest regression: EtcMatrix::from_fn matches from_rows.
+#[test]
+fn from_fn_matches_from_rows() {
+    let a = EtcMatrix::from_fn(3, 2, |j, m| (j * 2 + m + 1) as f64);
+    let b = EtcMatrix::from_rows(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    assert_eq!(a, b);
+}

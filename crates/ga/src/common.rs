@@ -1,0 +1,317 @@
+//! Shared scaffolding of the baseline evolutionary algorithms.
+
+use std::time::{Duration, Instant};
+
+use cmags_cma::{Individual, StopCondition, TracePoint};
+use cmags_core::{FitnessWeights, Objectives, Problem, Schedule};
+use cmags_heuristics::constructive::ConstructiveKind;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore};
+
+/// Result of one GA run, mirroring `cmags_cma::CmaOutcome` so harnesses
+/// can tabulate both uniformly.
+#[derive(Debug, Clone)]
+pub struct GaOutcome {
+    /// Best schedule found.
+    pub schedule: Schedule,
+    /// Its objective values.
+    pub objectives: Objectives,
+    /// Its fitness under the engine's weights.
+    pub fitness: f64,
+    /// Generations (generational GA) or steps (steady-state engines).
+    pub generations: u64,
+    /// Children generated.
+    pub children: u64,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Best-so-far samples.
+    pub trace: Vec<TracePoint>,
+}
+
+/// Book-keeping shared by all engines: best-so-far tracking, trace
+/// recording and stop-condition evaluation.
+pub(crate) struct RunState {
+    pub start: Instant,
+    pub seed: u64,
+    pub generations: u64,
+    pub children: u64,
+    pub best: Individual,
+    pub trace: Vec<TracePoint>,
+}
+
+impl RunState {
+    pub fn new(seed: u64, best: Individual) -> Self {
+        let start = Instant::now();
+        let trace = vec![TracePoint::new(
+            start.elapsed(),
+            0,
+            0,
+            best.eval.makespan(),
+            best.eval.flowtime(),
+            best.fitness,
+        )];
+        Self { start, seed, generations: 0, children: 0, best, trace }
+    }
+
+    /// Offers a candidate for the best-so-far slot.
+    pub fn observe(&mut self, candidate: &Individual) {
+        if candidate.fitness < self.best.fitness {
+            self.best = candidate.clone();
+            self.trace.push(TracePoint::new(
+                self.start.elapsed(),
+                self.generations,
+                self.children,
+                self.best.eval.makespan(),
+                self.best.eval.flowtime(),
+                self.best.fitness,
+            ));
+        }
+    }
+
+    pub fn should_stop(&self, stop: &StopCondition) -> bool {
+        stop.should_stop(self.start.elapsed(), self.generations, self.children, self.best.fitness)
+    }
+
+    pub fn finish(mut self) -> GaOutcome {
+        self.trace.push(TracePoint::new(
+            self.start.elapsed(),
+            self.generations,
+            self.children,
+            self.best.eval.makespan(),
+            self.best.eval.flowtime(),
+            self.best.fitness,
+        ));
+        GaOutcome {
+            objectives: self.best.objectives(),
+            fitness: self.best.fitness,
+            schedule: self.best.schedule,
+            generations: self.generations,
+            children: self.children,
+            elapsed: self.start.elapsed(),
+            seed: self.seed,
+            trace: self.trace,
+        }
+    }
+}
+
+/// An `Individual` evaluated under engine-specific weights (the engines
+/// may optimise different scalarisations than the problem's λ, e.g.
+/// Braun's GA optimises makespan only).
+pub(crate) fn individual_with_weights(
+    problem: &Problem,
+    schedule: Schedule,
+    weights: FitnessWeights,
+) -> Individual {
+    let mut individual = Individual::new(problem, schedule);
+    individual.fitness = weights.fitness(individual.objectives(), problem.nb_machines());
+    individual
+}
+
+/// Initial population: `size - 1` random schedules plus one heuristic
+/// seed (if any), all evaluated under `weights`.
+pub(crate) fn init_population(
+    problem: &Problem,
+    size: usize,
+    heuristic_seed: Option<ConstructiveKind>,
+    weights: FitnessWeights,
+    rng: &mut SmallRng,
+) -> Vec<Individual> {
+    assert!(size > 1, "population needs at least two individuals");
+    let mut population = Vec::with_capacity(size);
+    if let Some(kind) = heuristic_seed {
+        let schedule = kind.build_seeded(problem, rng);
+        population.push(individual_with_weights(problem, schedule, weights));
+    }
+    while population.len() < size {
+        let schedule = ConstructiveKind::Random.build_seeded(problem, rng);
+        population.push(individual_with_weights(problem, schedule, weights));
+    }
+    population
+}
+
+/// Roulette-wheel selection for minimisation: each individual's wheel
+/// share is `(worst - fitness) + span/κ`, i.e. proportional to its
+/// advantage over the current worst with a floor that keeps the worst
+/// individual selectable (κ = 10).
+pub(crate) fn roulette_select(population: &[Individual], rng: &mut dyn RngCore) -> usize {
+    debug_assert!(!population.is_empty());
+    let worst = population.iter().map(|i| i.fitness).fold(f64::NEG_INFINITY, f64::max);
+    let best = population.iter().map(|i| i.fitness).fold(f64::INFINITY, f64::min);
+    let span = worst - best;
+    if span <= 0.0 {
+        // Degenerate population: uniform choice.
+        return rng.gen_range(0..population.len());
+    }
+    let floor = span / 10.0;
+    let total: f64 = population.iter().map(|i| (worst - i.fitness) + floor).sum();
+    let mut ticket = rng.gen::<f64>() * total;
+    for (idx, individual) in population.iter().enumerate() {
+        ticket -= (worst - individual.fitness) + floor;
+        if ticket <= 0.0 {
+            return idx;
+        }
+    }
+    population.len() - 1
+}
+
+/// k-tournament selection for minimisation.
+pub(crate) fn tournament_select(
+    population: &[Individual],
+    k: usize,
+    rng: &mut dyn RngCore,
+) -> usize {
+    debug_assert!(k > 0 && !population.is_empty());
+    let mut best = rng.gen_range(0..population.len());
+    for _ in 1..k {
+        let candidate = rng.gen_range(0..population.len());
+        if population[candidate].fitness < population[best].fitness {
+            best = candidate;
+        }
+    }
+    best
+}
+
+/// Index of the worst individual.
+pub(crate) fn worst_index(population: &[Individual]) -> usize {
+    population
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.fitness.total_cmp(&b.1.fitness))
+        .map(|(i, _)| i)
+        .expect("population is never empty")
+}
+
+/// Index of the best individual.
+pub(crate) fn best_index(population: &[Individual]) -> usize {
+    population
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.fitness.total_cmp(&b.1.fitness))
+        .map(|(i, _)| i)
+        .expect("population is never empty")
+}
+
+/// Index of the individual most similar to `schedule` (minimum Hamming
+/// distance; ties by index) — the Struggle GA's replacement target.
+pub(crate) fn most_similar_index(population: &[Individual], schedule: &Schedule) -> usize {
+    population
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, i)| i.schedule.hamming_distance(schedule))
+        .map(|(i, _)| i)
+        .expect("population is never empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmags_etc::braun;
+    use rand::SeedableRng;
+
+    fn problem() -> Problem {
+        let class: cmags_etc::InstanceClass = "u_c_lolo.0".parse().unwrap();
+        Problem::from_instance(&braun::generate(class.with_dims(32, 4), 0))
+    }
+
+    fn pop(problem: &Problem, seed: u64) -> Vec<Individual> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        init_population(problem, 16, Some(ConstructiveKind::MinMin), FitnessWeights::default(), &mut rng)
+    }
+
+    #[test]
+    fn init_population_has_heuristic_seed_first() {
+        let p = problem();
+        let population = pop(&p, 0);
+        assert_eq!(population.len(), 16);
+        // The Min-Min seed should be the best initial individual by far.
+        assert_eq!(best_index(&population), 0);
+    }
+
+    #[test]
+    fn roulette_prefers_fit_individuals() {
+        let p = problem();
+        let population = pop(&p, 1);
+        let best = best_index(&population);
+        let worst = worst_index(&population);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut best_hits = 0;
+        let mut worst_hits = 0;
+        for _ in 0..2000 {
+            let pick = roulette_select(&population, &mut rng);
+            if pick == best {
+                best_hits += 1;
+            }
+            if pick == worst {
+                worst_hits += 1;
+            }
+        }
+        assert!(
+            best_hits > worst_hits,
+            "roulette must favour the best ({best_hits} vs {worst_hits})"
+        );
+        assert!(worst_hits > 0, "the worst must remain selectable");
+    }
+
+    #[test]
+    fn roulette_handles_uniform_population() {
+        let p = problem();
+        let schedule = Schedule::uniform(p.nb_jobs(), 0);
+        let population: Vec<Individual> =
+            (0..4).map(|_| Individual::new(&p, schedule.clone())).collect();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let pick = roulette_select(&population, &mut rng);
+        assert!(pick < 4);
+    }
+
+    #[test]
+    fn tournament_pressure_grows_with_k() {
+        let p = problem();
+        let population = pop(&p, 4);
+        let mean_fit = |k: usize| {
+            let mut rng = SmallRng::seed_from_u64(5);
+            (0..1000)
+                .map(|_| population[tournament_select(&population, k, &mut rng)].fitness)
+                .sum::<f64>()
+                / 1000.0
+        };
+        assert!(mean_fit(5) < mean_fit(1));
+    }
+
+    #[test]
+    fn most_similar_finds_exact_copy() {
+        let p = problem();
+        let population = pop(&p, 6);
+        for (idx, individual) in population.iter().enumerate().take(4) {
+            assert_eq!(most_similar_index(&population, &individual.schedule), idx);
+        }
+    }
+
+    #[test]
+    fn run_state_tracks_best_and_traces() {
+        let p = problem();
+        let population = pop(&p, 7);
+        let worst = population[worst_index(&population)].clone();
+        let best = population[best_index(&population)].clone();
+        let mut state = RunState::new(9, worst);
+        let len_before = state.trace.len();
+        state.observe(&best);
+        assert_eq!(state.best.fitness, best.fitness);
+        assert_eq!(state.trace.len(), len_before + 1);
+        let outcome = state.finish();
+        assert_eq!(outcome.seed, 9);
+        assert_eq!(outcome.fitness, best.fitness);
+    }
+
+    #[test]
+    fn individual_with_weights_uses_override() {
+        let p = problem();
+        let s = Schedule::uniform(p.nb_jobs(), 0);
+        let makespan_only =
+            individual_with_weights(&p, s.clone(), FitnessWeights::makespan_only());
+        let default = Individual::new(&p, s);
+        assert_eq!(makespan_only.fitness, default.eval.makespan());
+        assert_ne!(makespan_only.fitness, default.fitness);
+    }
+}

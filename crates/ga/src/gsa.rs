@@ -1,0 +1,196 @@
+//! Genetic Simulated Annealing (Braun et al. 2001).
+//!
+//! The GSA of the eleven-mapper study is a generational GA whose
+//! survivor selection uses an SA-style **threshold acceptance** instead
+//! of elitist comparison: an offspring replaces its parent when its
+//! fitness is below `parent + temperature`, and the system temperature
+//! decays geometrically each generation (Braun: initial temperature =
+//! the average makespan of the initial population, reduced 10 % per
+//! iteration). Early generations therefore accept sideways and mildly
+//! worse moves population-wide; late generations behave like a plain
+//! elitist GA.
+
+use cmags_cma::StopCondition;
+use cmags_core::{FitnessWeights, Problem};
+use cmags_heuristics::constructive::ConstructiveKind;
+use cmags_heuristics::ops::{mutate_move, Crossover};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::common::{best_index, individual_with_weights, init_population, RunState};
+use crate::GaOutcome;
+
+/// Braun et al.'s GSA: generational GA with per-individual threshold
+/// acceptance under a geometrically cooling temperature.
+#[derive(Debug, Clone)]
+pub struct GeneticSimulatedAnnealing {
+    /// Population size (Braun: 200).
+    pub population_size: usize,
+    /// Probability that a pair is crossed.
+    pub crossover_rate: f64,
+    /// Probability that an offspring is mutated.
+    pub mutation_rate: f64,
+    /// Seed heuristic injected once (Braun: Min-Min).
+    pub heuristic_seed: Option<ConstructiveKind>,
+    /// Fitness weights (Braun optimised makespan only; the harness
+    /// default follows that).
+    pub weights: FitnessWeights,
+    /// Temperature decay per generation (Braun: 0.9).
+    pub cooling: f64,
+    /// Stopping condition.
+    pub stop: StopCondition,
+}
+
+impl Default for GeneticSimulatedAnnealing {
+    fn default() -> Self {
+        Self {
+            population_size: 200,
+            crossover_rate: 0.6,
+            mutation_rate: 0.4,
+            heuristic_seed: Some(ConstructiveKind::MinMin),
+            weights: FitnessWeights::makespan_only(),
+            cooling: 0.9,
+            stop: StopCondition::paper_time(),
+        }
+    }
+}
+
+impl GeneticSimulatedAnnealing {
+    /// Replaces the stopping condition.
+    #[must_use]
+    pub fn with_stop(mut self, stop: StopCondition) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Replaces the fitness weights.
+    #[must_use]
+    pub fn with_weights(mut self, weights: FitnessWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Runs the GSA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is unbounded, the population is
+    /// smaller than two, or cooling is outside `(0, 1)`.
+    #[must_use]
+    pub fn run(&self, problem: &Problem, seed: u64) -> GaOutcome {
+        assert!(self.stop.is_bounded(), "unbounded run: configure a stopping condition");
+        assert!(self.population_size >= 2, "population needs at least two individuals");
+        assert!(self.cooling > 0.0 && self.cooling < 1.0, "cooling factor must lie in (0, 1)");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut population = init_population(
+            problem,
+            self.population_size,
+            self.heuristic_seed,
+            self.weights,
+            &mut rng,
+        );
+        let mut state = RunState::new(seed, population[best_index(&population)].clone());
+
+        // Braun: initial system temperature = average initial fitness
+        // (their fitness is the makespan).
+        let mut temperature = population.iter().map(|i| i.fitness).sum::<f64>()
+            / population.len() as f64;
+
+        'outer: while !state.should_stop(&self.stop) {
+            // Breed one offspring per slot; threshold acceptance decides
+            // whether it replaces the incumbent of that slot.
+            for slot in 0..self.population_size {
+                if state.should_stop(&self.stop) {
+                    break 'outer;
+                }
+                let partner = rng.gen_range(0..self.population_size);
+                let mut child_schedule = if rng.gen::<f64>() < self.crossover_rate {
+                    Crossover::OnePoint.apply(
+                        &population[slot].schedule,
+                        &population[partner].schedule,
+                        &mut rng,
+                    )
+                } else {
+                    population[slot].schedule.clone()
+                };
+                if rng.gen::<f64>() < self.mutation_rate {
+                    let _ = mutate_move(problem, &mut child_schedule, &mut rng);
+                }
+                let child = individual_with_weights(problem, child_schedule, self.weights);
+                state.children += 1;
+                state.observe(&child);
+                if child.fitness < population[slot].fitness + temperature {
+                    population[slot] = child;
+                }
+            }
+            temperature *= self.cooling;
+            state.generations += 1;
+        }
+        state.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmags_core::evaluate;
+    use cmags_etc::braun;
+
+    fn problem() -> Problem {
+        let class: cmags_etc::InstanceClass = "u_c_hihi.0".parse().unwrap();
+        Problem::from_instance(&braun::generate(class.with_dims(64, 8), 0))
+    }
+
+    fn quick() -> GeneticSimulatedAnnealing {
+        GeneticSimulatedAnnealing {
+            population_size: 16,
+            ..GeneticSimulatedAnnealing::default()
+        }
+        .with_stop(StopCondition::children(800))
+    }
+
+    #[test]
+    fn respects_children_budget() {
+        let outcome = quick().run(&problem(), 1);
+        assert_eq!(outcome.children, 800);
+        assert_eq!(outcome.generations, 800 / 16);
+    }
+
+    #[test]
+    fn improves_over_random_population_average() {
+        let p = problem();
+        let outcome = quick().run(&p, 2);
+        // The Min-Min seed is already strong; GSA must at least match it.
+        let min_min = ConstructiveKind::MinMin.build(&p);
+        let seed_makespan = evaluate(&p, &min_min).makespan;
+        assert!(
+            outcome.objectives.makespan <= seed_makespan,
+            "GSA {} must not lose its Min-Min seed {seed_makespan}",
+            outcome.objectives.makespan
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = problem();
+        let a = quick().run(&p, 9);
+        let b = quick().run(&p, 9);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.fitness, b.fitness);
+    }
+
+    #[test]
+    fn best_matches_reevaluation() {
+        let p = problem();
+        let outcome = quick().run(&p, 3);
+        assert_eq!(outcome.objectives, evaluate(&p, &outcome.schedule));
+    }
+
+    #[test]
+    #[should_panic(expected = "cooling factor")]
+    fn invalid_cooling_rejected() {
+        let mut config = quick();
+        config.cooling = 0.0;
+        let _ = config.run(&problem(), 0);
+    }
+}

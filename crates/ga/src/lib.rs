@@ -1,0 +1,74 @@
+//! # cmags-ga — baseline genetic algorithms
+//!
+//! Reimplementations of the three GAs the paper compares against
+//! (Tables 2, 3 and 5), plus an unstructured memetic algorithm used as an
+//! ablation baseline. None of the originals are available as open source;
+//! each is rebuilt from its published description (see `DESIGN.md` §3)
+//! on top of the shared substrate (`cmags-core` evaluation,
+//! `cmags-heuristics` operators):
+//!
+//! * [`BraunGa`] — the generational GA of Braun et al. (JPDC 2001):
+//!   population 200, one Min-Min seed, inverse-fitness roulette selection,
+//!   one-point crossover, random-move mutation, elitism. Optimises
+//!   **makespan only**, as in the original study.
+//! * [`SteadyStateGa`] — the Carretero & Xhafa (2006) style steady-state
+//!   GA: binary tournament parents, one child per step replacing the
+//!   worst individual if better; optimises the paper's weighted
+//!   makespan + mean-flowtime fitness.
+//! * [`StruggleGa`] — Xhafa's Struggle GA (BIOMA 2006): random mating,
+//!   and the offspring replaces the **most similar** individual (Hamming
+//!   distance on assignment vectors) when better — a diversity-preserving
+//!   replacement.
+//! * [`PanmicticMa`] — cMA operators (one-point, rebalance, LMCTS local
+//!   search) on an *unstructured* population: the control that isolates
+//!   the contribution of the cellular topology.
+//!
+//! Two further non-evolutionary metaheuristics complete the classic
+//! line-up of Braun et al.'s eleven-mapper study:
+//!
+//! * [`SimulatedAnnealing`] — Metropolis acceptance over single-job
+//!   moves with geometric cooling;
+//! * [`TabuSearch`] — best-of-sampled-moves steps with a short-term
+//!   tabu memory and aspiration;
+//! * [`GeneticSimulatedAnnealing`] — Braun's GA/SA hybrid: generational
+//!   breeding with per-slot threshold acceptance under a cooling
+//!   temperature.
+//!
+//! All engines share the [`GaOutcome`] report, the deterministic seeding
+//! discipline and the `cmags-cma` stopping conditions, so comparisons run
+//! under identical budgets.
+//!
+//! ## Example
+//!
+//! ```
+//! use cmags_cma::StopCondition;
+//! use cmags_core::Problem;
+//! use cmags_etc::braun;
+//! use cmags_ga::StruggleGa;
+//!
+//! let inst = braun::generate("u_i_hilo.0".parse().unwrap(), 0);
+//! let problem = Problem::from_instance(&inst);
+//! let ga = StruggleGa::default().with_stop(StopCondition::children(500));
+//! let outcome = ga.run(&problem, 1);
+//! assert!(outcome.objectives.makespan > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod braun_ga;
+mod common;
+mod gsa;
+mod panmictic_ma;
+mod sa;
+mod steady_state;
+mod struggle;
+mod tabu;
+
+pub use braun_ga::BraunGa;
+pub use common::GaOutcome;
+pub use gsa::GeneticSimulatedAnnealing;
+pub use panmictic_ma::PanmicticMa;
+pub use sa::SimulatedAnnealing;
+pub use steady_state::SteadyStateGa;
+pub use struggle::StruggleGa;
+pub use tabu::{TabuList, TabuSearch};

@@ -1,0 +1,293 @@
+//! Simulated Annealing baseline.
+//!
+//! Braun et al. (JPDC 2001) — the study that defined the benchmark
+//! suite this paper evaluates on — compared eleven mappers including a
+//! Simulated Annealing. This module provides that baseline under the
+//! workspace's bi-objective fitness so the comparison tables can place
+//! the cMA against the full classic line-up.
+//!
+//! The chain follows Braun's description adapted to the scalarised
+//! fitness: start from a heuristic seed, propose single-job *move*
+//! mutations, accept improvements always and deteriorations with the
+//! Metropolis probability `exp(-Δ/T)`, cool geometrically every
+//! [`SimulatedAnnealing::moves_per_temperature`] proposals. Braun's SA
+//! sets the initial temperature to the initial makespan, which is far
+//! hotter than the deltas of single-job moves and degenerates into a
+//! random walk on short budgets; by default this implementation
+//! calibrates T₀ to the **mean deterioration of a warm-up sample of
+//! moves** (so a typical worsening move starts with acceptance
+//! `exp(-1) ≈ 37 %`), which is scale-free across instance classes.
+//! Braun's rule remains available through
+//! [`SimulatedAnnealing::initial_temperature`].
+
+use cmags_cma::{Individual, StopCondition};
+use cmags_core::{JobId, MachineId, Problem};
+use cmags_heuristics::constructive::ConstructiveKind;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::common::{GaOutcome, RunState};
+
+/// Configuration of the Simulated Annealing baseline.
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    /// Heuristic building the starting schedule.
+    pub seeding: ConstructiveKind,
+    /// Initial temperature; `None` = calibrated to the mean
+    /// deterioration of a warm-up sample of moves (warm-up peeks do not
+    /// count toward the children budget).
+    pub initial_temperature: Option<f64>,
+    /// Geometric cooling factor applied every
+    /// [`SimulatedAnnealing::moves_per_temperature`] proposals.
+    pub cooling: f64,
+    /// Proposals evaluated between cooling steps.
+    pub moves_per_temperature: usize,
+    /// Floor below which the chain behaves greedily (relative to the
+    /// initial temperature).
+    pub min_temperature_ratio: f64,
+    /// Stopping condition; each proposal counts as one child.
+    pub stop: StopCondition,
+}
+
+impl SimulatedAnnealing {
+    /// Replaces the stopping condition.
+    #[must_use]
+    pub fn with_stop(mut self, stop: StopCondition) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Replaces the seeding heuristic.
+    #[must_use]
+    pub fn with_seeding(mut self, seeding: ConstructiveKind) -> Self {
+        self.seeding = seeding;
+        self
+    }
+
+    /// Runs the annealing chain on `problem` with RNG `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on structurally invalid configurations (cooling outside
+    /// `(0, 1)`, zero chain length, unbounded stop).
+    #[must_use]
+    pub fn run(&self, problem: &Problem, seed: u64) -> GaOutcome {
+        assert!(
+            self.cooling > 0.0 && self.cooling < 1.0,
+            "cooling factor must lie in (0, 1)"
+        );
+        assert!(self.moves_per_temperature > 0, "chain length must be positive");
+        assert!(self.stop.is_bounded(), "unbounded run: configure a stopping condition");
+
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let current_schedule = self.seeding.build_seeded(problem, &mut rng);
+        let mut current = Individual::new(problem, current_schedule);
+        let mut state = RunState::new(seed, current.clone());
+
+        let t0 = self
+            .initial_temperature
+            .unwrap_or_else(|| calibrate_temperature(problem, &current, &mut rng))
+            .max(f64::MIN_POSITIVE);
+        let floor = t0 * self.min_temperature_ratio;
+        let mut temperature = t0;
+        let mut since_cooling = 0usize;
+
+        while !state.should_stop(&self.stop) {
+            if let Some((job, target)) = propose_move(problem, &current, &mut rng) {
+                let peeked = current.eval.peek_move(problem, &current.schedule, job, target);
+                let candidate_fitness = problem.fitness(peeked);
+                let delta = candidate_fitness - current.fitness;
+                if metropolis_accept(delta, temperature, &mut rng) {
+                    current.eval.apply_move(problem, &mut current.schedule, job, target);
+                    current.fitness = candidate_fitness;
+                    state.observe(&current);
+                }
+            }
+            state.children += 1;
+
+            since_cooling += 1;
+            if since_cooling == self.moves_per_temperature {
+                since_cooling = 0;
+                temperature = (temperature * self.cooling).max(floor);
+                state.generations += 1; // one generation = one temperature step
+            }
+        }
+        state.finish()
+    }
+}
+
+impl Default for SimulatedAnnealing {
+    /// LJFR-SJFR seed (matching the cMA), calibrated initial
+    /// temperature, cooling 0.95 every 64 proposals, temperature floor
+    /// at 10⁻⁹ of the start, 90 s budget.
+    fn default() -> Self {
+        Self {
+            seeding: ConstructiveKind::LjfrSjfr,
+            initial_temperature: None,
+            cooling: 0.95,
+            moves_per_temperature: 64,
+            min_temperature_ratio: 1e-9,
+            stop: StopCondition::paper_time(),
+        }
+    }
+}
+
+/// Mean deterioration of a warm-up sample of 32 random moves — the
+/// temperature at which a typical worsening proposal is accepted with
+/// probability `exp(-1)`. Falls back to a small fraction of the seed
+/// fitness when no sampled move worsens (degenerate instances).
+fn calibrate_temperature(problem: &Problem, current: &Individual, rng: &mut SmallRng) -> f64 {
+    let mut total = 0.0;
+    let mut worsening = 0usize;
+    for _ in 0..32 {
+        if let Some((job, target)) = propose_move(problem, current, rng) {
+            let delta = problem.fitness(current.eval.peek_move(
+                problem,
+                &current.schedule,
+                job,
+                target,
+            )) - current.fitness;
+            if delta > 0.0 {
+                total += delta;
+                worsening += 1;
+            }
+        }
+    }
+    if worsening > 0 {
+        total / worsening as f64
+    } else {
+        current.fitness * 1e-3
+    }
+}
+
+/// Draws a random `(job, target ≠ current)` move; `None` on one machine.
+fn propose_move(
+    problem: &Problem,
+    current: &Individual,
+    rng: &mut dyn RngCore,
+) -> Option<(JobId, MachineId)> {
+    let nb_machines = problem.nb_machines() as MachineId;
+    if nb_machines < 2 {
+        return None;
+    }
+    let job = rng.gen_range(0..problem.nb_jobs() as JobId);
+    let from = current.schedule.machine_of(job);
+    let mut target = rng.gen_range(0..nb_machines - 1);
+    if target >= from {
+        target += 1;
+    }
+    Some((job, target))
+}
+
+/// The Metropolis criterion: improvements always pass; deteriorations
+/// pass with probability `exp(-Δ/T)`.
+fn metropolis_accept(delta: f64, temperature: f64, rng: &mut dyn RngCore) -> bool {
+    if delta <= 0.0 {
+        return true;
+    }
+    if temperature <= 0.0 {
+        return false;
+    }
+    rng.gen::<f64>() < (-delta / temperature).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmags_core::evaluate;
+    use cmags_etc::braun;
+
+    fn problem() -> Problem {
+        let class: cmags_etc::InstanceClass = "u_c_hihi.0".parse().unwrap();
+        Problem::from_instance(&braun::generate(class.with_dims(128, 8), 0))
+    }
+
+    fn quick() -> SimulatedAnnealing {
+        SimulatedAnnealing::default().with_stop(StopCondition::children(2_000))
+    }
+
+    #[test]
+    fn respects_children_budget_and_counts_temperature_steps() {
+        let outcome = quick().run(&problem(), 1);
+        assert_eq!(outcome.children, 2_000);
+        assert_eq!(outcome.generations, 2_000 / 64);
+    }
+
+    #[test]
+    fn improves_over_its_seed() {
+        let p = problem();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let seed_schedule = ConstructiveKind::LjfrSjfr.build_seeded(&p, &mut rng);
+        let seed_fitness = p.fitness(evaluate(&p, &seed_schedule));
+        let outcome = quick().run(&p, 5);
+        assert!(
+            outcome.fitness < seed_fitness,
+            "SA ({}) must improve on LJFR-SJFR ({seed_fitness})",
+            outcome.fitness
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = problem();
+        let a = quick().run(&p, 9);
+        let b = quick().run(&p, 9);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.fitness, b.fitness);
+    }
+
+    #[test]
+    fn best_matches_reevaluation() {
+        let p = problem();
+        let outcome = quick().run(&p, 3);
+        assert_eq!(outcome.objectives, evaluate(&p, &outcome.schedule));
+    }
+
+    #[test]
+    fn metropolis_always_accepts_improvements() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..64 {
+            assert!(metropolis_accept(-1.0, 1e-12, &mut rng));
+            assert!(metropolis_accept(0.0, 0.0, &mut rng));
+        }
+    }
+
+    #[test]
+    fn metropolis_rejects_at_zero_temperature() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..64 {
+            assert!(!metropolis_accept(1.0, 0.0, &mut rng));
+        }
+    }
+
+    #[test]
+    fn metropolis_acceptance_rate_tracks_temperature() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let rate = |delta: f64, t: f64, rng: &mut SmallRng| {
+            (0..4_000).filter(|_| metropolis_accept(delta, t, rng)).count() as f64 / 4_000.0
+        };
+        let hot = rate(1.0, 10.0, &mut rng);
+        let cold = rate(1.0, 0.5, &mut rng);
+        assert!(hot > 0.85, "exp(-0.1) ≈ 0.90, got {hot}");
+        assert!(cold < 0.25, "exp(-2) ≈ 0.14, got {cold}");
+        assert!(hot > cold);
+    }
+
+    #[test]
+    #[should_panic(expected = "cooling factor")]
+    fn invalid_cooling_rejected() {
+        let mut config = quick();
+        config.cooling = 1.5;
+        let _ = config.run(&problem(), 0);
+    }
+
+    #[test]
+    fn single_machine_instance_terminates() {
+        let etc = cmags_etc::EtcMatrix::from_rows(4, 1, vec![1.0, 2.0, 3.0, 4.0]);
+        let inst = cmags_etc::GridInstance::new("one", etc);
+        let p = Problem::from_instance(&inst);
+        let outcome = quick().with_stop(StopCondition::children(50)).run(&p, 0);
+        assert_eq!(outcome.children, 50);
+        assert_eq!(outcome.objectives.makespan, 10.0);
+    }
+}

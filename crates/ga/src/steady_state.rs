@@ -1,0 +1,152 @@
+//! Steady-state GA in the style of Carretero & Xhafa (2006).
+
+use cmags_cma::StopCondition;
+use cmags_core::{FitnessWeights, Problem};
+use cmags_heuristics::constructive::ConstructiveKind;
+use cmags_heuristics::ops::{mutate_move, Crossover};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::common::{
+    best_index, individual_with_weights, init_population, tournament_select, worst_index,
+    RunState,
+};
+use crate::GaOutcome;
+
+/// Carretero & Xhafa-style steady-state GA.
+///
+/// One offspring per step: binary-tournament parents, one-point
+/// crossover, random-move mutation, and **replace-worst-if-better**
+/// survival. Optimises the same weighted makespan + mean-flowtime fitness
+/// as the cMA ("both of them use the same simultaneous approach", paper
+/// §5.1). Parameter values not stated in the 2006 article follow common
+/// steady-state practice and are documented fields.
+#[derive(Debug, Clone)]
+pub struct SteadyStateGa {
+    /// Population size.
+    pub population_size: usize,
+    /// Tournament size for each parent.
+    pub tournament: usize,
+    /// Probability the child is mutated.
+    pub mutation_rate: f64,
+    /// Seed heuristic injected once.
+    pub heuristic_seed: Option<ConstructiveKind>,
+    /// Fitness weights (default: the paper's λ = 0.75).
+    pub weights: FitnessWeights,
+    /// Stopping condition. `generations` in the outcome counts steps.
+    pub stop: StopCondition,
+}
+
+impl Default for SteadyStateGa {
+    fn default() -> Self {
+        Self {
+            population_size: 64,
+            tournament: 2,
+            mutation_rate: 0.4,
+            heuristic_seed: Some(ConstructiveKind::MinMin),
+            weights: FitnessWeights::default(),
+            stop: StopCondition::paper_time(),
+        }
+    }
+}
+
+impl SteadyStateGa {
+    /// Replaces the stopping condition.
+    #[must_use]
+    pub fn with_stop(mut self, stop: StopCondition) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Runs the GA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is unbounded or the population is
+    /// smaller than two.
+    #[must_use]
+    pub fn run(&self, problem: &Problem, seed: u64) -> GaOutcome {
+        assert!(self.stop.is_bounded(), "unbounded run: configure a stopping condition");
+        assert!(self.population_size >= 2);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut population = init_population(
+            problem,
+            self.population_size,
+            self.heuristic_seed,
+            self.weights,
+            &mut rng,
+        );
+        let mut state = RunState::new(seed, population[best_index(&population)].clone());
+
+        while !state.should_stop(&self.stop) {
+            let a = tournament_select(&population, self.tournament, &mut rng);
+            let b = tournament_select(&population, self.tournament, &mut rng);
+            let mut child_schedule = Crossover::OnePoint.apply(
+                &population[a].schedule,
+                &population[b].schedule,
+                &mut rng,
+            );
+            if rng.gen::<f64>() < self.mutation_rate {
+                let _ = mutate_move(problem, &mut child_schedule, &mut rng);
+            }
+            let child = individual_with_weights(problem, child_schedule, self.weights);
+            state.children += 1;
+            state.observe(&child);
+
+            let worst = worst_index(&population);
+            if child.fitness < population[worst].fitness {
+                population[worst] = child;
+            }
+            state.generations += 1;
+        }
+        state.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmags_etc::braun;
+
+    fn problem() -> Problem {
+        let class: cmags_etc::InstanceClass = "u_s_hilo.0".parse().unwrap();
+        Problem::from_instance(&braun::generate(class.with_dims(64, 8), 0))
+    }
+
+    fn quick() -> SteadyStateGa {
+        SteadyStateGa { population_size: 16, ..SteadyStateGa::default() }
+            .with_stop(StopCondition::children(400))
+    }
+
+    #[test]
+    fn one_child_per_step() {
+        let p = problem();
+        let outcome = quick().run(&p, 1);
+        assert_eq!(outcome.children, 400);
+        assert_eq!(outcome.generations, 400);
+    }
+
+    #[test]
+    fn improves_with_budget() {
+        let p = problem();
+        let short = quick().with_stop(StopCondition::children(50)).run(&p, 2);
+        let long = quick().with_stop(StopCondition::children(2000)).run(&p, 2);
+        assert!(long.fitness <= short.fitness);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = problem();
+        assert_eq!(quick().run(&p, 4).schedule, quick().run(&p, 4).schedule);
+    }
+
+    #[test]
+    fn uses_weighted_fitness() {
+        let p = problem();
+        let outcome = quick().run(&p, 5);
+        let expected = FitnessWeights::default()
+            .fitness(outcome.objectives, p.nb_machines());
+        assert_eq!(outcome.fitness, expected);
+        assert_ne!(outcome.fitness, outcome.objectives.makespan);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of the baseline metaheuristics (SA, Tabu, GAs)
+//! over randomly drawn instances and budgets: budgets are honoured
+//! exactly, reported objectives always re-evaluate, and traces are
+//! monotone best-so-far records.
+
+use cmags_cma::StopCondition;
+use cmags_core::Problem;
+use cmags_etc::{EtcMatrix, GridInstance};
+use cmags_ga::{BraunGa, GaOutcome, SimulatedAnnealing, SteadyStateGa, StruggleGa, TabuSearch, TabuList};
+use proptest::prelude::*;
+
+fn problem_strategy() -> impl Strategy<Value = Problem> {
+    (4usize..20, 2usize..5).prop_flat_map(|(jobs, machines)| {
+        proptest::collection::vec(1u32..5_000, jobs * machines).prop_map(move |cells| {
+            let data: Vec<f64> = cells.into_iter().map(|c| f64::from(c) / 4.0).collect();
+            let etc = EtcMatrix::from_rows(jobs, machines, data);
+            Problem::from_instance(&GridInstance::new("prop", etc))
+        })
+    })
+}
+
+/// The shared engine contract.
+fn check_contract(problem: &Problem, outcome: &GaOutcome, budget: u64, name: &str) {
+    assert_eq!(outcome.children, budget, "{name}: children budget not honoured exactly");
+    assert_eq!(
+        cmags_core::evaluate(problem, &outcome.schedule),
+        outcome.objectives,
+        "{name}: reported objectives diverge from re-evaluation"
+    );
+    assert!(
+        outcome.objectives.flowtime >= outcome.objectives.makespan,
+        "{name}: flowtime below makespan is impossible"
+    );
+    for window in outcome.trace.windows(2) {
+        assert!(window[1].fitness <= window[0].fitness, "{name}: non-monotone trace");
+        assert!(window[1].elapsed_ms >= window[0].elapsed_ms, "{name}: time ran backwards");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sa_contract_holds(p in problem_strategy(), budget in 1u64..400, seed in 0u64..100) {
+        let outcome =
+            SimulatedAnnealing::default().with_stop(StopCondition::children(budget)).run(&p, seed);
+        check_contract(&p, &outcome, budget, "SA");
+    }
+
+    #[test]
+    fn tabu_contract_holds(p in problem_strategy(), budget in 1u64..400, seed in 0u64..100) {
+        let outcome =
+            TabuSearch::default().with_stop(StopCondition::children(budget)).run(&p, seed);
+        check_contract(&p, &outcome, budget, "Tabu");
+    }
+
+    #[test]
+    fn ga_engines_objectives_reevaluate(p in problem_strategy(), seed in 0u64..100) {
+        let stop = StopCondition::children(60);
+        let outcomes = [
+            ("Braun GA", BraunGa { population_size: 8, ..BraunGa::default() }
+                .with_stop(stop).run(&p, seed)),
+            ("SS-GA", SteadyStateGa { population_size: 8, ..SteadyStateGa::default() }
+                .with_stop(stop).run(&p, seed)),
+            ("Struggle", StruggleGa { population_size: 8, ..StruggleGa::default() }
+                .with_stop(stop).run(&p, seed)),
+        ];
+        for (name, outcome) in outcomes {
+            prop_assert_eq!(
+                cmags_core::evaluate(&p, &outcome.schedule),
+                outcome.objectives,
+                "{}", name
+            );
+        }
+    }
+
+    #[test]
+    fn sa_and_tabu_are_deterministic(p in problem_strategy(), seed in 0u64..100) {
+        let stop = StopCondition::children(120);
+        let sa = |s| SimulatedAnnealing::default().with_stop(stop).run(&p, s);
+        prop_assert_eq!(sa(seed).schedule, sa(seed).schedule);
+        let tabu = |s| TabuSearch::default().with_stop(stop).run(&p, s);
+        prop_assert_eq!(tabu(seed).schedule, tabu(seed).schedule);
+    }
+
+    #[test]
+    fn tabu_list_expiry_algebra(
+        jobs in 1usize..16,
+        machines in 1usize..8,
+        tenure in 0u64..50,
+        now in 0u64..1_000,
+    ) {
+        let mut list = TabuList::new(jobs, machines, tenure);
+        let job = (jobs - 1) as u32;
+        let machine = (machines - 1) as u32;
+        prop_assert!(!list.is_tabu(job, machine, now), "fresh list forbids nothing");
+        list.forbid(job, machine, now);
+        if tenure > 0 {
+            prop_assert!(list.is_tabu(job, machine, now));
+            prop_assert!(list.is_tabu(job, machine, now + tenure - 1));
+        }
+        prop_assert!(!list.is_tabu(job, machine, now + tenure), "expires exactly at tenure");
+    }
+}

@@ -1,0 +1,158 @@
+//! Event queue of the discrete-event simulation.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation event kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A new job enters the system.
+    JobArrival {
+        /// Job identifier.
+        job: u64,
+    },
+    /// The batch scheduler wakes up and plans all pending jobs.
+    SchedulerActivation,
+    /// A machine finishes its running job.
+    JobFinish {
+        /// Machine identifier.
+        machine: u64,
+        /// Job identifier.
+        job: u64,
+    },
+    /// A new machine joins the grid.
+    MachineJoin {
+        /// Machine identifier.
+        machine: u64,
+    },
+    /// A machine leaves the grid (killing its running job).
+    MachineLeave {
+        /// Machine identifier.
+        machine: u64,
+    },
+}
+
+/// An event scheduled at a simulation time.
+///
+/// Ordering: earliest time first; ties broken by insertion sequence so
+/// the simulation is fully deterministic.
+#[derive(Debug, Clone, Copy)]
+struct Scheduled {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic earliest-first event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at absolute simulation time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN or negative.
+    pub fn push(&mut self, time: f64, event: Event) {
+        assert!(time.is_finite() && time >= 0.0, "event time must be finite and non-negative");
+        self.heap.push(Scheduled { time, seq: self.seq, event });
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(f64, Event)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Time of the earliest pending event.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(5.0, Event::SchedulerActivation);
+        q.push(1.0, Event::JobArrival { job: 1 });
+        q.push(3.0, Event::JobArrival { job: 2 });
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(times, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(2.0, Event::JobArrival { job: 10 });
+        q.push(2.0, Event::JobArrival { job: 20 });
+        q.push(2.0, Event::SchedulerActivation);
+        assert_eq!(q.pop().unwrap().1, Event::JobArrival { job: 10 });
+        assert_eq!(q.pop().unwrap().1, Event::JobArrival { job: 20 });
+        assert_eq!(q.pop().unwrap().1, Event::SchedulerActivation);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(4.0, Event::MachineJoin { machine: 0 });
+        assert_eq!(q.peek_time(), Some(4.0));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_nan_time() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, Event::SchedulerActivation);
+    }
+}

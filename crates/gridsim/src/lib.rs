@@ -1,0 +1,51 @@
+//! # cmags-gridsim — discrete-event dynamic grid simulator
+//!
+//! The reproduced paper's closing claim (§1, §6) is that the cMA, run "in
+//! batch mode for a very short time to schedule jobs arriving to the
+//! system since the last activation", yields an efficient *dynamic*
+//! scheduler. The authors defer evaluating that claim to future work with
+//! "grid simulator packages"; this crate is that simulator, so the claim
+//! becomes testable (`DESIGN.md` experiment DYN).
+//!
+//! ## Model
+//!
+//! * **Jobs** arrive as a Poisson process; each carries a baseline
+//!   workload drawn from the ETC class ranges ([`workload`]).
+//! * **Machines** have speed characteristics consistent with the chosen
+//!   [`cmags_etc::Consistency`] class; they can join and leave the grid
+//!   (churn), mirroring "resources could dynamically be added/dropped".
+//!   A leaving machine kills its running job; killed and queued jobs are
+//!   resubmitted.
+//! * Every `activation_interval` simulated seconds, the **batch
+//!   scheduler** ([`scheduler::BatchScheduler`]) receives the pending jobs
+//!   and the alive machines (with their *ready times* — the remaining
+//!   committed work) as an ETC instance, exactly the static problem of
+//!   `cmags-core`. Assignments are dispatched to per-machine queues
+//!   executed in SPT order (the evaluation convention of the whole
+//!   workspace).
+//! * [`metrics::SimReport`] aggregates realized makespan, flowtime,
+//!   waiting times, utilisation and scheduler statistics.
+//!
+//! ## Example
+//!
+//! ```
+//! use cmags_gridsim::scheduler::HeuristicScheduler;
+//! use cmags_gridsim::{SimConfig, Simulation};
+//! use cmags_heuristics::constructive::ConstructiveKind;
+//!
+//! let config = SimConfig::small();
+//! let mut scheduler = HeuristicScheduler::new(ConstructiveKind::MinMin);
+//! let report = Simulation::new(config, 7).run(&mut scheduler);
+//! assert_eq!(report.jobs_completed, report.jobs_submitted);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod machine;
+pub mod metrics;
+pub mod scheduler;
+mod sim;
+pub mod workload;
+
+pub use sim::{SimConfig, Simulation};

@@ -1,0 +1,166 @@
+//! Machine pool with dynamic membership.
+
+use std::collections::BTreeMap;
+
+use crate::workload::MachineSpec;
+
+/// Execution state of one grid machine.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Static characteristics.
+    pub spec: MachineSpec,
+    /// Job ids queued on this machine, executed front-to-back (the
+    /// dispatcher enqueues each batch in SPT order).
+    pub queue: Vec<u64>,
+    /// The running job, if any, with its expected finish time.
+    pub running: Option<(u64, f64)>,
+    /// Sum of busy time accumulated so far (for utilisation).
+    pub busy_time: f64,
+    /// Time the machine joined the grid.
+    pub joined_at: f64,
+}
+
+impl Machine {
+    /// Creates an idle machine.
+    #[must_use]
+    pub fn new(spec: MachineSpec, now: f64) -> Self {
+        Self { spec, queue: Vec::new(), running: None, busy_time: 0.0, joined_at: now }
+    }
+
+    /// When the machine will have finished everything currently committed
+    /// to it (running job + queue), given a closure mapping job id to its
+    /// ETC on this machine. This is the machine's **ready time** for the
+    /// next scheduler activation (paper §2).
+    #[must_use]
+    pub fn ready_time(&self, now: f64, etc_of: impl Fn(u64) -> f64) -> f64 {
+        let mut ready = match self.running {
+            Some((_, finish)) => finish,
+            None => now,
+        };
+        for &job in &self.queue {
+            ready += etc_of(job);
+        }
+        ready
+    }
+
+    /// Whether the machine has nothing to do.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.running.is_none() && self.queue.is_empty()
+    }
+}
+
+/// The set of alive machines, keyed by id (deterministic iteration).
+#[derive(Debug, Default)]
+pub struct MachinePool {
+    machines: BTreeMap<u64, Machine>,
+    next_id: u64,
+}
+
+impl MachinePool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a machine with the given spec characteristics, returning its
+    /// id.
+    pub fn join(&mut self, slowness: f64, now: f64) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.machines.insert(id, Machine::new(MachineSpec { id, slowness }, now));
+        id
+    }
+
+    /// Removes a machine, returning it (with any queued/running work) if
+    /// it was alive.
+    pub fn leave(&mut self, id: u64) -> Option<Machine> {
+        self.machines.remove(&id)
+    }
+
+    /// Immutable access to a machine.
+    #[must_use]
+    pub fn get(&self, id: u64) -> Option<&Machine> {
+        self.machines.get(&id)
+    }
+
+    /// Mutable access to a machine.
+    pub fn get_mut(&mut self, id: u64) -> Option<&mut Machine> {
+        self.machines.get_mut(&id)
+    }
+
+    /// Alive machines in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Machine> {
+        self.machines.values()
+    }
+
+    /// Mutable iteration in id order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Machine> {
+        self.machines.values_mut()
+    }
+
+    /// Number of alive machines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Whether no machines are alive.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// Ids of alive machines, ascending.
+    #[must_use]
+    pub fn ids(&self) -> Vec<u64> {
+        self.machines.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_assigns_increasing_ids() {
+        let mut pool = MachinePool::new();
+        let a = pool.join(2.0, 0.0);
+        let b = pool.join(3.0, 1.0);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.ids(), vec![0, 1]);
+    }
+
+    #[test]
+    fn leave_returns_machine_with_work() {
+        let mut pool = MachinePool::new();
+        let id = pool.join(1.0, 0.0);
+        pool.get_mut(id).unwrap().queue.push(42);
+        let gone = pool.leave(id).unwrap();
+        assert_eq!(gone.queue, vec![42]);
+        assert!(pool.is_empty());
+        assert!(pool.leave(id).is_none());
+    }
+
+    #[test]
+    fn ready_time_accounts_running_and_queue() {
+        let mut machine = Machine::new(MachineSpec { id: 0, slowness: 1.0 }, 0.0);
+        // Idle: ready now.
+        assert_eq!(machine.ready_time(5.0, |_| 1.0), 5.0);
+        // Running until t=10 plus two queued jobs of ETC 3 each.
+        machine.running = Some((1, 10.0));
+        machine.queue = vec![2, 3];
+        assert_eq!(machine.ready_time(5.0, |_| 3.0), 16.0);
+    }
+
+    #[test]
+    fn ids_do_not_recycle() {
+        let mut pool = MachinePool::new();
+        let a = pool.join(1.0, 0.0);
+        pool.leave(a);
+        let b = pool.join(1.0, 1.0);
+        assert_ne!(a, b, "machine ids must stay unique across churn");
+    }
+}

@@ -1,0 +1,128 @@
+//! Aggregate metrics of one simulation run.
+
+/// Per-job record of one completed job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobRecord {
+    /// Job id.
+    pub job: u64,
+    /// Arrival time.
+    pub arrival: f64,
+    /// First execution start.
+    pub started: f64,
+    /// Completion time.
+    pub finished: f64,
+    /// How many times the job was (re)submitted after machine departures.
+    pub resubmissions: u32,
+}
+
+/// Aggregated outcome of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Scheduler under test.
+    pub scheduler: String,
+    /// Jobs that entered the system.
+    pub jobs_submitted: u64,
+    /// Jobs completed by the end of the run.
+    pub jobs_completed: u64,
+    /// Jobs killed by machine departures and resubmitted.
+    pub resubmissions: u64,
+    /// Completion time of the last job (paper's makespan analogue).
+    pub realized_makespan: f64,
+    /// Sum of completion times (the paper's flowtime definition).
+    pub flowtime: f64,
+    /// Sum of response times (completion − arrival).
+    pub total_response: f64,
+    /// Sum of waiting times (first start − arrival).
+    pub total_wait: f64,
+    /// Scheduler activations that had work to plan.
+    pub activations: u64,
+    /// Total wall-clock seconds spent inside the batch scheduler.
+    pub scheduler_wall_s: f64,
+    /// Machine-seconds of busy time (across all machines that ever lived).
+    pub busy_machine_seconds: f64,
+    /// Machine-seconds of availability.
+    pub available_machine_seconds: f64,
+}
+
+impl SimReport {
+    /// Mean response time per completed job.
+    #[must_use]
+    pub fn mean_response(&self) -> f64 {
+        if self.jobs_completed == 0 {
+            0.0
+        } else {
+            self.total_response / self.jobs_completed as f64
+        }
+    }
+
+    /// Mean waiting time per completed job.
+    #[must_use]
+    pub fn mean_wait(&self) -> f64 {
+        if self.jobs_completed == 0 {
+            0.0
+        } else {
+            self.total_wait / self.jobs_completed as f64
+        }
+    }
+
+    /// Fraction of available machine time spent busy, in `[0, 1]`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.available_machine_seconds == 0.0 {
+            0.0
+        } else {
+            (self.busy_machine_seconds / self.available_machine_seconds).min(1.0)
+        }
+    }
+
+    /// Folds one completed job into the aggregates.
+    pub fn record_completion(&mut self, record: &JobRecord) {
+        self.jobs_completed += 1;
+        self.realized_makespan = self.realized_makespan.max(record.finished);
+        self.flowtime += record.finished;
+        self.total_response += record.finished - record.arrival;
+        self.total_wait += record.started - record.arrival;
+        self.resubmissions += u64::from(record.resubmissions);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(arrival: f64, started: f64, finished: f64) -> JobRecord {
+        JobRecord { job: 0, arrival, started, finished, resubmissions: 0 }
+    }
+
+    #[test]
+    fn aggregates_accumulate() {
+        let mut report = SimReport::default();
+        report.record_completion(&record(0.0, 1.0, 5.0));
+        report.record_completion(&record(2.0, 2.0, 10.0));
+        assert_eq!(report.jobs_completed, 2);
+        assert_eq!(report.realized_makespan, 10.0);
+        assert_eq!(report.flowtime, 15.0);
+        assert_eq!(report.total_response, 5.0 + 8.0);
+        assert_eq!(report.total_wait, 1.0);
+        assert_eq!(report.mean_response(), 6.5);
+        assert_eq!(report.mean_wait(), 0.5);
+    }
+
+    #[test]
+    fn empty_report_means_are_zero() {
+        let report = SimReport::default();
+        assert_eq!(report.mean_response(), 0.0);
+        assert_eq!(report.mean_wait(), 0.0);
+        assert_eq!(report.utilization(), 0.0);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let report = SimReport {
+            busy_machine_seconds: 120.0,
+            available_machine_seconds: 100.0,
+            ..SimReport::default()
+        };
+        assert_eq!(report.utilization(), 1.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Batch schedulers pluggable into the simulator.
+//!
+//! At every activation the simulator snapshots pending jobs and alive
+//! machines into a [`GridInstance`] — the exact static problem of
+//! `cmags-core` with non-zero ready times — and asks a `BatchScheduler`
+//! for a [`Schedule`]. This is the paper's dynamic-scheduler construction:
+//! "running the cMA-based scheduler in batch mode … to schedule jobs
+//! arriving to the system since the last activation".
+
+use cmags_cma::{CmaConfig, StopCondition};
+use cmags_core::{Problem, Schedule};
+use cmags_etc::GridInstance;
+use cmags_heuristics::constructive::ConstructiveKind;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A scheduler invoked in batch mode by the simulator.
+pub trait BatchScheduler {
+    /// Name used in reports.
+    fn name(&self) -> String;
+
+    /// Plans every job of `instance` onto its machines. `seed` is unique
+    /// per activation, so stochastic schedulers stay reproducible.
+    fn schedule(&mut self, instance: &GridInstance, seed: u64) -> Schedule;
+}
+
+/// Wraps any constructive heuristic as a batch scheduler.
+#[derive(Debug, Clone)]
+pub struct HeuristicScheduler {
+    kind: ConstructiveKind,
+}
+
+impl HeuristicScheduler {
+    /// Creates a scheduler from a heuristic kind.
+    #[must_use]
+    pub fn new(kind: ConstructiveKind) -> Self {
+        Self { kind }
+    }
+}
+
+impl BatchScheduler for HeuristicScheduler {
+    fn name(&self) -> String {
+        self.kind.name().to_owned()
+    }
+
+    fn schedule(&mut self, instance: &GridInstance, seed: u64) -> Schedule {
+        let problem = Problem::from_instance(instance);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        self.kind.build_seeded(&problem, &mut rng)
+    }
+}
+
+/// The cMA as a batch scheduler — the paper's proposal.
+///
+/// Each activation runs the configured cMA on the snapshot under the
+/// configured budget (default: 2000 children, roughly tens of
+/// milliseconds on 512-job batches — "a very short time").
+#[derive(Debug, Clone)]
+pub struct CmaScheduler {
+    config: CmaConfig,
+}
+
+impl CmaScheduler {
+    /// cMA scheduler with the paper's Table 1 configuration and the given
+    /// per-activation budget.
+    #[must_use]
+    pub fn new(budget: StopCondition) -> Self {
+        Self { config: CmaConfig::paper().with_stop(budget) }
+    }
+
+    /// cMA scheduler with a custom configuration.
+    #[must_use]
+    pub fn with_config(config: CmaConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl Default for CmaScheduler {
+    fn default() -> Self {
+        Self::new(StopCondition::children(2000))
+    }
+}
+
+impl BatchScheduler for CmaScheduler {
+    fn name(&self) -> String {
+        "cMA".to_owned()
+    }
+
+    fn schedule(&mut self, instance: &GridInstance, seed: u64) -> Schedule {
+        let problem = Problem::from_instance(instance);
+        // Tiny batches: the grid population would dwarf the problem; fall
+        // back to the seeding heuristic directly.
+        if instance.nb_jobs() < 2 || instance.nb_machines() < 2 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            return self.config.seeding.build_seeded(&problem, &mut rng);
+        }
+        self.config.run(&problem, seed).schedule
+    }
+}
+
+/// Simulated Annealing as a batch scheduler (the classic line-up's
+/// single-trajectory alternative to the cMA's population).
+#[derive(Debug, Clone)]
+pub struct SaScheduler {
+    config: cmags_ga::SimulatedAnnealing,
+}
+
+impl SaScheduler {
+    /// SA scheduler with default parameters and the given
+    /// per-activation budget.
+    #[must_use]
+    pub fn new(budget: StopCondition) -> Self {
+        Self { config: cmags_ga::SimulatedAnnealing::default().with_stop(budget) }
+    }
+}
+
+impl Default for SaScheduler {
+    fn default() -> Self {
+        Self::new(StopCondition::children(2000))
+    }
+}
+
+impl BatchScheduler for SaScheduler {
+    fn name(&self) -> String {
+        "SA".to_owned()
+    }
+
+    fn schedule(&mut self, instance: &GridInstance, seed: u64) -> Schedule {
+        let problem = Problem::from_instance(instance);
+        self.config.run(&problem, seed).schedule
+    }
+}
+
+/// Tabu Search as a batch scheduler.
+#[derive(Debug, Clone)]
+pub struct TabuScheduler {
+    config: cmags_ga::TabuSearch,
+}
+
+impl TabuScheduler {
+    /// Tabu scheduler with default parameters and the given
+    /// per-activation budget.
+    #[must_use]
+    pub fn new(budget: StopCondition) -> Self {
+        Self { config: cmags_ga::TabuSearch::default().with_stop(budget) }
+    }
+}
+
+impl Default for TabuScheduler {
+    fn default() -> Self {
+        Self::new(StopCondition::children(2000))
+    }
+}
+
+impl BatchScheduler for TabuScheduler {
+    fn name(&self) -> String {
+        "Tabu".to_owned()
+    }
+
+    fn schedule(&mut self, instance: &GridInstance, seed: u64) -> Schedule {
+        let problem = Problem::from_instance(instance);
+        self.config.run(&problem, seed).schedule
+    }
+}
+
+/// Uniform random scheduler — the lower bound baseline.
+#[derive(Debug, Clone, Default)]
+pub struct RandomScheduler;
+
+impl BatchScheduler for RandomScheduler {
+    fn name(&self) -> String {
+        "Random".to_owned()
+    }
+
+    fn schedule(&mut self, instance: &GridInstance, seed: u64) -> Schedule {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let nb_machines = instance.nb_machines() as u32;
+        Schedule::from_assignment(
+            (0..instance.nb_jobs()).map(|_| rng.gen_range(0..nb_machines)).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmags_etc::EtcMatrix;
+
+    fn instance() -> GridInstance {
+        let etc = EtcMatrix::from_fn(24, 4, |j, m| 1.0 + ((j * 7 + m * 3) % 10) as f64);
+        GridInstance::with_ready_times("snap", etc, vec![5.0, 0.0, 2.0, 1.0])
+    }
+
+    #[test]
+    fn heuristic_scheduler_is_deterministic_and_complete() {
+        let mut s = HeuristicScheduler::new(ConstructiveKind::MinMin);
+        let inst = instance();
+        let a = s.schedule(&inst, 1);
+        let b = s.schedule(&inst, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.nb_jobs(), 24);
+        assert_eq!(s.name(), "Min-Min");
+    }
+
+    #[test]
+    fn cma_scheduler_produces_feasible_schedules() {
+        let mut s = CmaScheduler::new(StopCondition::children(100));
+        let inst = instance();
+        let schedule = s.schedule(&inst, 3);
+        assert!(Schedule::try_new(schedule.assignment().to_vec(), 24, 4).is_ok());
+    }
+
+    #[test]
+    fn cma_beats_random_on_snapshot() {
+        let inst = instance();
+        let problem = Problem::from_instance(&inst);
+        let mut cma = CmaScheduler::new(StopCondition::children(300));
+        let mut random = RandomScheduler;
+        let cma_fit = problem.fitness(cmags_core::evaluate(&problem, &cma.schedule(&inst, 5)));
+        let rnd_fit =
+            problem.fitness(cmags_core::evaluate(&problem, &random.schedule(&inst, 5)));
+        assert!(cma_fit < rnd_fit);
+    }
+
+    #[test]
+    fn cma_handles_degenerate_batches() {
+        let etc = EtcMatrix::from_rows(1, 1, vec![3.0]);
+        let inst = GridInstance::new("tiny", etc);
+        let mut s = CmaScheduler::default();
+        let schedule = s.schedule(&inst, 0);
+        assert_eq!(schedule.assignment(), &[0]);
+    }
+
+    #[test]
+    fn sa_and_tabu_schedulers_are_deterministic_and_feasible() {
+        let inst = instance();
+        for (name, schedule_a, schedule_b) in [
+            (
+                "SA",
+                SaScheduler::new(StopCondition::children(200)).schedule(&inst, 7),
+                SaScheduler::new(StopCondition::children(200)).schedule(&inst, 7),
+            ),
+            (
+                "Tabu",
+                TabuScheduler::new(StopCondition::children(200)).schedule(&inst, 7),
+                TabuScheduler::new(StopCondition::children(200)).schedule(&inst, 7),
+            ),
+        ] {
+            assert_eq!(schedule_a, schedule_b, "{name} must be deterministic per seed");
+            assert!(
+                Schedule::try_new(schedule_a.assignment().to_vec(), 24, 4).is_ok(),
+                "{name} produced an infeasible plan"
+            );
+        }
+    }
+
+    #[test]
+    fn sa_and_tabu_beat_random_on_snapshot() {
+        let inst = instance();
+        let problem = Problem::from_instance(&inst);
+        let fitness_of = |schedule: &Schedule| {
+            problem.fitness(cmags_core::evaluate(&problem, schedule))
+        };
+        let rnd = fitness_of(&RandomScheduler.schedule(&inst, 5));
+        let sa = fitness_of(&SaScheduler::new(StopCondition::children(400)).schedule(&inst, 5));
+        let tabu =
+            fitness_of(&TabuScheduler::new(StopCondition::children(400)).schedule(&inst, 5));
+        assert!(sa < rnd, "SA {sa} vs random {rnd}");
+        assert!(tabu < rnd, "Tabu {tabu} vs random {rnd}");
+    }
+
+    #[test]
+    fn sa_and_tabu_handle_degenerate_batches() {
+        let etc = EtcMatrix::from_rows(1, 1, vec![3.0]);
+        let inst = GridInstance::new("tiny", etc);
+        let budget = StopCondition::children(10);
+        assert_eq!(SaScheduler::new(budget).schedule(&inst, 0).assignment(), &[0]);
+        assert_eq!(TabuScheduler::new(budget).schedule(&inst, 0).assignment(), &[0]);
+    }
+}

@@ -1,0 +1,480 @@
+//! The discrete-event simulation loop.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use cmags_etc::{EtcMatrix, GridInstance};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::event::{Event, EventQueue};
+use crate::machine::MachinePool;
+use crate::metrics::{JobRecord, SimReport};
+use crate::scheduler::BatchScheduler;
+use crate::workload::{JobSpec, PoissonArrivals, World};
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Heterogeneity/consistency world.
+    pub world: World,
+    /// Job arrival process.
+    pub arrivals: PoissonArrivals,
+    /// Stop submitting jobs after this simulated time; the run then
+    /// drains until every submitted job completes.
+    pub arrival_horizon: f64,
+    /// Interval between scheduler activations (the paper's "since the
+    /// last activation" window).
+    pub activation_interval: f64,
+    /// Machines present at t = 0.
+    pub initial_machines: usize,
+    /// Rate (events per simulated second) of machines joining. Zero
+    /// disables joins.
+    pub join_rate: f64,
+    /// Rate of machines leaving. Zero disables departures. The pool never
+    /// drops below two machines.
+    pub leave_rate: f64,
+    /// Multiplicative execution-time noise: realized time is
+    /// `ETC · U(1-ε, 1+ε)`. Zero keeps execution exactly at ETC.
+    pub execution_noise: f64,
+    /// Safety valve on total processed events.
+    pub max_events: u64,
+}
+
+impl SimConfig {
+    /// A small, fast scenario for tests and examples: consistent hihi
+    /// world, 8 machines, ~60 jobs, no churn, no noise.
+    #[must_use]
+    pub fn small() -> Self {
+        Self {
+            world: World::hihi_consistent(11),
+            arrivals: PoissonArrivals { rate: 2e-4 },
+            arrival_horizon: 3e5,
+            activation_interval: 5e4,
+            initial_machines: 8,
+            join_rate: 0.0,
+            leave_rate: 0.0,
+            execution_noise: 0.0,
+            max_events: 1_000_000,
+        }
+    }
+
+    /// A churny scenario: machines join and leave during the run.
+    #[must_use]
+    pub fn churny() -> Self {
+        Self {
+            join_rate: 6e-6,
+            leave_rate: 6e-6,
+            ..Self::small()
+        }
+    }
+}
+
+/// Job lifecycle state.
+#[derive(Debug, Clone, Copy)]
+struct JobState {
+    spec: JobSpec,
+    started: Option<f64>,
+    resubmissions: u32,
+}
+
+/// The simulator. Owns all mutable state of one run.
+pub struct Simulation {
+    config: SimConfig,
+    rng: SmallRng,
+    events: EventQueue,
+    pool: MachinePool,
+    /// Jobs waiting for the next scheduler activation, in arrival order.
+    pending: Vec<u64>,
+    /// All job states, keyed by id.
+    jobs: BTreeMap<u64, JobState>,
+    now: f64,
+    next_job_id: u64,
+    report: SimReport,
+    /// Accumulates (alive machines × elapsed) for utilisation.
+    last_avail_update: f64,
+}
+
+impl Simulation {
+    /// Prepares a simulation with the given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive horizon/interval or fewer than two initial
+    /// machines.
+    #[must_use]
+    pub fn new(config: SimConfig, seed: u64) -> Self {
+        assert!(config.arrival_horizon > 0.0, "horizon must be positive");
+        assert!(config.activation_interval > 0.0, "activation interval must be positive");
+        assert!(config.initial_machines >= 2, "need at least two initial machines");
+        assert!((0.0..1.0).contains(&config.execution_noise), "noise must be in [0, 1)");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut pool = MachinePool::new();
+        for _ in 0..config.initial_machines {
+            let slowness = config.world.draw_slowness(&mut rng);
+            pool.join(slowness, 0.0);
+        }
+        Self {
+            config,
+            rng,
+            events: EventQueue::new(),
+            pool,
+            pending: Vec::new(),
+            jobs: BTreeMap::new(),
+            now: 0.0,
+            next_job_id: 0,
+            report: SimReport::default(),
+            last_avail_update: 0.0,
+        }
+    }
+
+    /// Runs the simulation to completion under `scheduler` and returns
+    /// the report.
+    pub fn run(mut self, scheduler: &mut dyn BatchScheduler) -> SimReport {
+        self.report.scheduler = scheduler.name();
+        self.schedule_initial_events();
+
+        let mut processed = 0u64;
+        while let Some((time, event)) = self.events.pop() {
+            processed += 1;
+            if processed > self.config.max_events {
+                panic!("simulation exceeded max_events = {}", self.config.max_events);
+            }
+            self.advance_clock(time);
+            match event {
+                Event::JobArrival { job } => self.on_arrival(job),
+                Event::SchedulerActivation => self.on_activation(scheduler),
+                Event::JobFinish { machine, job } => self.on_finish(machine, job),
+                Event::MachineJoin { .. } => self.on_join(),
+                Event::MachineLeave { machine } => self.on_leave(machine),
+            }
+        }
+        // Final availability update and sanity.
+        self.advance_clock(self.now);
+        debug_assert_eq!(self.report.jobs_completed, self.report.jobs_submitted);
+        self.report
+    }
+
+    // --- event generation -------------------------------------------------
+
+    fn schedule_initial_events(&mut self) {
+        // First arrival.
+        let gap = self.config.arrivals.next_gap(&mut self.rng);
+        if gap <= self.config.arrival_horizon {
+            self.events.push(gap, Event::JobArrival { job: self.next_job_id });
+        }
+        // First activation.
+        self.events.push(self.config.activation_interval, Event::SchedulerActivation);
+        // Churn processes.
+        if self.config.join_rate > 0.0 {
+            let gap = exp_gap(&mut self.rng, self.config.join_rate);
+            if gap <= self.config.arrival_horizon {
+                self.events.push(gap, Event::MachineJoin { machine: 0 });
+            }
+        }
+        if self.config.leave_rate > 0.0 {
+            let gap = exp_gap(&mut self.rng, self.config.leave_rate);
+            if gap <= self.config.arrival_horizon {
+                self.events.push(gap, Event::MachineLeave { machine: 0 });
+            }
+        }
+    }
+
+    fn advance_clock(&mut self, time: f64) {
+        debug_assert!(time + 1e-9 >= self.now, "time went backwards");
+        let elapsed = (time - self.last_avail_update).max(0.0);
+        self.report.available_machine_seconds += elapsed * self.pool.len() as f64;
+        self.last_avail_update = time;
+        self.now = self.now.max(time);
+    }
+
+    // --- event handlers ----------------------------------------------------
+
+    fn on_arrival(&mut self, job: u64) {
+        debug_assert_eq!(job, self.next_job_id);
+        let spec = JobSpec {
+            id: job,
+            arrival: self.now,
+            baseline: self.config.world.draw_baseline(&mut self.rng),
+        };
+        self.jobs.insert(job, JobState { spec, started: None, resubmissions: 0 });
+        self.pending.push(job);
+        self.report.jobs_submitted += 1;
+        self.next_job_id += 1;
+
+        // Next arrival, if still within the horizon.
+        let gap = self.config.arrivals.next_gap(&mut self.rng);
+        let t = self.now + gap;
+        if t <= self.config.arrival_horizon {
+            self.events.push(t, Event::JobArrival { job: self.next_job_id });
+        }
+    }
+
+    fn on_activation(&mut self, scheduler: &mut dyn BatchScheduler) {
+        if !self.pending.is_empty() && !self.pool.is_empty() {
+            self.dispatch_pending(scheduler);
+        }
+        // Re-arm while work can still appear or remains queued.
+        let more_arrivals = self.now < self.config.arrival_horizon;
+        let work_left = !self.pending.is_empty()
+            || self.jobs.values().any(|j| j.started.is_none() && !self.pending.contains(&j.spec.id));
+        if more_arrivals || work_left || self.report.jobs_completed < self.report.jobs_submitted {
+            self.events
+                .push(self.now + self.config.activation_interval, Event::SchedulerActivation);
+        }
+    }
+
+    /// Snapshot pending jobs + alive machines into a `GridInstance`, ask
+    /// the scheduler, dispatch assignments in SPT order per machine.
+    fn dispatch_pending(&mut self, scheduler: &mut dyn BatchScheduler) {
+        let machine_ids = self.pool.ids();
+        let job_ids: Vec<u64> = self.pending.drain(..).collect();
+
+        // ETC snapshot: rows in pending order, columns in machine-id order.
+        let world = self.config.world;
+        let jobs = &self.jobs;
+        let pool = &self.pool;
+        let etc = EtcMatrix::from_fn(job_ids.len(), machine_ids.len(), |r, c| {
+            let spec = &jobs[&job_ids[r]].spec;
+            let machine = pool.get(machine_ids[c]).expect("alive machine");
+            world.etc(spec, &machine.spec)
+        });
+        let ready: Vec<f64> = machine_ids
+            .iter()
+            .map(|&id| {
+                let machine = self.pool.get(id).expect("alive machine");
+                let ready_abs = machine.ready_time(self.now, |job| {
+                    world.etc(&jobs[&job].spec, &machine.spec)
+                });
+                // Ready times are relative to "now" for the snapshot.
+                (ready_abs - self.now).max(0.0)
+            })
+            .collect();
+        let instance = GridInstance::with_ready_times(
+            format!("activation@{:.0}", self.now),
+            etc,
+            ready,
+        );
+
+        let wall = Instant::now();
+        let schedule = scheduler.schedule(&instance, self.report.activations);
+        self.report.scheduler_wall_s += wall.elapsed().as_secs_f64();
+        self.report.activations += 1;
+        assert_eq!(schedule.nb_jobs(), job_ids.len(), "scheduler must plan every job");
+
+        // Group per machine, enqueue in SPT order (our evaluation
+        // convention), then kick idle machines.
+        let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); machine_ids.len()];
+        for (row, &job) in job_ids.iter().enumerate() {
+            let col = schedule.machine_of(row as u32) as usize;
+            assert!(col < machine_ids.len(), "scheduler assigned an unknown machine");
+            buckets[col].push(job);
+        }
+        let mut dispatches: Vec<(u64, Vec<u64>)> = Vec::with_capacity(machine_ids.len());
+        for (col, mut bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let machine_id = machine_ids[col];
+            let machine_spec = self.pool.get(machine_id).expect("alive machine").spec;
+            bucket.sort_by(|&a, &b| {
+                world
+                    .etc(&jobs[&a].spec, &machine_spec)
+                    .total_cmp(&world.etc(&jobs[&b].spec, &machine_spec))
+                    .then(a.cmp(&b))
+            });
+            dispatches.push((machine_id, bucket));
+        }
+        for (machine_id, bucket) in dispatches {
+            let machine = self.pool.get_mut(machine_id).expect("alive machine");
+            machine.queue.extend(bucket);
+            self.kick(machine_id);
+        }
+    }
+
+    /// Starts the next queued job on `machine` if it is idle.
+    fn kick(&mut self, machine_id: u64) {
+        let noise = self.draw_noise();
+        let world = self.config.world;
+        let now = self.now;
+        let Some(machine) = self.pool.get_mut(machine_id) else { return };
+        if machine.running.is_some() || machine.queue.is_empty() {
+            return;
+        }
+        let job = machine.queue.remove(0);
+        let spec = self.jobs[&job].spec;
+        let duration = world.etc(&spec, &machine.spec) * noise;
+        let finish = now + duration;
+        machine.running = Some((job, finish));
+        machine.busy_time += duration;
+        self.report.busy_machine_seconds += duration;
+        if let Some(state) = self.jobs.get_mut(&job) {
+            state.started.get_or_insert(now);
+        }
+        self.events.push(finish, Event::JobFinish { machine: machine_id, job });
+    }
+
+    fn draw_noise(&mut self) -> f64 {
+        let eps = self.config.execution_noise;
+        if eps == 0.0 {
+            1.0
+        } else {
+            self.rng.gen_range(1.0 - eps..=1.0 + eps)
+        }
+    }
+
+    fn on_finish(&mut self, machine_id: u64, job: u64) {
+        // The machine may have left before the finish event fired; the
+        // kill path already handled the job then.
+        let Some(machine) = self.pool.get_mut(machine_id) else { return };
+        match machine.running {
+            Some((running, _)) if running == job => machine.running = None,
+            _ => return, // stale event
+        }
+        let state = self.jobs[&job];
+        self.report.record_completion(&JobRecord {
+            job,
+            arrival: state.spec.arrival,
+            started: state.started.expect("finished job must have started"),
+            finished: self.now,
+            resubmissions: state.resubmissions,
+        });
+        self.kick(machine_id);
+    }
+
+    fn on_join(&mut self) {
+        let slowness = self.config.world.draw_slowness(&mut self.rng);
+        self.pool.join(slowness, self.now);
+        // Next join.
+        let gap = exp_gap(&mut self.rng, self.config.join_rate);
+        let t = self.now + gap;
+        if t <= self.config.arrival_horizon {
+            self.events.push(t, Event::MachineJoin { machine: 0 });
+        }
+    }
+
+    fn on_leave(&mut self, _hint: u64) {
+        // Keep at least two machines so the system stays schedulable.
+        if self.pool.len() > 2 {
+            // Deterministic victim: uniform index over alive ids.
+            let ids = self.pool.ids();
+            let victim = ids[self.rng.gen_range(0..ids.len())];
+            if let Some(dead) = self.pool.leave(victim) {
+                // Kill the running job (non-preemptive loss) and resubmit
+                // it and the queue.
+                let mut orphans = dead.queue;
+                if let Some((job, _)) = dead.running {
+                    orphans.insert(0, job);
+                }
+                for job in orphans {
+                    if let Some(state) = self.jobs.get_mut(&job) {
+                        state.resubmissions += 1;
+                        // A killed running job restarts from scratch.
+                        state.started = None;
+                    }
+                    self.pending.push(job);
+                }
+            }
+        }
+        // Next departure.
+        let gap = exp_gap(&mut self.rng, self.config.leave_rate);
+        let t = self.now + gap;
+        if t <= self.config.arrival_horizon {
+            self.events.push(t, Event::MachineLeave { machine: 0 });
+        }
+    }
+}
+
+/// Exponential inter-event gap.
+fn exp_gap(rng: &mut SmallRng, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0);
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{CmaScheduler, HeuristicScheduler, RandomScheduler};
+    use cmags_cma::StopCondition;
+    use cmags_heuristics::constructive::ConstructiveKind;
+
+    #[test]
+    fn completes_every_job_without_churn() {
+        let mut scheduler = HeuristicScheduler::new(ConstructiveKind::Mct);
+        let report = Simulation::new(SimConfig::small(), 1).run(&mut scheduler);
+        assert!(report.jobs_submitted > 10, "workload should be non-trivial");
+        assert_eq!(report.jobs_completed, report.jobs_submitted);
+        assert_eq!(report.resubmissions, 0);
+        assert!(report.realized_makespan > 0.0);
+        assert!(report.utilization() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut s = HeuristicScheduler::new(ConstructiveKind::MinMin);
+            Simulation::new(SimConfig::small(), seed).run(&mut s)
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.jobs_submitted, b.jobs_submitted);
+        assert_eq!(a.realized_makespan, b.realized_makespan);
+        assert_eq!(a.flowtime, b.flowtime);
+        let c = run(8);
+        assert_ne!(a.flowtime, c.flowtime);
+    }
+
+    #[test]
+    fn survives_churn_and_resubmits() {
+        let mut scheduler = HeuristicScheduler::new(ConstructiveKind::Mct);
+        let report = Simulation::new(SimConfig::churny(), 3).run(&mut scheduler);
+        assert_eq!(report.jobs_completed, report.jobs_submitted);
+        // Churn at these rates essentially always kills something.
+        assert!(report.resubmissions > 0, "expected at least one resubmission");
+    }
+
+    #[test]
+    fn better_scheduler_means_better_flowtime() {
+        let config = SimConfig::small();
+        let mut minmin = HeuristicScheduler::new(ConstructiveKind::MinMin);
+        let mut random = RandomScheduler;
+        let good = Simulation::new(config.clone(), 5).run(&mut minmin);
+        let bad = Simulation::new(config, 5).run(&mut random);
+        assert!(
+            good.mean_response() < bad.mean_response(),
+            "Min-Min ({}) must beat Random ({})",
+            good.mean_response(),
+            bad.mean_response()
+        );
+    }
+
+    #[test]
+    fn cma_scheduler_runs_the_whole_sim() {
+        let mut cma = CmaScheduler::new(StopCondition::children(150));
+        let report = Simulation::new(SimConfig::small(), 9).run(&mut cma);
+        assert_eq!(report.jobs_completed, report.jobs_submitted);
+        assert!(report.activations > 0);
+        assert!(report.scheduler_wall_s > 0.0);
+    }
+
+    #[test]
+    fn execution_noise_changes_realized_times() {
+        let mut config = SimConfig::small();
+        config.execution_noise = 0.2;
+        let mut s1 = HeuristicScheduler::new(ConstructiveKind::MinMin);
+        let noisy = Simulation::new(config, 11).run(&mut s1);
+        let mut s2 = HeuristicScheduler::new(ConstructiveKind::MinMin);
+        let clean = Simulation::new(SimConfig::small(), 11).run(&mut s2);
+        assert_ne!(noisy.realized_makespan, clean.realized_makespan);
+        assert_eq!(noisy.jobs_completed, noisy.jobs_submitted);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two initial machines")]
+    fn rejects_single_machine_config() {
+        let mut config = SimConfig::small();
+        config.initial_machines = 1;
+        let _ = Simulation::new(config, 0);
+    }
+}

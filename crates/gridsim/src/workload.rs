@@ -1,0 +1,245 @@
+//! Workload and heterogeneity model of the dynamic grid.
+//!
+//! Jobs and machines carry the same range-based characteristics as the
+//! static Braun classes (`cmags-etc`), so a snapshot of the dynamic system
+//! *is* a static benchmark instance:
+//!
+//! * job `j` has a baseline workload `B_j ~ U(1, φ_task)`;
+//! * machine `m` has a consistent slowness factor `s_m ~ U(1, φ_mach)`;
+//! * the ETC of `(j, m)` depends on the consistency class:
+//!   - **consistent**: `B_j · s_m` — machine orderings agree everywhere;
+//!   - **inconsistent**: `B_j · u(j, m)` with `u(j, m) ~ U(1, φ_mach)`
+//!     drawn from a deterministic per-pair hash;
+//!   - **semi-consistent**: even-indexed machines behave consistently,
+//!     odd-indexed machines draw per-pair noise.
+//!
+//! The per-pair noise uses a splitmix64 hash of `(world_seed, job,
+//! machine)`, so the ETC of a pair is stable across activations without
+//! storing a matrix over an unbounded job stream.
+
+use cmags_etc::{braun, Consistency, InstanceClass};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Static characteristics of one job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobSpec {
+    /// Job identifier.
+    pub id: u64,
+    /// Arrival time.
+    pub arrival: f64,
+    /// Baseline workload `B_j`.
+    pub baseline: f64,
+}
+
+/// Static characteristics of one machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineSpec {
+    /// Machine identifier.
+    pub id: u64,
+    /// Consistent slowness factor `s_m` (1 = fastest possible).
+    pub slowness: f64,
+}
+
+/// The heterogeneity/consistency world shared by all draws.
+#[derive(Debug, Clone, Copy)]
+pub struct World {
+    /// Consistency class of the dynamic grid.
+    pub consistency: Consistency,
+    /// Task heterogeneity range `φ_task`.
+    pub phi_task: f64,
+    /// Machine heterogeneity range `φ_mach`.
+    pub phi_mach: f64,
+    /// Seed of the per-pair noise hash.
+    pub noise_seed: u64,
+}
+
+impl World {
+    /// Builds a world from a benchmark class (dimensions are ignored; the
+    /// dynamic system sizes itself).
+    #[must_use]
+    pub fn from_class(class: InstanceClass, noise_seed: u64) -> Self {
+        let (phi_task, phi_mach) = braun::ranges(class);
+        Self { consistency: class.consistency, phi_task, phi_mach, noise_seed }
+    }
+
+    /// Default world: consistent, high/high heterogeneity.
+    #[must_use]
+    pub fn hihi_consistent(noise_seed: u64) -> Self {
+        Self {
+            consistency: Consistency::Consistent,
+            phi_task: braun::PHI_TASK_HI,
+            phi_mach: braun::PHI_MACH_HI,
+            noise_seed,
+        }
+    }
+
+    /// Draws a job baseline.
+    pub fn draw_baseline(&self, rng: &mut SmallRng) -> f64 {
+        rng.gen_range(1.0..=self.phi_task)
+    }
+
+    /// Draws a machine slowness factor.
+    pub fn draw_slowness(&self, rng: &mut SmallRng) -> f64 {
+        rng.gen_range(1.0..=self.phi_mach)
+    }
+
+    /// The ETC of a `(job, machine)` pair under this world's consistency
+    /// class. Deterministic: repeated calls always agree.
+    #[must_use]
+    pub fn etc(&self, job: &JobSpec, machine: &MachineSpec) -> f64 {
+        let multiplier = match self.consistency {
+            Consistency::Consistent => machine.slowness,
+            Consistency::Inconsistent => self.pair_noise(job.id, machine.id),
+            Consistency::SemiConsistent => {
+                if machine.id.is_multiple_of(2) {
+                    machine.slowness
+                } else {
+                    self.pair_noise(job.id, machine.id)
+                }
+            }
+        };
+        job.baseline * multiplier
+    }
+
+    /// Per-pair multiplier in `[1, φ_mach]` from a splitmix64 hash.
+    fn pair_noise(&self, job: u64, machine: u64) -> f64 {
+        let mut x = self
+            .noise_seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(job.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+            .wrapping_add(machine.wrapping_mul(0x94d0_49bb_1331_11eb));
+        // splitmix64 finalizer.
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        let unit = (x >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        1.0 + unit * (self.phi_mach - 1.0)
+    }
+}
+
+/// Poisson job source: exponential inter-arrival times with the given
+/// rate (jobs per simulated second).
+#[derive(Debug, Clone, Copy)]
+pub struct PoissonArrivals {
+    /// Mean arrivals per simulated second.
+    pub rate: f64,
+}
+
+impl PoissonArrivals {
+    /// Draws the next inter-arrival gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not strictly positive.
+    pub fn next_gap(&self, rng: &mut SmallRng) -> f64 {
+        assert!(self.rate > 0.0, "arrival rate must be positive");
+        // Inverse CDF of Exp(rate); clamp the uniform away from 0.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        -u.ln() / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn job(id: u64, baseline: f64) -> JobSpec {
+        JobSpec { id, arrival: 0.0, baseline }
+    }
+
+    fn machine(id: u64, slowness: f64) -> MachineSpec {
+        MachineSpec { id, slowness }
+    }
+
+    #[test]
+    fn consistent_world_preserves_machine_order() {
+        let world = World::hihi_consistent(1);
+        let fast = machine(0, 2.0);
+        let slow = machine(1, 9.0);
+        for id in 0..50 {
+            let j = job(id, 10.0 + id as f64);
+            assert!(world.etc(&j, &fast) < world.etc(&j, &slow));
+        }
+    }
+
+    #[test]
+    fn inconsistent_world_breaks_machine_order() {
+        let world = World {
+            consistency: Consistency::Inconsistent,
+            ..World::hihi_consistent(2)
+        };
+        let a = machine(0, 2.0);
+        let b = machine(1, 9.0);
+        let mut a_wins = 0;
+        let mut b_wins = 0;
+        for id in 0..200 {
+            let j = job(id, 100.0);
+            if world.etc(&j, &a) < world.etc(&j, &b) {
+                a_wins += 1;
+            } else {
+                b_wins += 1;
+            }
+        }
+        assert!(a_wins > 0 && b_wins > 0, "both machines must win sometimes");
+    }
+
+    #[test]
+    fn semiconsistent_even_machines_are_ordered() {
+        let world = World {
+            consistency: Consistency::SemiConsistent,
+            ..World::hihi_consistent(3)
+        };
+        let even_fast = machine(0, 2.0);
+        let even_slow = machine(2, 8.0);
+        for id in 0..50 {
+            let j = job(id, 5.0);
+            assert!(world.etc(&j, &even_fast) < world.etc(&j, &even_slow));
+        }
+    }
+
+    #[test]
+    fn etc_is_deterministic() {
+        let world = World {
+            consistency: Consistency::Inconsistent,
+            ..World::hihi_consistent(4)
+        };
+        let j = job(123, 77.0);
+        let m = machine(45, 3.0);
+        assert_eq!(world.etc(&j, &m), world.etc(&j, &m));
+    }
+
+    #[test]
+    fn pair_noise_within_range() {
+        let world = World::hihi_consistent(5);
+        for j in 0..100 {
+            for m in 0..8 {
+                let noise = world.pair_noise(j, m);
+                assert!((1.0..=world.phi_mach).contains(&noise));
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_gaps_have_plausible_mean() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let arrivals = PoissonArrivals { rate: 4.0 };
+        let n = 4000;
+        let total: f64 = (0..n).map(|_| arrivals.next_gap(&mut rng)).sum();
+        let mean = total / n as f64;
+        assert!(
+            (mean - 0.25).abs() < 0.03,
+            "mean inter-arrival {mean} should approximate 1/rate = 0.25"
+        );
+    }
+
+    #[test]
+    fn world_from_class_uses_ranges() {
+        let class: InstanceClass = "u_i_lolo.0".parse().unwrap();
+        let world = World::from_class(class, 0);
+        assert_eq!(world.consistency, Consistency::Inconsistent);
+        assert_eq!(world.phi_task, braun::PHI_TASK_LO);
+        assert_eq!(world.phi_mach, braun::PHI_MACH_LO);
+    }
+}

@@ -1,0 +1,74 @@
+//! Duplex (Braun et al. 2001).
+//!
+//! Min-Min excels when many short jobs exist; Max-Min when a few long
+//! jobs dominate. Duplex simply runs both and keeps whichever schedule
+//! achieved the smaller makespan — "performs well in cases where either
+//! of them performs well", at twice the cost of one pass.
+
+use cmags_core::{evaluate, Problem, Schedule};
+use rand::RngCore;
+
+use super::{Constructive, MaxMin, MinMin};
+
+/// Duplex: the better (by makespan, fitness tie-break) of Min-Min and
+/// Max-Min.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Duplex;
+
+impl Constructive for Duplex {
+    fn name(&self) -> &'static str {
+        "Duplex"
+    }
+
+    fn build_seeded(&self, problem: &Problem, rng: &mut dyn RngCore) -> Schedule {
+        let min_min = MinMin.build_seeded(problem, rng);
+        let max_min = MaxMin.build_seeded(problem, rng);
+        let o_min = evaluate(problem, &min_min);
+        let o_max = evaluate(problem, &max_min);
+        let pick_min_min = match o_min.makespan.total_cmp(&o_max.makespan) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => problem.fitness(o_min) <= problem.fitness(o_max),
+        };
+        if pick_min_min {
+            min_min
+        } else {
+            max_min
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmags_etc::braun;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn problem(label: &str) -> Problem {
+        let class: cmags_etc::InstanceClass = label.parse().unwrap();
+        Problem::from_instance(&braun::generate(class.with_dims(64, 8), 0))
+    }
+
+    #[test]
+    fn never_worse_than_either_parent_heuristic() {
+        for label in ["u_c_hihi.0", "u_i_hilo.0", "u_s_lohi.0", "u_c_lolo.0"] {
+            let p = problem(label);
+            let mut rng = SmallRng::seed_from_u64(0);
+            let duplex = evaluate(&p, &Duplex.build_seeded(&p, &mut rng)).makespan;
+            let min_min = evaluate(&p, &MinMin.build(&p)).makespan;
+            let max_min = evaluate(&p, &MaxMin.build(&p)).makespan;
+            assert!(
+                duplex <= min_min && duplex <= max_min,
+                "{label}: duplex {duplex} vs min-min {min_min} / max-min {max_min}"
+            );
+        }
+    }
+
+    #[test]
+    fn equals_one_of_its_components() {
+        let p = problem("u_i_hihi.0");
+        let duplex = Duplex.build(&p);
+        assert!(duplex == MinMin.build(&p) || duplex == MaxMin.build(&p));
+    }
+}

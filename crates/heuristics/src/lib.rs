@@ -1,0 +1,50 @@
+//! # cmags-heuristics — constructive heuristics, operators and local search
+//!
+//! Three families of building blocks shared by every metaheuristic in the
+//! workspace:
+//!
+//! * **Constructive heuristics** ([`constructive`]) — one-pass schedule
+//!   builders: the paper's population seed **LJFR-SJFR** plus the classic
+//!   Braun et al. family (Min-Min, Max-Min, Sufferage, MCT, MET, OLB) and a
+//!   uniform random baseline.
+//! * **Encoding-level operators** ([`ops`]) — crossovers (one-point,
+//!   two-point, uniform) and mutations (move, swap, and the paper's
+//!   **rebalance** load-transfer mutation) on assignment vectors. Both the
+//!   cellular MA and the baseline GAs are assembled from these.
+//! * **Local search methods** ([`local_search`]) — the memetic component:
+//!   **LM** (Local Move), **SLM** (Steepest Local Move) and **LMCTS**
+//!   (Local Minimum Completion Time Swap) from paper §3.2, plus a VND
+//!   composite extension. All run on the incremental evaluator of
+//!   `cmags-core`.
+//!
+//! ## Example
+//!
+//! ```
+//! use cmags_core::{EvalState, Problem};
+//! use cmags_etc::braun;
+//! use cmags_heuristics::constructive::{Constructive, LjfrSjfr, MinMin};
+//!
+//! let inst = braun::generate("u_c_hihi.0".parse().unwrap(), 0);
+//! let problem = Problem::from_instance(&inst);
+//! let seed = LjfrSjfr.build(&problem);
+//! let minmin = MinMin.build(&problem);
+//! let seed_eval = EvalState::new(&problem, &seed);
+//! let minmin_eval = EvalState::new(&problem, &minmin);
+//! assert!(seed_eval.makespan() > 0.0 && minmin_eval.makespan() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod constructive;
+pub mod local_search;
+pub mod ops;
+pub mod perturb;
+
+pub use constructive::{
+    Constructive, ConstructiveKind, LjfrSjfr, MaxMin, Mct, Met, MinMin, Olb, RandomAssign,
+    Sufferage,
+};
+pub use local_search::{
+    LocalMctSwap, LocalMove, LocalSearch, LocalSearchKind, SteepestLocalMove, Vnd,
+};
+pub use perturb::perturb;

@@ -1,0 +1,94 @@
+//! LM — Local Move.
+
+use cmags_core::{EvalState, JobId, MachineId, Problem, Schedule};
+use rand::{Rng, RngCore};
+
+use super::LocalSearch;
+
+/// Local Move: probe one random `(job, machine)` transfer and commit it
+/// only if it strictly improves the fitness.
+///
+/// The cheapest of the three paper methods — one peek per step — but also
+/// the least informed: most random transfers on a balanced schedule are
+/// rejected, which is exactly the slow convergence visible in the paper's
+/// Fig. 2.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalMove;
+
+impl LocalSearch for LocalMove {
+    fn name(&self) -> &'static str {
+        "LM"
+    }
+
+    fn step(
+        &self,
+        problem: &Problem,
+        schedule: &mut Schedule,
+        eval: &mut EvalState,
+        rng: &mut dyn RngCore,
+    ) -> bool {
+        let nb_machines = problem.nb_machines() as MachineId;
+        if nb_machines < 2 {
+            return false;
+        }
+        let job = rng.gen_range(0..schedule.nb_jobs() as JobId);
+        let current = schedule.machine_of(job);
+        let mut target = rng.gen_range(0..nb_machines - 1);
+        if target >= current {
+            target += 1;
+        }
+        let candidate = problem.fitness(eval.peek_move(problem, schedule, job, target));
+        if candidate < eval.fitness(problem) {
+            eval.apply_move(problem, schedule, job, target);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{problem, random_start};
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejected_moves_leave_state_untouched() {
+        let p = problem();
+        let (mut s, mut eval) = random_start(&p, 9);
+        let mut rng = SmallRng::seed_from_u64(10);
+        for _ in 0..50 {
+            let snap_s = s.clone();
+            let snap_obj = eval.objectives();
+            let changed = LocalMove.step(&p, &mut s, &mut eval, &mut rng);
+            if !changed {
+                assert_eq!(s, snap_s);
+                assert_eq!(eval.objectives(), snap_obj);
+            }
+        }
+    }
+
+    #[test]
+    fn improves_a_maximally_unbalanced_schedule() {
+        let p = problem();
+        let mut s = Schedule::uniform(p.nb_jobs(), 0);
+        let mut eval = EvalState::new(&p, &s);
+        let before = eval.fitness(&p);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let improved = LocalMove.run(&p, &mut s, &mut eval, &mut rng, 100);
+        assert!(improved > 0);
+        assert!(eval.fitness(&p) < before);
+    }
+
+    #[test]
+    fn single_machine_is_a_noop() {
+        let etc = cmags_etc::EtcMatrix::from_rows(3, 1, vec![1.0, 2.0, 3.0]);
+        let p = Problem::from_instance(&cmags_etc::GridInstance::new("one", etc));
+        let mut s = Schedule::uniform(3, 0);
+        let mut eval = EvalState::new(&p, &s);
+        let mut rng = SmallRng::seed_from_u64(12);
+        assert!(!LocalMove.step(&p, &mut s, &mut eval, &mut rng));
+    }
+}

@@ -1,0 +1,73 @@
+//! VND — Variable Neighbourhood Descent composite (extension).
+
+use cmags_core::{EvalState, Problem, Schedule};
+use rand::RngCore;
+
+use super::{LocalMctSwap, LocalMove, LocalSearch, SteepestLocalMove};
+
+/// Variable Neighbourhood Descent over the paper's three methods.
+///
+/// Not part of the original paper — an ablation extension (`DESIGN.md`
+/// §4, ABL-*): each step tries the neighbourhoods in increasing cost
+/// order (LM → SLM → LMCTS) and commits the first improvement found.
+/// Escapes single-neighbourhood local optima at bounded extra cost.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Vnd;
+
+impl LocalSearch for Vnd {
+    fn name(&self) -> &'static str {
+        "VND"
+    }
+
+    fn step(
+        &self,
+        problem: &Problem,
+        schedule: &mut Schedule,
+        eval: &mut EvalState,
+        rng: &mut dyn RngCore,
+    ) -> bool {
+        LocalMove.step(problem, schedule, eval, rng)
+            || SteepestLocalMove.step(problem, schedule, eval, rng)
+            || LocalMctSwap.step(problem, schedule, eval, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::{problem, random_start};
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn improves_from_random_start() {
+        let p = problem();
+        let (mut s, mut eval) = random_start(&p, 77);
+        let before = eval.fitness(&p);
+        let mut rng = SmallRng::seed_from_u64(78);
+        let improved = Vnd.run(&p, &mut s, &mut eval, &mut rng, 40);
+        assert!(improved > 0);
+        assert!(eval.fitness(&p) < before);
+        eval.debug_validate(&p, &s);
+    }
+
+    #[test]
+    fn at_equal_steps_reaches_at_least_lm_quality() {
+        use super::super::LocalMove;
+        let p = problem();
+        let mut vnd_total = 0.0;
+        let mut lm_total = 0.0;
+        for seed in 0..4 {
+            let (mut s, mut e) = random_start(&p, seed);
+            let mut rng = SmallRng::seed_from_u64(seed + 9);
+            Vnd.run(&p, &mut s, &mut e, &mut rng, 150);
+            vnd_total += e.fitness(&p);
+
+            let (mut s, mut e) = random_start(&p, seed);
+            let mut rng = SmallRng::seed_from_u64(seed + 9);
+            LocalMove.run(&p, &mut s, &mut e, &mut rng, 150);
+            lm_total += e.fitness(&p);
+        }
+        assert!(vnd_total <= lm_total + 1e-9);
+    }
+}

@@ -1,0 +1,91 @@
+//! Large perturbations — used by the cMA to derive the initial population
+//! from the LJFR-SJFR seed ("the rest are randomly obtained from the first
+//! individual by large perturbations", paper §3.2).
+
+use cmags_core::{JobId, MachineId, Problem, Schedule};
+use rand::{Rng, RngCore};
+
+/// Returns a copy of `schedule` with `strength · nb_jobs` randomly chosen
+/// jobs reassigned to uniformly random machines.
+///
+/// `strength` is clamped to `[0, 1]`. At least one job is perturbed for
+/// any positive strength so the result differs from the input with high
+/// probability.
+#[must_use]
+pub fn perturb(
+    problem: &Problem,
+    schedule: &Schedule,
+    strength: f64,
+    rng: &mut dyn RngCore,
+) -> Schedule {
+    let strength = strength.clamp(0.0, 1.0);
+    let mut out = schedule.clone();
+    if strength == 0.0 {
+        return out;
+    }
+    let nb_jobs = problem.nb_jobs();
+    let nb_machines = problem.nb_machines() as MachineId;
+    let count = ((nb_jobs as f64 * strength).round() as usize).max(1);
+    for _ in 0..count {
+        let job = rng.gen_range(0..nb_jobs as JobId);
+        let machine = rng.gen_range(0..nb_machines);
+        out.assign(job, machine);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmags_etc::braun;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn problem() -> Problem {
+        let class: cmags_etc::InstanceClass = "u_s_hilo.0".parse().unwrap();
+        Problem::from_instance(&braun::generate(class.with_dims(64, 8), 0))
+    }
+
+    #[test]
+    fn zero_strength_is_identity() {
+        let p = problem();
+        let s = Schedule::uniform(p.nb_jobs(), 3);
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(perturb(&p, &s, 0.0, &mut rng), s);
+    }
+
+    #[test]
+    fn strength_scales_distance() {
+        let p = problem();
+        let s = Schedule::uniform(p.nb_jobs(), 0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let light = perturb(&p, &s, 0.05, &mut rng);
+        let heavy = perturb(&p, &s, 0.9, &mut rng);
+        assert!(s.hamming_distance(&heavy) > s.hamming_distance(&light));
+    }
+
+    #[test]
+    fn output_is_feasible() {
+        let p = problem();
+        let s = Schedule::uniform(p.nb_jobs(), 0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let out = perturb(&p, &s, 1.0, &mut rng);
+        assert!(Schedule::try_new(
+            out.assignment().to_vec(),
+            p.nb_jobs(),
+            p.nb_machines()
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn strength_clamps_out_of_range() {
+        let p = problem();
+        let s = Schedule::uniform(p.nb_jobs(), 0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        // Must not panic.
+        let _ = perturb(&p, &s, 7.5, &mut rng);
+        let same = perturb(&p, &s, -1.0, &mut rng);
+        assert_eq!(same, s);
+    }
+}

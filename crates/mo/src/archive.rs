@@ -1,0 +1,200 @@
+//! Bounded external archive with crowding-distance truncation.
+//!
+//! Dominance-based engines ([`crate::mocell`], [`crate::nsga2`]) stream
+//! every evaluated child through this archive. It keeps at most
+//! `capacity` mutually non-dominated solutions; when full, the most
+//! crowded member is evicted — the rule used by MOCell and SPEA2-style
+//! archives to approximate a well-spread front under a memory bound.
+
+use cmags_core::{Objectives, Schedule};
+use serde::{Deserialize, Serialize};
+
+use crate::crowding::crowding_distances;
+use crate::dominance::{compare, ParetoOrdering};
+
+/// One archived non-dominated solution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MoSolution {
+    /// The schedule.
+    pub schedule: Schedule,
+    /// Its objective pair.
+    pub objectives: Objectives,
+}
+
+/// A bounded set of mutually non-dominated solutions.
+#[derive(Debug, Clone)]
+pub struct CrowdingArchive {
+    capacity: usize,
+    entries: Vec<MoSolution>,
+}
+
+impl CrowdingArchive {
+    /// Creates an archive holding at most `capacity` solutions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "archive capacity must be positive");
+        Self { capacity, entries: Vec::new() }
+    }
+
+    /// Capacity bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of archived solutions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the archive holds no solutions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The archived solutions, ascending by makespan.
+    #[must_use]
+    pub fn solutions(&self) -> &[MoSolution] {
+        &self.entries
+    }
+
+    /// The archived objective vectors, ascending by makespan.
+    #[must_use]
+    pub fn objectives(&self) -> Vec<Objectives> {
+        self.entries.iter().map(|e| e.objectives).collect()
+    }
+
+    /// Offers a candidate.
+    ///
+    /// Returns `true` if the candidate entered the archive: it is
+    /// rejected when dominated by (or duplicating) an existing entry;
+    /// entries it dominates are evicted; and when the archive would
+    /// exceed capacity, the entry with the smallest crowding distance is
+    /// dropped (which may be the candidate itself).
+    pub fn offer(&mut self, candidate: MoSolution) -> bool {
+        for existing in &self.entries {
+            match compare(existing.objectives, candidate.objectives) {
+                ParetoOrdering::Dominates | ParetoOrdering::Equal => return false,
+                ParetoOrdering::DominatedBy | ParetoOrdering::Incomparable => {}
+            }
+        }
+        self.entries.retain(|e| {
+            compare(candidate.objectives, e.objectives) != ParetoOrdering::Dominates
+        });
+        let at = self
+            .entries
+            .partition_point(|e| e.objectives.makespan < candidate.objectives.makespan);
+        self.entries.insert(at, candidate);
+        if self.entries.len() > self.capacity {
+            let points = self.objectives();
+            let crowding = crowding_distances(&points);
+            let victim = crowding
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
+                .map(|(i, _)| i)
+                .expect("archive is non-empty");
+            self.entries.remove(victim);
+            // The candidate (inserted at `at`) survived iff it was not
+            // itself the most crowded entry.
+            return victim != at;
+        }
+        true
+    }
+
+    /// Verifies mutual non-domination, the capacity bound and makespan
+    /// ordering (`O(n²)`; test support).
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        if self.entries.len() > self.capacity {
+            return false;
+        }
+        for (i, a) in self.entries.iter().enumerate() {
+            for b in &self.entries[i + 1..] {
+                if compare(a.objectives, b.objectives) != ParetoOrdering::Incomparable {
+                    return false;
+                }
+            }
+        }
+        self.entries
+            .windows(2)
+            .all(|w| w[0].objectives.makespan <= w[1].objectives.makespan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sol(makespan: f64, flowtime: f64) -> MoSolution {
+        MoSolution {
+            schedule: Schedule::uniform(1, 0),
+            objectives: Objectives { makespan, flowtime },
+        }
+    }
+
+    #[test]
+    fn rejects_dominated_and_duplicate_candidates() {
+        let mut a = CrowdingArchive::new(10);
+        assert!(a.offer(sol(2.0, 2.0)));
+        assert!(!a.offer(sol(3.0, 3.0)), "dominated");
+        assert!(!a.offer(sol(2.0, 2.0)), "duplicate");
+        assert!(a.offer(sol(1.0, 3.0)), "incomparable");
+        assert_eq!(a.len(), 2);
+        assert!(a.is_consistent());
+    }
+
+    #[test]
+    fn dominating_candidate_evicts_incumbents() {
+        let mut a = CrowdingArchive::new(10);
+        a.offer(sol(4.0, 4.0));
+        a.offer(sol(2.0, 6.0));
+        a.offer(sol(6.0, 2.0));
+        assert!(a.offer(sol(1.0, 1.0)), "dominates everything");
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.solutions()[0].objectives.makespan, 1.0);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_most_crowded() {
+        let mut a = CrowdingArchive::new(4);
+        // A spread front, then a point crammed next to an existing one.
+        a.offer(sol(0.0, 10.0));
+        a.offer(sol(10.0, 0.0));
+        a.offer(sol(5.0, 5.0));
+        a.offer(sol(2.0, 8.0));
+        assert_eq!(a.len(), 4);
+        // (5.2, 4.8) is non-dominated but lands in the most crowded spot;
+        // after the offer the archive still holds exactly 4 and stays
+        // mutually non-dominated with its extremes intact.
+        a.offer(sol(5.2, 4.8));
+        assert_eq!(a.len(), 4);
+        assert!(a.is_consistent());
+        let points = a.objectives();
+        assert_eq!(points.first().unwrap().makespan, 0.0, "extreme kept");
+        assert_eq!(points.last().unwrap().makespan, 10.0, "extreme kept");
+    }
+
+    #[test]
+    fn entries_sorted_by_makespan() {
+        let mut a = CrowdingArchive::new(8);
+        for (mk, ft) in [(7.0, 1.0), (1.0, 7.0), (4.0, 4.0), (2.0, 6.0)] {
+            a.offer(sol(mk, ft));
+        }
+        let makespans: Vec<f64> =
+            a.solutions().iter().map(|s| s.objectives.makespan).collect();
+        assert_eq!(makespans, vec![1.0, 2.0, 4.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = CrowdingArchive::new(0);
+    }
+}

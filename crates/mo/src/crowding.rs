@@ -1,0 +1,126 @@
+//! Crowding distance (Deb et al., NSGA-II).
+//!
+//! Estimates how isolated each point of a front is: the sum, over
+//! objectives, of the normalised gap between its two neighbours along
+//! that objective. Boundary points get `+∞` so diversity-preserving
+//! truncation always keeps the extremes of the front.
+
+use cmags_core::Objectives;
+
+/// Crowding distance of every point in `points` (one front).
+///
+/// Boundary points (extreme makespan or flowtime) receive
+/// `f64::INFINITY`. Degenerate fronts where an objective has zero range
+/// contribute zero for that objective (rather than NaN). Inputs of size
+/// ≤ 2 are all boundaries.
+#[must_use]
+pub fn crowding_distances(points: &[Objectives]) -> Vec<f64> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n <= 2 {
+        return vec![f64::INFINITY; n];
+    }
+    let mut distance = vec![0.0f64; n];
+    for objective in [|o: &Objectives| o.makespan, |o: &Objectives| o.flowtime] {
+        let mut order: Vec<usize> = (0..n).collect();
+        // Deterministic: ties broken by index.
+        order.sort_by(|&a, &b| {
+            objective(&points[a]).total_cmp(&objective(&points[b])).then(a.cmp(&b))
+        });
+        let lo = objective(&points[order[0]]);
+        let hi = objective(&points[order[n - 1]]);
+        distance[order[0]] = f64::INFINITY;
+        distance[order[n - 1]] = f64::INFINITY;
+        let range = hi - lo;
+        if range <= 0.0 {
+            continue;
+        }
+        for w in order.windows(3) {
+            let gap = objective(&points[w[2]]) - objective(&points[w[0]]);
+            distance[w[1]] += gap / range;
+        }
+    }
+    distance
+}
+
+/// Sorts `indices` (into `points`) by descending crowding distance,
+/// ties broken by ascending index — the order used when truncating a
+/// front to fit remaining capacity.
+pub fn sort_by_crowding(points: &[Objectives], indices: &mut [usize]) {
+    let all: Vec<Objectives> = indices.iter().map(|&i| points[i]).collect();
+    let local = crowding_distances(&all);
+    let mut keyed: Vec<(usize, f64)> =
+        indices.iter().copied().zip(local).collect();
+    keyed.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (slot, (index, _)) in indices.iter_mut().zip(keyed) {
+        *slot = index;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(makespan: f64, flowtime: f64) -> Objectives {
+        Objectives { makespan, flowtime }
+    }
+
+    #[test]
+    fn boundaries_are_infinite() {
+        let points = [o(1.0, 5.0), o(2.0, 4.0), o(3.0, 3.0), o(4.0, 2.0), o(5.0, 1.0)];
+        let d = crowding_distances(&points);
+        assert_eq!(d[0], f64::INFINITY);
+        assert_eq!(d[4], f64::INFINITY);
+        assert!(d[1].is_finite() && d[2].is_finite() && d[3].is_finite());
+    }
+
+    #[test]
+    fn uniform_spacing_gives_equal_interior_distances() {
+        let points = [o(0.0, 4.0), o(1.0, 3.0), o(2.0, 2.0), o(3.0, 1.0), o(4.0, 0.0)];
+        let d = crowding_distances(&points);
+        // Interior gaps are 2/4 per objective -> 1.0 total.
+        assert!((d[1] - 1.0).abs() < 1e-12);
+        assert!((d[2] - 1.0).abs() < 1e-12);
+        assert!((d[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_point_scores_higher() {
+        // Point 2 sits in a large gap; point 1 is crowded next to 0.
+        let points = [o(0.0, 10.0), o(0.5, 9.5), o(5.0, 5.0), o(10.0, 0.0)];
+        let d = crowding_distances(&points);
+        assert!(d[2] > d[1], "isolated {} vs crowded {}", d[2], d[1]);
+    }
+
+    #[test]
+    fn tiny_fronts_are_all_boundary() {
+        assert!(crowding_distances(&[]).is_empty());
+        assert_eq!(crowding_distances(&[o(1.0, 1.0)]), vec![f64::INFINITY]);
+        assert_eq!(
+            crowding_distances(&[o(1.0, 2.0), o(2.0, 1.0)]),
+            vec![f64::INFINITY, f64::INFINITY]
+        );
+    }
+
+    #[test]
+    fn degenerate_objective_range_yields_finite_distances() {
+        // All flowtimes equal: that objective must contribute 0, not NaN.
+        let points = [o(1.0, 5.0), o(2.0, 5.0), o(3.0, 5.0)];
+        let d = crowding_distances(&points);
+        assert!(d.iter().all(|x| !x.is_nan()));
+        assert_eq!(d[0], f64::INFINITY);
+        assert_eq!(d[2], f64::INFINITY);
+        assert!((d[1] - 1.0).abs() < 1e-12, "makespan contributes (3-1)/2 = 1");
+    }
+
+    #[test]
+    fn sort_by_crowding_puts_extremes_first() {
+        let points = [o(0.0, 10.0), o(0.5, 9.5), o(5.0, 5.0), o(10.0, 0.0)];
+        let mut indices = vec![0, 1, 2, 3];
+        sort_by_crowding(&points, &mut indices);
+        // 0 and 3 are boundaries (infinite), ties by index; then 2 (isolated).
+        assert_eq!(indices, vec![0, 3, 2, 1]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Pareto dominance on the (makespan, flowtime) objective pair.
+//!
+//! Both objectives are minimised. A point *dominates* another when it is
+//! no worse in both objectives and strictly better in at least one —
+//! the standard strict Pareto order, here specialised to the paper's
+//! bi-objective formulation (§2).
+
+use cmags_core::Objectives;
+
+/// Outcome of comparing two objective vectors under Pareto dominance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParetoOrdering {
+    /// The left point dominates the right one.
+    Dominates,
+    /// The left point is dominated by the right one.
+    DominatedBy,
+    /// Neither dominates: the points trade off against each other.
+    Incomparable,
+    /// Identical objective vectors.
+    Equal,
+}
+
+/// Compares `a` against `b` under minimising Pareto dominance.
+#[must_use]
+pub fn compare(a: Objectives, b: Objectives) -> ParetoOrdering {
+    let better_mk = a.makespan < b.makespan;
+    let worse_mk = a.makespan > b.makespan;
+    let better_ft = a.flowtime < b.flowtime;
+    let worse_ft = a.flowtime > b.flowtime;
+    match (better_mk || better_ft, worse_mk || worse_ft) {
+        (true, false) => ParetoOrdering::Dominates,
+        (false, true) => ParetoOrdering::DominatedBy,
+        (true, true) => ParetoOrdering::Incomparable,
+        (false, false) => ParetoOrdering::Equal,
+    }
+}
+
+/// Whether `a` strictly dominates `b`.
+#[must_use]
+pub fn dominates(a: Objectives, b: Objectives) -> bool {
+    compare(a, b) == ParetoOrdering::Dominates
+}
+
+/// Whether `a` weakly dominates `b` (no worse in both objectives).
+#[must_use]
+pub fn weakly_dominates(a: Objectives, b: Objectives) -> bool {
+    matches!(compare(a, b), ParetoOrdering::Dominates | ParetoOrdering::Equal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(makespan: f64, flowtime: f64) -> Objectives {
+        Objectives { makespan, flowtime }
+    }
+
+    #[test]
+    fn strict_dominance_both_objectives() {
+        assert_eq!(compare(o(1.0, 1.0), o(2.0, 2.0)), ParetoOrdering::Dominates);
+        assert_eq!(compare(o(2.0, 2.0), o(1.0, 1.0)), ParetoOrdering::DominatedBy);
+    }
+
+    #[test]
+    fn dominance_with_one_tie() {
+        assert_eq!(compare(o(1.0, 5.0), o(1.0, 7.0)), ParetoOrdering::Dominates);
+        assert_eq!(compare(o(5.0, 1.0), o(7.0, 1.0)), ParetoOrdering::Dominates);
+    }
+
+    #[test]
+    fn incomparable_trade_off() {
+        assert_eq!(compare(o(1.0, 9.0), o(9.0, 1.0)), ParetoOrdering::Incomparable);
+        assert_eq!(compare(o(9.0, 1.0), o(1.0, 9.0)), ParetoOrdering::Incomparable);
+    }
+
+    #[test]
+    fn equal_points() {
+        assert_eq!(compare(o(3.0, 4.0), o(3.0, 4.0)), ParetoOrdering::Equal);
+        assert!(!dominates(o(3.0, 4.0), o(3.0, 4.0)));
+        assert!(weakly_dominates(o(3.0, 4.0), o(3.0, 4.0)));
+    }
+
+    #[test]
+    fn comparison_is_antisymmetric() {
+        let pairs = [
+            (o(1.0, 2.0), o(2.0, 1.0)),
+            (o(1.0, 1.0), o(2.0, 2.0)),
+            (o(1.0, 1.0), o(1.0, 1.0)),
+            (o(1.0, 5.0), o(1.0, 7.0)),
+        ];
+        for (a, b) in pairs {
+            let forward = compare(a, b);
+            let backward = compare(b, a);
+            let expected = match forward {
+                ParetoOrdering::Dominates => ParetoOrdering::DominatedBy,
+                ParetoOrdering::DominatedBy => ParetoOrdering::Dominates,
+                other => other,
+            };
+            assert_eq!(backward, expected);
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Quality indicators for bi-objective fronts.
+//!
+//! Comparing multi-objective algorithms needs set-level metrics, not a
+//! scalar fitness. This module implements the standard quartet used in
+//! the cellular-EA literature (Nebro/Alba/Dorronsoro's MOCell papers):
+//!
+//! * [`hypervolume`] — area dominated by the front up to a reference
+//!   point (exact in 2-D; larger is better);
+//! * [`additive_epsilon`] — smallest translation making one front weakly
+//!   dominate another (smaller is better);
+//! * [`spread`] — Deb's Δ distribution metric over consecutive gaps
+//!   (smaller is better);
+//! * [`igd`] — inverted generational distance to a reference front
+//!   (smaller is better).
+//!
+//! All functions treat inputs as minimisation fronts of
+//! `(makespan, flowtime)` and normalise internally where the metric
+//! requires commensurable objectives.
+
+use cmags_core::Objectives;
+
+use crate::ranking::non_dominated;
+
+/// The area weakly dominated by `front`, bounded by `reference`
+/// (a point at least as bad as every front member in both objectives).
+///
+/// Points not strictly better than the reference in both objectives
+/// contribute nothing. Dominated members of `front` are filtered out
+/// first, so the input need not be a clean front. Returns 0 for an
+/// empty input.
+#[must_use]
+pub fn hypervolume(front: &[Objectives], reference: Objectives) -> f64 {
+    // Reduce to the non-dominated subset, sorted ascending by makespan
+    // (hence descending by flowtime).
+    let keep = non_dominated(front);
+    let mut points: Vec<Objectives> = keep
+        .into_iter()
+        .map(|i| front[i])
+        .filter(|p| p.makespan < reference.makespan && p.flowtime < reference.flowtime)
+        .collect();
+    points.sort_by(|a, b| a.makespan.total_cmp(&b.makespan));
+    points.dedup_by(|a, b| a.makespan == b.makespan && a.flowtime == b.flowtime);
+
+    // Staircase integration: each point owns the horizontal strip from
+    // its makespan to the next point's makespan (or the reference).
+    let mut volume = 0.0;
+    for (i, p) in points.iter().enumerate() {
+        let next_makespan =
+            points.get(i + 1).map_or(reference.makespan, |n| n.makespan);
+        volume += (next_makespan - p.makespan) * (reference.flowtime - p.flowtime);
+    }
+    volume
+}
+
+/// A reference point strictly worse than every point of every front in
+/// `fronts`, offset by `margin` (relative, e.g. `0.01` = 1 %).
+///
+/// # Panics
+///
+/// Panics if all fronts are empty.
+#[must_use]
+pub fn reference_point(fronts: &[&[Objectives]], margin: f64) -> Objectives {
+    let mut makespan = f64::NEG_INFINITY;
+    let mut flowtime = f64::NEG_INFINITY;
+    for front in fronts {
+        for p in *front {
+            makespan = makespan.max(p.makespan);
+            flowtime = flowtime.max(p.flowtime);
+        }
+    }
+    assert!(
+        makespan.is_finite() && flowtime.is_finite(),
+        "reference point needs at least one front point"
+    );
+    Objectives {
+        makespan: makespan * (1.0 + margin),
+        flowtime: flowtime * (1.0 + margin),
+    }
+}
+
+/// Additive ε-indicator `I_ε+(a, b)`: the smallest ε such that every
+/// point of `b` is weakly dominated by some point of `a` translated by
+/// ε in both objectives. Zero when `a == b` (as sets of non-dominated
+/// points); negative when `a` strictly dominates all of `b`.
+///
+/// Objectives are normalised to `[0, 1]` over the union of both fronts
+/// so makespan and flowtime weigh equally.
+///
+/// # Panics
+///
+/// Panics if either front is empty.
+#[must_use]
+pub fn additive_epsilon(a: &[Objectives], b: &[Objectives]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "epsilon indicator needs non-empty fronts");
+    let (scale_mk, scale_ft, min_mk, min_ft) = normalisation(&[a, b]);
+    let norm = |p: &Objectives| {
+        ((p.makespan - min_mk) * scale_mk, (p.flowtime - min_ft) * scale_ft)
+    };
+    let mut worst = f64::NEG_INFINITY;
+    for pb in b {
+        let (b1, b2) = norm(pb);
+        let mut best = f64::INFINITY;
+        for pa in a {
+            let (a1, a2) = norm(pa);
+            best = best.min((a1 - b1).max(a2 - b2));
+        }
+        worst = worst.max(best);
+    }
+    worst
+}
+
+/// Deb's Δ spread over a front: `Σ|dᵢ - d̄| / ((N-1)·d̄)` over the
+/// consecutive (normalised-objective) Euclidean gaps of the
+/// makespan-sorted front — the boundary-distance terms of the original
+/// metric are omitted because no true extremes are known for this
+/// problem. 0 = perfectly uniform spacing; larger = clumpier. Fronts
+/// with fewer than 3 points return 0.
+#[must_use]
+pub fn spread(front: &[Objectives]) -> f64 {
+    if front.len() < 3 {
+        return 0.0;
+    }
+    let (scale_mk, scale_ft, min_mk, min_ft) = normalisation(&[front]);
+    let mut points: Vec<(f64, f64)> = front
+        .iter()
+        .map(|p| ((p.makespan - min_mk) * scale_mk, (p.flowtime - min_ft) * scale_ft))
+        .collect();
+    points.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    let gaps: Vec<f64> = points
+        .windows(2)
+        .map(|w| ((w[1].0 - w[0].0).powi(2) + (w[1].1 - w[0].1).powi(2)).sqrt())
+        .collect();
+    let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    gaps.iter().map(|d| (d - mean).abs()).sum::<f64>() / (gaps.len() as f64 * mean)
+}
+
+/// Inverted generational distance: the mean (normalised) Euclidean
+/// distance from each point of `reference` to its nearest neighbour in
+/// `front`. Zero iff `front` covers every reference point.
+///
+/// # Panics
+///
+/// Panics if either set is empty.
+#[must_use]
+pub fn igd(front: &[Objectives], reference: &[Objectives]) -> f64 {
+    assert!(!front.is_empty() && !reference.is_empty(), "igd needs non-empty sets");
+    let (scale_mk, scale_ft, min_mk, min_ft) = normalisation(&[front, reference]);
+    let norm = |p: &Objectives| {
+        ((p.makespan - min_mk) * scale_mk, (p.flowtime - min_ft) * scale_ft)
+    };
+    let total: f64 = reference
+        .iter()
+        .map(|r| {
+            let (r1, r2) = norm(r);
+            front
+                .iter()
+                .map(|p| {
+                    let (p1, p2) = norm(p);
+                    ((p1 - r1).powi(2) + (p2 - r2).powi(2)).sqrt()
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+    total / reference.len() as f64
+}
+
+/// Per-objective `(scale_mk, scale_ft, min_mk, min_ft)` mapping the
+/// union of `sets` onto `[0, 1]²`; zero ranges scale to 0 (degenerate
+/// axes contribute nothing instead of NaN).
+fn normalisation(sets: &[&[Objectives]]) -> (f64, f64, f64, f64) {
+    let mut min_mk = f64::INFINITY;
+    let mut max_mk = f64::NEG_INFINITY;
+    let mut min_ft = f64::INFINITY;
+    let mut max_ft = f64::NEG_INFINITY;
+    for set in sets {
+        for p in *set {
+            min_mk = min_mk.min(p.makespan);
+            max_mk = max_mk.max(p.makespan);
+            min_ft = min_ft.min(p.flowtime);
+            max_ft = max_ft.max(p.flowtime);
+        }
+    }
+    let scale = |lo: f64, hi: f64| if hi > lo { 1.0 / (hi - lo) } else { 0.0 };
+    (scale(min_mk, max_mk), scale(min_ft, max_ft), min_mk, min_ft)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(makespan: f64, flowtime: f64) -> Objectives {
+        Objectives { makespan, flowtime }
+    }
+
+    #[test]
+    fn hypervolume_of_single_point_is_a_rectangle() {
+        let hv = hypervolume(&[o(2.0, 3.0)], o(10.0, 10.0));
+        assert!((hv - (10.0 - 2.0) * (10.0 - 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_staircase() {
+        // Two incomparable points: union of two rectangles minus overlap.
+        let hv = hypervolume(&[o(2.0, 6.0), o(5.0, 3.0)], o(10.0, 10.0));
+        // Strip [2,5)x[6,10) = 3*4 = 12; strip [5,10)x[3,10) = 5*7 = 35.
+        assert!((hv - 47.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_ignores_dominated_and_out_of_range_points() {
+        let base = hypervolume(&[o(2.0, 6.0), o(5.0, 3.0)], o(10.0, 10.0));
+        let extended = hypervolume(
+            &[o(2.0, 6.0), o(5.0, 3.0), o(6.0, 7.0), o(11.0, 1.0)],
+            o(10.0, 10.0),
+        );
+        assert!((base - extended).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_grows_with_new_nondominated_point() {
+        let reference = o(10.0, 10.0);
+        let before = hypervolume(&[o(2.0, 6.0), o(5.0, 3.0)], reference);
+        let after = hypervolume(&[o(2.0, 6.0), o(5.0, 3.0), o(3.0, 4.0)], reference);
+        assert!(after > before);
+    }
+
+    #[test]
+    fn hypervolume_empty_front_is_zero() {
+        assert_eq!(hypervolume(&[], o(1.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn reference_point_strictly_worse() {
+        let a = [o(1.0, 8.0), o(4.0, 2.0)];
+        let b = [o(2.0, 9.0)];
+        let r = reference_point(&[&a, &b], 0.01);
+        assert!(r.makespan > 4.0 && r.flowtime > 9.0);
+    }
+
+    #[test]
+    fn epsilon_of_a_front_with_itself_is_zero() {
+        let a = [o(1.0, 5.0), o(3.0, 3.0), o(5.0, 1.0)];
+        assert!(additive_epsilon(&a, &a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_detects_strict_domination() {
+        let better = [o(1.0, 1.0)];
+        let worse = [o(5.0, 5.0), o(6.0, 4.0)];
+        assert!(additive_epsilon(&better, &worse) < 0.0);
+        assert!(additive_epsilon(&worse, &better) > 0.0);
+    }
+
+    #[test]
+    fn spread_uniform_front_is_zero() {
+        let a = [o(0.0, 4.0), o(1.0, 3.0), o(2.0, 2.0), o(3.0, 1.0), o(4.0, 0.0)];
+        assert!(spread(&a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spread_penalises_clumping() {
+        let uniform = [o(0.0, 4.0), o(1.0, 3.0), o(2.0, 2.0), o(3.0, 1.0), o(4.0, 0.0)];
+        let clumped = [o(0.0, 4.0), o(0.1, 3.9), o(0.2, 3.8), o(0.3, 3.7), o(4.0, 0.0)];
+        assert!(spread(&clumped) > spread(&uniform));
+    }
+
+    #[test]
+    fn spread_of_tiny_fronts_is_zero() {
+        assert_eq!(spread(&[]), 0.0);
+        assert_eq!(spread(&[o(1.0, 1.0), o(2.0, 0.5)]), 0.0);
+    }
+
+    #[test]
+    fn igd_zero_when_front_covers_reference() {
+        let f = [o(1.0, 5.0), o(3.0, 3.0), o(5.0, 1.0)];
+        assert!(igd(&f, &f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn igd_increases_with_distance() {
+        let reference = [o(1.0, 5.0), o(3.0, 3.0), o(5.0, 1.0)];
+        let near = [o(1.2, 5.0), o(3.2, 3.0), o(5.2, 1.0)];
+        let far = [o(3.0, 7.0), o(5.0, 5.0), o(7.0, 3.0)];
+        assert!(igd(&near, &reference) < igd(&far, &reference));
+    }
+}

@@ -1,0 +1,55 @@
+//! # cmags-mo — dominance-based multi-objective scheduling
+//!
+//! The reproduced paper optimises `λ·makespan + (1-λ)·mean_flowtime`
+//! with a fixed λ = 0.75 and explicitly defers "a multi-objective
+//! algorithm in order to find a set of non-dominated solutions" to
+//! future work (§6). This crate is that extension, built on the same
+//! substrates (ETC instances, incremental evaluation, the cellular
+//! topology and operators of `cmags-cma`):
+//!
+//! * [`dominance`], [`ranking`], [`crowding`] — the Pareto machinery
+//!   (strict dominance, fast non-dominated sorting, crowding distance);
+//! * [`archive`] — a bounded external archive with crowding truncation;
+//! * [`mocell`] — a **cellular multi-objective memetic algorithm**
+//!   (MOCell-style, after the cellular-EA line of the paper's authors):
+//!   toroidal grid, neighbourhood breeding, dominance-first replacement,
+//!   archive feedback, and λ-ladder-guided local search;
+//! * [`nsga2`] — a panmictic NSGA-II baseline isolating the effect of
+//!   the cellular structure;
+//! * [`indicators`] — hypervolume, additive ε, spread and IGD for
+//!   comparing the resulting fronts (and the λ-scan front of
+//!   `cmags_cma::pareto`).
+//!
+//! ## Example
+//!
+//! ```
+//! use cmags_mo::{MoCellConfig, indicators};
+//! use cmags_cma::StopCondition;
+//! use cmags_core::Problem;
+//! use cmags_etc::braun;
+//!
+//! let class: cmags_etc::InstanceClass = "u_c_hihi.0".parse().unwrap();
+//! let instance = braun::generate(class.with_dims(64, 8), 0);
+//! let problem = Problem::from_instance(&instance);
+//! let outcome = MoCellConfig::suggested()
+//!     .with_stop(StopCondition::children(300))
+//!     .run(&problem, 42);
+//! assert!(!outcome.front().is_empty());
+//! let hv = indicators::hypervolume(&outcome.archive.objectives(), outcome.reference);
+//! assert!(hv > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod archive;
+pub mod crowding;
+pub mod dominance;
+pub mod indicators;
+pub mod mocell;
+pub mod nsga2;
+pub mod ranking;
+
+pub use archive::{CrowdingArchive, MoSolution};
+pub use dominance::{compare, dominates, weakly_dominates, ParetoOrdering};
+pub use mocell::{HvSample, MoCellConfig, MoCellOutcome, MoIndividual};
+pub use nsga2::{Nsga2Config, Nsga2Outcome};

@@ -1,0 +1,394 @@
+//! NSGA-II baseline (Deb et al. 2002), panmictic.
+//!
+//! The standard yardstick for bi-objective metaheuristics. Implemented
+//! here as the *unstructured* counterpart of [`crate::mocell`]: same
+//! encoding, operators and seeding, but a single panmictic population
+//! with (rank, crowding) tournament selection and generational
+//! elitist truncation — so any quality difference measured against
+//! MoCell isolates the effect of the cellular structure, mirroring how
+//! the reproduced paper isolates cMA against panmictic GAs.
+
+use std::time::{Duration, Instant};
+
+use cmags_cma::StopCondition;
+use cmags_core::{FitnessWeights, Objectives, Problem};
+use cmags_heuristics::constructive::ConstructiveKind;
+use cmags_heuristics::local_search::LocalSearchKind;
+use cmags_heuristics::ops::{Crossover, Mutation};
+use cmags_heuristics::perturb;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::archive::MoSolution;
+use crate::crowding::crowding_distances;
+use crate::mocell::MoIndividual;
+use crate::ranking::fronts;
+
+/// Configuration of the NSGA-II baseline.
+#[derive(Debug, Clone)]
+pub struct Nsga2Config {
+    /// Population size (and offspring count per generation).
+    pub population: usize,
+    /// Crossover probability per offspring (clone of the first parent
+    /// otherwise).
+    pub crossover_rate: f64,
+    /// Recombination operator.
+    pub crossover: Crossover,
+    /// Mutation operator.
+    pub mutation: Mutation,
+    /// Per-offspring mutation probability.
+    pub mutation_rate: f64,
+    /// Optional memetic step (`LocalSearchKind::None` = classic
+    /// NSGA-II).
+    pub local_search: LocalSearchKind,
+    /// Local-search iterations per offspring.
+    pub ls_iterations: usize,
+    /// Scalarisation ladder for the memetic step (ignored when local
+    /// search is `None`).
+    pub lambda_grid: Vec<f64>,
+    /// Heuristic seeding the first individual.
+    pub seeding: ConstructiveKind,
+    /// Perturbation strength deriving the rest of the population.
+    pub perturb_strength: f64,
+    /// Stopping condition (children budget and/or wall clock).
+    pub stop: StopCondition,
+}
+
+impl Nsga2Config {
+    /// Textbook defaults: population 100, crossover 0.9, mutation 0.35,
+    /// no local search; seeding matches the cMA for a fair comparison.
+    #[must_use]
+    pub fn suggested() -> Self {
+        Self {
+            population: 100,
+            crossover_rate: 0.9,
+            crossover: Crossover::OnePoint,
+            mutation: Mutation::Rebalance,
+            mutation_rate: 0.35,
+            local_search: LocalSearchKind::None,
+            ls_iterations: 5,
+            lambda_grid: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+            seeding: ConstructiveKind::LjfrSjfr,
+            perturb_strength: 0.5,
+            stop: StopCondition::paper_time(),
+        }
+    }
+
+    /// Replaces the stopping condition.
+    #[must_use]
+    pub fn with_stop(mut self, stop: StopCondition) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Replaces the population size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn with_population(mut self, n: usize) -> Self {
+        assert!(n >= 2, "NSGA-II needs at least two individuals");
+        self.population = n;
+        self
+    }
+
+    /// Enables the memetic step (making this a memetic NSGA-II).
+    #[must_use]
+    pub fn with_local_search(mut self, kind: LocalSearchKind) -> Self {
+        self.local_search = kind;
+        self
+    }
+
+    /// Runs the algorithm on `problem` with RNG `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on structurally invalid configurations.
+    #[must_use]
+    pub fn run(&self, problem: &Problem, seed: u64) -> Nsga2Outcome {
+        run(self, problem, seed)
+    }
+
+    fn validate(&self) {
+        assert!(self.population >= 2, "NSGA-II needs at least two individuals");
+        assert!(
+            (0.0..=1.0).contains(&self.crossover_rate)
+                && (0.0..=1.0).contains(&self.mutation_rate),
+            "rates must be probabilities"
+        );
+        assert!(!self.lambda_grid.is_empty(), "lambda grid must not be empty");
+        assert!(self.stop.is_bounded(), "unbounded run: configure a stopping condition");
+    }
+}
+
+impl Default for Nsga2Config {
+    fn default() -> Self {
+        Self::suggested()
+    }
+}
+
+/// Result of one NSGA-II run.
+#[derive(Debug, Clone)]
+pub struct Nsga2Outcome {
+    /// The final population's first front (mutually non-dominated,
+    /// duplicates removed, ascending by makespan).
+    pub front: Vec<MoSolution>,
+    /// Generations completed.
+    pub generations: u64,
+    /// Offspring generated.
+    pub children: u64,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// RNG seed of the run.
+    pub seed: u64,
+}
+
+/// Runs the configured NSGA-II (see [`Nsga2Config::run`]).
+#[must_use]
+pub fn run(config: &Nsga2Config, problem: &Problem, seed: u64) -> Nsga2Outcome {
+    config.validate();
+    let start = Instant::now();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let ladder: Vec<Problem> = config
+        .lambda_grid
+        .iter()
+        .map(|&lambda| problem.reweighted(FitnessWeights::new(lambda)))
+        .collect();
+
+    // Initial population, seeded identically to the cellular engines.
+    let seed_schedule = config.seeding.build_seeded(problem, &mut rng);
+    let mut population = Vec::with_capacity(config.population);
+    population.push(MoIndividual::new(problem, seed_schedule.clone()));
+    for _ in 1..config.population {
+        let perturbed = perturb(problem, &seed_schedule, config.perturb_strength, &mut rng);
+        population.push(MoIndividual::new(problem, perturbed));
+    }
+
+    let mut generations = 0u64;
+    let mut children = 0u64;
+    'outer: loop {
+        // Selection metadata of the current population.
+        let objectives: Vec<Objectives> =
+            population.iter().map(MoIndividual::objectives).collect();
+        let (rank, crowding) = rank_and_crowding(&objectives);
+
+        // Breed one offspring population.
+        let mut offspring = Vec::with_capacity(config.population);
+        for _ in 0..config.population {
+            if config.stop.should_stop(start.elapsed(), generations, children, f64::INFINITY) {
+                break 'outer;
+            }
+            let first = crowded_tournament(&rank, &crowding, &mut rng);
+            let child_schedule = if rng.gen::<f64>() < config.crossover_rate {
+                let second = crowded_tournament(&rank, &crowding, &mut rng);
+                config.crossover.apply(
+                    &population[first].schedule,
+                    &population[second].schedule,
+                    &mut rng,
+                )
+            } else {
+                population[first].schedule.clone()
+            };
+            let mut child = MoIndividual::new(problem, child_schedule);
+            if rng.gen::<f64>() < config.mutation_rate {
+                config.mutation.apply(problem, &mut child.schedule, &mut child.eval, &mut rng);
+            }
+            if config.local_search != LocalSearchKind::None {
+                let guide = &ladder[rng.gen_range(0..ladder.len())];
+                config.local_search.run(
+                    guide,
+                    &mut child.schedule,
+                    &mut child.eval,
+                    &mut rng,
+                    config.ls_iterations,
+                );
+            }
+            children += 1;
+            offspring.push(child);
+        }
+
+        // Elitist truncation of parents ∪ offspring.
+        population.append(&mut offspring);
+        population = truncate(population, config.population);
+        generations += 1;
+    }
+
+    // Final front: non-dominated subset of the last population.
+    let objectives: Vec<Objectives> = population.iter().map(MoIndividual::objectives).collect();
+    let mut front: Vec<MoSolution> = fronts(&objectives)
+        .into_iter()
+        .next()
+        .unwrap_or_default()
+        .into_iter()
+        .map(|i| MoSolution {
+            schedule: population[i].schedule.clone(),
+            objectives: objectives[i],
+        })
+        .collect();
+    front.sort_by(|a, b| {
+        a.objectives
+            .makespan
+            .total_cmp(&b.objectives.makespan)
+            .then(a.objectives.flowtime.total_cmp(&b.objectives.flowtime))
+    });
+    front.dedup_by(|a, b| a.objectives == b.objectives);
+
+    Nsga2Outcome { front, generations, children, elapsed: start.elapsed(), seed }
+}
+
+/// Front rank and per-front crowding distance of every point.
+fn rank_and_crowding(objectives: &[Objectives]) -> (Vec<usize>, Vec<f64>) {
+    let mut rank = vec![0usize; objectives.len()];
+    let mut crowding = vec![0.0f64; objectives.len()];
+    for (depth, front) in fronts(objectives).iter().enumerate() {
+        let front_objectives: Vec<Objectives> =
+            front.iter().map(|&i| objectives[i]).collect();
+        let distances = crowding_distances(&front_objectives);
+        for (&i, d) in front.iter().zip(distances) {
+            rank[i] = depth;
+            crowding[i] = d;
+        }
+    }
+    (rank, crowding)
+}
+
+/// Binary tournament under the crowded-comparison operator: lower rank
+/// wins; equal ranks prefer the larger crowding distance; full ties
+/// break by coin flip.
+fn crowded_tournament(rank: &[usize], crowding: &[f64], rng: &mut dyn RngCore) -> usize {
+    let a = rng.gen_range(0..rank.len());
+    let b = rng.gen_range(0..rank.len());
+    if rank[a] != rank[b] {
+        return if rank[a] < rank[b] { a } else { b };
+    }
+    match crowding[a].total_cmp(&crowding[b]) {
+        std::cmp::Ordering::Greater => a,
+        std::cmp::Ordering::Less => b,
+        std::cmp::Ordering::Equal => {
+            if rng.gen::<bool>() {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+/// NSGA-II elitist truncation: fill front by front; the first front
+/// that does not fit is sorted by descending crowding distance and cut.
+fn truncate(combined: Vec<MoIndividual>, capacity: usize) -> Vec<MoIndividual> {
+    debug_assert!(combined.len() >= capacity);
+    let objectives: Vec<Objectives> = combined.iter().map(MoIndividual::objectives).collect();
+    let mut keep: Vec<usize> = Vec::with_capacity(capacity);
+    for front in fronts(&objectives) {
+        if keep.len() + front.len() <= capacity {
+            keep.extend(front);
+            if keep.len() == capacity {
+                break;
+            }
+        } else {
+            let mut partial = front;
+            crate::crowding::sort_by_crowding(&objectives, &mut partial);
+            partial.truncate(capacity - keep.len());
+            keep.extend(partial);
+            break;
+        }
+    }
+    // Take the selected individuals out of `combined` without cloning
+    // the unselected ones.
+    let mut slots: Vec<Option<MoIndividual>> = combined.into_iter().map(Some).collect();
+    keep.into_iter()
+        .map(|i| slots[i].take().expect("truncation indices are unique"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmags_etc::braun;
+
+    fn problem() -> Problem {
+        let class: cmags_etc::InstanceClass = "u_s_hilo.0".parse().unwrap();
+        Problem::from_instance(&braun::generate(class.with_dims(64, 8), 0))
+    }
+
+    fn quick() -> Nsga2Config {
+        Nsga2Config::suggested().with_population(20).with_stop(StopCondition::children(200))
+    }
+
+    #[test]
+    fn respects_children_budget() {
+        let outcome = quick().run(&problem(), 1);
+        assert_eq!(outcome.children, 200);
+        assert_eq!(outcome.generations, 10, "200 children / 20 per generation");
+    }
+
+    #[test]
+    fn front_is_mutually_non_dominated() {
+        let p = problem();
+        let outcome = quick().run(&p, 2);
+        assert!(!outcome.front.is_empty());
+        for (i, a) in outcome.front.iter().enumerate() {
+            for b in &outcome.front[i + 1..] {
+                assert!(
+                    !crate::dominance::dominates(a.objectives, b.objectives)
+                        && !crate::dominance::dominates(b.objectives, a.objectives),
+                    "front members must be incomparable"
+                );
+            }
+            let fresh = cmags_core::evaluate(&p, &a.schedule);
+            assert_eq!(fresh, a.objectives, "front schedules re-evaluate exactly");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = problem();
+        let a = quick().run(&p, 9);
+        let b = quick().run(&p, 9);
+        let objs = |o: &Nsga2Outcome| -> Vec<Objectives> {
+            o.front.iter().map(|s| s.objectives).collect()
+        };
+        assert_eq!(objs(&a), objs(&b));
+    }
+
+    #[test]
+    fn memetic_variant_runs() {
+        let outcome = quick().with_local_search(LocalSearchKind::Lmcts).run(&problem(), 3);
+        assert_eq!(outcome.children, 200);
+        assert!(!outcome.front.is_empty());
+    }
+
+    #[test]
+    fn truncation_keeps_best_front_intact() {
+        let p = problem();
+        // Population of 6, truncate to 3: all front-0 members must survive
+        // if they fit.
+        let mut individuals = Vec::new();
+        for m in 0..6u32 {
+            let schedule = cmags_core::Schedule::uniform(p.nb_jobs(), m % 8);
+            individuals.push(MoIndividual::new(&p, schedule));
+        }
+        let objectives: Vec<Objectives> =
+            individuals.iter().map(MoIndividual::objectives).collect();
+        let front0: Vec<Objectives> = fronts(&objectives)
+            .into_iter()
+            .next()
+            .unwrap()
+            .into_iter()
+            .map(|i| objectives[i])
+            .collect();
+        let kept = truncate(individuals, 3.max(front0.len()));
+        let kept_objs: Vec<Objectives> = kept.iter().map(MoIndividual::objectives).collect();
+        for f in &front0 {
+            assert!(kept_objs.contains(f), "front-0 member lost in truncation");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two individuals")]
+    fn tiny_population_rejected() {
+        let _ = Nsga2Config::suggested().with_population(1);
+    }
+}

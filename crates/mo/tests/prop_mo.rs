@@ -1,0 +1,169 @@
+//! Property-based tests of the multi-objective machinery.
+//!
+//! These check the algebraic invariants the engines rely on: fast
+//! non-dominated sorting agrees with brute force, crowding never
+//! produces NaN, the bounded archive stays consistent under arbitrary
+//! offer sequences, and the indicators respect their defining
+//! monotonicity/identity properties.
+
+use cmags_core::{Objectives, Schedule};
+use cmags_mo::archive::{CrowdingArchive, MoSolution};
+use cmags_mo::crowding::crowding_distances;
+use cmags_mo::dominance::dominates;
+use cmags_mo::indicators::{additive_epsilon, hypervolume, igd, reference_point, spread};
+use cmags_mo::ranking::{fronts, non_dominated, ranks};
+use proptest::prelude::*;
+
+/// Objective pairs on a half-unit lattice — coarse enough to generate
+/// ties and duplicates, the hard cases for dominance code.
+fn objective() -> impl Strategy<Value = Objectives> {
+    (0u32..40, 0u32..40).prop_map(|(a, b)| Objectives {
+        makespan: f64::from(a) * 0.5,
+        flowtime: f64::from(b) * 0.5,
+    })
+}
+
+fn front(max: usize) -> impl Strategy<Value = Vec<Objectives>> {
+    proptest::collection::vec(objective(), 1..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fronts_partition_all_indices(points in front(40)) {
+        let fs = fronts(&points);
+        let mut seen: Vec<usize> = fs.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..points.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn front_zero_is_the_brute_force_non_dominated_set(points in front(40)) {
+        let brute: Vec<usize> = (0..points.len())
+            .filter(|&i| points.iter().all(|&p| !dominates(p, points[i])))
+            .collect();
+        prop_assert_eq!(non_dominated(&points), brute);
+    }
+
+    #[test]
+    fn each_front_member_is_dominated_by_a_previous_front(points in front(40)) {
+        let fs = fronts(&points);
+        for depth in 1..fs.len() {
+            for &i in &fs[depth] {
+                let dominated_by_prev = fs[depth - 1]
+                    .iter()
+                    .any(|&j| dominates(points[j], points[i]));
+                prop_assert!(
+                    dominated_by_prev,
+                    "front {} member {:?} undominated by front {}",
+                    depth, points[i], depth - 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_agree_with_fronts(points in front(40)) {
+        let r = ranks(&points);
+        for (depth, f) in fronts(&points).into_iter().enumerate() {
+            for i in f {
+                prop_assert_eq!(r[i], depth);
+            }
+        }
+    }
+
+    #[test]
+    fn crowding_is_never_nan_and_non_negative(points in front(40)) {
+        for d in crowding_distances(&points) {
+            prop_assert!(!d.is_nan());
+            prop_assert!(d >= 0.0);
+        }
+    }
+
+    #[test]
+    fn archive_stays_consistent_under_any_offer_sequence(
+        points in front(60),
+        capacity in 1usize..12,
+    ) {
+        let mut archive = CrowdingArchive::new(capacity);
+        for (i, &objectives) in points.iter().enumerate() {
+            archive.offer(MoSolution {
+                schedule: Schedule::uniform(4, (i % 3) as u32),
+                objectives,
+            });
+            prop_assert!(archive.is_consistent(), "inconsistent after offer {}", i);
+            prop_assert!(archive.len() <= capacity);
+        }
+        prop_assert!(!archive.is_empty(), "at least one offer always lands");
+    }
+
+    #[test]
+    fn archive_holds_a_global_non_dominated_point(points in front(60)) {
+        // Unbounded capacity: the archive must end up holding exactly the
+        // non-dominated subset of everything offered (deduplicated).
+        let mut archive = CrowdingArchive::new(1024);
+        for &objectives in &points {
+            archive.offer(MoSolution { schedule: Schedule::uniform(1, 0), objectives });
+        }
+        let expected: Vec<Objectives> = {
+            let keep = non_dominated(&points);
+            let mut objs: Vec<Objectives> = keep.into_iter().map(|i| points[i]).collect();
+            objs.sort_by(|a, b| a.makespan.total_cmp(&b.makespan)
+                .then(a.flowtime.total_cmp(&b.flowtime)));
+            objs.dedup();
+            objs
+        };
+        let mut got = archive.objectives();
+        got.sort_by(|a, b| a.makespan.total_cmp(&b.makespan)
+            .then(a.flowtime.total_cmp(&b.flowtime)));
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn hypervolume_is_monotone_under_union(a in front(20), b in front(20)) {
+        let all: Vec<Objectives> = a.iter().chain(&b).copied().collect();
+        let reference = reference_point(&[&all], 0.05);
+        let hv_a = hypervolume(&a, reference);
+        let hv_b = hypervolume(&b, reference);
+        let hv_union = hypervolume(&all, reference);
+        prop_assert!(hv_union >= hv_a - 1e-9);
+        prop_assert!(hv_union >= hv_b - 1e-9);
+    }
+
+    #[test]
+    fn hypervolume_unchanged_by_dominated_points(a in front(20)) {
+        let reference = reference_point(&[&a], 0.05);
+        let base = hypervolume(&a, reference);
+        // Shift every point outward: each shifted copy is dominated by
+        // its original, so the volume must not change.
+        let mut padded = a.clone();
+        padded.extend(a.iter().map(|p| Objectives {
+            makespan: p.makespan + 0.25,
+            flowtime: p.flowtime + 0.25,
+        }));
+        let with_dominated = hypervolume(&padded, reference);
+        prop_assert!((base - with_dominated).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epsilon_identity_and_antisymmetry_bound(a in front(20)) {
+        // Reduce to the non-dominated subset (the indicator's domain).
+        let keep: Vec<Objectives> =
+            non_dominated(&a).into_iter().map(|i| a[i]).collect();
+        let eps = additive_epsilon(&keep, &keep);
+        prop_assert!(eps.abs() < 1e-12, "eps(A, A) = {eps}");
+    }
+
+    #[test]
+    fn igd_identity_is_zero(a in front(20)) {
+        prop_assert!(igd(&a, &a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spread_is_finite_and_non_negative(a in front(30)) {
+        let s = spread(&a);
+        prop_assert!(s.is_finite());
+        prop_assert!(s >= 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! A parameter-sweep campaign, the workload class the paper's
+//! introduction motivates (Monte-Carlo style: many independent jobs).
+//!
+//! Schedules the full twelve-class benchmark suite with the cMA (10
+//! parallel independent runs each, best-of reported), the way the
+//! paper's Tables 2–5 were produced.
+//!
+//! ```text
+//! cargo run --release --example batch_campaign
+//! ```
+
+use cmags::prelude::*;
+
+fn main() {
+    let budget = StopCondition::children(5_000);
+    let seeds: Vec<u64> = (0..10).collect();
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    println!(
+        "{:<12} {:>14} {:>16} {:>10} {:>8}",
+        "instance", "best makespan", "best flowtime", "children", "runs"
+    );
+    for class in InstanceClass::braun_suite(0) {
+        // Laptop-scale dimensions; pass 512x16 through `with_dims` for the
+        // full-size campaign.
+        let class = class.with_dims(256, 16);
+        let instance = braun::generate(class, 0);
+        let problem = Problem::from_instance(&instance);
+
+        // 10 independent runs, fanned out over all cores.
+        let config = CmaConfig::paper().with_stop(budget);
+        let outcomes = run_independent(&config, &problem, &seeds, threads);
+        let best = best_of(&outcomes);
+
+        println!(
+            "{:<12} {:>14.1} {:>16.1} {:>10} {:>8}",
+            instance.name(),
+            best.objectives.makespan,
+            best.objectives.flowtime,
+            best.children,
+            outcomes.len()
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Every scheduler in the workspace on every consistency class: the
+//! classic Braun et al. heuristics, the baseline GAs and the cMA, under
+//! one equal budget — a compact reproduction of the paper's evaluation
+//! story.
+//!
+//! ```text
+//! cargo run --release --example heuristic_showdown
+//! ```
+
+use cmags::prelude::*;
+
+fn main() {
+    let budget = StopCondition::children(3_000);
+    for (offset, class_label) in ["u_c_hihi.0", "u_i_hihi.0", "u_s_hihi.0"].iter().enumerate() {
+        let rng_seed = 7 + offset as u64;
+        let class: InstanceClass = class_label.parse().expect("valid label");
+        let instance = braun::generate(class.with_dims(128, 16), 0);
+        let problem = Problem::from_instance(&instance);
+        println!("── {} ───────────────────────────────", instance.name());
+        println!("{:<14} {:>14} {:>16}", "scheduler", "makespan", "flowtime");
+
+        // One-pass heuristics (deterministic).
+        for kind in ConstructiveKind::ALL {
+            let schedule = kind.build(&problem);
+            let objectives = evaluate(&problem, &schedule);
+            println!(
+                "{:<14} {:>14.1} {:>16.1}",
+                kind.name(),
+                objectives.makespan,
+                objectives.flowtime
+            );
+        }
+
+        // Metaheuristics under the equal children budget.
+        let cma = CmaConfig::paper().with_stop(budget).run(&problem, rng_seed);
+        println!("{:<14} {:>14.1} {:>16.1}", "cMA", cma.objectives.makespan, cma.objectives.flowtime);
+
+        let braun_ga = BraunGa::default().with_stop(budget).run(&problem, rng_seed);
+        println!(
+            "{:<14} {:>14.1} {:>16.1}",
+            "Braun GA", braun_ga.objectives.makespan, braun_ga.objectives.flowtime
+        );
+
+        let struggle = StruggleGa::default().with_stop(budget).run(&problem, rng_seed);
+        println!(
+            "{:<14} {:>14.1} {:>16.1}",
+            "Struggle GA", struggle.objectives.makespan, struggle.objectives.flowtime
+        );
+
+        let ssga = SteadyStateGa::default().with_stop(budget).run(&problem, rng_seed);
+        println!(
+            "{:<14} {:>14.1} {:>16.1}",
+            "SS-GA", ssga.objectives.makespan, ssga.objectives.flowtime
+        );
+
+        println!();
+    }
+}

@@ -1,0 +1,78 @@
+//! Race the full metaheuristic line-up on one benchmark instance under
+//! an equal wall-clock budget and print the leaderboard.
+//!
+//! This mirrors the methodology of the paper's Tables 2–5 (equal
+//! budgets, best result wins) but across the wider family this
+//! workspace implements: the classic one-shot heuristics, Simulated
+//! Annealing and Tabu Search (Braun et al.'s line-up), the baseline
+//! GAs, the unstructured memetic algorithm, and the paper's cellular
+//! memetic algorithm.
+//!
+//! ```text
+//! cargo run --release --example metaheuristic_race [budget_ms]
+//! ```
+
+use std::time::Duration;
+
+use cmags::prelude::*;
+
+fn main() {
+    let budget_ms: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500);
+    let budget = StopCondition::time(Duration::from_millis(budget_ms));
+
+    let class: InstanceClass = "u_c_hihi.0".parse().expect("valid label");
+    let instance = braun::generate(class, 0);
+    let problem = Problem::from_instance(&instance);
+    println!(
+        "instance {} ({} jobs x {} machines), budget {} ms per contender\n",
+        instance.name(),
+        problem.nb_jobs(),
+        problem.nb_machines(),
+        budget_ms
+    );
+
+    let mut leaderboard: Vec<(String, f64, f64)> = Vec::new();
+
+    // One-shot heuristics (they ignore the budget — they need none).
+    for kind in [
+        ConstructiveKind::Olb,
+        ConstructiveKind::Mct,
+        ConstructiveKind::MinMin,
+        ConstructiveKind::Sufferage,
+        ConstructiveKind::LjfrSjfr,
+    ] {
+        let mut rng = rand::thread_rng();
+        let schedule = kind.build_seeded(&problem, &mut rng);
+        let objectives = evaluate(&problem, &schedule);
+        leaderboard.push((kind.name().to_owned(), objectives.makespan, objectives.flowtime));
+    }
+
+    // Budgeted metaheuristics, one seeded run each.
+    let seed = 42;
+    let sa = SimulatedAnnealing::default().with_stop(budget).run(&problem, seed);
+    leaderboard.push(("SA".into(), sa.objectives.makespan, sa.objectives.flowtime));
+
+    let tabu = TabuSearch::default().with_stop(budget).run(&problem, seed);
+    leaderboard.push(("Tabu".into(), tabu.objectives.makespan, tabu.objectives.flowtime));
+
+    let braun_ga = BraunGa::default().with_stop(budget).run(&problem, seed);
+    leaderboard.push(("Braun GA".into(), braun_ga.objectives.makespan, braun_ga.objectives.flowtime));
+
+    let struggle = StruggleGa::default().with_stop(budget).run(&problem, seed);
+    leaderboard.push(("Struggle GA".into(), struggle.objectives.makespan, struggle.objectives.flowtime));
+
+    let panmictic = PanmicticMa::default().with_stop(budget).run(&problem, seed);
+    leaderboard.push(("Panmictic MA".into(), panmictic.objectives.makespan, panmictic.objectives.flowtime));
+
+    let cma = CmaConfig::paper().with_stop(budget).run(&problem, seed);
+    leaderboard.push(("cMA".into(), cma.objectives.makespan, cma.objectives.flowtime));
+
+    leaderboard.sort_by(|a, b| a.1.total_cmp(&b.1));
+    println!("{:<4} {:<14} {:>14} {:>18}", "#", "contender", "makespan", "flowtime");
+    for (position, (name, makespan, flowtime)) in leaderboard.iter().enumerate() {
+        println!("{:<4} {:<14} {:>14.1} {:>18.1}", position + 1, name, makespan, flowtime);
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: schedule one benchmark instance with the paper's tuned
+//! cMA and print what happened.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cmags::prelude::*;
+
+fn main() {
+    // 1. A workload: regenerate an instance of the same class as the
+    //    benchmark's u_c_hihi.0 (512 jobs, 16 machines, consistent,
+    //    high/high heterogeneity).
+    let class: InstanceClass = "u_c_hihi.0".parse().expect("valid label");
+    let instance = braun::generate(class, 0);
+    let problem = Problem::from_instance(&instance);
+    println!(
+        "instance {}: {} jobs x {} machines",
+        instance.name(),
+        problem.nb_jobs(),
+        problem.nb_machines()
+    );
+
+    // 2. Baselines: what the classic one-pass heuristics achieve.
+    for kind in [
+        ConstructiveKind::LjfrSjfr,
+        ConstructiveKind::MinMin,
+        ConstructiveKind::Mct,
+    ] {
+        let schedule = kind.build_seeded(&problem, &mut rand::thread_rng());
+        let objectives = evaluate(&problem, &schedule);
+        println!(
+            "{:<10} makespan {:>14.1}   flowtime {:>16.1}",
+            kind.name(),
+            objectives.makespan,
+            objectives.flowtime
+        );
+    }
+
+    // 3. The paper's cMA, budgeted at one second of wall clock.
+    let config =
+        CmaConfig::paper().with_stop(StopCondition::time(std::time::Duration::from_secs(1)));
+    let outcome = config.run(&problem, 42);
+    println!(
+        "{:<10} makespan {:>14.1}   flowtime {:>16.1}   ({} children, {} iterations, {:?})",
+        "cMA",
+        outcome.objectives.makespan,
+        outcome.objectives.flowtime,
+        outcome.children,
+        outcome.iterations,
+        outcome.elapsed
+    );
+
+    // 4. The convergence trace is available for plotting.
+    println!("improvements recorded: {}", outcome.trace.len());
+    if let Some(last) = outcome.trace.last() {
+        println!(
+            "final point: t = {:.0} ms, makespan = {:.1}, fitness = {:.1}",
+            last.elapsed_ms, last.makespan, last.fitness
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Integration tests of the dynamic-scheduler claim on the simulator.
+
+use cmags::gridsim::scheduler::{CmaScheduler, HeuristicScheduler, RandomScheduler};
+use cmags::gridsim::{SimConfig, Simulation};
+use cmags::prelude::*;
+
+#[test]
+fn cma_batch_mode_completes_a_dynamic_workload() {
+    let mut scheduler = CmaScheduler::new(StopCondition::children(200));
+    let report = Simulation::new(SimConfig::small(), 42).run(&mut scheduler);
+    assert_eq!(report.jobs_completed, report.jobs_submitted);
+    assert!(report.activations >= 1);
+    assert_eq!(report.scheduler, "cMA");
+}
+
+#[test]
+fn cma_beats_random_dispatch_on_identical_traces() {
+    let mut cma = CmaScheduler::new(StopCondition::children(400));
+    let mut random = RandomScheduler;
+    let good = Simulation::new(SimConfig::small(), 9).run(&mut cma);
+    let bad = Simulation::new(SimConfig::small(), 9).run(&mut random);
+    assert!(
+        good.mean_response() < bad.mean_response(),
+        "cMA {} vs random {}",
+        good.mean_response(),
+        bad.mean_response()
+    );
+}
+
+#[test]
+fn churny_grid_still_finishes_everything() {
+    let mut scheduler = HeuristicScheduler::new(ConstructiveKind::Mct);
+    let report = Simulation::new(SimConfig::churny(), 5).run(&mut scheduler);
+    assert_eq!(report.jobs_completed, report.jobs_submitted);
+    assert!(report.resubmissions > 0, "churn should force resubmissions");
+}
+
+#[test]
+fn simulator_snapshot_is_a_valid_static_instance() {
+    // The simulator exposes its scheduling rounds through the
+    // BatchScheduler trait; a capturing scheduler verifies the snapshots
+    // are well-formed static problems (ETC positive, ready times sane).
+    struct Capture {
+        inner: HeuristicScheduler,
+        snapshots: usize,
+    }
+    impl cmags::gridsim::scheduler::BatchScheduler for Capture {
+        fn name(&self) -> String {
+            "capture".to_owned()
+        }
+        fn schedule(&mut self, instance: &GridInstance, seed: u64) -> Schedule {
+            assert!(instance.nb_jobs() > 0);
+            assert!(instance.nb_machines() >= 2);
+            assert!(instance.etc().min_etc() > 0.0);
+            assert!(instance.ready_times().iter().all(|&r| r >= 0.0));
+            self.snapshots += 1;
+            self.inner.schedule(instance, seed)
+        }
+    }
+    let mut capture =
+        Capture { inner: HeuristicScheduler::new(ConstructiveKind::MinMin), snapshots: 0 };
+    let report = Simulation::new(SimConfig::small(), 3).run(&mut capture);
+    assert!(capture.snapshots > 0);
+    assert_eq!(capture.snapshots as u64, report.activations);
+}

@@ -1,0 +1,87 @@
+//! Cross-crate integration tests of the SA / Tabu baselines: they must
+//! compose with the shared substrate and land where the literature
+//! puts them — above the one-shot heuristics, below the memetic cMA on
+//! consistent instances at equal budget.
+
+use cmags::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn problem() -> Problem {
+    let class: InstanceClass = "u_c_hihi.0".parse().unwrap();
+    Problem::from_instance(&braun::generate(class.with_dims(128, 8), 0))
+}
+
+/// Best-of-3 makespan for a closure running one seeded attempt.
+fn best_of_3(run: impl FnMut(u64) -> f64) -> f64 {
+    (0..3).map(run).fold(f64::INFINITY, f64::min)
+}
+
+#[test]
+fn sa_and_tabu_beat_their_constructive_seed() {
+    let p = problem();
+    let mut rng = SmallRng::seed_from_u64(0);
+    let seed_fitness =
+        p.fitness(evaluate(&p, &ConstructiveKind::LjfrSjfr.build_seeded(&p, &mut rng)));
+    let budget = StopCondition::children(3_000);
+
+    let sa = SimulatedAnnealing::default().with_stop(budget).run(&p, 1);
+    assert!(sa.fitness < seed_fitness, "SA {} vs seed {seed_fitness}", sa.fitness);
+
+    let tabu = TabuSearch::default().with_stop(budget).run(&p, 1);
+    assert!(tabu.fitness < seed_fitness, "Tabu {} vs seed {seed_fitness}", tabu.fitness);
+}
+
+#[test]
+fn cma_beats_sa_and_tabu_on_consistent_instances_at_equal_budget() {
+    // The paper's central claim, extended to the classic line-up: on
+    // consistent instances the memetic cellular search outperforms the
+    // single-trajectory metaheuristics given the same children budget.
+    let p = problem();
+    let budget = StopCondition::children(2_000);
+
+    let cma = best_of_3(|s| CmaConfig::paper().with_stop(budget).run(&p, s).objectives.makespan);
+    let sa = best_of_3(|s| {
+        SimulatedAnnealing::default().with_stop(budget).run(&p, s).objectives.makespan
+    });
+    let tabu =
+        best_of_3(|s| TabuSearch::default().with_stop(budget).run(&p, s).objectives.makespan);
+
+    assert!(cma < sa, "cMA {cma} should beat SA {sa}");
+    assert!(cma < tabu, "cMA {cma} should beat Tabu {tabu}");
+}
+
+#[test]
+fn all_engines_report_consistent_objective_pairs() {
+    let p = problem();
+    let budget = StopCondition::children(400);
+    let outcomes = [
+        SimulatedAnnealing::default().with_stop(budget).run(&p, 2),
+        TabuSearch::default().with_stop(budget).run(&p, 2),
+        BraunGa::default().with_stop(budget).run(&p, 2),
+        StruggleGa::default().with_stop(budget).run(&p, 2),
+    ];
+    for outcome in outcomes {
+        assert_eq!(evaluate(&p, &outcome.schedule), outcome.objectives);
+        assert!(outcome.objectives.flowtime >= outcome.objectives.makespan);
+        // Traces are monotone best-so-far records.
+        for window in outcome.trace.windows(2) {
+            assert!(window[1].fitness <= window[0].fitness);
+        }
+    }
+}
+
+#[test]
+fn metaheuristics_work_on_cvb_instances_too() {
+    // The alternative generator must be a drop-in substrate.
+    let class: InstanceClass = "u_i_hilo.0".parse().unwrap();
+    let inst = cmags::etc::cvb::generate(class.with_dims(64, 8), 0);
+    let p = Problem::from_instance(&inst);
+    let budget = StopCondition::children(500);
+    let sa = SimulatedAnnealing::default().with_stop(budget).run(&p, 3);
+    let tabu = TabuSearch::default().with_stop(budget).run(&p, 3);
+    assert!(sa.objectives.makespan > 0.0);
+    assert!(tabu.objectives.makespan > 0.0);
+    assert_eq!(evaluate(&p, &sa.schedule), sa.objectives);
+    assert_eq!(evaluate(&p, &tabu.schedule), tabu.objectives);
+}

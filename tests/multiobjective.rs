@@ -1,0 +1,131 @@
+//! Cross-crate integration tests of the multi-objective extension
+//! (paper §6 future work): the MO engines must compose correctly with
+//! the ETC substrate, the shared evaluation core and the cMA's λ-scan.
+
+use cmags::cma::pareto::pareto_front;
+use cmags::mo::indicators::{hypervolume, reference_point};
+use cmags::mo::ranking::non_dominated;
+use cmags::prelude::*;
+
+fn instance() -> GridInstance {
+    let class: InstanceClass = "u_s_hihi.0".parse().unwrap();
+    braun::generate(class.with_dims(96, 8), 0)
+}
+
+#[test]
+fn mocell_front_members_are_real_schedules() {
+    let inst = instance();
+    let problem = Problem::from_instance(&inst);
+    let outcome = MoCellConfig::suggested()
+        .with_stop(StopCondition::children(400))
+        .run(&problem, 5);
+    assert!(!outcome.front().is_empty());
+    for solution in outcome.front() {
+        // Feasible assignment vector...
+        assert_eq!(solution.schedule.nb_jobs(), problem.nb_jobs());
+        assert!(solution
+            .schedule
+            .assignment()
+            .iter()
+            .all(|&m| (m as usize) < problem.nb_machines()));
+        // ...whose stored objectives are exactly the evaluator's.
+        assert_eq!(evaluate(&problem, &solution.schedule), solution.objectives);
+    }
+}
+
+#[test]
+fn mocell_covers_the_scalarised_optimum_region() {
+    // The best scalarised fitness achievable from the MoCell front must
+    // be competitive with a dedicated λ=0.75 cMA run at equal total
+    // budget: the front is useless if its λ-composite is far off.
+    let inst = instance();
+    let problem = Problem::from_instance(&inst);
+    let budget = 1_200u64;
+    let cma = CmaConfig::paper().with_stop(StopCondition::children(budget)).run(&problem, 9);
+    let mocell = MoCellConfig::suggested()
+        .with_stop(StopCondition::children(budget))
+        .run(&problem, 9);
+    let best_composite = mocell
+        .front()
+        .iter()
+        .map(|s| problem.fitness(s.objectives))
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        best_composite <= cma.fitness * 1.10,
+        "MoCell composite {best_composite} should be within 10% of the cMA's {}",
+        cma.fitness
+    );
+}
+
+#[test]
+fn lambda_scan_points_are_not_dominated_by_nsga2_at_equal_budget() {
+    // The λ-scan (7 memetic cMA runs) should at minimum not be wholly
+    // dominated by the classic NSGA-II without local search.
+    let inst = instance();
+    let problem = Problem::from_instance(&inst);
+    let lambdas = [0.0, 0.5, 1.0];
+    let scan = pareto_front(
+        &inst,
+        &CmaConfig::paper(),
+        StopCondition::children(300),
+        &lambdas,
+        3,
+    );
+    let nsga2 = Nsga2Config::suggested()
+        .with_population(20)
+        .with_stop(StopCondition::children(900))
+        .run(&problem, 3);
+    let scan_points: Vec<Objectives> = scan
+        .points()
+        .iter()
+        .map(|p| Objectives { makespan: p.makespan, flowtime: p.flowtime })
+        .collect();
+    let survivors = scan_points.iter().filter(|&&p| {
+        nsga2
+            .front
+            .iter()
+            .all(|s| !cmags::mo::dominates(s.objectives, p))
+    });
+    assert!(
+        survivors.count() > 0,
+        "at least one λ-scan point must survive NSGA-II domination"
+    );
+}
+
+#[test]
+fn union_hypervolume_is_an_upper_bound() {
+    let inst = instance();
+    let problem = Problem::from_instance(&inst);
+    let mocell = MoCellConfig::suggested()
+        .with_stop(StopCondition::children(300))
+        .run(&problem, 1);
+    let nsga2 = Nsga2Config::suggested()
+        .with_population(16)
+        .with_stop(StopCondition::children(300))
+        .run(&problem, 1);
+
+    let a = mocell.archive.objectives();
+    let b: Vec<Objectives> = nsga2.front.iter().map(|s| s.objectives).collect();
+    let union: Vec<Objectives> = a.iter().chain(&b).copied().collect();
+    let union_front: Vec<Objectives> =
+        non_dominated(&union).into_iter().map(|i| union[i]).collect();
+
+    let reference = reference_point(&[&union], 0.05);
+    let hv_union = hypervolume(&union_front, reference);
+    assert!(hv_union + 1e-9 >= hypervolume(&a, reference));
+    assert!(hv_union + 1e-9 >= hypervolume(&b, reference));
+}
+
+#[test]
+fn mo_engines_are_deterministic_end_to_end() {
+    let inst = instance();
+    let problem = Problem::from_instance(&inst);
+    let run = |seed| {
+        MoCellConfig::suggested()
+            .with_stop(StopCondition::children(200))
+            .run(&problem, seed)
+            .archive
+            .objectives()
+    };
+    assert_eq!(run(7), run(7));
+}

@@ -1,0 +1,109 @@
+//! End-to-end pipeline tests across crates: instance generation →
+//! problem → scheduling → evaluation → reporting types.
+
+use cmags::prelude::*;
+
+fn problem(label: &str, jobs: u32, machines: u32) -> Problem {
+    let class: InstanceClass = label.parse().unwrap();
+    Problem::from_instance(&braun::generate(class.with_dims(jobs, machines), 0))
+}
+
+#[test]
+fn full_pipeline_produces_verified_schedule() {
+    let problem = problem("u_c_hihi.0", 96, 8);
+    let outcome = CmaConfig::paper().with_stop(StopCondition::children(300)).run(&problem, 1);
+
+    // The outcome's schedule must be feasible and re-evaluate to exactly
+    // the reported objectives.
+    let schedule = &outcome.schedule;
+    assert!(Schedule::try_new(
+        schedule.assignment().to_vec(),
+        problem.nb_jobs(),
+        problem.nb_machines()
+    )
+    .is_ok());
+    assert_eq!(evaluate(&problem, schedule), outcome.objectives);
+}
+
+#[test]
+fn cma_beats_every_constructive_heuristic_on_fitness() {
+    let problem = problem("u_c_hihi.0", 96, 8);
+    let outcome = CmaConfig::paper().with_stop(StopCondition::children(600)).run(&problem, 2);
+    for kind in ConstructiveKind::ALL {
+        let fitness = problem.fitness(evaluate(&problem, &kind.build(&problem)));
+        assert!(
+            outcome.fitness <= fitness,
+            "cMA ({}) must not lose to {} ({fitness})",
+            outcome.fitness,
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn determinism_across_full_stack() {
+    let problem = problem("u_s_lohi.0", 64, 8);
+    let config = CmaConfig::paper().with_stop(StopCondition::iterations(3));
+    let a = config.run(&problem, 33);
+    let b = config.run(&problem, 33);
+    assert_eq!(a.schedule, b.schedule);
+    assert_eq!(a.objectives, b.objectives);
+    assert_eq!(a.children, b.children);
+    assert_eq!(a.trace.len(), b.trace.len());
+}
+
+#[test]
+fn parallel_independent_runs_match_sequential() {
+    let problem = problem("u_i_hilo.0", 64, 8);
+    let config = CmaConfig::paper().with_stop(StopCondition::iterations(2));
+    let seeds = [1u64, 2, 3, 4];
+    let seq = run_independent(&config, &problem, &seeds, 1);
+    let par = run_independent(&config, &problem, &seeds, 4);
+    for (s, p) in seq.iter().zip(&par) {
+        assert_eq!(s.objectives, p.objectives);
+    }
+    let best = best_of(&par);
+    assert!(par.iter().all(|o| best.fitness <= o.fitness));
+}
+
+#[test]
+fn instance_serialization_round_trips_through_text_format() {
+    let class: InstanceClass = "u_i_hihi.0".parse().unwrap();
+    let instance = braun::generate(class.with_dims(32, 4), 0);
+    let text = cmags::etc::parser::format_matrix(instance.etc());
+    let parsed = cmags::etc::parser::parse_matrix(&text, None).unwrap();
+    assert_eq!(&parsed, instance.etc());
+}
+
+#[test]
+fn every_algorithm_family_improves_its_starting_point() {
+    let problem = problem("u_c_lolo.0", 64, 8);
+    let budget = StopCondition::children(800);
+
+    let cma = CmaConfig::paper().with_stop(budget).run(&problem, 5);
+    let braun_ga = BraunGa { population_size: 24, ..BraunGa::default() }
+        .with_stop(budget)
+        .run(&problem, 5);
+    let struggle = StruggleGa { population_size: 24, ..StruggleGa::default() }
+        .with_stop(budget)
+        .run(&problem, 5);
+
+    // Each trace starts worse than (or equal to) where it ends.
+    for trace in [&cma.trace, &braun_ga.trace, &struggle.trace] {
+        assert!(trace.first().unwrap().fitness >= trace.last().unwrap().fitness);
+    }
+    // And the memetic cellular algorithm wins at equal children budget.
+    assert!(cma.fitness <= struggle.fitness);
+}
+
+#[test]
+fn weighted_fitness_is_consistent_across_the_stack() {
+    let problem = problem("u_s_hilo.0", 48, 6);
+    let schedule = MinMin.build(&problem);
+    let objectives = evaluate(&problem, &schedule);
+    let by_problem = problem.fitness(objectives);
+    let by_weights = FitnessWeights::default().fitness(objectives, problem.nb_machines());
+    assert_eq!(by_problem, by_weights);
+    let eval = EvalState::new(&problem, &schedule);
+    assert_eq!(eval.fitness(&problem), by_problem);
+}

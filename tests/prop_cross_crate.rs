@@ -1,0 +1,91 @@
+//! Cross-crate property tests: operator feasibility and evaluator
+//! agreement on arbitrary problems, through the public facade API.
+
+use cmags::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_problem() -> impl Strategy<Value = Problem> {
+    (2usize..32, 2usize..8, any::<u64>()).prop_map(|(jobs, machines, seed)| {
+        // Random dims, seeded benchmark-style content.
+        let class: InstanceClass = "u_i_hihi.0".parse().unwrap();
+        let class = class.with_dims(jobs as u32, machines as u32);
+        Problem::from_instance(&braun::generate(class, seed))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every constructive heuristic yields a feasible, fully assigned
+    /// schedule on arbitrary dimensions.
+    #[test]
+    fn constructive_heuristics_always_feasible(problem in arb_problem(), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for kind in ConstructiveKind::ALL {
+            let schedule = kind.build_seeded(&problem, &mut rng);
+            prop_assert!(Schedule::try_new(
+                schedule.assignment().to_vec(),
+                problem.nb_jobs(),
+                problem.nb_machines()
+            ).is_ok(), "{}", kind.name());
+        }
+    }
+
+    /// Crossovers of feasible parents stay feasible and only mix parent
+    /// genes.
+    #[test]
+    fn crossovers_mix_without_inventing_genes(
+        problem in arb_problem(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = RandomAssign.build_seeded(&problem, &mut rng);
+        let b = RandomAssign.build_seeded(&problem, &mut rng);
+        for xo in [Crossover::OnePoint, Crossover::TwoPoint, Crossover::Uniform] {
+            let child = xo.apply(&a, &b, &mut rng);
+            for (job, machine) in child.iter() {
+                prop_assert!(
+                    machine == a.machine_of(job) || machine == b.machine_of(job),
+                    "{}: job {job} got a gene from neither parent",
+                    xo.name()
+                );
+            }
+        }
+    }
+
+    /// The cMA's reported objectives always re-evaluate exactly, for any
+    /// problem shape and (small) budget.
+    #[test]
+    fn cma_outcome_reevaluates_exactly(
+        problem in arb_problem(),
+        seed in any::<u64>(),
+        children in 1u64..60,
+    ) {
+        let outcome = CmaConfig::paper()
+            .with_stop(StopCondition::children(children))
+            .run(&problem, seed);
+        prop_assert_eq!(evaluate(&problem, &outcome.schedule), outcome.objectives);
+        // Fitness is exactly the weighted scalarisation.
+        prop_assert_eq!(problem.fitness(outcome.objectives), outcome.fitness);
+    }
+
+    /// Local search methods never worsen fitness, whatever the problem.
+    #[test]
+    fn local_search_never_worsens(
+        problem in arb_problem(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let schedule = RandomAssign.build_seeded(&problem, &mut rng);
+        for kind in [LocalSearchKind::Lm, LocalSearchKind::Slm, LocalSearchKind::Lmcts] {
+            let mut s = schedule.clone();
+            let mut eval = EvalState::new(&problem, &s);
+            let before = eval.fitness(&problem);
+            kind.run(&problem, &mut s, &mut eval, &mut rng, 8);
+            prop_assert!(eval.fitness(&problem) <= before + 1e-9, "{}", kind.name());
+            prop_assert_eq!(evaluate(&problem, &s), eval.objectives());
+        }
+    }
+}
