@@ -7,7 +7,7 @@
 
 use std::hint::black_box;
 
-use cmags_cma::{CmaConfig, StopCondition};
+use cmags_cma::{CmaConfig, StopCondition, UpdatePolicy};
 use cmags_core::Problem;
 use cmags_etc::{braun, InstanceClass};
 use cmags_ga::{BraunGa, SteadyStateGa, StruggleGa};
@@ -62,5 +62,63 @@ fn bench_engines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engines);
+/// Sequential vs parallel synchronous cellular sweeps on the full
+/// Braun-sized (512 × 16) instance: the cost of two outer iterations
+/// under the asynchronous paper policy, the synchronous policy on one
+/// worker, and the synchronous policy on all available cores. The
+/// synchronous results are bit-identical across worker counts, so this
+/// measures pure wall-clock (results land in `BENCH_engines.json` via
+/// `CRITERION_JSON`).
+fn bench_sweeps(c: &mut Criterion) {
+    let p = problem();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut group = c.benchmark_group("sweep_512x16");
+    group.sample_size(10);
+
+    let stop = StopCondition::iterations(2);
+    let mut seed = 0u64;
+    group.bench_function("async_sequential", |b| {
+        let config = CmaConfig::paper().with_stop(stop);
+        b.iter(|| {
+            seed += 1;
+            black_box(config.run(&p, seed).fitness)
+        });
+    });
+
+    let mut seed = 0u64;
+    group.bench_function("sync_sequential", |b| {
+        let config = CmaConfig::paper()
+            .with_update_policy(UpdatePolicy::Synchronous)
+            .with_threads(1)
+            .with_stop(stop);
+        b.iter(|| {
+            seed += 1;
+            black_box(config.run(&p, seed).fitness)
+        });
+    });
+
+    for threads in [cores, 4] {
+        if threads == 1 {
+            continue; // identical to sync_sequential
+        }
+        let mut seed = 0u64;
+        group.bench_function(format!("sync_parallel_{threads}threads"), |b| {
+            let config = CmaConfig::paper()
+                .with_update_policy(UpdatePolicy::Synchronous)
+                .with_threads(threads)
+                .with_stop(stop);
+            b.iter(|| {
+                seed += 1;
+                black_box(config.run(&p, seed).fitness)
+            });
+        });
+        if cores == 4 {
+            break; // both entries would coincide
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_sweeps);
 criterion_main!(benches);

@@ -20,7 +20,9 @@ fn problem(jobs: u32, machines: u32) -> Problem {
 
 fn spread_schedule(problem: &Problem) -> Schedule {
     Schedule::from_assignment(
-        (0..problem.nb_jobs()).map(|j| (j % problem.nb_machines()) as u32).collect(),
+        (0..problem.nb_jobs())
+            .map(|j| (j % problem.nb_machines()) as u32)
+            .collect(),
     )
 }
 
@@ -53,8 +55,9 @@ fn bench_eval(c: &mut Criterion) {
             });
         });
 
-        let swaps: Vec<(u32, u32)> =
-            (0..256).map(|_| (rng.gen_range(0..jobs), rng.gen_range(0..jobs))).collect();
+        let swaps: Vec<(u32, u32)> = (0..256)
+            .map(|_| (rng.gen_range(0..jobs), rng.gen_range(0..jobs)))
+            .collect();
         group.bench_with_input(BenchmarkId::new("peek_swap", &label), &p, |b, p| {
             let mut i = 0;
             b.iter(|| {

@@ -27,16 +27,22 @@ fn bench_local_search(c: &mut Criterion) {
         LocalSearchKind::Lmcts,
         LocalSearchKind::Vnd,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
-            let mut rng = SmallRng::seed_from_u64(7);
-            let mut schedule = Schedule::from_assignment(
-                (0..p.nb_jobs()).map(|_| rng.gen_range(0..p.nb_machines() as u32)).collect(),
-            );
-            let mut eval = EvalState::new(&p, &schedule);
-            b.iter(|| {
-                black_box(kind.run(&p, &mut schedule, &mut eval, &mut rng, 1));
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, &kind| {
+                let mut rng = SmallRng::seed_from_u64(7);
+                let mut schedule = Schedule::from_assignment(
+                    (0..p.nb_jobs())
+                        .map(|_| rng.gen_range(0..p.nb_machines() as u32))
+                        .collect(),
+                );
+                let mut eval = EvalState::new(&p, &schedule);
+                b.iter(|| {
+                    black_box(kind.run(&p, &mut schedule, &mut eval, &mut rng, 1));
+                });
+            },
+        );
     }
     group.finish();
 }

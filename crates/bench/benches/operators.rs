@@ -16,7 +16,9 @@ fn problem() -> Problem {
 
 fn random_schedule(p: &Problem, rng: &mut SmallRng) -> Schedule {
     Schedule::from_assignment(
-        (0..p.nb_jobs()).map(|_| rng.gen_range(0..p.nb_machines() as u32)).collect(),
+        (0..p.nb_jobs())
+            .map(|_| rng.gen_range(0..p.nb_machines() as u32))
+            .collect(),
     )
 }
 

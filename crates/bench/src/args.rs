@@ -115,7 +115,9 @@ impl Ctx {
         let budget_ms = args.num("--budget-ms", default_ms);
         let mut stop = StopCondition::time(Duration::from_millis(budget_ms));
         if let Some(children) = args.get("--budget-children") {
-            let children: u64 = children.parse().expect("--budget-children must be an integer");
+            let children: u64 = children
+                .parse()
+                .expect("--budget-children must be an integer");
             stop = stop.and_children(children);
         }
         let threads = args.num(

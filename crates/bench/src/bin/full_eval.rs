@@ -7,8 +7,7 @@
 use cmags_bench::args::{Args, Ctx};
 use cmags_bench::experiments::figs::{run_figure, Figure};
 use cmags_bench::experiments::{
-    ablation, baselines, cvb_exp, dynamic, mo_front, pareto_exp, robustness, significance,
-    tables,
+    ablation, baselines, cvb_exp, dynamic, mo_front, pareto_exp, robustness, significance, tables,
 };
 use cmags_bench::report::emit;
 
@@ -61,5 +60,8 @@ fn main() {
     eprintln!("[full_eval] dynamic grid ...");
     emit(&ctx, &dynamic::dynamic(&ctx));
 
-    eprintln!("[full_eval] done in {:.1}s", started.elapsed().as_secs_f64());
+    eprintln!(
+        "[full_eval] done in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
 }

@@ -26,7 +26,10 @@ fn main() {
         ("local search choice", c.local_search.name().to_owned()),
         ("nb local search iterations", c.ls_iterations.to_string()),
         ("add only if better", c.add_only_if_better.to_string()),
-        ("lambda", cmags_core::FitnessWeights::default().lambda().to_string()),
+        (
+            "lambda",
+            cmags_core::FitnessWeights::default().lambda().to_string(),
+        ),
     ];
     for (k, v) in rows {
         table.push_row(vec![k.to_owned(), v]);

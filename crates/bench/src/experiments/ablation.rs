@@ -30,11 +30,21 @@ fn sweep(ctx: &Ctx, problem: &Problem, variants: Vec<(String, Algo)>, title: &st
         (v, result.fitness, result.makespan)
     });
 
-    let mut table =
-        Table::new(title, &["Variant", "best fitness", "mean fitness", "best makespan"]);
+    let mut table = Table::new(
+        title,
+        &["Variant", "best fitness", "mean fitness", "best makespan"],
+    );
     for (v, (label, _)) in variants.iter().enumerate() {
-        let fits: Vec<f64> = flat.iter().filter(|(i, ..)| *i == v).map(|(_, f, _)| *f).collect();
-        let mks: Vec<f64> = flat.iter().filter(|(i, ..)| *i == v).map(|(.., m)| *m).collect();
+        let fits: Vec<f64> = flat
+            .iter()
+            .filter(|(i, ..)| *i == v)
+            .map(|(_, f, _)| *f)
+            .collect();
+        let mks: Vec<f64> = flat
+            .iter()
+            .filter(|(i, ..)| *i == v)
+            .map(|(.., m)| *m)
+            .collect();
         table.push_row(vec![
             label.clone(),
             fmt_value(Summary::of(&fits).best),
@@ -56,7 +66,10 @@ pub fn local_search_ablation(ctx: &Ctx) -> Table {
             Algo::Cma(base.clone().with_local_search(LocalSearchKind::None)),
         ),
         ("cMA (LMCTS)".to_owned(), Algo::Cma(base.clone())),
-        ("cMA (VND)".to_owned(), Algo::Cma(base.with_local_search(LocalSearchKind::Vnd))),
+        (
+            "cMA (VND)".to_owned(),
+            Algo::Cma(base.with_local_search(LocalSearchKind::Vnd)),
+        ),
     ];
     sweep(ctx, &problem, variants, "Ablation local search")
 }
@@ -83,8 +96,14 @@ pub fn seeding_ablation(ctx: &Ctx) -> Table {
     let base = CmaConfig::paper();
     let variants = vec![
         ("LJFR-SJFR".to_owned(), Algo::Cma(base.clone())),
-        ("Min-Min".to_owned(), Algo::Cma(base.clone().with_seeding(ConstructiveKind::MinMin))),
-        ("Random".to_owned(), Algo::Cma(base.with_seeding(ConstructiveKind::Random))),
+        (
+            "Min-Min".to_owned(),
+            Algo::Cma(base.clone().with_seeding(ConstructiveKind::MinMin)),
+        ),
+        (
+            "Random".to_owned(),
+            Algo::Cma(base.with_seeding(ConstructiveKind::Random)),
+        ),
     ];
     sweep(ctx, &problem, variants, "Ablation seeding")
 }
@@ -95,7 +114,10 @@ pub fn topology_ablation(ctx: &Ctx) -> Table {
     let problem = tuning_problem(ctx);
     let variants = vec![
         ("cMA (5x5 torus)".to_owned(), Algo::Cma(CmaConfig::paper())),
-        ("Panmictic MA".to_owned(), Algo::Panmictic(PanmicticMa::default())),
+        (
+            "Panmictic MA".to_owned(),
+            Algo::Panmictic(PanmicticMa::default()),
+        ),
     ];
     sweep(ctx, &problem, variants, "Ablation topology")
 }
@@ -114,17 +136,26 @@ pub fn lambda_sweep(ctx: &Ctx) -> Table {
         .flat_map(|l| seeds.iter().map(move |&s| (l, s)))
         .collect();
     let flat: Vec<(usize, f64, f64)> = parallel_map(jobs, ctx.threads, |(l, seed)| {
-        let problem =
-            Problem::with_weights(&instance, FitnessWeights::new(lambdas[l]));
+        let problem = Problem::with_weights(&instance, FitnessWeights::new(lambdas[l]));
         let outcome = CmaConfig::paper().with_stop(ctx.stop).run(&problem, seed);
         (l, outcome.objectives.makespan, outcome.objectives.flowtime)
     });
 
-    let mut table =
-        Table::new("Ablation lambda sweep", &["lambda", "best makespan", "best flowtime"]);
+    let mut table = Table::new(
+        "Ablation lambda sweep",
+        &["lambda", "best makespan", "best flowtime"],
+    );
     for (l, &lambda) in lambdas.iter().enumerate() {
-        let mks: Vec<f64> = flat.iter().filter(|(i, ..)| *i == l).map(|(_, m, _)| *m).collect();
-        let fls: Vec<f64> = flat.iter().filter(|(i, ..)| *i == l).map(|(.., f)| *f).collect();
+        let mks: Vec<f64> = flat
+            .iter()
+            .filter(|(i, ..)| *i == l)
+            .map(|(_, m, _)| *m)
+            .collect();
+        let fls: Vec<f64> = flat
+            .iter()
+            .filter(|(i, ..)| *i == l)
+            .map(|(.., f)| *f)
+            .collect();
         table.push_row(vec![
             format!("{lambda:.2}"),
             fmt_value(Summary::of(&mks).best),
@@ -144,7 +175,9 @@ pub fn delta_eval_ablation(ctx: &Ctx) -> Table {
     let nb_jobs = problem.nb_jobs() as u32;
     let nb_machines = problem.nb_machines() as u32;
     let mut schedule = Schedule::from_assignment(
-        (0..problem.nb_jobs()).map(|j| (j as u32) % nb_machines).collect(),
+        (0..problem.nb_jobs())
+            .map(|j| (j as u32) % nb_machines)
+            .collect(),
     );
     let moves: Vec<(u32, u32)> = (0..20_000)
         .map(|_| (rng.gen_range(0..nb_jobs), rng.gen_range(0..nb_machines)))
@@ -161,7 +194,9 @@ pub fn delta_eval_ablation(ctx: &Ctx) -> Table {
 
     // Full re-evaluation path on the same move sequence.
     let mut schedule2 = Schedule::from_assignment(
-        (0..problem.nb_jobs()).map(|j| (j as u32) % nb_machines).collect(),
+        (0..problem.nb_jobs())
+            .map(|j| (j as u32) % nb_machines)
+            .collect(),
     );
     let t0 = Instant::now();
     let mut full_obj = evaluate(&problem, &schedule2);
@@ -244,7 +279,10 @@ mod tests {
         let t = delta_eval_ablation(&ctx);
         assert_eq!(t.rows.len(), 2);
         let speedup: f64 = t.rows[1][4].trim_end_matches('x').parse().unwrap();
-        assert!(speedup > 1.0, "incremental path must be faster, got {speedup}x");
+        assert!(
+            speedup > 1.0,
+            "incremental path must be faster, got {speedup}x"
+        );
     }
 
     #[test]

@@ -9,9 +9,7 @@
 //! table of average ranks and wins.
 
 use cmags_cma::CmaConfig;
-use cmags_ga::{
-    BraunGa, GeneticSimulatedAnnealing, SimulatedAnnealing, StruggleGa, TabuSearch,
-};
+use cmags_ga::{BraunGa, GeneticSimulatedAnnealing, SimulatedAnnealing, StruggleGa, TabuSearch};
 use cmags_heuristics::constructive::ConstructiveKind;
 
 use crate::args::Ctx;
@@ -72,8 +70,10 @@ pub fn baselines(ctx: &Ctx) -> (Table, Table) {
 
     // Aggregate: average rank (1 = best makespan on an instance; ties
     // share the better rank) and outright wins.
-    let mut aggregate =
-        Table::new("Baseline lineup aggregate", &["algorithm", "avg_rank", "wins"]);
+    let mut aggregate = Table::new(
+        "Baseline lineup aggregate",
+        &["algorithm", "avg_rank", "wins"],
+    );
     let mut rank_sum = vec![0.0f64; algos.len()];
     let mut wins = vec![0usize; algos.len()];
     for per_instance in &best {
@@ -108,10 +108,13 @@ mod tests {
     #[test]
     fn lineup_covers_heuristics_metaheuristics_and_the_cma() {
         let names: Vec<String> = lineup().iter().map(Algo::name).collect();
-        for expected in
-            ["OLB", "MET", "MCT", "Min-Min", "Duplex", "SA", "Tabu", "GSA", "Braun GA", "cMA"]
-        {
-            assert!(names.iter().any(|n| n == expected), "{expected} missing from line-up");
+        for expected in [
+            "OLB", "MET", "MCT", "Min-Min", "Duplex", "SA", "Tabu", "GSA", "Braun GA", "cMA",
+        ] {
+            assert!(
+                names.iter().any(|n| n == expected),
+                "{expected} missing from line-up"
+            );
         }
         assert_eq!(names.len(), 14, "a fourteen-mapper line-up");
     }
@@ -149,10 +152,7 @@ mod tests {
                     .map(|r| r[2].parse().unwrap())
                     .expect("row present")
             };
-            assert!(
-                value("cMA") < value("OLB"),
-                "{instance}: cMA must beat OLB"
-            );
+            assert!(value("cMA") < value("OLB"), "{instance}: cMA must beat OLB");
         }
     }
 }

@@ -35,14 +35,14 @@ pub fn cvb_generalisation(ctx: &Ctx) -> Table {
         let instance = cvb::generate(class, super::SUITE_STREAM);
         let problem = Problem::from_instance(&instance);
         let seeds: Vec<u64> = (0..ctx.runs as u64).map(|r| ctx.seed + r).collect();
-        let cma_best =
-            Summary::of(&parallel_map(seeds.clone(), ctx.threads, |s| {
-                cma.run(&problem, s).makespan
-            }))
-            .best;
-        let ga_best =
-            Summary::of(&parallel_map(seeds, ctx.threads, |s| ga.run(&problem, s).makespan))
-                .best;
+        let cma_best = Summary::of(&parallel_map(seeds.clone(), ctx.threads, |s| {
+            cma.run(&problem, s).makespan
+        }))
+        .best;
+        let ga_best = Summary::of(&parallel_map(seeds, ctx.threads, |s| {
+            ga.run(&problem, s).makespan
+        }))
+        .best;
         table.push_row(vec![
             instance.name().to_owned(),
             fmt_value(ga_best),

@@ -68,11 +68,23 @@ pub fn dynamic(ctx: &Ctx) -> Vec<Table> {
     // Scale the per-activation cMA budget off the context: the dynamic
     // claim is about *short* activations.
     let budget = StopCondition::children(2_000).and_time(
-        ctx.stop.time_limit.unwrap_or_else(|| std::time::Duration::from_millis(500)),
+        ctx.stop
+            .time_limit
+            .unwrap_or_else(|| std::time::Duration::from_millis(500)),
     );
     vec![
-        scenario_table("Dynamic grid calm scenario", &SimConfig::small(), ctx.seed, budget),
-        scenario_table("Dynamic grid churny scenario", &SimConfig::churny(), ctx.seed, budget),
+        scenario_table(
+            "Dynamic grid calm scenario",
+            &SimConfig::small(),
+            ctx.seed,
+            budget,
+        ),
+        scenario_table(
+            "Dynamic grid churny scenario",
+            &SimConfig::churny(),
+            ctx.seed,
+            budget,
+        ),
     ]
 }
 

@@ -102,7 +102,14 @@ pub fn run_figure(ctx: &Ctx, figure: Figure) -> (Table, Table) {
     // Raw traces.
     let mut raw = Table::new(
         format!("Figure {} traces", figure.number()),
-        &["variant", "seed", "elapsed_ms", "makespan", "flowtime", "fitness"],
+        &[
+            "variant",
+            "seed",
+            "elapsed_ms",
+            "makespan",
+            "flowtime",
+            "fitness",
+        ],
     );
     for (idx, (v, result)) in results.iter().enumerate() {
         let seed = seeds[idx % seeds.len()];
@@ -128,8 +135,10 @@ pub fn run_figure(ctx: &Ctx, figure: Figure) -> (Table, Table) {
     let mut headers: Vec<&str> = vec!["time_ms"];
     let labels: Vec<String> = variants.iter().map(|(l, _)| l.clone()).collect();
     headers.extend(labels.iter().map(String::as_str));
-    let mut summary =
-        Table::new(format!("Figure {} makespan vs time", figure.number()), &headers);
+    let mut summary = Table::new(
+        format!("Figure {} makespan vs time", figure.number()),
+        &headers,
+    );
     const CHECKPOINTS: usize = 10;
     for k in 1..=CHECKPOINTS {
         let t = max_ms * k as f64 / CHECKPOINTS as f64;
@@ -160,15 +169,17 @@ mod tests {
     #[test]
     fn variant_labels_match_paper() {
         let base = CmaConfig::paper();
-        let labels = |f: Figure| -> Vec<String> {
-            f.variants(&base).into_iter().map(|(l, _)| l).collect()
-        };
+        let labels =
+            |f: Figure| -> Vec<String> { f.variants(&base).into_iter().map(|(l, _)| l).collect() };
         assert_eq!(labels(Figure::LocalSearch), vec!["LM", "SLM", "LMCTS"]);
         assert_eq!(
             labels(Figure::Neighborhoods),
             vec!["Panmictic", "L5", "L9", "C9", "C13"]
         );
-        assert_eq!(labels(Figure::Selection), vec!["Ntour(3)", "Ntour(5)", "Ntour(7)"]);
+        assert_eq!(
+            labels(Figure::Selection),
+            vec!["Ntour(3)", "Ntour(5)", "Ntour(7)"]
+        );
         assert_eq!(labels(Figure::SweepOrders), vec!["FLS", "FRS", "NRS"]);
     }
 
@@ -200,8 +211,11 @@ mod tests {
         // more), exactly as in the paper's figures. Assert the end-to-end
         // improvement on makespan...
         for col in 1..summary.headers.len() {
-            let values: Vec<f64> =
-                summary.rows.iter().map(|r| r[col].parse().unwrap()).collect();
+            let values: Vec<f64> = summary
+                .rows
+                .iter()
+                .map(|r| r[col].parse().unwrap())
+                .collect();
             assert!(
                 values.last().unwrap() <= values.first().unwrap(),
                 "no end-to-end improvement: {values:?}"

@@ -43,7 +43,15 @@ struct MethodFront {
 pub fn mo_front(ctx: &Ctx) -> Table {
     let mut table = Table::new(
         "Multi objective front comparison",
-        &["instance", "method", "front", "hv_share", "eps_to_union", "igd_to_union", "spread"],
+        &[
+            "instance",
+            "method",
+            "front",
+            "hv_share",
+            "eps_to_union",
+            "igd_to_union",
+            "spread",
+        ],
     );
 
     // Equalised budget: the λ-scan spends `per_run` once per λ, so the
@@ -67,13 +75,19 @@ pub fn mo_front(ctx: &Ctx) -> Table {
 
     for label in INSTANCES {
         let class: InstanceClass = label.parse().expect("static label");
-        let instance =
-            braun::generate(class.with_dims(ctx.nb_jobs, ctx.nb_machines), super::SUITE_STREAM);
+        let instance = braun::generate(
+            class.with_dims(ctx.nb_jobs, ctx.nb_machines),
+            super::SUITE_STREAM,
+        );
         let problem = Problem::from_instance(&instance);
 
         let scan = pareto_front(&instance, &CmaConfig::paper(), per_run, &LAMBDAS, ctx.seed);
-        let mocell = MoCellConfig::suggested().with_stop(pooled).run(&problem, ctx.seed);
-        let nsga2 = Nsga2Config::suggested().with_stop(pooled).run(&problem, ctx.seed);
+        let mocell = MoCellConfig::suggested()
+            .with_stop(pooled)
+            .run(&problem, ctx.seed);
+        let nsga2 = Nsga2Config::suggested()
+            .with_stop(pooled)
+            .run(&problem, ctx.seed);
 
         let fronts = [
             MethodFront {
@@ -81,10 +95,16 @@ pub fn mo_front(ctx: &Ctx) -> Table {
                 points: scan
                     .points()
                     .iter()
-                    .map(|p| Objectives { makespan: p.makespan, flowtime: p.flowtime })
+                    .map(|p| Objectives {
+                        makespan: p.makespan,
+                        flowtime: p.flowtime,
+                    })
                     .collect(),
             },
-            MethodFront { method: "MoCell", points: mocell.archive.objectives() },
+            MethodFront {
+                method: "MoCell",
+                points: mocell.archive.objectives(),
+            },
             MethodFront {
                 method: "NSGA-II",
                 points: nsga2.front.iter().map(|s| s.objectives).collect(),
@@ -92,15 +112,23 @@ pub fn mo_front(ctx: &Ctx) -> Table {
         ];
 
         // Union front and shared reference point.
-        let union_all: Vec<Objectives> =
-            fronts.iter().flat_map(|f| f.points.iter().copied()).collect();
-        let union_front: Vec<Objectives> =
-            non_dominated(&union_all).into_iter().map(|i| union_all[i]).collect();
+        let union_all: Vec<Objectives> = fronts
+            .iter()
+            .flat_map(|f| f.points.iter().copied())
+            .collect();
+        let union_front: Vec<Objectives> = non_dominated(&union_all)
+            .into_iter()
+            .map(|i| union_all[i])
+            .collect();
         let reference = reference_point(&[&union_all], 0.05);
         let hv_union = hypervolume(&union_front, reference);
 
         for front in &fronts {
-            assert!(!front.points.is_empty(), "{}: empty front on {label}", front.method);
+            assert!(
+                !front.points.is_empty(),
+                "{}: empty front on {label}",
+                front.method
+            );
             let hv = hypervolume(&front.points, reference);
             table.push_row(vec![
                 label.to_owned(),
@@ -128,7 +156,10 @@ mod tests {
         assert_eq!(t.rows.len(), 3 * INSTANCES.len());
         for row in &t.rows {
             let hv_share: f64 = row[3].parse().unwrap();
-            assert!((0.0..=1.0 + 1e-9).contains(&hv_share), "hv share {hv_share} out of range");
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&hv_share),
+                "hv share {hv_share} out of range"
+            );
             let eps: f64 = row[4].parse().unwrap();
             // ε against a union that contains your own points is ≥ 0 and 0
             // only when the method alone spans the union front.

@@ -22,10 +22,11 @@ pub fn pareto(ctx: &Ctx) -> Table {
     );
     for label in ["u_c_hihi.0", "u_i_hihi.0", "u_s_hihi.0"] {
         let class: InstanceClass = label.parse().expect("static label");
-        let instance =
-            braun::generate(class.with_dims(ctx.nb_jobs, ctx.nb_machines), super::SUITE_STREAM);
-        let front =
-            pareto_front(&instance, &CmaConfig::paper(), ctx.stop, &LAMBDAS, ctx.seed);
+        let instance = braun::generate(
+            class.with_dims(ctx.nb_jobs, ctx.nb_machines),
+            super::SUITE_STREAM,
+        );
+        let front = pareto_front(&instance, &CmaConfig::paper(), ctx.stop, &LAMBDAS, ctx.seed);
         assert!(front.is_consistent(), "archive invariant violated");
         for point in front.points() {
             table.push_row(vec![

@@ -20,16 +20,20 @@ pub fn robustness(ctx: &Ctx) -> Table {
     let jobs: Vec<(usize, u64)> = (0..problems.len())
         .flat_map(|i| seeds.iter().map(move |&s| (i, s)))
         .collect();
-    let flat: Vec<(usize, f64)> =
-        parallel_map(jobs, ctx.threads, |(i, seed)| (i, algo.run(&problems[i], seed).makespan));
+    let flat: Vec<(usize, f64)> = parallel_map(jobs, ctx.threads, |(i, seed)| {
+        (i, algo.run(&problems[i], seed).makespan)
+    });
 
     let mut table = Table::new(
         "Robustness of cMA makespan",
         &["Instance", "best", "mean", "std", "std/mean %"],
     );
     for (i, problem) in problems.iter().enumerate() {
-        let values: Vec<f64> =
-            flat.iter().filter(|(idx, _)| *idx == i).map(|(_, m)| *m).collect();
+        let values: Vec<f64> = flat
+            .iter()
+            .filter(|(idx, _)| *idx == i)
+            .map(|(_, m)| *m)
+            .collect();
         let summary = Summary::of(&values);
         table.push_row(vec![
             problem.name().to_owned(),

@@ -46,8 +46,7 @@ pub fn scaling(ctx: &Ctx) -> Table {
             (outcome.objectives.makespan, throughput)
         });
         let makespans: Vec<f64> = results.iter().map(|(m, _)| *m).collect();
-        let throughput: f64 =
-            results.iter().map(|(_, t)| *t).sum::<f64>() / results.len() as f64;
+        let throughput: f64 = results.iter().map(|(_, t)| *t).sum::<f64>() / results.len() as f64;
         let best = Summary::of(&makespans).best;
 
         table.push_row(vec![
@@ -74,15 +73,12 @@ mod tests {
         let class: InstanceClass = "u_c_hihi.0".parse().unwrap();
         let mut throughputs = Vec::new();
         for (jobs, machines) in [(64u32, 8u32), (256, 16)] {
-            let problem = Problem::from_instance(&braun::generate(
-                class.with_dims(jobs, machines),
-                0,
-            ));
+            let problem =
+                Problem::from_instance(&braun::generate(class.with_dims(jobs, machines), 0));
             let outcome = CmaConfig::paper()
                 .with_stop(StopCondition::children(150))
                 .run(&problem, 1);
-            throughputs
-                .push(outcome.children as f64 / outcome.elapsed.as_secs_f64().max(1e-9));
+            throughputs.push(outcome.children as f64 / outcome.elapsed.as_secs_f64().max(1e-9));
         }
         assert!(
             throughputs[1] < throughputs[0],

@@ -34,7 +34,14 @@ pub fn opponents() -> Vec<Algo> {
 pub fn significance(ctx: &Ctx) -> Table {
     let mut table = Table::new(
         "Significance cma vs baselines",
-        &["instance", "opponent", "a12", "magnitude", "p_value", "significant_5pct"],
+        &[
+            "instance",
+            "opponent",
+            "a12",
+            "magnitude",
+            "p_value",
+            "significant_5pct",
+        ],
     );
     let problems = super::suite_problems(ctx);
     let class_representatives: Vec<_> = problems
@@ -45,8 +52,9 @@ pub fn significance(ctx: &Ctx) -> Table {
     let cma = Algo::Cma(CmaConfig::paper()).with_stop(ctx.stop);
     for problem in class_representatives {
         let seeds: Vec<u64> = (0..ctx.runs as u64).map(|r| ctx.seed + r).collect();
-        let cma_makespans: Vec<f64> =
-            parallel_map(seeds.clone(), ctx.threads, |seed| cma.run(problem, seed).makespan);
+        let cma_makespans: Vec<f64> = parallel_map(seeds.clone(), ctx.threads, |seed| {
+            cma.run(problem, seed).makespan
+        });
         for opponent in opponents() {
             let opponent = opponent.with_stop(ctx.stop);
             let opponent_makespans: Vec<f64> = parallel_map(seeds.clone(), ctx.threads, |seed| {

@@ -22,14 +22,20 @@ struct SuiteResults {
 impl SuiteResults {
     fn best_makespan(&self, instance: usize) -> f64 {
         Summary::of(
-            &self.per_instance[instance].iter().map(|r| r.makespan).collect::<Vec<_>>(),
+            &self.per_instance[instance]
+                .iter()
+                .map(|r| r.makespan)
+                .collect::<Vec<_>>(),
         )
         .best
     }
 
     fn best_flowtime(&self, instance: usize) -> f64 {
         Summary::of(
-            &self.per_instance[instance].iter().map(|r| r.flowtime).collect::<Vec<_>>(),
+            &self.per_instance[instance]
+                .iter()
+                .map(|r| r.flowtime)
+                .collect::<Vec<_>>(),
         )
         .best
     }
@@ -42,8 +48,9 @@ fn run_suite(ctx: &Ctx, problems: &[Problem], algo: &Algo) -> SuiteResults {
         .flat_map(|i| seeds.iter().map(move |&s| (i, s)))
         .collect();
     let algo = algo.clone().with_stop(ctx.stop);
-    let flat: Vec<(usize, RunResult)> =
-        parallel_map(jobs, ctx.threads, |(i, seed)| (i, algo.run(&problems[i], seed)));
+    let flat: Vec<(usize, RunResult)> = parallel_map(jobs, ctx.threads, |(i, seed)| {
+        (i, algo.run(&problems[i], seed))
+    });
     let mut per_instance: Vec<Vec<RunResult>> = (0..problems.len()).map(|_| Vec::new()).collect();
     for (i, result) in flat {
         per_instance[i].push(result);
@@ -81,7 +88,10 @@ pub fn table2(ctx: &Ctx) -> Table {
             fmt_percent(delta_percent(ga_best, cma_best)),
             fmt_value(reference.braun_ga_makespan),
             fmt_value(reference.cma_makespan),
-            fmt_percent(delta_percent(reference.braun_ga_makespan, reference.cma_makespan)),
+            fmt_percent(delta_percent(
+                reference.braun_ga_makespan,
+                reference.cma_makespan,
+            )),
         ]);
     }
     table
@@ -151,7 +161,10 @@ pub fn table4(ctx: &Ctx) -> Table {
             fmt_percent(delta_percent(seed_flow, cma_flow)),
             fmt_value(reference.ljfr_sjfr_flowtime),
             fmt_value(reference.cma_flowtime),
-            fmt_percent(delta_percent(reference.ljfr_sjfr_flowtime, reference.cma_flowtime)),
+            fmt_percent(delta_percent(
+                reference.ljfr_sjfr_flowtime,
+                reference.cma_flowtime,
+            )),
         ]);
     }
     table
@@ -187,7 +200,10 @@ pub fn table5(ctx: &Ctx) -> Table {
             fmt_percent(delta_percent(struggle_flow, cma_flow)),
             fmt_value(reference.struggle_flowtime),
             fmt_value(reference.cma_flowtime),
-            fmt_percent(delta_percent(reference.struggle_flowtime, reference.cma_flowtime)),
+            fmt_percent(delta_percent(
+                reference.struggle_flowtime,
+                reference.cma_flowtime,
+            )),
         ]);
     }
     table

@@ -1,11 +1,14 @@
-//! Run orchestration: a uniform algorithm handle, parallel fan-out and
-//! summary statistics.
+//! Run orchestration: a uniform algorithm handle over the shared engine
+//! runtime, parallel fan-out and summary statistics.
 
-use cmags_cma::{CmaConfig, StopCondition, TracePoint};
+use std::time::Instant;
+
+use cmags_cma::{CmaConfig, CmaEngine, StopCondition, TracePoint};
+use cmags_core::engine::{Metaheuristic, Runner};
 use cmags_core::{evaluate, Problem};
 use cmags_ga::{
-    BraunGa, GeneticSimulatedAnnealing, PanmicticMa, SimulatedAnnealing, SteadyStateGa,
-    StruggleGa, TabuSearch,
+    BraunGa, GeneticSimulatedAnnealing, PanmicticMa, SimulatedAnnealing, SteadyStateGa, StruggleGa,
+    TabuSearch,
 };
 use cmags_heuristics::constructive::ConstructiveKind;
 use rand::rngs::SmallRng;
@@ -82,51 +85,80 @@ impl Algo {
         }
     }
 
-    /// Runs on `problem` with `seed`.
+    /// The configured stopping condition (`None` for the one-shot
+    /// constructive heuristics).
     #[must_use]
-    pub fn run(&self, problem: &Problem, seed: u64) -> RunResult {
+    pub fn stop_condition(&self) -> Option<StopCondition> {
         match self {
-            Algo::Cma(config) => {
-                let o = config.run(problem, seed);
-                RunResult {
-                    makespan: o.objectives.makespan,
-                    flowtime: o.objectives.flowtime,
-                    fitness: o.fitness,
-                    elapsed_s: o.elapsed.as_secs_f64(),
-                    trace: o.trace,
-                }
-            }
-            Algo::BraunGa(ga) => from_ga(ga.run(problem, seed)),
-            Algo::SteadyState(ga) => from_ga(ga.run(problem, seed)),
-            Algo::Struggle(ga) => from_ga(ga.run(problem, seed)),
-            Algo::Panmictic(ma) => from_ga(ma.run(problem, seed)),
-            Algo::Sa(sa) => from_ga(sa.run(problem, seed)),
-            Algo::Tabu(tabu) => from_ga(tabu.run(problem, seed)),
-            Algo::Gsa(gsa) => from_ga(gsa.run(problem, seed)),
-            Algo::Heuristic(kind) => {
-                let started = std::time::Instant::now();
-                let mut rng = SmallRng::seed_from_u64(seed);
-                let schedule = kind.build_seeded(problem, &mut rng);
-                let objectives = evaluate(problem, &schedule);
-                RunResult {
-                    makespan: objectives.makespan,
-                    flowtime: objectives.flowtime,
-                    fitness: problem.fitness(objectives),
-                    elapsed_s: started.elapsed().as_secs_f64(),
-                    trace: Vec::new(),
-                }
-            }
+            Algo::Cma(c) => Some(c.stop),
+            Algo::BraunGa(g) => Some(g.stop),
+            Algo::SteadyState(g) => Some(g.stop),
+            Algo::Struggle(g) => Some(g.stop),
+            Algo::Panmictic(g) => Some(g.stop),
+            Algo::Sa(s) => Some(s.stop),
+            Algo::Tabu(t) => Some(t.stop),
+            Algo::Gsa(g) => Some(g.stop),
+            Algo::Heuristic(_) => None,
         }
     }
-}
 
-fn from_ga(o: cmags_ga::GaOutcome) -> RunResult {
-    RunResult {
-        makespan: o.objectives.makespan,
-        flowtime: o.objectives.flowtime,
-        fitness: o.fitness,
-        elapsed_s: o.elapsed.as_secs_f64(),
-        trace: o.trace,
+    /// Builds the algorithm's step-driven engine on `problem` — every
+    /// metaheuristic in the workspace behind one trait object. Returns
+    /// `None` for the one-shot constructive heuristics, which have no
+    /// iterative state to drive.
+    #[must_use]
+    pub fn engine<'a>(
+        &'a self,
+        problem: &'a Problem,
+        seed: u64,
+    ) -> Option<Box<dyn Metaheuristic + 'a>> {
+        match self {
+            Algo::Cma(config) => Some(Box::new(CmaEngine::new(config, problem, seed))),
+            Algo::BraunGa(ga) => Some(Box::new(ga.engine(problem, seed))),
+            Algo::SteadyState(ga) => Some(Box::new(ga.engine(problem, seed))),
+            Algo::Struggle(ga) => Some(Box::new(ga.engine(problem, seed))),
+            Algo::Panmictic(ma) => Some(Box::new(ma.engine(problem, seed))),
+            Algo::Sa(sa) => Some(Box::new(sa.engine(problem, seed))),
+            Algo::Tabu(tabu) => Some(Box::new(tabu.engine(problem, seed))),
+            Algo::Gsa(gsa) => Some(Box::new(gsa.engine(problem, seed))),
+            Algo::Heuristic(_) => None,
+        }
+    }
+
+    /// Runs on `problem` with `seed`: every metaheuristic goes through
+    /// the shared [`Runner`]; constructive heuristics evaluate one-shot.
+    #[must_use]
+    pub fn run(&self, problem: &Problem, seed: u64) -> RunResult {
+        if let Algo::Heuristic(kind) = self {
+            let started = Instant::now();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let schedule = kind.build_seeded(problem, &mut rng);
+            let objectives = evaluate(problem, &schedule);
+            return RunResult {
+                makespan: objectives.makespan,
+                flowtime: objectives.flowtime,
+                fitness: problem.fitness(objectives),
+                elapsed_s: started.elapsed().as_secs_f64(),
+                trace: Vec::new(),
+            };
+        }
+
+        let start = Instant::now();
+        let stop = self
+            .stop_condition()
+            .expect("metaheuristics have a stop condition");
+        let mut engine = self
+            .engine(problem, seed)
+            .expect("metaheuristics have an engine");
+        let (stats, trace) = Runner::new(stop).run_traced_from(start, engine.as_mut());
+        let objectives = engine.best_objectives();
+        RunResult {
+            makespan: objectives.makespan,
+            flowtime: objectives.flowtime,
+            fitness: engine.best_fitness(),
+            elapsed_s: stats.elapsed.as_secs_f64(),
+            trace,
+        }
     }
 }
 
@@ -154,7 +186,11 @@ impl Summary {
         let best = values.iter().copied().fold(f64::INFINITY, f64::min);
         let mean = values.iter().sum::<f64>() / n;
         let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
-        Self { best, mean, std: var.sqrt() }
+        Self {
+            best,
+            mean,
+            std: var.sqrt(),
+        }
     }
 
     /// `std / mean` in percent (the paper's §5.1 robustness metric).
@@ -170,7 +206,7 @@ impl Summary {
 
 /// Runs `f` over `items` on up to `threads` workers, preserving order.
 ///
-/// Block partitioning over crossbeam scoped threads; items must be
+/// Block partitioning over std scoped threads; items must be
 /// independent. Used to fan (instance × algorithm × seed) jobs out.
 pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
@@ -187,19 +223,17 @@ where
     let chunk = n.div_ceil(threads);
     // Pair each item with its destination slot, then split by chunks.
     let mut work: Vec<(T, &mut Option<R>)> = items.into_iter().zip(slots.iter_mut()).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         while !work.is_empty() {
-            let batch: Vec<(T, &mut Option<R>)> =
-                work.drain(..chunk.min(work.len())).collect();
+            let batch: Vec<(T, &mut Option<R>)> = work.drain(..chunk.min(work.len())).collect();
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (item, slot) in batch {
                     *slot = Some(f(item));
                 }
             });
         }
-    })
-    .expect("parallel_map worker panicked");
+    });
     slots.into_iter().map(|s| s.expect("slot filled")).collect()
 }
 
@@ -240,10 +274,22 @@ mod tests {
         let stop = StopCondition::children(60);
         let algos = vec![
             Algo::Cma(CmaConfig::paper()),
-            Algo::BraunGa(BraunGa { population_size: 12, ..BraunGa::default() }),
-            Algo::SteadyState(SteadyStateGa { population_size: 12, ..SteadyStateGa::default() }),
-            Algo::Struggle(StruggleGa { population_size: 12, ..StruggleGa::default() }),
-            Algo::Panmictic(PanmicticMa { population_size: 12, ..PanmicticMa::default() }),
+            Algo::BraunGa(BraunGa {
+                population_size: 12,
+                ..BraunGa::default()
+            }),
+            Algo::SteadyState(SteadyStateGa {
+                population_size: 12,
+                ..SteadyStateGa::default()
+            }),
+            Algo::Struggle(StruggleGa {
+                population_size: 12,
+                ..StruggleGa::default()
+            }),
+            Algo::Panmictic(PanmicticMa {
+                population_size: 12,
+                ..PanmicticMa::default()
+            }),
             Algo::Sa(SimulatedAnnealing::default()),
             Algo::Tabu(TabuSearch::default()),
             Algo::Gsa(GeneticSimulatedAnnealing {

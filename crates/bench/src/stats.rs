@@ -49,7 +49,10 @@ impl MannWhitney {
 /// Panics if either sample is empty or contains NaN.
 #[must_use]
 pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> MannWhitney {
-    assert!(!a.is_empty() && !b.is_empty(), "mann-whitney needs non-empty samples");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "mann-whitney needs non-empty samples"
+    );
     assert!(
         a.iter().chain(b).all(|v| !v.is_nan()),
         "mann-whitney samples must not contain NaN"
@@ -90,14 +93,26 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> MannWhitney {
     let variance = na * nb / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
     if variance <= 0.0 {
         // Every observation tied: no evidence of any difference.
-        return MannWhitney { u: u_a, z: 0.0, p_two_sided: 1.0 };
+        return MannWhitney {
+            u: u_a,
+            z: 0.0,
+            p_two_sided: 1.0,
+        };
     }
     // Continuity correction toward the mean.
     let diff = u_a - mean_u;
     let corrected = diff.abs() - 0.5;
-    let z = if corrected <= 0.0 { 0.0 } else { corrected / variance.sqrt() * diff.signum() };
+    let z = if corrected <= 0.0 {
+        0.0
+    } else {
+        corrected / variance.sqrt() * diff.signum()
+    };
     let p = (2.0 * normal_sf(z.abs())).min(1.0);
-    MannWhitney { u: u_a, z, p_two_sided: p }
+    MannWhitney {
+        u: u_a,
+        z,
+        p_two_sided: p,
+    }
 }
 
 /// Vargha-Delaney Â₁₂: the probability that a random value of `a` is
@@ -109,7 +124,10 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> MannWhitney {
 /// Panics if either sample is empty.
 #[must_use]
 pub fn vargha_delaney_a12(a: &[f64], b: &[f64]) -> f64 {
-    assert!(!a.is_empty() && !b.is_empty(), "A12 needs non-empty samples");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "A12 needs non-empty samples"
+    );
     let mut favourable = 0.0f64;
     for &x in a {
         for &y in b {
@@ -153,7 +171,8 @@ fn erfc(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let erfc = poly * (-x * x).exp();
     if sign_flip {
         2.0 - erfc
@@ -184,7 +203,10 @@ mod tests {
         // Symmetric case.
         let r2 = mann_whitney_u(&b, &a);
         assert_eq!(r2.u, 12.0, "U_b = n_a * n_b - U_a");
-        assert!((r.p_two_sided - r2.p_two_sided).abs() < 1e-12, "two-sided is symmetric");
+        assert!(
+            (r.p_two_sided - r2.p_two_sided).abs() < 1e-12,
+            "two-sided is symmetric"
+        );
     }
 
     #[test]
@@ -219,7 +241,10 @@ mod tests {
         let b = [2.0, 2.0, 3.0, 4.0];
         let r_ab = mann_whitney_u(&a, &b);
         let r_ba = mann_whitney_u(&b, &a);
-        assert!((r_ab.u + r_ba.u - 16.0).abs() < 1e-12, "U_a + U_b = n_a·n_b");
+        assert!(
+            (r_ab.u + r_ba.u - 16.0).abs() < 1e-12,
+            "U_a + U_b = n_a·n_b"
+        );
         assert!(r_ab.p_two_sided > 0.0 && r_ab.p_two_sided <= 1.0);
     }
 

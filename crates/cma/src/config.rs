@@ -61,6 +61,12 @@ pub struct CmaConfig {
     pub add_only_if_better: bool,
     /// Asynchronous (paper) or synchronous (ablation) cell updating.
     pub update_policy: UpdatePolicy,
+    /// Worker threads generating each synchronous pass (ignored by the
+    /// asynchronous policy, which is inherently sequential). Synchronous
+    /// results are identical for every thread count — per-slot RNG
+    /// streams are split from the master seed — so this knob only trades
+    /// wall-clock time.
+    pub threads: usize,
     /// Stopping condition (the paper runs 90 s wall clock).
     pub stop: StopCondition,
 }
@@ -92,6 +98,7 @@ impl CmaConfig {
             ls_iterations: 5,
             add_only_if_better: true,
             update_policy: UpdatePolicy::Asynchronous,
+            threads: 1,
             stop: StopCondition::paper_time(),
         }
     }
@@ -151,7 +158,10 @@ impl CmaConfig {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn with_population(mut self, height: usize, width: usize) -> Self {
-        assert!(height > 0 && width > 0, "population dimensions must be positive");
+        assert!(
+            height > 0 && width > 0,
+            "population dimensions must be positive"
+        );
         self.pop_height = height;
         self.pop_width = width;
         self
@@ -169,6 +179,27 @@ impl CmaConfig {
     pub fn with_update_policy(mut self, policy: UpdatePolicy) -> Self {
         self.update_policy = policy;
         self
+    }
+
+    /// Replaces the synchronous-pass worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Synchronous updating across all available CPU cores — the fast
+    /// deterministic configuration for large meshes.
+    #[must_use]
+    pub fn parallel_sync(self) -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.with_update_policy(UpdatePolicy::Synchronous)
+            .with_threads(threads)
     }
 
     /// Replaces the crossover operator.
@@ -207,17 +238,27 @@ impl CmaConfig {
 
     /// Validates structural invariants; called by the engine.
     pub(crate) fn validate(&self) {
-        assert!(self.pop_height > 0 && self.pop_width > 0, "empty population grid");
+        assert!(
+            self.pop_height > 0 && self.pop_width > 0,
+            "empty population grid"
+        );
         assert!(
             self.nb_recombinations + self.nb_mutations > 0,
             "at least one operator application per iteration required"
         );
-        assert!(self.nb_to_recombine >= 2, "recombination needs at least two parents");
-        assert!(self.stop.is_bounded(), "unbounded run: configure a stopping condition");
+        assert!(
+            self.nb_to_recombine >= 2,
+            "recombination needs at least two parents"
+        );
+        assert!(
+            self.stop.is_bounded(),
+            "unbounded run: configure a stopping condition"
+        );
         assert!(
             (0.0..=1.0).contains(&self.perturb_strength),
             "perturbation strength must be within [0, 1]"
         );
+        assert!(self.threads > 0, "need at least one worker thread");
     }
 }
 
@@ -254,6 +295,7 @@ mod tests {
         assert_eq!(c.ls_iterations, 5);
         assert!(c.add_only_if_better);
         assert_eq!(c.update_policy, UpdatePolicy::Asynchronous);
+        assert_eq!(c.threads, 1, "the paper's engine is single-threaded");
         assert_eq!(c.stop.time_limit, Some(Duration::from_secs(90)));
     }
 

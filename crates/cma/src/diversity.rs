@@ -14,10 +14,9 @@
 //!   proxy for convergence.
 
 use cmags_core::Schedule;
-use serde::{Deserialize, Serialize};
 
 /// One per-iteration diversity sample recorded by the engine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiversityPoint {
     /// Outer iteration the sample was taken after.
     pub iteration: u64,
@@ -35,7 +34,10 @@ pub struct DiversityPoint {
 /// Panics if fewer than two schedules are given or lengths differ.
 #[must_use]
 pub fn mean_pairwise_distance(population: &[&Schedule]) -> f64 {
-    assert!(population.len() >= 2, "diversity needs at least two individuals");
+    assert!(
+        population.len() >= 2,
+        "diversity needs at least two individuals"
+    );
     let nb_jobs = population[0].nb_jobs();
     let mut total = 0usize;
     let mut pairs = 0usize;
@@ -102,7 +104,9 @@ mod tests {
     use super::*;
 
     fn schedules(rows: &[&[u32]]) -> Vec<Schedule> {
-        rows.iter().map(|r| Schedule::from_assignment(r.to_vec())).collect()
+        rows.iter()
+            .map(|r| Schedule::from_assignment(r.to_vec()))
+            .collect()
     }
 
     #[test]

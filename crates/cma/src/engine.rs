@@ -1,4 +1,5 @@
-//! The cMA engine — a faithful implementation of the paper's Algorithm 1.
+//! The cMA engine — the paper's Algorithm 1 on the shared engine
+//! runtime.
 //!
 //! ```text
 //! Initialize the mesh of n individuals P(t=0);
@@ -20,16 +21,38 @@
 //!     Update rec_order and mut_order;
 //! ```
 //!
+//! [`CmaEngine`] is a resumable state machine: each
+//! [`Metaheuristic::step`] generates and integrates **one child**, and
+//! the pass/iteration structure above is engine-internal bookkeeping.
+//! The budget, stop conditions and trace recording live in the shared
+//! [`cmags_core::engine::Runner`].
+//!
+//! ## Update policies and parallelism
+//!
+//! * [`UpdatePolicy::Asynchronous`] (the paper's choice) integrates each
+//!   child immediately — later cells in the same sweep see earlier
+//!   replacements. Inherently sequential; one shared RNG stream.
+//! * [`UpdatePolicy::Synchronous`] freezes the mesh for a whole operator
+//!   pass: every child of the pass is generated against the same
+//!   population snapshot into a double buffer committed at the pass
+//!   boundary (last writer per cell wins). Each pass slot draws from its
+//!   **own RNG stream** split deterministically from the master seed, so
+//!   the pass can be computed by any number of worker threads
+//!   ([`CmaConfig::threads`]) with bit-identical results — including
+//!   `threads == 1`.
+//!
 //! Two template details deserve a note (`DESIGN.md` §2): the paper's
-//! pseudo-code writes `Replace P[rec_order.current]` inside the *mutation*
-//! loop and advances `rec_order` there; we treat both as typos for
-//! `mut_order` — mutating cell X and replacing cell Y would make the
-//! mutation pass incoherent. And `SelectToRecombine` returns
-//! `nb_to_recombine` tournament winners, of which the **two fittest** feed
-//! the (binary) one-point recombination.
+//! pseudo-code writes `Replace P[rec_order.current]` inside the
+//! *mutation* loop and advances `rec_order` there; we treat both as
+//! typos for `mut_order` — mutating cell X and replacing cell Y would
+//! make the mutation pass incoherent. And `SelectToRecombine` returns
+//! `nb_to_recombine` tournament winners, of which the **two fittest**
+//! feed the (binary) one-point recombination.
 
-use std::time::{Duration, Instant};
+use std::collections::VecDeque;
+use std::time::Instant;
 
+use cmags_core::engine::{Metaheuristic, RunStats, Runner, TracePoint};
 use cmags_core::{EvalState, Objectives, Problem, Schedule};
 use cmags_heuristics::perturb;
 use rand::rngs::SmallRng;
@@ -38,7 +61,6 @@ use rand::SeedableRng;
 use crate::config::{CmaConfig, UpdatePolicy};
 use crate::diversity::{self, DiversityPoint};
 use crate::topology::Torus;
-use crate::trace::TracePoint;
 
 /// One cell of the population: a schedule with its evaluation caches.
 #[derive(Debug, Clone)]
@@ -57,7 +79,11 @@ impl Individual {
     pub fn new(problem: &Problem, schedule: Schedule) -> Self {
         let eval = EvalState::new(problem, &schedule);
         let fitness = eval.fitness(problem);
-        Self { schedule, eval, fitness }
+        Self {
+            schedule,
+            eval,
+            fitness,
+        }
     }
 
     /// Re-derives the cached fitness from the evaluator (after in-place
@@ -91,7 +117,7 @@ pub struct CmaOutcome {
     /// Local-search steps that improved an offspring.
     pub ls_improvements: u64,
     /// Wall-clock duration of the run.
-    pub elapsed: Duration,
+    pub elapsed: std::time::Duration,
     /// RNG seed of the run.
     pub seed: u64,
     /// Best-so-far samples (one per improvement + start and end).
@@ -102,221 +128,357 @@ pub struct CmaOutcome {
     pub diversity: Vec<DiversityPoint>,
 }
 
-/// Internal run state.
-struct Run<'a> {
+/// Which operator pass the engine is inside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Recombination,
+    Mutation,
+}
+
+/// A child generated ahead of integration (synchronous mode).
+struct PassChild {
+    cell: usize,
+    child: Individual,
+    ls_improvements: u64,
+}
+
+/// The cellular memetic algorithm as a step-driven [`Metaheuristic`].
+pub struct CmaEngine<'a> {
     problem: &'a Problem,
     config: &'a CmaConfig,
-    population: Vec<Individual>,
     torus: Torus,
     rng: SmallRng,
-    start: Instant,
     seed: u64,
+    population: Vec<Individual>,
+    rec_order: crate::sweep::SweepState,
+    mut_order: crate::sweep::SweepState,
+    phase: Phase,
+    /// Children integrated in the current pass.
+    pass_done: usize,
+    /// Double buffer of the synchronous policy.
+    pending: Vec<Option<Individual>>,
+    /// Remaining `(cell, stream seed)` slots of the current pass, drawn
+    /// up-front at the pass boundary (synchronous mode).
+    pass_queue: VecDeque<(usize, u64)>,
+    /// Children generated but not yet integrated (synchronous mode).
+    precomputed: VecDeque<PassChild>,
+    /// Per-slot RNG stream counter (synchronous mode) — advanced
+    /// identically whatever the thread count.
+    stream_counter: u64,
     iterations: u64,
     children: u64,
     accepted: u64,
     ls_improvements: u64,
     best: Individual,
-    trace: Vec<TracePoint>,
     diversity: Vec<DiversityPoint>,
-    /// Scratch buffers, reused across operator applications.
+    /// Scratch buffers of the asynchronous path.
     neighbors: Vec<usize>,
     parents: Vec<usize>,
-    /// Pending replacements for the synchronous ablation.
-    pending: Vec<Option<Individual>>,
 }
 
-/// Runs the configured cMA on `problem` with RNG `seed`.
-///
-/// # Panics
-///
-/// Panics on structurally invalid configurations (see
-/// [`CmaConfig::validate`]).
-#[must_use]
-pub fn run(config: &CmaConfig, problem: &Problem, seed: u64) -> CmaOutcome {
-    config.validate();
-    let start = Instant::now();
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let torus = Torus::new(config.pop_height, config.pop_width);
+impl<'a> CmaEngine<'a> {
+    /// Initialises the mesh: heuristic seed + large perturbations, every
+    /// individual improved by the configured local search (the template's
+    /// first three lines).
+    ///
+    /// # Panics
+    ///
+    /// Panics on structurally invalid configurations (see
+    /// [`CmaConfig::validate`]).
+    #[must_use]
+    pub fn new(config: &'a CmaConfig, problem: &'a Problem, seed: u64) -> Self {
+        config.validate();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let torus = Torus::new(config.pop_height, config.pop_width);
 
-    // --- Initialize the mesh of n individuals P(t=0). ---
-    // Individual 0 comes from the seeding heuristic; the rest are large
-    // perturbations of it (paper §3.2).
-    let seed_schedule = config.seeding.build_seeded(problem, &mut rng);
-    let mut population = Vec::with_capacity(torus.len());
-    population.push(Individual::new(problem, seed_schedule.clone()));
-    for _ in 1..torus.len() {
-        let perturbed = perturb(problem, &seed_schedule, config.perturb_strength, &mut rng);
-        population.push(Individual::new(problem, perturbed));
-    }
+        // --- Initialize the mesh of n individuals P(t=0). ---
+        // Individual 0 comes from the seeding heuristic; the rest are
+        // large perturbations of it (paper §3.2).
+        let seed_schedule = config.seeding.build_seeded(problem, &mut rng);
+        let mut population = Vec::with_capacity(torus.len());
+        population.push(Individual::new(problem, seed_schedule.clone()));
+        for _ in 1..torus.len() {
+            let perturbed = perturb(problem, &seed_schedule, config.perturb_strength, &mut rng);
+            population.push(Individual::new(problem, perturbed));
+        }
 
-    // --- For each i ∈ P, LocalSearch(i); Evaluate(P). ---
-    let mut ls_improvements = 0u64;
-    for individual in &mut population {
-        ls_improvements += config.local_search.run(
+        // --- For each i ∈ P, LocalSearch(i); Evaluate(P). ---
+        let mut ls_improvements = 0u64;
+        for individual in &mut population {
+            ls_improvements += config.local_search.run(
+                problem,
+                &mut individual.schedule,
+                &mut individual.eval,
+                &mut rng,
+                config.ls_iterations,
+            ) as u64;
+            individual.refresh_fitness(problem);
+        }
+        let best = best_of_population(&population).clone();
+
+        // --- Initialize permutations rec_order and mut_order. ---
+        let rec_order = crate::sweep::SweepState::new(config.rec_order, torus.len(), &mut rng);
+        let mut_order = crate::sweep::SweepState::new(config.mut_order, torus.len(), &mut rng);
+
+        let mut engine = Self {
             problem,
-            &mut individual.schedule,
-            &mut individual.eval,
-            &mut rng,
-            config.ls_iterations,
-        ) as u64;
-        individual.refresh_fitness(problem);
+            config,
+            torus,
+            rng,
+            seed,
+            pending: vec![None; population.len()],
+            pass_queue: VecDeque::new(),
+            precomputed: VecDeque::new(),
+            stream_counter: 0,
+            population,
+            rec_order,
+            mut_order,
+            phase: Phase::Recombination,
+            pass_done: 0,
+            iterations: 0,
+            children: 0,
+            accepted: 0,
+            ls_improvements,
+            best,
+            diversity: Vec::new(),
+            neighbors: Vec::new(),
+            parents: Vec::new(),
+        };
+        engine.sample_diversity();
+        engine.skip_empty_passes();
+        engine
     }
 
-    let best = best_of_population(&population).clone();
-    let mut run = Run {
-        problem,
-        config,
-        torus,
-        rng,
-        start,
-        seed,
-        iterations: 0,
-        children: 0,
-        accepted: 0,
-        ls_improvements,
-        trace: vec![TracePoint::new(
-            start.elapsed(),
-            0,
-            0,
-            best.eval.makespan(),
-            best.eval.flowtime(),
-            best.fitness,
-        )],
-        best,
-        diversity: Vec::new(),
-        neighbors: Vec::new(),
-        parents: Vec::new(),
-        pending: vec![None; population.len()],
-        population,
-    };
-    run.sample_diversity();
+    /// The RNG seed of this run.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
 
-    // --- Initialize permutations rec_order and mut_order. ---
-    let mut rec_order =
-        crate::sweep::SweepState::new(config.rec_order, run.torus.len(), &mut run.rng);
-    let mut mut_order =
-        crate::sweep::SweepState::new(config.mut_order, run.torus.len(), &mut run.rng);
+    /// Children that replaced their cell so far.
+    #[must_use]
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
 
-    // --- Main loop. ---
-    'outer: loop {
-        // Recombination pass.
-        for _ in 0..config.nb_recombinations {
-            if run.should_stop() {
-                break 'outer;
+    /// Consumes the engine into the classic outcome report.
+    #[must_use]
+    pub fn into_outcome(self, stats: RunStats, trace: Vec<TracePoint>) -> CmaOutcome {
+        CmaOutcome {
+            objectives: self.best.objectives(),
+            fitness: self.best.fitness,
+            schedule: self.best.schedule,
+            iterations: stats.iterations,
+            children: stats.children,
+            accepted: self.accepted,
+            ls_improvements: self.ls_improvements,
+            elapsed: stats.elapsed,
+            seed: self.seed,
+            trace,
+            diversity: self.diversity,
+        }
+    }
+
+    fn current_pass_len(&self) -> usize {
+        match self.phase {
+            Phase::Recombination => self.config.nb_recombinations,
+            Phase::Mutation => self.config.nb_mutations,
+        }
+    }
+
+    /// One asynchronous child: generated with the shared RNG against the
+    /// live population and integrated immediately.
+    fn step_async(&mut self) {
+        let (cell, child, improvements) = match self.phase {
+            Phase::Recombination => {
+                let cell = self.rec_order.next_cell(&mut self.rng);
+                let (child, improvements) = generate_recombination_child(
+                    self.problem,
+                    self.config,
+                    self.torus,
+                    &self.population,
+                    cell,
+                    &mut self.rng,
+                    &mut self.neighbors,
+                    &mut self.parents,
+                );
+                (cell, child, improvements)
             }
-            let cell = rec_order.next_cell(&mut run.rng);
-            run.recombination_step(cell);
-        }
-        run.commit_pending();
-
-        // Mutation pass.
-        for _ in 0..config.nb_mutations {
-            if run.should_stop() {
-                break 'outer;
+            Phase::Mutation => {
+                let cell = self.mut_order.next_cell(&mut self.rng);
+                let (child, improvements) = generate_mutation_child(
+                    self.problem,
+                    self.config,
+                    &self.population,
+                    cell,
+                    &mut self.rng,
+                );
+                (cell, child, improvements)
             }
-            let cell = mut_order.next_cell(&mut run.rng);
-            run.mutation_step(cell);
+        };
+        self.integrate(cell, child, improvements);
+        self.advance_pass();
+    }
+
+    /// One synchronous child: drawn from the precomputed batch and
+    /// buffered into the double buffer.
+    fn step_sync(&mut self) {
+        if self.precomputed.is_empty() {
+            if self.pass_queue.is_empty() {
+                self.draw_pass_schedule();
+            }
+            self.precompute_batch();
         }
-        run.commit_pending();
-
-        run.iterations += 1;
-        run.sample_diversity();
-        // ("Update rec_order and mut_order" happens inside SweepState at
-        // sweep boundaries.)
+        let PassChild {
+            cell,
+            child,
+            ls_improvements,
+        } = self
+            .precomputed
+            .pop_front()
+            .expect("batch is never empty here");
+        self.integrate(cell, child, ls_improvements);
+        self.advance_pass();
     }
 
-    run.finish()
-}
-
-impl Run<'_> {
-    fn should_stop(&self) -> bool {
-        self.config.stop.should_stop(
-            self.start.elapsed(),
-            self.iterations,
-            self.children,
-            self.best.fitness,
-        )
+    /// Draws the `(cell, stream seed)` schedule of the whole pass from
+    /// the master RNG / stream counter — the deterministic prefix of the
+    /// pass, independent of worker count and batch boundaries.
+    fn draw_pass_schedule(&mut self) {
+        debug_assert_eq!(self.pass_done, 0, "pass schedule drawn mid-pass");
+        let pass_len = self.current_pass_len();
+        let order = match self.phase {
+            Phase::Recombination => &mut self.rec_order,
+            Phase::Mutation => &mut self.mut_order,
+        };
+        self.pass_queue = (0..pass_len)
+            .map(|_| {
+                let cell = order.next_cell(&mut self.rng);
+                self.stream_counter += 1;
+                // SplitMix-style stream derivation: nearby counters yield
+                // unrelated SmallRng seed expansions.
+                let stream = self.seed ^ self.stream_counter.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                (cell, stream)
+            })
+            .collect();
     }
 
-    /// `SelectToRecombine S ⊆ N_P[cell]; i' = Recombine(S); LocalSearch;
-    /// Evaluate; Replace if better.`
-    fn recombination_step(&mut self, cell: usize) {
-        self.config.neighborhood.collect(self.torus, cell, &mut self.neighbors);
+    /// Generates the next worker-sized wave of pass children against the
+    /// frozen population, one thread per slot (sequential when
+    /// [`CmaConfig::threads`] is 1). Waves rather than whole passes keep
+    /// budget overshoot bounded by the worker count: the runner's stop
+    /// check runs between waves, so at most `threads - 1` generated
+    /// children are discarded on an early stop.
+    fn precompute_batch(&mut self) {
+        let wave = self.config.threads.clamp(1, self.pass_queue.len());
+        let slots: Vec<(usize, u64)> = self.pass_queue.drain(..wave).collect();
 
-        // nb_to_recombine tournament winners from the neighbourhood...
-        // (explicit field borrows keep population reads disjoint from the
-        // RNG and scratch buffers)
-        {
-            let population = &self.population;
-            let fitness = |i: usize| population[i].fitness;
-            self.config.selection.select_many(
-                &self.neighbors,
-                &fitness,
-                &mut self.rng,
-                self.config.nb_to_recombine,
-                &mut self.parents,
-            );
-        }
-        // ...of which the two fittest recombine.
-        let population = &self.population;
-        let (first, second) = two_fittest(&self.parents, &|i: usize| population[i].fitness);
-        let child_schedule = self.config.crossover.apply(
-            &self.population[first].schedule,
-            &self.population[second].schedule,
-            &mut self.rng,
-        );
+        let phase = self.phase;
+        let problem = self.problem;
+        let config = self.config;
+        let torus = self.torus;
+        let population: &[Individual] = &self.population;
+        let generate_slot = |&(cell, stream): &(usize, u64)| -> (Individual, u64) {
+            let mut rng = SmallRng::seed_from_u64(stream);
+            let mut neighbors = Vec::new();
+            let mut parents = Vec::new();
+            match phase {
+                Phase::Recombination => generate_recombination_child(
+                    problem,
+                    config,
+                    torus,
+                    population,
+                    cell,
+                    &mut rng,
+                    &mut neighbors,
+                    &mut parents,
+                ),
+                Phase::Mutation => {
+                    generate_mutation_child(problem, config, population, cell, &mut rng)
+                }
+            }
+        };
 
-        let mut child = Individual::new(self.problem, child_schedule);
-        self.improve(&mut child);
-        self.offer(cell, child);
+        let generated: Vec<(Individual, u64)> = if slots.len() == 1 {
+            vec![generate_slot(&slots[0])]
+        } else {
+            let mut results: Vec<Option<(Individual, u64)>> =
+                (0..slots.len()).map(|_| None).collect();
+            let generate_slot = &generate_slot;
+            std::thread::scope(|scope| {
+                for (slot, out) in slots.iter().zip(results.iter_mut()) {
+                    scope.spawn(move || *out = Some(generate_slot(slot)));
+                }
+            });
+            results
+                .into_iter()
+                .map(|r| r.expect("every slot generated"))
+                .collect()
+        };
+
+        self.precomputed = slots
+            .into_iter()
+            .zip(generated)
+            .map(|((cell, _), (child, ls_improvements))| PassChild {
+                cell,
+                child,
+                ls_improvements,
+            })
+            .collect();
     }
 
-    /// `i' = Mutate(P[cell]); LocalSearch; Evaluate; Replace if better.`
-    fn mutation_step(&mut self, cell: usize) {
-        let mut child = self.population[cell].clone();
-        self.config.mutation.apply(
-            self.problem,
-            &mut child.schedule,
-            &mut child.eval,
-            &mut self.rng,
-        );
-        child.refresh_fitness(self.problem);
-        self.improve(&mut child);
-        self.offer(cell, child);
-    }
-
-    /// Bounded local search + fitness refresh.
-    fn improve(&mut self, child: &mut Individual) {
-        self.ls_improvements += self.config.local_search.run(
-            self.problem,
-            &mut child.schedule,
-            &mut child.eval,
-            &mut self.rng,
-            self.config.ls_iterations,
-        ) as u64;
-        child.refresh_fitness(self.problem);
-    }
-
-    /// Replacement: strict improvement only (`add_only_if_better`), or
-    /// unconditional when the ablation flag clears it.
-    fn offer(&mut self, cell: usize, child: Individual) {
+    /// Counts the child and applies the replacement policy:
+    /// strict-improvement gating (`add_only_if_better`), immediate
+    /// replacement (asynchronous) or double buffering (synchronous; last
+    /// writer per cell wins within a pass).
+    fn integrate(&mut self, cell: usize, child: Individual, ls_improvements: u64) {
         self.children += 1;
+        self.ls_improvements += ls_improvements;
         let better = child.fitness < self.population[cell].fitness;
         if better || !self.config.add_only_if_better {
             if child.fitness < self.best.fitness {
                 self.best = child.clone();
-                self.record_trace_point();
             }
             match self.config.update_policy {
                 UpdatePolicy::Asynchronous => self.population[cell] = child,
-                UpdatePolicy::Synchronous => {
-                    // Last writer per cell wins within a pass.
-                    self.pending[cell] = Some(child);
-                }
+                UpdatePolicy::Synchronous => self.pending[cell] = Some(child),
             }
             if better {
                 self.accepted += 1;
             }
+        }
+    }
+
+    /// Pass/iteration bookkeeping after each integrated child.
+    fn advance_pass(&mut self) {
+        self.pass_done += 1;
+        if self.pass_done >= self.current_pass_len() {
+            self.end_pass();
+            self.skip_empty_passes();
+        }
+    }
+
+    /// Ends the current pass: commits the double buffer and rolls the
+    /// phase (a finished mutation pass completes one outer iteration).
+    fn end_pass(&mut self) {
+        self.commit_pending();
+        self.pass_done = 0;
+        match self.phase {
+            Phase::Recombination => self.phase = Phase::Mutation,
+            Phase::Mutation => {
+                self.phase = Phase::Recombination;
+                self.iterations += 1;
+                self.sample_diversity();
+            }
+        }
+    }
+
+    /// Rolls over passes of length zero (`nb_recombinations == 0` or
+    /// `nb_mutations == 0` ablations). Validation guarantees at least one
+    /// pass is non-empty, so this terminates.
+    fn skip_empty_passes(&mut self) {
+        while self.current_pass_len() == 0 {
+            self.end_pass();
         }
     }
 
@@ -337,8 +499,7 @@ impl Run<'_> {
         if self.problem.nb_machines() < 2 {
             return;
         }
-        let schedules: Vec<&cmags_core::Schedule> =
-            self.population.iter().map(|i| &i.schedule).collect();
+        let schedules: Vec<&Schedule> = self.population.iter().map(|i| &i.schedule).collect();
         let fitness: Vec<f64> = self.population.iter().map(|i| i.fitness).collect();
         self.diversity.push(DiversityPoint {
             iteration: self.iterations,
@@ -346,34 +507,118 @@ impl Run<'_> {
             fitness_spread: diversity::fitness_spread(&fitness),
         });
     }
+}
 
-    fn record_trace_point(&mut self) {
-        self.trace.push(TracePoint::new(
-            self.start.elapsed(),
-            self.iterations,
-            self.children,
-            self.best.eval.makespan(),
-            self.best.eval.flowtime(),
-            self.best.fitness,
-        ));
+impl Metaheuristic for CmaEngine<'_> {
+    fn name(&self) -> &'static str {
+        "cMA"
     }
 
-    fn finish(mut self) -> CmaOutcome {
-        self.record_trace_point();
-        CmaOutcome {
-            objectives: self.best.objectives(),
-            fitness: self.best.fitness,
-            schedule: self.best.schedule,
-            iterations: self.iterations,
-            children: self.children,
-            accepted: self.accepted,
-            ls_improvements: self.ls_improvements,
-            elapsed: self.start.elapsed(),
-            seed: self.seed,
-            trace: self.trace,
-            diversity: self.diversity,
+    fn step(&mut self) {
+        match self.config.update_policy {
+            UpdatePolicy::Asynchronous => self.step_async(),
+            UpdatePolicy::Synchronous => self.step_sync(),
         }
     }
+
+    fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    fn children(&self) -> u64 {
+        self.children
+    }
+
+    fn best_fitness(&self) -> f64 {
+        self.best.fitness
+    }
+
+    fn best_objectives(&self) -> Objectives {
+        self.best.objectives()
+    }
+}
+
+/// `SelectToRecombine S ⊆ N_P[cell]; i' = Recombine(S); LocalSearch;
+/// Evaluate.` Returns the child and its local-search improvement count.
+#[allow(clippy::too_many_arguments)]
+fn generate_recombination_child(
+    problem: &Problem,
+    config: &CmaConfig,
+    torus: Torus,
+    population: &[Individual],
+    cell: usize,
+    rng: &mut SmallRng,
+    neighbors: &mut Vec<usize>,
+    parents: &mut Vec<usize>,
+) -> (Individual, u64) {
+    config.neighborhood.collect(torus, cell, neighbors);
+
+    // nb_to_recombine tournament winners from the neighbourhood...
+    let fitness = |i: usize| population[i].fitness;
+    config
+        .selection
+        .select_many(neighbors, &fitness, rng, config.nb_to_recombine, parents);
+    // ...of which the two fittest recombine.
+    let (first, second) = two_fittest(parents, &fitness);
+    let child_schedule = config.crossover.apply(
+        &population[first].schedule,
+        &population[second].schedule,
+        rng,
+    );
+
+    let mut child = Individual::new(problem, child_schedule);
+    let improvements = improve(problem, config, &mut child, rng);
+    (child, improvements)
+}
+
+/// `i' = Mutate(P[cell]); LocalSearch; Evaluate.`
+fn generate_mutation_child(
+    problem: &Problem,
+    config: &CmaConfig,
+    population: &[Individual],
+    cell: usize,
+    rng: &mut SmallRng,
+) -> (Individual, u64) {
+    let mut child = population[cell].clone();
+    config
+        .mutation
+        .apply(problem, &mut child.schedule, &mut child.eval, rng);
+    child.refresh_fitness(problem);
+    let improvements = improve(problem, config, &mut child, rng);
+    (child, improvements)
+}
+
+/// Bounded local search + fitness refresh.
+fn improve(
+    problem: &Problem,
+    config: &CmaConfig,
+    child: &mut Individual,
+    rng: &mut SmallRng,
+) -> u64 {
+    let improvements = config.local_search.run(
+        problem,
+        &mut child.schedule,
+        &mut child.eval,
+        rng,
+        config.ls_iterations,
+    ) as u64;
+    child.refresh_fitness(problem);
+    improvements
+}
+
+/// Runs the configured cMA on `problem` with RNG `seed` through the
+/// shared [`Runner`].
+///
+/// # Panics
+///
+/// Panics on structurally invalid configurations (see
+/// [`CmaConfig::validate`]).
+#[must_use]
+pub fn run(config: &CmaConfig, problem: &Problem, seed: u64) -> CmaOutcome {
+    let start = Instant::now();
+    let mut engine = CmaEngine::new(config, problem, seed);
+    let (stats, trace) = Runner::new(config.stop).run_traced_from(start, &mut engine);
+    engine.into_outcome(stats, trace)
 }
 
 /// The fittest individual of a population slice.
@@ -439,8 +684,9 @@ mod tests {
         let p = problem();
         use cmags_heuristics::constructive::{Constructive, LjfrSjfr};
         let seed_fitness = Individual::new(&p, LjfrSjfr.build(&p)).fitness;
-        let outcome =
-            CmaConfig::paper().with_stop(StopCondition::iterations(10)).run(&p, 3);
+        let outcome = CmaConfig::paper()
+            .with_stop(StopCondition::iterations(10))
+            .run(&p, 3);
         assert!(
             outcome.fitness < seed_fitness,
             "cMA ({}) must improve on LJFR-SJFR ({seed_fitness})",
@@ -470,7 +716,9 @@ mod tests {
     #[test]
     fn children_budget_stops_early() {
         let p = problem();
-        let outcome = CmaConfig::paper().with_stop(StopCondition::children(10)).run(&p, 1);
+        let outcome = CmaConfig::paper()
+            .with_stop(StopCondition::children(10))
+            .run(&p, 1);
         assert_eq!(outcome.children, 10);
         assert_eq!(outcome.iterations, 0, "stopped mid-first-iteration");
     }
@@ -484,6 +732,33 @@ mod tests {
         assert!(outcome.accepted > 0);
         let fresh = cmags_core::evaluate(&p, &outcome.schedule);
         assert_eq!(outcome.objectives, fresh);
+    }
+
+    #[test]
+    fn synchronous_sweep_is_thread_count_independent() {
+        let p = problem();
+        let base = quick_config().with_update_policy(UpdatePolicy::Synchronous);
+        let sequential = base.clone().with_threads(1).run(&p, 21);
+        for threads in [2, 3, 8] {
+            let parallel = base.clone().with_threads(threads).run(&p, 21);
+            assert_eq!(sequential.schedule, parallel.schedule, "{threads} threads");
+            assert_eq!(sequential.objectives, parallel.objectives);
+            assert_eq!(sequential.children, parallel.children);
+            assert_eq!(sequential.accepted, parallel.accepted);
+            assert_eq!(sequential.ls_improvements, parallel.ls_improvements);
+        }
+    }
+
+    #[test]
+    fn synchronous_mid_pass_stop_keeps_children_exact() {
+        let p = problem();
+        let outcome = CmaConfig::paper()
+            .with_update_policy(UpdatePolicy::Synchronous)
+            .with_threads(4)
+            .with_stop(StopCondition::children(10))
+            .run(&p, 3);
+        assert_eq!(outcome.children, 10);
+        assert_eq!(outcome.iterations, 0);
     }
 
     #[test]
@@ -510,5 +785,22 @@ mod tests {
         let fitness = |i: usize| [5.0, 1.0, 3.0][i];
         assert_eq!(two_fittest(&[0, 1, 2], &fitness), (1, 2));
         assert_eq!(two_fittest(&[2, 2], &fitness), (2, 2));
+    }
+
+    #[test]
+    fn engine_exposes_trait_telemetry() {
+        let p = problem();
+        let config = quick_config();
+        let mut engine = CmaEngine::new(&config, &p, 5);
+        assert_eq!(engine.name(), "cMA");
+        assert_eq!(engine.children(), 0);
+        let before = engine.best_fitness();
+        for _ in 0..37 {
+            engine.step();
+        }
+        assert_eq!(engine.iterations(), 1);
+        assert_eq!(engine.children(), 37);
+        assert!(engine.best_fitness() <= before);
+        assert_eq!(engine.best_objectives(), engine.best.objectives());
     }
 }

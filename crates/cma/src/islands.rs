@@ -6,7 +6,7 @@
 //! the coarse-grained **island model**: several independent populations
 //! evolve in parallel and periodically exchange their best individuals
 //! along a ring. This module runs one cMA per island on its own thread,
-//! with migration implemented over crossbeam channels — no shared
+//! with migration implemented over bounded std mpsc channels — no shared
 //! mutable state, deterministic per (seed, topology) when budgets are
 //! deterministic.
 //!
@@ -15,10 +15,10 @@
 //! (non-blockingly) drains its inbox; each immigrant replaces the
 //! island's **worst** cell if the immigrant is strictly better.
 
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::time::Duration;
 
 use cmags_core::{Objectives, Problem, Schedule};
-use crossbeam::channel::{bounded, Receiver, Sender};
 
 use crate::{CmaConfig, Individual, StopCondition};
 
@@ -38,7 +38,11 @@ impl IslandConfig {
     /// migrating every 5 iterations.
     #[must_use]
     pub fn ring(islands: usize, stop: StopCondition) -> Self {
-        Self { island: CmaConfig::paper().with_stop(stop), islands, migration_interval: 5 }
+        Self {
+            island: CmaConfig::paper().with_stop(stop),
+            islands,
+            migration_interval: 5,
+        }
     }
 }
 
@@ -77,17 +81,20 @@ struct Migrant {
 #[must_use]
 pub fn run_islands(config: &IslandConfig, problem: &Problem, seed: u64) -> IslandOutcome {
     assert!(config.islands > 0, "need at least one island");
-    assert!(config.migration_interval > 0, "migration interval must be positive");
+    assert!(
+        config.migration_interval > 0,
+        "migration interval must be positive"
+    );
     config.island.validate();
 
     let n = config.islands;
     // Ring channels: island i sends to (i + 1) % n. Capacity bounds the
     // number of in-flight migrants; senders drop migrants when full
     // rather than block (migration is best-effort).
-    let mut senders: Vec<Option<Sender<Migrant>>> = Vec::with_capacity(n);
+    let mut senders: Vec<Option<SyncSender<Migrant>>> = Vec::with_capacity(n);
     let mut receivers: Vec<Option<Receiver<Migrant>>> = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = bounded::<Migrant>(16);
+        let (tx, rx) = sync_channel::<Migrant>(16);
         senders.push(Some(tx));
         receivers.push(Some(rx));
     }
@@ -99,13 +106,11 @@ pub fn run_islands(config: &IslandConfig, problem: &Problem, seed: u64) -> Islan
     }
 
     let mut results: Vec<Option<(Individual, f64, u64, Duration)>> = (0..n).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        for (island_id, (slot, inbox)) in
-            results.iter_mut().zip(inboxes).enumerate()
-        {
+    std::thread::scope(|scope| {
+        for (island_id, (slot, inbox)) in results.iter_mut().zip(inboxes).enumerate() {
             let outbox = senders[island_id].clone().expect("sender present");
             let config = config.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let started = std::time::Instant::now();
                 let outcome = run_one_island(
                     &config,
@@ -119,8 +124,7 @@ pub fn run_islands(config: &IslandConfig, problem: &Problem, seed: u64) -> Islan
         }
         // Drop the scope's copies so channels close when islands finish.
         drop(senders);
-    })
-    .expect("island thread panicked");
+    });
 
     let mut best: Option<(usize, Individual)> = None;
     let mut island_fitness = Vec::with_capacity(n);
@@ -160,7 +164,7 @@ fn run_one_island(
     config: &IslandConfig,
     problem: &Problem,
     seed: u64,
-    outbox: &Sender<Migrant>,
+    outbox: &SyncSender<Migrant>,
     inbox: &Receiver<Migrant>,
 ) -> (Individual, f64, u64) {
     let started = std::time::Instant::now();
@@ -173,7 +177,9 @@ fn run_one_island(
     let mut chunk_seed = seed;
 
     loop {
-        let remaining_iters = stop.max_iterations.map(|m| m.saturating_sub(iterations_done));
+        let remaining_iters = stop
+            .max_iterations
+            .map(|m| m.saturating_sub(iterations_done));
         let remaining_children = stop.max_children.map(|m| m.saturating_sub(children_done));
         let remaining_time = stop.time_limit.map(|t| t.saturating_sub(started.elapsed()));
         let exhausted = remaining_iters == Some(0)
@@ -205,7 +211,11 @@ fn run_one_island(
         // best-so-far and the immigrant pool, and the *effective* outcome
         // is the fittest of everything seen. Exploration continuity comes
         // from advancing the chunk seed deterministically.
-        let outcome = config.island.clone().with_stop(chunk_stop).run(problem, chunk_seed);
+        let outcome = config
+            .island
+            .clone()
+            .with_stop(chunk_stop)
+            .run(problem, chunk_seed);
         chunk_seed = chunk_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         iterations_done += outcome.iterations.max(1);
         children_done += outcome.children;
@@ -264,7 +274,10 @@ mod tests {
         let config = IslandConfig::ring(1, StopCondition::iterations(4));
         let outcome = run_islands(&config, &p, 1);
         assert_eq!(outcome.island_fitness.len(), 1);
-        assert_eq!(cmags_core::evaluate(&p, &outcome.schedule), outcome.objectives);
+        assert_eq!(
+            cmags_core::evaluate(&p, &outcome.schedule),
+            outcome.objectives
+        );
     }
 
     #[test]
@@ -284,7 +297,11 @@ mod tests {
         let p = problem();
         let config = IslandConfig::ring(3, StopCondition::iterations(3));
         let outcome = run_islands(&config, &p, 9);
-        let min = outcome.island_fitness.iter().copied().fold(f64::INFINITY, f64::min);
+        let min = outcome
+            .island_fitness
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
         assert!(outcome.fitness <= min + 1e-9);
     }
 

@@ -47,23 +47,32 @@ pub mod diversity;
 mod engine;
 pub mod islands;
 pub mod neighborhood;
-pub mod pareto;
 pub mod parallel;
+pub mod pareto;
 pub mod selection;
-pub mod stop;
 pub mod sweep;
 pub mod topology;
-pub mod trace;
 
+/// Stopping conditions — moved down into the shared engine runtime
+/// ([`cmags_core::engine::stop`]); re-exported here for compatibility.
+pub mod stop {
+    pub use cmags_core::engine::stop::*;
+}
+
+/// Convergence traces — moved down into the shared engine runtime
+/// ([`cmags_core::engine::trace`]); re-exported here for compatibility.
+pub mod trace {
+    pub use cmags_core::engine::trace::*;
+}
+
+pub use cmags_core::engine::{StopCondition, TracePoint};
 pub use config::{CmaConfig, UpdatePolicy};
 pub use diversity::DiversityPoint;
-pub use engine::{CmaOutcome, Individual};
+pub use engine::{CmaEngine, CmaOutcome, Individual};
 pub use islands::{run_islands, IslandConfig, IslandOutcome};
 pub use neighborhood::Neighborhood;
-pub use pareto::{ParetoArchive, ParetoPoint};
 pub use parallel::{best_of, run_independent};
+pub use pareto::{ParetoArchive, ParetoPoint};
 pub use selection::Selection;
-pub use stop::StopCondition;
 pub use sweep::{SweepOrder, SweepState};
 pub use topology::Torus;
-pub use trace::TracePoint;

@@ -1,14 +1,13 @@
 //! Parallel orchestration of independent cMA runs.
 //!
 //! The paper reports "the best makespan (out of 10 runs)"; those runs are
-//! embarrassingly parallel. This module fans independent seeds out over a
-//! bounded crossbeam scoped-thread pool. Each worker owns its RNG and its
-//! outcome slot, so no state is shared beyond the read-only problem and
-//! configuration — results are deterministic per seed regardless of the
-//! thread count (when the stop condition itself is deterministic).
+//! embarrassingly parallel. This module fans independent seeds out over
+//! scoped worker threads. Each worker owns its RNG and its outcome slot,
+//! so no state is shared beyond the read-only problem and configuration —
+//! results are deterministic per seed regardless of the thread count
+//! (when the stop condition itself is deterministic).
 
 use cmags_core::Problem;
-use crossbeam::thread;
 
 use crate::{CmaConfig, CmaOutcome};
 
@@ -32,7 +31,10 @@ pub fn run_independent(
     assert!(!seeds.is_empty(), "need at least one seed");
 
     if threads == 1 || seeds.len() == 1 {
-        return seeds.iter().map(|&seed| config.run(problem, seed)).collect();
+        return seeds
+            .iter()
+            .map(|&seed| config.run(problem, seed))
+            .collect();
     }
 
     let mut outcomes: Vec<Option<CmaOutcome>> = (0..seeds.len()).map(|_| None).collect();
@@ -40,18 +42,20 @@ pub fn run_independent(
     // worker. Run durations are near-identical (same budget), so dynamic
     // work stealing would buy nothing here.
     let chunk = seeds.len().div_ceil(threads);
-    thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (seed_chunk, out_chunk) in seeds.chunks(chunk).zip(outcomes.chunks_mut(chunk)) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (&seed, slot) in seed_chunk.iter().zip(out_chunk.iter_mut()) {
                     *slot = Some(config.run(problem, seed));
                 }
             });
         }
-    })
-    .expect("cMA worker thread panicked");
+    });
 
-    outcomes.into_iter().map(|o| o.expect("all slots filled")).collect()
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("all slots filled"))
+        .collect()
 }
 
 /// The outcome with the lowest fitness (ties: first in seed order).
@@ -90,7 +94,11 @@ mod tests {
         let parallel = run_independent(&config(), &p, &seeds, 4);
         assert_eq!(sequential.len(), parallel.len());
         for (s, par) in sequential.iter().zip(&parallel) {
-            assert_eq!(s.schedule, par.schedule, "seed {} diverged across thread counts", s.seed);
+            assert_eq!(
+                s.schedule, par.schedule,
+                "seed {} diverged across thread counts",
+                s.seed
+            );
             assert_eq!(s.objectives, par.objectives);
         }
     }

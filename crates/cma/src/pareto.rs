@@ -17,12 +17,11 @@
 //! can reuse it.
 
 use cmags_core::{Objectives, Problem, Schedule};
-use serde::{Deserialize, Serialize};
 
 use crate::{CmaConfig, StopCondition};
 
 /// One non-dominated solution of the bi-objective problem.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParetoPoint {
     /// Makespan of the schedule.
     pub makespan: f64,
@@ -51,7 +50,7 @@ fn dominates(a: (f64, f64), b: (f64, f64)) -> bool {
 }
 
 /// A set of mutually non-dominated points, kept sorted by makespan.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ParetoArchive {
     points: Vec<ParetoPoint>,
 }
@@ -112,7 +111,9 @@ impl ParetoArchive {
                 }
             }
         }
-        self.points.windows(2).all(|w| w[0].makespan <= w[1].makespan)
+        self.points
+            .windows(2)
+            .all(|w| w[0].makespan <= w[1].makespan)
     }
 }
 
@@ -134,11 +135,12 @@ pub fn pareto_front(
     assert!(!lambdas.is_empty(), "need at least one lambda");
     let mut archive = ParetoArchive::new();
     for (i, &lambda) in lambdas.iter().enumerate() {
-        let problem = Problem::with_weights(
-            problem_template,
-            cmags_core::FitnessWeights::new(lambda),
-        );
-        let outcome = config.clone().with_stop(budget).run(&problem, base_seed + i as u64);
+        let problem =
+            Problem::with_weights(problem_template, cmags_core::FitnessWeights::new(lambda));
+        let outcome = config
+            .clone()
+            .with_stop(budget)
+            .run(&problem, base_seed + i as u64);
         archive.offer(ParetoPoint {
             makespan: outcome.objectives.makespan,
             flowtime: outcome.objectives.flowtime,
@@ -158,7 +160,12 @@ pub fn offer_schedule(
     lambda: f64,
 ) -> bool {
     let Objectives { makespan, flowtime } = cmags_core::evaluate(problem, &schedule);
-    archive.offer(ParetoPoint { makespan, flowtime, schedule, lambda })
+    archive.offer(ParetoPoint {
+        makespan,
+        flowtime,
+        schedule,
+        lambda,
+    })
 }
 
 #[cfg(test)]
@@ -180,7 +187,10 @@ mod tests {
         assert!(point(1.0, 1.0).dominates(&point(2.0, 2.0)));
         assert!(point(1.0, 2.0).dominates(&point(1.0, 3.0)));
         assert!(!point(1.0, 3.0).dominates(&point(2.0, 1.0)), "incomparable");
-        assert!(!point(1.0, 1.0).dominates(&point(1.0, 1.0)), "equal is not strict");
+        assert!(
+            !point(1.0, 1.0).dominates(&point(1.0, 1.0)),
+            "equal is not strict"
+        );
     }
 
     #[test]

@@ -65,7 +65,11 @@ impl SweepState {
                 order.shuffle(rng);
             }
         }
-        Self { kind, order, cursor: 0 }
+        Self {
+            kind,
+            order,
+            cursor: 0,
+        }
     }
 
     /// The sweep order kind.

@@ -1,0 +1,116 @@
+//! The shared engine runtime every metaheuristic in the workspace plugs
+//! into.
+//!
+//! Before this module existed, each algorithm crate (`cmags-cma`,
+//! `cmags-ga`, `cmags-mo`) carried its own run loop, stop-condition
+//! plumbing and best-so-far trace recording. The runtime factors that
+//! scaffolding out once:
+//!
+//! * [`Metaheuristic`] — the engine contract: a state machine advanced
+//!   one atomic [`Metaheuristic::step`] at a time (typically one
+//!   candidate generation), exposing its counters and best-so-far
+//!   telemetry;
+//! * [`Runner`] — owns the budget: evaluates the [`StopCondition`]
+//!   before every step (so children/iteration budgets are honoured
+//!   *exactly*, mid-generation included) and notifies observers;
+//! * [`Observer`] / [`TraceSink`] — pluggable run telemetry; the trace
+//!   sink records the best-so-far [`TracePoint`] series behind the
+//!   paper's Figs. 2–5;
+//! * [`StopCondition`] — combined wall-clock / iteration / children /
+//!   target-fitness bounds (formerly `cmags_cma::stop`, moved down so
+//!   every engine can share it without depending on the cMA crate).
+//!
+//! Because the runner advances engines through a uniform trait, harness
+//! code can race any set of engines under one budget, and run-loop
+//! improvements (new stop kinds, new observers, richer traces) land once
+//! and benefit every algorithm.
+//!
+//! ## Example
+//!
+//! A miniature engine that walks an integer toward zero:
+//!
+//! ```
+//! use cmags_core::engine::{Metaheuristic, Runner, StopCondition};
+//! use cmags_core::Objectives;
+//!
+//! struct Halver {
+//!     value: f64,
+//!     steps: u64,
+//! }
+//!
+//! impl Metaheuristic for Halver {
+//!     fn name(&self) -> &'static str {
+//!         "halver"
+//!     }
+//!     fn step(&mut self) {
+//!         self.value /= 2.0;
+//!         self.steps += 1;
+//!     }
+//!     fn iterations(&self) -> u64 {
+//!         self.steps
+//!     }
+//!     fn children(&self) -> u64 {
+//!         self.steps
+//!     }
+//!     fn best_fitness(&self) -> f64 {
+//!         self.value
+//!     }
+//!     fn best_objectives(&self) -> Objectives {
+//!         Objectives { makespan: self.value, flowtime: self.value }
+//!     }
+//! }
+//!
+//! let mut engine = Halver { value: 1024.0, steps: 0 };
+//! let (stats, trace) = Runner::new(StopCondition::children(4)).run_traced(&mut engine);
+//! assert_eq!(stats.children, 4);
+//! assert_eq!(engine.value, 64.0);
+//! assert_eq!(trace.len(), 2 + 4, "start + one improvement per step + finish");
+//! ```
+
+pub mod observer;
+pub mod runner;
+pub mod stop;
+pub mod trace;
+
+pub use observer::{Observer, Snapshot, TraceSink};
+pub use runner::{RunStats, Runner};
+pub use stop::StopCondition;
+pub use trace::TracePoint;
+
+use crate::Objectives;
+
+/// A step-driven metaheuristic engine.
+///
+/// Implementations are resumable state machines: construction performs
+/// initialisation (population seeding, initial local search, …) and every
+/// [`Metaheuristic::step`] performs one atomic unit of search — by
+/// convention the generation and integration of **one candidate
+/// solution**, so the [`Runner`] can honour children budgets exactly.
+///
+/// Engines own their RNG and define their own outer-iteration notion
+/// (cMA outer iterations, generational GA generations, steady-state
+/// steps, MO sweeps); the runner only reads the counters.
+pub trait Metaheuristic {
+    /// Human-readable engine name for reports and errors.
+    fn name(&self) -> &'static str;
+
+    /// Advances the engine by one atomic unit of work.
+    fn step(&mut self);
+
+    /// Engine-defined outer iterations completed so far.
+    fn iterations(&self) -> u64;
+
+    /// Candidate solutions generated so far.
+    fn children(&self) -> u64;
+
+    /// Best-so-far scalar, lower is better. Drives target-fitness stops
+    /// and improvement detection. Scalarised engines report their
+    /// weighted fitness; dominance-based engines report a front
+    /// indicator (negated hypervolume), so "improvement" means "the
+    /// front grew".
+    fn best_fitness(&self) -> f64;
+
+    /// Objectives of the best-so-far solution (for dominance-based
+    /// engines: the ideal point of the current front).
+    fn best_objectives(&self) -> Objectives;
+}

@@ -1,0 +1,122 @@
+//! Pluggable run telemetry.
+//!
+//! The [`Runner`](crate::engine::Runner) notifies observers at run
+//! start, on every best-so-far improvement and at run end. The built-in
+//! [`TraceSink`] turns those notifications into the best-so-far
+//! [`TracePoint`] series every outcome type ships; richer sinks (live
+//! dashboards, convergence loggers, early-warning monitors) implement
+//! the same trait without touching any engine.
+
+use std::time::Duration;
+
+use crate::engine::TracePoint;
+use crate::Objectives;
+
+/// One observation of a running engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Snapshot {
+    /// Wall-clock time since run start.
+    pub elapsed: Duration,
+    /// Engine-defined outer iterations completed.
+    pub iterations: u64,
+    /// Children generated.
+    pub children: u64,
+    /// Best-so-far scalar fitness (lower is better).
+    pub fitness: f64,
+    /// Best-so-far objectives.
+    pub objectives: Objectives,
+}
+
+/// A sink for run telemetry. All methods default to no-ops so sinks
+/// implement only what they need.
+pub trait Observer {
+    /// The run is initialised but no step has executed yet.
+    fn on_start(&mut self, snapshot: &Snapshot) {
+        let _ = snapshot;
+    }
+
+    /// The engine's best-so-far fitness just improved.
+    fn on_improvement(&mut self, snapshot: &Snapshot) {
+        let _ = snapshot;
+    }
+
+    /// The stop condition tripped; this is the final state.
+    fn on_finish(&mut self, snapshot: &Snapshot) {
+        let _ = snapshot;
+    }
+}
+
+/// Records the classic best-so-far trace: one point at start, one per
+/// improvement, one at the end (the shape the paper's convergence
+/// figures are drawn from).
+#[derive(Debug, Clone, Default)]
+pub struct TraceSink {
+    points: Vec<TracePoint>,
+}
+
+impl TraceSink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded trace.
+    #[must_use]
+    pub fn into_points(self) -> Vec<TracePoint> {
+        self.points
+    }
+
+    fn record(&mut self, snapshot: &Snapshot) {
+        self.points.push(TracePoint::new(
+            snapshot.elapsed,
+            snapshot.iterations,
+            snapshot.children,
+            snapshot.objectives.makespan,
+            snapshot.objectives.flowtime,
+            snapshot.fitness,
+        ));
+    }
+}
+
+impl Observer for TraceSink {
+    fn on_start(&mut self, snapshot: &Snapshot) {
+        self.record(snapshot);
+    }
+
+    fn on_improvement(&mut self, snapshot: &Snapshot) {
+        self.record(snapshot);
+    }
+
+    fn on_finish(&mut self, snapshot: &Snapshot) {
+        self.record(snapshot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_sink_records_all_hooks() {
+        let snapshot = Snapshot {
+            elapsed: Duration::from_millis(5),
+            iterations: 1,
+            children: 2,
+            fitness: 3.0,
+            objectives: Objectives {
+                makespan: 4.0,
+                flowtime: 5.0,
+            },
+        };
+        let mut sink = TraceSink::new();
+        sink.on_start(&snapshot);
+        sink.on_improvement(&snapshot);
+        sink.on_finish(&snapshot);
+        let points = sink.into_points();
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].children, 2);
+        assert_eq!(points[0].makespan, 4.0);
+        assert_eq!(points[0].fitness, 3.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! The unified run loop.
+
+use std::time::{Duration, Instant};
+
+use crate::engine::observer::{Observer, Snapshot, TraceSink};
+use crate::engine::{Metaheuristic, StopCondition, TracePoint};
+
+/// Counters of one finished run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Engine-defined outer iterations completed.
+    pub iterations: u64,
+    /// Children generated.
+    pub children: u64,
+    /// Wall-clock duration (from the instant passed to
+    /// [`Runner::run_from`], i.e. including engine initialisation when
+    /// the caller timestamps before construction).
+    pub elapsed: Duration,
+}
+
+/// Drives any [`Metaheuristic`] under a [`StopCondition`], notifying
+/// observers of start, improvements and finish.
+///
+/// The condition is evaluated **before every step**, so deterministic
+/// budgets are exact: a `children(10)` budget yields exactly ten
+/// children even when an engine's own iteration spans dozens.
+#[derive(Debug, Clone, Copy)]
+pub struct Runner {
+    stop: StopCondition,
+}
+
+impl Runner {
+    /// Builds a runner with the given budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `stop` has no bound configured (the run would never
+    /// terminate).
+    #[must_use]
+    pub fn new(stop: StopCondition) -> Self {
+        assert!(
+            stop.is_bounded(),
+            "unbounded run: configure a stopping condition"
+        );
+        Self { stop }
+    }
+
+    /// The configured budget.
+    #[must_use]
+    pub fn stop_condition(&self) -> StopCondition {
+        self.stop
+    }
+
+    /// Runs `engine` to exhaustion of the budget, timing from now.
+    pub fn run(
+        &self,
+        engine: &mut dyn Metaheuristic,
+        observers: &mut [&mut dyn Observer],
+    ) -> RunStats {
+        self.run_from(Instant::now(), engine, observers)
+    }
+
+    /// Runs `engine`, measuring elapsed time from `start` — pass the
+    /// instant captured *before* engine construction so wall-clock
+    /// budgets and trace timestamps include initialisation (seeding,
+    /// initial local search), as the paper's 90 s protocol does.
+    pub fn run_from(
+        &self,
+        start: Instant,
+        engine: &mut dyn Metaheuristic,
+        observers: &mut [&mut dyn Observer],
+    ) -> RunStats {
+        let snapshot = |engine: &dyn Metaheuristic| Snapshot {
+            elapsed: start.elapsed(),
+            iterations: engine.iterations(),
+            children: engine.children(),
+            fitness: engine.best_fitness(),
+            objectives: engine.best_objectives(),
+        };
+
+        let mut best = engine.best_fitness();
+        let started = snapshot(engine);
+        for observer in observers.iter_mut() {
+            observer.on_start(&started);
+        }
+
+        while !self.stop.should_stop(
+            start.elapsed(),
+            engine.iterations(),
+            engine.children(),
+            engine.best_fitness(),
+        ) {
+            engine.step();
+            let fitness = engine.best_fitness();
+            if fitness < best {
+                best = fitness;
+                let improved = snapshot(engine);
+                for observer in observers.iter_mut() {
+                    observer.on_improvement(&improved);
+                }
+            }
+        }
+
+        let finished = snapshot(engine);
+        for observer in observers.iter_mut() {
+            observer.on_finish(&finished);
+        }
+        RunStats {
+            iterations: engine.iterations(),
+            children: engine.children(),
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Convenience: runs with a single [`TraceSink`] and returns the
+    /// recorded best-so-far trace alongside the stats.
+    pub fn run_traced(&self, engine: &mut dyn Metaheuristic) -> (RunStats, Vec<TracePoint>) {
+        self.run_traced_from(Instant::now(), engine)
+    }
+
+    /// [`Runner::run_traced`] with an explicit start instant (see
+    /// [`Runner::run_from`]).
+    pub fn run_traced_from(
+        &self,
+        start: Instant,
+        engine: &mut dyn Metaheuristic,
+    ) -> (RunStats, Vec<TracePoint>) {
+        let mut sink = TraceSink::new();
+        let stats = self.run_from(start, engine, &mut [&mut sink]);
+        (stats, sink.into_points())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Objectives;
+
+    /// Counts down from `value`; improves every other step.
+    struct Countdown {
+        value: u64,
+        steps: u64,
+    }
+
+    impl Metaheuristic for Countdown {
+        fn name(&self) -> &'static str {
+            "countdown"
+        }
+
+        fn step(&mut self) {
+            self.steps += 1;
+            if self.steps.is_multiple_of(2) {
+                self.value -= 1;
+            }
+        }
+
+        fn iterations(&self) -> u64 {
+            self.steps / 4
+        }
+
+        fn children(&self) -> u64 {
+            self.steps
+        }
+
+        fn best_fitness(&self) -> f64 {
+            self.value as f64
+        }
+
+        fn best_objectives(&self) -> Objectives {
+            Objectives {
+                makespan: self.value as f64,
+                flowtime: self.value as f64,
+            }
+        }
+    }
+
+    #[test]
+    fn children_budget_is_exact() {
+        let mut engine = Countdown {
+            value: 100,
+            steps: 0,
+        };
+        let stats = Runner::new(StopCondition::children(7)).run(&mut engine, &mut []);
+        assert_eq!(stats.children, 7);
+        assert_eq!(stats.iterations, 1);
+    }
+
+    #[test]
+    fn iteration_budget_counts_engine_iterations() {
+        let mut engine = Countdown {
+            value: 100,
+            steps: 0,
+        };
+        let stats = Runner::new(StopCondition::iterations(3)).run(&mut engine, &mut []);
+        assert_eq!(stats.iterations, 3);
+        assert_eq!(stats.children, 12, "4 steps per engine iteration");
+    }
+
+    #[test]
+    fn target_fitness_met_at_init_runs_zero_steps() {
+        let mut engine = Countdown { value: 5, steps: 0 };
+        let stats = Runner::new(StopCondition::iterations(100).and_target_fitness(10.0))
+            .run(&mut engine, &mut []);
+        assert_eq!(stats.children, 0);
+    }
+
+    #[test]
+    fn trace_has_start_improvements_finish() {
+        let mut engine = Countdown {
+            value: 100,
+            steps: 0,
+        };
+        let (stats, trace) = Runner::new(StopCondition::children(6)).run_traced(&mut engine);
+        assert_eq!(stats.children, 6);
+        // Start + improvements at steps 2, 4, 6 + finish.
+        assert_eq!(trace.len(), 5);
+        assert!(trace.windows(2).all(|w| w[1].fitness <= w[0].fitness));
+        assert!(trace.windows(2).all(|w| w[1].elapsed_ms >= w[0].elapsed_ms));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbounded run")]
+    fn unbounded_runner_rejected() {
+        let _ = Runner::new(StopCondition::default());
+    }
+}

@@ -27,7 +27,10 @@ impl StopCondition {
     /// Budget of wall-clock time only.
     #[must_use]
     pub fn time(limit: Duration) -> Self {
-        Self { time_limit: Some(limit), ..Self::default() }
+        Self {
+            time_limit: Some(limit),
+            ..Self::default()
+        }
     }
 
     /// The paper's 90-second budget.
@@ -39,13 +42,19 @@ impl StopCondition {
     /// Budget of outer iterations only (deterministic runs).
     #[must_use]
     pub fn iterations(n: u64) -> Self {
-        Self { max_iterations: Some(n), ..Self::default() }
+        Self {
+            max_iterations: Some(n),
+            ..Self::default()
+        }
     }
 
     /// Budget of generated children only (deterministic runs).
     #[must_use]
     pub fn children(n: u64) -> Self {
-        Self { max_children: Some(n), ..Self::default() }
+        Self {
+            max_children: Some(n),
+            ..Self::default()
+        }
     }
 
     /// Adds a wall-clock budget.
@@ -161,13 +170,22 @@ mod tests {
     #[test]
     fn bounds_combine_as_any() {
         let stop = StopCondition::iterations(100).and_time(Duration::from_secs(1));
-        assert!(stop.should_stop(Duration::from_secs(2), 1, 0, 0.0), "time trips first");
-        assert!(stop.should_stop(Duration::ZERO, 100, 0, 0.0), "iterations trip first");
+        assert!(
+            stop.should_stop(Duration::from_secs(2), 1, 0, 0.0),
+            "time trips first"
+        );
+        assert!(
+            stop.should_stop(Duration::ZERO, 100, 0, 0.0),
+            "iterations trip first"
+        );
     }
 
     #[test]
     fn paper_time_is_90s() {
-        assert_eq!(StopCondition::paper_time().time_limit, Some(Duration::from_secs(90)));
+        assert_eq!(
+            StopCondition::paper_time().time_limit,
+            Some(Duration::from_secs(90))
+        );
     }
 
     #[test]

@@ -2,10 +2,8 @@
 
 use std::time::Duration;
 
-use serde::{Deserialize, Serialize};
-
 /// One sample of the best-so-far solution during a run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TracePoint {
     /// Wall-clock time since run start, in milliseconds.
     pub elapsed_ms: f64,

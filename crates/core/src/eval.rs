@@ -29,7 +29,9 @@ impl Slot {
     /// with the job-order-insensitive flowtime value.
     #[inline]
     fn key_cmp(&self, other: &Slot) -> std::cmp::Ordering {
-        self.etc.total_cmp(&other.etc).then(self.job.cmp(&other.job))
+        self.etc
+            .total_cmp(&other.etc)
+            .then(self.job.cmp(&other.job))
     }
 }
 
@@ -47,7 +49,12 @@ struct MachineState {
 
 impl MachineState {
     fn new(ready: f64) -> Self {
-        Self { ready, slots: Vec::new(), completion: ready, flowtime: 0.0 }
+        Self {
+            ready,
+            slots: Vec::new(),
+            completion: ready,
+            flowtime: 0.0,
+        }
     }
 
     /// Recomputes `completion` and `flowtime` from the slot list.
@@ -65,7 +72,9 @@ impl MachineState {
     /// Position of `job` (with ETC `etc`) in the slot list.
     fn position_of(&self, job: JobId, etc: f64) -> usize {
         let probe = Slot { etc, job };
-        let idx = self.slots.partition_point(|s| s.key_cmp(&probe) == std::cmp::Ordering::Less);
+        let idx = self
+            .slots
+            .partition_point(|s| s.key_cmp(&probe) == std::cmp::Ordering::Less);
         debug_assert!(
             idx < self.slots.len() && self.slots[idx].job == job,
             "job {job} not found on its machine"
@@ -75,7 +84,9 @@ impl MachineState {
 
     fn insert(&mut self, job: JobId, etc: f64) {
         let probe = Slot { etc, job };
-        let idx = self.slots.partition_point(|s| s.key_cmp(&probe) == std::cmp::Ordering::Less);
+        let idx = self
+            .slots
+            .partition_point(|s| s.key_cmp(&probe) == std::cmp::Ordering::Less);
         self.slots.insert(idx, probe);
         self.rebuild();
     }
@@ -141,18 +152,24 @@ impl EvalState {
     #[must_use]
     pub fn new(problem: &Problem, schedule: &Schedule) -> Self {
         debug_assert_eq!(schedule.nb_jobs(), problem.nb_jobs());
-        let mut machines: Vec<MachineState> =
-            (0..problem.nb_machines()).map(|m| MachineState::new(problem.ready(m as u32))).collect();
+        let mut machines: Vec<MachineState> = (0..problem.nb_machines())
+            .map(|m| MachineState::new(problem.ready(m as u32)))
+            .collect();
         for (job, machine) in schedule.iter() {
-            machines[machine as usize]
-                .slots
-                .push(Slot { etc: problem.etc(job, machine), job });
+            machines[machine as usize].slots.push(Slot {
+                etc: problem.etc(job, machine),
+                job,
+            });
         }
         for machine in &mut machines {
             machine.slots.sort_by(Slot::key_cmp);
             machine.rebuild();
         }
-        let mut state = Self { machines, makespan: 0.0, flowtime: 0.0 };
+        let mut state = Self {
+            machines,
+            makespan: 0.0,
+            flowtime: 0.0,
+        };
         state.refresh_totals();
         state
     }
@@ -175,7 +192,10 @@ impl EvalState {
     #[inline]
     #[must_use]
     pub fn objectives(&self) -> Objectives {
-        Objectives { makespan: self.makespan, flowtime: self.flowtime }
+        Objectives {
+            makespan: self.makespan,
+            flowtime: self.flowtime,
+        }
     }
 
     /// Scalarised fitness under the problem's weights.
@@ -249,9 +269,21 @@ impl EvalState {
         }
         let (donor_completion, donor_flowtime) =
             self.machines[from as usize].simulate(Some(job), None);
-        let (rcpt_completion, rcpt_flowtime) = self.machines[to as usize]
-            .simulate(None, Some(Slot { etc: problem.etc(job, to), job }));
-        self.totals_with_two(from, donor_completion, donor_flowtime, to, rcpt_completion, rcpt_flowtime)
+        let (rcpt_completion, rcpt_flowtime) = self.machines[to as usize].simulate(
+            None,
+            Some(Slot {
+                etc: problem.etc(job, to),
+                job,
+            }),
+        );
+        self.totals_with_two(
+            from,
+            donor_completion,
+            donor_flowtime,
+            to,
+            rcpt_completion,
+            rcpt_flowtime,
+        )
     }
 
     /// Objectives the schedule would have after swapping the machines of
@@ -272,10 +304,20 @@ impl EvalState {
         if ma == mb {
             return self.objectives();
         }
-        let (ca, fa) = self.machines[ma as usize]
-            .simulate(Some(job_a), Some(Slot { etc: problem.etc(job_b, ma), job: job_b }));
-        let (cb, fb) = self.machines[mb as usize]
-            .simulate(Some(job_b), Some(Slot { etc: problem.etc(job_a, mb), job: job_a }));
+        let (ca, fa) = self.machines[ma as usize].simulate(
+            Some(job_a),
+            Some(Slot {
+                etc: problem.etc(job_b, ma),
+                job: job_b,
+            }),
+        );
+        let (cb, fb) = self.machines[mb as usize].simulate(
+            Some(job_b),
+            Some(Slot {
+                etc: problem.etc(job_a, mb),
+                job: job_a,
+            }),
+        );
         self.totals_with_two(ma, ca, fa, mb, cb, fb)
     }
 
@@ -330,7 +372,10 @@ impl EvalState {
         );
         for (m, machine) in self.machines.iter().enumerate() {
             assert!(
-                machine.slots.windows(2).all(|w| w[0].key_cmp(&w[1]) != std::cmp::Ordering::Greater),
+                machine
+                    .slots
+                    .windows(2)
+                    .all(|w| w[0].key_cmp(&w[1]) != std::cmp::Ordering::Greater),
                 "machine {m} slot order violated"
             );
         }

@@ -1,7 +1,5 @@
 //! Scalarisation of the two objectives (paper Eq. 3).
 
-use serde::{Deserialize, Serialize};
-
 use crate::Objectives;
 
 /// Weights of the scalarised bi-objective fitness
@@ -11,7 +9,7 @@ use crate::Objectives;
 /// weighting because raw flowtime has a higher order of magnitude than
 /// makespan (paper §2). λ = 0.75 is the value the authors fixed after
 /// tuning (Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FitnessWeights {
     lambda: f64,
 }
@@ -27,7 +25,10 @@ impl FitnessWeights {
     /// Panics if `lambda` is outside `[0, 1]` or not finite.
     #[must_use]
     pub fn new(lambda: f64) -> Self {
-        assert!(lambda.is_finite() && (0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
+        assert!(
+            lambda.is_finite() && (0.0..=1.0).contains(&lambda),
+            "lambda must be in [0, 1]"
+        );
         Self { lambda }
     }
 
@@ -62,7 +63,9 @@ impl FitnessWeights {
 impl Default for FitnessWeights {
     /// The paper's λ = 0.75.
     fn default() -> Self {
-        Self { lambda: Self::PAPER_LAMBDA }
+        Self {
+            lambda: Self::PAPER_LAMBDA,
+        }
     }
 }
 
@@ -77,14 +80,20 @@ mod tests {
 
     #[test]
     fn extremes_select_single_objectives() {
-        let obj = Objectives { makespan: 100.0, flowtime: 800.0 };
+        let obj = Objectives {
+            makespan: 100.0,
+            flowtime: 800.0,
+        };
         assert_eq!(FitnessWeights::makespan_only().fitness(obj, 4), 100.0);
         assert_eq!(FitnessWeights::flowtime_only().fitness(obj, 4), 200.0);
     }
 
     #[test]
     fn weighted_sum_matches_eq3() {
-        let obj = Objectives { makespan: 100.0, flowtime: 800.0 };
+        let obj = Objectives {
+            makespan: 100.0,
+            flowtime: 800.0,
+        };
         let f = FitnessWeights::new(0.75).fitness(obj, 4);
         assert!((f - (0.75 * 100.0 + 0.25 * 200.0)).abs() < 1e-12);
     }

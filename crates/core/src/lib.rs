@@ -46,12 +46,14 @@
 
 #![warn(missing_docs)]
 
+pub mod engine;
 mod eval;
 mod fitness;
 mod objectives;
 mod problem;
 mod schedule;
 
+pub use engine::{Metaheuristic, Observer, RunStats, Runner, StopCondition, TracePoint};
 pub use eval::EvalState;
 pub use fitness::FitnessWeights;
 pub use objectives::{evaluate, Objectives};

@@ -1,11 +1,9 @@
 //! Full (from-scratch) evaluation of the two objectives.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Problem, Schedule};
 
 /// The two objective values of a schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Objectives {
     /// Finishing time of the latest job: `max_m completion[m]`.
     pub makespan: f64,
@@ -131,7 +129,10 @@ mod tests {
 
     #[test]
     fn mean_flowtime_divides() {
-        let obj = Objectives { makespan: 1.0, flowtime: 30.0 };
+        let obj = Objectives {
+            makespan: 1.0,
+            flowtime: 30.0,
+        };
         assert_eq!(obj.mean_flowtime(3), 10.0);
     }
 

@@ -106,7 +106,10 @@ impl Problem {
     /// probes under varying λ without re-reading the instance.
     #[must_use]
     pub fn reweighted(&self, weights: FitnessWeights) -> Self {
-        Self { weights, ..self.clone() }
+        Self {
+            weights,
+            ..self.clone()
+        }
     }
 
     /// Scalarised fitness of a pair of objective values (Eq. 3).
@@ -127,10 +130,14 @@ impl Problem {
     /// ties break by job id.
     #[must_use]
     pub fn jobs_by_workload(&self) -> Vec<JobId> {
-        let means: Vec<f64> = (0..self.nb_jobs as JobId).map(|j| self.job_mean_etc(j)).collect();
+        let means: Vec<f64> = (0..self.nb_jobs as JobId)
+            .map(|j| self.job_mean_etc(j))
+            .collect();
         let mut order: Vec<JobId> = (0..self.nb_jobs as JobId).collect();
         order.sort_by(|&a, &b| {
-            means[a as usize].total_cmp(&means[b as usize]).then(a.cmp(&b))
+            means[a as usize]
+                .total_cmp(&means[b as usize])
+                .then(a.cmp(&b))
         });
         order
     }
@@ -148,7 +155,9 @@ impl Problem {
         }
         let mut order: Vec<MachineId> = (0..self.nb_machines as MachineId).collect();
         order.sort_by(|&a, &b| {
-            means[a as usize].total_cmp(&means[b as usize]).then(a.cmp(&b))
+            means[a as usize]
+                .total_cmp(&means[b as usize])
+                .then(a.cmp(&b))
         });
         order
     }
@@ -190,7 +199,10 @@ mod tests {
     #[test]
     fn fitness_uses_weights() {
         let p = problem();
-        let obj = Objectives { makespan: 10.0, flowtime: 40.0 };
+        let obj = Objectives {
+            makespan: 10.0,
+            flowtime: 40.0,
+        };
         // lambda 0.75: 0.75*10 + 0.25*(40/2) = 7.5 + 5 = 12.5
         assert!((p.fitness(obj) - 12.5).abs() < 1e-12);
     }
@@ -201,7 +213,10 @@ mod tests {
         let q = p.reweighted(FitnessWeights::new(0.25));
         assert_eq!(p.nb_jobs(), q.nb_jobs());
         assert_eq!(p.etc_row(1), q.etc_row(1));
-        let obj = Objectives { makespan: 10.0, flowtime: 40.0 };
+        let obj = Objectives {
+            makespan: 10.0,
+            flowtime: 40.0,
+        };
         // lambda 0.25: 0.25*10 + 0.75*(40/2) = 2.5 + 15 = 17.5
         assert!((q.fitness(obj) - 17.5).abs() < 1e-12);
         assert!((p.fitness(obj) - 12.5).abs() < 1e-12, "original untouched");

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Index of a job (row of the ETC matrix).
 pub type JobId = u32;
 /// Index of a machine (column of the ETC matrix).
@@ -16,7 +14,7 @@ pub type MachineId = u32;
 /// machine where job *j* is assigned". Any vector whose entries are valid
 /// machine indices is feasible; operators therefore never need repair
 /// steps.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Schedule {
     assignment: Vec<MachineId>,
 }
@@ -46,9 +44,16 @@ impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScheduleError::WrongLength { found, expected } => {
-                write!(f, "schedule has {found} entries, problem has {expected} jobs")
+                write!(
+                    f,
+                    "schedule has {found} entries, problem has {expected} jobs"
+                )
             }
-            ScheduleError::MachineOutOfRange { job, machine, nb_machines } => write!(
+            ScheduleError::MachineOutOfRange {
+                job,
+                machine,
+                nb_machines,
+            } => write!(
                 f,
                 "job {job} assigned to machine {machine}, but only {nb_machines} machines exist"
             ),
@@ -75,7 +80,10 @@ impl Schedule {
         nb_machines: usize,
     ) -> Result<Self, ScheduleError> {
         if assignment.len() != nb_jobs {
-            return Err(ScheduleError::WrongLength { found: assignment.len(), expected: nb_jobs });
+            return Err(ScheduleError::WrongLength {
+                found: assignment.len(),
+                expected: nb_jobs,
+            });
         }
         for (job, &machine) in assignment.iter().enumerate() {
             if machine as usize >= nb_machines {
@@ -92,7 +100,9 @@ impl Schedule {
     /// All jobs on one machine.
     #[must_use]
     pub fn uniform(nb_jobs: usize, machine: MachineId) -> Self {
-        Self { assignment: vec![machine; nb_jobs] }
+        Self {
+            assignment: vec![machine; nb_jobs],
+        }
     }
 
     /// Number of jobs.
@@ -129,13 +139,19 @@ impl Schedule {
 
     /// Iterates `(job, machine)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (JobId, MachineId)> + '_ {
-        self.assignment.iter().enumerate().map(|(j, &m)| (j as JobId, m))
+        self.assignment
+            .iter()
+            .enumerate()
+            .map(|(j, &m)| (j as JobId, m))
     }
 
     /// Jobs assigned to `machine`, in job order.
     #[must_use]
     pub fn jobs_on(&self, machine: MachineId) -> Vec<JobId> {
-        self.iter().filter(|&(_, m)| m == machine).map(|(j, _)| j).collect()
+        self.iter()
+            .filter(|&(_, m)| m == machine)
+            .map(|(j, _)| j)
+            .collect()
     }
 
     /// Number of positions on which two schedules differ (Hamming
@@ -147,7 +163,11 @@ impl Schedule {
     #[must_use]
     pub fn hamming_distance(&self, other: &Schedule) -> usize {
         assert_eq!(self.assignment.len(), other.assignment.len());
-        self.assignment.iter().zip(&other.assignment).filter(|(a, b)| a != b).count()
+        self.assignment
+            .iter()
+            .zip(&other.assignment)
+            .filter(|(a, b)| a != b)
+            .count()
     }
 
     /// Count of jobs per machine.
@@ -184,11 +204,18 @@ mod tests {
         assert!(Schedule::try_new(vec![0, 1], 2, 2).is_ok());
         assert_eq!(
             Schedule::try_new(vec![0], 2, 2).unwrap_err(),
-            ScheduleError::WrongLength { found: 1, expected: 2 }
+            ScheduleError::WrongLength {
+                found: 1,
+                expected: 2
+            }
         );
         assert_eq!(
             Schedule::try_new(vec![0, 5], 2, 2).unwrap_err(),
-            ScheduleError::MachineOutOfRange { job: 1, machine: 5, nb_machines: 2 }
+            ScheduleError::MachineOutOfRange {
+                job: 1,
+                machine: 5,
+                nb_machines: 2
+            }
         );
     }
 

@@ -15,7 +15,10 @@ fn problem_and_schedule() -> impl Strategy<Value = (Problem, Schedule)> {
         (etc, ready, assignment).prop_map(move |(etc, ready, assignment)| {
             let matrix = EtcMatrix::from_rows(jobs, machines, etc);
             let inst = GridInstance::with_ready_times("prop", matrix, ready);
-            (Problem::from_instance(&inst), Schedule::from_assignment(assignment))
+            (
+                Problem::from_instance(&inst),
+                Schedule::from_assignment(assignment),
+            )
         })
     })
 }

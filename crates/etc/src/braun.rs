@@ -90,7 +90,10 @@ pub fn generate(class: InstanceClass, stream: u64) -> GridInstance {
 /// (`u_{c,i,s}_{hihi,hilo,lohi,lolo}.index`).
 #[must_use]
 pub fn generate_suite(index: u32, stream: u64) -> Vec<GridInstance> {
-    InstanceClass::braun_suite(index).into_iter().map(|c| generate(c, stream)).collect()
+    InstanceClass::braun_suite(index)
+        .into_iter()
+        .map(|c| generate(c, stream))
+        .collect()
 }
 
 /// Generates an instance from explicit job workloads (millions of
@@ -105,13 +108,18 @@ pub fn generate_suite(index: u32, stream: u64) -> Vec<GridInstance> {
 /// or if either slice is empty.
 #[must_use]
 pub fn from_workloads(name: impl Into<String>, workloads: &[f64], mips: &[f64]) -> GridInstance {
-    assert!(!workloads.is_empty() && !mips.is_empty(), "need at least one job and machine");
     assert!(
-        workloads.iter().chain(mips).all(|&x| x.is_finite() && x > 0.0),
+        !workloads.is_empty() && !mips.is_empty(),
+        "need at least one job and machine"
+    );
+    assert!(
+        workloads
+            .iter()
+            .chain(mips)
+            .all(|&x| x.is_finite() && x > 0.0),
         "workloads and MIPS must be strictly positive and finite"
     );
-    let matrix =
-        EtcMatrix::from_fn(workloads.len(), mips.len(), |i, j| workloads[i] / mips[j]);
+    let matrix = EtcMatrix::from_fn(workloads.len(), mips.len(), |i, j| workloads[i] / mips[j]);
     GridInstance::new(name, matrix)
 }
 

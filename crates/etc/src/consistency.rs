@@ -12,8 +12,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 /// Consistency of an ETC matrix.
 ///
 /// A matrix is *consistent* when machine speed orderings agree across jobs:
@@ -21,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// job faster than `b`. *Inconsistent* matrices have no such structure, and
 /// *semi-consistent* matrices contain a consistent sub-matrix (in the Braun
 /// construction: the even-indexed columns).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Consistency {
     /// Machine orderings agree for every job (`c`).
     Consistent,
@@ -57,7 +55,7 @@ impl fmt::Display for Consistency {
 }
 
 /// Two-level heterogeneity (variance) of job workloads or machine speeds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Heterogeneity {
     /// High heterogeneity (`hi`).
     Hi,
@@ -91,7 +89,7 @@ impl fmt::Display for Heterogeneity {
 /// fixes 512 jobs × 16 machines; [`InstanceClass::with_dims`] scales the
 /// class to other sizes (used by the "larger grid instances" extension the
 /// paper lists as future work).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct InstanceClass {
     /// Consistency type (`x` in the label).
     pub consistency: Consistency,
@@ -134,7 +132,10 @@ impl InstanceClass {
     /// Returns the same class scaled to different dimensions.
     #[must_use]
     pub fn with_dims(mut self, nb_jobs: u32, nb_machines: u32) -> Self {
-        assert!(nb_jobs > 0 && nb_machines > 0, "dimensions must be positive");
+        assert!(
+            nb_jobs > 0 && nb_machines > 0,
+            "dimensions must be positive"
+        );
         self.nb_jobs = nb_jobs;
         self.nb_machines = nb_machines;
         self
@@ -186,7 +187,12 @@ impl InstanceClass {
             h ^= u64::from(b);
             h = h.wrapping_mul(FNV_PRIME);
         }
-        for b in self.nb_jobs.to_le_bytes().into_iter().chain(self.nb_machines.to_le_bytes()) {
+        for b in self
+            .nb_jobs
+            .to_le_bytes()
+            .into_iter()
+            .chain(self.nb_machines.to_le_bytes())
+        {
             h ^= u64::from(b);
             h = h.wrapping_mul(FNV_PRIME);
         }
@@ -209,7 +215,11 @@ pub struct ParseClassError {
 
 impl fmt::Display for ParseClassError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid instance label {:?}: {}", self.input, self.reason)
+        write!(
+            f,
+            "invalid instance label {:?}: {}",
+            self.input, self.reason
+        )
     }
 }
 
@@ -221,7 +231,10 @@ impl FromStr for InstanceClass {
     /// Parses labels of the form `u_x_yyzz.k` (the `.k` suffix is optional
     /// and defaults to 0).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let err = |reason| ParseClassError { input: s.to_owned(), reason };
+        let err = |reason| ParseClassError {
+            input: s.to_owned(),
+            reason,
+        };
         let (body, index) = match s.split_once('.') {
             Some((body, idx)) => {
                 let index: u32 = idx.parse().map_err(|_| err("index is not an integer"))?;
@@ -230,23 +243,31 @@ impl FromStr for InstanceClass {
             None => (s, 0),
         };
         let mut parts = body.split('_');
-        let dist = parts.next().ok_or_else(|| err("missing distribution field"))?;
+        let dist = parts
+            .next()
+            .ok_or_else(|| err("missing distribution field"))?;
         if dist != "u" {
             return Err(err("only the uniform (`u`) distribution is defined"));
         }
-        let cons = parts.next().ok_or_else(|| err("missing consistency field"))?;
+        let cons = parts
+            .next()
+            .ok_or_else(|| err("missing consistency field"))?;
         let consistency = match cons {
             "c" => Consistency::Consistent,
             "i" => Consistency::Inconsistent,
             "s" => Consistency::SemiConsistent,
             _ => return Err(err("consistency must be `c`, `i` or `s`")),
         };
-        let het = parts.next().ok_or_else(|| err("missing heterogeneity field"))?;
+        let het = parts
+            .next()
+            .ok_or_else(|| err("missing heterogeneity field"))?;
         if parts.next().is_some() {
             return Err(err("too many `_`-separated fields"));
         }
         if het.len() != 4 {
-            return Err(err("heterogeneity field must be 4 characters (e.g. `hilo`)"));
+            return Err(err(
+                "heterogeneity field must be 4 characters (e.g. `hilo`)",
+            ));
         }
         let parse_het = |code: &str| -> Result<Heterogeneity, ParseClassError> {
             match code {
@@ -277,9 +298,18 @@ mod tests {
     #[test]
     fn parses_all_paper_labels() {
         let labels = [
-            "u_c_hihi.0", "u_c_hilo.0", "u_c_lohi.0", "u_c_lolo.0",
-            "u_i_hihi.0", "u_i_hilo.0", "u_i_lohi.0", "u_i_lolo.0",
-            "u_s_hihi.0", "u_s_hilo.0", "u_s_lohi.0", "u_s_lolo.0",
+            "u_c_hihi.0",
+            "u_c_hilo.0",
+            "u_c_lohi.0",
+            "u_c_lolo.0",
+            "u_i_hihi.0",
+            "u_i_hilo.0",
+            "u_i_lohi.0",
+            "u_i_lolo.0",
+            "u_s_hihi.0",
+            "u_s_hilo.0",
+            "u_s_lohi.0",
+            "u_s_lolo.0",
         ];
         for label in labels {
             let class: InstanceClass = label.parse().unwrap();
@@ -301,10 +331,20 @@ mod tests {
     #[test]
     fn rejects_malformed_labels() {
         for bad in [
-            "", "u", "u_c", "u_q_hihi.0", "g_c_hihi.0", "u_c_hixx.0",
-            "u_c_hihi.x", "u_c_hihi_extra.0", "u_c_hi.0",
+            "",
+            "u",
+            "u_c",
+            "u_q_hihi.0",
+            "g_c_hihi.0",
+            "u_c_hixx.0",
+            "u_c_hihi.x",
+            "u_c_hihi_extra.0",
+            "u_c_hi.0",
         ] {
-            assert!(bad.parse::<InstanceClass>().is_err(), "{bad:?} should not parse");
+            assert!(
+                bad.parse::<InstanceClass>().is_err(),
+                "{bad:?} should not parse"
+            );
         }
     }
 
@@ -312,8 +352,7 @@ mod tests {
     fn suite_has_twelve_distinct_classes() {
         let suite = InstanceClass::braun_suite(0);
         assert_eq!(suite.len(), 12);
-        let labels: std::collections::HashSet<_> =
-            suite.iter().map(InstanceClass::label).collect();
+        let labels: std::collections::HashSet<_> = suite.iter().map(InstanceClass::label).collect();
         assert_eq!(labels.len(), 12);
     }
 

@@ -120,7 +120,10 @@ pub fn generate(class: InstanceClass, stream: u64) -> GridInstance {
 ///
 /// Panics on non-positive shape or scale.
 pub fn gamma(shape: f64, scale: f64, rng: &mut dyn RngCore) -> f64 {
-    assert!(shape > 0.0 && scale > 0.0, "gamma requires positive shape and scale");
+    assert!(
+        shape > 0.0 && scale > 0.0,
+        "gamma requires positive shape and scale"
+    );
     if shape < 1.0 {
         // Boost: draw at shape + 1 and scale back.
         let boost = rng.gen::<f64>().powf(1.0 / shape);
@@ -212,10 +215,19 @@ mod tests {
             row_cvs.push(cv);
         }
         let avg_row_cv = row_cvs.iter().sum::<f64>() / row_cvs.len() as f64;
-        assert!((avg_row_cv - 0.9).abs() < 0.15, "machine cv {avg_row_cv} should be ≈ 0.9");
+        assert!(
+            (avg_row_cv - 0.9).abs() < 0.15,
+            "machine cv {avg_row_cv} should be ≈ 0.9"
+        );
         let (baseline_mean, baseline_cv) = moments(&row_means);
-        assert!((baseline_mean / 1000.0 - 1.0).abs() < 0.25, "task mean {baseline_mean}");
-        assert!((baseline_cv - 0.9).abs() < 0.2, "task cv {baseline_cv} should be ≈ 0.9");
+        assert!(
+            (baseline_mean / 1000.0 - 1.0).abs() < 0.25,
+            "task mean {baseline_mean}"
+        );
+        assert!(
+            (baseline_cv - 0.9).abs() < 0.2,
+            "task cv {baseline_cv} should be ≈ 0.9"
+        );
     }
 
     #[test]
@@ -241,13 +253,19 @@ mod tests {
 
     #[test]
     fn consistency_post_processing_applies() {
-        assert!(generate(class("u_c_hihi.0").with_dims(64, 8), 0).etc().is_consistent());
+        assert!(generate(class("u_c_hihi.0").with_dims(64, 8), 0)
+            .etc()
+            .is_consistent());
         assert_eq!(
-            generate(class("u_s_hihi.0").with_dims(64, 8), 0).etc().classify(),
+            generate(class("u_s_hihi.0").with_dims(64, 8), 0)
+                .etc()
+                .classify(),
             Consistency::SemiConsistent
         );
         assert_eq!(
-            generate(class("u_i_hihi.0").with_dims(64, 8), 0).etc().classify(),
+            generate(class("u_i_hihi.0").with_dims(64, 8), 0)
+                .etc()
+                .classify(),
             Consistency::Inconsistent
         );
     }

@@ -1,7 +1,5 @@
 //! A complete scheduling instance: ETC matrix + machine ready times.
 
-use serde::{Deserialize, Serialize};
-
 use crate::EtcMatrix;
 
 /// A named scheduling instance.
@@ -10,7 +8,7 @@ use crate::EtcMatrix;
 /// (`ready[m]` — when machine `m` finishes the work assigned before this
 /// scheduling round; zero in the static benchmark) and a human-readable
 /// name. This is the unit every scheduler in the workspace consumes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GridInstance {
     name: String,
     etc: EtcMatrix,
@@ -23,7 +21,11 @@ impl GridInstance {
     #[must_use]
     pub fn new(name: impl Into<String>, etc: EtcMatrix) -> Self {
         let ready_times = vec![0.0; etc.nb_machines()];
-        Self { name: name.into(), etc, ready_times }
+        Self {
+            name: name.into(),
+            etc,
+            ready_times,
+        }
     }
 
     /// Creates an instance with explicit ready times.
@@ -47,7 +49,11 @@ impl GridInstance {
             ready_times.iter().all(|&r| r.is_finite() && r >= 0.0),
             "ready times must be finite and non-negative"
         );
-        Self { name: name.into(), etc, ready_times }
+        Self {
+            name: name.into(),
+            etc,
+            ready_times,
+        }
     }
 
     /// Instance name (conventionally the class label, e.g. `u_c_hihi.0`).

@@ -1,7 +1,5 @@
 //! Dense ETC matrix storage and consistency analysis.
 
-use serde::{Deserialize, Serialize};
-
 use crate::Consistency;
 
 /// A dense `nb_jobs × nb_machines` matrix of expected execution times.
@@ -12,7 +10,7 @@ use crate::Consistency;
 ///
 /// All entries must be strictly positive and finite; constructors enforce
 /// this so downstream evaluation code can skip the checks.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EtcMatrix {
     nb_jobs: usize,
     nb_machines: usize,
@@ -41,7 +39,11 @@ impl EtcMatrix {
             data.iter().all(|&x| x.is_finite() && x > 0.0),
             "ETC entries must be strictly positive and finite"
         );
-        Self { nb_jobs, nb_machines, data: data.into_boxed_slice() }
+        Self {
+            nb_jobs,
+            nb_machines,
+            data: data.into_boxed_slice(),
+        }
     }
 
     /// Builds a matrix by evaluating `f(job, machine)` for every cell.
@@ -140,7 +142,9 @@ impl EtcMatrix {
     /// Machine indices sorted from fastest (smallest mean ETC) to slowest.
     #[must_use]
     pub fn machines_by_speed(&self) -> Vec<usize> {
-        let means: Vec<f64> = (0..self.nb_machines).map(|m| self.machine_mean_etc(m)).collect();
+        let means: Vec<f64> = (0..self.nb_machines)
+            .map(|m| self.machine_mean_etc(m))
+            .collect();
         let mut order: Vec<usize> = (0..self.nb_machines).collect();
         order.sort_by(|&a, &b| means[a].total_cmp(&means[b]).then(a.cmp(&b)));
         order

@@ -90,9 +90,10 @@ pub fn parse_matrix(text: &str, dims: Option<(usize, usize)>) -> Result<EtcMatri
         }
         for token in line.split_whitespace() {
             position += 1;
-            let v: f64 = token
-                .parse()
-                .map_err(|_| ParseError::BadToken { position, token: token.to_owned() })?;
+            let v: f64 = token.parse().map_err(|_| ParseError::BadToken {
+                position,
+                token: token.to_owned(),
+            })?;
             values.push(v);
         }
     }
@@ -115,8 +116,7 @@ pub fn parse_matrix(text: &str, dims: Option<(usize, usize)>) -> Result<EtcMatri
             // remaining count.
             if values.len() >= 3 {
                 let (j, m) = (values[0], values[1]);
-                let integral =
-                    j.fract() == 0.0 && m.fract() == 0.0 && j >= 1.0 && m >= 1.0;
+                let integral = j.fract() == 0.0 && m.fract() == 0.0 && j >= 1.0 && m >= 1.0;
                 let (ju, mu) = (j as usize, m as usize);
                 if integral && values.len() == 2 + ju * mu {
                     (ju, mu, values[2..].to_vec())
@@ -132,7 +132,10 @@ pub fn parse_matrix(text: &str, dims: Option<(usize, usize)>) -> Result<EtcMatri
     // Validate positivity here so we can produce a parse error instead of
     // the EtcMatrix constructor panic.
     if let Some(pos) = data.iter().position(|&v| !(v.is_finite() && v > 0.0)) {
-        return Err(ParseError::BadToken { position: pos + 1, token: data[pos].to_string() });
+        return Err(ParseError::BadToken {
+            position: pos + 1,
+            token: data[pos].to_string(),
+        });
     }
     Ok(EtcMatrix::from_rows(nb_jobs, nb_machines, data))
 }
@@ -148,7 +151,10 @@ pub fn read_instance(
     let path = path.as_ref();
     let text = fs::read_to_string(path)?;
     let matrix = parse_matrix(&text, dims)?;
-    let name = path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
     Ok(GridInstance::new(name, matrix))
 }
 
@@ -228,7 +234,10 @@ mod tests {
 
     #[test]
     fn empty_input_is_missing_data() {
-        assert!(matches!(parse_matrix("  \n# nothing\n", None), Err(ParseError::MissingData)));
+        assert!(matches!(
+            parse_matrix("  \n# nothing\n", None),
+            Err(ParseError::MissingData)
+        ));
     }
 
     #[test]

@@ -4,12 +4,10 @@
 //! consistency structure their class advertises, and by the reporting
 //! harness to describe workloads.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Consistency, EtcMatrix};
 
 /// Summary statistics of an ETC matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MatrixStats {
     /// Smallest entry.
     pub min: f64,
@@ -122,7 +120,10 @@ mod tests {
     #[test]
     fn stats_identify_consistency() {
         let m = braun::generate_matrix("u_c_hihi.0".parse().unwrap(), 0);
-        assert_eq!(MatrixStats::compute(&m).consistency, Consistency::Consistent);
+        assert_eq!(
+            MatrixStats::compute(&m).consistency,
+            Consistency::Consistent
+        );
     }
 
     /// Empirical machine heterogeneity (within-row speed spread) must be

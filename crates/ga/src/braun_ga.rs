@@ -1,15 +1,19 @@
 //! The generational GA of Braun et al. (JPDC 2001), rebuilt from the
 //! description in §5.2.4 of that paper.
 
-use cmags_cma::StopCondition;
-use cmags_core::{FitnessWeights, Problem};
+use std::time::Instant;
+
+use cmags_cma::{Individual, StopCondition};
+use cmags_core::engine::Metaheuristic;
+use cmags_core::{FitnessWeights, Objectives, Problem};
 use cmags_heuristics::constructive::ConstructiveKind;
 use cmags_heuristics::ops::{mutate_move, Crossover};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::common::{
-    best_index, individual_with_weights, init_population, roulette_select, RunState,
+    best_index, individual_with_weights, init_population, roulette_select, run_to_outcome,
+    BaselineEngine,
 };
 use crate::GaOutcome;
 
@@ -66,7 +70,7 @@ impl BraunGa {
         self
     }
 
-    /// Runs the GA.
+    /// Runs the GA through the shared engine runtime.
     ///
     /// # Panics
     ///
@@ -74,48 +78,126 @@ impl BraunGa {
     /// smaller than two.
     #[must_use]
     pub fn run(&self, problem: &Problem, seed: u64) -> GaOutcome {
-        assert!(self.stop.is_bounded(), "unbounded run: configure a stopping condition");
-        assert!(self.population_size >= 2);
+        let start = Instant::now();
+        let engine = self.engine(problem, seed);
+        run_to_outcome(self.stop, start, engine, seed)
+    }
+
+    /// Builds the step-driven engine state (one child per step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is smaller than two.
+    #[must_use]
+    pub fn engine<'a>(&'a self, problem: &'a Problem, seed: u64) -> BraunGaEngine<'a> {
+        BraunGaEngine::new(self, problem, seed)
+    }
+}
+
+/// [`BraunGa`] as a step-driven [`Metaheuristic`]: each step breeds one
+/// child; a generation closes when `population_size - 1` children have
+/// been bred next to the unconditionally surviving elite.
+pub struct BraunGaEngine<'a> {
+    config: &'a BraunGa,
+    problem: &'a Problem,
+    rng: SmallRng,
+    population: Vec<Individual>,
+    /// The generation under construction (elite at index 0).
+    next: Vec<Individual>,
+    best: Individual,
+    generations: u64,
+    children: u64,
+}
+
+impl<'a> BraunGaEngine<'a> {
+    fn new(config: &'a BraunGa, problem: &'a Problem, seed: u64) -> Self {
+        assert!(
+            config.population_size >= 2,
+            "population needs at least two individuals"
+        );
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut population = init_population(
+        let population = init_population(
             problem,
-            self.population_size,
-            self.heuristic_seed,
-            self.weights,
+            config.population_size,
+            config.heuristic_seed,
+            config.weights,
             &mut rng,
         );
-        let mut state = RunState::new(seed, population[best_index(&population)].clone());
-
-        while !state.should_stop(&self.stop) {
-            // Elitism: the incumbent best survives unconditionally.
-            let elite = population[best_index(&population)].clone();
-            let mut next = Vec::with_capacity(self.population_size);
-            next.push(elite);
-
-            while next.len() < self.population_size {
-                let a = roulette_select(&population, &mut rng);
-                let b = roulette_select(&population, &mut rng);
-                let mut child_schedule = if rng.gen::<f64>() < self.crossover_rate {
-                    Crossover::OnePoint.apply(
-                        &population[a].schedule,
-                        &population[b].schedule,
-                        &mut rng,
-                    )
-                } else {
-                    population[a].schedule.clone()
-                };
-                if rng.gen::<f64>() < self.mutation_rate {
-                    let _ = mutate_move(problem, &mut child_schedule, &mut rng);
-                }
-                let child = individual_with_weights(problem, child_schedule, self.weights);
-                state.children += 1;
-                state.observe(&child);
-                next.push(child);
-            }
-            population = next;
-            state.generations += 1;
+        let best = population[best_index(&population)].clone();
+        Self {
+            config,
+            problem,
+            rng,
+            next: Vec::with_capacity(config.population_size),
+            population,
+            best,
+            generations: 0,
+            children: 0,
         }
-        state.finish()
+    }
+}
+
+impl Metaheuristic for BraunGaEngine<'_> {
+    fn name(&self) -> &'static str {
+        "Braun GA"
+    }
+
+    fn step(&mut self) {
+        if self.next.is_empty() {
+            // Elitism: the incumbent best survives unconditionally.
+            self.next
+                .push(self.population[best_index(&self.population)].clone());
+        }
+        let a = roulette_select(&self.population, &mut self.rng);
+        let b = roulette_select(&self.population, &mut self.rng);
+        let mut child_schedule = if self.rng.gen::<f64>() < self.config.crossover_rate {
+            Crossover::OnePoint.apply(
+                &self.population[a].schedule,
+                &self.population[b].schedule,
+                &mut self.rng,
+            )
+        } else {
+            self.population[a].schedule.clone()
+        };
+        if self.rng.gen::<f64>() < self.config.mutation_rate {
+            let _ = mutate_move(self.problem, &mut child_schedule, &mut self.rng);
+        }
+        let child = individual_with_weights(self.problem, child_schedule, self.config.weights);
+        self.children += 1;
+        if child.fitness < self.best.fitness {
+            self.best = child.clone();
+        }
+        self.next.push(child);
+
+        if self.next.len() == self.config.population_size {
+            self.population = std::mem::replace(
+                &mut self.next,
+                Vec::with_capacity(self.config.population_size),
+            );
+            self.generations += 1;
+        }
+    }
+
+    fn iterations(&self) -> u64 {
+        self.generations
+    }
+
+    fn children(&self) -> u64 {
+        self.children
+    }
+
+    fn best_fitness(&self) -> f64 {
+        self.best.fitness
+    }
+
+    fn best_objectives(&self) -> Objectives {
+        self.best.objectives()
+    }
+}
+
+impl BaselineEngine for BraunGaEngine<'_> {
+    fn into_best(self) -> Individual {
+        self.best
     }
 }
 
@@ -130,8 +212,11 @@ mod tests {
     }
 
     fn quick() -> BraunGa {
-        BraunGa { population_size: 20, ..BraunGa::default() }
-            .with_stop(StopCondition::iterations(10))
+        BraunGa {
+            population_size: 20,
+            ..BraunGa::default()
+        }
+        .with_stop(StopCondition::iterations(10))
     }
 
     #[test]

@@ -1,12 +1,21 @@
-//! Shared scaffolding of the baseline evolutionary algorithms.
+//! Shared scaffolding of the baseline metaheuristics.
+//!
+//! Every engine in this crate is a step-driven
+//! [`cmags_core::engine::Metaheuristic`]; the run loop, budget
+//! enforcement and trace recording live in the shared
+//! [`cmags_core::engine::Runner`]. This module provides the common
+//! outcome report, the facade gluing engine + runner together, and the
+//! population utilities (seeding, selection, replacement targets).
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-use cmags_cma::{Individual, StopCondition, TracePoint};
+use cmags_cma::Individual;
+use cmags_core::engine::{Metaheuristic, Runner, StopCondition, TracePoint};
 use cmags_core::{FitnessWeights, Objectives, Problem, Schedule};
-use cmags_heuristics::constructive::ConstructiveKind;
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore};
+
+use cmags_heuristics::constructive::ConstructiveKind;
 
 /// Result of one GA run, mirroring `cmags_cma::CmaOutcome` so harnesses
 /// can tabulate both uniformly.
@@ -23,76 +32,40 @@ pub struct GaOutcome {
     /// Children generated.
     pub children: u64,
     /// Wall-clock duration.
-    pub elapsed: Duration,
+    pub elapsed: std::time::Duration,
     /// RNG seed of the run.
     pub seed: u64,
     /// Best-so-far samples.
     pub trace: Vec<TracePoint>,
 }
 
-/// Book-keeping shared by all engines: best-so-far tracking, trace
-/// recording and stop-condition evaluation.
-pub(crate) struct RunState {
-    pub start: Instant,
-    pub seed: u64,
-    pub generations: u64,
-    pub children: u64,
-    pub best: Individual,
-    pub trace: Vec<TracePoint>,
+/// A baseline engine that can surrender its best individual at the end
+/// of a run (facade plumbing).
+pub(crate) trait BaselineEngine: Metaheuristic {
+    /// Consumes the engine, returning the best individual found.
+    fn into_best(self) -> Individual;
 }
 
-impl RunState {
-    pub fn new(seed: u64, best: Individual) -> Self {
-        let start = Instant::now();
-        let trace = vec![TracePoint::new(
-            start.elapsed(),
-            0,
-            0,
-            best.eval.makespan(),
-            best.eval.flowtime(),
-            best.fitness,
-        )];
-        Self { start, seed, generations: 0, children: 0, best, trace }
-    }
-
-    /// Offers a candidate for the best-so-far slot.
-    pub fn observe(&mut self, candidate: &Individual) {
-        if candidate.fitness < self.best.fitness {
-            self.best = candidate.clone();
-            self.trace.push(TracePoint::new(
-                self.start.elapsed(),
-                self.generations,
-                self.children,
-                self.best.eval.makespan(),
-                self.best.eval.flowtime(),
-                self.best.fitness,
-            ));
-        }
-    }
-
-    pub fn should_stop(&self, stop: &StopCondition) -> bool {
-        stop.should_stop(self.start.elapsed(), self.generations, self.children, self.best.fitness)
-    }
-
-    pub fn finish(mut self) -> GaOutcome {
-        self.trace.push(TracePoint::new(
-            self.start.elapsed(),
-            self.generations,
-            self.children,
-            self.best.eval.makespan(),
-            self.best.eval.flowtime(),
-            self.best.fitness,
-        ));
-        GaOutcome {
-            objectives: self.best.objectives(),
-            fitness: self.best.fitness,
-            schedule: self.best.schedule,
-            generations: self.generations,
-            children: self.children,
-            elapsed: self.start.elapsed(),
-            seed: self.seed,
-            trace: self.trace,
-        }
+/// Drives `engine` through the shared [`Runner`] and packages the
+/// classic outcome report. `start` should predate engine construction so
+/// wall-clock budgets include initialisation.
+pub(crate) fn run_to_outcome<E: BaselineEngine>(
+    stop: StopCondition,
+    start: Instant,
+    mut engine: E,
+    seed: u64,
+) -> GaOutcome {
+    let (stats, trace) = Runner::new(stop).run_traced_from(start, &mut engine);
+    let best = engine.into_best();
+    GaOutcome {
+        objectives: best.objectives(),
+        fitness: best.fitness,
+        schedule: best.schedule,
+        generations: stats.iterations,
+        children: stats.children,
+        elapsed: stats.elapsed,
+        seed,
+        trace,
     }
 }
 
@@ -137,8 +110,14 @@ pub(crate) fn init_population(
 /// individual selectable (κ = 10).
 pub(crate) fn roulette_select(population: &[Individual], rng: &mut dyn RngCore) -> usize {
     debug_assert!(!population.is_empty());
-    let worst = population.iter().map(|i| i.fitness).fold(f64::NEG_INFINITY, f64::max);
-    let best = population.iter().map(|i| i.fitness).fold(f64::INFINITY, f64::min);
+    let worst = population
+        .iter()
+        .map(|i| i.fitness)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let best = population
+        .iter()
+        .map(|i| i.fitness)
+        .fold(f64::INFINITY, f64::min);
     let span = worst - best;
     if span <= 0.0 {
         // Degenerate population: uniform choice.
@@ -217,7 +196,13 @@ mod tests {
 
     fn pop(problem: &Problem, seed: u64) -> Vec<Individual> {
         let mut rng = SmallRng::seed_from_u64(seed);
-        init_population(problem, 16, Some(ConstructiveKind::MinMin), FitnessWeights::default(), &mut rng)
+        init_population(
+            problem,
+            16,
+            Some(ConstructiveKind::MinMin),
+            FitnessWeights::default(),
+            &mut rng,
+        )
     }
 
     #[test]
@@ -258,8 +243,9 @@ mod tests {
     fn roulette_handles_uniform_population() {
         let p = problem();
         let schedule = Schedule::uniform(p.nb_jobs(), 0);
-        let population: Vec<Individual> =
-            (0..4).map(|_| Individual::new(&p, schedule.clone())).collect();
+        let population: Vec<Individual> = (0..4)
+            .map(|_| Individual::new(&p, schedule.clone()))
+            .collect();
         let mut rng = SmallRng::seed_from_u64(3);
         let pick = roulette_select(&population, &mut rng);
         assert!(pick < 4);
@@ -289,27 +275,10 @@ mod tests {
     }
 
     #[test]
-    fn run_state_tracks_best_and_traces() {
-        let p = problem();
-        let population = pop(&p, 7);
-        let worst = population[worst_index(&population)].clone();
-        let best = population[best_index(&population)].clone();
-        let mut state = RunState::new(9, worst);
-        let len_before = state.trace.len();
-        state.observe(&best);
-        assert_eq!(state.best.fitness, best.fitness);
-        assert_eq!(state.trace.len(), len_before + 1);
-        let outcome = state.finish();
-        assert_eq!(outcome.seed, 9);
-        assert_eq!(outcome.fitness, best.fitness);
-    }
-
-    #[test]
     fn individual_with_weights_uses_override() {
         let p = problem();
         let s = Schedule::uniform(p.nb_jobs(), 0);
-        let makespan_only =
-            individual_with_weights(&p, s.clone(), FitnessWeights::makespan_only());
+        let makespan_only = individual_with_weights(&p, s.clone(), FitnessWeights::makespan_only());
         let default = Individual::new(&p, s);
         assert_eq!(makespan_only.fitness, default.eval.makespan());
         assert_ne!(makespan_only.fitness, default.fitness);

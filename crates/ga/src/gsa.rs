@@ -10,14 +10,19 @@
 //! worse moves population-wide; late generations behave like a plain
 //! elitist GA.
 
-use cmags_cma::StopCondition;
-use cmags_core::{FitnessWeights, Problem};
+use std::time::Instant;
+
+use cmags_cma::{Individual, StopCondition};
+use cmags_core::engine::Metaheuristic;
+use cmags_core::{FitnessWeights, Objectives, Problem};
 use cmags_heuristics::constructive::ConstructiveKind;
 use cmags_heuristics::ops::{mutate_move, Crossover};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::common::{best_index, individual_with_weights, init_population, RunState};
+use crate::common::{
+    best_index, individual_with_weights, init_population, run_to_outcome, BaselineEngine,
+};
 use crate::GaOutcome;
 
 /// Braun et al.'s GSA: generational GA with per-individual threshold
@@ -70,7 +75,7 @@ impl GeneticSimulatedAnnealing {
         self
     }
 
-    /// Runs the GSA.
+    /// Runs the GSA through the shared engine runtime.
     ///
     /// # Panics
     ///
@@ -78,55 +83,139 @@ impl GeneticSimulatedAnnealing {
     /// smaller than two, or cooling is outside `(0, 1)`.
     #[must_use]
     pub fn run(&self, problem: &Problem, seed: u64) -> GaOutcome {
-        assert!(self.stop.is_bounded(), "unbounded run: configure a stopping condition");
-        assert!(self.population_size >= 2, "population needs at least two individuals");
-        assert!(self.cooling > 0.0 && self.cooling < 1.0, "cooling factor must lie in (0, 1)");
+        let start = Instant::now();
+        let engine = self.engine(problem, seed);
+        run_to_outcome(self.stop, start, engine, seed)
+    }
+
+    /// Builds the step-driven engine state (one bred slot per step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is smaller than two or cooling is
+    /// outside `(0, 1)`.
+    #[must_use]
+    pub fn engine<'a>(
+        &'a self,
+        problem: &'a Problem,
+        seed: u64,
+    ) -> GeneticSimulatedAnnealingEngine<'a> {
+        GeneticSimulatedAnnealingEngine::new(self, problem, seed)
+    }
+}
+
+/// [`GeneticSimulatedAnnealing`] as a step-driven [`Metaheuristic`]:
+/// each step breeds the offspring of one population slot and applies
+/// threshold acceptance; the temperature cools once per full sweep of
+/// the population (one generation).
+pub struct GeneticSimulatedAnnealingEngine<'a> {
+    config: &'a GeneticSimulatedAnnealing,
+    problem: &'a Problem,
+    rng: SmallRng,
+    population: Vec<Individual>,
+    best: Individual,
+    temperature: f64,
+    slot: usize,
+    generations: u64,
+    children: u64,
+}
+
+impl<'a> GeneticSimulatedAnnealingEngine<'a> {
+    fn new(config: &'a GeneticSimulatedAnnealing, problem: &'a Problem, seed: u64) -> Self {
+        assert!(
+            config.population_size >= 2,
+            "population needs at least two individuals"
+        );
+        assert!(
+            config.cooling > 0.0 && config.cooling < 1.0,
+            "cooling factor must lie in (0, 1)"
+        );
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut population = init_population(
+        let population = init_population(
             problem,
-            self.population_size,
-            self.heuristic_seed,
-            self.weights,
+            config.population_size,
+            config.heuristic_seed,
+            config.weights,
             &mut rng,
         );
-        let mut state = RunState::new(seed, population[best_index(&population)].clone());
-
+        let best = population[best_index(&population)].clone();
         // Braun: initial system temperature = average initial fitness
         // (their fitness is the makespan).
-        let mut temperature = population.iter().map(|i| i.fitness).sum::<f64>()
-            / population.len() as f64;
-
-        'outer: while !state.should_stop(&self.stop) {
-            // Breed one offspring per slot; threshold acceptance decides
-            // whether it replaces the incumbent of that slot.
-            for slot in 0..self.population_size {
-                if state.should_stop(&self.stop) {
-                    break 'outer;
-                }
-                let partner = rng.gen_range(0..self.population_size);
-                let mut child_schedule = if rng.gen::<f64>() < self.crossover_rate {
-                    Crossover::OnePoint.apply(
-                        &population[slot].schedule,
-                        &population[partner].schedule,
-                        &mut rng,
-                    )
-                } else {
-                    population[slot].schedule.clone()
-                };
-                if rng.gen::<f64>() < self.mutation_rate {
-                    let _ = mutate_move(problem, &mut child_schedule, &mut rng);
-                }
-                let child = individual_with_weights(problem, child_schedule, self.weights);
-                state.children += 1;
-                state.observe(&child);
-                if child.fitness < population[slot].fitness + temperature {
-                    population[slot] = child;
-                }
-            }
-            temperature *= self.cooling;
-            state.generations += 1;
+        let temperature =
+            population.iter().map(|i| i.fitness).sum::<f64>() / population.len() as f64;
+        Self {
+            config,
+            problem,
+            rng,
+            population,
+            best,
+            temperature,
+            slot: 0,
+            generations: 0,
+            children: 0,
         }
-        state.finish()
+    }
+}
+
+impl Metaheuristic for GeneticSimulatedAnnealingEngine<'_> {
+    fn name(&self) -> &'static str {
+        "GSA"
+    }
+
+    fn step(&mut self) {
+        // Breed one offspring for the current slot; threshold acceptance
+        // decides whether it replaces the incumbent of that slot.
+        let slot = self.slot;
+        let partner = self.rng.gen_range(0..self.config.population_size);
+        let mut child_schedule = if self.rng.gen::<f64>() < self.config.crossover_rate {
+            Crossover::OnePoint.apply(
+                &self.population[slot].schedule,
+                &self.population[partner].schedule,
+                &mut self.rng,
+            )
+        } else {
+            self.population[slot].schedule.clone()
+        };
+        if self.rng.gen::<f64>() < self.config.mutation_rate {
+            let _ = mutate_move(self.problem, &mut child_schedule, &mut self.rng);
+        }
+        let child = individual_with_weights(self.problem, child_schedule, self.config.weights);
+        self.children += 1;
+        if child.fitness < self.best.fitness {
+            self.best = child.clone();
+        }
+        if child.fitness < self.population[slot].fitness + self.temperature {
+            self.population[slot] = child;
+        }
+
+        self.slot += 1;
+        if self.slot == self.config.population_size {
+            self.slot = 0;
+            self.temperature *= self.config.cooling;
+            self.generations += 1;
+        }
+    }
+
+    fn iterations(&self) -> u64 {
+        self.generations
+    }
+
+    fn children(&self) -> u64 {
+        self.children
+    }
+
+    fn best_fitness(&self) -> f64 {
+        self.best.fitness
+    }
+
+    fn best_objectives(&self) -> Objectives {
+        self.best.objectives()
+    }
+}
+
+impl BaselineEngine for GeneticSimulatedAnnealingEngine<'_> {
+    fn into_best(self) -> Individual {
+        self.best
     }
 }
 

@@ -34,9 +34,13 @@
 //!   breeding with per-slot threshold acceptance under a cooling
 //!   temperature.
 //!
-//! All engines share the [`GaOutcome`] report, the deterministic seeding
-//! discipline and the `cmags-cma` stopping conditions, so comparisons run
-//! under identical budgets.
+//! All engines are step-driven [`cmags_core::engine::Metaheuristic`]
+//! state machines (each `Xxx::engine(problem, seed)` builds one) run
+//! through the shared [`cmags_core::engine::Runner`]: the budget, stop
+//! conditions and best-so-far trace recording are the same code for
+//! every algorithm in the workspace, so comparisons run under identical
+//! budgets and children counts are honoured exactly. [`GaOutcome`]
+//! mirrors `cmags_cma::CmaOutcome` for uniform tabulation.
 //!
 //! ## Example
 //!
@@ -64,11 +68,11 @@ mod steady_state;
 mod struggle;
 mod tabu;
 
-pub use braun_ga::BraunGa;
+pub use braun_ga::{BraunGa, BraunGaEngine};
 pub use common::GaOutcome;
-pub use gsa::GeneticSimulatedAnnealing;
-pub use panmictic_ma::PanmicticMa;
-pub use sa::SimulatedAnnealing;
-pub use steady_state::SteadyStateGa;
-pub use struggle::StruggleGa;
-pub use tabu::{TabuList, TabuSearch};
+pub use gsa::{GeneticSimulatedAnnealing, GeneticSimulatedAnnealingEngine};
+pub use panmictic_ma::{PanmicticMa, PanmicticMaEngine};
+pub use sa::{SimulatedAnnealing, SimulatedAnnealingEngine};
+pub use steady_state::{SteadyStateGa, SteadyStateGaEngine};
+pub use struggle::{StruggleGa, StruggleGaEngine};
+pub use tabu::{TabuList, TabuSearch, TabuSearchEngine};

@@ -1,7 +1,10 @@
 //! Unstructured (panmictic) memetic algorithm — ablation control.
 
-use cmags_cma::StopCondition;
-use cmags_core::{FitnessWeights, Problem};
+use std::time::Instant;
+
+use cmags_cma::{Individual, StopCondition};
+use cmags_core::engine::Metaheuristic;
+use cmags_core::{FitnessWeights, Objectives, Problem};
 use cmags_heuristics::constructive::ConstructiveKind;
 use cmags_heuristics::local_search::LocalSearchKind;
 use cmags_heuristics::ops::{Crossover, Mutation};
@@ -9,8 +12,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::common::{
-    best_index, individual_with_weights, init_population, tournament_select, worst_index,
-    RunState,
+    best_index, individual_with_weights, init_population, run_to_outcome, tournament_select,
+    worst_index, BaselineEngine,
 };
 use crate::GaOutcome;
 
@@ -66,7 +69,7 @@ impl PanmicticMa {
         self
     }
 
-    /// Runs the MA.
+    /// Runs the MA through the shared engine runtime.
     ///
     /// # Panics
     ///
@@ -74,65 +77,137 @@ impl PanmicticMa {
     /// smaller than two.
     #[must_use]
     pub fn run(&self, problem: &Problem, seed: u64) -> GaOutcome {
-        assert!(self.stop.is_bounded(), "unbounded run: configure a stopping condition");
-        assert!(self.population_size >= 2);
+        let start = Instant::now();
+        let engine = self.engine(problem, seed);
+        run_to_outcome(self.stop, start, engine, seed)
+    }
+
+    /// Builds the step-driven engine state (one memetic child per step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is smaller than two.
+    #[must_use]
+    pub fn engine<'a>(&'a self, problem: &'a Problem, seed: u64) -> PanmicticMaEngine<'a> {
+        PanmicticMaEngine::new(self, problem, seed)
+    }
+}
+
+/// [`PanmicticMa`] as a step-driven [`Metaheuristic`]: one bred,
+/// mutated, locally improved child and one replace-worst decision per
+/// step.
+pub struct PanmicticMaEngine<'a> {
+    config: &'a PanmicticMa,
+    problem: &'a Problem,
+    rng: SmallRng,
+    population: Vec<Individual>,
+    best: Individual,
+    steps: u64,
+}
+
+impl<'a> PanmicticMaEngine<'a> {
+    fn new(config: &'a PanmicticMa, problem: &'a Problem, seed: u64) -> Self {
+        assert!(
+            config.population_size >= 2,
+            "population needs at least two individuals"
+        );
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut population = init_population(
             problem,
-            self.population_size,
-            self.heuristic_seed,
-            self.weights,
+            config.population_size,
+            config.heuristic_seed,
+            config.weights,
             &mut rng,
         );
         // Initial local search pass, mirroring the cMA template.
         for individual in &mut population {
-            self.local_search.run(
+            config.local_search.run(
                 problem,
                 &mut individual.schedule,
                 &mut individual.eval,
                 &mut rng,
-                self.ls_iterations,
+                config.ls_iterations,
             );
-            individual.fitness =
-                self.weights.fitness(individual.objectives(), problem.nb_machines());
+            individual.fitness = config
+                .weights
+                .fitness(individual.objectives(), problem.nb_machines());
         }
-        let mut state = RunState::new(seed, population[best_index(&population)].clone());
+        let best = population[best_index(&population)].clone();
+        Self {
+            config,
+            problem,
+            rng,
+            population,
+            best,
+            steps: 0,
+        }
+    }
+}
 
-        while !state.should_stop(&self.stop) {
-            let a = tournament_select(&population, self.tournament, &mut rng);
-            let b = tournament_select(&population, self.tournament, &mut rng);
-            let child_schedule = Crossover::OnePoint.apply(
-                &population[a].schedule,
-                &population[b].schedule,
-                &mut rng,
-            );
-            let mut child = individual_with_weights(problem, child_schedule, self.weights);
-            if rng.gen::<f64>() < self.mutation_rate {
-                Mutation::Rebalance.apply(
-                    problem,
-                    &mut child.schedule,
-                    &mut child.eval,
-                    &mut rng,
-                );
-            }
-            self.local_search.run(
-                problem,
+impl Metaheuristic for PanmicticMaEngine<'_> {
+    fn name(&self) -> &'static str {
+        "Panmictic MA"
+    }
+
+    fn step(&mut self) {
+        let a = tournament_select(&self.population, self.config.tournament, &mut self.rng);
+        let b = tournament_select(&self.population, self.config.tournament, &mut self.rng);
+        let child_schedule = Crossover::OnePoint.apply(
+            &self.population[a].schedule,
+            &self.population[b].schedule,
+            &mut self.rng,
+        );
+        let mut child = individual_with_weights(self.problem, child_schedule, self.config.weights);
+        if self.rng.gen::<f64>() < self.config.mutation_rate {
+            Mutation::Rebalance.apply(
+                self.problem,
                 &mut child.schedule,
                 &mut child.eval,
-                &mut rng,
-                self.ls_iterations,
+                &mut self.rng,
             );
-            child.fitness = self.weights.fitness(child.objectives(), problem.nb_machines());
-            state.children += 1;
-            state.observe(&child);
-
-            let worst = worst_index(&population);
-            if child.fitness < population[worst].fitness {
-                population[worst] = child;
-            }
-            state.generations += 1;
         }
-        state.finish()
+        self.config.local_search.run(
+            self.problem,
+            &mut child.schedule,
+            &mut child.eval,
+            &mut self.rng,
+            self.config.ls_iterations,
+        );
+        child.fitness = self
+            .config
+            .weights
+            .fitness(child.objectives(), self.problem.nb_machines());
+        if child.fitness < self.best.fitness {
+            self.best = child.clone();
+        }
+
+        let worst = worst_index(&self.population);
+        if child.fitness < self.population[worst].fitness {
+            self.population[worst] = child;
+        }
+        self.steps += 1;
+    }
+
+    fn iterations(&self) -> u64 {
+        self.steps
+    }
+
+    fn children(&self) -> u64 {
+        self.steps
+    }
+
+    fn best_fitness(&self) -> f64 {
+        self.best.fitness
+    }
+
+    fn best_objectives(&self) -> Objectives {
+        self.best.objectives()
+    }
+}
+
+impl BaselineEngine for PanmicticMaEngine<'_> {
+    fn into_best(self) -> Individual {
+        self.best
     }
 }
 

@@ -20,13 +20,16 @@
 //! Braun's rule remains available through
 //! [`SimulatedAnnealing::initial_temperature`].
 
+use std::time::Instant;
+
 use cmags_cma::{Individual, StopCondition};
-use cmags_core::{JobId, MachineId, Problem};
+use cmags_core::engine::Metaheuristic;
+use cmags_core::{JobId, MachineId, Objectives, Problem};
 use cmags_heuristics::constructive::ConstructiveKind;
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
 
-use crate::common::{GaOutcome, RunState};
+use crate::common::{run_to_outcome, BaselineEngine, GaOutcome};
 
 /// Configuration of the Simulated Annealing baseline.
 #[derive(Debug, Clone)]
@@ -64,7 +67,7 @@ impl SimulatedAnnealing {
         self
     }
 
-    /// Runs the annealing chain on `problem` with RNG `seed`.
+    /// Runs the annealing chain through the shared engine runtime.
     ///
     /// # Panics
     ///
@@ -72,47 +75,125 @@ impl SimulatedAnnealing {
     /// `(0, 1)`, zero chain length, unbounded stop).
     #[must_use]
     pub fn run(&self, problem: &Problem, seed: u64) -> GaOutcome {
+        let start = Instant::now();
+        let engine = self.engine(problem, seed);
+        run_to_outcome(self.stop, start, engine, seed)
+    }
+
+    /// Builds the step-driven engine state (one proposal per step).
+    ///
+    /// # Panics
+    ///
+    /// Panics on cooling outside `(0, 1)` or a zero chain length.
+    #[must_use]
+    pub fn engine<'a>(&'a self, problem: &'a Problem, seed: u64) -> SimulatedAnnealingEngine<'a> {
+        SimulatedAnnealingEngine::new(self, problem, seed)
+    }
+}
+
+/// [`SimulatedAnnealing`] as a step-driven [`Metaheuristic`]: one
+/// Metropolis proposal per step; a "generation" is one temperature step.
+pub struct SimulatedAnnealingEngine<'a> {
+    config: &'a SimulatedAnnealing,
+    problem: &'a Problem,
+    rng: SmallRng,
+    current: Individual,
+    best: Individual,
+    temperature: f64,
+    floor: f64,
+    since_cooling: usize,
+    temperature_steps: u64,
+    children: u64,
+}
+
+impl<'a> SimulatedAnnealingEngine<'a> {
+    fn new(config: &'a SimulatedAnnealing, problem: &'a Problem, seed: u64) -> Self {
         assert!(
-            self.cooling > 0.0 && self.cooling < 1.0,
+            config.cooling > 0.0 && config.cooling < 1.0,
             "cooling factor must lie in (0, 1)"
         );
-        assert!(self.moves_per_temperature > 0, "chain length must be positive");
-        assert!(self.stop.is_bounded(), "unbounded run: configure a stopping condition");
+        assert!(
+            config.moves_per_temperature > 0,
+            "chain length must be positive"
+        );
 
         let mut rng = SmallRng::seed_from_u64(seed);
-        let current_schedule = self.seeding.build_seeded(problem, &mut rng);
-        let mut current = Individual::new(problem, current_schedule);
-        let mut state = RunState::new(seed, current.clone());
-
-        let t0 = self
+        let current_schedule = config.seeding.build_seeded(problem, &mut rng);
+        let current = Individual::new(problem, current_schedule);
+        // Warm-up calibration peeks do not count toward the children
+        // budget: they happen before the runner takes over.
+        let t0 = config
             .initial_temperature
             .unwrap_or_else(|| calibrate_temperature(problem, &current, &mut rng))
             .max(f64::MIN_POSITIVE);
-        let floor = t0 * self.min_temperature_ratio;
-        let mut temperature = t0;
-        let mut since_cooling = 0usize;
+        Self {
+            config,
+            problem,
+            rng,
+            best: current.clone(),
+            current,
+            temperature: t0,
+            floor: t0 * config.min_temperature_ratio,
+            since_cooling: 0,
+            temperature_steps: 0,
+            children: 0,
+        }
+    }
+}
 
-        while !state.should_stop(&self.stop) {
-            if let Some((job, target)) = propose_move(problem, &current, &mut rng) {
-                let peeked = current.eval.peek_move(problem, &current.schedule, job, target);
-                let candidate_fitness = problem.fitness(peeked);
-                let delta = candidate_fitness - current.fitness;
-                if metropolis_accept(delta, temperature, &mut rng) {
-                    current.eval.apply_move(problem, &mut current.schedule, job, target);
-                    current.fitness = candidate_fitness;
-                    state.observe(&current);
+impl Metaheuristic for SimulatedAnnealingEngine<'_> {
+    fn name(&self) -> &'static str {
+        "SA"
+    }
+
+    fn step(&mut self) {
+        if let Some((job, target)) = propose_move(self.problem, &self.current, &mut self.rng) {
+            let peeked =
+                self.current
+                    .eval
+                    .peek_move(self.problem, &self.current.schedule, job, target);
+            let candidate_fitness = self.problem.fitness(peeked);
+            let delta = candidate_fitness - self.current.fitness;
+            if metropolis_accept(delta, self.temperature, &mut self.rng) {
+                self.current
+                    .eval
+                    .apply_move(self.problem, &mut self.current.schedule, job, target);
+                self.current.fitness = candidate_fitness;
+                if self.current.fitness < self.best.fitness {
+                    self.best = self.current.clone();
                 }
             }
-            state.children += 1;
-
-            since_cooling += 1;
-            if since_cooling == self.moves_per_temperature {
-                since_cooling = 0;
-                temperature = (temperature * self.cooling).max(floor);
-                state.generations += 1; // one generation = one temperature step
-            }
         }
-        state.finish()
+        self.children += 1;
+
+        self.since_cooling += 1;
+        if self.since_cooling == self.config.moves_per_temperature {
+            self.since_cooling = 0;
+            self.temperature = (self.temperature * self.config.cooling).max(self.floor);
+            self.temperature_steps += 1;
+        }
+    }
+
+    fn iterations(&self) -> u64 {
+        self.temperature_steps
+    }
+
+    fn children(&self) -> u64 {
+        self.children
+    }
+
+    fn best_fitness(&self) -> f64 {
+        self.best.fitness
+    }
+
+    fn best_objectives(&self) -> Objectives {
+        self.best.objectives()
+    }
+}
+
+impl BaselineEngine for SimulatedAnnealingEngine<'_> {
+    fn into_best(self) -> Individual {
+        self.best
     }
 }
 
@@ -264,7 +345,10 @@ mod tests {
     fn metropolis_acceptance_rate_tracks_temperature() {
         let mut rng = SmallRng::seed_from_u64(7);
         let rate = |delta: f64, t: f64, rng: &mut SmallRng| {
-            (0..4_000).filter(|_| metropolis_accept(delta, t, rng)).count() as f64 / 4_000.0
+            (0..4_000)
+                .filter(|_| metropolis_accept(delta, t, rng))
+                .count() as f64
+                / 4_000.0
         };
         let hot = rate(1.0, 10.0, &mut rng);
         let cold = rate(1.0, 0.5, &mut rng);

@@ -1,15 +1,18 @@
 //! Steady-state GA in the style of Carretero & Xhafa (2006).
 
-use cmags_cma::StopCondition;
-use cmags_core::{FitnessWeights, Problem};
+use std::time::Instant;
+
+use cmags_cma::{Individual, StopCondition};
+use cmags_core::engine::Metaheuristic;
+use cmags_core::{FitnessWeights, Objectives, Problem};
 use cmags_heuristics::constructive::ConstructiveKind;
 use cmags_heuristics::ops::{mutate_move, Crossover};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::common::{
-    best_index, individual_with_weights, init_population, tournament_select, worst_index,
-    RunState,
+    best_index, individual_with_weights, init_population, run_to_outcome, tournament_select,
+    worst_index, BaselineEngine,
 };
 use crate::GaOutcome;
 
@@ -58,7 +61,7 @@ impl SteadyStateGa {
         self
     }
 
-    /// Runs the GA.
+    /// Runs the GA through the shared engine runtime.
     ///
     /// # Panics
     ///
@@ -66,40 +69,107 @@ impl SteadyStateGa {
     /// smaller than two.
     #[must_use]
     pub fn run(&self, problem: &Problem, seed: u64) -> GaOutcome {
-        assert!(self.stop.is_bounded(), "unbounded run: configure a stopping condition");
-        assert!(self.population_size >= 2);
+        let start = Instant::now();
+        let engine = self.engine(problem, seed);
+        run_to_outcome(self.stop, start, engine, seed)
+    }
+
+    /// Builds the step-driven engine state (one child per step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is smaller than two.
+    #[must_use]
+    pub fn engine<'a>(&'a self, problem: &'a Problem, seed: u64) -> SteadyStateGaEngine<'a> {
+        SteadyStateGaEngine::new(self, problem, seed)
+    }
+}
+
+/// [`SteadyStateGa`] as a step-driven [`Metaheuristic`]: one bred child
+/// and one replace-worst-if-better survival decision per step.
+pub struct SteadyStateGaEngine<'a> {
+    config: &'a SteadyStateGa,
+    problem: &'a Problem,
+    rng: SmallRng,
+    population: Vec<Individual>,
+    best: Individual,
+    steps: u64,
+}
+
+impl<'a> SteadyStateGaEngine<'a> {
+    fn new(config: &'a SteadyStateGa, problem: &'a Problem, seed: u64) -> Self {
+        assert!(
+            config.population_size >= 2,
+            "population needs at least two individuals"
+        );
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut population = init_population(
+        let population = init_population(
             problem,
-            self.population_size,
-            self.heuristic_seed,
-            self.weights,
+            config.population_size,
+            config.heuristic_seed,
+            config.weights,
             &mut rng,
         );
-        let mut state = RunState::new(seed, population[best_index(&population)].clone());
-
-        while !state.should_stop(&self.stop) {
-            let a = tournament_select(&population, self.tournament, &mut rng);
-            let b = tournament_select(&population, self.tournament, &mut rng);
-            let mut child_schedule = Crossover::OnePoint.apply(
-                &population[a].schedule,
-                &population[b].schedule,
-                &mut rng,
-            );
-            if rng.gen::<f64>() < self.mutation_rate {
-                let _ = mutate_move(problem, &mut child_schedule, &mut rng);
-            }
-            let child = individual_with_weights(problem, child_schedule, self.weights);
-            state.children += 1;
-            state.observe(&child);
-
-            let worst = worst_index(&population);
-            if child.fitness < population[worst].fitness {
-                population[worst] = child;
-            }
-            state.generations += 1;
+        let best = population[best_index(&population)].clone();
+        Self {
+            config,
+            problem,
+            rng,
+            population,
+            best,
+            steps: 0,
         }
-        state.finish()
+    }
+}
+
+impl Metaheuristic for SteadyStateGaEngine<'_> {
+    fn name(&self) -> &'static str {
+        "SS-GA"
+    }
+
+    fn step(&mut self) {
+        let a = tournament_select(&self.population, self.config.tournament, &mut self.rng);
+        let b = tournament_select(&self.population, self.config.tournament, &mut self.rng);
+        let mut child_schedule = Crossover::OnePoint.apply(
+            &self.population[a].schedule,
+            &self.population[b].schedule,
+            &mut self.rng,
+        );
+        if self.rng.gen::<f64>() < self.config.mutation_rate {
+            let _ = mutate_move(self.problem, &mut child_schedule, &mut self.rng);
+        }
+        let child = individual_with_weights(self.problem, child_schedule, self.config.weights);
+        if child.fitness < self.best.fitness {
+            self.best = child.clone();
+        }
+
+        let worst = worst_index(&self.population);
+        if child.fitness < self.population[worst].fitness {
+            self.population[worst] = child;
+        }
+        self.steps += 1;
+    }
+
+    fn iterations(&self) -> u64 {
+        self.steps
+    }
+
+    fn children(&self) -> u64 {
+        self.steps
+    }
+
+    fn best_fitness(&self) -> f64 {
+        self.best.fitness
+    }
+
+    fn best_objectives(&self) -> Objectives {
+        self.best.objectives()
+    }
+}
+
+impl BaselineEngine for SteadyStateGaEngine<'_> {
+    fn into_best(self) -> Individual {
+        self.best
     }
 }
 
@@ -114,8 +184,11 @@ mod tests {
     }
 
     fn quick() -> SteadyStateGa {
-        SteadyStateGa { population_size: 16, ..SteadyStateGa::default() }
-            .with_stop(StopCondition::children(400))
+        SteadyStateGa {
+            population_size: 16,
+            ..SteadyStateGa::default()
+        }
+        .with_stop(StopCondition::children(400))
     }
 
     #[test]
@@ -144,8 +217,7 @@ mod tests {
     fn uses_weighted_fitness() {
         let p = problem();
         let outcome = quick().run(&p, 5);
-        let expected = FitnessWeights::default()
-            .fitness(outcome.objectives, p.nb_machines());
+        let expected = FitnessWeights::default().fitness(outcome.objectives, p.nb_machines());
         assert_eq!(outcome.fitness, expected);
         assert_ne!(outcome.fitness, outcome.objectives.makespan);
     }

@@ -1,14 +1,18 @@
 //! Xhafa's Struggle GA (BIOMA 2006).
 
-use cmags_cma::StopCondition;
-use cmags_core::{FitnessWeights, Problem};
+use std::time::Instant;
+
+use cmags_cma::{Individual, StopCondition};
+use cmags_core::engine::Metaheuristic;
+use cmags_core::{FitnessWeights, Objectives, Problem};
 use cmags_heuristics::constructive::ConstructiveKind;
 use cmags_heuristics::ops::{mutate_move, Crossover};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::common::{
-    best_index, individual_with_weights, init_population, most_similar_index, RunState,
+    best_index, individual_with_weights, init_population, most_similar_index, run_to_outcome,
+    BaselineEngine,
 };
 use crate::GaOutcome;
 
@@ -56,7 +60,7 @@ impl StruggleGa {
         self
     }
 
-    /// Runs the GA.
+    /// Runs the GA through the shared engine runtime.
     ///
     /// # Panics
     ///
@@ -64,41 +68,108 @@ impl StruggleGa {
     /// smaller than two.
     #[must_use]
     pub fn run(&self, problem: &Problem, seed: u64) -> GaOutcome {
-        assert!(self.stop.is_bounded(), "unbounded run: configure a stopping condition");
-        assert!(self.population_size >= 2);
+        let start = Instant::now();
+        let engine = self.engine(problem, seed);
+        run_to_outcome(self.stop, start, engine, seed)
+    }
+
+    /// Builds the step-driven engine state (one child per step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is smaller than two.
+    #[must_use]
+    pub fn engine<'a>(&'a self, problem: &'a Problem, seed: u64) -> StruggleGaEngine<'a> {
+        StruggleGaEngine::new(self, problem, seed)
+    }
+}
+
+/// [`StruggleGa`] as a step-driven [`Metaheuristic`]: one bred child and
+/// one struggle (replace-most-similar-if-better) per step.
+pub struct StruggleGaEngine<'a> {
+    config: &'a StruggleGa,
+    problem: &'a Problem,
+    rng: SmallRng,
+    population: Vec<Individual>,
+    best: Individual,
+    steps: u64,
+}
+
+impl<'a> StruggleGaEngine<'a> {
+    fn new(config: &'a StruggleGa, problem: &'a Problem, seed: u64) -> Self {
+        assert!(
+            config.population_size >= 2,
+            "population needs at least two individuals"
+        );
         let mut rng = SmallRng::seed_from_u64(seed);
-        let mut population = init_population(
+        let population = init_population(
             problem,
-            self.population_size,
-            self.heuristic_seed,
-            self.weights,
+            config.population_size,
+            config.heuristic_seed,
+            config.weights,
             &mut rng,
         );
-        let mut state = RunState::new(seed, population[best_index(&population)].clone());
-
-        while !state.should_stop(&self.stop) {
-            let a = rng.gen_range(0..population.len());
-            let b = rng.gen_range(0..population.len());
-            let mut child_schedule = Crossover::OnePoint.apply(
-                &population[a].schedule,
-                &population[b].schedule,
-                &mut rng,
-            );
-            if rng.gen::<f64>() < self.mutation_rate {
-                let _ = mutate_move(problem, &mut child_schedule, &mut rng);
-            }
-            let child = individual_with_weights(problem, child_schedule, self.weights);
-            state.children += 1;
-            state.observe(&child);
-
-            // The struggle: replace the most similar individual if better.
-            let rival = most_similar_index(&population, &child.schedule);
-            if child.fitness < population[rival].fitness {
-                population[rival] = child;
-            }
-            state.generations += 1;
+        let best = population[best_index(&population)].clone();
+        Self {
+            config,
+            problem,
+            rng,
+            population,
+            best,
+            steps: 0,
         }
-        state.finish()
+    }
+}
+
+impl Metaheuristic for StruggleGaEngine<'_> {
+    fn name(&self) -> &'static str {
+        "Struggle GA"
+    }
+
+    fn step(&mut self) {
+        let a = self.rng.gen_range(0..self.population.len());
+        let b = self.rng.gen_range(0..self.population.len());
+        let mut child_schedule = Crossover::OnePoint.apply(
+            &self.population[a].schedule,
+            &self.population[b].schedule,
+            &mut self.rng,
+        );
+        if self.rng.gen::<f64>() < self.config.mutation_rate {
+            let _ = mutate_move(self.problem, &mut child_schedule, &mut self.rng);
+        }
+        let child = individual_with_weights(self.problem, child_schedule, self.config.weights);
+        if child.fitness < self.best.fitness {
+            self.best = child.clone();
+        }
+
+        // The struggle: replace the most similar individual if better.
+        let rival = most_similar_index(&self.population, &child.schedule);
+        if child.fitness < self.population[rival].fitness {
+            self.population[rival] = child;
+        }
+        self.steps += 1;
+    }
+
+    fn iterations(&self) -> u64 {
+        self.steps
+    }
+
+    fn children(&self) -> u64 {
+        self.steps
+    }
+
+    fn best_fitness(&self) -> f64 {
+        self.best.fitness
+    }
+
+    fn best_objectives(&self) -> Objectives {
+        self.best.objectives()
+    }
+}
+
+impl BaselineEngine for StruggleGaEngine<'_> {
+    fn into_best(self) -> Individual {
+        self.best
     }
 }
 
@@ -113,8 +184,11 @@ mod tests {
     }
 
     fn quick() -> StruggleGa {
-        StruggleGa { population_size: 16, ..StruggleGa::default() }
-            .with_stop(StopCondition::children(400))
+        StruggleGa {
+            population_size: 16,
+            ..StruggleGa::default()
+        }
+        .with_stop(StopCondition::children(400))
     }
 
     #[test]

@@ -10,13 +10,16 @@
 //! memetic algorithm. An *aspiration* rule overrides the tabu status of
 //! any move that would beat the best schedule seen so far.
 
+use std::time::Instant;
+
 use cmags_cma::{Individual, StopCondition};
-use cmags_core::{JobId, MachineId, Problem};
+use cmags_core::engine::Metaheuristic;
+use cmags_core::{JobId, MachineId, Objectives, Problem};
 use cmags_heuristics::constructive::ConstructiveKind;
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
 
-use crate::common::{GaOutcome, RunState};
+use crate::common::{run_to_outcome, BaselineEngine, GaOutcome};
 
 /// Short-term memory: `(job, machine)` pairs forbidden until an
 /// iteration stamp.
@@ -31,7 +34,11 @@ impl TabuList {
     /// An empty list for a `nb_jobs × nb_machines` problem.
     #[must_use]
     pub fn new(nb_jobs: usize, nb_machines: usize, tenure: u64) -> Self {
-        Self { expiry: vec![0; nb_jobs * nb_machines], nb_machines, tenure }
+        Self {
+            expiry: vec![0; nb_jobs * nb_machines],
+            nb_machines,
+            tenure,
+        }
     }
 
     /// Forbids assigning `job` to `machine` until `now + tenure`.
@@ -74,7 +81,7 @@ impl TabuSearch {
         self
     }
 
-    /// Runs the search on `problem` with RNG `seed`.
+    /// Runs the search through the shared engine runtime.
     ///
     /// # Panics
     ///
@@ -82,34 +89,19 @@ impl TabuSearch {
     /// condition is unbounded.
     #[must_use]
     pub fn run(&self, problem: &Problem, seed: u64) -> GaOutcome {
-        assert!(self.candidates > 0, "need at least one candidate move per iteration");
-        assert!(self.stop.is_bounded(), "unbounded run: configure a stopping condition");
+        let start = Instant::now();
+        let engine = self.engine(problem, seed);
+        run_to_outcome(self.stop, start, engine, seed)
+    }
 
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let start_schedule = self.seeding.build_seeded(problem, &mut rng);
-        let mut current = Individual::new(problem, start_schedule);
-        let mut state = RunState::new(seed, current.clone());
-        let mut tabu = TabuList::new(problem.nb_jobs(), problem.nb_machines(), self.tenure);
-
-        while !state.should_stop(&self.stop) {
-            let Some((job, target, fitness)) =
-                self.best_candidate(problem, &current, &tabu, state.children, state.best.fitness, &mut rng)
-            else {
-                // Single-machine problems offer no moves; burn the budget
-                // so bounded runs still terminate.
-                state.children += 1;
-                continue;
-            };
-            let from = current.schedule.machine_of(job);
-            current.eval.apply_move(problem, &mut current.schedule, job, target);
-            current.fitness = fitness;
-            // Forbid the reverse move: `job` may not return to `from`.
-            tabu.forbid(job, from, state.children);
-            state.children += 1;
-            state.generations += 1;
-            state.observe(&current);
-        }
-        state.finish()
+    /// Builds the step-driven engine state (one applied move per step).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no candidates are sampled per iteration.
+    #[must_use]
+    pub fn engine<'a>(&'a self, problem: &'a Problem, seed: u64) -> TabuSearchEngine<'a> {
+        TabuSearchEngine::new(self, problem, seed)
     }
 
     /// Samples candidate moves and returns the best admissible one
@@ -135,8 +127,12 @@ impl TabuSearch {
             if target >= from {
                 target += 1;
             }
-            let fitness =
-                problem.fitness(current.eval.peek_move(problem, &current.schedule, job, target));
+            let fitness = problem.fitness(current.eval.peek_move(
+                problem,
+                &current.schedule,
+                job,
+                target,
+            ));
             let aspiration = fitness < best_fitness;
             if tabu.is_tabu(job, target, now) && !aspiration {
                 continue;
@@ -146,6 +142,98 @@ impl TabuSearch {
             }
         }
         best
+    }
+}
+
+/// [`TabuSearch`] as a step-driven [`Metaheuristic`]: one applied move
+/// per step (or one burned budget unit when no move exists).
+pub struct TabuSearchEngine<'a> {
+    config: &'a TabuSearch,
+    problem: &'a Problem,
+    rng: SmallRng,
+    current: Individual,
+    best: Individual,
+    tabu: TabuList,
+    children: u64,
+    moves: u64,
+}
+
+impl<'a> TabuSearchEngine<'a> {
+    fn new(config: &'a TabuSearch, problem: &'a Problem, seed: u64) -> Self {
+        assert!(
+            config.candidates > 0,
+            "need at least one candidate move per iteration"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let start_schedule = config.seeding.build_seeded(problem, &mut rng);
+        let current = Individual::new(problem, start_schedule);
+        let tabu = TabuList::new(problem.nb_jobs(), problem.nb_machines(), config.tenure);
+        Self {
+            config,
+            problem,
+            rng,
+            best: current.clone(),
+            current,
+            tabu,
+            children: 0,
+            moves: 0,
+        }
+    }
+}
+
+impl Metaheuristic for TabuSearchEngine<'_> {
+    fn name(&self) -> &'static str {
+        "Tabu"
+    }
+
+    fn step(&mut self) {
+        let Some((job, target, fitness)) = self.config.best_candidate(
+            self.problem,
+            &self.current,
+            &self.tabu,
+            self.children,
+            self.best.fitness,
+            &mut self.rng,
+        ) else {
+            // Single-machine problems offer no moves; burn the budget so
+            // bounded runs still terminate.
+            self.children += 1;
+            return;
+        };
+        let from = self.current.schedule.machine_of(job);
+        self.current
+            .eval
+            .apply_move(self.problem, &mut self.current.schedule, job, target);
+        self.current.fitness = fitness;
+        // Forbid the reverse move: `job` may not return to `from`.
+        self.tabu.forbid(job, from, self.children);
+        self.children += 1;
+        self.moves += 1;
+        if self.current.fitness < self.best.fitness {
+            self.best = self.current.clone();
+        }
+    }
+
+    fn iterations(&self) -> u64 {
+        self.moves
+    }
+
+    fn children(&self) -> u64 {
+        self.children
+    }
+
+    fn best_fitness(&self) -> f64 {
+        self.best.fitness
+    }
+
+    fn best_objectives(&self) -> Objectives {
+        self.best.objectives()
+    }
+}
+
+impl BaselineEngine for TabuSearchEngine<'_> {
+    fn into_best(self) -> Individual {
+        self.best
     }
 }
 
@@ -216,7 +304,10 @@ mod tests {
         assert_eq!(a.schedule, b.schedule);
         assert_eq!(a.fitness, b.fitness);
         let c = quick().run(&p, 3);
-        assert_ne!(a.schedule, c.schedule, "different seeds explore differently");
+        assert_ne!(
+            a.schedule, c.schedule,
+            "different seeds explore differently"
+        );
     }
 
     #[test]
@@ -233,9 +324,13 @@ mod tests {
         // by observing that the *final* fitness differs from the best
         // (the walk went past the optimum and kept exploring).
         let p = problem();
-        let outcome = TabuSearch { tenure: 16, candidates: 16, ..TabuSearch::default() }
-            .with_stop(StopCondition::children(4_000))
-            .run(&p, 11);
+        let outcome = TabuSearch {
+            tenure: 16,
+            candidates: 16,
+            ..TabuSearch::default()
+        }
+        .with_stop(StopCondition::children(4_000))
+        .run(&p, 11);
         assert!(outcome.children == 4_000);
         assert!(outcome.fitness > 0.0);
     }

@@ -6,7 +6,9 @@
 use cmags_cma::StopCondition;
 use cmags_core::Problem;
 use cmags_etc::{EtcMatrix, GridInstance};
-use cmags_ga::{BraunGa, GaOutcome, SimulatedAnnealing, SteadyStateGa, StruggleGa, TabuSearch, TabuList};
+use cmags_ga::{
+    BraunGa, GaOutcome, SimulatedAnnealing, SteadyStateGa, StruggleGa, TabuList, TabuSearch,
+};
 use proptest::prelude::*;
 
 fn problem_strategy() -> impl Strategy<Value = Problem> {
@@ -21,7 +23,10 @@ fn problem_strategy() -> impl Strategy<Value = Problem> {
 
 /// The shared engine contract.
 fn check_contract(problem: &Problem, outcome: &GaOutcome, budget: u64, name: &str) {
-    assert_eq!(outcome.children, budget, "{name}: children budget not honoured exactly");
+    assert_eq!(
+        outcome.children, budget,
+        "{name}: children budget not honoured exactly"
+    );
     assert_eq!(
         cmags_core::evaluate(problem, &outcome.schedule),
         outcome.objectives,
@@ -32,8 +37,14 @@ fn check_contract(problem: &Problem, outcome: &GaOutcome, budget: u64, name: &st
         "{name}: flowtime below makespan is impossible"
     );
     for window in outcome.trace.windows(2) {
-        assert!(window[1].fitness <= window[0].fitness, "{name}: non-monotone trace");
-        assert!(window[1].elapsed_ms >= window[0].elapsed_ms, "{name}: time ran backwards");
+        assert!(
+            window[1].fitness <= window[0].fitness,
+            "{name}: non-monotone trace"
+        );
+        assert!(
+            window[1].elapsed_ms >= window[0].elapsed_ms,
+            "{name}: time ran backwards"
+        );
     }
 }
 

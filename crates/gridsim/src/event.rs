@@ -86,8 +86,15 @@ impl EventQueue {
     ///
     /// Panics if `time` is NaN or negative.
     pub fn push(&mut self, time: f64, event: Event) {
-        assert!(time.is_finite() && time >= 0.0, "event time must be finite and non-negative");
-        self.heap.push(Scheduled { time, seq: self.seq, event });
+        assert!(
+            time.is_finite() && time >= 0.0,
+            "event time must be finite and non-negative"
+        );
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        });
         self.seq += 1;
     }
 

@@ -24,7 +24,13 @@ impl Machine {
     /// Creates an idle machine.
     #[must_use]
     pub fn new(spec: MachineSpec, now: f64) -> Self {
-        Self { spec, queue: Vec::new(), running: None, busy_time: 0.0, joined_at: now }
+        Self {
+            spec,
+            queue: Vec::new(),
+            running: None,
+            busy_time: 0.0,
+            joined_at: now,
+        }
     }
 
     /// When the machine will have finished everything currently committed
@@ -69,7 +75,8 @@ impl MachinePool {
     pub fn join(&mut self, slowness: f64, now: f64) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
-        self.machines.insert(id, Machine::new(MachineSpec { id, slowness }, now));
+        self.machines
+            .insert(id, Machine::new(MachineSpec { id, slowness }, now));
         id
     }
 
@@ -146,7 +153,13 @@ mod tests {
 
     #[test]
     fn ready_time_accounts_running_and_queue() {
-        let mut machine = Machine::new(MachineSpec { id: 0, slowness: 1.0 }, 0.0);
+        let mut machine = Machine::new(
+            MachineSpec {
+                id: 0,
+                slowness: 1.0,
+            },
+            0.0,
+        );
         // Idle: ready now.
         assert_eq!(machine.ready_time(5.0, |_| 1.0), 5.0);
         // Running until t=10 plus two queued jobs of ETC 3 each.

@@ -91,7 +91,13 @@ mod tests {
     use super::*;
 
     fn record(arrival: f64, started: f64, finished: f64) -> JobRecord {
-        JobRecord { job: 0, arrival, started, finished, resubmissions: 0 }
+        JobRecord {
+            job: 0,
+            arrival,
+            started,
+            finished,
+            resubmissions: 0,
+        }
     }
 
     #[test]

@@ -65,7 +65,9 @@ impl CmaScheduler {
     /// per-activation budget.
     #[must_use]
     pub fn new(budget: StopCondition) -> Self {
-        Self { config: CmaConfig::paper().with_stop(budget) }
+        Self {
+            config: CmaConfig::paper().with_stop(budget),
+        }
     }
 
     /// cMA scheduler with a custom configuration.
@@ -110,7 +112,9 @@ impl SaScheduler {
     /// per-activation budget.
     #[must_use]
     pub fn new(budget: StopCondition) -> Self {
-        Self { config: cmags_ga::SimulatedAnnealing::default().with_stop(budget) }
+        Self {
+            config: cmags_ga::SimulatedAnnealing::default().with_stop(budget),
+        }
     }
 }
 
@@ -142,7 +146,9 @@ impl TabuScheduler {
     /// per-activation budget.
     #[must_use]
     pub fn new(budget: StopCondition) -> Self {
-        Self { config: cmags_ga::TabuSearch::default().with_stop(budget) }
+        Self {
+            config: cmags_ga::TabuSearch::default().with_stop(budget),
+        }
     }
 }
 
@@ -176,7 +182,9 @@ impl BatchScheduler for RandomScheduler {
         let mut rng = SmallRng::seed_from_u64(seed);
         let nb_machines = instance.nb_machines() as u32;
         Schedule::from_assignment(
-            (0..instance.nb_jobs()).map(|_| rng.gen_range(0..nb_machines)).collect(),
+            (0..instance.nb_jobs())
+                .map(|_| rng.gen_range(0..nb_machines))
+                .collect(),
         )
     }
 }
@@ -217,8 +225,7 @@ mod tests {
         let mut cma = CmaScheduler::new(StopCondition::children(300));
         let mut random = RandomScheduler;
         let cma_fit = problem.fitness(cmags_core::evaluate(&problem, &cma.schedule(&inst, 5)));
-        let rnd_fit =
-            problem.fitness(cmags_core::evaluate(&problem, &random.schedule(&inst, 5)));
+        let rnd_fit = problem.fitness(cmags_core::evaluate(&problem, &random.schedule(&inst, 5)));
         assert!(cma_fit < rnd_fit);
     }
 
@@ -246,7 +253,10 @@ mod tests {
                 TabuScheduler::new(StopCondition::children(200)).schedule(&inst, 7),
             ),
         ] {
-            assert_eq!(schedule_a, schedule_b, "{name} must be deterministic per seed");
+            assert_eq!(
+                schedule_a, schedule_b,
+                "{name} must be deterministic per seed"
+            );
             assert!(
                 Schedule::try_new(schedule_a.assignment().to_vec(), 24, 4).is_ok(),
                 "{name} produced an infeasible plan"
@@ -258,13 +268,11 @@ mod tests {
     fn sa_and_tabu_beat_random_on_snapshot() {
         let inst = instance();
         let problem = Problem::from_instance(&inst);
-        let fitness_of = |schedule: &Schedule| {
-            problem.fitness(cmags_core::evaluate(&problem, schedule))
-        };
+        let fitness_of =
+            |schedule: &Schedule| problem.fitness(cmags_core::evaluate(&problem, schedule));
         let rnd = fitness_of(&RandomScheduler.schedule(&inst, 5));
         let sa = fitness_of(&SaScheduler::new(StopCondition::children(400)).schedule(&inst, 5));
-        let tabu =
-            fitness_of(&TabuScheduler::new(StopCondition::children(400)).schedule(&inst, 5));
+        let tabu = fitness_of(&TabuScheduler::new(StopCondition::children(400)).schedule(&inst, 5));
         assert!(sa < rnd, "SA {sa} vs random {rnd}");
         assert!(tabu < rnd, "Tabu {tabu} vs random {rnd}");
     }
@@ -274,7 +282,13 @@ mod tests {
         let etc = EtcMatrix::from_rows(1, 1, vec![3.0]);
         let inst = GridInstance::new("tiny", etc);
         let budget = StopCondition::children(10);
-        assert_eq!(SaScheduler::new(budget).schedule(&inst, 0).assignment(), &[0]);
-        assert_eq!(TabuScheduler::new(budget).schedule(&inst, 0).assignment(), &[0]);
+        assert_eq!(
+            SaScheduler::new(budget).schedule(&inst, 0).assignment(),
+            &[0]
+        );
+        assert_eq!(
+            TabuScheduler::new(budget).schedule(&inst, 0).assignment(),
+            &[0]
+        );
     }
 }

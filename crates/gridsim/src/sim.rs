@@ -105,9 +105,18 @@ impl Simulation {
     #[must_use]
     pub fn new(config: SimConfig, seed: u64) -> Self {
         assert!(config.arrival_horizon > 0.0, "horizon must be positive");
-        assert!(config.activation_interval > 0.0, "activation interval must be positive");
-        assert!(config.initial_machines >= 2, "need at least two initial machines");
-        assert!((0.0..1.0).contains(&config.execution_noise), "noise must be in [0, 1)");
+        assert!(
+            config.activation_interval > 0.0,
+            "activation interval must be positive"
+        );
+        assert!(
+            config.initial_machines >= 2,
+            "need at least two initial machines"
+        );
+        assert!(
+            (0.0..1.0).contains(&config.execution_noise),
+            "noise must be in [0, 1)"
+        );
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut pool = MachinePool::new();
         for _ in 0..config.initial_machines {
@@ -138,7 +147,10 @@ impl Simulation {
         while let Some((time, event)) = self.events.pop() {
             processed += 1;
             if processed > self.config.max_events {
-                panic!("simulation exceeded max_events = {}", self.config.max_events);
+                panic!(
+                    "simulation exceeded max_events = {}",
+                    self.config.max_events
+                );
             }
             self.advance_clock(time);
             match event {
@@ -161,10 +173,16 @@ impl Simulation {
         // First arrival.
         let gap = self.config.arrivals.next_gap(&mut self.rng);
         if gap <= self.config.arrival_horizon {
-            self.events.push(gap, Event::JobArrival { job: self.next_job_id });
+            self.events.push(
+                gap,
+                Event::JobArrival {
+                    job: self.next_job_id,
+                },
+            );
         }
         // First activation.
-        self.events.push(self.config.activation_interval, Event::SchedulerActivation);
+        self.events
+            .push(self.config.activation_interval, Event::SchedulerActivation);
         // Churn processes.
         if self.config.join_rate > 0.0 {
             let gap = exp_gap(&mut self.rng, self.config.join_rate);
@@ -197,7 +215,14 @@ impl Simulation {
             arrival: self.now,
             baseline: self.config.world.draw_baseline(&mut self.rng),
         };
-        self.jobs.insert(job, JobState { spec, started: None, resubmissions: 0 });
+        self.jobs.insert(
+            job,
+            JobState {
+                spec,
+                started: None,
+                resubmissions: 0,
+            },
+        );
         self.pending.push(job);
         self.report.jobs_submitted += 1;
         self.next_job_id += 1;
@@ -206,7 +231,12 @@ impl Simulation {
         let gap = self.config.arrivals.next_gap(&mut self.rng);
         let t = self.now + gap;
         if t <= self.config.arrival_horizon {
-            self.events.push(t, Event::JobArrival { job: self.next_job_id });
+            self.events.push(
+                t,
+                Event::JobArrival {
+                    job: self.next_job_id,
+                },
+            );
         }
     }
 
@@ -217,10 +247,15 @@ impl Simulation {
         // Re-arm while work can still appear or remains queued.
         let more_arrivals = self.now < self.config.arrival_horizon;
         let work_left = !self.pending.is_empty()
-            || self.jobs.values().any(|j| j.started.is_none() && !self.pending.contains(&j.spec.id));
+            || self
+                .jobs
+                .values()
+                .any(|j| j.started.is_none() && !self.pending.contains(&j.spec.id));
         if more_arrivals || work_left || self.report.jobs_completed < self.report.jobs_submitted {
-            self.events
-                .push(self.now + self.config.activation_interval, Event::SchedulerActivation);
+            self.events.push(
+                self.now + self.config.activation_interval,
+                Event::SchedulerActivation,
+            );
         }
     }
 
@@ -243,31 +278,34 @@ impl Simulation {
             .iter()
             .map(|&id| {
                 let machine = self.pool.get(id).expect("alive machine");
-                let ready_abs = machine.ready_time(self.now, |job| {
-                    world.etc(&jobs[&job].spec, &machine.spec)
-                });
+                let ready_abs =
+                    machine.ready_time(self.now, |job| world.etc(&jobs[&job].spec, &machine.spec));
                 // Ready times are relative to "now" for the snapshot.
                 (ready_abs - self.now).max(0.0)
             })
             .collect();
-        let instance = GridInstance::with_ready_times(
-            format!("activation@{:.0}", self.now),
-            etc,
-            ready,
-        );
+        let instance =
+            GridInstance::with_ready_times(format!("activation@{:.0}", self.now), etc, ready);
 
         let wall = Instant::now();
         let schedule = scheduler.schedule(&instance, self.report.activations);
         self.report.scheduler_wall_s += wall.elapsed().as_secs_f64();
         self.report.activations += 1;
-        assert_eq!(schedule.nb_jobs(), job_ids.len(), "scheduler must plan every job");
+        assert_eq!(
+            schedule.nb_jobs(),
+            job_ids.len(),
+            "scheduler must plan every job"
+        );
 
         // Group per machine, enqueue in SPT order (our evaluation
         // convention), then kick idle machines.
         let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); machine_ids.len()];
         for (row, &job) in job_ids.iter().enumerate() {
             let col = schedule.machine_of(row as u32) as usize;
-            assert!(col < machine_ids.len(), "scheduler assigned an unknown machine");
+            assert!(
+                col < machine_ids.len(),
+                "scheduler assigned an unknown machine"
+            );
             buckets[col].push(job);
         }
         let mut dispatches: Vec<(u64, Vec<u64>)> = Vec::with_capacity(machine_ids.len());
@@ -297,7 +335,9 @@ impl Simulation {
         let noise = self.draw_noise();
         let world = self.config.world;
         let now = self.now;
-        let Some(machine) = self.pool.get_mut(machine_id) else { return };
+        let Some(machine) = self.pool.get_mut(machine_id) else {
+            return;
+        };
         if machine.running.is_some() || machine.queue.is_empty() {
             return;
         }
@@ -311,7 +351,13 @@ impl Simulation {
         if let Some(state) = self.jobs.get_mut(&job) {
             state.started.get_or_insert(now);
         }
-        self.events.push(finish, Event::JobFinish { machine: machine_id, job });
+        self.events.push(
+            finish,
+            Event::JobFinish {
+                machine: machine_id,
+                job,
+            },
+        );
     }
 
     fn draw_noise(&mut self) -> f64 {
@@ -326,7 +372,9 @@ impl Simulation {
     fn on_finish(&mut self, machine_id: u64, job: u64) {
         // The machine may have left before the finish event fired; the
         // kill path already handled the job then.
-        let Some(machine) = self.pool.get_mut(machine_id) else { return };
+        let Some(machine) = self.pool.get_mut(machine_id) else {
+            return;
+        };
         match machine.running {
             Some((running, _)) if running == job => machine.running = None,
             _ => return, // stale event
@@ -431,7 +479,10 @@ mod tests {
         let report = Simulation::new(SimConfig::churny(), 3).run(&mut scheduler);
         assert_eq!(report.jobs_completed, report.jobs_submitted);
         // Churn at these rates essentially always kills something.
-        assert!(report.resubmissions > 0, "expected at least one resubmission");
+        assert!(
+            report.resubmissions > 0,
+            "expected at least one resubmission"
+        );
     }
 
     #[test]

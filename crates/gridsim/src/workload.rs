@@ -60,7 +60,12 @@ impl World {
     #[must_use]
     pub fn from_class(class: InstanceClass, noise_seed: u64) -> Self {
         let (phi_task, phi_mach) = braun::ranges(class);
-        Self { consistency: class.consistency, phi_task, phi_mach, noise_seed }
+        Self {
+            consistency: class.consistency,
+            phi_task,
+            phi_mach,
+            noise_seed,
+        }
     }
 
     /// Default world: consistent, high/high heterogeneity.
@@ -146,7 +151,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn job(id: u64, baseline: f64) -> JobSpec {
-        JobSpec { id, arrival: 0.0, baseline }
+        JobSpec {
+            id,
+            arrival: 0.0,
+            baseline,
+        }
     }
 
     fn machine(id: u64, slowness: f64) -> MachineSpec {

@@ -112,7 +112,10 @@ mod tests {
         let p = tiny();
         let s = Mct.build(&p);
         let histogram = s.load_histogram(2);
-        assert!(histogram[0] > 0 && histogram[1] > 0, "MCT must use both machines: {histogram:?}");
+        assert!(
+            histogram[0] > 0 && histogram[1] > 0,
+            "MCT must use both machines: {histogram:?}"
+        );
     }
 
     #[test]

@@ -54,9 +54,11 @@ impl Constructive for LjfrSjfr {
 
         // Phase 2: alternate SJFR / LJFR on the earliest-finishing machine.
         let mut take_shortest = true;
-        while let Some(job) =
-            if take_shortest { queue.pop_front() } else { queue.pop_back() }
-        {
+        while let Some(job) = if take_shortest {
+            queue.pop_front()
+        } else {
+            queue.pop_back()
+        } {
             let machine = argmin(&completions) as MachineId;
             schedule.assign(job, machine);
             completions[machine as usize] += problem.etc(job, machine);

@@ -67,8 +67,7 @@ mod tests {
     fn respects_ready_times() {
         // Machine 0 is fast but busy until t=100; Min-Min must avoid it.
         let etc = cmags_etc::EtcMatrix::from_rows(2, 2, vec![1.0, 10.0, 1.0, 10.0]);
-        let inst =
-            cmags_etc::GridInstance::with_ready_times("busy", etc, vec![100.0, 0.0]);
+        let inst = cmags_etc::GridInstance::with_ready_times("busy", etc, vec![100.0, 0.0]);
         let p = cmags_core::Problem::from_instance(&inst);
         let s = MinMin.build(&p);
         assert_eq!(s.assignment(), &[1, 1]);

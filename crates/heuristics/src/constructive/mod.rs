@@ -131,8 +131,9 @@ impl Constructive for RandomAssign {
 
     fn build_seeded(&self, problem: &Problem, rng: &mut dyn RngCore) -> Schedule {
         let nb_machines = problem.nb_machines() as MachineId;
-        let assignment =
-            (0..problem.nb_jobs()).map(|_| rng.gen_range(0..nb_machines)).collect();
+        let assignment = (0..problem.nb_jobs())
+            .map(|_| rng.gen_range(0..nb_machines))
+            .collect();
         Schedule::from_assignment(assignment)
     }
 }
@@ -215,7 +216,11 @@ mod tests {
             let s = kind.build_seeded(&p, &mut rng);
             assert_eq!(s.nb_jobs(), p.nb_jobs(), "{}", kind.name());
             let obj = evaluate(&p, &s);
-            assert!(obj.makespan > 0.0 && obj.flowtime >= obj.makespan, "{}", kind.name());
+            assert!(
+                obj.makespan > 0.0 && obj.flowtime >= obj.makespan,
+                "{}",
+                kind.name()
+            );
         }
     }
 

@@ -110,8 +110,7 @@ impl LocalSearch for LocalFlowtimeSwap {
             Some(partner) => {
                 // Rank by flowtime, commit on fitness: the step must stay
                 // a strict improvement under the algorithm's objective.
-                let fitness =
-                    problem.fitness(eval.peek_swap(problem, schedule, anchor, partner));
+                let fitness = problem.fitness(eval.peek_swap(problem, schedule, anchor, partner));
                 if fitness < eval.fitness(problem) {
                     eval.apply_swap(problem, schedule, anchor, partner);
                     true

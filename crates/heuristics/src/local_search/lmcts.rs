@@ -42,8 +42,7 @@ impl LocalSearch for LocalMctSwap {
             if schedule.machine_of(partner) == anchor_machine {
                 continue;
             }
-            let candidate =
-                problem.fitness(eval.peek_swap(problem, schedule, anchor, partner));
+            let candidate = problem.fitness(eval.peek_swap(problem, schedule, anchor, partner));
             if candidate < best_fitness {
                 best_fitness = candidate;
                 best_partner = Some(partner);
@@ -109,7 +108,10 @@ mod tests {
         }
         let before = eval.fitness(&p);
         let improved = LocalMctSwap.run(&p, &mut s, &mut eval, &mut rng, 60);
-        assert!(improved > 0, "swap neighbourhood should escape the move optimum");
+        assert!(
+            improved > 0,
+            "swap neighbourhood should escape the move optimum"
+        );
         assert!(eval.fitness(&p) < before);
     }
 

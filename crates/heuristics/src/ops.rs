@@ -117,10 +117,7 @@ pub fn mutate_move(
 /// first job is uniform over all jobs; the partner is uniform over the
 /// jobs on other machines (reservoir-sampled in one scan). Returns the
 /// pair, or `None` when every job shares one machine.
-pub fn mutate_swap(
-    schedule: &mut Schedule,
-    rng: &mut dyn RngCore,
-) -> Option<(JobId, JobId)> {
+pub fn mutate_swap(schedule: &mut Schedule, rng: &mut dyn RngCore) -> Option<(JobId, JobId)> {
     let n = schedule.nb_jobs() as JobId;
     if n < 2 {
         return None;
@@ -180,13 +177,20 @@ pub fn rebalance(
     // Less overloaded: the first 25% machines by completion (at least 1),
     // excluding the donor.
     let cutoff = ((nb_machines as f64 * REBALANCE_UNDERLOADED_FRACTION).ceil() as usize).max(1);
-    let underloaded: Vec<MachineId> =
-        by_completion.iter().copied().take(cutoff).filter(|&m| m != donor).collect();
+    let underloaded: Vec<MachineId> = by_completion
+        .iter()
+        .copied()
+        .take(cutoff)
+        .filter(|&m| m != donor)
+        .collect();
     let &target = underloaded.get(rng.gen_range(0..underloaded.len().max(1)))?;
 
     // Uniform job on the donor machine.
-    let jobs_on_donor: Vec<JobId> =
-        schedule.iter().filter(|&(_, m)| m == donor).map(|(j, _)| j).collect();
+    let jobs_on_donor: Vec<JobId> = schedule
+        .iter()
+        .filter(|&(_, m)| m == donor)
+        .map(|(j, _)| j)
+        .collect();
     let job = jobs_on_donor[rng.gen_range(0..jobs_on_donor.len())];
     eval.apply_move(problem, schedule, job, target);
     Some((job, target))
@@ -268,7 +272,10 @@ mod tests {
     }
 
     fn two_parents(p: &Problem) -> (Schedule, Schedule) {
-        (Schedule::uniform(p.nb_jobs(), 0), Schedule::uniform(p.nb_jobs(), 3))
+        (
+            Schedule::uniform(p.nb_jobs(), 0),
+            Schedule::uniform(p.nb_jobs(), 3),
+        )
     }
 
     #[test]
@@ -312,10 +319,14 @@ mod tests {
         let p = problem();
         let mut rng = SmallRng::seed_from_u64(4);
         let a = Schedule::from_assignment(
-            (0..p.nb_jobs()).map(|_| rng.gen_range(0..p.nb_machines() as u32)).collect(),
+            (0..p.nb_jobs())
+                .map(|_| rng.gen_range(0..p.nb_machines() as u32))
+                .collect(),
         );
         let b = Schedule::from_assignment(
-            (0..p.nb_jobs()).map(|_| rng.gen_range(0..p.nb_machines() as u32)).collect(),
+            (0..p.nb_jobs())
+                .map(|_| rng.gen_range(0..p.nb_machines() as u32))
+                .collect(),
         );
         for xo in [Crossover::OnePoint, Crossover::TwoPoint, Crossover::Uniform] {
             let child = xo.apply(&a, &b, &mut rng);
@@ -362,7 +373,10 @@ mod tests {
         let (job, target) = rebalance(&p, &mut s, &mut eval, &mut rng).unwrap();
         assert_ne!(target, 2, "target must be a less-loaded machine");
         assert_eq!(s.machine_of(job), target);
-        assert!(eval.makespan() < makespan_before, "unloading the only loaded machine helps");
+        assert!(
+            eval.makespan() < makespan_before,
+            "unloading the only loaded machine helps"
+        );
         eval.debug_validate(&p, &s);
     }
 
@@ -382,7 +396,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(9);
         for op in [Mutation::Rebalance, Mutation::Move, Mutation::Swap] {
             let mut s = Schedule::from_assignment(
-                (0..p.nb_jobs()).map(|j| (j % p.nb_machines()) as u32).collect(),
+                (0..p.nb_jobs())
+                    .map(|j| (j % p.nb_machines()) as u32)
+                    .collect(),
             );
             let mut eval = EvalState::new(&p, &s);
             for _ in 0..16 {

@@ -70,12 +70,7 @@ mod tests {
         let s = Schedule::uniform(p.nb_jobs(), 0);
         let mut rng = SmallRng::seed_from_u64(2);
         let out = perturb(&p, &s, 1.0, &mut rng);
-        assert!(Schedule::try_new(
-            out.assignment().to_vec(),
-            p.nb_jobs(),
-            p.nb_machines()
-        )
-        .is_ok());
+        assert!(Schedule::try_new(out.assignment().to_vec(), p.nb_jobs(), p.nb_machines()).is_ok());
     }
 
     #[test]

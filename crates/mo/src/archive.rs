@@ -7,13 +7,12 @@
 //! archives to approximate a well-spread front under a memory bound.
 
 use cmags_core::{Objectives, Schedule};
-use serde::{Deserialize, Serialize};
 
 use crate::crowding::crowding_distances;
 use crate::dominance::{compare, ParetoOrdering};
 
 /// One archived non-dominated solution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MoSolution {
     /// The schedule.
     pub schedule: Schedule,
@@ -37,7 +36,10 @@ impl CrowdingArchive {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "archive capacity must be positive");
-        Self { capacity, entries: Vec::new() }
+        Self {
+            capacity,
+            entries: Vec::new(),
+        }
     }
 
     /// Capacity bound.
@@ -84,9 +86,8 @@ impl CrowdingArchive {
                 ParetoOrdering::DominatedBy | ParetoOrdering::Incomparable => {}
             }
         }
-        self.entries.retain(|e| {
-            compare(candidate.objectives, e.objectives) != ParetoOrdering::Dominates
-        });
+        self.entries
+            .retain(|e| compare(candidate.objectives, e.objectives) != ParetoOrdering::Dominates);
         let at = self
             .entries
             .partition_point(|e| e.objectives.makespan < candidate.objectives.makespan);
@@ -187,8 +188,11 @@ mod tests {
         for (mk, ft) in [(7.0, 1.0), (1.0, 7.0), (4.0, 4.0), (2.0, 6.0)] {
             a.offer(sol(mk, ft));
         }
-        let makespans: Vec<f64> =
-            a.solutions().iter().map(|s| s.objectives.makespan).collect();
+        let makespans: Vec<f64> = a
+            .solutions()
+            .iter()
+            .map(|s| s.objectives.makespan)
+            .collect();
         assert_eq!(makespans, vec![1.0, 2.0, 4.0, 7.0]);
     }
 

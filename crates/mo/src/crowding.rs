@@ -27,7 +27,9 @@ pub fn crowding_distances(points: &[Objectives]) -> Vec<f64> {
         let mut order: Vec<usize> = (0..n).collect();
         // Deterministic: ties broken by index.
         order.sort_by(|&a, &b| {
-            objective(&points[a]).total_cmp(&objective(&points[b])).then(a.cmp(&b))
+            objective(&points[a])
+                .total_cmp(&objective(&points[b]))
+                .then(a.cmp(&b))
         });
         let lo = objective(&points[order[0]]);
         let hi = objective(&points[order[n - 1]]);
@@ -51,8 +53,7 @@ pub fn crowding_distances(points: &[Objectives]) -> Vec<f64> {
 pub fn sort_by_crowding(points: &[Objectives], indices: &mut [usize]) {
     let all: Vec<Objectives> = indices.iter().map(|&i| points[i]).collect();
     let local = crowding_distances(&all);
-    let mut keyed: Vec<(usize, f64)> =
-        indices.iter().copied().zip(local).collect();
+    let mut keyed: Vec<(usize, f64)> = indices.iter().copied().zip(local).collect();
     keyed.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     for (slot, (index, _)) in indices.iter_mut().zip(keyed) {
         *slot = index;
@@ -69,7 +70,13 @@ mod tests {
 
     #[test]
     fn boundaries_are_infinite() {
-        let points = [o(1.0, 5.0), o(2.0, 4.0), o(3.0, 3.0), o(4.0, 2.0), o(5.0, 1.0)];
+        let points = [
+            o(1.0, 5.0),
+            o(2.0, 4.0),
+            o(3.0, 3.0),
+            o(4.0, 2.0),
+            o(5.0, 1.0),
+        ];
         let d = crowding_distances(&points);
         assert_eq!(d[0], f64::INFINITY);
         assert_eq!(d[4], f64::INFINITY);
@@ -78,7 +85,13 @@ mod tests {
 
     #[test]
     fn uniform_spacing_gives_equal_interior_distances() {
-        let points = [o(0.0, 4.0), o(1.0, 3.0), o(2.0, 2.0), o(3.0, 1.0), o(4.0, 0.0)];
+        let points = [
+            o(0.0, 4.0),
+            o(1.0, 3.0),
+            o(2.0, 2.0),
+            o(3.0, 1.0),
+            o(4.0, 0.0),
+        ];
         let d = crowding_distances(&points);
         // Interior gaps are 2/4 per objective -> 1.0 total.
         assert!((d[1] - 1.0).abs() < 1e-12);
@@ -112,7 +125,10 @@ mod tests {
         assert!(d.iter().all(|x| !x.is_nan()));
         assert_eq!(d[0], f64::INFINITY);
         assert_eq!(d[2], f64::INFINITY);
-        assert!((d[1] - 1.0).abs() < 1e-12, "makespan contributes (3-1)/2 = 1");
+        assert!(
+            (d[1] - 1.0).abs() < 1e-12,
+            "makespan contributes (3-1)/2 = 1"
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ pub fn dominates(a: Objectives, b: Objectives) -> bool {
 /// Whether `a` weakly dominates `b` (no worse in both objectives).
 #[must_use]
 pub fn weakly_dominates(a: Objectives, b: Objectives) -> bool {
-    matches!(compare(a, b), ParetoOrdering::Dominates | ParetoOrdering::Equal)
+    matches!(
+        compare(a, b),
+        ParetoOrdering::Dominates | ParetoOrdering::Equal
+    )
 }
 
 #[cfg(test)]
@@ -58,7 +61,10 @@ mod tests {
     #[test]
     fn strict_dominance_both_objectives() {
         assert_eq!(compare(o(1.0, 1.0), o(2.0, 2.0)), ParetoOrdering::Dominates);
-        assert_eq!(compare(o(2.0, 2.0), o(1.0, 1.0)), ParetoOrdering::DominatedBy);
+        assert_eq!(
+            compare(o(2.0, 2.0), o(1.0, 1.0)),
+            ParetoOrdering::DominatedBy
+        );
     }
 
     #[test]
@@ -69,8 +75,14 @@ mod tests {
 
     #[test]
     fn incomparable_trade_off() {
-        assert_eq!(compare(o(1.0, 9.0), o(9.0, 1.0)), ParetoOrdering::Incomparable);
-        assert_eq!(compare(o(9.0, 1.0), o(1.0, 9.0)), ParetoOrdering::Incomparable);
+        assert_eq!(
+            compare(o(1.0, 9.0), o(9.0, 1.0)),
+            ParetoOrdering::Incomparable
+        );
+        assert_eq!(
+            compare(o(9.0, 1.0), o(1.0, 9.0)),
+            ParetoOrdering::Incomparable
+        );
     }
 
     #[test]

@@ -45,8 +45,7 @@ pub fn hypervolume(front: &[Objectives], reference: Objectives) -> f64 {
     // its makespan to the next point's makespan (or the reference).
     let mut volume = 0.0;
     for (i, p) in points.iter().enumerate() {
-        let next_makespan =
-            points.get(i + 1).map_or(reference.makespan, |n| n.makespan);
+        let next_makespan = points.get(i + 1).map_or(reference.makespan, |n| n.makespan);
         volume += (next_makespan - p.makespan) * (reference.flowtime - p.flowtime);
     }
     volume
@@ -91,10 +90,16 @@ pub fn reference_point(fronts: &[&[Objectives]], margin: f64) -> Objectives {
 /// Panics if either front is empty.
 #[must_use]
 pub fn additive_epsilon(a: &[Objectives], b: &[Objectives]) -> f64 {
-    assert!(!a.is_empty() && !b.is_empty(), "epsilon indicator needs non-empty fronts");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "epsilon indicator needs non-empty fronts"
+    );
     let (scale_mk, scale_ft, min_mk, min_ft) = normalisation(&[a, b]);
     let norm = |p: &Objectives| {
-        ((p.makespan - min_mk) * scale_mk, (p.flowtime - min_ft) * scale_ft)
+        (
+            (p.makespan - min_mk) * scale_mk,
+            (p.flowtime - min_ft) * scale_ft,
+        )
     };
     let mut worst = f64::NEG_INFINITY;
     for pb in b {
@@ -123,7 +128,12 @@ pub fn spread(front: &[Objectives]) -> f64 {
     let (scale_mk, scale_ft, min_mk, min_ft) = normalisation(&[front]);
     let mut points: Vec<(f64, f64)> = front
         .iter()
-        .map(|p| ((p.makespan - min_mk) * scale_mk, (p.flowtime - min_ft) * scale_ft))
+        .map(|p| {
+            (
+                (p.makespan - min_mk) * scale_mk,
+                (p.flowtime - min_ft) * scale_ft,
+            )
+        })
         .collect();
     points.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
     let gaps: Vec<f64> = points
@@ -146,10 +156,16 @@ pub fn spread(front: &[Objectives]) -> f64 {
 /// Panics if either set is empty.
 #[must_use]
 pub fn igd(front: &[Objectives], reference: &[Objectives]) -> f64 {
-    assert!(!front.is_empty() && !reference.is_empty(), "igd needs non-empty sets");
+    assert!(
+        !front.is_empty() && !reference.is_empty(),
+        "igd needs non-empty sets"
+    );
     let (scale_mk, scale_ft, min_mk, min_ft) = normalisation(&[front, reference]);
     let norm = |p: &Objectives| {
-        ((p.makespan - min_mk) * scale_mk, (p.flowtime - min_ft) * scale_ft)
+        (
+            (p.makespan - min_mk) * scale_mk,
+            (p.flowtime - min_ft) * scale_ft,
+        )
     };
     let total: f64 = reference
         .iter()
@@ -256,14 +272,32 @@ mod tests {
 
     #[test]
     fn spread_uniform_front_is_zero() {
-        let a = [o(0.0, 4.0), o(1.0, 3.0), o(2.0, 2.0), o(3.0, 1.0), o(4.0, 0.0)];
+        let a = [
+            o(0.0, 4.0),
+            o(1.0, 3.0),
+            o(2.0, 2.0),
+            o(3.0, 1.0),
+            o(4.0, 0.0),
+        ];
         assert!(spread(&a).abs() < 1e-12);
     }
 
     #[test]
     fn spread_penalises_clumping() {
-        let uniform = [o(0.0, 4.0), o(1.0, 3.0), o(2.0, 2.0), o(3.0, 1.0), o(4.0, 0.0)];
-        let clumped = [o(0.0, 4.0), o(0.1, 3.9), o(0.2, 3.8), o(0.3, 3.7), o(4.0, 0.0)];
+        let uniform = [
+            o(0.0, 4.0),
+            o(1.0, 3.0),
+            o(2.0, 2.0),
+            o(3.0, 1.0),
+            o(4.0, 0.0),
+        ];
+        let clumped = [
+            o(0.0, 4.0),
+            o(0.1, 3.9),
+            o(0.2, 3.8),
+            o(0.3, 3.7),
+            o(4.0, 0.0),
+        ];
         assert!(spread(&clumped) > spread(&uniform));
     }
 

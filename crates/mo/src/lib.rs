@@ -51,5 +51,5 @@ pub mod ranking;
 
 pub use archive::{CrowdingArchive, MoSolution};
 pub use dominance::{compare, dominates, weakly_dominates, ParetoOrdering};
-pub use mocell::{HvSample, MoCellConfig, MoCellOutcome, MoIndividual};
-pub use nsga2::{Nsga2Config, Nsga2Outcome};
+pub use mocell::{HvSample, MoCellConfig, MoCellEngine, MoCellOutcome, MoIndividual};
+pub use nsga2::{Nsga2Config, Nsga2Engine, Nsga2Outcome};

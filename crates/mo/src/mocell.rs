@@ -28,6 +28,7 @@
 use std::time::{Duration, Instant};
 
 use cmags_cma::{Neighborhood, StopCondition, SweepOrder, SweepState, Torus};
+use cmags_core::engine::{Metaheuristic, RunStats, Runner};
 use cmags_core::{EvalState, FitnessWeights, Objectives, Problem, Schedule};
 use cmags_heuristics::constructive::ConstructiveKind;
 use cmags_heuristics::local_search::LocalSearchKind;
@@ -98,8 +99,9 @@ pub struct MoCellConfig {
     pub seeding: ConstructiveKind,
     /// Perturbation strength deriving the rest of the population.
     pub perturb_strength: f64,
-    /// Stopping condition (target fitness is ignored — there is no
-    /// scalar fitness to target).
+    /// Stopping condition. The scalar the runner sees is the negated
+    /// archive hypervolume, so a target fitness (if configured) acts on
+    /// `-hypervolume`.
     pub stop: StopCondition,
 }
 
@@ -175,8 +177,14 @@ impl MoCellConfig {
     }
 
     fn validate(&self) {
-        assert!(self.pop_height > 0 && self.pop_width > 0, "empty population grid");
-        assert!(self.archive_capacity > 0, "archive capacity must be positive");
+        assert!(
+            self.pop_height > 0 && self.pop_width > 0,
+            "empty population grid"
+        );
+        assert!(
+            self.archive_capacity > 0,
+            "archive capacity must be positive"
+        );
         assert!(
             (0.0..=1.0).contains(&self.archive_feedback),
             "archive feedback must be a probability"
@@ -185,7 +193,10 @@ impl MoCellConfig {
             (0.0..=1.0).contains(&self.mutation_rate),
             "mutation rate must be a probability"
         );
-        assert!(!self.lambda_grid.is_empty(), "lambda grid must not be empty");
+        assert!(
+            !self.lambda_grid.is_empty(),
+            "lambda grid must not be empty"
+        );
         assert!(
             self.lambda_grid.iter().all(|l| (0.0..=1.0).contains(l)),
             "every lambda must be within [0, 1]"
@@ -194,7 +205,10 @@ impl MoCellConfig {
             (0.0..=1.0).contains(&self.perturb_strength),
             "perturbation strength must be within [0, 1]"
         );
-        assert!(self.stop.is_bounded(), "unbounded run: configure a stopping condition");
+        assert!(
+            self.stop.is_bounded(),
+            "unbounded run: configure a stopping condition"
+        );
     }
 }
 
@@ -247,142 +261,251 @@ impl MoCellOutcome {
     }
 }
 
-/// Runs the configured engine (see [`MoCellConfig::run`]).
-#[must_use]
-pub fn run(config: &MoCellConfig, problem: &Problem, seed: u64) -> MoCellOutcome {
-    config.validate();
-    let start = Instant::now();
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let torus = Torus::new(config.pop_height, config.pop_width);
+/// [`MoCellConfig`] as a step-driven [`Metaheuristic`]: each step breeds
+/// one child; a generation closes after one full sweep of the grid.
+///
+/// The best-so-far scalar reported to the shared runner is the
+/// **negated archive hypervolume** — improvements mean "the dominated
+/// region grew". Target-fitness stops therefore act on `-hypervolume`.
+pub struct MoCellEngine<'a> {
+    config: &'a MoCellConfig,
+    problem: &'a Problem,
+    rng: SmallRng,
+    /// Scalarisation ladder for the memetic step. Objectives are
+    /// weight-independent, so all ladder entries share the instance data.
+    ladder: Vec<Problem>,
+    torus: Torus,
+    population: Vec<MoIndividual>,
+    archive: CrowdingArchive,
+    reference: Objectives,
+    sweep: SweepState,
+    neighbors: Vec<usize>,
+    /// Children bred in the current sweep.
+    sweep_pos: usize,
+    generations: u64,
+    children: u64,
+    replacements: u64,
+    hv_trace: Vec<HvSample>,
+    /// Archive hypervolume, refreshed at generation boundaries only —
+    /// recomputing per accepted child would cost O(archive log archive)
+    /// on every runner poll and shrink the children/second throughput
+    /// the equal-budget comparisons depend on.
+    front_hv: f64,
+}
 
-    // Scalarisation ladder for the memetic step. Objectives are
-    // weight-independent, so all ladder entries share the instance data.
-    let ladder: Vec<Problem> = config
-        .lambda_grid
-        .iter()
-        .map(|&lambda| problem.reweighted(FitnessWeights::new(lambda)))
-        .collect();
+impl<'a> MoCellEngine<'a> {
+    /// Initialises the grid population, the archive and the hypervolume
+    /// reference point.
+    ///
+    /// # Panics
+    ///
+    /// Panics on structurally invalid configurations.
+    #[must_use]
+    pub fn new(config: &'a MoCellConfig, problem: &'a Problem, seed: u64) -> Self {
+        config.validate();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let torus = Torus::new(config.pop_height, config.pop_width);
 
-    // Initial population: heuristic seed + large perturbations, each
-    // improved under a randomly drawn λ.
-    let seed_schedule = config.seeding.build_seeded(problem, &mut rng);
-    let mut population = Vec::with_capacity(torus.len());
-    population.push(MoIndividual::new(problem, seed_schedule.clone()));
-    for _ in 1..torus.len() {
-        let perturbed = perturb(problem, &seed_schedule, config.perturb_strength, &mut rng);
-        population.push(MoIndividual::new(problem, perturbed));
-    }
-    for individual in &mut population {
-        let guide = &ladder[rng.gen_range(0..ladder.len())];
-        config.local_search.run(
-            guide,
-            &mut individual.schedule,
-            &mut individual.eval,
-            &mut rng,
-            config.ls_iterations,
-        );
-    }
+        let ladder: Vec<Problem> = config
+            .lambda_grid
+            .iter()
+            .map(|&lambda| problem.reweighted(FitnessWeights::new(lambda)))
+            .collect();
 
-    let mut archive = CrowdingArchive::new(config.archive_capacity);
-    for individual in &population {
-        archive.offer(MoSolution {
-            schedule: individual.schedule.clone(),
-            objectives: individual.objectives(),
-        });
-    }
-    let initial_objectives: Vec<Objectives> =
-        population.iter().map(MoIndividual::objectives).collect();
-    let reference = reference_point(&[&initial_objectives], 0.10);
-
-    let mut sweep = SweepState::new(config.sweep, torus.len(), &mut rng);
-    let mut generations = 0u64;
-    let mut children = 0u64;
-    let mut replacements = 0u64;
-    let mut hv_trace = vec![HvSample {
-        generation: 0,
-        children: 0,
-        archive_len: archive.len(),
-        hypervolume: hypervolume(&archive.objectives(), reference),
-    }];
-
-    let mut neighbors: Vec<usize> = Vec::new();
-    'outer: loop {
-        for _ in 0..torus.len() {
-            if config.stop.should_stop(start.elapsed(), generations, children, f64::INFINITY) {
-                break 'outer;
-            }
-            let cell = sweep.next_cell(&mut rng);
-            config.neighborhood.collect(torus, cell, &mut neighbors);
-
-            // Parent 1: dominance tournament inside the neighbourhood.
-            let first = dominance_tournament(&population, &neighbors, &mut rng);
-            // Parent 2: archive feedback, else a second tournament.
-            let second_schedule = if !archive.is_empty()
-                && rng.gen::<f64>() < config.archive_feedback
-            {
-                archive.solutions()[rng.gen_range(0..archive.len())].schedule.clone()
-            } else {
-                population[dominance_tournament(&population, &neighbors, &mut rng)]
-                    .schedule
-                    .clone()
-            };
-
-            let child_schedule = config.crossover.apply(
-                &population[first].schedule,
-                &second_schedule,
-                &mut rng,
-            );
-            let mut child = MoIndividual::new(problem, child_schedule);
-            if rng.gen::<f64>() < config.mutation_rate {
-                config.mutation.apply(problem, &mut child.schedule, &mut child.eval, &mut rng);
-            }
+        // Initial population: heuristic seed + large perturbations, each
+        // improved under a randomly drawn λ.
+        let seed_schedule = config.seeding.build_seeded(problem, &mut rng);
+        let mut population = Vec::with_capacity(torus.len());
+        population.push(MoIndividual::new(problem, seed_schedule.clone()));
+        for _ in 1..torus.len() {
+            let perturbed = perturb(problem, &seed_schedule, config.perturb_strength, &mut rng);
+            population.push(MoIndividual::new(problem, perturbed));
+        }
+        for individual in &mut population {
             let guide = &ladder[rng.gen_range(0..ladder.len())];
             config.local_search.run(
                 guide,
-                &mut child.schedule,
-                &mut child.eval,
+                &mut individual.schedule,
+                &mut individual.eval,
                 &mut rng,
                 config.ls_iterations,
             );
-            children += 1;
-
-            // Dominance-first replacement; crowded-comparison tie-break.
-            let child_objectives = child.objectives();
-            let replace = match compare(child_objectives, population[cell].objectives()) {
-                ParetoOrdering::Dominates => true,
-                ParetoOrdering::DominatedBy | ParetoOrdering::Equal => false,
-                ParetoOrdering::Incomparable => {
-                    less_crowded_than_cell(&population, &neighbors, cell, child_objectives)
-                }
-            };
-            archive.offer(MoSolution {
-                schedule: child.schedule.clone(),
-                objectives: child_objectives,
-            });
-            if replace {
-                population[cell] = child;
-                replacements += 1;
-            }
         }
-        generations += 1;
-        hv_trace.push(HvSample {
-            generation: generations,
-            children,
+
+        let mut archive = CrowdingArchive::new(config.archive_capacity);
+        for individual in &population {
+            archive.offer(MoSolution {
+                schedule: individual.schedule.clone(),
+                objectives: individual.objectives(),
+            });
+        }
+        let initial_objectives: Vec<Objectives> =
+            population.iter().map(MoIndividual::objectives).collect();
+        let reference = reference_point(&[&initial_objectives], 0.10);
+
+        let sweep = SweepState::new(config.sweep, torus.len(), &mut rng);
+        let initial_hv = hypervolume(&archive.objectives(), reference);
+        let hv_trace = vec![HvSample {
+            generation: 0,
+            children: 0,
             archive_len: archive.len(),
-            hypervolume: hypervolume(&archive.objectives(), reference),
-        });
+            hypervolume: initial_hv,
+        }];
+        Self {
+            config,
+            problem,
+            rng,
+            ladder,
+            torus,
+            population,
+            archive,
+            reference,
+            sweep,
+            neighbors: Vec::new(),
+            sweep_pos: 0,
+            generations: 0,
+            children: 0,
+            replacements: 0,
+            hv_trace,
+            front_hv: initial_hv,
+        }
     }
 
-    MoCellOutcome {
-        archive,
-        generations,
-        children,
-        replacements,
-        elapsed: start.elapsed(),
-        seed,
-        reference,
-        hv_trace,
+    /// Consumes the engine into the classic outcome report.
+    #[must_use]
+    pub fn into_outcome(self, stats: RunStats, seed: u64) -> MoCellOutcome {
+        MoCellOutcome {
+            archive: self.archive,
+            generations: stats.iterations,
+            children: stats.children,
+            replacements: self.replacements,
+            elapsed: stats.elapsed,
+            seed,
+            reference: self.reference,
+            hv_trace: self.hv_trace,
+        }
     }
+}
+
+impl Metaheuristic for MoCellEngine<'_> {
+    fn name(&self) -> &'static str {
+        "MoCell"
+    }
+
+    fn step(&mut self) {
+        let cell = self.sweep.next_cell(&mut self.rng);
+        self.config
+            .neighborhood
+            .collect(self.torus, cell, &mut self.neighbors);
+
+        // Parent 1: dominance tournament inside the neighbourhood.
+        let first = dominance_tournament(&self.population, &self.neighbors, &mut self.rng);
+        // Parent 2: archive feedback, else a second tournament.
+        let second_schedule = if !self.archive.is_empty()
+            && self.rng.gen::<f64>() < self.config.archive_feedback
+        {
+            let pick = self.rng.gen_range(0..self.archive.len());
+            self.archive.solutions()[pick].schedule.clone()
+        } else {
+            self.population[dominance_tournament(&self.population, &self.neighbors, &mut self.rng)]
+                .schedule
+                .clone()
+        };
+
+        let child_schedule = self.config.crossover.apply(
+            &self.population[first].schedule,
+            &second_schedule,
+            &mut self.rng,
+        );
+        let mut child = MoIndividual::new(self.problem, child_schedule);
+        if self.rng.gen::<f64>() < self.config.mutation_rate {
+            self.config.mutation.apply(
+                self.problem,
+                &mut child.schedule,
+                &mut child.eval,
+                &mut self.rng,
+            );
+        }
+        let guide = &self.ladder[self.rng.gen_range(0..self.ladder.len())];
+        self.config.local_search.run(
+            guide,
+            &mut child.schedule,
+            &mut child.eval,
+            &mut self.rng,
+            self.config.ls_iterations,
+        );
+        self.children += 1;
+
+        // Dominance-first replacement; crowded-comparison tie-break.
+        let child_objectives = child.objectives();
+        let replace = match compare(child_objectives, self.population[cell].objectives()) {
+            ParetoOrdering::Dominates => true,
+            ParetoOrdering::DominatedBy | ParetoOrdering::Equal => false,
+            ParetoOrdering::Incomparable => {
+                less_crowded_than_cell(&self.population, &self.neighbors, cell, child_objectives)
+            }
+        };
+        self.archive.offer(MoSolution {
+            schedule: child.schedule.clone(),
+            objectives: child_objectives,
+        });
+        if replace {
+            self.population[cell] = child;
+            self.replacements += 1;
+        }
+
+        self.sweep_pos += 1;
+        if self.sweep_pos == self.torus.len() {
+            self.sweep_pos = 0;
+            self.generations += 1;
+            self.front_hv = hypervolume(&self.archive.objectives(), self.reference);
+            self.hv_trace.push(HvSample {
+                generation: self.generations,
+                children: self.children,
+                archive_len: self.archive.len(),
+                hypervolume: self.front_hv,
+            });
+        }
+    }
+
+    fn iterations(&self) -> u64 {
+        self.generations
+    }
+
+    fn children(&self) -> u64 {
+        self.children
+    }
+
+    fn best_fitness(&self) -> f64 {
+        -self.front_hv
+    }
+
+    fn best_objectives(&self) -> Objectives {
+        ideal_point(&self.archive.objectives())
+    }
+}
+
+/// Componentwise minimum of a front — the ideal point.
+pub(crate) fn ideal_point(front: &[Objectives]) -> Objectives {
+    let mut ideal = Objectives {
+        makespan: f64::INFINITY,
+        flowtime: f64::INFINITY,
+    };
+    for o in front {
+        ideal.makespan = ideal.makespan.min(o.makespan);
+        ideal.flowtime = ideal.flowtime.min(o.flowtime);
+    }
+    ideal
+}
+
+/// Runs the configured engine through the shared runner (see
+/// [`MoCellConfig::run`]).
+#[must_use]
+pub fn run(config: &MoCellConfig, problem: &Problem, seed: u64) -> MoCellOutcome {
+    let start = Instant::now();
+    let mut engine = MoCellEngine::new(config, problem, seed);
+    let stats = Runner::new(config.stop).run_from(start, &mut engine, &mut []);
+    engine.into_outcome(stats, seed)
 }
 
 /// Binary dominance tournament over `pool` (cell indices): the dominant
@@ -418,8 +541,10 @@ fn less_crowded_than_cell(
     cell: usize,
     child: Objectives,
 ) -> bool {
-    let mut objectives: Vec<Objectives> =
-        neighbors.iter().map(|&i| population[i].objectives()).collect();
+    let mut objectives: Vec<Objectives> = neighbors
+        .iter()
+        .map(|&i| population[i].objectives())
+        .collect();
     let cell_position = neighbors
         .iter()
         .position(|&i| i == cell)

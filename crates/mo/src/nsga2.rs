@@ -11,6 +11,7 @@
 use std::time::{Duration, Instant};
 
 use cmags_cma::StopCondition;
+use cmags_core::engine::{Metaheuristic, RunStats, Runner};
 use cmags_core::{FitnessWeights, Objectives, Problem};
 use cmags_heuristics::constructive::ConstructiveKind;
 use cmags_heuristics::local_search::LocalSearchKind;
@@ -21,6 +22,7 @@ use rand::{Rng, RngCore, SeedableRng};
 
 use crate::archive::MoSolution;
 use crate::crowding::crowding_distances;
+use crate::indicators::{hypervolume, reference_point};
 use crate::mocell::MoIndividual;
 use crate::ranking::fronts;
 
@@ -111,14 +113,22 @@ impl Nsga2Config {
     }
 
     fn validate(&self) {
-        assert!(self.population >= 2, "NSGA-II needs at least two individuals");
         assert!(
-            (0.0..=1.0).contains(&self.crossover_rate)
-                && (0.0..=1.0).contains(&self.mutation_rate),
+            self.population >= 2,
+            "NSGA-II needs at least two individuals"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.crossover_rate) && (0.0..=1.0).contains(&self.mutation_rate),
             "rates must be probabilities"
         );
-        assert!(!self.lambda_grid.is_empty(), "lambda grid must not be empty");
-        assert!(self.stop.is_bounded(), "unbounded run: configure a stopping condition");
+        assert!(
+            !self.lambda_grid.is_empty(),
+            "lambda grid must not be empty"
+        );
+        assert!(
+            self.stop.is_bounded(),
+            "unbounded run: configure a stopping condition"
+        );
     }
 }
 
@@ -144,97 +154,218 @@ pub struct Nsga2Outcome {
     pub seed: u64,
 }
 
-/// Runs the configured NSGA-II (see [`Nsga2Config::run`]).
-#[must_use]
-pub fn run(config: &Nsga2Config, problem: &Problem, seed: u64) -> Nsga2Outcome {
-    config.validate();
-    let start = Instant::now();
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let ladder: Vec<Problem> = config
-        .lambda_grid
-        .iter()
-        .map(|&lambda| problem.reweighted(FitnessWeights::new(lambda)))
-        .collect();
+/// [`Nsga2Config`] as a step-driven [`Metaheuristic`]: each step breeds
+/// one offspring; when a full offspring population exists, parents ∪
+/// offspring are truncated elitistically and a generation closes.
+///
+/// Like the cellular MO engine, the scalar reported to the shared
+/// runner is the negated hypervolume of the current first front, so
+/// "improvement" means the front grew.
+pub struct Nsga2Engine<'a> {
+    config: &'a Nsga2Config,
+    problem: &'a Problem,
+    rng: SmallRng,
+    ladder: Vec<Problem>,
+    population: Vec<MoIndividual>,
+    offspring: Vec<MoIndividual>,
+    /// Selection metadata of `population` (recomputed per generation).
+    rank: Vec<usize>,
+    crowding: Vec<f64>,
+    /// Fixed hypervolume reference (initial population's worst + 10 %).
+    reference: Objectives,
+    front_hv: f64,
+    generations: u64,
+    children: u64,
+}
 
-    // Initial population, seeded identically to the cellular engines.
-    let seed_schedule = config.seeding.build_seeded(problem, &mut rng);
-    let mut population = Vec::with_capacity(config.population);
-    population.push(MoIndividual::new(problem, seed_schedule.clone()));
-    for _ in 1..config.population {
-        let perturbed = perturb(problem, &seed_schedule, config.perturb_strength, &mut rng);
-        population.push(MoIndividual::new(problem, perturbed));
-    }
+impl<'a> Nsga2Engine<'a> {
+    /// Initialises the population (seeded identically to the cellular
+    /// engines) and its selection metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics on structurally invalid configurations.
+    #[must_use]
+    pub fn new(config: &'a Nsga2Config, problem: &'a Problem, seed: u64) -> Self {
+        config.validate();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let ladder: Vec<Problem> = config
+            .lambda_grid
+            .iter()
+            .map(|&lambda| problem.reweighted(FitnessWeights::new(lambda)))
+            .collect();
 
-    let mut generations = 0u64;
-    let mut children = 0u64;
-    'outer: loop {
-        // Selection metadata of the current population.
-        let objectives: Vec<Objectives> =
-            population.iter().map(MoIndividual::objectives).collect();
-        let (rank, crowding) = rank_and_crowding(&objectives);
-
-        // Breed one offspring population.
-        let mut offspring = Vec::with_capacity(config.population);
-        for _ in 0..config.population {
-            if config.stop.should_stop(start.elapsed(), generations, children, f64::INFINITY) {
-                break 'outer;
-            }
-            let first = crowded_tournament(&rank, &crowding, &mut rng);
-            let child_schedule = if rng.gen::<f64>() < config.crossover_rate {
-                let second = crowded_tournament(&rank, &crowding, &mut rng);
-                config.crossover.apply(
-                    &population[first].schedule,
-                    &population[second].schedule,
-                    &mut rng,
-                )
-            } else {
-                population[first].schedule.clone()
-            };
-            let mut child = MoIndividual::new(problem, child_schedule);
-            if rng.gen::<f64>() < config.mutation_rate {
-                config.mutation.apply(problem, &mut child.schedule, &mut child.eval, &mut rng);
-            }
-            if config.local_search != LocalSearchKind::None {
-                let guide = &ladder[rng.gen_range(0..ladder.len())];
-                config.local_search.run(
-                    guide,
-                    &mut child.schedule,
-                    &mut child.eval,
-                    &mut rng,
-                    config.ls_iterations,
-                );
-            }
-            children += 1;
-            offspring.push(child);
+        let seed_schedule = config.seeding.build_seeded(problem, &mut rng);
+        let mut population = Vec::with_capacity(config.population);
+        population.push(MoIndividual::new(problem, seed_schedule.clone()));
+        for _ in 1..config.population {
+            let perturbed = perturb(problem, &seed_schedule, config.perturb_strength, &mut rng);
+            population.push(MoIndividual::new(problem, perturbed));
         }
 
-        // Elitist truncation of parents ∪ offspring.
-        population.append(&mut offspring);
-        population = truncate(population, config.population);
-        generations += 1;
+        let objectives: Vec<Objectives> = population.iter().map(MoIndividual::objectives).collect();
+        let reference = reference_point(&[&objectives], 0.10);
+        let (rank, crowding) = rank_and_crowding(&objectives);
+        let front_hv = first_front_hypervolume(&objectives, &rank, reference);
+        Self {
+            config,
+            problem,
+            rng,
+            ladder,
+            offspring: Vec::with_capacity(config.population),
+            population,
+            rank,
+            crowding,
+            reference,
+            front_hv,
+            generations: 0,
+            children: 0,
+        }
     }
 
-    // Final front: non-dominated subset of the last population.
-    let objectives: Vec<Objectives> = population.iter().map(MoIndividual::objectives).collect();
-    let mut front: Vec<MoSolution> = fronts(&objectives)
-        .into_iter()
-        .next()
-        .unwrap_or_default()
-        .into_iter()
-        .map(|i| MoSolution {
-            schedule: population[i].schedule.clone(),
-            objectives: objectives[i],
-        })
-        .collect();
-    front.sort_by(|a, b| {
-        a.objectives
-            .makespan
-            .total_cmp(&b.objectives.makespan)
-            .then(a.objectives.flowtime.total_cmp(&b.objectives.flowtime))
-    });
-    front.dedup_by(|a, b| a.objectives == b.objectives);
+    /// Consumes the engine into the classic outcome report: the
+    /// non-dominated subset of the final population, deduplicated and
+    /// ascending by makespan.
+    #[must_use]
+    pub fn into_outcome(self, stats: RunStats, seed: u64) -> Nsga2Outcome {
+        let objectives: Vec<Objectives> = self
+            .population
+            .iter()
+            .map(MoIndividual::objectives)
+            .collect();
+        let mut front: Vec<MoSolution> = fronts(&objectives)
+            .into_iter()
+            .next()
+            .unwrap_or_default()
+            .into_iter()
+            .map(|i| MoSolution {
+                schedule: self.population[i].schedule.clone(),
+                objectives: objectives[i],
+            })
+            .collect();
+        front.sort_by(|a, b| {
+            a.objectives
+                .makespan
+                .total_cmp(&b.objectives.makespan)
+                .then(a.objectives.flowtime.total_cmp(&b.objectives.flowtime))
+        });
+        front.dedup_by(|a, b| a.objectives == b.objectives);
 
-    Nsga2Outcome { front, generations, children, elapsed: start.elapsed(), seed }
+        Nsga2Outcome {
+            front,
+            generations: stats.iterations,
+            children: stats.children,
+            elapsed: stats.elapsed,
+            seed,
+        }
+    }
+}
+
+impl Metaheuristic for Nsga2Engine<'_> {
+    fn name(&self) -> &'static str {
+        "NSGA-II"
+    }
+
+    fn step(&mut self) {
+        let first = crowded_tournament(&self.rank, &self.crowding, &mut self.rng);
+        let child_schedule = if self.rng.gen::<f64>() < self.config.crossover_rate {
+            let second = crowded_tournament(&self.rank, &self.crowding, &mut self.rng);
+            self.config.crossover.apply(
+                &self.population[first].schedule,
+                &self.population[second].schedule,
+                &mut self.rng,
+            )
+        } else {
+            self.population[first].schedule.clone()
+        };
+        let mut child = MoIndividual::new(self.problem, child_schedule);
+        if self.rng.gen::<f64>() < self.config.mutation_rate {
+            self.config.mutation.apply(
+                self.problem,
+                &mut child.schedule,
+                &mut child.eval,
+                &mut self.rng,
+            );
+        }
+        if self.config.local_search != LocalSearchKind::None {
+            let guide = &self.ladder[self.rng.gen_range(0..self.ladder.len())];
+            self.config.local_search.run(
+                guide,
+                &mut child.schedule,
+                &mut child.eval,
+                &mut self.rng,
+                self.config.ls_iterations,
+            );
+        }
+        self.children += 1;
+        self.offspring.push(child);
+
+        if self.offspring.len() == self.config.population {
+            // Elitist truncation of parents ∪ offspring.
+            let mut combined = std::mem::take(&mut self.population);
+            combined.append(&mut self.offspring);
+            self.population = truncate(combined, self.config.population);
+            self.generations += 1;
+
+            let objectives: Vec<Objectives> = self
+                .population
+                .iter()
+                .map(MoIndividual::objectives)
+                .collect();
+            let (rank, crowding) = rank_and_crowding(&objectives);
+            self.front_hv = first_front_hypervolume(&objectives, &rank, self.reference);
+            self.rank = rank;
+            self.crowding = crowding;
+        }
+    }
+
+    fn iterations(&self) -> u64 {
+        self.generations
+    }
+
+    fn children(&self) -> u64 {
+        self.children
+    }
+
+    fn best_fitness(&self) -> f64 {
+        -self.front_hv
+    }
+
+    fn best_objectives(&self) -> Objectives {
+        let front: Vec<Objectives> = self
+            .population
+            .iter()
+            .zip(&self.rank)
+            .filter(|(_, &r)| r == 0)
+            .map(|(i, _)| i.objectives())
+            .collect();
+        crate::mocell::ideal_point(&front)
+    }
+}
+
+/// Hypervolume of the rank-0 subset of `objectives`.
+fn first_front_hypervolume(
+    objectives: &[Objectives],
+    rank: &[usize],
+    reference: Objectives,
+) -> f64 {
+    let front: Vec<Objectives> = objectives
+        .iter()
+        .zip(rank)
+        .filter(|(_, &r)| r == 0)
+        .map(|(&o, _)| o)
+        .collect();
+    hypervolume(&front, reference)
+}
+
+/// Runs the configured NSGA-II through the shared runner (see
+/// [`Nsga2Config::run`]).
+#[must_use]
+pub fn run(config: &Nsga2Config, problem: &Problem, seed: u64) -> Nsga2Outcome {
+    let start = Instant::now();
+    let mut engine = Nsga2Engine::new(config, problem, seed);
+    let stats = Runner::new(config.stop).run_from(start, &mut engine, &mut []);
+    engine.into_outcome(stats, seed)
 }
 
 /// Front rank and per-front crowding distance of every point.
@@ -242,8 +373,7 @@ fn rank_and_crowding(objectives: &[Objectives]) -> (Vec<usize>, Vec<f64>) {
     let mut rank = vec![0usize; objectives.len()];
     let mut crowding = vec![0.0f64; objectives.len()];
     for (depth, front) in fronts(objectives).iter().enumerate() {
-        let front_objectives: Vec<Objectives> =
-            front.iter().map(|&i| objectives[i]).collect();
+        let front_objectives: Vec<Objectives> = front.iter().map(|&i| objectives[i]).collect();
         let distances = crowding_distances(&front_objectives);
         for (&i, d) in front.iter().zip(distances) {
             rank[i] = depth;
@@ -314,7 +444,9 @@ mod tests {
     }
 
     fn quick() -> Nsga2Config {
-        Nsga2Config::suggested().with_population(20).with_stop(StopCondition::children(200))
+        Nsga2Config::suggested()
+            .with_population(20)
+            .with_stop(StopCondition::children(200))
     }
 
     #[test]
@@ -355,7 +487,9 @@ mod tests {
 
     #[test]
     fn memetic_variant_runs() {
-        let outcome = quick().with_local_search(LocalSearchKind::Lmcts).run(&problem(), 3);
+        let outcome = quick()
+            .with_local_search(LocalSearchKind::Lmcts)
+            .run(&problem(), 3);
         assert_eq!(outcome.children, 200);
         assert!(!outcome.front.is_empty());
     }

@@ -103,7 +103,13 @@ mod tests {
     fn layered_fronts() {
         // Two nested "staircases": {0,1} non-dominated, {2,3} behind them,
         // {4} behind everything.
-        let points = [o(1.0, 4.0), o(4.0, 1.0), o(2.0, 5.0), o(5.0, 2.0), o(6.0, 6.0)];
+        let points = [
+            o(1.0, 4.0),
+            o(4.0, 1.0),
+            o(2.0, 5.0),
+            o(5.0, 2.0),
+            o(6.0, 6.0),
+        ];
         let fronts = fronts(&points);
         assert_eq!(fronts, vec![vec![0, 1], vec![2, 3], vec![4]]);
         assert_eq!(ranks(&points), vec![0, 0, 1, 1, 2]);
@@ -117,7 +123,13 @@ mod tests {
 
     #[test]
     fn all_non_dominated_is_one_front() {
-        let points = [o(1.0, 5.0), o(2.0, 4.0), o(3.0, 3.0), o(4.0, 2.0), o(5.0, 1.0)];
+        let points = [
+            o(1.0, 5.0),
+            o(2.0, 4.0),
+            o(3.0, 3.0),
+            o(4.0, 2.0),
+            o(5.0, 1.0),
+        ];
         assert_eq!(fronts(&points).len(), 1);
         assert_eq!(non_dominated(&points), vec![0, 1, 2, 3, 4]);
     }
@@ -141,7 +153,9 @@ mod tests {
             .collect();
         let brute: Vec<usize> = (0..points.len())
             .filter(|&i| {
-                points.iter().all(|&p| !crate::dominance::dominates(p, points[i]))
+                points
+                    .iter()
+                    .all(|&p| !crate::dominance::dominates(p, points[i]))
             })
             .collect();
         assert_eq!(non_dominated(&points), brute);

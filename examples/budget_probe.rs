@@ -18,9 +18,33 @@ fn main() {
     for ms in [1000u64, 4000, 10000] {
         let stop = StopCondition::time(Duration::from_millis(ms));
         let mut row = format!("{:>6} ms:", ms);
-        let cma: f64 = (0..2).map(|s| CmaConfig::paper().with_stop(stop).run(&p, s).objectives.makespan).fold(f64::INFINITY, f64::min);
-        let ga: f64 = (0..2).map(|s| BraunGa::default().with_stop(stop).run(&p, s).objectives.makespan).fold(f64::INFINITY, f64::min);
-        let st: f64 = (0..2).map(|s| StruggleGa::default().with_stop(stop).run(&p, s).objectives.makespan).fold(f64::INFINITY, f64::min);
+        let cma: f64 = (0..2)
+            .map(|s| {
+                CmaConfig::paper()
+                    .with_stop(stop)
+                    .run(&p, s)
+                    .objectives
+                    .makespan
+            })
+            .fold(f64::INFINITY, f64::min);
+        let ga: f64 = (0..2)
+            .map(|s| {
+                BraunGa::default()
+                    .with_stop(stop)
+                    .run(&p, s)
+                    .objectives
+                    .makespan
+            })
+            .fold(f64::INFINITY, f64::min);
+        let st: f64 = (0..2)
+            .map(|s| {
+                StruggleGa::default()
+                    .with_stop(stop)
+                    .run(&p, s)
+                    .objectives
+                    .makespan
+            })
+            .fold(f64::INFINITY, f64::min);
         row += &format!("  cMA {:.0}  BraunGA {:.0}  Struggle {:.0}", cma, ga, st);
         println!("{row}");
     }

@@ -7,7 +7,9 @@
 //! cargo run --release --example dynamic_grid
 //! ```
 
-use cmags::gridsim::scheduler::{BatchScheduler, CmaScheduler, HeuristicScheduler, RandomScheduler};
+use cmags::gridsim::scheduler::{
+    BatchScheduler, CmaScheduler, HeuristicScheduler, RandomScheduler,
+};
 use cmags::gridsim::{SimConfig, Simulation};
 use cmags::prelude::*;
 

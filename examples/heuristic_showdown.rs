@@ -11,7 +11,10 @@ use cmags::prelude::*;
 
 fn main() {
     let budget = StopCondition::children(3_000);
-    for (offset, class_label) in ["u_c_hihi.0", "u_i_hihi.0", "u_s_hihi.0"].iter().enumerate() {
+    for (offset, class_label) in ["u_c_hihi.0", "u_i_hihi.0", "u_s_hihi.0"]
+        .iter()
+        .enumerate()
+    {
         let rng_seed = 7 + offset as u64;
         let class: InstanceClass = class_label.parse().expect("valid label");
         let instance = braun::generate(class.with_dims(128, 16), 0);
@@ -33,7 +36,10 @@ fn main() {
 
         // Metaheuristics under the equal children budget.
         let cma = CmaConfig::paper().with_stop(budget).run(&problem, rng_seed);
-        println!("{:<14} {:>14.1} {:>16.1}", "cMA", cma.objectives.makespan, cma.objectives.flowtime);
+        println!(
+            "{:<14} {:>14.1} {:>16.1}",
+            "cMA", cma.objectives.makespan, cma.objectives.flowtime
+        );
 
         let braun_ga = BraunGa::default().with_stop(budget).run(&problem, rng_seed);
         println!(
@@ -41,13 +47,17 @@ fn main() {
             "Braun GA", braun_ga.objectives.makespan, braun_ga.objectives.flowtime
         );
 
-        let struggle = StruggleGa::default().with_stop(budget).run(&problem, rng_seed);
+        let struggle = StruggleGa::default()
+            .with_stop(budget)
+            .run(&problem, rng_seed);
         println!(
             "{:<14} {:>14.1} {:>16.1}",
             "Struggle GA", struggle.objectives.makespan, struggle.objectives.flowtime
         );
 
-        let ssga = SteadyStateGa::default().with_stop(budget).run(&problem, rng_seed);
+        let ssga = SteadyStateGa::default()
+            .with_stop(budget)
+            .run(&problem, rng_seed);
         println!(
             "{:<14} {:>14.1} {:>16.1}",
             "SS-GA", ssga.objectives.makespan, ssga.objectives.flowtime

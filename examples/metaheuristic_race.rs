@@ -47,32 +47,67 @@ fn main() {
         let mut rng = rand::thread_rng();
         let schedule = kind.build_seeded(&problem, &mut rng);
         let objectives = evaluate(&problem, &schedule);
-        leaderboard.push((kind.name().to_owned(), objectives.makespan, objectives.flowtime));
+        leaderboard.push((
+            kind.name().to_owned(),
+            objectives.makespan,
+            objectives.flowtime,
+        ));
     }
 
     // Budgeted metaheuristics, one seeded run each.
     let seed = 42;
-    let sa = SimulatedAnnealing::default().with_stop(budget).run(&problem, seed);
+    let sa = SimulatedAnnealing::default()
+        .with_stop(budget)
+        .run(&problem, seed);
     leaderboard.push(("SA".into(), sa.objectives.makespan, sa.objectives.flowtime));
 
     let tabu = TabuSearch::default().with_stop(budget).run(&problem, seed);
-    leaderboard.push(("Tabu".into(), tabu.objectives.makespan, tabu.objectives.flowtime));
+    leaderboard.push((
+        "Tabu".into(),
+        tabu.objectives.makespan,
+        tabu.objectives.flowtime,
+    ));
 
     let braun_ga = BraunGa::default().with_stop(budget).run(&problem, seed);
-    leaderboard.push(("Braun GA".into(), braun_ga.objectives.makespan, braun_ga.objectives.flowtime));
+    leaderboard.push((
+        "Braun GA".into(),
+        braun_ga.objectives.makespan,
+        braun_ga.objectives.flowtime,
+    ));
 
     let struggle = StruggleGa::default().with_stop(budget).run(&problem, seed);
-    leaderboard.push(("Struggle GA".into(), struggle.objectives.makespan, struggle.objectives.flowtime));
+    leaderboard.push((
+        "Struggle GA".into(),
+        struggle.objectives.makespan,
+        struggle.objectives.flowtime,
+    ));
 
     let panmictic = PanmicticMa::default().with_stop(budget).run(&problem, seed);
-    leaderboard.push(("Panmictic MA".into(), panmictic.objectives.makespan, panmictic.objectives.flowtime));
+    leaderboard.push((
+        "Panmictic MA".into(),
+        panmictic.objectives.makespan,
+        panmictic.objectives.flowtime,
+    ));
 
     let cma = CmaConfig::paper().with_stop(budget).run(&problem, seed);
-    leaderboard.push(("cMA".into(), cma.objectives.makespan, cma.objectives.flowtime));
+    leaderboard.push((
+        "cMA".into(),
+        cma.objectives.makespan,
+        cma.objectives.flowtime,
+    ));
 
     leaderboard.sort_by(|a, b| a.1.total_cmp(&b.1));
-    println!("{:<4} {:<14} {:>14} {:>18}", "#", "contender", "makespan", "flowtime");
+    println!(
+        "{:<4} {:<14} {:>14} {:>18}",
+        "#", "contender", "makespan", "flowtime"
+    );
     for (position, (name, makespan, flowtime)) in leaderboard.iter().enumerate() {
-        println!("{:<4} {:<14} {:>14.1} {:>18.1}", position + 1, name, makespan, flowtime);
+        println!(
+            "{:<4} {:<14} {:>14.1} {:>18.1}",
+            position + 1,
+            name,
+            makespan,
+            flowtime
+        );
     }
 }

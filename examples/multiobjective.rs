@@ -47,18 +47,25 @@ fn main() {
             "lambda-scan",
             scan.points()
                 .iter()
-                .map(|p| Objectives { makespan: p.makespan, flowtime: p.flowtime })
+                .map(|p| Objectives {
+                    makespan: p.makespan,
+                    flowtime: p.flowtime,
+                })
                 .collect(),
         ),
         ("MoCell", mocell.archive.objectives()),
-        ("NSGA-II", nsga2.front.iter().map(|s| s.objectives).collect()),
+        (
+            "NSGA-II",
+            nsga2.front.iter().map(|s| s.objectives).collect(),
+        ),
     ];
 
     // Union front: the best of everything any method found.
-    let union_all: Vec<Objectives> =
-        fronts.iter().flat_map(|(_, f)| f.iter().copied()).collect();
-    let union_front: Vec<Objectives> =
-        non_dominated(&union_all).into_iter().map(|i| union_all[i]).collect();
+    let union_all: Vec<Objectives> = fronts.iter().flat_map(|(_, f)| f.iter().copied()).collect();
+    let union_front: Vec<Objectives> = non_dominated(&union_all)
+        .into_iter()
+        .map(|i| union_all[i])
+        .collect();
     let reference = reference_point(&[&union_all], 0.05);
     let hv_union = hypervolume(&union_front, reference);
 
@@ -95,7 +102,11 @@ fn main() {
     let last_hv = mocell.hv_trace.last().map_or(0.0, |s| s.hypervolume);
     println!(
         "hypervolume grew {:.3}x over the run ({} samples)",
-        if first_hv > 0.0 { last_hv / first_hv } else { f64::INFINITY },
+        if first_hv > 0.0 {
+            last_hv / first_hv
+        } else {
+            f64::INFINITY
+        },
         mocell.hv_trace.len()
     );
 }

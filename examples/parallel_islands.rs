@@ -1,6 +1,6 @@
 //! Coarse-grained parallelism on top of the fine-grained cellular model:
 //! a ring of cMA islands evolving on separate threads with periodic
-//! best-individual migration (crossbeam channels, no shared state).
+//! best-individual migration (bounded std mpsc channels, no shared state).
 //!
 //! ```text
 //! cargo run --release --example parallel_islands

@@ -7,8 +7,11 @@
 //!
 //! * [`etc`] — the ETC workload model and Braun et al. benchmark
 //!   generator;
-//! * [`core`] — the scheduling problem, objectives (makespan + flowtime)
-//!   and the incremental evaluator;
+//! * [`core`] — the scheduling problem, objectives (makespan + flowtime),
+//!   the incremental evaluator, and the **engine runtime**
+//!   ([`core::engine`]): the [`prelude::Metaheuristic`] trait every
+//!   search engine implements and the [`prelude::Runner`] that owns
+//!   budgets, stop conditions and trace recording;
 //! * [`heuristics`] — constructive heuristics (LJFR-SJFR, Min-Min, …),
 //!   genetic operators, and the LM/SLM/LMCTS local search methods;
 //! * [`cma`] — the cellular memetic algorithm itself (the paper's
@@ -56,10 +59,15 @@ pub mod prelude {
         best_of, run_independent, CmaConfig, CmaOutcome, Neighborhood, Selection, StopCondition,
         SweepOrder, UpdatePolicy,
     };
+    pub use cmags_core::engine::{
+        Metaheuristic, Observer, RunStats, Runner, Snapshot, TracePoint, TraceSink,
+    };
     pub use cmags_core::{
         evaluate, EvalState, FitnessWeights, JobId, MachineId, Objectives, Problem, Schedule,
     };
-    pub use cmags_etc::{braun, Consistency, EtcMatrix, GridInstance, Heterogeneity, InstanceClass};
+    pub use cmags_etc::{
+        braun, Consistency, EtcMatrix, GridInstance, Heterogeneity, InstanceClass,
+    };
     pub use cmags_ga::{
         BraunGa, GeneticSimulatedAnnealing, PanmicticMa, SimulatedAnnealing, SteadyStateGa,
         StruggleGa, TabuSearch,

@@ -57,8 +57,10 @@ fn simulator_snapshot_is_a_valid_static_instance() {
             self.inner.schedule(instance, seed)
         }
     }
-    let mut capture =
-        Capture { inner: HeuristicScheduler::new(ConstructiveKind::MinMin), snapshots: 0 };
+    let mut capture = Capture {
+        inner: HeuristicScheduler::new(ConstructiveKind::MinMin),
+        snapshots: 0,
+    };
     let report = Simulation::new(SimConfig::small(), 3).run(&mut capture);
     assert!(capture.snapshots > 0);
     assert_eq!(capture.snapshots as u64, report.activations);

@@ -1,0 +1,166 @@
+//! Cross-engine contract tests of the shared engine runtime: every
+//! metaheuristic in the workspace runs through the same
+//! `Metaheuristic` + `Runner` machinery, honours its budget exactly,
+//! and is a pure function of its seed — including the parallel
+//! synchronous cellular sweep, which must be bit-identical to its own
+//! single-threaded execution.
+
+use cmags::mo::{MoCellConfig, MoCellEngine, Nsga2Config, Nsga2Engine};
+use cmags::prelude::*;
+use cmags_cma::CmaEngine;
+
+fn problem() -> Problem {
+    let class: InstanceClass = "u_c_hihi.0".parse().unwrap();
+    Problem::from_instance(&braun::generate(class.with_dims(96, 8), 0))
+}
+
+/// Golden-seed determinism through the *trait object* interface: two
+/// boxed engines of every kind, driven by the same `Runner` with the
+/// same seed, land on identical best fitness/objectives and counters.
+#[test]
+fn every_engine_is_deterministic_per_seed_through_the_runner() {
+    let p = problem();
+    let stop = StopCondition::children(150);
+    let seed = 42;
+
+    let cma = CmaConfig::paper();
+    let braun_ga = BraunGa {
+        population_size: 12,
+        ..BraunGa::default()
+    };
+    let ss = SteadyStateGa {
+        population_size: 12,
+        ..SteadyStateGa::default()
+    };
+    let struggle = StruggleGa {
+        population_size: 12,
+        ..StruggleGa::default()
+    };
+    let pma = PanmicticMa {
+        population_size: 12,
+        ..PanmicticMa::default()
+    };
+    let sa = SimulatedAnnealing::default();
+    let tabu = TabuSearch::default();
+    let gsa = GeneticSimulatedAnnealing {
+        population_size: 12,
+        ..GeneticSimulatedAnnealing::default()
+    };
+    let mocell = MoCellConfig::suggested();
+    let nsga2 = Nsga2Config::suggested().with_population(12);
+
+    type EngineFactory<'a> = Box<dyn Fn() -> Box<dyn Metaheuristic + 'a> + 'a>;
+    let engines: Vec<(&str, EngineFactory<'_>)> = vec![
+        ("cMA", Box::new(|| Box::new(CmaEngine::new(&cma, &p, seed)))),
+        ("Braun GA", Box::new(|| Box::new(braun_ga.engine(&p, seed)))),
+        ("SS-GA", Box::new(|| Box::new(ss.engine(&p, seed)))),
+        (
+            "Struggle GA",
+            Box::new(|| Box::new(struggle.engine(&p, seed))),
+        ),
+        ("Panmictic MA", Box::new(|| Box::new(pma.engine(&p, seed)))),
+        ("SA", Box::new(|| Box::new(sa.engine(&p, seed)))),
+        ("Tabu", Box::new(|| Box::new(tabu.engine(&p, seed)))),
+        ("GSA", Box::new(|| Box::new(gsa.engine(&p, seed)))),
+        (
+            "MoCell",
+            Box::new(|| Box::new(MoCellEngine::new(&mocell, &p, seed))),
+        ),
+        (
+            "NSGA-II",
+            Box::new(|| Box::new(Nsga2Engine::new(&nsga2, &p, seed))),
+        ),
+    ];
+
+    let runner = Runner::new(stop);
+    for (name, make) in engines {
+        let run = || {
+            let mut engine = make();
+            assert_eq!(engine.name(), name, "engine reports its display name");
+            let stats = runner.run(engine.as_mut(), &mut []);
+            (stats, engine.best_fitness(), engine.best_objectives())
+        };
+        let (stats_a, fitness_a, objectives_a) = run();
+        let (stats_b, fitness_b, objectives_b) = run();
+
+        assert_eq!(
+            stats_a.children, 150,
+            "{name}: children budget must be exact"
+        );
+        assert_eq!(stats_a.children, stats_b.children, "{name}");
+        assert_eq!(stats_a.iterations, stats_b.iterations, "{name}");
+        assert_eq!(
+            fitness_a, fitness_b,
+            "{name}: fitness must be a pure function of the seed"
+        );
+        assert_eq!(objectives_a, objectives_b, "{name}");
+        assert!(fitness_a.is_finite(), "{name}: best fitness must be finite");
+    }
+}
+
+/// Different seeds explore differently (overwhelmingly likely) — the
+/// determinism above is not degenerate constancy.
+#[test]
+fn different_seeds_differ() {
+    let p = problem();
+    let stop = StopCondition::children(150);
+    let config = CmaConfig::paper().with_stop(stop);
+    assert_ne!(config.run(&p, 1).schedule, config.run(&p, 2).schedule);
+}
+
+/// The parallel synchronous sweep is bit-for-bit identical to its own
+/// single-threaded execution: same best schedule, same counters, same
+/// trace fitness values, for every thread count.
+#[test]
+fn parallel_synchronous_sweep_matches_single_threaded_bit_for_bit() {
+    let p = problem();
+    let base = CmaConfig::paper()
+        .with_update_policy(UpdatePolicy::Synchronous)
+        .with_stop(StopCondition::iterations(3));
+
+    let reference = base.clone().with_threads(1).run(&p, 7);
+    for threads in [2, 4, 7] {
+        let outcome = base.clone().with_threads(threads).run(&p, 7);
+        assert_eq!(reference.schedule, outcome.schedule, "{threads} threads");
+        assert_eq!(
+            reference.objectives, outcome.objectives,
+            "{threads} threads"
+        );
+        assert_eq!(reference.fitness, outcome.fitness, "{threads} threads");
+        assert_eq!(reference.children, outcome.children, "{threads} threads");
+        assert_eq!(reference.accepted, outcome.accepted, "{threads} threads");
+        assert_eq!(
+            reference.ls_improvements, outcome.ls_improvements,
+            "{threads} threads"
+        );
+        let fitness = |o: &CmaOutcome| o.trace.iter().map(|t| t.fitness).collect::<Vec<_>>();
+        assert_eq!(fitness(&reference), fitness(&outcome), "{threads} threads");
+    }
+}
+
+/// A custom observer plugged into the shared runner sees a monotone
+/// improvement stream — the pluggable-telemetry contract.
+#[test]
+fn custom_observer_sees_monotone_improvements() {
+    struct Monotone {
+        fitness: Vec<f64>,
+    }
+    impl Observer for Monotone {
+        fn on_improvement(&mut self, snapshot: &Snapshot) {
+            self.fitness.push(snapshot.fitness);
+        }
+    }
+
+    let p = problem();
+    let config = CmaConfig::paper();
+    let mut engine = CmaEngine::new(&config, &p, 5);
+    let mut observer = Monotone {
+        fitness: Vec::new(),
+    };
+    Runner::new(StopCondition::children(200)).run(&mut engine, &mut [&mut observer]);
+    assert!(
+        !observer.fitness.is_empty(),
+        "200 children must improve on the initial population at least once"
+    );
+    assert!(observer.fitness.windows(2).all(|w| w[1] < w[0]));
+}

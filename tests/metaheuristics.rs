@@ -21,15 +21,25 @@ fn best_of_3(run: impl FnMut(u64) -> f64) -> f64 {
 fn sa_and_tabu_beat_their_constructive_seed() {
     let p = problem();
     let mut rng = SmallRng::seed_from_u64(0);
-    let seed_fitness =
-        p.fitness(evaluate(&p, &ConstructiveKind::LjfrSjfr.build_seeded(&p, &mut rng)));
+    let seed_fitness = p.fitness(evaluate(
+        &p,
+        &ConstructiveKind::LjfrSjfr.build_seeded(&p, &mut rng),
+    ));
     let budget = StopCondition::children(3_000);
 
     let sa = SimulatedAnnealing::default().with_stop(budget).run(&p, 1);
-    assert!(sa.fitness < seed_fitness, "SA {} vs seed {seed_fitness}", sa.fitness);
+    assert!(
+        sa.fitness < seed_fitness,
+        "SA {} vs seed {seed_fitness}",
+        sa.fitness
+    );
 
     let tabu = TabuSearch::default().with_stop(budget).run(&p, 1);
-    assert!(tabu.fitness < seed_fitness, "Tabu {} vs seed {seed_fitness}", tabu.fitness);
+    assert!(
+        tabu.fitness < seed_fitness,
+        "Tabu {} vs seed {seed_fitness}",
+        tabu.fitness
+    );
 }
 
 #[test]
@@ -40,12 +50,27 @@ fn cma_beats_sa_and_tabu_on_consistent_instances_at_equal_budget() {
     let p = problem();
     let budget = StopCondition::children(2_000);
 
-    let cma = best_of_3(|s| CmaConfig::paper().with_stop(budget).run(&p, s).objectives.makespan);
-    let sa = best_of_3(|s| {
-        SimulatedAnnealing::default().with_stop(budget).run(&p, s).objectives.makespan
+    let cma = best_of_3(|s| {
+        CmaConfig::paper()
+            .with_stop(budget)
+            .run(&p, s)
+            .objectives
+            .makespan
     });
-    let tabu =
-        best_of_3(|s| TabuSearch::default().with_stop(budget).run(&p, s).objectives.makespan);
+    let sa = best_of_3(|s| {
+        SimulatedAnnealing::default()
+            .with_stop(budget)
+            .run(&p, s)
+            .objectives
+            .makespan
+    });
+    let tabu = best_of_3(|s| {
+        TabuSearch::default()
+            .with_stop(budget)
+            .run(&p, s)
+            .objectives
+            .makespan
+    });
 
     assert!(cma < sa, "cMA {cma} should beat SA {sa}");
     assert!(cma < tabu, "cMA {cma} should beat Tabu {tabu}");

@@ -41,7 +41,9 @@ fn mocell_covers_the_scalarised_optimum_region() {
     let inst = instance();
     let problem = Problem::from_instance(&inst);
     let budget = 1_200u64;
-    let cma = CmaConfig::paper().with_stop(StopCondition::children(budget)).run(&problem, 9);
+    let cma = CmaConfig::paper()
+        .with_stop(StopCondition::children(budget))
+        .run(&problem, 9);
     let mocell = MoCellConfig::suggested()
         .with_stop(StopCondition::children(budget))
         .run(&problem, 9);
@@ -78,7 +80,10 @@ fn lambda_scan_points_are_not_dominated_by_nsga2_at_equal_budget() {
     let scan_points: Vec<Objectives> = scan
         .points()
         .iter()
-        .map(|p| Objectives { makespan: p.makespan, flowtime: p.flowtime })
+        .map(|p| Objectives {
+            makespan: p.makespan,
+            flowtime: p.flowtime,
+        })
         .collect();
     let survivors = scan_points.iter().filter(|&&p| {
         nsga2
@@ -107,8 +112,10 @@ fn union_hypervolume_is_an_upper_bound() {
     let a = mocell.archive.objectives();
     let b: Vec<Objectives> = nsga2.front.iter().map(|s| s.objectives).collect();
     let union: Vec<Objectives> = a.iter().chain(&b).copied().collect();
-    let union_front: Vec<Objectives> =
-        non_dominated(&union).into_iter().map(|i| union[i]).collect();
+    let union_front: Vec<Objectives> = non_dominated(&union)
+        .into_iter()
+        .map(|i| union[i])
+        .collect();
 
     let reference = reference_point(&[&union], 0.05);
     let hv_union = hypervolume(&union_front, reference);

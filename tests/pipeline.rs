@@ -11,7 +11,9 @@ fn problem(label: &str, jobs: u32, machines: u32) -> Problem {
 #[test]
 fn full_pipeline_produces_verified_schedule() {
     let problem = problem("u_c_hihi.0", 96, 8);
-    let outcome = CmaConfig::paper().with_stop(StopCondition::children(300)).run(&problem, 1);
+    let outcome = CmaConfig::paper()
+        .with_stop(StopCondition::children(300))
+        .run(&problem, 1);
 
     // The outcome's schedule must be feasible and re-evaluate to exactly
     // the reported objectives.
@@ -28,7 +30,9 @@ fn full_pipeline_produces_verified_schedule() {
 #[test]
 fn cma_beats_every_constructive_heuristic_on_fitness() {
     let problem = problem("u_c_hihi.0", 96, 8);
-    let outcome = CmaConfig::paper().with_stop(StopCondition::children(600)).run(&problem, 2);
+    let outcome = CmaConfig::paper()
+        .with_stop(StopCondition::children(600))
+        .run(&problem, 2);
     for kind in ConstructiveKind::ALL {
         let fitness = problem.fitness(evaluate(&problem, &kind.build(&problem)));
         assert!(
@@ -81,12 +85,18 @@ fn every_algorithm_family_improves_its_starting_point() {
     let budget = StopCondition::children(800);
 
     let cma = CmaConfig::paper().with_stop(budget).run(&problem, 5);
-    let braun_ga = BraunGa { population_size: 24, ..BraunGa::default() }
-        .with_stop(budget)
-        .run(&problem, 5);
-    let struggle = StruggleGa { population_size: 24, ..StruggleGa::default() }
-        .with_stop(budget)
-        .run(&problem, 5);
+    let braun_ga = BraunGa {
+        population_size: 24,
+        ..BraunGa::default()
+    }
+    .with_stop(budget)
+    .run(&problem, 5);
+    let struggle = StruggleGa {
+        population_size: 24,
+        ..StruggleGa::default()
+    }
+    .with_stop(budget)
+    .run(&problem, 5);
 
     // Each trace starts worse than (or equal to) where it ends.
     for trace in [&cma.trace, &braun_ga.trace, &struggle.trace] {

@@ -15,9 +15,10 @@ fn cma_improves_flowtime_over_ljfr_sjfr() {
     for label in ["u_c_hihi.0", "u_i_hihi.0", "u_s_hihi.0"] {
         let p = problem(label);
         let seed_flowtime = evaluate(&p, &LjfrSjfr.build(&p)).flowtime;
-        let outcome = CmaConfig::paper().with_stop(StopCondition::children(1_500)).run(&p, 7);
-        let improvement =
-            (seed_flowtime - outcome.objectives.flowtime) / seed_flowtime * 100.0;
+        let outcome = CmaConfig::paper()
+            .with_stop(StopCondition::children(1_500))
+            .run(&p, 7);
+        let improvement = (seed_flowtime - outcome.objectives.flowtime) / seed_flowtime * 100.0;
         assert!(
             improvement > 5.0,
             "{label}: expected a clear flowtime improvement, got {improvement:.1}%"
@@ -32,10 +33,14 @@ fn cma_improves_flowtime_over_ljfr_sjfr() {
 fn makespan_spread_over_seeds_is_small() {
     let p = problem("u_c_hilo.0");
     let config = CmaConfig::paper().with_stop(StopCondition::children(800));
-    let makespans: Vec<f64> =
-        (0..6).map(|seed| config.run(&p, seed).objectives.makespan).collect();
+    let makespans: Vec<f64> = (0..6)
+        .map(|seed| config.run(&p, seed).objectives.makespan)
+        .collect();
     let mean = makespans.iter().sum::<f64>() / makespans.len() as f64;
-    let std = (makespans.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>()
+    let std = (makespans
+        .iter()
+        .map(|m| (m - mean) * (m - mean))
+        .sum::<f64>()
         / makespans.len() as f64)
         .sqrt();
     let cv = std / mean * 100.0;
@@ -77,7 +82,11 @@ fn cellular_is_competitive_with_panmictic_at_short_budget() {
         seeds
             .iter()
             .map(|&s| {
-                CmaConfig::paper().with_neighborhood(n).with_stop(budget).run(&p, s).fitness
+                CmaConfig::paper()
+                    .with_neighborhood(n)
+                    .with_stop(budget)
+                    .run(&p, s)
+                    .fitness
             })
             .sum()
     };
@@ -108,7 +117,10 @@ fn small_neighbourhood_sustains_more_diversity_than_panmictic() {
     let p = problem("u_c_hihi.0");
     let budget = StopCondition::iterations(9);
     let mean_entropy = |n: Neighborhood, seed: u64| -> f64 {
-        let outcome = CmaConfig::paper().with_neighborhood(n).with_stop(budget).run(&p, seed);
+        let outcome = CmaConfig::paper()
+            .with_neighborhood(n)
+            .with_stop(budget)
+            .run(&p, seed);
         let d = &outcome.diversity;
         d.iter().take(9).map(|p| p.entropy).sum::<f64>() / 9.0
     };
@@ -139,7 +151,11 @@ fn pareto_front_exposes_the_tradeoff() {
         11,
     );
     assert!(front.is_consistent());
-    assert!(front.len() >= 2, "expected several trade-off points, got {}", front.len());
+    assert!(
+        front.len() >= 2,
+        "expected several trade-off points, got {}",
+        front.len()
+    );
     // Ascending makespan must come with descending flowtime.
     let points = front.points();
     for w in points.windows(2) {
@@ -155,9 +171,21 @@ fn pareto_front_exposes_the_tradeoff() {
 fn cma_competitive_with_gas_on_consistent_class() {
     let p = problem("u_c_hihi.0");
     let budget = StopCondition::children(1_500);
-    let cma = CmaConfig::paper().with_stop(budget).run(&p, 9).objectives.makespan;
-    let braun = BraunGa::default().with_stop(budget).run(&p, 9).objectives.makespan;
-    let struggle = StruggleGa::default().with_stop(budget).run(&p, 9).objectives.makespan;
+    let cma = CmaConfig::paper()
+        .with_stop(budget)
+        .run(&p, 9)
+        .objectives
+        .makespan;
+    let braun = BraunGa::default()
+        .with_stop(budget)
+        .run(&p, 9)
+        .objectives
+        .makespan;
+    let struggle = StruggleGa::default()
+        .with_stop(budget)
+        .run(&p, 9)
+        .objectives
+        .makespan;
     assert!(cma < braun, "cMA {cma} vs Braun GA {braun}");
     assert!(cma < struggle, "cMA {cma} vs Struggle GA {struggle}");
 }

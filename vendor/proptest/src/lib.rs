@@ -1,0 +1,105 @@
+//! Offline stand-in for the subset of the `proptest` API this workspace
+//! uses.
+//!
+//! The build environment has no crate registry access, so the workspace
+//! vendors a miniature property-testing harness with the same surface
+//! syntax as `proptest`: the [`Strategy`] trait with
+//! `prop_map`/`prop_flat_map`, range / tuple / `Just` / `any` /
+//! [`collection::vec`] / [`option::of`] strategies, [`prop_oneof!`], and
+//! the [`proptest!`] macro driving a fixed number of seeded cases.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **no shrinking** — a failing case panics with its assertion message
+//!   and the deterministic case seed, but is not minimised;
+//! * **deterministic scheduling** — cases derive from a per-test FNV hash
+//!   and the case index, so failures reproduce without a persistence file;
+//! * string strategies support only the `.{a,b}` regex shape the
+//!   workspace uses.
+//!
+//! `PROPTEST_CASES` in the environment overrides every configured case
+//! count (useful to deepen or speed up CI sweeps).
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+pub use test_runner::ProptestConfig;
+
+/// Everything the `proptest!` test modules import.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// FNV-1a hash of a string — the per-test seed root.
+#[must_use]
+pub fn fnv1a(s: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Asserts a property inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Picks uniformly between same-valued strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` seeded samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let cases = $crate::test_runner::effective_cases(config.cases);
+            let root = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..u64::from(cases) {
+                let mut runner_rng = $crate::test_runner::case_rng(root, case);
+                $(let $pat = $crate::Strategy::generate(&$strategy, &mut runner_rng);)+
+                $body
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}

@@ -1,0 +1,374 @@
+//! The [`Strategy`] trait and its combinators.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no shrinking: a strategy is just a
+/// deterministic function of the case RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into a strategy-producing `f` and samples
+    /// the result (dependent generation).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always yields a clone of the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Uniform choice between boxed same-valued strategies
+/// (see [`crate::prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `arms` is empty.
+    #[must_use]
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        let arm = rng.gen_range(0..self.arms.len());
+        self.arms[arm].generate(rng)
+    }
+}
+
+/// Probability of snapping a range sample to one of its edges — edge
+/// cases find off-by-one bugs that uniform sampling rarely hits.
+const EDGE_BIAS: f64 = 1.0 / 16.0;
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                if rng.gen::<f64>() < EDGE_BIAS {
+                    if rng.gen::<bool>() { self.start } else { self.end - 1 }
+                } else {
+                    rng.gen_range(self.clone())
+                }
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                if rng.gen::<f64>() < EDGE_BIAS {
+                    if rng.gen::<bool>() { *self.start() } else { *self.end() }
+                } else {
+                    rng.gen_range(self.clone())
+                }
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut SmallRng) -> f64 {
+        if rng.gen::<f64>() < EDGE_BIAS {
+            self.start
+        } else {
+            rng.gen_range(self.clone())
+        }
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut SmallRng) -> f64 {
+        if rng.gen::<f64>() < EDGE_BIAS {
+            if rng.gen::<bool>() {
+                *self.start()
+            } else {
+                *self.end()
+            }
+        } else {
+            rng.gen_range(self.clone())
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7),
+);
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.gen()
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                // Mix in edge values at the usual bias.
+                if rng.gen::<f64>() < EDGE_BIAS {
+                    *[0 as $t, 1 as $t, <$t>::MAX, <$t>::MIN]
+                        .get(rng.gen_range(0usize..4))
+                        .expect("in range")
+                } else {
+                    rng.gen()
+                }
+            }
+        }
+    )+};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.gen()
+    }
+}
+
+/// The `any::<T>()` strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+/// Generates arbitrary values of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// String strategy from a regex-ish pattern. Supports exactly the shapes
+/// the workspace uses: `.{a,b}` (any chars, length between `a` and `b`).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut SmallRng) -> String {
+        let (min, max) = parse_dot_repeat(self).unwrap_or_else(|| {
+            panic!("vendored proptest only supports `.{{a,b}}` string patterns, got {self:?}")
+        });
+        let len = rng.gen_range(min..=max);
+        (0..len).map(|_| random_char(rng)).collect()
+    }
+}
+
+/// Parses `.{a,b}` into `(a, b)`.
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+/// Mostly printable ASCII with a sprinkling of whitespace and non-ASCII
+/// code points — enough hostility for parser fuzzing.
+fn random_char(rng: &mut SmallRng) -> char {
+    match rng.gen_range(0u32..10) {
+        0 => *['\n', '\t', '\r', ' ']
+            .get(rng.gen_range(0usize..4))
+            .expect("in range"),
+        1 => char::from_u32(rng.gen_range(0x80u32..0xD7FF)).unwrap_or('\u{FFFD}'),
+        _ => char::from(rng.gen_range(0x20u8..0x7F)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = rng();
+        for _ in 0..2_000 {
+            let v = (3usize..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let f = (0.0f64..=1.0).generate(&mut rng);
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = rng();
+        let s = (1usize..5).prop_flat_map(|n| (0usize..n).prop_map(move |k| (n, k)));
+        for _ in 0..500 {
+            let (n, k) = s.generate(&mut rng);
+            assert!(k < n && n < 5);
+        }
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let mut rng = rng();
+        let s = crate::prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn string_pattern_respects_length() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = ".{0,16}".generate(&mut rng);
+            assert!(s.chars().count() <= 16);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "string patterns")]
+    fn unsupported_pattern_panics() {
+        let mut rng = rng();
+        let _ = "[a-z]+".generate(&mut rng);
+    }
+}

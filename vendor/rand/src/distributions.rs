@@ -1,0 +1,169 @@
+//! The standard distribution and uniform range sampling.
+
+use crate::{Rng, RngCore};
+
+/// A distribution of values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: `[0, 1)` for floats, the full
+/// domain for integers, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+/// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+pub(crate) fn f64_half_open<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 53 high bits → mantissa-exact floats in [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        f64_half_open(rng)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty => $via:ident),+ $(,)?) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.$via() as $t
+            }
+        }
+    )+};
+}
+
+standard_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+    usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64,
+);
+
+pub mod uniform {
+    //! Uniform sampling from ranges.
+
+    use std::ops::{Range, RangeInclusive};
+
+    use crate::RngCore;
+
+    /// A range that can produce uniform samples of `T`.
+    pub trait SampleRange<T> {
+        /// Draws one sample from the range.
+        ///
+        /// # Panics
+        ///
+        /// Panics on an empty range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Unbiased uniform draw from `[0, n)` via Lemire's widening-multiply
+    /// rejection method (`n > 0`).
+    pub(crate) fn below_u64<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let mut x = rng.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut low = m as u64;
+        if low < n {
+            let threshold = n.wrapping_neg() % n;
+            while low < threshold {
+                x = rng.next_u64();
+                m = (x as u128) * (n as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    macro_rules! int_range {
+        ($($t:ty),+ $(,)?) => {$(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "cannot sample from empty range {}..{}",
+                        self.start,
+                        self.end
+                    );
+                    let span = (self.end as i128 - self.start as i128) as u128 as u64;
+                    (self.start as i128 + below_u64(rng, span) as i128) as $t
+                }
+            }
+
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample from empty range {start}..={end}");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        // Full 64-bit domain.
+                        return rng.next_u64() as $t;
+                    }
+                    (start as i128 + below_u64(rng, span as u64) as i128) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleRange<f64> for Range<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(
+                self.start < self.end && self.start.is_finite() && self.end.is_finite(),
+                "cannot sample from range {}..{}",
+                self.start,
+                self.end
+            );
+            let u = super::f64_half_open(rng);
+            let v = self.start + u * (self.end - self.start);
+            // Guard against rounding up onto the excluded endpoint.
+            if v < self.end {
+                v
+            } else {
+                self.start
+            }
+        }
+    }
+
+    impl SampleRange<f64> for RangeInclusive<f64> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+            let (start, end) = (*self.start(), *self.end());
+            assert!(
+                start <= end && start.is_finite() && end.is_finite(),
+                "cannot sample from range {start}..={end}"
+            );
+            // 53 bits mapped onto [0, 1] inclusive.
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+            (start + u * (end - start)).clamp(start, end)
+        }
+    }
+
+    impl SampleRange<f32> for Range<f32> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+            let v = Range {
+                start: self.start as f64,
+                end: self.end as f64,
+            }
+            .sample_single(rng) as f32;
+            if v < self.end {
+                v
+            } else {
+                self.start
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API this workspace
+//! uses.
+//!
+//! The build environment has no access to a crate registry, so the
+//! workspace vendors the primitives it needs: the
+//! [`RngCore`]/[`SeedableRng`]/[`Rng`] trait triad, a xoshiro256++
+//! [`rngs::SmallRng`], unbiased integer ranges (Lemire rejection), 53-bit
+//! float sampling and Fisher–Yates shuffling ([`seq::SliceRandom`]).
+//!
+//! The generators are reimplemented from their public-domain reference
+//! descriptions (Blackman & Vigna's xoshiro256++, Steele et al.'s
+//! SplitMix64). Streams are **not** bit-compatible with the real `rand`
+//! crate: every determinism guarantee in this workspace is defined
+//! against this implementation.
+
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+use distributions::uniform::SampleRange;
+use distributions::{Distribution, Standard};
+
+/// The core of a random number generator: raw word output.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it through SplitMix64
+    /// (so nearby seeds yield unrelated states).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64::new(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of `T` from the standard distribution
+    /// (`f64`/`f32` in `[0, 1)`, uniform integers, fair `bool`).
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Samples uniformly from a (half-open or inclusive) range.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        crate::distributions::f64_half_open(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A freshly seeded non-deterministic generator (wall-clock + thread
+/// entropy). Unlike the real crate this is not a persistent thread-local
+/// — each call starts a new stream, which is all the workspace's
+/// examples need.
+#[must_use]
+pub fn thread_rng() -> rngs::SmallRng {
+    use std::hash::{BuildHasher, Hasher};
+    let clock = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut hasher = std::collections::hash_map::RandomState::new().build_hasher();
+    hasher.write_u64(clock);
+    rngs::SmallRng::seed_from_u64(hasher.finish())
+}
+
+/// SplitMix64 — the seed expander (Steele, Lea & Flood, 2014).
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(state: u64) -> Self {
+        Self { state }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(va, (0..16).map(|_| c.next_u64()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0f64..3.5);
+            assert!((-2.0..3.5).contains(&f));
+            let g = rng.gen_range(0.25f64..=0.75);
+            assert!((0.25..=0.75).contains(&g));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn standard_f64_is_half_open_unit() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let heads = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4_500..5_500).contains(&heads), "got {heads}");
+    }
+
+    #[test]
+    fn works_through_dyn_rng_core() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let dyn_rng: &mut dyn RngCore = &mut rng;
+        let v = dyn_rng.gen_range(0u32..10);
+        assert!(v < 10);
+        let f: f64 = dyn_rng.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn fill_bytes_fills_odd_lengths() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0), "overwhelmingly likely");
+    }
+}
