@@ -1,13 +1,29 @@
-//! Evaluation substrate microbenchmarks: full re-evaluation vs the
-//! incremental `EvalState` paths, across problem sizes.
+//! Evaluation substrate microbenchmarks: the O(log n) closed-form delta
+//! evaluator and the batched scoring API against the seed's merge-pass
+//! peek algorithm, across problem sizes.
 //!
-//! This quantifies the ablation `DESIGN.md` calls ABL-6 with criterion
-//! rigour: local search affordability rests entirely on `peek_*` being
-//! orders of magnitude cheaper than `evaluate`.
+//! Three layers are quantified per size (512×16, the paper's dimensions,
+//! and a generated 4096×64 instance):
+//!
+//! * `peek_move` / `peek_swap` — the closed-form prefix-cache peeks —
+//!   vs `peek_move_merge` / `peek_swap_merge` — the seed's
+//!   O(jobs-per-machine) merge pass + O(machines) totals fold, kept as
+//!   the reference implementation;
+//! * `slm_scan_*` and `lmcts_scan_*` — whole peek-dominated local-search
+//!   scans (one SLM step scores every machine for one job; one LMCTS
+//!   step scores every cross-machine partner of one anchor) in three
+//!   flavours: merge-pass loop (seed), closed-form peek loop, and one
+//!   batched `score_moves` / `score_swaps` call;
+//! * construction and `apply_move` costs.
+//!
+//! All flavours return bit-identical objectives (property-tested in
+//! `crates/core/tests/prop_eval.rs`); only their cost differs. Set
+//! `EVAL_BENCH_QUICK=1` for the CI smoke configuration (small instance,
+//! fewer samples).
 
 use std::hint::black_box;
 
-use cmags_core::{evaluate, EvalState, Problem, Schedule};
+use cmags_core::{evaluate, EvalState, Problem, Schedule, ScoreBuf};
 use cmags_etc::{braun, InstanceClass};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
@@ -27,8 +43,17 @@ fn spread_schedule(problem: &Problem) -> Schedule {
 }
 
 fn bench_eval(c: &mut Criterion) {
+    let quick = std::env::var_os("EVAL_BENCH_QUICK").is_some();
+    let sizes: &[(u32, u32)] = if quick {
+        &[(96, 8)]
+    } else {
+        &[(512, 16), (4096, 64)]
+    };
     let mut group = c.benchmark_group("evaluation");
-    for (jobs, machines) in [(512u32, 16u32), (2048, 64)] {
+    if quick {
+        group.sample_size(2);
+    }
+    for &(jobs, machines) in sizes {
         let p = problem(jobs, machines);
         let s = spread_schedule(&p);
         let label = format!("{jobs}x{machines}");
@@ -54,6 +79,14 @@ fn bench_eval(c: &mut Criterion) {
                 black_box(eval.peek_move(p, &s, job, to))
             });
         });
+        group.bench_with_input(BenchmarkId::new("peek_move_merge", &label), &p, |b, p| {
+            let mut i = 0;
+            b.iter(|| {
+                let (job, to) = probes[i % probes.len()];
+                i += 1;
+                black_box(eval.peek_move_merge(p, &s, job, to))
+            });
+        });
 
         let swaps: Vec<(u32, u32)> = (0..256)
             .map(|_| (rng.gen_range(0..jobs), rng.gen_range(0..jobs)))
@@ -66,6 +99,109 @@ fn bench_eval(c: &mut Criterion) {
                 black_box(eval.peek_swap(p, &s, a, bj))
             });
         });
+        group.bench_with_input(BenchmarkId::new("peek_swap_merge", &label), &p, |b, p| {
+            let mut i = 0;
+            b.iter(|| {
+                let (a, bj) = swaps[i % swaps.len()];
+                i += 1;
+                black_box(eval.peek_swap_merge(p, &s, a, bj))
+            });
+        });
+
+        // One SLM step: every other machine for one job. Flavours share
+        // the same candidate set and return bit-identical objectives.
+        let slm_candidates: Vec<Vec<(u32, u32)>> = (0..32)
+            .map(|_| {
+                let job = rng.gen_range(0..jobs);
+                let current = s.machine_of(job);
+                (0..machines)
+                    .filter(|&m| m != current)
+                    .map(|m| (job, m))
+                    .collect()
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("slm_scan_merge", &label), &p, |b, p| {
+            let mut i = 0;
+            b.iter(|| {
+                let cands = &slm_candidates[i % slm_candidates.len()];
+                i += 1;
+                let mut best = f64::INFINITY;
+                for &(job, to) in cands {
+                    best = best.min(p.fitness(eval.peek_move_merge(p, &s, job, to)));
+                }
+                black_box(best)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("slm_scan_peek", &label), &p, |b, p| {
+            let mut i = 0;
+            b.iter(|| {
+                let cands = &slm_candidates[i % slm_candidates.len()];
+                i += 1;
+                let mut best = f64::INFINITY;
+                for &(job, to) in cands {
+                    best = best.min(p.fitness(eval.peek_move(p, &s, job, to)));
+                }
+                black_box(best)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("slm_scan_batched", &label), &p, |b, p| {
+            let mut scores = ScoreBuf::new();
+            let mut i = 0;
+            b.iter(|| {
+                let cands = &slm_candidates[i % slm_candidates.len()];
+                i += 1;
+                eval.score_moves(p, &s, cands, &mut scores);
+                black_box(scores.best_by(|o| p.fitness(o)))
+            });
+        });
+
+        // One LMCTS step: every cross-machine partner of one anchor.
+        let anchors: Vec<(u32, Vec<u32>)> = (0..8)
+            .map(|_| {
+                let anchor = rng.gen_range(0..jobs);
+                let am = s.machine_of(anchor);
+                let partners = (0..jobs).filter(|&j| s.machine_of(j) != am).collect();
+                (anchor, partners)
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("lmcts_scan_merge", &label), &p, |b, p| {
+            let mut i = 0;
+            b.iter(|| {
+                let (anchor, partners) = &anchors[i % anchors.len()];
+                i += 1;
+                let mut best = f64::INFINITY;
+                for &partner in partners {
+                    best = best.min(p.fitness(eval.peek_swap_merge(p, &s, *anchor, partner)));
+                }
+                black_box(best)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("lmcts_scan_peek", &label), &p, |b, p| {
+            let mut i = 0;
+            b.iter(|| {
+                let (anchor, partners) = &anchors[i % anchors.len()];
+                i += 1;
+                let mut best = f64::INFINITY;
+                for &partner in partners {
+                    best = best.min(p.fitness(eval.peek_swap(p, &s, *anchor, partner)));
+                }
+                black_box(best)
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("lmcts_scan_batched", &label),
+            &p,
+            |b, p| {
+                let mut scores = ScoreBuf::new();
+                let mut i = 0;
+                b.iter(|| {
+                    let (anchor, partners) = &anchors[i % anchors.len()];
+                    i += 1;
+                    eval.score_swaps(p, &s, *anchor, partners, &mut scores);
+                    black_box(scores.best_by(|o| p.fitness(o)))
+                });
+            },
+        );
 
         group.bench_with_input(BenchmarkId::new("apply_move", &label), &p, |b, p| {
             let mut eval = EvalState::new(p, &s);

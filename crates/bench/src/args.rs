@@ -8,7 +8,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 use std::time::Duration;
 
-use cmags_cma::StopCondition;
+use cmags_cma::{CmaConfig, StopCondition};
 
 /// Parsed command line.
 #[derive(Debug, Clone, Default)]
@@ -141,6 +141,29 @@ impl Ctx {
     pub fn seeds(&self) -> Vec<u64> {
         (0..self.runs as u64).map(|r| self.seed + r).collect()
     }
+
+    /// The engine's share of the `--threads` budget: run-level fan-out
+    /// (`parallel_map` over seeds) claims `min(runs, threads)` workers,
+    /// and each engine gets the remainder — so synchronous-sweep
+    /// variants never oversubscribe `runs × threads` workers onto
+    /// `threads` cores. With `--runs 1` the whole budget goes to the
+    /// engine.
+    #[must_use]
+    pub fn engine_threads(&self) -> usize {
+        (self.threads / self.runs.clamp(1, self.threads)).max(1)
+    }
+
+    /// The paper's cMA configuration with `--threads` wired into the
+    /// engine ([`CmaConfig::with_threads`], budget-split by
+    /// [`Ctx::engine_threads`]): synchronous-sweep variants generate
+    /// each pass on the engine's worker share, while the paper's
+    /// asynchronous default ignores the setting (it is inherently
+    /// sequential). Results are bit-identical across thread counts by
+    /// construction.
+    #[must_use]
+    pub fn cma_config(&self) -> CmaConfig {
+        CmaConfig::paper().with_threads(self.engine_threads())
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +211,19 @@ mod tests {
     fn seeds_are_consecutive() {
         let ctx = Ctx::from_args(&args("--seed 10 --runs 4"));
         assert_eq!(ctx.seeds(), vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn engine_threads_split_the_budget() {
+        let ctx = |s: &str| Ctx::from_args(&args(s));
+        // Run fan-out claims min(runs, threads); the engine gets the rest.
+        assert_eq!(ctx("--threads 8 --runs 4").engine_threads(), 2);
+        assert_eq!(ctx("--threads 8 --runs 1").engine_threads(), 8);
+        assert_eq!(ctx("--threads 1 --runs 10").engine_threads(), 1);
+        assert_eq!(ctx("--threads 3 --runs 10").engine_threads(), 1);
+        // The wired config carries the engine share.
+        assert_eq!(ctx("--threads 8 --runs 1").cma_config().threads, 8);
+        assert_eq!(ctx("--threads 6 --runs 3").cma_config().threads, 2);
     }
 
     #[test]

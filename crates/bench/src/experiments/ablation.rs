@@ -3,7 +3,7 @@
 
 use std::time::Instant;
 
-use cmags_cma::{CmaConfig, UpdatePolicy};
+use cmags_cma::UpdatePolicy;
 use cmags_core::{evaluate, EvalState, FitnessWeights, Problem, Schedule};
 use cmags_etc::braun;
 use cmags_ga::PanmicticMa;
@@ -59,7 +59,7 @@ fn sweep(ctx: &Ctx, problem: &Problem, variants: Vec<(String, Algo)>, title: &st
 #[must_use]
 pub fn local_search_ablation(ctx: &Ctx) -> Table {
     let problem = tuning_problem(ctx);
-    let base = CmaConfig::paper();
+    let base = ctx.cma_config();
     let variants = vec![
         (
             "cGA (no LS)".to_owned(),
@@ -78,7 +78,7 @@ pub fn local_search_ablation(ctx: &Ctx) -> Table {
 #[must_use]
 pub fn update_policy_ablation(ctx: &Ctx) -> Table {
     let problem = tuning_problem(ctx);
-    let base = CmaConfig::paper();
+    let base = ctx.cma_config();
     let variants = vec![
         ("Asynchronous".to_owned(), Algo::Cma(base.clone())),
         (
@@ -93,7 +93,7 @@ pub fn update_policy_ablation(ctx: &Ctx) -> Table {
 #[must_use]
 pub fn seeding_ablation(ctx: &Ctx) -> Table {
     let problem = tuning_problem(ctx);
-    let base = CmaConfig::paper();
+    let base = ctx.cma_config();
     let variants = vec![
         ("LJFR-SJFR".to_owned(), Algo::Cma(base.clone())),
         (
@@ -113,7 +113,7 @@ pub fn seeding_ablation(ctx: &Ctx) -> Table {
 pub fn topology_ablation(ctx: &Ctx) -> Table {
     let problem = tuning_problem(ctx);
     let variants = vec![
-        ("cMA (5x5 torus)".to_owned(), Algo::Cma(CmaConfig::paper())),
+        ("cMA (5x5 torus)".to_owned(), Algo::Cma(ctx.cma_config())),
         (
             "Panmictic MA".to_owned(),
             Algo::Panmictic(PanmicticMa::default()),
@@ -137,7 +137,7 @@ pub fn lambda_sweep(ctx: &Ctx) -> Table {
         .collect();
     let flat: Vec<(usize, f64, f64)> = parallel_map(jobs, ctx.threads, |(l, seed)| {
         let problem = Problem::with_weights(&instance, FitnessWeights::new(lambdas[l]));
-        let outcome = CmaConfig::paper().with_stop(ctx.stop).run(&problem, seed);
+        let outcome = ctx.cma_config().with_stop(ctx.stop).run(&problem, seed);
         (l, outcome.objectives.makespan, outcome.objectives.flowtime)
     });
 

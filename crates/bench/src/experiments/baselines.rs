@@ -8,7 +8,6 @@
 //! per instance the best makespan of each contender, plus an aggregate
 //! table of average ranks and wins.
 
-use cmags_cma::CmaConfig;
 use cmags_ga::{BraunGa, GeneticSimulatedAnnealing, SimulatedAnnealing, StruggleGa, TabuSearch};
 use cmags_heuristics::constructive::ConstructiveKind;
 
@@ -18,7 +17,7 @@ use crate::runner::{parallel_map, Algo, Summary};
 
 /// The contenders of the line-up, in report order.
 #[must_use]
-pub fn lineup() -> Vec<Algo> {
+pub fn lineup(ctx: &Ctx) -> Vec<Algo> {
     vec![
         Algo::Heuristic(ConstructiveKind::Olb),
         Algo::Heuristic(ConstructiveKind::Met),
@@ -33,7 +32,7 @@ pub fn lineup() -> Vec<Algo> {
         Algo::Gsa(GeneticSimulatedAnnealing::default()),
         Algo::BraunGa(BraunGa::default()),
         Algo::Struggle(StruggleGa::default()),
-        Algo::Cma(CmaConfig::paper()),
+        Algo::Cma(ctx.cma_config()),
     ]
 }
 
@@ -41,7 +40,7 @@ pub fn lineup() -> Vec<Algo> {
 #[must_use]
 pub fn baselines(ctx: &Ctx) -> (Table, Table) {
     let problems = super::suite_problems(ctx);
-    let algos = lineup();
+    let algos = lineup(ctx);
 
     let mut detail = Table::new(
         "Baseline lineup best makespan",
@@ -107,7 +106,8 @@ mod tests {
 
     #[test]
     fn lineup_covers_heuristics_metaheuristics_and_the_cma() {
-        let names: Vec<String> = lineup().iter().map(Algo::name).collect();
+        let ctx = test_ctx(24, 3, 2, 40);
+        let names: Vec<String> = lineup(&ctx).iter().map(Algo::name).collect();
         for expected in [
             "OLB", "MET", "MCT", "Min-Min", "Duplex", "SA", "Tabu", "GSA", "Braun GA", "cMA",
         ] {
@@ -123,13 +123,13 @@ mod tests {
     fn produces_full_tables_and_sane_ranks() {
         let ctx = test_ctx(24, 3, 2, 40);
         let (detail, aggregate) = baselines(&ctx);
-        assert_eq!(detail.rows.len(), 12 * lineup().len());
-        assert_eq!(aggregate.rows.len(), lineup().len());
+        assert_eq!(detail.rows.len(), 12 * lineup(&ctx).len());
+        assert_eq!(aggregate.rows.len(), lineup(&ctx).len());
         let mut wins_total = 0usize;
         for row in &aggregate.rows {
             let avg_rank: f64 = row[1].parse().unwrap();
             assert!(
-                (1.0..=lineup().len() as f64).contains(&avg_rank),
+                (1.0..=lineup(&ctx).len() as f64).contains(&avg_rank),
                 "rank {avg_rank} out of range"
             );
             wins_total += row[2].parse::<usize>().unwrap();

@@ -10,7 +10,6 @@
 //! class persists, the paper's conclusion is a property of consistency
 //! structure, not of the uniform-range distribution.
 
-use cmags_cma::CmaConfig;
 use cmags_core::Problem;
 use cmags_etc::{cvb, InstanceClass};
 use cmags_ga::BraunGa;
@@ -27,7 +26,7 @@ pub fn cvb_generalisation(ctx: &Ctx) -> Table {
         "CVB generalisation cma vs braun ga",
         &["instance", "braun_ga_best", "cma_best", "delta_pct"],
     );
-    let cma = Algo::Cma(CmaConfig::paper()).with_stop(ctx.stop);
+    let cma = Algo::Cma(ctx.cma_config()).with_stop(ctx.stop);
     let ga = Algo::BraunGa(BraunGa::default()).with_stop(ctx.stop);
 
     for class in InstanceClass::braun_suite(0) {

@@ -75,7 +75,7 @@ impl Figure {
 #[must_use]
 pub fn run_figure(ctx: &Ctx, figure: Figure) -> (Table, Table) {
     let problem = tuning_problem(ctx);
-    let base = CmaConfig::paper().with_stop(ctx.stop);
+    let base = ctx.cma_config().with_stop(ctx.stop);
     let variants = figure.variants(&base);
     let seeds = ctx.seeds();
 

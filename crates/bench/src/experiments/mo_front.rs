@@ -16,7 +16,7 @@
 //! hypervolume share and smaller ε/IGD are better.
 
 use cmags_cma::pareto::pareto_front;
-use cmags_cma::{CmaConfig, StopCondition};
+use cmags_cma::StopCondition;
 use cmags_core::{Objectives, Problem};
 use cmags_etc::{braun, InstanceClass};
 use cmags_mo::indicators::{additive_epsilon, hypervolume, igd, reference_point, spread};
@@ -81,7 +81,7 @@ pub fn mo_front(ctx: &Ctx) -> Table {
         );
         let problem = Problem::from_instance(&instance);
 
-        let scan = pareto_front(&instance, &CmaConfig::paper(), per_run, &LAMBDAS, ctx.seed);
+        let scan = pareto_front(&instance, &ctx.cma_config(), per_run, &LAMBDAS, ctx.seed);
         let mocell = MoCellConfig::suggested()
             .with_stop(pooled)
             .run(&problem, ctx.seed);

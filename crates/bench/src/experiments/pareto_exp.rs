@@ -3,7 +3,6 @@
 //! solutions" (§6), via the λ-scan archive of `cmags_cma::pareto`.
 
 use cmags_cma::pareto::pareto_front;
-use cmags_cma::CmaConfig;
 use cmags_etc::{braun, InstanceClass};
 
 use crate::args::Ctx;
@@ -26,7 +25,7 @@ pub fn pareto(ctx: &Ctx) -> Table {
             class.with_dims(ctx.nb_jobs, ctx.nb_machines),
             super::SUITE_STREAM,
         );
-        let front = pareto_front(&instance, &CmaConfig::paper(), ctx.stop, &LAMBDAS, ctx.seed);
+        let front = pareto_front(&instance, &ctx.cma_config(), ctx.stop, &LAMBDAS, ctx.seed);
         assert!(front.is_consistent(), "archive invariant violated");
         for point in front.points() {
             table.push_row(vec![

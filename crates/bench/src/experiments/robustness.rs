@@ -1,8 +1,6 @@
 //! §5.1 robustness study: "the standard deviation of the best makespan
 //! from the averaged makespan is very small (roughly 1%)".
 
-use cmags_cma::CmaConfig;
-
 use crate::args::Ctx;
 use crate::report::{fmt_value, Table};
 use crate::runner::{parallel_map, Algo, Summary};
@@ -14,7 +12,7 @@ use super::suite_problems;
 #[must_use]
 pub fn robustness(ctx: &Ctx) -> Table {
     let problems = suite_problems(ctx);
-    let algo = Algo::Cma(CmaConfig::paper()).with_stop(ctx.stop);
+    let algo = Algo::Cma(ctx.cma_config()).with_stop(ctx.stop);
     let seeds = ctx.seeds();
 
     let jobs: Vec<(usize, u64)> = (0..problems.len())

@@ -5,7 +5,6 @@
 //! under a fixed per-run budget, the cMA's improvement over the
 //! strongest cheap heuristic (Min-Min) and its children throughput.
 
-use cmags_cma::CmaConfig;
 use cmags_core::{evaluate, Problem};
 use cmags_etc::{braun, InstanceClass};
 use cmags_heuristics::constructive::ConstructiveKind;
@@ -41,7 +40,7 @@ pub fn scaling(ctx: &Ctx) -> Table {
         let minmin = evaluate(&problem, &ConstructiveKind::MinMin.build(&problem)).makespan;
 
         let results: Vec<(f64, f64)> = parallel_map(seeds.clone(), ctx.threads, |seed| {
-            let outcome = CmaConfig::paper().with_stop(ctx.stop).run(&problem, seed);
+            let outcome = ctx.cma_config().with_stop(ctx.stop).run(&problem, seed);
             let throughput = outcome.children as f64 / outcome.elapsed.as_secs_f64().max(1e-9);
             (outcome.objectives.makespan, throughput)
         });
@@ -69,7 +68,7 @@ mod tests {
     /// cMA still at least matches Min-Min under the per-child budget.
     #[test]
     fn throughput_decreases_with_size() {
-        use cmags_cma::StopCondition;
+        use cmags_cma::{CmaConfig, StopCondition};
         let class: InstanceClass = "u_c_hihi.0".parse().unwrap();
         let mut throughputs = Vec::new();
         for (jobs, machines) in [(64u32, 8u32), (256, 16)] {

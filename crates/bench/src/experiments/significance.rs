@@ -7,7 +7,6 @@
 //! the Vargha-Delaney Â₁₂ effect size (probability that a random cMA
 //! run beats a random baseline run; > 0.5 favours the cMA).
 
-use cmags_cma::CmaConfig;
 use cmags_ga::{BraunGa, SimulatedAnnealing, SteadyStateGa, StruggleGa, TabuSearch};
 
 use crate::args::Ctx;
@@ -49,7 +48,7 @@ pub fn significance(ctx: &Ctx) -> Table {
         .filter(|p| p.name().contains("hihi"))
         .collect();
 
-    let cma = Algo::Cma(CmaConfig::paper()).with_stop(ctx.stop);
+    let cma = Algo::Cma(ctx.cma_config()).with_stop(ctx.stop);
     for problem in class_representatives {
         let seeds: Vec<u64> = (0..ctx.runs as u64).map(|r| ctx.seed + r).collect();
         let cma_makespans: Vec<f64> = parallel_map(seeds.clone(), ctx.threads, |seed| {

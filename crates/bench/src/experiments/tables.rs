@@ -1,7 +1,6 @@
 //! Tables 2–5: best makespan / flowtime comparisons on the twelve
 //! benchmark instances, with the paper's reported values alongside.
 
-use cmags_cma::CmaConfig;
 use cmags_core::Problem;
 use cmags_ga::{BraunGa, SteadyStateGa, StruggleGa};
 use cmags_heuristics::constructive::ConstructiveKind;
@@ -63,7 +62,7 @@ fn run_suite(ctx: &Ctx, problems: &[Problem], algo: &Algo) -> SuiteResults {
 #[must_use]
 pub fn table2(ctx: &Ctx) -> Table {
     let problems = suite_problems(ctx);
-    let cma = run_suite(ctx, &problems, &Algo::Cma(CmaConfig::paper()));
+    let cma = run_suite(ctx, &problems, &Algo::Cma(ctx.cma_config()));
     let ga = run_suite(ctx, &problems, &Algo::BraunGa(BraunGa::default()));
 
     let mut table = Table::new(
@@ -102,7 +101,7 @@ pub fn table2(ctx: &Ctx) -> Table {
 #[must_use]
 pub fn table3(ctx: &Ctx) -> Table {
     let problems = suite_problems(ctx);
-    let cma = run_suite(ctx, &problems, &Algo::Cma(CmaConfig::paper()));
+    let cma = run_suite(ctx, &problems, &Algo::Cma(ctx.cma_config()));
     let ssga = run_suite(ctx, &problems, &Algo::SteadyState(SteadyStateGa::default()));
     let struggle = run_suite(ctx, &problems, &Algo::Struggle(StruggleGa::default()));
 
@@ -136,7 +135,7 @@ pub fn table3(ctx: &Ctx) -> Table {
 #[must_use]
 pub fn table4(ctx: &Ctx) -> Table {
     let problems = suite_problems(ctx);
-    let cma = run_suite(ctx, &problems, &Algo::Cma(CmaConfig::paper()));
+    let cma = run_suite(ctx, &problems, &Algo::Cma(ctx.cma_config()));
     let ljfr = run_suite(ctx, &problems, &Algo::Heuristic(ConstructiveKind::LjfrSjfr));
 
     let mut table = Table::new(
@@ -175,7 +174,7 @@ pub fn table4(ctx: &Ctx) -> Table {
 #[must_use]
 pub fn table5(ctx: &Ctx) -> Table {
     let problems = suite_problems(ctx);
-    let cma = run_suite(ctx, &problems, &Algo::Cma(CmaConfig::paper()));
+    let cma = run_suite(ctx, &problems, &Algo::Cma(ctx.cma_config()));
     let struggle = run_suite(ctx, &problems, &Algo::Struggle(StruggleGa::default()));
 
     let mut table = Table::new(

@@ -378,20 +378,14 @@ impl<'a> CmaEngine<'a> {
         let config = self.config;
         let torus = self.torus;
         let population: &[Individual] = &self.population;
-        let generate_slot = |&(cell, stream): &(usize, u64)| -> (Individual, u64) {
+        let generate_slot = |&(cell, stream): &(usize, u64),
+                             neighbors: &mut Vec<usize>,
+                             parents: &mut Vec<usize>|
+         -> (Individual, u64) {
             let mut rng = SmallRng::seed_from_u64(stream);
-            let mut neighbors = Vec::new();
-            let mut parents = Vec::new();
             match phase {
                 Phase::Recombination => generate_recombination_child(
-                    problem,
-                    config,
-                    torus,
-                    population,
-                    cell,
-                    &mut rng,
-                    &mut neighbors,
-                    &mut parents,
+                    problem, config, torus, population, cell, &mut rng, neighbors, parents,
                 ),
                 Phase::Mutation => {
                     generate_mutation_child(problem, config, population, cell, &mut rng)
@@ -400,14 +394,24 @@ impl<'a> CmaEngine<'a> {
         };
 
         let generated: Vec<(Individual, u64)> = if slots.len() == 1 {
-            vec![generate_slot(&slots[0])]
+            // Sequential wave: reuse the engine's scratch buffers instead
+            // of allocating per slot (the `threads == 1` hot path).
+            vec![generate_slot(
+                &slots[0],
+                &mut self.neighbors,
+                &mut self.parents,
+            )]
         } else {
             let mut results: Vec<Option<(Individual, u64)>> =
                 (0..slots.len()).map(|_| None).collect();
             let generate_slot = &generate_slot;
             std::thread::scope(|scope| {
                 for (slot, out) in slots.iter().zip(results.iter_mut()) {
-                    scope.spawn(move || *out = Some(generate_slot(slot)));
+                    scope.spawn(move || {
+                        let mut neighbors = Vec::new();
+                        let mut parents = Vec::new();
+                        *out = Some(generate_slot(slot, &mut neighbors, &mut parents));
+                    });
                 }
             });
             results
@@ -588,7 +592,10 @@ fn generate_mutation_child(
     (child, improvements)
 }
 
-/// Bounded local search + fitness refresh.
+/// Bounded local search + fitness refresh. Each local-search step scans
+/// its candidate set through `EvalState`'s batched scoring API with
+/// per-thread scratch buffers, so the sweep's worker threads drive the
+/// O(log n) delta evaluator allocation-free.
 fn improve(
     problem: &Problem,
     config: &CmaConfig,

@@ -1,26 +1,42 @@
 //! Incremental (delta) evaluation of schedules.
 //!
 //! Local search over this problem probes thousands of single-job moves and
-//! job swaps per second; re-evaluating the full schedule for each probe
-//! would cost `O(jobs · log jobs)`. [`EvalState`] instead keeps, per
-//! machine, the SPT-sorted list of assigned ETC values together with the
-//! machine's completion time and flowtime, so that
+//! job swaps per solution; re-evaluating the full schedule for each probe
+//! would cost `O(jobs · log jobs)`. [`EvalState`] keeps, per machine, the
+//! SPT-sorted list of assigned ETC values **plus a prefix-sum completion
+//! cache**, so that
 //!
 //! * **peeking** a move/swap (computing the objectives it *would* produce)
-//!   costs one merge pass over the two affected machines, and
-//! * **applying** a move/swap costs the same plus two `memmove`s.
+//!   costs `O(log jobs-per-machine)` — one `partition_point` per affected
+//!   machine plus closed-form completion/flowtime deltas, with **O(1)**
+//!   global totals from a running flowtime scalar and a top-3 completion
+//!   cache (no merge pass, no machine fold);
+//! * **applying** a move/swap costs the `memmove` of the slot/prefix
+//!   vectors plus O(1) delta updates of the global totals (the top-3
+//!   cache rescans machines only when a cached maximum shrinks);
+//! * **batched scoring** ([`EvalState::score_moves`] /
+//!   [`EvalState::score_swaps`]) evaluates a whole candidate set into a
+//!   reusable structure-of-arrays [`ScoreBuf`], amortising schedule and
+//!   ETC-row access across candidates — the API the local-search
+//!   strategies, tabu search and SA drive.
 //!
-//! Totals (makespan, flowtime) are re-derived from the per-machine caches
-//! with an `O(nb_machines)` fold after every change, which keeps them
-//! bit-for-bit equal to a from-scratch [`crate::evaluate`] — a property the
-//! test-suite checks exhaustively.
+//! All arithmetic happens in exact fixed-point ticks (see
+//! [`crate::ticks`]): integer addition is order-independent, so the
+//! closed-form deltas are **bit-for-bit identical** to a from-scratch
+//! [`crate::evaluate`] — by construction, and verified exhaustively by
+//! the property tests. The seed's O(jobs-per-machine) merge-pass peek is
+//! kept as a hidden reference implementation
+//! ([`EvalState::peek_move_merge`]) serving as correctness oracle and
+//! benchmark baseline.
 
+use crate::ticks;
 use crate::{evaluate, JobId, MachineId, Objectives, Problem, Schedule};
 
 /// One job occupying a position in a machine's SPT order.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Slot {
-    etc: f64,
+    /// ETC of the job on this machine, in ticks.
+    etc: i64,
     job: JobId,
 }
 
@@ -29,48 +45,57 @@ impl Slot {
     /// with the job-order-insensitive flowtime value.
     #[inline]
     fn key_cmp(&self, other: &Slot) -> std::cmp::Ordering {
-        self.etc
-            .total_cmp(&other.etc)
-            .then(self.job.cmp(&other.job))
+        self.etc.cmp(&other.etc).then(self.job.cmp(&other.job))
     }
 }
 
 /// Cached evaluation of one machine.
 #[derive(Debug, Clone, PartialEq)]
 struct MachineState {
-    ready: f64,
+    /// Ready time in ticks (widened once).
+    ready: i128,
     /// Jobs on the machine, sorted ascending by `(etc, job)`.
     slots: Vec<Slot>,
-    /// `ready + Σ etc` (ready when idle).
-    completion: f64,
-    /// Sum of finishing times under SPT order.
-    flowtime: f64,
+    /// `prefix[i] = ready + Σ_{k ≤ i} slots[k].etc` — the finishing time
+    /// of the job in slot `i` under SPT order. Empty iff `slots` is.
+    prefix: Vec<i128>,
+    /// Sum of finishing times under SPT order (`Σ prefix[i]`).
+    flowtime: i128,
 }
 
 impl MachineState {
-    fn new(ready: f64) -> Self {
+    fn new(ready: i64) -> Self {
         Self {
-            ready,
+            ready: i128::from(ready),
             slots: Vec::new(),
-            completion: ready,
-            flowtime: 0.0,
+            prefix: Vec::new(),
+            flowtime: 0,
         }
     }
 
-    /// Recomputes `completion` and `flowtime` from the slot list.
+    /// Completion time (Eq. 1): the last finishing time, or `ready` when
+    /// idle.
+    #[inline]
+    fn completion(&self) -> i128 {
+        self.prefix.last().copied().unwrap_or(self.ready)
+    }
+
+    /// Recomputes `prefix` and `flowtime` from the slot list.
     fn rebuild(&mut self) {
         let mut clock = self.ready;
-        let mut flowtime = 0.0;
+        let mut flowtime = 0i128;
+        self.prefix.clear();
+        self.prefix.reserve(self.slots.len());
         for slot in &self.slots {
-            clock += slot.etc;
+            clock += i128::from(slot.etc);
             flowtime += clock;
+            self.prefix.push(clock);
         }
-        self.completion = clock;
         self.flowtime = flowtime;
     }
 
     /// Position of `job` (with ETC `etc`) in the slot list.
-    fn position_of(&self, job: JobId, etc: f64) -> usize {
+    fn position_of(&self, job: JobId, etc: i64) -> usize {
         let probe = Slot { etc, job };
         let idx = self
             .slots
@@ -82,27 +107,109 @@ impl MachineState {
         idx
     }
 
-    fn insert(&mut self, job: JobId, etc: f64) {
-        let probe = Slot { etc, job };
-        let idx = self
-            .slots
-            .partition_point(|s| s.key_cmp(&probe) == std::cmp::Ordering::Less);
-        self.slots.insert(idx, probe);
-        self.rebuild();
+    /// Where `slot` would be inserted to keep the list sorted.
+    #[inline]
+    fn insertion_point(&self, slot: Slot) -> usize {
+        self.slots
+            .partition_point(|s| s.key_cmp(&slot) == std::cmp::Ordering::Less)
     }
 
-    fn remove(&mut self, job: JobId, etc: f64) {
+    /// Finishing time of the slot *before* position `idx` (`ready` for
+    /// the head).
+    #[inline]
+    fn prefix_before(&self, idx: usize) -> i128 {
+        if idx == 0 {
+            self.ready
+        } else {
+            self.prefix[idx - 1]
+        }
+    }
+
+    fn insert(&mut self, job: JobId, etc: i64) {
+        let slot = Slot { etc, job };
+        let idx = self.insertion_point(slot);
+        let finish = self.prefix_before(idx) + i128::from(etc);
+        // Closed-form flowtime delta: the new job finishes at `finish`
+        // and shifts every later finishing time by `etc`.
+        self.flowtime += finish + (self.slots.len() - idx) as i128 * i128::from(etc);
+        self.slots.insert(idx, slot);
+        self.prefix.insert(idx, finish);
+        for p in &mut self.prefix[idx + 1..] {
+            *p += i128::from(etc);
+        }
+    }
+
+    fn remove(&mut self, job: JobId, etc: i64) {
         let idx = self.position_of(job, etc);
+        self.flowtime -= self.prefix[idx] + (self.slots.len() - 1 - idx) as i128 * i128::from(etc);
         self.slots.remove(idx);
-        self.rebuild();
+        self.prefix.remove(idx);
+        for p in &mut self.prefix[idx..] {
+            *p -= i128::from(etc);
+        }
     }
 
-    /// Completion and flowtime this machine *would* have if `skip_job`
-    /// were removed and/or a job `add` were inserted, in one allocation-free
-    /// merge pass.
-    fn simulate(&self, skip_job: Option<JobId>, add: Option<Slot>) -> (f64, f64) {
+    /// Completion and flowtime this machine would have without the job in
+    /// slot `skip`. O(1).
+    fn peek_removed(&self, skip: usize) -> (i128, i128) {
+        let etc = i128::from(self.slots[skip].etc);
+        (
+            self.completion() - etc,
+            self.flowtime - self.prefix[skip] - (self.slots.len() - 1 - skip) as i128 * etc,
+        )
+    }
+
+    /// Completion and flowtime this machine would have with `add`
+    /// inserted. `O(log n)` for the insertion point.
+    fn peek_inserted(&self, add: Slot) -> (i128, i128) {
+        let idx = self.insertion_point(add);
+        let etc = i128::from(add.etc);
+        let finish = self.prefix_before(idx) + etc;
+        (
+            self.completion() + etc,
+            self.flowtime + finish + (self.slots.len() - idx) as i128 * etc,
+        )
+    }
+
+    /// Completion and flowtime this machine would have with the job in
+    /// slot `skip` replaced by `add` (the swap case). `O(log n)`.
+    fn peek_replaced(&self, skip: usize, add: Slot) -> (i128, i128) {
+        self.peek_replaced_at(skip, add, self.insertion_point(add))
+    }
+
+    /// [`MachineState::peek_replaced`] with the insertion `point` of
+    /// `add` (over the **full** slot list) already known — batched swap
+    /// scoring caches it per machine. O(1).
+    fn peek_replaced_at(&self, skip: usize, add: Slot, point: usize) -> (i128, i128) {
+        let n = self.slots.len();
+        let etc_out = i128::from(self.slots[skip].etc);
+        // Flowtime after the removal.
+        let removed = self.flowtime - self.prefix[skip] - (n - 1 - skip) as i128 * etc_out;
+        // Insertion point within the reduced list: positions after `skip`
+        // shift left by one.
+        let idx = if point > skip { point - 1 } else { point };
+        // Finishing time before `idx` in the reduced list.
+        let before = if idx == 0 {
+            self.ready
+        } else if idx - 1 < skip {
+            self.prefix[idx - 1]
+        } else {
+            self.prefix[idx] - etc_out
+        };
+        let etc_in = i128::from(add.etc);
+        (
+            self.completion() - etc_out + etc_in,
+            removed + before + etc_in + (n - 1 - idx) as i128 * etc_in,
+        )
+    }
+
+    /// The seed's merge-pass hypothetical: completion and flowtime with
+    /// `skip_job` removed and/or `add` inserted, in one O(n) pass. Kept
+    /// as the reference the closed-form deltas are validated (and
+    /// benchmarked) against.
+    fn simulate_merge(&self, skip_job: Option<JobId>, add: Option<Slot>) -> (i128, i128) {
         let mut clock = self.ready;
-        let mut flowtime = 0.0;
+        let mut flowtime = 0i128;
         let mut pending = add;
         for slot in &self.slots {
             if Some(slot.job) == skip_job {
@@ -110,19 +217,174 @@ impl MachineState {
             }
             if let Some(p) = pending {
                 if p.key_cmp(slot) == std::cmp::Ordering::Less {
-                    clock += p.etc;
+                    clock += i128::from(p.etc);
                     flowtime += clock;
                     pending = None;
                 }
             }
-            clock += slot.etc;
+            clock += i128::from(slot.etc);
             flowtime += clock;
         }
         if let Some(p) = pending {
-            clock += p.etc;
+            clock += i128::from(p.etc);
             flowtime += clock;
         }
         (clock, flowtime)
+    }
+}
+
+/// The k of the top-k completion cache. Peeks replace at most two
+/// machines, so three entries always retain the maximum of the rest.
+const TOP_K: usize = 3;
+
+/// Top-[`TOP_K`] machine completions, sorted descending by
+/// `(completion, machine)`. Backs O(1) makespan reads and O(1)
+/// hypothetical-makespan queries for two replaced machines.
+#[derive(Debug, Clone, PartialEq)]
+struct TopCompletions {
+    entries: [(i128, MachineId); TOP_K],
+    len: usize,
+}
+
+impl TopCompletions {
+    fn rescan(machines: &[MachineState]) -> Self {
+        let mut top = Self {
+            entries: [(i128::MIN, MachineId::MAX); TOP_K],
+            len: machines.len().min(TOP_K),
+        };
+        for (m, machine) in machines.iter().enumerate() {
+            top.offer(machine.completion(), m as MachineId);
+        }
+        top
+    }
+
+    /// Inserts `(completion, machine)` if it beats the current tail.
+    fn offer(&mut self, completion: i128, machine: MachineId) {
+        let mut candidate = (completion, machine);
+        for entry in &mut self.entries {
+            if candidate.0 > entry.0 || (candidate.0 == entry.0 && candidate.1 < entry.1) {
+                std::mem::swap(entry, &mut candidate);
+            }
+        }
+    }
+
+    /// The global maximum completion (the makespan).
+    #[inline]
+    fn max(&self) -> i128 {
+        self.entries[0].0
+    }
+
+    /// Maximum completion over all machines except `a` and `b`, or
+    /// `None` when no other machine exists. O(1): at most two of the
+    /// top-3 entries can be excluded.
+    #[inline]
+    fn max_excluding(&self, a: MachineId, b: MachineId) -> Option<i128> {
+        self.entries[..self.len]
+            .iter()
+            .find(|e| e.1 != a && e.1 != b)
+            .map(|e| e.0)
+    }
+
+    /// Refreshes the entry of `machine` after its completion changed to
+    /// `completion`. O(1) unless a cached maximum shrank (then one O(m)
+    /// rescan re-establishes the invariant).
+    fn update(&mut self, machine: MachineId, completion: i128, machines: &[MachineState]) {
+        if let Some(i) = self.entries[..self.len].iter().position(|e| e.1 == machine) {
+            if completion < self.entries[i].0 && self.len < machines.len() {
+                // A cached maximum shrank below an unknown rank: rescan.
+                *self = Self::rescan(machines);
+            } else {
+                self.entries[i].0 = completion;
+                self.entries[..self.len].sort_unstable_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)));
+            }
+        } else {
+            self.offer(completion, machine);
+        }
+    }
+}
+
+/// Reusable structure-of-arrays result buffer of the batched scoring
+/// API ([`EvalState::score_moves`] / [`EvalState::score_swaps`]).
+///
+/// Objectives are stored column-wise (`makespan[i]`, `flowtime[i]`),
+/// which keeps candidate scoring allocation-free across calls and leaves
+/// the layout open for SIMD reduction later.
+#[derive(Debug, Clone, Default)]
+pub struct ScoreBuf {
+    makespan: Vec<f64>,
+    flowtime: Vec<f64>,
+    /// Per-machine scratch of [`EvalState::score_swaps`]: the anchor
+    /// slot's insertion point on each partner machine, computed lazily
+    /// once per batch (`usize::MAX` = not yet computed).
+    anchor_points: Vec<usize>,
+}
+
+impl ScoreBuf {
+    /// An empty buffer; reuse it across calls to amortise allocation.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of scored candidates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.makespan.len()
+    }
+
+    /// Whether the buffer holds no scores.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.makespan.is_empty()
+    }
+
+    /// The scored makespans, aligned with the candidate slice.
+    #[must_use]
+    pub fn makespans(&self) -> &[f64] {
+        &self.makespan
+    }
+
+    /// The scored flowtimes, aligned with the candidate slice.
+    #[must_use]
+    pub fn flowtimes(&self) -> &[f64] {
+        &self.flowtime
+    }
+
+    /// Objectives of candidate `i`.
+    #[must_use]
+    pub fn objectives(&self, i: usize) -> Objectives {
+        Objectives {
+            makespan: self.makespan[i],
+            flowtime: self.flowtime[i],
+        }
+    }
+
+    /// Index and score of the first candidate minimising `score`
+    /// (strictly — ties keep the earliest candidate, matching the
+    /// `<`-guarded scan loops the strategies previously used).
+    #[must_use]
+    pub fn best_by<F: FnMut(Objectives) -> f64>(&self, mut score: F) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..self.len() {
+            let s = score(self.objectives(i));
+            if best.is_none_or(|(_, b)| s < b) {
+                best = Some((i, s));
+            }
+        }
+        best
+    }
+
+    fn clear_and_reserve(&mut self, n: usize) {
+        self.makespan.clear();
+        self.flowtime.clear();
+        self.makespan.reserve(n);
+        self.flowtime.reserve(n);
+    }
+
+    #[inline]
+    fn push(&mut self, objectives: Objectives) {
+        self.makespan.push(objectives.makespan);
+        self.flowtime.push(objectives.flowtime);
     }
 }
 
@@ -131,15 +393,21 @@ impl MachineState {
 /// Construct once per schedule with [`EvalState::new`], then keep it in
 /// lockstep with the schedule through [`EvalState::apply_move`] /
 /// [`EvalState::apply_swap`]. Probing neighbours without committing uses
-/// [`EvalState::peek_move`] / [`EvalState::peek_swap`].
+/// [`EvalState::peek_move`] / [`EvalState::peek_swap`] for single
+/// candidates and [`EvalState::score_moves`] / [`EvalState::score_swaps`]
+/// for candidate sets.
 ///
 /// The state is value-like (`Clone`) so population-based algorithms clone
 /// it together with the schedule.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EvalState {
     machines: Vec<MachineState>,
-    makespan: f64,
-    flowtime: f64,
+    /// Running global flowtime (exact tick sum) — O(1) reads and O(1)
+    /// delta updates on apply.
+    flowtime_total: i128,
+    /// Top-3 machine completions — O(1) makespan reads and O(1)
+    /// two-machine-replaced makespan queries for peeks.
+    top: TopCompletions,
 }
 
 impl EvalState {
@@ -153,39 +421,40 @@ impl EvalState {
     pub fn new(problem: &Problem, schedule: &Schedule) -> Self {
         debug_assert_eq!(schedule.nb_jobs(), problem.nb_jobs());
         let mut machines: Vec<MachineState> = (0..problem.nb_machines())
-            .map(|m| MachineState::new(problem.ready(m as u32)))
+            .map(|m| MachineState::new(problem.ready_ticks(m as u32)))
             .collect();
         for (job, machine) in schedule.iter() {
             machines[machine as usize].slots.push(Slot {
-                etc: problem.etc(job, machine),
+                etc: problem.etc_ticks(job, machine),
                 job,
             });
         }
+        let mut flowtime_total = 0i128;
         for machine in &mut machines {
             machine.slots.sort_by(Slot::key_cmp);
             machine.rebuild();
+            flowtime_total += machine.flowtime;
         }
-        let mut state = Self {
+        let top = TopCompletions::rescan(&machines);
+        Self {
             machines,
-            makespan: 0.0,
-            flowtime: 0.0,
-        };
-        state.refresh_totals();
-        state
+            flowtime_total,
+            top,
+        }
     }
 
     /// Current makespan.
     #[inline]
     #[must_use]
     pub fn makespan(&self) -> f64 {
-        self.makespan
+        ticks::time(self.top.max())
     }
 
     /// Current flowtime.
     #[inline]
     #[must_use]
     pub fn flowtime(&self) -> f64 {
-        self.flowtime
+        ticks::time(self.flowtime_total)
     }
 
     /// Current objective pair.
@@ -193,8 +462,8 @@ impl EvalState {
     #[must_use]
     pub fn objectives(&self) -> Objectives {
         Objectives {
-            makespan: self.makespan,
-            flowtime: self.flowtime,
+            makespan: self.makespan(),
+            flowtime: self.flowtime(),
         }
     }
 
@@ -209,14 +478,14 @@ impl EvalState {
     #[inline]
     #[must_use]
     pub fn completion(&self, machine: MachineId) -> f64 {
-        self.machines[machine as usize].completion
+        ticks::time(self.machines[machine as usize].completion())
     }
 
     /// Flowtime contributed by one machine.
     #[inline]
     #[must_use]
     pub fn machine_flowtime(&self, machine: MachineId) -> f64 {
-        self.machines[machine as usize].flowtime
+        ticks::time(self.machines[machine as usize].flowtime)
     }
 
     /// Number of jobs currently on `machine`.
@@ -230,30 +499,45 @@ impl EvalState {
     /// (paper §3.2, mutation operator).
     #[must_use]
     pub fn load_factor(&self, machine: MachineId) -> f64 {
-        if self.makespan == 0.0 {
+        let makespan = self.makespan();
+        if makespan == 0.0 {
             1.0
         } else {
-            self.completion(machine) / self.makespan
+            self.completion(machine) / makespan
         }
     }
 
     /// Machines sorted ascending by completion time (ties by index) —
     /// "less overloaded first", as the rebalance mutation requires.
+    ///
+    /// Allocates; hot paths should reuse a buffer through
+    /// [`EvalState::machines_by_completion_into`].
     #[must_use]
     pub fn machines_by_completion(&self) -> Vec<MachineId> {
-        let mut order: Vec<MachineId> = (0..self.machines.len() as MachineId).collect();
-        order.sort_by(|&a, &b| {
+        let mut order = Vec::new();
+        self.machines_by_completion_into(&mut order);
+        order
+    }
+
+    /// Fills `out` with the machines sorted ascending by completion time
+    /// (ties by index), reusing its capacity — the allocation-free
+    /// variant of [`EvalState::machines_by_completion`] for the
+    /// rebalance-mutation hot path.
+    pub fn machines_by_completion_into(&self, out: &mut Vec<MachineId>) {
+        out.clear();
+        out.extend(0..self.machines.len() as MachineId);
+        out.sort_unstable_by(|&a, &b| {
             self.machines[a as usize]
-                .completion
-                .total_cmp(&self.machines[b as usize].completion)
+                .completion()
+                .cmp(&self.machines[b as usize].completion())
                 .then(a.cmp(&b))
         });
-        order
     }
 
     /// Objectives the schedule would have after moving `job` to `to`.
     ///
-    /// Costs one merge pass over the two affected machines; no state is
+    /// `O(log jobs-per-machine)`: one `partition_point` on the receiving
+    /// machine plus closed-form deltas and O(1) totals; no state is
     /// modified.
     #[must_use]
     pub fn peek_move(
@@ -267,23 +551,7 @@ impl EvalState {
         if from == to {
             return self.objectives();
         }
-        let (donor_completion, donor_flowtime) =
-            self.machines[from as usize].simulate(Some(job), None);
-        let (rcpt_completion, rcpt_flowtime) = self.machines[to as usize].simulate(
-            None,
-            Some(Slot {
-                etc: problem.etc(job, to),
-                job,
-            }),
-        );
-        self.totals_with_two(
-            from,
-            donor_completion,
-            donor_flowtime,
-            to,
-            rcpt_completion,
-            rcpt_flowtime,
-        )
+        self.move_objectives(problem, job, from, to)
     }
 
     /// Objectives the schedule would have after swapping the machines of
@@ -304,24 +572,118 @@ impl EvalState {
         if ma == mb {
             return self.objectives();
         }
-        let (ca, fa) = self.machines[ma as usize].simulate(
-            Some(job_a),
-            Some(Slot {
-                etc: problem.etc(job_b, ma),
-                job: job_b,
-            }),
-        );
-        let (cb, fb) = self.machines[mb as usize].simulate(
-            Some(job_b),
-            Some(Slot {
-                etc: problem.etc(job_a, mb),
-                job: job_a,
-            }),
-        );
-        self.totals_with_two(ma, ca, fa, mb, cb, fb)
+        self.swap_objectives(problem, job_a, ma, job_b, mb)
     }
 
-    /// Moves `job` to machine `to`, updating schedule and caches.
+    /// Scores every candidate `(job, target)` move into `out`, aligned
+    /// with `candidates`. Bit-identical to calling
+    /// [`EvalState::peek_move`] per candidate, but amortises donor-side
+    /// lookups across consecutive candidates sharing a job (the steepest
+    /// local-move pattern) and keeps results in a flat reusable buffer.
+    pub fn score_moves(
+        &self,
+        problem: &Problem,
+        schedule: &Schedule,
+        candidates: &[(JobId, MachineId)],
+        out: &mut ScoreBuf,
+    ) {
+        out.clear_and_reserve(candidates.len());
+        // Donor-side cache: removal stats depend only on the job, which
+        // consecutive candidates frequently share.
+        let mut cached: Option<(JobId, MachineId, i128, i128)> = None;
+        for &(job, to) in candidates {
+            let from = schedule.machine_of(job);
+            if from == to {
+                out.push(self.objectives());
+                continue;
+            }
+            let (donor_completion, donor_flowtime) = match cached {
+                Some((j, f, c, fl)) if j == job && f == from => (c, fl),
+                _ => {
+                    let donor = &self.machines[from as usize];
+                    let stats =
+                        donor.peek_removed(donor.position_of(job, problem.etc_ticks(job, from)));
+                    cached = Some((job, from, stats.0, stats.1));
+                    stats
+                }
+            };
+            let (rcpt_completion, rcpt_flowtime) = self.machines[to as usize].peek_inserted(Slot {
+                etc: problem.etc_ticks(job, to),
+                job,
+            });
+            out.push(self.totals_with_two(
+                from,
+                donor_completion,
+                donor_flowtime,
+                to,
+                rcpt_completion,
+                rcpt_flowtime,
+            ));
+        }
+    }
+
+    /// Scores swapping `anchor` against each job in `partners` into
+    /// `out`, aligned with `partners`. Bit-identical to calling
+    /// [`EvalState::peek_swap`] per pair; the anchor's machine, SPT
+    /// position and ETC row are resolved once for the whole batch (the
+    /// LMCTS pattern).
+    pub fn score_swaps(
+        &self,
+        problem: &Problem,
+        schedule: &Schedule,
+        anchor: JobId,
+        partners: &[JobId],
+        out: &mut ScoreBuf,
+    ) {
+        out.clear_and_reserve(partners.len());
+        out.anchor_points.clear();
+        out.anchor_points.resize(self.machines.len(), usize::MAX);
+        let ma = schedule.machine_of(anchor);
+        let anchor_machine = &self.machines[ma as usize];
+        let anchor_pos = anchor_machine.position_of(anchor, problem.etc_ticks(anchor, ma));
+        let anchor_row = problem.etc_ticks_row(anchor);
+        // Per-batch hoists: the anchor side of the flowtime delta.
+        let flowtime_others = self.flowtime_total - anchor_machine.flowtime;
+        for &partner in partners {
+            let mb = schedule.machine_of(partner);
+            if ma == mb {
+                out.push(self.objectives());
+                continue;
+            }
+            let (ca, fa) = anchor_machine.peek_replaced(
+                anchor_pos,
+                Slot {
+                    etc: problem.etc_ticks(partner, ma),
+                    job: partner,
+                },
+            );
+            let partner_machine = &self.machines[mb as usize];
+            let anchor_in = Slot {
+                etc: anchor_row[mb as usize],
+                job: anchor,
+            };
+            // The anchor slot's insertion point on `mb` is
+            // partner-independent: compute it once per machine per batch.
+            let point = &mut out.anchor_points[mb as usize];
+            if *point == usize::MAX {
+                *point = partner_machine.insertion_point(anchor_in);
+            }
+            let partner_pos = partner_machine.position_of(partner, problem.etc_ticks(partner, mb));
+            let (cb, fb) = partner_machine.peek_replaced_at(partner_pos, anchor_in, *point);
+            let flowtime = flowtime_others - partner_machine.flowtime + fa + fb;
+            let mut makespan = ca.max(cb);
+            if let Some(rest) = self.top.max_excluding(ma, mb) {
+                makespan = makespan.max(rest);
+            }
+            out.push(Objectives {
+                makespan: ticks::time(makespan),
+                flowtime: ticks::time(flowtime),
+            });
+        }
+    }
+
+    /// Moves `job` to machine `to`, updating schedule and caches. Totals
+    /// update by delta (no machine fold).
     pub fn apply_move(
         &mut self,
         problem: &Problem,
@@ -333,13 +695,19 @@ impl EvalState {
         if from == to {
             return;
         }
-        self.machines[from as usize].remove(job, problem.etc(job, from));
-        self.machines[to as usize].insert(job, problem.etc(job, to));
+        let donor_before = self.machines[from as usize].flowtime;
+        let rcpt_before = self.machines[to as usize].flowtime;
+        self.machines[from as usize].remove(job, problem.etc_ticks(job, from));
+        self.machines[to as usize].insert(job, problem.etc_ticks(job, to));
         schedule.assign(job, to);
-        self.refresh_totals();
+        self.flowtime_total += (self.machines[from as usize].flowtime - donor_before)
+            + (self.machines[to as usize].flowtime - rcpt_before);
+        self.refresh_top(from);
+        self.refresh_top(to);
     }
 
-    /// Exchanges the machines of `job_a` and `job_b`.
+    /// Exchanges the machines of `job_a` and `job_b`. Totals update by
+    /// delta (no machine fold).
     pub fn apply_swap(
         &mut self,
         problem: &Problem,
@@ -352,17 +720,93 @@ impl EvalState {
         if ma == mb {
             return;
         }
-        self.machines[ma as usize].remove(job_a, problem.etc(job_a, ma));
-        self.machines[mb as usize].remove(job_b, problem.etc(job_b, mb));
-        self.machines[ma as usize].insert(job_b, problem.etc(job_b, ma));
-        self.machines[mb as usize].insert(job_a, problem.etc(job_a, mb));
+        let a_before = self.machines[ma as usize].flowtime;
+        let b_before = self.machines[mb as usize].flowtime;
+        self.machines[ma as usize].remove(job_a, problem.etc_ticks(job_a, ma));
+        self.machines[mb as usize].remove(job_b, problem.etc_ticks(job_b, mb));
+        self.machines[ma as usize].insert(job_b, problem.etc_ticks(job_b, ma));
+        self.machines[mb as usize].insert(job_a, problem.etc_ticks(job_a, mb));
         schedule.assign(job_a, mb);
         schedule.assign(job_b, ma);
-        self.refresh_totals();
+        self.flowtime_total += (self.machines[ma as usize].flowtime - a_before)
+            + (self.machines[mb as usize].flowtime - b_before);
+        self.refresh_top(ma);
+        self.refresh_top(mb);
+    }
+
+    /// Reference peek for a move using the seed's merge-pass algorithm
+    /// (O(jobs-per-machine) merge + O(machines) totals fold). Exists as
+    /// the oracle the closed-form fast path is property-tested against
+    /// and as the baseline `eval_throughput` measures speedups from.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn peek_move_merge(
+        &self,
+        problem: &Problem,
+        schedule: &Schedule,
+        job: JobId,
+        to: MachineId,
+    ) -> Objectives {
+        let from = schedule.machine_of(job);
+        if from == to {
+            return self.objectives();
+        }
+        let (donor_completion, donor_flowtime) =
+            self.machines[from as usize].simulate_merge(Some(job), None);
+        let (rcpt_completion, rcpt_flowtime) = self.machines[to as usize].simulate_merge(
+            None,
+            Some(Slot {
+                etc: problem.etc_ticks(job, to),
+                job,
+            }),
+        );
+        self.totals_with_two_fold(
+            from,
+            donor_completion,
+            donor_flowtime,
+            to,
+            rcpt_completion,
+            rcpt_flowtime,
+        )
+    }
+
+    /// Reference peek for a swap using the seed's merge-pass algorithm;
+    /// see [`EvalState::peek_move_merge`].
+    #[doc(hidden)]
+    #[must_use]
+    pub fn peek_swap_merge(
+        &self,
+        problem: &Problem,
+        schedule: &Schedule,
+        job_a: JobId,
+        job_b: JobId,
+    ) -> Objectives {
+        let ma = schedule.machine_of(job_a);
+        let mb = schedule.machine_of(job_b);
+        if ma == mb {
+            return self.objectives();
+        }
+        let (ca, fa) = self.machines[ma as usize].simulate_merge(
+            Some(job_a),
+            Some(Slot {
+                etc: problem.etc_ticks(job_b, ma),
+                job: job_b,
+            }),
+        );
+        let (cb, fb) = self.machines[mb as usize].simulate_merge(
+            Some(job_b),
+            Some(Slot {
+                etc: problem.etc_ticks(job_a, mb),
+                job: job_a,
+            }),
+        );
+        self.totals_with_two_fold(ma, ca, fa, mb, cb, fb)
     }
 
     /// Asserts (in tests and debug builds) that the cache agrees with a
-    /// from-scratch evaluation of `schedule`.
+    /// from-scratch evaluation of `schedule`, and that every internal
+    /// invariant (slot order, prefix sums, per-machine flowtimes, global
+    /// totals, top-3 cache) holds.
     pub fn debug_validate(&self, problem: &Problem, schedule: &Schedule) {
         let fresh = evaluate(problem, schedule);
         assert_eq!(
@@ -370,6 +814,7 @@ impl EvalState {
             fresh,
             "incremental evaluation diverged from full evaluation"
         );
+        let mut flowtime_total = 0i128;
         for (m, machine) in self.machines.iter().enumerate() {
             assert!(
                 machine
@@ -378,32 +823,125 @@ impl EvalState {
                     .all(|w| w[0].key_cmp(&w[1]) != std::cmp::Ordering::Greater),
                 "machine {m} slot order violated"
             );
+            let mut rebuilt = machine.clone();
+            rebuilt.rebuild();
+            assert_eq!(
+                machine.prefix, rebuilt.prefix,
+                "machine {m} prefix cache diverged"
+            );
+            assert_eq!(
+                machine.flowtime, rebuilt.flowtime,
+                "machine {m} flowtime diverged"
+            );
+            flowtime_total += machine.flowtime;
         }
+        assert_eq!(
+            self.flowtime_total, flowtime_total,
+            "global flowtime scalar diverged"
+        );
+        assert_eq!(
+            self.top,
+            TopCompletions::rescan(&self.machines),
+            "top-completions cache diverged"
+        );
     }
 
-    fn refresh_totals(&mut self) {
-        let mut makespan = 0.0f64;
-        let mut flowtime = 0.0f64;
-        for machine in &self.machines {
-            makespan = makespan.max(machine.completion);
-            flowtime += machine.flowtime;
-        }
-        self.makespan = makespan;
-        self.flowtime = flowtime;
+    /// Closed-form objectives of moving `job` from `from` to `to`
+    /// (`from != to`).
+    fn move_objectives(
+        &self,
+        problem: &Problem,
+        job: JobId,
+        from: MachineId,
+        to: MachineId,
+    ) -> Objectives {
+        let donor = &self.machines[from as usize];
+        let (donor_completion, donor_flowtime) =
+            donor.peek_removed(donor.position_of(job, problem.etc_ticks(job, from)));
+        let (rcpt_completion, rcpt_flowtime) = self.machines[to as usize].peek_inserted(Slot {
+            etc: problem.etc_ticks(job, to),
+            job,
+        });
+        self.totals_with_two(
+            from,
+            donor_completion,
+            donor_flowtime,
+            to,
+            rcpt_completion,
+            rcpt_flowtime,
+        )
     }
 
-    /// Totals with machines `a` and `b` hypothetically replaced.
+    /// Closed-form objectives of swapping `job_a` (on `ma`) with `job_b`
+    /// (on `mb`), `ma != mb`.
+    fn swap_objectives(
+        &self,
+        problem: &Problem,
+        job_a: JobId,
+        ma: MachineId,
+        job_b: JobId,
+        mb: MachineId,
+    ) -> Objectives {
+        let machine_a = &self.machines[ma as usize];
+        let (ca, fa) = machine_a.peek_replaced(
+            machine_a.position_of(job_a, problem.etc_ticks(job_a, ma)),
+            Slot {
+                etc: problem.etc_ticks(job_b, ma),
+                job: job_b,
+            },
+        );
+        let machine_b = &self.machines[mb as usize];
+        let (cb, fb) = machine_b.peek_replaced(
+            machine_b.position_of(job_b, problem.etc_ticks(job_b, mb)),
+            Slot {
+                etc: problem.etc_ticks(job_a, mb),
+                job: job_a,
+            },
+        );
+        self.totals_with_two(ma, ca, fa, mb, cb, fb)
+    }
+
+    /// O(1) totals with machines `a` and `b` hypothetically replaced:
+    /// flowtime by delta from the running scalar, makespan from the
+    /// top-3 completion cache.
+    #[inline]
     fn totals_with_two(
         &self,
         a: MachineId,
-        a_completion: f64,
-        a_flowtime: f64,
+        a_completion: i128,
+        a_flowtime: i128,
         b: MachineId,
-        b_completion: f64,
-        b_flowtime: f64,
+        b_completion: i128,
+        b_flowtime: i128,
+    ) -> Objectives {
+        let flowtime = self.flowtime_total
+            - self.machines[a as usize].flowtime
+            - self.machines[b as usize].flowtime
+            + a_flowtime
+            + b_flowtime;
+        let mut makespan = a_completion.max(b_completion);
+        if let Some(rest) = self.top.max_excluding(a, b) {
+            makespan = makespan.max(rest);
+        }
+        Objectives {
+            makespan: ticks::time(makespan),
+            flowtime: ticks::time(flowtime),
+        }
+    }
+
+    /// The seed's O(machines) totals fold, kept for the merge-pass
+    /// reference peeks.
+    fn totals_with_two_fold(
+        &self,
+        a: MachineId,
+        a_completion: i128,
+        a_flowtime: i128,
+        b: MachineId,
+        b_completion: i128,
+        b_flowtime: i128,
     ) -> Objectives {
         let mut makespan = a_completion.max(b_completion);
-        let mut flowtime = 0.0f64;
+        let mut flowtime = 0i128;
         for (m, machine) in self.machines.iter().enumerate() {
             let m = m as MachineId;
             if m == a {
@@ -411,11 +949,24 @@ impl EvalState {
             } else if m == b {
                 flowtime += b_flowtime;
             } else {
-                makespan = makespan.max(machine.completion);
+                makespan = makespan.max(machine.completion());
                 flowtime += machine.flowtime;
             }
         }
-        Objectives { makespan, flowtime }
+        Objectives {
+            makespan: ticks::time(makespan),
+            flowtime: ticks::time(flowtime),
+        }
+    }
+
+    /// Re-establishes the top-completions invariant for `machine` after
+    /// its completion changed.
+    fn refresh_top(&mut self, machine: MachineId) {
+        self.top.update(
+            machine,
+            self.machines[machine as usize].completion(),
+            &self.machines,
+        );
     }
 }
 
@@ -470,6 +1021,7 @@ mod tests {
         let mut s = Schedule::from_assignment(vec![0, 1, 2, 0, 1]);
         let eval = EvalState::new(&p, &s);
         let peeked = eval.peek_move(&p, &s, 3, 2);
+        assert_eq!(peeked, eval.peek_move_merge(&p, &s, 3, 2));
         let mut applied = eval.clone();
         applied.apply_move(&p, &mut s, 3, 2);
         assert_eq!(peeked, applied.objectives());
@@ -481,6 +1033,7 @@ mod tests {
         let mut s = Schedule::from_assignment(vec![0, 1, 2, 0, 1]);
         let eval = EvalState::new(&p, &s);
         let peeked = eval.peek_swap(&p, &s, 0, 2);
+        assert_eq!(peeked, eval.peek_swap_merge(&p, &s, 0, 2));
         let mut applied = eval.clone();
         applied.apply_swap(&p, &mut s, 0, 2);
         assert_eq!(peeked, applied.objectives());
@@ -516,6 +1069,16 @@ mod tests {
     }
 
     #[test]
+    fn machines_by_completion_into_reuses_buffer() {
+        let p = problem();
+        let s = Schedule::from_assignment(vec![0, 0, 1, 1, 2]);
+        let eval = EvalState::new(&p, &s);
+        let mut buf = vec![9, 9, 9, 9, 9, 9];
+        eval.machines_by_completion_into(&mut buf);
+        assert_eq!(buf, vec![0, 2, 1]);
+    }
+
+    #[test]
     fn machine_len_tracks_assignments() {
         let p = problem();
         let mut s = Schedule::uniform(5, 0);
@@ -540,8 +1103,86 @@ mod tests {
         eval.apply_move(&p, &mut s, 0, 1);
         eval.debug_validate(&p, &s);
         let peek = eval.peek_swap(&p, &s, 2, 3);
+        assert_eq!(peek, eval.peek_swap_merge(&p, &s, 2, 3));
         let mut applied = eval.clone();
         applied.apply_swap(&p, &mut s, 2, 3);
         assert_eq!(peek, applied.objectives());
+    }
+
+    #[test]
+    fn score_moves_matches_peek_move() {
+        let p = problem();
+        let s = Schedule::from_assignment(vec![0, 1, 2, 0, 1]);
+        let eval = EvalState::new(&p, &s);
+        let mut candidates = Vec::new();
+        for job in 0..5u32 {
+            for to in 0..3u32 {
+                candidates.push((job, to));
+            }
+        }
+        let mut buf = ScoreBuf::new();
+        eval.score_moves(&p, &s, &candidates, &mut buf);
+        assert_eq!(buf.len(), candidates.len());
+        for (i, &(job, to)) in candidates.iter().enumerate() {
+            assert_eq!(
+                buf.objectives(i),
+                eval.peek_move(&p, &s, job, to),
+                "candidate ({job}, {to})"
+            );
+        }
+    }
+
+    #[test]
+    fn score_swaps_matches_peek_swap() {
+        let p = problem();
+        let s = Schedule::from_assignment(vec![0, 1, 2, 0, 1]);
+        let eval = EvalState::new(&p, &s);
+        for anchor in 0..5u32 {
+            let partners: Vec<u32> = (0..5).collect();
+            let mut buf = ScoreBuf::new();
+            eval.score_swaps(&p, &s, anchor, &partners, &mut buf);
+            for (i, &partner) in partners.iter().enumerate() {
+                assert_eq!(
+                    buf.objectives(i),
+                    eval.peek_swap(&p, &s, anchor, partner),
+                    "swap ({anchor}, {partner})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn score_buf_best_by_keeps_first_minimum() {
+        let p = problem();
+        let s = Schedule::uniform(5, 0);
+        let eval = EvalState::new(&p, &s);
+        let candidates = vec![(0u32, 1u32), (0, 1), (0, 2)];
+        let mut buf = ScoreBuf::new();
+        eval.score_moves(&p, &s, &candidates, &mut buf);
+        let (idx, best) = buf.best_by(|o| p.fitness(o)).unwrap();
+        // Candidates 0 and 1 are identical, so a tie must keep the
+        // earliest: index 1 is unreachable.
+        assert_ne!(idx, 1, "ties must keep the earliest candidate");
+        assert!(best <= p.fitness(eval.peek_move(&p, &s, 0, 1)));
+        assert!(buf.flowtimes().len() == 3 && !buf.is_empty());
+    }
+
+    #[test]
+    fn top_cache_survives_makespan_shrink_and_growth() {
+        // Drive the top-3 cache through shrink (rescan) and growth
+        // (bubble) paths on a 5-machine problem.
+        let etc = EtcMatrix::from_rows(6, 5, vec![10.0; 30]);
+        let p = Problem::from_instance(&GridInstance::new("top", etc));
+        let mut s = Schedule::from_assignment(vec![0, 0, 0, 1, 2, 3]);
+        let mut eval = EvalState::new(&p, &s);
+        eval.debug_validate(&p, &s);
+        // Shrink the maximum machine (0) twice, then grow machine 4.
+        eval.apply_move(&p, &mut s, 0, 4);
+        eval.debug_validate(&p, &s);
+        eval.apply_move(&p, &mut s, 1, 4);
+        eval.debug_validate(&p, &s);
+        eval.apply_move(&p, &mut s, 2, 4);
+        eval.debug_validate(&p, &s);
+        assert_eq!(eval.makespan(), 30.0);
     }
 }

@@ -3,9 +3,13 @@
 //! Shared substrate for every scheduler in the workspace: the problem view
 //! of an ETC instance, the schedule representation, the bi-objective
 //! evaluation (makespan + flowtime) of the reproduced paper, and an
-//! **incremental evaluator** that updates both objectives in `O(jobs per
-//! machine)` after a job move or swap instead of re-scanning the whole
-//! schedule.
+//! **incremental evaluator** whose prefix-sum machine caches answer
+//! move/swap probes in `O(log jobs-per-machine)` with O(1) global totals,
+//! plus a **batched scoring API** ([`EvalState::score_moves`] /
+//! [`EvalState::score_swaps`]) that evaluates whole candidate sets into a
+//! reusable flat buffer. All evaluation arithmetic runs on exact
+//! fixed-point ticks, so every path — full, incremental, batched — agrees
+//! bit-for-bit.
 //!
 //! ## Problem (paper §2)
 //!
@@ -52,9 +56,10 @@ mod fitness;
 mod objectives;
 mod problem;
 mod schedule;
+mod ticks;
 
 pub use engine::{Metaheuristic, Observer, RunStats, Runner, StopCondition, TracePoint};
-pub use eval::EvalState;
+pub use eval::{EvalState, ScoreBuf};
 pub use fitness::FitnessWeights;
 pub use objectives::{evaluate, Objectives};
 pub use problem::Problem;

@@ -1,6 +1,6 @@
 //! Full (from-scratch) evaluation of the two objectives.
 
-use crate::{Problem, Schedule};
+use crate::{ticks, Problem, Schedule};
 
 /// The two objective values of a schedule.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,9 +23,11 @@ impl Objectives {
 /// Evaluates a schedule from scratch in `O(jobs · log(jobs))`.
 ///
 /// Buckets jobs by machine, sorts each bucket by ETC ascending (SPT), and
-/// accumulates completions and finishing times. This is the reference
-/// implementation that the incremental [`crate::EvalState`] is
-/// property-tested against.
+/// accumulates completions and finishing times. All arithmetic happens in
+/// exact fixed-point ticks (see [`crate::ticks`]), so the result is
+/// independent of summation order and agrees **bit-for-bit** with the
+/// incremental/batched paths of [`crate::EvalState`] — a property the
+/// test-suite checks exhaustively.
 ///
 /// # Panics
 ///
@@ -35,33 +37,32 @@ pub fn evaluate(problem: &Problem, schedule: &Schedule) -> Objectives {
     debug_assert_eq!(schedule.nb_jobs(), problem.nb_jobs());
     let nb_machines = problem.nb_machines();
 
-    // Bucket ETC values per machine.
-    let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); nb_machines];
+    // Bucket tick ETC values per machine.
+    let mut buckets: Vec<Vec<i64>> = vec![Vec::new(); nb_machines];
     for (job, machine) in schedule.iter() {
-        buckets[machine as usize].push(problem.etc(job, machine));
+        buckets[machine as usize].push(problem.etc_ticks(job, machine));
     }
 
-    let mut makespan = 0.0f64;
-    let mut flowtime = 0.0f64;
+    let mut makespan = 0i128;
+    let mut flowtime = 0i128;
     for (m, bucket) in buckets.iter_mut().enumerate() {
-        let ready = problem.ready(m as u32);
-        bucket.sort_by(f64::total_cmp);
-        let mut clock = ready;
-        // Accumulate the machine's flowtime locally and fold it into the
-        // total once per machine. This grouping matches the incremental
-        // evaluator exactly, so the two agree bit-for-bit.
-        let mut machine_flowtime = 0.0f64;
+        // SPT order. Ties in tick value commute exactly under integer
+        // addition, so any tie order yields the same objectives.
+        bucket.sort_unstable();
+        let mut clock = i128::from(problem.ready_ticks(m as u32));
         for &etc in bucket.iter() {
-            clock += etc;
-            machine_flowtime += clock;
+            clock += i128::from(etc);
+            flowtime += clock;
         }
-        flowtime += machine_flowtime;
         // `clock` is now the machine completion time. An empty machine
         // contributes its ready time, mirroring Eq. 1/2 where completion
         // of an unused machine is its ready time.
         makespan = makespan.max(clock);
     }
-    Objectives { makespan, flowtime }
+    Objectives {
+        makespan: ticks::time(makespan),
+        flowtime: ticks::time(flowtime),
+    }
 }
 
 #[cfg(test)]

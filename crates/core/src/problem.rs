@@ -2,14 +2,16 @@
 
 use cmags_etc::GridInstance;
 
-use crate::{FitnessWeights, JobId, MachineId, Objectives};
+use crate::{ticks, FitnessWeights, JobId, MachineId, Objectives};
 
 /// An immutable, evaluation-optimised view of a scheduling instance.
 ///
 /// Owns a row-major copy of the ETC matrix plus the machine ready times and
-/// the fitness weights (Eq. 3). `Problem` is cheap to share by reference
-/// across threads (`Send + Sync`, no interior mutability); all algorithms
-/// in the workspace take `&Problem`.
+/// the fitness weights (Eq. 3), together with a parallel **fixed-point
+/// tick** copy of both (see [`crate::ticks`]) that the exact delta
+/// evaluator reads on its hot path. `Problem` is cheap to share by
+/// reference across threads (`Send + Sync`, no interior mutability); all
+/// algorithms in the workspace take `&Problem`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Problem {
     name: String,
@@ -18,6 +20,10 @@ pub struct Problem {
     /// Row-major: `etc[job * nb_machines + machine]`.
     etc: Box<[f64]>,
     ready: Box<[f64]>,
+    /// Row-major tick copy of `etc`, quantised once at construction so
+    /// every evaluation path reads identical integer inputs.
+    etc_ticks: Box<[i64]>,
+    ready_ticks: Box<[i64]>,
     weights: FitnessWeights,
 }
 
@@ -31,12 +37,18 @@ impl Problem {
     /// Builds a problem with explicit fitness weights.
     #[must_use]
     pub fn with_weights(instance: &GridInstance, weights: FitnessWeights) -> Self {
+        let etc: Box<[f64]> = instance.etc().as_slice().into();
+        let ready: Box<[f64]> = instance.ready_times().into();
+        let etc_ticks = etc.iter().map(|&e| ticks::ticks(e)).collect();
+        let ready_ticks = ready.iter().map(|&r| ticks::ticks(r)).collect();
         Self {
             name: instance.name().to_owned(),
             nb_jobs: instance.nb_jobs(),
             nb_machines: instance.nb_machines(),
-            etc: instance.etc().as_slice().into(),
-            ready: instance.ready_times().into(),
+            etc,
+            ready,
+            etc_ticks,
+            ready_ticks,
             weights,
         }
     }
@@ -76,6 +88,26 @@ impl Problem {
     pub fn etc_row(&self, job: JobId) -> &[f64] {
         let start = job as usize * self.nb_machines;
         &self.etc[start..start + self.nb_machines]
+    }
+
+    /// ETC of `job` on `machine` in evaluator ticks.
+    #[inline]
+    pub(crate) fn etc_ticks(&self, job: JobId, machine: MachineId) -> i64 {
+        debug_assert!((job as usize) < self.nb_jobs && (machine as usize) < self.nb_machines);
+        self.etc_ticks[job as usize * self.nb_machines + machine as usize]
+    }
+
+    /// The tick ETC row of one job — contiguous, for batched scoring.
+    #[inline]
+    pub(crate) fn etc_ticks_row(&self, job: JobId) -> &[i64] {
+        let start = job as usize * self.nb_machines;
+        &self.etc_ticks[start..start + self.nb_machines]
+    }
+
+    /// Ready time of `machine` in evaluator ticks.
+    #[inline]
+    pub(crate) fn ready_ticks(&self, machine: MachineId) -> i64 {
+        self.ready_ticks[machine as usize]
     }
 
     /// Ready time of `machine`.

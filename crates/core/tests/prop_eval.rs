@@ -1,8 +1,12 @@
-//! Property-based tests: the incremental evaluator must agree with the
-//! reference full evaluation on arbitrary problems and operation sequences.
+//! Property-based tests: the incremental evaluator — closed-form peeks,
+//! batched scoring and delta-updated totals — must agree **bit-for-bit**
+//! with the reference full evaluation (and with the merge-pass reference
+//! peeks) on arbitrary problems and operation sequences, including CVB
+//! consistency classes, machines with ready times and heavy ETC ties.
 
-use cmags_core::{evaluate, EvalState, Problem, Schedule};
-use cmags_etc::{EtcMatrix, GridInstance};
+use cmags_core::{evaluate, EvalState, Problem, Schedule, ScoreBuf};
+use cmags_etc::cvb::{self, CvbParams};
+use cmags_etc::{EtcMatrix, GridInstance, InstanceClass};
 use proptest::prelude::*;
 
 /// Strategy producing a random problem (2–24 jobs, 2–6 machines, ETC in
@@ -15,6 +19,53 @@ fn problem_and_schedule() -> impl Strategy<Value = (Problem, Schedule)> {
         (etc, ready, assignment).prop_map(move |(etc, ready, assignment)| {
             let matrix = EtcMatrix::from_rows(jobs, machines, etc);
             let inst = GridInstance::with_ready_times("prop", matrix, ready);
+            (
+                Problem::from_instance(&inst),
+                Schedule::from_assignment(assignment),
+            )
+        })
+    })
+}
+
+/// Strategy forcing **heavy ETC ties**: entries come from a three-value
+/// pool, so SPT slots collide constantly and every tie-break path runs.
+fn tied_problem_and_schedule() -> impl Strategy<Value = (Problem, Schedule)> {
+    (2usize..16, 2usize..5).prop_flat_map(|(jobs, machines)| {
+        let etc = proptest::collection::vec(0usize..3, jobs * machines);
+        let ready = proptest::collection::vec(0usize..2, machines);
+        let assignment = proptest::collection::vec(0u32..machines as u32, jobs);
+        (etc, ready, assignment).prop_map(move |(etc, ready, assignment)| {
+            const POOL: [f64; 3] = [1.5, 4.0, 4.0];
+            let matrix =
+                EtcMatrix::from_rows(jobs, machines, etc.into_iter().map(|i| POOL[i]).collect());
+            let ready = ready.into_iter().map(|i| [0.0, 7.5][i]).collect();
+            let inst = GridInstance::with_ready_times("ties", matrix, ready);
+            (
+                Problem::from_instance(&inst),
+                Schedule::from_assignment(assignment),
+            )
+        })
+    })
+}
+
+/// Strategy drawing CVB instances over all three consistency classes and
+/// both heterogeneity levels, with optional machine ready times.
+fn cvb_problem_and_schedule() -> impl Strategy<Value = (Problem, Schedule)> {
+    let labels = prop_oneof![
+        Just("u_c_hihi.0"),
+        Just("u_s_hilo.0"),
+        Just("u_i_lohi.0"),
+        Just("u_c_lolo.0"),
+        Just("u_i_hihi.0"),
+    ];
+    (labels, 4u32..20, 2u32..6, 0u64..8).prop_flat_map(|(label, jobs, machines, stream)| {
+        let class: InstanceClass = label.parse().expect("valid class label");
+        let class = class.with_dims(jobs, machines);
+        let ready = proptest::collection::vec(0.0f64..500.0, machines as usize);
+        let assignment = proptest::collection::vec(0u32..machines, jobs as usize);
+        (ready, assignment).prop_map(move |(ready, assignment)| {
+            let matrix = cvb::generate_matrix(class, CvbParams::for_class(class), stream);
+            let inst = GridInstance::with_ready_times("cvb_prop", matrix, ready);
             (
                 Problem::from_instance(&inst),
                 Schedule::from_assignment(assignment),
@@ -88,7 +139,10 @@ proptest! {
         prop_assert_eq!(peek_sw, apply_sw.objectives());
     }
 
-    /// Structural invariants of the objectives themselves.
+    /// Structural invariants of the objectives themselves. Slack is
+    /// 1e-6: the evaluator quantises each input once to 2⁻³²-unit ticks
+    /// (≤ 2⁻³³ per value), so comparisons against f64-computed bounds
+    /// can drift by up to `terms · 2⁻³³` ≈ 1e-7 on these sizes.
     #[test]
     fn objective_invariants((problem, schedule) in problem_and_schedule()) {
         let obj = evaluate(&problem, &schedule);
@@ -106,12 +160,127 @@ proptest! {
             .iter()
             .copied()
             .fold(0.0f64, f64::max);
-        prop_assert!(obj.makespan >= max_single - 1e-9);
-        prop_assert!(obj.makespan <= ready_max + total + 1e-9);
+        prop_assert!(obj.makespan >= max_single - 1e-6);
+        prop_assert!(obj.makespan <= ready_max + total + 1e-6);
         // Every job finishes no later than the makespan, so flowtime is at
         // most jobs * makespan; it is at least the sum of the assigned ETCs.
-        prop_assert!(obj.flowtime <= schedule.nb_jobs() as f64 * obj.makespan + 1e-9);
-        prop_assert!(obj.flowtime >= total - 1e-9);
+        prop_assert!(obj.flowtime <= schedule.nb_jobs() as f64 * obj.makespan + 1e-6);
+        prop_assert!(obj.flowtime >= total - 1e-6);
+    }
+
+    /// Batched move scoring is bit-identical to per-candidate peeks, for
+    /// arbitrary candidate lists (including same-machine no-ops and
+    /// repeated jobs, which exercise the donor cache).
+    #[test]
+    fn score_moves_is_bit_identical_to_peek_move(
+        (problem, schedule) in problem_and_schedule(),
+        raw in proptest::collection::vec((0u32..1024, 0u32..1024), 1..48),
+    ) {
+        let eval = EvalState::new(&problem, &schedule);
+        let candidates: Vec<(u32, u32)> = raw
+            .into_iter()
+            .map(|(j, m)| (
+                j % problem.nb_jobs() as u32,
+                m % problem.nb_machines() as u32,
+            ))
+            .collect();
+        let mut scores = ScoreBuf::new();
+        eval.score_moves(&problem, &schedule, &candidates, &mut scores);
+        prop_assert_eq!(scores.len(), candidates.len());
+        for (i, &(job, to)) in candidates.iter().enumerate() {
+            let peek = eval.peek_move(&problem, &schedule, job, to);
+            prop_assert_eq!(scores.objectives(i), peek, "candidate {}", i);
+            // The closed-form peek must also match the merge-pass
+            // reference (the seed's algorithm).
+            prop_assert_eq!(peek, eval.peek_move_merge(&problem, &schedule, job, to));
+        }
+    }
+
+    /// Batched swap scoring is bit-identical to per-pair peeks and to the
+    /// merge-pass reference.
+    #[test]
+    fn score_swaps_is_bit_identical_to_peek_swap(
+        (problem, schedule) in problem_and_schedule(),
+        anchor in 0u32..1024,
+        raw in proptest::collection::vec(0u32..1024, 1..48),
+    ) {
+        let eval = EvalState::new(&problem, &schedule);
+        let anchor = anchor % problem.nb_jobs() as u32;
+        let partners: Vec<u32> = raw
+            .into_iter()
+            .map(|j| j % problem.nb_jobs() as u32)
+            .collect();
+        let mut scores = ScoreBuf::new();
+        eval.score_swaps(&problem, &schedule, anchor, &partners, &mut scores);
+        for (i, &partner) in partners.iter().enumerate() {
+            let peek = eval.peek_swap(&problem, &schedule, anchor, partner);
+            prop_assert_eq!(scores.objectives(i), peek, "partner {}", i);
+            prop_assert_eq!(peek, eval.peek_swap_merge(&problem, &schedule, anchor, partner));
+        }
+    }
+
+    /// Randomised peek / batched-score / apply sequences keep every path
+    /// bit-identical to from-scratch evaluation on instances with heavy
+    /// ETC ties and ready times.
+    #[test]
+    fn tied_instances_stay_bit_identical(
+        (problem, mut schedule) in tied_problem_and_schedule(),
+        ops in operations(),
+    ) {
+        let mut eval = EvalState::new(&problem, &schedule);
+        let mut scores = ScoreBuf::new();
+        for (is_swap, a, b) in ops {
+            let ja = a % problem.nb_jobs() as u32;
+            let jb = b % problem.nb_jobs() as u32;
+            let to = b % problem.nb_machines() as u32;
+            if is_swap {
+                eval.score_swaps(&problem, &schedule, ja, &[jb], &mut scores);
+                prop_assert_eq!(
+                    scores.objectives(0),
+                    eval.peek_swap_merge(&problem, &schedule, ja, jb)
+                );
+                eval.apply_swap(&problem, &mut schedule, ja, jb);
+            } else {
+                eval.score_moves(&problem, &schedule, &[(ja, to)], &mut scores);
+                prop_assert_eq!(
+                    scores.objectives(0),
+                    eval.peek_move_merge(&problem, &schedule, ja, to)
+                );
+                eval.apply_move(&problem, &mut schedule, ja, to);
+            }
+            prop_assert_eq!(eval.objectives(), evaluate(&problem, &schedule));
+        }
+        eval.debug_validate(&problem, &schedule);
+    }
+
+    /// The same lockstep guarantee over CVB instances spanning all three
+    /// consistency classes, with machine ready times.
+    #[test]
+    fn cvb_instances_stay_bit_identical(
+        (problem, mut schedule) in cvb_problem_and_schedule(),
+        ops in operations(),
+    ) {
+        let mut eval = EvalState::new(&problem, &schedule);
+        prop_assert_eq!(eval.objectives(), evaluate(&problem, &schedule));
+        for (is_swap, a, b) in ops {
+            if is_swap {
+                let ja = a % problem.nb_jobs() as u32;
+                let jb = b % problem.nb_jobs() as u32;
+                let peek = eval.peek_swap(&problem, &schedule, ja, jb);
+                prop_assert_eq!(peek, eval.peek_swap_merge(&problem, &schedule, ja, jb));
+                eval.apply_swap(&problem, &mut schedule, ja, jb);
+                prop_assert_eq!(eval.objectives(), peek, "peek must predict apply");
+            } else {
+                let job = a % problem.nb_jobs() as u32;
+                let to = b % problem.nb_machines() as u32;
+                let peek = eval.peek_move(&problem, &schedule, job, to);
+                prop_assert_eq!(peek, eval.peek_move_merge(&problem, &schedule, job, to));
+                eval.apply_move(&problem, &mut schedule, job, to);
+                prop_assert_eq!(eval.objectives(), peek, "peek must predict apply");
+            }
+            prop_assert_eq!(eval.objectives(), evaluate(&problem, &schedule));
+        }
+        eval.debug_validate(&problem, &schedule);
     }
 
     /// SPT order is flowtime-optimal for a fixed assignment: the evaluator
@@ -135,6 +304,8 @@ proptest! {
                 lpt_flowtime += clock;
             }
         }
-        prop_assert!(obj.flowtime <= lpt_flowtime + 1e-9);
+        // 1e-6 slack: LPT is folded in raw f64 while the evaluator works
+        // on 2^-32-quantised ticks (see `objective_invariants`).
+        prop_assert!(obj.flowtime <= lpt_flowtime + 1e-6);
     }
 }

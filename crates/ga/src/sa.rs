@@ -24,7 +24,7 @@ use std::time::Instant;
 
 use cmags_cma::{Individual, StopCondition};
 use cmags_core::engine::Metaheuristic;
-use cmags_core::{JobId, MachineId, Objectives, Problem};
+use cmags_core::{JobId, MachineId, Objectives, Problem, ScoreBuf};
 use cmags_heuristics::constructive::ConstructiveKind;
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -215,23 +215,28 @@ impl Default for SimulatedAnnealing {
 
 /// Mean deterioration of a warm-up sample of 32 random moves — the
 /// temperature at which a typical worsening proposal is accepted with
-/// probability `exp(-1)`. Falls back to a small fraction of the seed
+/// probability `exp(-1)`. The sample is drawn first and scored in one
+/// batched [`cmags_core::EvalState::score_moves`] call (bit-identical to
+/// per-proposal peeks). Falls back to a small fraction of the seed
 /// fitness when no sampled move worsens (degenerate instances).
 fn calibrate_temperature(problem: &Problem, current: &Individual, rng: &mut SmallRng) -> f64 {
+    let mut proposals: Vec<(JobId, MachineId)> = Vec::with_capacity(32);
+    for _ in 0..32 {
+        if let Some(proposal) = propose_move(problem, current, rng) {
+            proposals.push(proposal);
+        }
+    }
+    let mut scores = ScoreBuf::new();
+    current
+        .eval
+        .score_moves(problem, &current.schedule, &proposals, &mut scores);
     let mut total = 0.0;
     let mut worsening = 0usize;
-    for _ in 0..32 {
-        if let Some((job, target)) = propose_move(problem, current, rng) {
-            let delta = problem.fitness(current.eval.peek_move(
-                problem,
-                &current.schedule,
-                job,
-                target,
-            )) - current.fitness;
-            if delta > 0.0 {
-                total += delta;
-                worsening += 1;
-            }
+    for i in 0..scores.len() {
+        let delta = problem.fitness(scores.objectives(i)) - current.fitness;
+        if delta > 0.0 {
+            total += delta;
+            worsening += 1;
         }
     }
     if worsening > 0 {

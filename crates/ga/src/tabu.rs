@@ -10,16 +10,23 @@
 //! memetic algorithm. An *aspiration* rule overrides the tabu status of
 //! any move that would beat the best schedule seen so far.
 
+use std::cell::RefCell;
 use std::time::Instant;
 
 use cmags_cma::{Individual, StopCondition};
 use cmags_core::engine::Metaheuristic;
-use cmags_core::{JobId, MachineId, Objectives, Problem};
+use cmags_core::{JobId, MachineId, Objectives, Problem, ScoreBuf};
 use cmags_heuristics::constructive::ConstructiveKind;
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
 
 use crate::common::{run_to_outcome, BaselineEngine, GaOutcome};
+
+thread_local! {
+    /// Per-thread candidate + score buffers of the batched move scoring.
+    static SCRATCH: RefCell<(Vec<(JobId, MachineId)>, ScoreBuf)> =
+        RefCell::new((Vec::new(), ScoreBuf::new()));
+}
 
 /// Short-term memory: `(job, machine)` pairs forbidden until an
 /// iteration stamp.
@@ -104,8 +111,10 @@ impl TabuSearch {
         TabuSearchEngine::new(self, problem, seed)
     }
 
-    /// Samples candidate moves and returns the best admissible one
-    /// (non-tabu, or tabu-but-aspirational) as `(job, target, fitness)`.
+    /// Samples candidate moves, scores them in one batched
+    /// [`cmags_core::EvalState::score_moves`] call, and returns the best
+    /// admissible one (non-tabu, or tabu-but-aspirational) as
+    /// `(job, target, fitness)`.
     fn best_candidate(
         &self,
         problem: &Problem,
@@ -119,29 +128,34 @@ impl TabuSearch {
         if nb_machines < 2 {
             return None;
         }
-        let mut best: Option<(JobId, MachineId, f64)> = None;
-        for _ in 0..self.candidates {
-            let job = rng.gen_range(0..problem.nb_jobs() as JobId);
-            let from = current.schedule.machine_of(job);
-            let mut target = rng.gen_range(0..nb_machines - 1);
-            if target >= from {
-                target += 1;
+        SCRATCH.with(|cell| {
+            let (candidates, scores) = &mut *cell.borrow_mut();
+            candidates.clear();
+            for _ in 0..self.candidates {
+                let job = rng.gen_range(0..problem.nb_jobs() as JobId);
+                let from = current.schedule.machine_of(job);
+                let mut target = rng.gen_range(0..nb_machines - 1);
+                if target >= from {
+                    target += 1;
+                }
+                candidates.push((job, target));
             }
-            let fitness = problem.fitness(current.eval.peek_move(
-                problem,
-                &current.schedule,
-                job,
-                target,
-            ));
-            let aspiration = fitness < best_fitness;
-            if tabu.is_tabu(job, target, now) && !aspiration {
-                continue;
+            current
+                .eval
+                .score_moves(problem, &current.schedule, candidates, scores);
+            let mut best: Option<(JobId, MachineId, f64)> = None;
+            for (i, &(job, target)) in candidates.iter().enumerate() {
+                let fitness = problem.fitness(scores.objectives(i));
+                let aspiration = fitness < best_fitness;
+                if tabu.is_tabu(job, target, now) && !aspiration {
+                    continue;
+                }
+                if best.is_none_or(|(_, _, f)| fitness < f) {
+                    best = Some((job, target, fitness));
+                }
             }
-            if best.is_none_or(|(_, _, f)| fitness < f) {
-                best = Some((job, target, fitness));
-            }
-        }
-        best
+            best
+        })
     }
 }
 

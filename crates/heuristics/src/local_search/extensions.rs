@@ -71,7 +71,8 @@ impl LocalSearch for LocalMctMove {
 }
 
 /// LMCTS's anchored-swap scan ranked by **flowtime**; commits the best
-/// candidate only when the scalarised fitness strictly improves.
+/// candidate only when the scalarised fitness strictly improves. The
+/// scan is one batched [`EvalState::score_swaps`] call.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LocalFlowtimeSwap;
 
@@ -94,32 +95,38 @@ impl LocalSearch for LocalFlowtimeSwap {
         let anchor = rng.gen_range(0..nb_jobs);
         let anchor_machine = schedule.machine_of(anchor);
 
-        let mut best_partner: Option<JobId> = None;
-        let mut best_flowtime = eval.flowtime();
-        for partner in 0..nb_jobs {
-            if schedule.machine_of(partner) == anchor_machine {
-                continue;
+        super::with_scratch(|scratch| {
+            scratch.partners.clear();
+            scratch
+                .partners
+                .extend((0..nb_jobs).filter(|&j| schedule.machine_of(j) != anchor_machine));
+            if scratch.partners.is_empty() {
+                return false;
             }
-            let objectives = eval.peek_swap(problem, schedule, anchor, partner);
-            if objectives.flowtime < best_flowtime {
-                best_flowtime = objectives.flowtime;
-                best_partner = Some(partner);
+            eval.score_swaps(
+                problem,
+                schedule,
+                anchor,
+                &scratch.partners,
+                &mut scratch.scores,
+            );
+            let (best, best_flowtime) = scratch
+                .scores
+                .best_by(|o| o.flowtime)
+                .expect("partners is non-empty");
+            if best_flowtime >= eval.flowtime() {
+                return false;
             }
-        }
-        match best_partner {
-            Some(partner) => {
-                // Rank by flowtime, commit on fitness: the step must stay
-                // a strict improvement under the algorithm's objective.
-                let fitness = problem.fitness(eval.peek_swap(problem, schedule, anchor, partner));
-                if fitness < eval.fitness(problem) {
-                    eval.apply_swap(problem, schedule, anchor, partner);
-                    true
-                } else {
-                    false
-                }
+            // Rank by flowtime, commit on fitness: the step must stay
+            // a strict improvement under the algorithm's objective.
+            let fitness = problem.fitness(scratch.scores.objectives(best));
+            if fitness < eval.fitness(problem) {
+                eval.apply_swap(problem, schedule, anchor, scratch.partners[best]);
+                true
+            } else {
+                false
             }
-            None => false,
-        }
+        })
     }
 }
 

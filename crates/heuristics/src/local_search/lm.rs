@@ -8,10 +8,11 @@ use super::LocalSearch;
 /// Local Move: probe one random `(job, machine)` transfer and commit it
 /// only if it strictly improves the fitness.
 ///
-/// The cheapest of the three paper methods — one peek per step — but also
-/// the least informed: most random transfers on a balanced schedule are
-/// rejected, which is exactly the slow convergence visible in the paper's
-/// Fig. 2.
+/// The cheapest of the three paper methods — a single O(log n)
+/// [`EvalState::peek_move`] per step (batching buys nothing at one
+/// candidate) — but also the least informed: most random transfers on a
+/// balanced schedule are rejected, which is exactly the slow convergence
+/// visible in the paper's Fig. 2.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LocalMove;
 

@@ -5,15 +5,18 @@ use rand::{Rng, RngCore};
 
 use super::LocalSearch;
 
-/// Local Minimum Completion Time Swap: anchor one random job, peek its
-/// swap with **every** job on a different machine, and commit the best
-/// strictly improving pair.
+/// Local Minimum Completion Time Swap: anchor one random job, score its
+/// swap with **every** job on a different machine in one batched call,
+/// and commit the best strictly improving pair.
 ///
-/// One step costs `O(nb_jobs)` peeks, each a merge pass over two
-/// machines. Swaps preserve per-machine job counts, which makes LMCTS an
-/// effective *refiner* of already balanced schedules — the regime where
-/// pure moves (LM/SLM) stall — and is why it wins the paper's Fig. 2 and
-/// was fixed in Table 1.
+/// One step scores `O(nb_jobs)` candidates through
+/// [`EvalState::score_swaps`], which resolves the anchor's machine, SPT
+/// position and ETC row once for the whole batch and answers each
+/// candidate with `O(log jobs-per-machine)` closed-form deltas. Swaps
+/// preserve per-machine job counts, which makes LMCTS an effective
+/// *refiner* of already balanced schedules — the regime where pure moves
+/// (LM/SLM) stall — and is why it wins the paper's Fig. 2 and was fixed
+/// in Table 1.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LocalMctSwap;
 
@@ -36,25 +39,33 @@ impl LocalSearch for LocalMctSwap {
         let anchor = rng.gen_range(0..nb_jobs);
         let anchor_machine = schedule.machine_of(anchor);
 
-        let mut best_partner: Option<JobId> = None;
-        let mut best_fitness = eval.fitness(problem);
-        for partner in 0..nb_jobs {
-            if schedule.machine_of(partner) == anchor_machine {
-                continue;
+        super::with_scratch(|scratch| {
+            scratch.partners.clear();
+            scratch
+                .partners
+                .extend((0..nb_jobs).filter(|&j| schedule.machine_of(j) != anchor_machine));
+            if scratch.partners.is_empty() {
+                return false;
             }
-            let candidate = problem.fitness(eval.peek_swap(problem, schedule, anchor, partner));
-            if candidate < best_fitness {
-                best_fitness = candidate;
-                best_partner = Some(partner);
-            }
-        }
-        match best_partner {
-            Some(partner) => {
+            eval.score_swaps(
+                problem,
+                schedule,
+                anchor,
+                &scratch.partners,
+                &mut scratch.scores,
+            );
+            let (best, fitness) = scratch
+                .scores
+                .best_by(|o| problem.fitness(o))
+                .expect("partners is non-empty");
+            if fitness < eval.fitness(problem) {
+                let partner = scratch.partners[best];
                 eval.apply_swap(problem, schedule, anchor, partner);
                 true
+            } else {
+                false
             }
-            None => false,
-        }
+        })
     }
 }
 

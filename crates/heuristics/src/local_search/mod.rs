@@ -24,6 +24,13 @@
 //! set and commits only strict improvements (hill-climbing), and `run`
 //! chains `iterations` steps — `nb local search iterations = 5` in the
 //! paper's Table 1.
+//!
+//! All multi-candidate scans (SLM, LMCTS and the extensions) go through
+//! the batched scoring API ([`cmags_core::EvalState::score_moves`] /
+//! [`cmags_core::EvalState::score_swaps`]) with per-thread reusable
+//! buffers ([`with_scratch`]), so a step performs no allocation and no
+//! per-candidate merge pass; LM's single probe uses `peek_move`
+//! directly.
 
 mod extensions;
 mod lm;
@@ -37,8 +44,37 @@ pub use lmcts::LocalMctSwap;
 pub use slm::SteepestLocalMove;
 pub use vnd::Vnd;
 
-use cmags_core::{EvalState, Problem, Schedule};
+use std::cell::RefCell;
+
+use cmags_core::{EvalState, JobId, MachineId, Problem, Schedule, ScoreBuf};
 use rand::RngCore;
+
+/// Reusable per-thread buffers of the batched-scoring hot path: candidate
+/// lists plus the structure-of-arrays score buffer. One instance per
+/// worker thread keeps every local-search step allocation-free, including
+/// under the cellular sweep's scoped worker threads.
+pub(crate) struct Scratch {
+    /// `(job, target)` move candidates.
+    pub moves: Vec<(JobId, MachineId)>,
+    /// Swap partners of the current anchor job.
+    pub partners: Vec<JobId>,
+    /// Scored objectives, aligned with the candidate list.
+    pub scores: ScoreBuf,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch {
+        moves: Vec::new(),
+        partners: Vec::new(),
+        scores: ScoreBuf::new(),
+    });
+}
+
+/// Runs `f` with this thread's scratch buffers. Not reentrant — steps
+/// use it around one candidate scan at a time.
+pub(crate) fn with_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
+}
 
 /// A hill-climbing local search on a schedule + evaluator pair.
 ///

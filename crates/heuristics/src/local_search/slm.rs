@@ -5,10 +5,12 @@ use rand::{Rng, RngCore};
 
 use super::LocalSearch;
 
-/// Steepest Local Move: pick a random job, peek its transfer to **every**
-/// other machine, and commit the best strictly improving one.
+/// Steepest Local Move: pick a random job, score its transfer to
+/// **every** other machine in one batched call, and commit the best
+/// strictly improving one.
 ///
-/// One step costs `nb_machines - 1` peeks — the "steepest" variant of
+/// One step scores `nb_machines - 1` candidates through
+/// [`EvalState::score_moves`] — the "steepest" variant of
 /// [`super::LocalMove`] (paper §3.2: "the job transfer is done to the
 /// machine that yields the best improvement in terms of the reduction of
 /// the completion time").
@@ -34,25 +36,24 @@ impl LocalSearch for SteepestLocalMove {
         let job = rng.gen_range(0..schedule.nb_jobs() as JobId);
         let current = schedule.machine_of(job);
 
-        let mut best_target: Option<MachineId> = None;
-        let mut best_fitness = eval.fitness(problem);
-        for target in 0..nb_machines {
-            if target == current {
-                continue;
-            }
-            let candidate = problem.fitness(eval.peek_move(problem, schedule, job, target));
-            if candidate < best_fitness {
-                best_fitness = candidate;
-                best_target = Some(target);
-            }
-        }
-        match best_target {
-            Some(target) => {
+        super::with_scratch(|scratch| {
+            scratch.moves.clear();
+            scratch
+                .moves
+                .extend((0..nb_machines).filter(|&m| m != current).map(|m| (job, m)));
+            eval.score_moves(problem, schedule, &scratch.moves, &mut scratch.scores);
+            let (best, fitness) = scratch
+                .scores
+                .best_by(|o| problem.fitness(o))
+                .expect("at least one candidate machine");
+            if fitness < eval.fitness(problem) {
+                let (job, target) = scratch.moves[best];
                 eval.apply_move(problem, schedule, job, target);
                 true
+            } else {
+                false
             }
-            None => false,
-        }
+        })
     }
 }
 

@@ -5,6 +5,8 @@
 //! feasibility by construction — any vector of valid machine indices is a
 //! feasible schedule — so no repair step exists anywhere in the workspace.
 
+use std::cell::RefCell;
+
 use cmags_core::{EvalState, JobId, MachineId, Problem, Schedule};
 use rand::{Rng, RngCore};
 
@@ -143,6 +145,13 @@ pub fn mutate_swap(schedule: &mut Schedule, rng: &mut dyn RngCore) -> Option<(Jo
 /// mutation (paper §3.2: "25% first machines").
 pub const REBALANCE_UNDERLOADED_FRACTION: f64 = 0.25;
 
+thread_local! {
+    /// Per-thread completion-order buffer of the rebalance mutation — the
+    /// mutation sits on the cellular sweep's hot path, so it must not
+    /// allocate per call.
+    static REBALANCE_ORDER: RefCell<Vec<MachineId>> = const { RefCell::new(Vec::new()) };
+}
+
 /// The paper's **rebalance** mutation: transfer one job from an
 /// overloaded machine to one of the less-loaded machines.
 ///
@@ -153,7 +162,9 @@ pub const REBALANCE_UNDERLOADED_FRACTION: f64 = 0.25;
 /// the schedule cannot be rebalanced (single machine, or the overloaded
 /// machine holds no jobs).
 ///
-/// The caller's [`EvalState`] is updated in lockstep.
+/// The caller's [`EvalState`] is updated in lockstep. Allocation-free:
+/// the completion order fills a per-thread scratch buffer and all uniform
+/// draws select by counted scan instead of collecting candidate lists.
 pub fn rebalance(
     problem: &Problem,
     schedule: &mut Schedule,
@@ -164,36 +175,40 @@ pub fn rebalance(
     if nb_machines < 2 {
         return None;
     }
-    let by_completion = eval.machines_by_completion();
-    // All machines at the makespan are overloaded; pick one at random.
-    let makespan = eval.makespan();
-    let overloaded: Vec<MachineId> = by_completion
-        .iter()
-        .copied()
-        .filter(|&m| eval.completion(m) >= makespan && eval.machine_len(m) > 0)
-        .collect();
-    let &donor = overloaded.get(rng.gen_range(0..overloaded.len().max(1)))?;
+    REBALANCE_ORDER.with(|cell| {
+        let order = &mut *cell.borrow_mut();
+        eval.machines_by_completion_into(order);
+        // All machines at the makespan are overloaded; pick one at random
+        // (count, draw, then select by scan — no candidate list).
+        let makespan = eval.makespan();
+        let overloaded =
+            |m: &&MachineId| eval.completion(**m) >= makespan && eval.machine_len(**m) > 0;
+        let count = order.iter().filter(overloaded).count();
+        let pick = rng.gen_range(0..count.max(1));
+        let &donor = order.iter().filter(overloaded).nth(pick)?;
 
-    // Less overloaded: the first 25% machines by completion (at least 1),
-    // excluding the donor.
-    let cutoff = ((nb_machines as f64 * REBALANCE_UNDERLOADED_FRACTION).ceil() as usize).max(1);
-    let underloaded: Vec<MachineId> = by_completion
-        .iter()
-        .copied()
-        .take(cutoff)
-        .filter(|&m| m != donor)
-        .collect();
-    let &target = underloaded.get(rng.gen_range(0..underloaded.len().max(1)))?;
+        // Less overloaded: the first 25% machines by completion (at least
+        // 1), excluding the donor.
+        let cutoff = ((nb_machines as f64 * REBALANCE_UNDERLOADED_FRACTION).ceil() as usize).max(1);
+        let count = order.iter().take(cutoff).filter(|&&m| m != donor).count();
+        let pick = rng.gen_range(0..count.max(1));
+        let &target = order
+            .iter()
+            .take(cutoff)
+            .filter(|&&m| m != donor)
+            .nth(pick)?;
 
-    // Uniform job on the donor machine.
-    let jobs_on_donor: Vec<JobId> = schedule
-        .iter()
-        .filter(|&(_, m)| m == donor)
-        .map(|(j, _)| j)
-        .collect();
-    let job = jobs_on_donor[rng.gen_range(0..jobs_on_donor.len())];
-    eval.apply_move(problem, schedule, job, target);
-    Some((job, target))
+        // Uniform job on the donor machine.
+        let pick = rng.gen_range(0..eval.machine_len(donor));
+        let job = schedule
+            .iter()
+            .filter(|&(_, m)| m == donor)
+            .map(|(j, _)| j)
+            .nth(pick)
+            .expect("donor machine holds at least one job");
+        eval.apply_move(problem, schedule, job, target);
+        Some((job, target))
+    })
 }
 
 /// Mutation operator selector, for configuration.
