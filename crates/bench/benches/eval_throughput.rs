@@ -203,6 +203,28 @@ fn bench_eval(c: &mut Criterion) {
             },
         );
 
+        // Score reduction over a full ScoreBuf (one LMCTS-sized batch):
+        // the generic closure argmin vs the chunked SoA column kernel
+        // (`best_fitness`). Both return bit-identical results; only the
+        // reduction shape differs.
+        let (anchor, partners) = &anchors[0];
+        let mut reduce_buf = ScoreBuf::new();
+        eval.score_swaps(&p, &s, *anchor, partners, &mut reduce_buf);
+        group.bench_with_input(
+            BenchmarkId::new("score_reduce_closure", &label),
+            &p,
+            |b, p| {
+                b.iter(|| black_box(reduce_buf.best_by(|o| p.fitness(o))));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("score_reduce_chunked", &label),
+            &p,
+            |b, p| {
+                b.iter(|| black_box(reduce_buf.best_fitness(p.weights(), p.nb_machines())));
+            },
+        );
+
         group.bench_with_input(BenchmarkId::new("apply_move", &label), &p, |b, p| {
             let mut eval = EvalState::new(p, &s);
             let mut schedule = s.clone();

@@ -1,0 +1,150 @@
+//! Racing-portfolio benchmark: the adaptive portfolio runtime against
+//! the best single engine at **equal total children budget**, across
+//! ETC consistency classes and the generated 4096×64 scenario.
+//!
+//! Two layers:
+//!
+//! * `portfolio_*` timing groups — wall-clock cost of a whole race
+//!   (criterion), the number to watch when touching the round loop;
+//! * a quality comparison printed as `portfolio-quality` lines (and
+//!   recorded in `BENCH_portfolio.json`): the portfolio's final fitness
+//!   vs. every single engine given the same total children the race
+//!   actually spent. The portfolio must match or beat the best single
+//!   engine on most classes — that is the whole point of racing.
+//!
+//! Set `PORTFOLIO_BENCH_QUICK=1` for the CI smoke configuration (small
+//! instance, small budgets, two samples).
+
+use std::hint::black_box;
+
+use cmags_bench::experiments::large_scenario;
+use cmags_bench::runner::{roster, Algo};
+use cmags_cma::{CmaConfig, StopCondition};
+use cmags_core::{FitnessWeights, Objectives, Problem};
+use cmags_etc::{braun, InstanceClass};
+use cmags_ga::{
+    BraunGa, GeneticSimulatedAnnealing, PanmicticMa, SimulatedAnnealing, SteadyStateGa, StruggleGa,
+    TabuSearch,
+};
+use cmags_portfolio::{race, PortfolioConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// The iterative line-up racing in the portfolio: all eight scalarised
+/// engines, every configurable one under the problem's λ-weights so the
+/// uniform ranking is also each engine's own objective.
+fn lineup() -> Vec<Algo> {
+    vec![
+        Algo::Cma(CmaConfig::paper()),
+        Algo::BraunGa(BraunGa::default().with_weights(FitnessWeights::default())),
+        Algo::SteadyState(SteadyStateGa::default()),
+        Algo::Struggle(StruggleGa::default()),
+        Algo::Panmictic(PanmicticMa::default()),
+        Algo::Sa(SimulatedAnnealing::default()),
+        Algo::Tabu(TabuSearch::default()),
+        Algo::Gsa(GeneticSimulatedAnnealing::default().with_weights(FitnessWeights::default())),
+    ]
+}
+
+fn problem(class: &str, jobs: u32, machines: u32) -> Problem {
+    let class: InstanceClass = class.parse().expect("valid label");
+    Problem::from_instance(&braun::generate(class.with_dims(jobs, machines), 0))
+}
+
+/// Runs one portfolio race and the equal-budget single-engine field;
+/// prints the comparison and returns (portfolio fitness, best single
+/// fitness, best single name).
+fn quality_comparison(p: &Problem, budget: u64, seed: u64) -> (f64, f64, String) {
+    let algos = lineup();
+    let config = PortfolioConfig::successive_halving(algos.len(), budget);
+    let outcome = race(&config, roster(p, &algos, seed), |o| p.fitness(o));
+    let spent = outcome.total_children;
+
+    let mut best_single = f64::INFINITY;
+    let mut best_name = String::new();
+    for algo in &algos {
+        let result = algo
+            .clone()
+            .with_stop(StopCondition::children(spent))
+            .run(p, seed);
+        let fitness = p.fitness(Objectives {
+            makespan: result.makespan,
+            flowtime: result.flowtime,
+        });
+        if fitness < best_single {
+            best_single = fitness;
+            best_name = algo.name();
+        }
+    }
+    println!(
+        "portfolio-quality instance={} budget={} portfolio={:.1} (winner {}) best_single={:.1} ({}) delta_pct={:+.3}",
+        p.name(),
+        spent,
+        outcome.best_score,
+        outcome.winner_name,
+        best_single,
+        best_name,
+        (outcome.best_score - best_single) / best_single * 100.0,
+    );
+    (outcome.best_score, best_single, best_name)
+}
+
+fn bench_portfolio(c: &mut Criterion) {
+    let quick = std::env::var_os("PORTFOLIO_BENCH_QUICK").is_some();
+    let (jobs, machines, race_budget) = if quick {
+        (96, 8, 300)
+    } else {
+        (512, 16, 2_000)
+    };
+
+    // --- Timing: one full race (including engine initialisation). ---
+    let p = problem("u_c_hihi.0", jobs, machines);
+    let mut group = c.benchmark_group(format!("portfolio_{jobs}x{machines}"));
+    group.sample_size(if quick { 2 } else { 10 });
+    group.bench_function(format!("race_{race_budget}_children"), |b| {
+        let algos = lineup();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let config = PortfolioConfig::successive_halving(algos.len(), race_budget);
+            let outcome = race(&config, roster(&p, &algos, seed), |o| p.fitness(o));
+            black_box(outcome.best_score)
+        });
+    });
+    group.bench_function(format!("single_cma_{race_budget}_children"), |b| {
+        let config = CmaConfig::paper().with_stop(StopCondition::children(race_budget));
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(config.run(&p, seed).fitness)
+        });
+    });
+    group.finish();
+
+    // --- Quality at equal total budget, across consistency classes. ---
+    let quality_budget = if quick { 300 } else { 6_000 };
+    let classes = ["u_c_hihi.0", "u_i_hihi.0", "u_s_hihi.0", "u_c_lolo.0"];
+    let mut won = 0usize;
+    for class in classes {
+        let p = problem(class, jobs, machines);
+        let (portfolio, best_single, _) = quality_comparison(&p, quality_budget, 1);
+        // "Matching" = within 0.5 % — the tables' tolerance for
+        // equal-quality results.
+        if portfolio <= best_single * 1.005 {
+            won += 1;
+        }
+    }
+    println!(
+        "portfolio-quality summary: matched-or-beat best single engine on {won}/{} classes",
+        classes.len()
+    );
+
+    if !quick {
+        // The generated large-grid scenario (children are ~20× more
+        // expensive here, so the budget is scaled down).
+        let large = large_scenario();
+        let _ = quality_comparison(&large, 800, 1);
+    }
+}
+
+criterion_group!(benches, bench_portfolio);
+criterion_main!(benches);

@@ -32,7 +32,7 @@ impl Args {
     /// Parses an explicit token stream (tests).
     #[must_use]
     pub fn parse(tokens: impl IntoIterator<Item = String>) -> Self {
-        const BOOL_FLAGS: [&str; 3] = ["--paper", "--quiet", "--help"];
+        const BOOL_FLAGS: [&str; 4] = ["--paper", "--quiet", "--help", "--large"];
         let mut values = BTreeMap::new();
         let mut flags = BTreeSet::new();
         let mut iter = tokens.into_iter().peekable();

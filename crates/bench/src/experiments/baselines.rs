@@ -36,10 +36,17 @@ pub fn lineup(ctx: &Ctx) -> Vec<Algo> {
     ]
 }
 
-/// Runs the line-up and returns (per-instance table, aggregate table).
+/// Runs the line-up over the twelve-class benchmark suite and returns
+/// (per-instance table, aggregate table).
 #[must_use]
 pub fn baselines(ctx: &Ctx) -> (Table, Table) {
-    let problems = super::suite_problems(ctx);
+    baselines_on(ctx, &super::suite_problems(ctx))
+}
+
+/// Runs the line-up over an explicit problem set (the `--large` binary
+/// mode appends the generated 4096×64 scenario to the suite).
+#[must_use]
+pub fn baselines_on(ctx: &Ctx, problems: &[cmags_core::Problem]) -> (Table, Table) {
     let algos = lineup(ctx);
 
     let mut detail = Table::new(

@@ -4,17 +4,23 @@
 //! against the fast constructive baselines, on a calm and a churny grid.
 
 use cmags_cma::StopCondition;
-use cmags_gridsim::scheduler::{BatchScheduler, CmaScheduler, HeuristicScheduler, RandomScheduler};
+use cmags_gridsim::scheduler::{
+    BatchScheduler, CmaScheduler, HeuristicScheduler, PortfolioScheduler, RandomScheduler,
+};
 use cmags_gridsim::{SimConfig, Simulation};
 use cmags_heuristics::constructive::ConstructiveKind;
 
 use crate::args::Ctx;
 use crate::report::{fmt_value, Table};
 
-/// Builds the scheduler roster compared in the experiment.
+/// Builds the scheduler roster compared in the experiment. The racing
+/// portfolio gets the same per-activation budget as the cMA — children
+/// split across its contenders, time/target bounds capping the whole
+/// race — so the comparison is equal-effort on every axis.
 fn roster(budget: StopCondition) -> Vec<Box<dyn BatchScheduler>> {
     vec![
         Box::new(CmaScheduler::new(budget)),
+        Box::new(PortfolioScheduler::new(budget)),
         Box::new(HeuristicScheduler::new(ConstructiveKind::MinMin)),
         Box::new(HeuristicScheduler::new(ConstructiveKind::Mct)),
         Box::new(HeuristicScheduler::new(ConstructiveKind::Olb)),
@@ -101,7 +107,7 @@ mod tests {
             3,
             StopCondition::children(300),
         );
-        assert_eq!(t.rows.len(), 5);
+        assert_eq!(t.rows.len(), 6);
         let response_of = |name: &str| -> f64 {
             t.rows
                 .iter()
@@ -113,6 +119,10 @@ mod tests {
         assert!(
             response_of("cMA") < response_of("Random"),
             "cMA must beat random dispatch on mean response"
+        );
+        assert!(
+            response_of("Portfolio") < response_of("Random"),
+            "the racing portfolio must beat random dispatch too"
         );
     }
 

@@ -49,6 +49,15 @@ pub fn tuning_problem(ctx: &Ctx) -> Problem {
     Problem::from_instance(&braun::generate(class, TUNING_STREAM))
 }
 
+/// The generated large-grid scenario shared by `eval_throughput`, the
+/// scaling sweep and the `--large` baselines run: the consistent
+/// high/high class at 4096 jobs × 64 machines, suite stream.
+#[must_use]
+pub fn large_scenario() -> Problem {
+    let class: InstanceClass = "u_c_hihi.0".parse().expect("static label");
+    Problem::from_instance(&braun::generate(class.with_dims(4096, 64), SUITE_STREAM))
+}
+
 #[cfg(test)]
 pub(crate) fn test_ctx(jobs: u32, machines: u32, runs: usize, children: u64) -> Ctx {
     use cmags_cma::StopCondition;

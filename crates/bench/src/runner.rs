@@ -11,6 +11,7 @@ use cmags_ga::{
     TabuSearch,
 };
 use cmags_heuristics::constructive::ConstructiveKind;
+use cmags_portfolio::Contender;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -103,7 +104,8 @@ impl Algo {
     }
 
     /// Builds the algorithm's step-driven engine on `problem` — every
-    /// metaheuristic in the workspace behind one trait object. Returns
+    /// metaheuristic in the workspace behind one trait object (`Send`,
+    /// so portfolio races can drive it from worker threads). Returns
     /// `None` for the one-shot constructive heuristics, which have no
     /// iterative state to drive.
     #[must_use]
@@ -111,7 +113,7 @@ impl Algo {
         &'a self,
         problem: &'a Problem,
         seed: u64,
-    ) -> Option<Box<dyn Metaheuristic + 'a>> {
+    ) -> Option<Box<dyn Metaheuristic + Send + 'a>> {
         match self {
             Algo::Cma(config) => Some(Box::new(CmaEngine::new(config, problem, seed))),
             Algo::BraunGa(ga) => Some(Box::new(ga.engine(problem, seed))),
@@ -160,6 +162,23 @@ impl Algo {
             trace,
         }
     }
+}
+
+/// The portfolio roster: every iterative metaheuristic of the line-up
+/// under the problem's own λ-weights where configurable, as racing
+/// contenders with per-entry RNG streams split off `seed`. The roster
+/// is open-ended by construction — callers can append their own
+/// [`Contender`]s.
+#[must_use]
+pub fn roster<'a>(problem: &'a Problem, algos: &'a [Algo], seed: u64) -> Vec<Contender<'a>> {
+    algos
+        .iter()
+        .enumerate()
+        .filter_map(|(i, algo)| {
+            algo.engine(problem, cmags_portfolio::entry_seed(seed, i))
+                .map(|engine| Contender::new(algo.name(), engine))
+        })
+        .collect()
 }
 
 /// Summary statistics over repeated runs of one metric.

@@ -52,14 +52,14 @@
 use std::collections::VecDeque;
 use std::time::Instant;
 
-use cmags_core::engine::{Metaheuristic, RunStats, Runner, TracePoint};
+use cmags_core::diversity::{self, DiversityPoint, DiversitySample};
+use cmags_core::engine::{DiversitySink, Metaheuristic, RunStats, Runner, TracePoint, TraceSink};
 use cmags_core::{EvalState, Objectives, Problem, Schedule};
 use cmags_heuristics::perturb;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::config::{CmaConfig, UpdatePolicy};
-use crate::diversity::{self, DiversityPoint};
 use crate::topology::Torus;
 
 /// One cell of the population: a schedule with its evaluation caches.
@@ -170,7 +170,6 @@ pub struct CmaEngine<'a> {
     accepted: u64,
     ls_improvements: u64,
     best: Individual,
-    diversity: Vec<DiversityPoint>,
     /// Scratch buffers of the asynchronous path.
     neighbors: Vec<usize>,
     parents: Vec<usize>,
@@ -240,11 +239,9 @@ impl<'a> CmaEngine<'a> {
             accepted: 0,
             ls_improvements,
             best,
-            diversity: Vec::new(),
             neighbors: Vec::new(),
             parents: Vec::new(),
         };
-        engine.sample_diversity();
         engine.skip_empty_passes();
         engine
     }
@@ -261,9 +258,16 @@ impl<'a> CmaEngine<'a> {
         self.accepted
     }
 
-    /// Consumes the engine into the classic outcome report.
+    /// Consumes the engine into the classic outcome report. `diversity`
+    /// is the per-iteration series a [`DiversitySink`] recorded while
+    /// the runner drove this engine.
     #[must_use]
-    pub fn into_outcome(self, stats: RunStats, trace: Vec<TracePoint>) -> CmaOutcome {
+    pub fn into_outcome(
+        self,
+        stats: RunStats,
+        trace: Vec<TracePoint>,
+        diversity: Vec<DiversityPoint>,
+    ) -> CmaOutcome {
         CmaOutcome {
             objectives: self.best.objectives(),
             fitness: self.best.fitness,
@@ -275,7 +279,7 @@ impl<'a> CmaEngine<'a> {
             elapsed: stats.elapsed,
             seed: self.seed,
             trace,
-            diversity: self.diversity,
+            diversity,
         }
     }
 
@@ -472,7 +476,6 @@ impl<'a> CmaEngine<'a> {
             Phase::Mutation => {
                 self.phase = Phase::Recombination;
                 self.iterations += 1;
-                self.sample_diversity();
             }
         }
     }
@@ -496,20 +499,61 @@ impl<'a> CmaEngine<'a> {
             }
         }
     }
+}
 
-    /// Samples population diversity (cheap entropy estimator) once per
-    /// outer iteration.
-    fn sample_diversity(&mut self) {
-        if self.problem.nb_machines() < 2 {
-            return;
+/// Shared per-iteration diversity reading (assignment entropy + fitness
+/// spread) of every population engine's
+/// [`Metaheuristic::population_diversity`]. `None` for degenerate
+/// problems (a single machine) or an empty population.
+#[must_use]
+pub fn population_diversity_of(
+    problem: &Problem,
+    population: &[Individual],
+) -> Option<DiversitySample> {
+    if problem.nb_machines() < 2 || population.is_empty() {
+        return None;
+    }
+    let schedules: Vec<&Schedule> = population.iter().map(|i| &i.schedule).collect();
+    let fitness: Vec<f64> = population.iter().map(|i| i.fitness).collect();
+    Some(DiversitySample {
+        entropy: diversity::assignment_entropy(&schedules, problem.nb_machines()),
+        fitness_spread: diversity::fitness_spread(&fitness),
+    })
+}
+
+/// Shared elite-immigration rule of every population engine's
+/// [`Metaheuristic::inject`] (cMA cells and the baseline GAs alike):
+/// evaluates `schedule` under `weights` and replaces the population's
+/// **worst** individual (ties keep the lowest index) when the immigrant
+/// strictly beats it, keeping `best` in sync. Returns whether the offer
+/// was integrated.
+///
+/// # Panics
+///
+/// Panics on an empty population.
+pub fn inject_elite(
+    problem: &Problem,
+    weights: cmags_core::FitnessWeights,
+    population: &mut [Individual],
+    best: &mut Individual,
+    schedule: &Schedule,
+) -> bool {
+    let mut immigrant = Individual::new(problem, schedule.clone());
+    immigrant.fitness = weights.fitness(immigrant.objectives(), problem.nb_machines());
+    let worst = population
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.fitness.total_cmp(&b.1.fitness).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+        .expect("population is never empty");
+    if immigrant.fitness < population[worst].fitness {
+        if immigrant.fitness < best.fitness {
+            *best = immigrant.clone();
         }
-        let schedules: Vec<&Schedule> = self.population.iter().map(|i| &i.schedule).collect();
-        let fitness: Vec<f64> = self.population.iter().map(|i| i.fitness).collect();
-        self.diversity.push(DiversityPoint {
-            iteration: self.iterations,
-            entropy: diversity::assignment_entropy(&schedules, self.problem.nb_machines()),
-            fitness_spread: diversity::fitness_spread(&fitness),
-        });
+        population[worst] = immigrant;
+        true
+    } else {
+        false
     }
 }
 
@@ -539,6 +583,30 @@ impl Metaheuristic for CmaEngine<'_> {
 
     fn best_objectives(&self) -> Objectives {
         self.best.objectives()
+    }
+
+    fn best_schedule(&self) -> Option<&Schedule> {
+        Some(&self.best.schedule)
+    }
+
+    /// Elite immigration (island/portfolio warm start): the offer is
+    /// evaluated under this problem's fitness and replaces the **worst**
+    /// cell when strictly better than it — mirroring the replacement
+    /// rule of the classic island model. In synchronous mode a pending
+    /// buffered child may later overwrite the same cell; the engine's
+    /// best-so-far keeps the immigrant either way.
+    fn inject(&mut self, schedule: &Schedule) -> bool {
+        inject_elite(
+            self.problem,
+            self.problem.weights(),
+            &mut self.population,
+            &mut self.best,
+            schedule,
+        )
+    }
+
+    fn population_diversity(&self) -> Option<DiversitySample> {
+        population_diversity_of(self.problem, &self.population)
     }
 }
 
@@ -624,8 +692,11 @@ fn improve(
 pub fn run(config: &CmaConfig, problem: &Problem, seed: u64) -> CmaOutcome {
     let start = Instant::now();
     let mut engine = CmaEngine::new(config, problem, seed);
-    let (stats, trace) = Runner::new(config.stop).run_traced_from(start, &mut engine);
-    engine.into_outcome(stats, trace)
+    let mut trace = TraceSink::new();
+    let mut diversity = DiversitySink::new();
+    let stats =
+        Runner::new(config.stop).run_from(start, &mut engine, &mut [&mut trace, &mut diversity]);
+    engine.into_outcome(stats, trace.into_points(), diversity.into_points())
 }
 
 /// The fittest individual of a population slice.

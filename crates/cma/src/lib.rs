@@ -68,7 +68,7 @@ pub mod trace {
 pub use cmags_core::engine::{StopCondition, TracePoint};
 pub use config::{CmaConfig, UpdatePolicy};
 pub use diversity::DiversityPoint;
-pub use engine::{CmaEngine, CmaOutcome, Individual};
+pub use engine::{inject_elite, population_diversity_of, CmaEngine, CmaOutcome, Individual};
 pub use islands::{run_islands, IslandConfig, IslandOutcome};
 pub use neighborhood::Neighborhood;
 pub use parallel::{best_of, run_independent};

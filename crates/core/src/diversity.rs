@@ -1,0 +1,198 @@
+//! Population diversity metrics.
+//!
+//! The paper's premise is that the cellular structure "is able to
+//! maintain a high diversity of the population in many generations"
+//! (§1). These metrics make that claim measurable — and, because every
+//! population engine can expose them through
+//! [`Metaheuristic::population_diversity`](crate::engine::Metaheuristic::population_diversity),
+//! harnesses (the portfolio runtime, the bench binaries) log them
+//! uniformly across engines:
+//!
+//! * [`mean_pairwise_distance`] — average normalised Hamming distance
+//!   between all pairs of chromosomes (`O(pop² · jobs)`; exact);
+//! * [`assignment_entropy`] — mean per-job Shannon entropy of the
+//!   machine assignment across the population (`O(pop · jobs)`; the
+//!   cheap per-iteration estimator), normalised to `[0, 1]` by
+//!   `log(nb_machines)`;
+//! * [`fitness_spread`] — relative spread of fitness values, a scalar
+//!   proxy for convergence.
+
+use crate::Schedule;
+
+/// One population diversity reading (the cheap per-iteration pair).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiversitySample {
+    /// Normalised assignment entropy (see [`assignment_entropy`]).
+    pub entropy: f64,
+    /// Relative fitness spread (see [`fitness_spread`]).
+    pub fitness_spread: f64,
+}
+
+/// One per-iteration diversity sample recorded during a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiversityPoint {
+    /// Outer iteration the sample was taken after (0 = initial
+    /// population).
+    pub iteration: u64,
+    /// Normalised assignment entropy (see [`assignment_entropy`]).
+    pub entropy: f64,
+    /// Relative fitness spread (see [`fitness_spread`]).
+    pub fitness_spread: f64,
+}
+
+impl DiversityPoint {
+    /// Pairs a sample with the iteration it was taken after.
+    #[must_use]
+    pub fn at(iteration: u64, sample: DiversitySample) -> Self {
+        Self {
+            iteration,
+            entropy: sample.entropy,
+            fitness_spread: sample.fitness_spread,
+        }
+    }
+}
+
+/// Average normalised Hamming distance over all chromosome pairs, in
+/// `[0, 1]`. Exact but quadratic in the population size.
+///
+/// # Panics
+///
+/// Panics if fewer than two schedules are given or lengths differ.
+#[must_use]
+pub fn mean_pairwise_distance(population: &[&Schedule]) -> f64 {
+    assert!(
+        population.len() >= 2,
+        "diversity needs at least two individuals"
+    );
+    let nb_jobs = population[0].nb_jobs();
+    let mut total = 0usize;
+    let mut pairs = 0usize;
+    for (i, a) in population.iter().enumerate() {
+        for b in &population[i + 1..] {
+            total += a.hamming_distance(b);
+            pairs += 1;
+        }
+    }
+    total as f64 / (pairs * nb_jobs) as f64
+}
+
+/// Mean per-job assignment entropy across the population, normalised to
+/// `[0, 1]` (0 = every individual assigns every job identically,
+/// 1 = assignments uniform over machines).
+///
+/// # Panics
+///
+/// Panics if the population is empty or `nb_machines < 2`.
+#[must_use]
+pub fn assignment_entropy(population: &[&Schedule], nb_machines: usize) -> f64 {
+    assert!(!population.is_empty(), "diversity needs a population");
+    assert!(nb_machines >= 2, "entropy undefined for a single machine");
+    let nb_jobs = population[0].nb_jobs();
+    let n = population.len() as f64;
+    let norm = (nb_machines as f64).ln();
+
+    let mut counts = vec![0usize; nb_machines];
+    let mut entropy_sum = 0.0;
+    for job in 0..nb_jobs as u32 {
+        counts.iter_mut().for_each(|c| *c = 0);
+        for schedule in population {
+            counts[schedule.machine_of(job) as usize] += 1;
+        }
+        let mut h = 0.0;
+        for &c in &counts {
+            if c > 0 {
+                let p = c as f64 / n;
+                h -= p * p.ln();
+            }
+        }
+        entropy_sum += h / norm;
+    }
+    entropy_sum / nb_jobs as f64
+}
+
+/// Relative fitness spread `(worst - best) / best` of a population, a
+/// cheap convergence indicator (0 when fully converged).
+///
+/// # Panics
+///
+/// Panics on an empty slice or a non-positive best fitness.
+#[must_use]
+pub fn fitness_spread(fitness: &[f64]) -> f64 {
+    assert!(!fitness.is_empty());
+    let best = fitness.iter().copied().fold(f64::INFINITY, f64::min);
+    let worst = fitness.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    assert!(best > 0.0, "fitness values must be positive");
+    (worst - best) / best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedules(rows: &[&[u32]]) -> Vec<Schedule> {
+        rows.iter()
+            .map(|r| Schedule::from_assignment(r.to_vec()))
+            .collect()
+    }
+
+    #[test]
+    fn identical_population_has_zero_diversity() {
+        let pop = schedules(&[&[0, 1, 2], &[0, 1, 2], &[0, 1, 2]]);
+        let refs: Vec<&Schedule> = pop.iter().collect();
+        assert_eq!(mean_pairwise_distance(&refs), 0.0);
+        assert_eq!(assignment_entropy(&refs, 3), 0.0);
+    }
+
+    #[test]
+    fn maximally_different_pair_has_distance_one() {
+        let pop = schedules(&[&[0, 0, 0], &[1, 1, 1]]);
+        let refs: Vec<&Schedule> = pop.iter().collect();
+        assert_eq!(mean_pairwise_distance(&refs), 1.0);
+    }
+
+    #[test]
+    fn entropy_is_one_for_uniform_assignments() {
+        // 2 machines, 2 individuals, each job split 50/50.
+        let pop = schedules(&[&[0, 1], &[1, 0]]);
+        let refs: Vec<&Schedule> = pop.iter().collect();
+        let h = assignment_entropy(&refs, 2);
+        assert!((h - 1.0).abs() < 1e-12, "got {h}");
+    }
+
+    #[test]
+    fn entropy_between_zero_and_one() {
+        let pop = schedules(&[&[0, 1, 2, 0], &[0, 1, 0, 0], &[2, 1, 2, 0]]);
+        let refs: Vec<&Schedule> = pop.iter().collect();
+        let h = assignment_entropy(&refs, 3);
+        assert!((0.0..=1.0).contains(&h));
+        assert!(h > 0.0);
+    }
+
+    #[test]
+    fn fitness_spread_basics() {
+        assert_eq!(fitness_spread(&[10.0, 10.0]), 0.0);
+        assert_eq!(fitness_spread(&[10.0, 15.0]), 0.5);
+    }
+
+    #[test]
+    fn diversity_point_pairs_sample_with_iteration() {
+        let point = DiversityPoint::at(
+            3,
+            DiversitySample {
+                entropy: 0.5,
+                fitness_spread: 0.1,
+            },
+        );
+        assert_eq!(point.iteration, 3);
+        assert_eq!(point.entropy, 0.5);
+        assert_eq!(point.fitness_spread, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two individuals")]
+    fn pairwise_needs_two() {
+        let pop = schedules(&[&[0]]);
+        let refs: Vec<&Schedule> = pop.iter().collect();
+        let _ = mean_pairwise_distance(&refs);
+    }
+}

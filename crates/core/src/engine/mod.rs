@@ -23,7 +23,12 @@
 //! Because the runner advances engines through a uniform trait, harness
 //! code can race any set of engines under one budget, and run-loop
 //! improvements (new stop kinds, new observers, richer traces) land once
-//! and benefit every algorithm.
+//! and benefit every algorithm. Engines additionally expose optional
+//! **warm-start hooks** ([`Metaheuristic::best_schedule`] /
+//! [`Metaheuristic::inject`]) so harnesses can migrate elite solutions
+//! between running engines, and a [`Metaheuristic::population_diversity`]
+//! reading the runner samples once per iteration into
+//! [`Observer::on_iteration`].
 //!
 //! ## Example
 //!
@@ -72,12 +77,13 @@ pub mod runner;
 pub mod stop;
 pub mod trace;
 
-pub use observer::{Observer, Snapshot, TraceSink};
+pub use observer::{DiversitySink, Observer, Snapshot, TraceSink};
 pub use runner::{RunStats, Runner};
 pub use stop::StopCondition;
 pub use trace::TracePoint;
 
-use crate::Objectives;
+use crate::diversity::DiversitySample;
+use crate::{Objectives, Schedule};
 
 /// A step-driven metaheuristic engine.
 ///
@@ -113,4 +119,35 @@ pub trait Metaheuristic {
     /// Objectives of the best-so-far solution (for dominance-based
     /// engines: the ideal point of the current front).
     fn best_objectives(&self) -> Objectives;
+
+    /// The best-so-far schedule, when the engine tracks one. Harnesses
+    /// use it to migrate elites between engines (portfolio racing,
+    /// island models) and to extract the winner's plan. Dominance-based
+    /// engines without a single incumbent may return `None` (the
+    /// default).
+    fn best_schedule(&self) -> Option<&Schedule> {
+        None
+    }
+
+    /// Warm-start hook: offers an externally found elite solution to the
+    /// engine. Implementations evaluate `schedule` under their **own**
+    /// fitness (engines may scalarise differently) and integrate it by
+    /// their own replacement rules — population engines typically replace
+    /// their worst individual, trajectory engines their current point —
+    /// only when it strictly improves. Returns whether the solution was
+    /// integrated. The default rejects every offer (engines without a
+    /// meaningful insertion point stay self-contained).
+    fn inject(&mut self, schedule: &Schedule) -> bool {
+        let _ = schedule;
+        false
+    }
+
+    /// Cheap population diversity reading (assignment entropy + fitness
+    /// spread), sampled by the [`Runner`] once per completed engine
+    /// iteration and forwarded to [`Observer::on_iteration`]. `None`
+    /// (the default) for engines without a population or with a
+    /// degenerate one.
+    fn population_diversity(&self) -> Option<DiversitySample> {
+        None
+    }
 }

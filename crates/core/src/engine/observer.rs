@@ -1,15 +1,20 @@
 //! Pluggable run telemetry.
 //!
 //! The [`Runner`](crate::engine::Runner) notifies observers at run
-//! start, on every best-so-far improvement and at run end. The built-in
-//! [`TraceSink`] turns those notifications into the best-so-far
-//! [`TracePoint`] series every outcome type ships; richer sinks (live
-//! dashboards, convergence loggers, early-warning monitors) implement
-//! the same trait without touching any engine.
+//! start, on every best-so-far improvement, once per completed engine
+//! iteration and at run end. The built-in [`TraceSink`] turns those
+//! notifications into the best-so-far [`TracePoint`] series every
+//! outcome type ships, and [`DiversitySink`] records the per-iteration
+//! [`DiversityPoint`] series from whatever
+//! [`Metaheuristic::population_diversity`](crate::engine::Metaheuristic::population_diversity)
+//! exposes; richer sinks (live dashboards, convergence loggers,
+//! early-warning monitors) implement the same trait without touching
+//! any engine.
 
 use std::time::Duration;
 
-use crate::engine::TracePoint;
+use crate::diversity::DiversityPoint;
+use crate::engine::{Metaheuristic, TracePoint};
 use crate::Objectives;
 
 /// One observation of a running engine.
@@ -38,6 +43,15 @@ pub trait Observer {
     /// The engine's best-so-far fitness just improved.
     fn on_improvement(&mut self, snapshot: &Snapshot) {
         let _ = snapshot;
+    }
+
+    /// An engine-defined outer iteration completed (also fired once at
+    /// run start for the iteration-0 baseline). `engine` is the live
+    /// engine, so sinks can sample whatever trait telemetry they need
+    /// (e.g. [`Metaheuristic::population_diversity`]) — and only sinks
+    /// that ask pay for it.
+    fn on_iteration(&mut self, snapshot: &Snapshot, engine: &dyn Metaheuristic) {
+        let _ = (snapshot, engine);
     }
 
     /// The stop condition tripped; this is the final state.
@@ -93,9 +107,116 @@ impl Observer for TraceSink {
     }
 }
 
+/// Records the per-iteration population diversity series of any engine
+/// exposing [`Metaheuristic::population_diversity`] (one point at start
+/// for the initial population, one per completed iteration). Resumable
+/// runs deduplicate the boundary sample: a second reading at an
+/// already-recorded iteration is skipped, so driving an engine through
+/// several consecutive runs (portfolio rounds) yields one clean series.
+#[derive(Debug, Clone, Default)]
+pub struct DiversitySink {
+    points: Vec<DiversityPoint>,
+}
+
+impl DiversitySink {
+    /// An empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded series.
+    #[must_use]
+    pub fn into_points(self) -> Vec<DiversityPoint> {
+        self.points
+    }
+
+    /// The recorded series, by reference.
+    #[must_use]
+    pub fn points(&self) -> &[DiversityPoint] {
+        &self.points
+    }
+}
+
+impl Observer for DiversitySink {
+    fn on_iteration(&mut self, snapshot: &Snapshot, engine: &dyn Metaheuristic) {
+        if self
+            .points
+            .last()
+            .is_some_and(|p| p.iteration >= snapshot.iterations)
+        {
+            return;
+        }
+        if let Some(sample) = engine.population_diversity() {
+            self.points
+                .push(DiversityPoint::at(snapshot.iterations, sample));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::diversity::DiversitySample;
+    use crate::engine::{Runner, StopCondition};
+
+    /// Toy population engine: diversity decays by half per iteration.
+    struct Decay {
+        steps: u64,
+    }
+
+    impl Metaheuristic for Decay {
+        fn name(&self) -> &'static str {
+            "decay"
+        }
+        fn step(&mut self) {
+            self.steps += 1;
+        }
+        fn iterations(&self) -> u64 {
+            self.steps / 2
+        }
+        fn children(&self) -> u64 {
+            self.steps
+        }
+        fn best_fitness(&self) -> f64 {
+            100.0
+        }
+        fn best_objectives(&self) -> Objectives {
+            Objectives {
+                makespan: 100.0,
+                flowtime: 100.0,
+            }
+        }
+        fn population_diversity(&self) -> Option<DiversitySample> {
+            Some(DiversitySample {
+                entropy: 0.5f64.powi(self.iterations() as i32),
+                fitness_spread: 0.0,
+            })
+        }
+    }
+
+    #[test]
+    fn diversity_sink_records_baseline_and_each_iteration() {
+        let mut engine = Decay { steps: 0 };
+        let mut sink = DiversitySink::new();
+        let _ = Runner::new(StopCondition::iterations(3)).run(&mut engine, &mut [&mut sink]);
+        let points = sink.into_points();
+        let iterations: Vec<u64> = points.iter().map(|p| p.iteration).collect();
+        assert_eq!(iterations, vec![0, 1, 2, 3]);
+        assert!(points.windows(2).all(|w| w[1].entropy < w[0].entropy));
+    }
+
+    #[test]
+    fn diversity_sink_deduplicates_resumed_runs() {
+        let mut engine = Decay { steps: 0 };
+        let mut sink = DiversitySink::new();
+        // Two consecutive runs over the same engine (portfolio rounds):
+        // the round boundary must not duplicate the shared iteration.
+        let _ = Runner::new(StopCondition::iterations(2)).run(&mut engine, &mut [&mut sink]);
+        let _ = Runner::new(StopCondition::iterations(4)).run(&mut engine, &mut [&mut sink]);
+        let iterations: Vec<u64> = sink.points().iter().map(|p| p.iteration).collect();
+        assert_eq!(iterations, vec![0, 1, 2, 3, 4]);
+    }
 
     #[test]
     fn trace_sink_records_all_hooks() {

@@ -79,9 +79,11 @@ impl Runner {
         };
 
         let mut best = engine.best_fitness();
+        let mut iterations = engine.iterations();
         let started = snapshot(engine);
         for observer in observers.iter_mut() {
             observer.on_start(&started);
+            observer.on_iteration(&started, engine);
         }
 
         while !self.stop.should_stop(
@@ -97,6 +99,16 @@ impl Runner {
                 let improved = snapshot(engine);
                 for observer in observers.iter_mut() {
                     observer.on_improvement(&improved);
+                }
+            }
+            if engine.iterations() > iterations {
+                iterations = engine.iterations();
+                if observers.is_empty() {
+                    continue;
+                }
+                let completed = snapshot(engine);
+                for observer in observers.iter_mut() {
+                    observer.on_iteration(&completed, engine);
                 }
             }
         }

@@ -105,6 +105,16 @@ impl StopCondition {
             || self.target_fitness_bits.is_some()
     }
 
+    /// Whether a **budget** bound (time, iterations or children) is
+    /// configured. A target fitness alone counts as bounded for
+    /// [`StopCondition::is_bounded`] but may never trip, so loops that
+    /// must terminate (e.g. repeated portfolio rounds) require this
+    /// stronger predicate.
+    #[must_use]
+    pub fn is_budget_bounded(&self) -> bool {
+        self.time_limit.is_some() || self.max_iterations.is_some() || self.max_children.is_some()
+    }
+
     /// Evaluates the condition.
     #[must_use]
     pub fn should_stop(

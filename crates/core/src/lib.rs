@@ -50,6 +50,7 @@
 
 #![warn(missing_docs)]
 
+pub mod diversity;
 pub mod engine;
 mod eval;
 mod fitness;

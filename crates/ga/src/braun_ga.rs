@@ -4,8 +4,9 @@
 use std::time::Instant;
 
 use cmags_cma::{Individual, StopCondition};
+use cmags_core::diversity::DiversitySample;
 use cmags_core::engine::Metaheuristic;
-use cmags_core::{FitnessWeights, Objectives, Problem};
+use cmags_core::{FitnessWeights, Objectives, Problem, Schedule};
 use cmags_heuristics::constructive::ConstructiveKind;
 use cmags_heuristics::ops::{mutate_move, Crossover};
 use rand::rngs::SmallRng;
@@ -192,6 +193,24 @@ impl Metaheuristic for BraunGaEngine<'_> {
 
     fn best_objectives(&self) -> Objectives {
         self.best.objectives()
+    }
+
+    fn best_schedule(&self) -> Option<&Schedule> {
+        Some(&self.best.schedule)
+    }
+
+    fn inject(&mut self, schedule: &Schedule) -> bool {
+        crate::common::inject_elite(
+            self.problem,
+            self.config.weights,
+            &mut self.population,
+            &mut self.best,
+            schedule,
+        )
+    }
+
+    fn population_diversity(&self) -> Option<DiversitySample> {
+        crate::common::population_diversity_of(self.problem, &self.population)
     }
 }
 

@@ -172,6 +172,40 @@ pub(crate) fn best_index(population: &[Individual]) -> usize {
         .expect("population is never empty")
 }
 
+// Elite immigration for population engines lives in the cma crate
+// (`cmags_cma::inject_elite`): the cMA and every baseline GA share the
+// same `Individual` type and the same replace-worst rule (ties keep the
+// lowest index), so there is exactly one implementation.
+pub(crate) use cmags_cma::inject_elite;
+
+/// Elite immigration for trajectory engines (SA, Tabu): evaluates
+/// `schedule` under the problem's fitness and restarts the trajectory
+/// from it when it strictly beats the current point, keeping `best` in
+/// sync. The shared implementation behind the single-trajectory
+/// engines' [`Metaheuristic::inject`].
+pub(crate) fn inject_trajectory(
+    problem: &Problem,
+    current: &mut Individual,
+    best: &mut Individual,
+    schedule: &Schedule,
+) -> bool {
+    let immigrant = Individual::new(problem, schedule.clone());
+    if immigrant.fitness < current.fitness {
+        if immigrant.fitness < best.fitness {
+            *best = immigrant.clone();
+        }
+        *current = immigrant;
+        true
+    } else {
+        false
+    }
+}
+
+// The per-iteration diversity reading also lives in the cma crate
+// (`cmags_cma::population_diversity_of`) for the same single-source
+// reason.
+pub(crate) use cmags_cma::population_diversity_of;
+
 /// Index of the individual most similar to `schedule` (minimum Hamming
 /// distance; ties by index) — the Struggle GA's replacement target.
 pub(crate) fn most_similar_index(population: &[Individual], schedule: &Schedule) -> usize {

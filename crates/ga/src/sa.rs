@@ -24,7 +24,7 @@ use std::time::Instant;
 
 use cmags_cma::{Individual, StopCondition};
 use cmags_core::engine::Metaheuristic;
-use cmags_core::{JobId, MachineId, Objectives, Problem, ScoreBuf};
+use cmags_core::{JobId, MachineId, Objectives, Problem, Schedule, ScoreBuf};
 use cmags_heuristics::constructive::ConstructiveKind;
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -188,6 +188,16 @@ impl Metaheuristic for SimulatedAnnealingEngine<'_> {
 
     fn best_objectives(&self) -> Objectives {
         self.best.objectives()
+    }
+
+    fn best_schedule(&self) -> Option<&Schedule> {
+        Some(&self.best.schedule)
+    }
+
+    /// Elite immigration: restarts the trajectory from the offer when
+    /// it strictly beats the current point (the best-so-far follows).
+    fn inject(&mut self, schedule: &Schedule) -> bool {
+        crate::common::inject_trajectory(self.problem, &mut self.current, &mut self.best, schedule)
     }
 }
 

@@ -3,8 +3,9 @@
 use std::time::Instant;
 
 use cmags_cma::{Individual, StopCondition};
+use cmags_core::diversity::DiversitySample;
 use cmags_core::engine::Metaheuristic;
-use cmags_core::{FitnessWeights, Objectives, Problem};
+use cmags_core::{FitnessWeights, Objectives, Problem, Schedule};
 use cmags_heuristics::constructive::ConstructiveKind;
 use cmags_heuristics::ops::{mutate_move, Crossover};
 use rand::rngs::SmallRng;
@@ -164,6 +165,33 @@ impl Metaheuristic for StruggleGaEngine<'_> {
 
     fn best_objectives(&self) -> Objectives {
         self.best.objectives()
+    }
+
+    fn best_schedule(&self) -> Option<&Schedule> {
+        Some(&self.best.schedule)
+    }
+
+    /// Elite immigration under the engine's own crowding rule: the
+    /// immigrant struggles against the **most similar** individual —
+    /// exactly like a native child — so repeated injections cannot
+    /// evict the diversity tail the Struggle scheme protects.
+    fn inject(&mut self, schedule: &Schedule) -> bool {
+        let immigrant =
+            individual_with_weights(self.problem, schedule.clone(), self.config.weights);
+        let rival = most_similar_index(&self.population, &immigrant.schedule);
+        if immigrant.fitness < self.population[rival].fitness {
+            if immigrant.fitness < self.best.fitness {
+                self.best = immigrant.clone();
+            }
+            self.population[rival] = immigrant;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn population_diversity(&self) -> Option<DiversitySample> {
+        crate::common::population_diversity_of(self.problem, &self.population)
     }
 }
 

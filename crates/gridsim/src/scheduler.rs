@@ -7,10 +7,11 @@
 //! "running the cMA-based scheduler in batch mode … to schedule jobs
 //! arriving to the system since the last activation".
 
-use cmags_cma::{CmaConfig, StopCondition};
+use cmags_cma::{CmaConfig, CmaEngine, StopCondition};
 use cmags_core::{Problem, Schedule};
 use cmags_etc::GridInstance;
 use cmags_heuristics::constructive::ConstructiveKind;
+use cmags_portfolio::{entry_seed, race, Contender, PortfolioConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -169,6 +170,90 @@ impl BatchScheduler for TabuScheduler {
     }
 }
 
+/// A racing portfolio as a batch scheduler: every activation races a
+/// cMA, SA, Tabu and steady-state GA engine over the snapshot under one
+/// shared children budget, with successive-halving elimination and
+/// broadcast elite sharing ([`cmags_portfolio`]). The paper's cMA wins
+/// on some ETC consistency regimes and loses on others; a dynamic grid
+/// drifts through regimes as machines come and go, so racing per batch
+/// picks the right engine for the snapshot at hand instead of betting
+/// the whole trace on one.
+#[derive(Debug, Clone)]
+pub struct PortfolioScheduler {
+    /// Per-activation budget: `max_children` is the total children
+    /// shared by the contenders (default 2000 when unset); any
+    /// time/target bounds cap every contender exactly as they cap the
+    /// single-engine schedulers.
+    budget: StopCondition,
+    /// Per-activation cMA configuration.
+    cma: CmaConfig,
+}
+
+impl PortfolioScheduler {
+    /// Portfolio scheduler racing under `budget` per activation: the
+    /// children bound (default 2000) is the **shared** total split
+    /// across contenders by successive halving (rounded up slightly
+    /// when tiny — see
+    /// [`PortfolioConfig::successive_halving`]), while a wall-clock or
+    /// target-fitness bound applies to the whole race, so comparisons
+    /// against single-engine schedulers under the same `budget` are
+    /// equal-effort on every axis. A time bound costs determinism,
+    /// exactly as it does for the single-engine schedulers.
+    #[must_use]
+    pub fn new(budget: StopCondition) -> Self {
+        Self {
+            budget,
+            cma: CmaConfig::paper(),
+        }
+    }
+}
+
+impl Default for PortfolioScheduler {
+    /// The same 2000-children default budget as the single-engine
+    /// schedulers — equal total effort, split by the race.
+    fn default() -> Self {
+        Self::new(StopCondition::children(2000))
+    }
+}
+
+impl BatchScheduler for PortfolioScheduler {
+    fn name(&self) -> String {
+        "Portfolio".to_owned()
+    }
+
+    fn schedule(&mut self, instance: &GridInstance, seed: u64) -> Schedule {
+        let problem = Problem::from_instance(instance);
+        // Tiny batches: racing (or even evolving) is pointless; fall
+        // back to the cMA scheduler's seeding heuristic directly.
+        if instance.nb_jobs() < 2 || instance.nb_machines() < 2 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            return self.cma.seeding.build_seeded(&problem, &mut rng);
+        }
+        let sa = cmags_ga::SimulatedAnnealing::default();
+        let tabu = cmags_ga::TabuSearch::default();
+        let ssga = cmags_ga::SteadyStateGa::default();
+        let contenders: Vec<Contender<'_>> = vec![
+            Contender::new(
+                "cMA",
+                Box::new(CmaEngine::new(&self.cma, &problem, entry_seed(seed, 0))),
+            ),
+            Contender::new("SA", Box::new(sa.engine(&problem, entry_seed(seed, 1)))),
+            Contender::new("Tabu", Box::new(tabu.engine(&problem, entry_seed(seed, 2)))),
+            Contender::new(
+                "SS-GA",
+                Box::new(ssga.engine(&problem, entry_seed(seed, 3))),
+            ),
+        ];
+        let total_children = self.budget.max_children.unwrap_or(2000);
+        let config = PortfolioConfig::successive_halving(contenders.len(), total_children)
+            .with_stop(self.budget);
+        let outcome = race(&config, contenders, |o| problem.fitness(o));
+        outcome
+            .best_schedule
+            .expect("every contender exposes a best schedule")
+    }
+}
+
 /// Uniform random scheduler — the lower bound baseline.
 #[derive(Debug, Clone, Default)]
 pub struct RandomScheduler;
@@ -275,6 +360,30 @@ mod tests {
         let tabu = fitness_of(&TabuScheduler::new(StopCondition::children(400)).schedule(&inst, 5));
         assert!(sa < rnd, "SA {sa} vs random {rnd}");
         assert!(tabu < rnd, "Tabu {tabu} vs random {rnd}");
+    }
+
+    #[test]
+    fn portfolio_scheduler_is_deterministic_feasible_and_competitive() {
+        let inst = instance();
+        let problem = Problem::from_instance(&inst);
+        let mut a = PortfolioScheduler::new(StopCondition::children(400));
+        let mut b = PortfolioScheduler::new(StopCondition::children(400));
+        let plan = a.schedule(&inst, 7);
+        assert_eq!(plan, b.schedule(&inst, 7), "deterministic per seed");
+        assert!(Schedule::try_new(plan.assignment().to_vec(), 24, 4).is_ok());
+        assert_eq!(a.name(), "Portfolio");
+        let fitness_of =
+            |schedule: &Schedule| problem.fitness(cmags_core::evaluate(&problem, schedule));
+        let rnd = fitness_of(&RandomScheduler.schedule(&inst, 7));
+        assert!(fitness_of(&plan) < rnd, "portfolio must beat random");
+    }
+
+    #[test]
+    fn portfolio_scheduler_handles_degenerate_batches() {
+        let etc = EtcMatrix::from_rows(1, 1, vec![3.0]);
+        let inst = GridInstance::new("tiny", etc);
+        let mut s = PortfolioScheduler::default();
+        assert_eq!(s.schedule(&inst, 0).assignment(), &[0]);
     }
 
     #[test]

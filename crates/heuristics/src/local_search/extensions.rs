@@ -112,7 +112,7 @@ impl LocalSearch for LocalFlowtimeSwap {
             );
             let (best, best_flowtime) = scratch
                 .scores
-                .best_by(|o| o.flowtime)
+                .best_flowtime()
                 .expect("partners is non-empty");
             if best_flowtime >= eval.flowtime() {
                 return false;

@@ -56,7 +56,7 @@ impl LocalSearch for LocalMctSwap {
             );
             let (best, fitness) = scratch
                 .scores
-                .best_by(|o| problem.fitness(o))
+                .best_fitness(problem.weights(), problem.nb_machines())
                 .expect("partners is non-empty");
             if fitness < eval.fitness(problem) {
                 let partner = scratch.partners[best];

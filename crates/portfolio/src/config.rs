@@ -1,0 +1,356 @@
+//! Race configuration: round schedules, elimination and sharing
+//! policies.
+
+use cmags_core::engine::StopCondition;
+
+/// Budget one live engine advances by during one round, measured in the
+/// engine's own counters (exact — the runner checks before every step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundBudget {
+    /// Generate this many more children.
+    Children(u64),
+    /// Complete this many more engine-defined outer iterations.
+    Iterations(u64),
+}
+
+impl RoundBudget {
+    fn amount(self) -> u64 {
+        match self {
+            RoundBudget::Children(n) | RoundBudget::Iterations(n) => n,
+        }
+    }
+}
+
+/// One round of the race schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundSpec {
+    /// Per-engine budget of this round.
+    pub budget: RoundBudget,
+    /// Contenders kept after this round's ranking (ranking ties keep
+    /// the lower entry index). Values at or above the current live
+    /// count mean "no elimination".
+    pub survivors_after: usize,
+}
+
+/// How elites migrate between surviving engines at round barriers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sharing {
+    /// No migration: contenders stay independent.
+    Off,
+    /// Full exchange around the best survivors (racing mode): every
+    /// survivor is offered the leader's best schedule, and the leader
+    /// is offered the runner-up's — so the field absorbs the leader's
+    /// discoveries and the eventual winner carries the whole
+    /// portfolio's best.
+    Broadcast,
+    /// Each survivor's best schedule is offered to its successor in
+    /// entry-index ring order (island mode: diversity-preserving
+    /// neighbour migration).
+    Ring,
+}
+
+/// Full configuration of a portfolio race.
+#[derive(Debug, Clone)]
+pub struct PortfolioConfig {
+    /// The round schedule, executed in order.
+    pub rounds: Vec<RoundSpec>,
+    /// Repeat the last [`RoundSpec`] after the schedule is exhausted
+    /// until every live engine has exhausted [`PortfolioConfig::stop`]
+    /// (island mode: migrate every N iterations until the budget ends).
+    /// Requires a budget-bounded `stop` (time/iterations/children — a
+    /// target fitness alone may never trip).
+    pub repeat_last: bool,
+    /// Per-engine total budget, enforced *within* rounds by the runner
+    /// (children/iteration caps clip the final round exactly; a target
+    /// fitness short-circuits mid-round; a time limit is measured from
+    /// race start and costs determinism). May be unbounded when the
+    /// schedule itself is finite.
+    pub stop: StopCondition,
+    /// Elite migration policy applied to survivors at each barrier.
+    pub sharing: Sharing,
+    /// Worker threads driving live engines within a round. Results are
+    /// identical for every value; this knob only trades wall-clock time.
+    pub threads: usize,
+    /// Record per-iteration population diversity of every contender
+    /// (engines exposing `population_diversity`) into the entry
+    /// reports.
+    pub record_diversity: bool,
+}
+
+impl PortfolioConfig {
+    /// Classic successive halving over `n` contenders under a shared
+    /// total budget of `total_children`: `R = ⌈log₂ n⌉` halving levels,
+    /// each spending an equal share `total_children / R` split evenly
+    /// among that level's survivors — so later levels probe fewer
+    /// engines more deeply. Each level runs as **two** rounds of half
+    /// the share (elimination after the second), doubling the elite-
+    /// sharing barriers at identical budget allocation. Sharing
+    /// defaults to [`Sharing::Broadcast`].
+    ///
+    /// Every level's per-engine share is floored at 2 children so each
+    /// round makes progress; when `total_children < 2·R·n` the race
+    /// therefore spends **more** than the stated budget (bounded by
+    /// `2·R·n`). The outcome's `total_children` always reports the
+    /// actual spend — use it for equal-budget comparisons (the
+    /// portfolio bench does).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0` or `total_children == 0`.
+    #[must_use]
+    pub fn successive_halving(n: usize, total_children: u64) -> Self {
+        assert!(n > 0, "need at least one contender");
+        assert!(total_children > 0, "need a budget");
+        // Survivor counts before each level: n, ⌈n/2⌉, …, 2 (the last
+        // level eliminates down to 1).
+        let mut before = vec![n];
+        while *before.last().expect("non-empty") > 1 {
+            let next = before.last().expect("non-empty").div_ceil(2);
+            if next == 1 {
+                break;
+            }
+            before.push(next);
+        }
+        let halvings = if n == 1 { 1 } else { before.len() as u64 };
+        let mut rounds = Vec::with_capacity(2 * before.len());
+        for &live in &before {
+            let share = (total_children / (halvings * live as u64)).max(2);
+            let survivors = live.div_ceil(2).min(live.saturating_sub(1)).max(1);
+            rounds.push(RoundSpec {
+                budget: RoundBudget::Children(share / 2),
+                survivors_after: live,
+            });
+            rounds.push(RoundSpec {
+                budget: RoundBudget::Children(share - share / 2),
+                survivors_after: survivors,
+            });
+        }
+        Self {
+            rounds,
+            repeat_last: false,
+            stop: StopCondition::default(),
+            sharing: Sharing::Broadcast,
+            threads: 1,
+            record_diversity: false,
+        }
+    }
+
+    /// A fixed number of uniform rounds with no elimination whatever
+    /// the field size — the island-model schedule (pair with
+    /// [`Sharing::Ring`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rounds == 0`.
+    #[must_use]
+    pub fn uniform_rounds(rounds: u64, budget: RoundBudget) -> Self {
+        assert!(rounds > 0, "need at least one round");
+        Self {
+            rounds: vec![
+                RoundSpec {
+                    budget,
+                    // At or above the live count = never eliminate,
+                    // independent of how many contenders race.
+                    survivors_after: usize::MAX,
+                };
+                usize::try_from(rounds).expect("round count fits usize")
+            ],
+            repeat_last: false,
+            stop: StopCondition::default(),
+            sharing: Sharing::Ring,
+            threads: 1,
+            record_diversity: false,
+        }
+    }
+
+    /// Replaces the sharing policy.
+    #[must_use]
+    pub fn with_sharing(mut self, sharing: Sharing) -> Self {
+        self.sharing = sharing;
+        self
+    }
+
+    /// Replaces the per-engine total budget.
+    #[must_use]
+    pub fn with_stop(mut self, stop: StopCondition) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Replaces the worker thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Enables repeating the last round until the budget is exhausted.
+    #[must_use]
+    pub fn with_repeat_last(mut self) -> Self {
+        self.repeat_last = true;
+        self
+    }
+
+    /// Enables per-iteration diversity recording.
+    #[must_use]
+    pub fn with_diversity(mut self) -> Self {
+        self.record_diversity = true;
+        self
+    }
+
+    /// The spec of round `index`, honouring `repeat_last`.
+    #[must_use]
+    pub(crate) fn spec(&self, index: usize) -> Option<&RoundSpec> {
+        self.rounds.get(index).or_else(|| {
+            if self.repeat_last {
+                self.rounds.last()
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Structural validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty schedule, a zero round budget, a zero
+    /// survivor count, zero threads, or `repeat_last` without a bounded
+    /// total stop (the race would never terminate).
+    pub fn validate(&self) {
+        assert!(!self.rounds.is_empty(), "race needs at least one round");
+        for (i, spec) in self.rounds.iter().enumerate() {
+            assert!(spec.budget.amount() > 0, "round {i} has a zero budget");
+            assert!(
+                spec.survivors_after > 0,
+                "round {i} would eliminate everyone"
+            );
+        }
+        assert!(self.threads > 0, "need at least one worker thread");
+        assert!(
+            !self.repeat_last || self.stop.is_budget_bounded(),
+            "repeat_last without a budget-bounded stop never terminates \
+             (a target fitness alone may never trip)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn children(spec: &RoundSpec) -> u64 {
+        match spec.budget {
+            RoundBudget::Children(n) => n,
+            RoundBudget::Iterations(_) => panic!("expected children budget"),
+        }
+    }
+
+    #[test]
+    fn halving_schedule_spends_the_shared_budget() {
+        let config = PortfolioConfig::successive_halving(8, 2400);
+        let survivors: Vec<usize> = config.rounds.iter().map(|r| r.survivors_after).collect();
+        // Two sharing barriers per halving level; elimination at the
+        // second barrier of each level.
+        assert_eq!(survivors, vec![8, 4, 4, 2, 2, 1]);
+        // Equal level shares: 2400/3 = 800 split over 8, 4, 2 engines,
+        // then halved across the level's two rounds.
+        let per_engine: Vec<u64> = config.rounds.iter().map(children).collect();
+        assert_eq!(per_engine, vec![50, 50, 100, 100, 200, 200]);
+        let total: u64 = per_engine
+            .iter()
+            .zip([8u64, 8, 4, 4, 2, 2])
+            .map(|(c, live)| c * live)
+            .sum();
+        assert_eq!(total, 2400);
+    }
+
+    #[test]
+    fn halving_handles_odd_and_tiny_fields() {
+        let odd = PortfolioConfig::successive_halving(10, 1000);
+        let survivors: Vec<usize> = odd.rounds.iter().map(|r| r.survivors_after).collect();
+        assert_eq!(survivors, vec![10, 5, 5, 3, 3, 2, 2, 1]);
+
+        let solo = PortfolioConfig::successive_halving(1, 500);
+        assert_eq!(solo.rounds.len(), 2);
+        assert_eq!(
+            solo.rounds.iter().map(children).sum::<u64>(),
+            500,
+            "the lone contender gets the whole budget"
+        );
+        assert!(solo.rounds.iter().all(|r| r.survivors_after == 1));
+
+        let pair = PortfolioConfig::successive_halving(2, 100);
+        assert_eq!(pair.rounds.len(), 2);
+        assert_eq!(pair.rounds.iter().map(children).sum::<u64>(), 50);
+    }
+
+    #[test]
+    fn halving_floors_tiny_budgets_at_two_children_per_level() {
+        // Documented rounding-up: with total_children below 2·R·n the
+        // per-level share bottoms out at 2 (1 + 1 across the level's
+        // two rounds), so the race spends up to 2·R·n, not the stated
+        // total. Callers read the actual spend from
+        // PortfolioOutcome::total_children.
+        let tiny = PortfolioConfig::successive_halving(8, 10);
+        let shares: Vec<u64> = tiny.rounds.iter().map(children).collect();
+        assert_eq!(shares, vec![1, 1, 1, 1, 1, 1], "floor of 2 per level");
+        let spend: u64 = shares
+            .iter()
+            .zip([8u64, 8, 4, 4, 2, 2])
+            .map(|(c, n)| c * n)
+            .sum();
+        assert_eq!(spend, 28, "bounded by 2·R·n = 48, above the stated 10");
+    }
+
+    #[test]
+    fn uniform_rounds_do_not_eliminate() {
+        let config = PortfolioConfig::uniform_rounds(6, RoundBudget::Iterations(5));
+        assert_eq!(config.rounds.len(), 6);
+        assert!(config
+            .rounds
+            .iter()
+            .all(|r| r.survivors_after == usize::MAX));
+        assert_eq!(config.sharing, Sharing::Ring);
+        config.validate();
+    }
+
+    #[test]
+    fn spec_repeats_last_round_when_asked() {
+        let plain = PortfolioConfig::uniform_rounds(2, RoundBudget::Iterations(1));
+        assert!(plain.spec(5).is_none());
+        let repeating = plain.with_repeat_last();
+        assert_eq!(
+            repeating.spec(5),
+            Some(&RoundSpec {
+                budget: RoundBudget::Iterations(1),
+                survivors_after: usize::MAX
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "never terminates")]
+    fn repeat_without_bound_rejected() {
+        PortfolioConfig::uniform_rounds(1, RoundBudget::Iterations(1))
+            .with_repeat_last()
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "budget-bounded")]
+    fn repeat_with_target_only_stop_rejected() {
+        // A target fitness counts as "bounded" but may never trip; with
+        // repeat_last that would spin rounds forever.
+        PortfolioConfig::uniform_rounds(1, RoundBudget::Children(4))
+            .with_repeat_last()
+            .with_stop(StopCondition::default().and_target_fitness(0.0))
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero budget")]
+    fn zero_budget_rejected() {
+        PortfolioConfig::uniform_rounds(1, RoundBudget::Children(0)).validate();
+    }
+}

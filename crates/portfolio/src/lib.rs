@@ -1,0 +1,106 @@
+//! # cmags-portfolio — deterministic racing-portfolio runtime
+//!
+//! The reproduced paper's cMA wins on some ETC consistency classes and
+//! loses to other heuristics on others (its Tables 1–5); the dynamic
+//! scheduling literature draws the general conclusion that the best
+//! heuristic depends on the workload regime. This crate operationalises
+//! that observation: instead of betting one batch on one engine, a
+//! **portfolio** races several [`Metaheuristic`](cmags_core::engine::Metaheuristic) engines against one
+//! shared budget and lets the workload pick the winner.
+//!
+//! The runtime advances every contender in synchronised **rounds**:
+//!
+//! * each live engine receives an exact per-round budget (children or
+//!   iterations) enforced by the shared [`cmags_core::engine::Runner`];
+//! * at each round barrier the contenders are ranked by a caller-supplied
+//!   uniform score over their best objectives (engines may scalarise
+//!   internally however they like) and, under **successive halving**,
+//!   the worse half is frozen;
+//! * surviving engines then exchange elites through the warm-start hooks
+//!   ([`best_schedule`](cmags_core::engine::Metaheuristic::best_schedule) →
+//!   [`inject`](cmags_core::engine::Metaheuristic::inject)):
+//!   [`Sharing::Broadcast`] migrates the global best into every
+//!   survivor (racing mode), [`Sharing::Ring`] migrates each survivor's
+//!   best to its ring successor (island mode — `cmags_cma::islands`
+//!   runs on exactly this configuration).
+//!
+//! ## Determinism
+//!
+//! A race is **bit-identical across thread counts** by construction:
+//! every engine owns its RNG (seed it with [`entry_seed`] to split
+//! per-entry streams off one master seed), rounds are barriers, and all
+//! ranking/elimination/sharing decisions happen on the coordinating
+//! thread with index-ordered tie-breaking. Worker threads only decide
+//! *where* an engine runs, never *what* it computes. The one exception
+//! is an optional wall-clock bound in [`PortfolioConfig::stop`] — a
+//! time limit reintroduces hardware nondeterminism, exactly as it does
+//! for a single engine.
+//!
+//! ## Example
+//!
+//! ```
+//! use cmags_core::engine::Metaheuristic;
+//! use cmags_core::Objectives;
+//! use cmags_portfolio::{race, Contender, PortfolioConfig, Sharing};
+//!
+//! /// Toy engine: halves its fitness every step.
+//! struct Halver {
+//!     value: f64,
+//!     steps: u64,
+//! }
+//! impl Metaheuristic for Halver {
+//!     fn name(&self) -> &'static str { "halver" }
+//!     fn step(&mut self) { self.value /= 2.0; self.steps += 1; }
+//!     fn iterations(&self) -> u64 { self.steps }
+//!     fn children(&self) -> u64 { self.steps }
+//!     fn best_fitness(&self) -> f64 { self.value }
+//!     fn best_objectives(&self) -> Objectives {
+//!         Objectives { makespan: self.value, flowtime: self.value }
+//!     }
+//! }
+//!
+//! let contenders = vec![
+//!     Contender::new("slow", Box::new(Halver { value: 1000.0, steps: 0 })),
+//!     Contender::new("fast", Box::new(Halver { value: 10.0, steps: 0 })),
+//! ];
+//! let config = PortfolioConfig::successive_halving(contenders.len(), 8)
+//!     .with_sharing(Sharing::Off);
+//! let outcome = race(&config, contenders, |o| o.makespan);
+//! assert_eq!(outcome.winner_name, "fast");
+//! assert_eq!(outcome.total_children, 8, "shared budget spent exactly");
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod race;
+
+pub use config::{PortfolioConfig, RoundBudget, RoundSpec, Sharing};
+pub use race::{race, Contender, EntryReport, PortfolioOutcome, RoundReport};
+
+/// Splits a per-entry RNG seed off `master` (SplitMix64 finalizer):
+/// nearby entry indices yield statistically unrelated streams, and the
+/// mapping is stable so a race is reproducible from its master seed.
+#[must_use]
+pub fn entry_seed(master: u64, index: usize) -> u64 {
+    let mut z = master ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_seeds_are_distinct_and_stable() {
+        let seeds: Vec<u64> = (0..16).map(|i| entry_seed(42, i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "no collisions in a roster");
+        assert_eq!(entry_seed(42, 3), seeds[3], "stable mapping");
+        assert_ne!(entry_seed(43, 3), seeds[3], "master seed matters");
+    }
+}

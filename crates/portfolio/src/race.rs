@@ -1,0 +1,715 @@
+//! The racing loop: synchronised rounds, ranking, elimination and elite
+//! sharing over any set of [`Metaheuristic`] engines.
+
+use std::time::{Duration, Instant};
+
+use cmags_core::diversity::DiversityPoint;
+use cmags_core::engine::{DiversitySink, Metaheuristic, Runner, StopCondition};
+use cmags_core::{Objectives, Schedule};
+
+use crate::config::{PortfolioConfig, RoundBudget, RoundSpec, Sharing};
+
+/// One entrant of a race: a named, ready-built engine. Engines are
+/// resumable state machines (construction = initialisation), so a
+/// contender arrives warm and keeps its state across rounds — that is
+/// what makes elimination cheap and elite sharing meaningful.
+pub struct Contender<'a> {
+    name: String,
+    engine: Box<dyn Metaheuristic + Send + 'a>,
+}
+
+impl<'a> Contender<'a> {
+    /// Wraps a built engine under a display name.
+    #[must_use]
+    pub fn new(name: impl Into<String>, engine: Box<dyn Metaheuristic + Send + 'a>) -> Self {
+        Self {
+            name: name.into(),
+            engine,
+        }
+    }
+
+    /// The display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Per-contender final report.
+#[derive(Debug, Clone)]
+pub struct EntryReport {
+    /// Contender name.
+    pub name: String,
+    /// Uniform ranking score of its final best (lower is better).
+    pub score: f64,
+    /// Final best objectives.
+    pub objectives: Objectives,
+    /// Final best fitness under the engine's **own** scalarisation.
+    pub fitness: f64,
+    /// Engine iterations completed.
+    pub iterations: u64,
+    /// Children generated.
+    pub children: u64,
+    /// Round (1-based) this contender was frozen in; `None` = survived
+    /// to the end.
+    pub eliminated_in: Option<u64>,
+    /// Elite offers this engine accepted via its warm-start hook.
+    pub injected_accepted: u64,
+    /// Per-iteration diversity series (only when
+    /// [`PortfolioConfig::record_diversity`] is set and the engine
+    /// exposes population diversity).
+    pub diversity: Vec<DiversityPoint>,
+}
+
+/// One round's barrier decisions.
+#[derive(Debug, Clone)]
+pub struct RoundReport {
+    /// Round number, 1-based.
+    pub round: u64,
+    /// Best live entry (index into the contender list) after the round.
+    pub best_entry: usize,
+    /// Its uniform score, sampled after the round's run and before the
+    /// barrier's elite sharing.
+    pub best_score: f64,
+    /// Entries frozen at this barrier, worst-ranked first.
+    pub eliminated: Vec<usize>,
+    /// Elite offers accepted during this barrier's sharing step.
+    pub injections_accepted: u64,
+}
+
+/// Result of a race.
+#[derive(Debug, Clone)]
+pub struct PortfolioOutcome {
+    /// Index of the winning contender.
+    pub winner: usize,
+    /// Its name.
+    pub winner_name: String,
+    /// Its uniform score (lower is better).
+    pub best_score: f64,
+    /// Its best objectives.
+    pub best_objectives: Objectives,
+    /// Its best schedule, when the engine exposes one.
+    pub best_schedule: Option<Schedule>,
+    /// Per-contender reports, in contender order.
+    pub entries: Vec<EntryReport>,
+    /// Per-round barrier decisions, in order.
+    pub rounds: Vec<RoundReport>,
+    /// Children generated across all contenders (the shared budget
+    /// actually spent).
+    pub total_children: u64,
+    /// Wall-clock duration of the whole race.
+    pub elapsed: Duration,
+}
+
+impl PortfolioOutcome {
+    /// Names of the frozen contenders in elimination order (earliest
+    /// round first, worst-ranked first within a round).
+    #[must_use]
+    pub fn elimination_order(&self) -> Vec<&str> {
+        self.rounds
+            .iter()
+            .flat_map(|r| r.eliminated.iter().map(|&i| self.entries[i].name.as_str()))
+            .collect()
+    }
+}
+
+/// Per-entry live state during the race.
+struct EntryState<'a> {
+    contender: Contender<'a>,
+    eliminated_in: Option<u64>,
+    injected_accepted: u64,
+    diversity: DiversitySink,
+}
+
+/// Runs a race over `contenders` under `config`, ranking engines by
+/// `score` over their best objectives (lower is better; ties keep the
+/// lower entry index). See the crate docs for the round/elimination/
+/// sharing semantics and the determinism contract.
+///
+/// # Panics
+///
+/// Panics on an empty contender list or a structurally invalid
+/// configuration ([`PortfolioConfig::validate`]).
+#[must_use]
+pub fn race<'a, S>(
+    config: &PortfolioConfig,
+    contenders: Vec<Contender<'a>>,
+    score: S,
+) -> PortfolioOutcome
+where
+    S: Fn(Objectives) -> f64,
+{
+    assert!(!contenders.is_empty(), "race needs at least one contender");
+    config.validate();
+    let start = Instant::now();
+
+    let mut entries: Vec<EntryState<'a>> = contenders
+        .into_iter()
+        .map(|contender| EntryState {
+            contender,
+            eliminated_in: None,
+            injected_accepted: 0,
+            diversity: DiversitySink::new(),
+        })
+        .collect();
+    let mut rounds: Vec<RoundReport> = Vec::new();
+
+    let mut round_index = 0usize;
+    while let Some(spec) = config.spec(round_index) {
+        let round_no = round_index as u64 + 1;
+
+        // --- Per-entry round budgets (None = eliminated or exhausted). ---
+        let elapsed = start.elapsed();
+        let stops: Vec<Option<StopCondition>> = entries
+            .iter()
+            .map(|entry| {
+                if entry.eliminated_in.is_some() {
+                    return None;
+                }
+                round_stop(&config.stop, spec, entry.contender.engine.as_ref(), elapsed)
+            })
+            .collect();
+        if stops.iter().all(Option::is_none) {
+            break; // every live engine has exhausted the total budget
+        }
+
+        // --- Run the round: each live engine on one worker, contiguous
+        // chunks over `threads` scoped workers. Workers only decide
+        // *where* an engine runs; every engine's computation is fixed by
+        // its own state, so results are thread-count independent. ---
+        let record_diversity = config.record_diversity;
+        let mut jobs: Vec<(&mut EntryState<'a>, StopCondition)> = entries
+            .iter_mut()
+            .zip(&stops)
+            .filter_map(|(entry, stop)| stop.map(|stop| (entry, stop)))
+            .collect();
+        let workers = config.threads.clamp(1, jobs.len());
+        let chunk = jobs.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            while !jobs.is_empty() {
+                let batch: Vec<(&mut EntryState<'a>, StopCondition)> =
+                    jobs.drain(..chunk.min(jobs.len())).collect();
+                scope.spawn(move || {
+                    for (entry, stop) in batch {
+                        run_round(entry, stop, start, record_diversity);
+                    }
+                });
+            }
+        });
+
+        // --- Rank the live field (uniform score, ties by index). ---
+        let scores: Vec<f64> = entries
+            .iter()
+            .map(|e| score(e.contender.engine.best_objectives()))
+            .collect();
+        let mut live: Vec<usize> = (0..entries.len())
+            .filter(|&i| entries[i].eliminated_in.is_none())
+            .collect();
+        live.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]).then(a.cmp(&b)));
+
+        // --- Successive halving: freeze the tail of the ranking. ---
+        let keep = spec.survivors_after.min(live.len());
+        let mut eliminated: Vec<usize> = live.split_off(keep);
+        eliminated.reverse(); // worst-ranked first
+        for &i in &eliminated {
+            entries[i].eliminated_in = Some(round_no);
+        }
+
+        // --- Elite sharing among the survivors that ran this round.
+        // Budget-exhausted entries keep their rank (their result is
+        // real) but neither donate nor receive: an engine that spends
+        // nothing must not keep "improving" on donated elites. An
+        // engine that exhausted *during* this round still exchanges
+        // once (it did the round's work), then drops out. ---
+        let sharers: Vec<usize> = live
+            .iter()
+            .copied()
+            .filter(|&i| stops[i].is_some())
+            .collect();
+        let injections_accepted = share(&mut entries, &sharers, config.sharing);
+
+        let best_entry = live[0];
+        rounds.push(RoundReport {
+            round: round_no,
+            best_entry,
+            best_score: scores[best_entry],
+            eliminated,
+            injections_accepted,
+        });
+        round_index += 1;
+
+        // --- Target short-circuit: once any live engine has met the
+        // configured target (under its own fitness, matching the
+        // runner's stop semantics), further rounds only burn the other
+        // contenders' budgets — the decision is made. ---
+        if let Some(target) = config.stop.target_fitness() {
+            if live
+                .iter()
+                .any(|&i| entries[i].contender.engine.best_fitness() <= target)
+            {
+                break;
+            }
+        }
+    }
+
+    // --- Final ranking over the whole field, NOT just the survivors:
+    // engines improve under their *own* scalarisation, so an entry's
+    // *uniform* score can regress after elimination-time ranking (e.g.
+    // a makespan-only GA trading flowtime away), leaving an eliminated
+    // engine strictly best under the uniform score. Ties break by
+    // index, identically to the per-round ranking. ---
+    let final_scores: Vec<f64> = entries
+        .iter()
+        .map(|e| score(e.contender.engine.best_objectives()))
+        .collect();
+    let winner = (0..entries.len())
+        .min_by(|&a, &b| final_scores[a].total_cmp(&final_scores[b]).then(a.cmp(&b)))
+        .expect("at least one contender");
+    let best_schedule = entries[winner].contender.engine.best_schedule().cloned();
+    let best_objectives = entries[winner].contender.engine.best_objectives();
+    let best_score = final_scores[winner];
+    let winner_name = entries[winner].contender.name.clone();
+    let total_children = entries.iter().map(|e| e.contender.engine.children()).sum();
+
+    let entries = entries
+        .into_iter()
+        .zip(final_scores)
+        .map(|(entry, entry_score)| {
+            let engine = &entry.contender.engine;
+            EntryReport {
+                score: entry_score,
+                objectives: engine.best_objectives(),
+                fitness: engine.best_fitness(),
+                iterations: engine.iterations(),
+                children: engine.children(),
+                eliminated_in: entry.eliminated_in,
+                injected_accepted: entry.injected_accepted,
+                diversity: entry.diversity.into_points(),
+                name: entry.contender.name,
+            }
+        })
+        .collect();
+
+    PortfolioOutcome {
+        winner,
+        winner_name,
+        best_score,
+        best_objectives,
+        best_schedule,
+        entries,
+        rounds,
+        total_children,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Computes the absolute stop condition of one engine's next round, or
+/// `None` when the engine has exhausted the total budget.
+fn round_stop(
+    total: &StopCondition,
+    spec: &RoundSpec,
+    engine: &dyn Metaheuristic,
+    elapsed: Duration,
+) -> Option<StopCondition> {
+    if total.should_stop(
+        elapsed,
+        engine.iterations(),
+        engine.children(),
+        engine.best_fitness(),
+    ) {
+        return None;
+    }
+    let mut stop = match spec.budget {
+        RoundBudget::Children(step) => {
+            let mut target = engine.children().saturating_add(step);
+            if let Some(cap) = total.max_children {
+                target = target.min(cap);
+            }
+            let mut stop = StopCondition::children(target);
+            if let Some(cap) = total.max_iterations {
+                stop = stop.and_iterations(cap);
+            }
+            stop
+        }
+        RoundBudget::Iterations(step) => {
+            let mut target = engine.iterations().saturating_add(step);
+            if let Some(cap) = total.max_iterations {
+                target = target.min(cap);
+            }
+            let mut stop = StopCondition::iterations(target);
+            if let Some(cap) = total.max_children {
+                stop = stop.and_children(cap);
+            }
+            stop
+        }
+    };
+    if let Some(limit) = total.time_limit {
+        stop = stop.and_time(limit);
+    }
+    if let Some(target) = total.target_fitness() {
+        stop = stop.and_target_fitness(target);
+    }
+    Some(stop)
+}
+
+/// Advances one engine through one round.
+fn run_round(entry: &mut EntryState<'_>, stop: StopCondition, start: Instant, diversity: bool) {
+    let runner = Runner::new(stop);
+    let engine = entry.contender.engine.as_mut();
+    if diversity {
+        let _ = runner.run_from(start, engine, &mut [&mut entry.diversity]);
+    } else {
+        let _ = runner.run_from(start, engine, &mut []);
+    }
+}
+
+/// Applies the sharing policy to the ranked survivors (`live` is
+/// best-first). Returns the number of accepted injections.
+fn share(entries: &mut [EntryState<'_>], live: &[usize], sharing: Sharing) -> u64 {
+    if live.len() < 2 {
+        return 0;
+    }
+    let mut accepted = 0u64;
+    match sharing {
+        Sharing::Off => {}
+        Sharing::Broadcast => {
+            // Every survivor receives the best elite among the *other*
+            // survivors: the field absorbs the leader's discoveries and
+            // the leader absorbs the runner-up's — a full exchange, so
+            // the eventual winner carries the whole portfolio's best.
+            let leader = live[0];
+            let runner_up = live[1];
+            let leader_elite = entries[leader].contender.engine.best_schedule().cloned();
+            let runner_up_elite = entries[runner_up].contender.engine.best_schedule().cloned();
+            // Recipients in entry-index order for a stable, thread-count
+            // independent injection sequence.
+            let mut recipients: Vec<usize> = live.to_vec();
+            recipients.sort_unstable();
+            for i in recipients {
+                let elite = if i == leader {
+                    &runner_up_elite
+                } else {
+                    &leader_elite
+                };
+                let Some(elite) = elite else { continue };
+                if entries[i].contender.engine.inject(elite) {
+                    entries[i].injected_accepted += 1;
+                    accepted += 1;
+                }
+            }
+        }
+        Sharing::Ring => {
+            // Ring over entry-index order, donors snapshotted before any
+            // injection so migration is simultaneous, not cascading.
+            let mut ring: Vec<usize> = live.to_vec();
+            ring.sort_unstable();
+            let elites: Vec<Option<Schedule>> = ring
+                .iter()
+                .map(|&i| entries[i].contender.engine.best_schedule().cloned())
+                .collect();
+            for (pos, elite) in elites.into_iter().enumerate() {
+                let Some(elite) = elite else { continue };
+                let recipient = ring[(pos + 1) % ring.len()];
+                if entries[recipient].contender.engine.inject(&elite) {
+                    entries[recipient].injected_accepted += 1;
+                    accepted += 1;
+                }
+            }
+        }
+    }
+    accepted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry_seed;
+
+    /// Deterministic toy engine: fitness decays multiplicatively per
+    /// step, integrates injected schedules whose first assignment
+    /// encodes a fitness value.
+    struct Walker {
+        fitness: f64,
+        rate: f64,
+        steps: u64,
+        schedule: Schedule,
+    }
+
+    impl Walker {
+        fn new(start: f64, rate: f64) -> Self {
+            Self {
+                fitness: start,
+                rate,
+                steps: 0,
+                schedule: encode(start),
+            }
+        }
+    }
+
+    /// Encodes a fitness into a two-job schedule (value in centiunits).
+    fn encode(fitness: f64) -> Schedule {
+        Schedule::from_assignment(vec![(fitness * 100.0) as u32, 0])
+    }
+
+    fn decode(schedule: &Schedule) -> f64 {
+        f64::from(schedule.machine_of(0)) / 100.0
+    }
+
+    impl Metaheuristic for Walker {
+        fn name(&self) -> &'static str {
+            "walker"
+        }
+        fn step(&mut self) {
+            self.steps += 1;
+            self.fitness *= self.rate;
+            self.schedule = encode(self.fitness);
+        }
+        fn iterations(&self) -> u64 {
+            self.steps / 2
+        }
+        fn children(&self) -> u64 {
+            self.steps
+        }
+        fn best_fitness(&self) -> f64 {
+            self.fitness
+        }
+        fn best_objectives(&self) -> Objectives {
+            Objectives {
+                makespan: self.fitness,
+                flowtime: self.fitness,
+            }
+        }
+        fn best_schedule(&self) -> Option<&Schedule> {
+            Some(&self.schedule)
+        }
+        fn inject(&mut self, schedule: &Schedule) -> bool {
+            let offered = decode(schedule);
+            if offered < self.fitness {
+                self.fitness = offered;
+                self.schedule = schedule.clone();
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    fn field() -> Vec<Contender<'static>> {
+        // Rates chosen so rankings shift across rounds: "late" starts
+        // worse but descends fastest.
+        vec![
+            Contender::new("steady", Box::new(Walker::new(100.0, 0.9))),
+            Contender::new("late", Box::new(Walker::new(140.0, 0.7))),
+            Contender::new("flat", Box::new(Walker::new(90.0, 0.99))),
+            Contender::new("stuck", Box::new(Walker::new(200.0, 1.0))),
+        ]
+    }
+
+    #[test]
+    fn race_is_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let config = PortfolioConfig::successive_halving(4, 40).with_threads(threads);
+            race(&config, field(), |o| o.makespan)
+        };
+        let reference = run(1);
+        for threads in [2, 8] {
+            let outcome = run(threads);
+            assert_eq!(outcome.winner, reference.winner, "{threads} threads");
+            assert_eq!(
+                outcome.best_score.to_bits(),
+                reference.best_score.to_bits(),
+                "{threads} threads"
+            );
+            assert_eq!(
+                outcome.elimination_order(),
+                reference.elimination_order(),
+                "{threads} threads"
+            );
+            assert_eq!(outcome.total_children, reference.total_children);
+        }
+    }
+
+    #[test]
+    fn halving_freezes_the_field_down_to_one() {
+        let config = PortfolioConfig::successive_halving(4, 40);
+        let outcome = race(&config, field(), |o| o.makespan);
+        let eliminated: Vec<u64> = outcome
+            .entries
+            .iter()
+            .filter_map(|e| e.eliminated_in)
+            .collect();
+        assert_eq!(eliminated.len(), 3, "three of four frozen");
+        assert!(outcome.entries[outcome.winner].eliminated_in.is_none());
+        // Frozen engines spend no further budget after their round.
+        let stuck = &outcome.entries[3];
+        // First elimination barrier = second round of the first level.
+        assert_eq!(stuck.eliminated_in, Some(2), "non-improver goes first");
+        assert!(stuck.children < outcome.entries[outcome.winner].children);
+    }
+
+    #[test]
+    fn broadcast_sharing_reaches_survivors() {
+        // After round 1 "late" leads and "steady" survives; the donor's
+        // elite beats the survivor, so the injection must land.
+        let config = PortfolioConfig::successive_halving(4, 40);
+        let outcome = race(&config, field(), |o| o.makespan);
+        let total_accepted: u64 = outcome.entries.iter().map(|e| e.injected_accepted).sum();
+        assert!(total_accepted > 0, "at least one elite offer lands");
+        let reported: u64 = outcome.rounds.iter().map(|r| r.injections_accepted).sum();
+        assert_eq!(total_accepted, reported);
+    }
+
+    #[test]
+    fn ring_sharing_equalises_an_island_field() {
+        let config = PortfolioConfig::uniform_rounds(4, RoundBudget::Children(4)).with_threads(2);
+        let contenders = vec![
+            Contender::new("a", Box::new(Walker::new(50.0, 0.8))),
+            Contender::new("b", Box::new(Walker::new(500.0, 1.0))),
+            Contender::new("c", Box::new(Walker::new(400.0, 1.0))),
+        ];
+        let outcome = race(&config, contenders, |o| o.makespan);
+        assert!(outcome.rounds.iter().all(|r| r.eliminated.is_empty()));
+        // "a"'s elite propagates around the ring: everyone ends at or
+        // below a's starting point.
+        for entry in &outcome.entries {
+            assert!(entry.score <= 50.0, "{}: {}", entry.name, entry.score);
+        }
+    }
+
+    #[test]
+    fn total_stop_caps_every_engine() {
+        let config = PortfolioConfig::uniform_rounds(10, RoundBudget::Children(6))
+            .with_stop(StopCondition::children(15));
+        let contenders = vec![
+            Contender::new("a", Box::new(Walker::new(10.0, 0.9))),
+            Contender::new("b", Box::new(Walker::new(20.0, 0.9))),
+        ];
+        let outcome = race(&config, contenders, |o| o.makespan);
+        for entry in &outcome.entries {
+            assert_eq!(entry.children, 15, "{}", entry.name);
+        }
+        assert_eq!(outcome.total_children, 30);
+    }
+
+    #[test]
+    fn repeat_last_runs_until_budget_exhausted() {
+        let config = PortfolioConfig::uniform_rounds(1, RoundBudget::Children(4))
+            .with_repeat_last()
+            .with_stop(StopCondition::children(21));
+        let contenders = vec![
+            Contender::new("a", Box::new(Walker::new(10.0, 0.9))),
+            Contender::new("b", Box::new(Walker::new(20.0, 0.9))),
+        ];
+        let outcome = race(&config, contenders, |o| o.makespan);
+        assert_eq!(outcome.total_children, 42, "4+4+4+4+4+1 per engine");
+        assert_eq!(outcome.rounds.len(), 6);
+    }
+
+    /// Walker burning `children_per_step` budget per step — engines
+    /// with different child costs exhaust a shared cap at different
+    /// rounds.
+    struct CostlyWalker {
+        inner: Walker,
+        children_per_step: u64,
+    }
+
+    impl Metaheuristic for CostlyWalker {
+        fn name(&self) -> &'static str {
+            "costly-walker"
+        }
+        fn step(&mut self) {
+            self.inner.step();
+            self.inner.steps += self.children_per_step - 1;
+        }
+        fn iterations(&self) -> u64 {
+            self.inner.children() / self.children_per_step / 2
+        }
+        fn children(&self) -> u64 {
+            self.inner.children()
+        }
+        fn best_fitness(&self) -> f64 {
+            self.inner.best_fitness()
+        }
+        fn best_objectives(&self) -> Objectives {
+            self.inner.best_objectives()
+        }
+        fn best_schedule(&self) -> Option<&Schedule> {
+            self.inner.best_schedule()
+        }
+        fn inject(&mut self, schedule: &Schedule) -> bool {
+            self.inner.inject(schedule)
+        }
+    }
+
+    #[test]
+    fn exhausted_contenders_stop_exchanging_elites() {
+        // "expensive" burns 10 children per step and cannot improve; it
+        // exhausts the 30-children cap in round 1. "steady" keeps
+        // improving for several more rounds. Once expensive has spent
+        // its budget it must stop receiving steady's elites: its final
+        // score freezes at whatever it held at its last active barrier
+        // instead of tracking steady all the way down.
+        let config = PortfolioConfig::uniform_rounds(1, RoundBudget::Iterations(2))
+            .with_repeat_last()
+            .with_stop(StopCondition::children(30));
+        let contenders: Vec<Contender<'static>> = vec![
+            Contender::new(
+                "expensive",
+                Box::new(CostlyWalker {
+                    inner: Walker::new(100.0, 1.0),
+                    children_per_step: 10,
+                }),
+            ),
+            Contender::new("steady", Box::new(Walker::new(90.0, 0.5))),
+        ];
+        let outcome = race(&config, contenders, |o| o.makespan);
+        let expensive = &outcome.entries[0];
+        let steady = &outcome.entries[1];
+        assert_eq!(expensive.children, 30, "hit the cap inside round 1");
+        assert_eq!(steady.children, 30, "ran to the cap");
+        assert!(steady.score < 1.0, "steady keeps improving");
+        // Expensive exchanged at its one active barrier (steady was at
+        // 90·0.5⁴ ≈ 5.6 then) and froze there — far above steady's
+        // final score, which it would have tracked pre-fix.
+        assert!(
+            expensive.score > 5.0,
+            "a spent engine must not keep absorbing elites (got {})",
+            expensive.score
+        );
+        assert_eq!(expensive.injected_accepted, 1);
+    }
+
+    #[test]
+    fn winner_report_is_consistent() {
+        let config = PortfolioConfig::successive_halving(4, 24);
+        let outcome = race(&config, field(), |o| o.makespan);
+        let winner = &outcome.entries[outcome.winner];
+        assert_eq!(winner.name, outcome.winner_name);
+        assert_eq!(winner.score.to_bits(), outcome.best_score.to_bits());
+        let schedule = outcome.best_schedule.expect("walkers expose schedules");
+        // The toy encoding truncates to centiunits.
+        assert!((decode(&schedule) - winner.score).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one contender")]
+    fn empty_field_rejected() {
+        let config = PortfolioConfig::successive_halving(1, 10);
+        let _ = race(&config, Vec::new(), |o| o.makespan);
+    }
+
+    #[test]
+    fn entry_seed_feeds_distinct_contenders() {
+        // Smoke-check the helper composes with contender construction.
+        let contenders: Vec<Contender<'static>> = (0..3)
+            .map(|i| {
+                let seed = entry_seed(7, i);
+                Contender::new(
+                    format!("w{i}"),
+                    Box::new(Walker::new(100.0 + seed as f64 % 10.0, 0.9)),
+                )
+            })
+            .collect();
+        assert_eq!(contenders.len(), 3);
+    }
+}

@@ -1,0 +1,92 @@
+//! Racing a portfolio of metaheuristics under one shared budget: the
+//! engines advance in synchronised rounds, the weaker half is frozen at
+//! each barrier (successive halving), and survivors exchange their best
+//! schedules through the warm-start hooks — so the eventual winner
+//! carries the whole portfolio's discoveries.
+//!
+//! ```text
+//! cargo run --release --example portfolio_race
+//! ```
+
+use cmags::cma::CmaEngine;
+use cmags::prelude::*;
+
+fn main() {
+    let class: InstanceClass = "u_c_hihi.0".parse().expect("valid label");
+    let instance = braun::generate(class, 0);
+    let problem = Problem::from_instance(&instance);
+    let seed = 7u64;
+
+    let cma = CmaConfig::paper();
+    let sa = SimulatedAnnealing::default();
+    let tabu = TabuSearch::default();
+    let ssga = SteadyStateGa::default();
+    let struggle = StruggleGa::default();
+    let panmictic = PanmicticMa::default();
+    let contenders: Vec<Contender<'_>> = vec![
+        Contender::new(
+            "cMA",
+            Box::new(CmaEngine::new(&cma, &problem, entry_seed(seed, 0))),
+        ),
+        Contender::new("SA", Box::new(sa.engine(&problem, entry_seed(seed, 1)))),
+        Contender::new("Tabu", Box::new(tabu.engine(&problem, entry_seed(seed, 2)))),
+        Contender::new(
+            "SS-GA",
+            Box::new(ssga.engine(&problem, entry_seed(seed, 3))),
+        ),
+        Contender::new(
+            "Struggle",
+            Box::new(struggle.engine(&problem, entry_seed(seed, 4))),
+        ),
+        Contender::new(
+            "Panmictic",
+            Box::new(panmictic.engine(&problem, entry_seed(seed, 5))),
+        ),
+    ];
+
+    let config =
+        PortfolioConfig::successive_halving(contenders.len(), 4_000).with_threads(contenders.len());
+    let outcome = race(&config, contenders, |o| problem.fitness(o));
+
+    println!(
+        "race over {} engines, {} children total, {:?}",
+        outcome.entries.len(),
+        outcome.total_children,
+        outcome.elapsed
+    );
+    for round in &outcome.rounds {
+        let frozen: Vec<&str> = round
+            .eliminated
+            .iter()
+            .map(|&i| outcome.entries[i].name.as_str())
+            .collect();
+        println!(
+            "round {:>2}: leader {:<10} fitness {:>14.1}  accepted elites {}  frozen {:?}",
+            round.round,
+            outcome.entries[round.best_entry].name,
+            round.best_score,
+            round.injections_accepted,
+            frozen
+        );
+    }
+    println!();
+    for entry in &outcome.entries {
+        println!(
+            "{:<10} fitness {:>14.1}  children {:>5}  elites accepted {}  {}",
+            entry.name,
+            entry.score,
+            entry.children,
+            entry.injected_accepted,
+            entry
+                .eliminated_in
+                .map_or("winner's bracket".to_owned(), |r| format!(
+                    "frozen in round {r}"
+                )),
+        );
+    }
+    println!();
+    println!(
+        "winner: {} at fitness {:.1} — bit-identical at any thread count",
+        outcome.winner_name, outcome.best_score
+    );
+}

@@ -20,8 +20,13 @@
 //! * [`mo`] — the paper's future-work extension: dominance-based
 //!   multi-objective cellular search (MOCell-style) with an NSGA-II
 //!   baseline and front-quality indicators;
+//! * [`portfolio`] — the deterministic racing-portfolio runtime:
+//!   several engines race under one shared budget with
+//!   successive-halving elimination and warm-start elite sharing;
 //! * [`gridsim`] — a discrete-event dynamic grid simulator exercising the
-//!   paper's batch-mode dynamic-scheduler claim.
+//!   paper's batch-mode dynamic-scheduler claim (including a
+//!   [`gridsim::scheduler::PortfolioScheduler`] racing engines per
+//!   batch activation).
 //!
 //! This facade re-exports all of them plus a [`prelude`] with the types
 //! an application typically needs.
@@ -52,6 +57,7 @@ pub use cmags_ga as ga;
 pub use cmags_gridsim as gridsim;
 pub use cmags_heuristics as heuristics;
 pub use cmags_mo as mo;
+pub use cmags_portfolio as portfolio;
 
 /// The types most applications need, in one import.
 pub mod prelude {
@@ -79,4 +85,7 @@ pub mod prelude {
     pub use cmags_heuristics::local_search::{LocalSearch, LocalSearchKind};
     pub use cmags_heuristics::ops::{Crossover, Mutation};
     pub use cmags_mo::{MoCellConfig, MoSolution, Nsga2Config};
+    pub use cmags_portfolio::{
+        entry_seed, race, Contender, PortfolioConfig, PortfolioOutcome, RoundBudget, Sharing,
+    };
 }

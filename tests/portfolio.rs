@@ -1,0 +1,229 @@
+//! Contract tests of the racing-portfolio runtime over the real engine
+//! roster: a race is a pure function of (seed, config) — same winner,
+//! bit-identical best fitness and stable elimination order at every
+//! worker-thread count — and the warm-start hooks behave (elites land,
+//! frozen engines spend nothing further, islands stay deterministic).
+
+use cmags::cma::{run_islands, CmaEngine, IslandConfig};
+use cmags::prelude::*;
+
+fn problem() -> Problem {
+    let class: InstanceClass = "u_c_hihi.0".parse().unwrap();
+    Problem::from_instance(&braun::generate(class.with_dims(96, 8), 0))
+}
+
+/// The full scalarised roster as racing contenders (per-entry RNG
+/// streams split off `seed`).
+fn contenders<'a>(
+    p: &'a Problem,
+    cma: &'a CmaConfig,
+    sa: &'a SimulatedAnnealing,
+    tabu: &'a TabuSearch,
+    ssga: &'a SteadyStateGa,
+    struggle: &'a StruggleGa,
+    seed: u64,
+) -> Vec<Contender<'a>> {
+    vec![
+        Contender::new("cMA", Box::new(CmaEngine::new(cma, p, entry_seed(seed, 0)))),
+        Contender::new("SA", Box::new(sa.engine(p, entry_seed(seed, 1)))),
+        Contender::new("Tabu", Box::new(tabu.engine(p, entry_seed(seed, 2)))),
+        Contender::new("SS-GA", Box::new(ssga.engine(p, entry_seed(seed, 3)))),
+        Contender::new(
+            "Struggle",
+            Box::new(struggle.engine(p, entry_seed(seed, 4))),
+        ),
+    ]
+}
+
+#[test]
+fn race_winner_and_fitness_are_bit_identical_at_1_2_and_8_threads() {
+    let p = problem();
+    let cma = CmaConfig::paper();
+    let sa = SimulatedAnnealing::default();
+    let tabu = TabuSearch::default();
+    let ssga = SteadyStateGa::default();
+    let struggle = StruggleGa::default();
+
+    let run = |threads: usize| {
+        let config = PortfolioConfig::successive_halving(5, 600).with_threads(threads);
+        race(
+            &config,
+            contenders(&p, &cma, &sa, &tabu, &ssga, &struggle, 7),
+            |o| p.fitness(o),
+        )
+    };
+
+    let reference = run(1);
+    assert!(reference.best_schedule.is_some());
+    for threads in [2, 8] {
+        let outcome = run(threads);
+        assert_eq!(outcome.winner, reference.winner, "{threads} threads");
+        assert_eq!(outcome.winner_name, reference.winner_name);
+        assert_eq!(
+            outcome.best_score.to_bits(),
+            reference.best_score.to_bits(),
+            "best fitness must be bit-identical at {threads} threads"
+        );
+        assert_eq!(outcome.best_schedule, reference.best_schedule);
+        assert_eq!(outcome.total_children, reference.total_children);
+        assert_eq!(
+            outcome.elimination_order(),
+            reference.elimination_order(),
+            "{threads} threads"
+        );
+        for (a, b) in outcome.entries.iter().zip(&reference.entries) {
+            assert_eq!(a.children, b.children, "{}", a.name);
+            assert_eq!(a.injected_accepted, b.injected_accepted, "{}", a.name);
+            assert_eq!(a.score.to_bits(), b.score.to_bits(), "{}", a.name);
+        }
+    }
+}
+
+#[test]
+fn elimination_order_is_stable_under_rerun() {
+    let p = problem();
+    let cma = CmaConfig::paper();
+    let sa = SimulatedAnnealing::default();
+    let tabu = TabuSearch::default();
+    let ssga = SteadyStateGa::default();
+    let struggle = StruggleGa::default();
+    let run = || {
+        let config = PortfolioConfig::successive_halving(5, 500);
+        race(
+            &config,
+            contenders(&p, &cma, &sa, &tabu, &ssga, &struggle, 11),
+            |o| p.fitness(o),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.elimination_order(), b.elimination_order());
+    assert!(
+        !a.elimination_order().is_empty(),
+        "halving must freeze someone"
+    );
+    assert_eq!(a.winner_name, b.winner_name);
+    // The race spends exactly what both runs report.
+    assert_eq!(a.total_children, b.total_children);
+}
+
+#[test]
+fn race_beats_every_contenders_initialisation() {
+    // The winner's score must improve on the best pure initialisation
+    // (a zero-budget race), i.e. racing actually searches.
+    let p = problem();
+    let cma = CmaConfig::paper();
+    let sa = SimulatedAnnealing::default();
+    let tabu = TabuSearch::default();
+    let ssga = SteadyStateGa::default();
+    let struggle = StruggleGa::default();
+    let at_budget = |budget: u64| {
+        let config = PortfolioConfig::successive_halving(5, budget);
+        race(
+            &config,
+            contenders(&p, &cma, &sa, &tabu, &ssga, &struggle, 3),
+            |o| p.fitness(o),
+        )
+        .best_score
+    };
+    assert!(at_budget(600) < at_budget(10));
+}
+
+#[test]
+fn frozen_contenders_spend_no_further_budget() {
+    let p = problem();
+    let cma = CmaConfig::paper();
+    let sa = SimulatedAnnealing::default();
+    let tabu = TabuSearch::default();
+    let ssga = SteadyStateGa::default();
+    let struggle = StruggleGa::default();
+    let config = PortfolioConfig::successive_halving(5, 500);
+    let outcome = race(
+        &config,
+        contenders(&p, &cma, &sa, &tabu, &ssga, &struggle, 5),
+        |o| p.fitness(o),
+    );
+    let first_barrier = outcome
+        .entries
+        .iter()
+        .filter_map(|e| e.eliminated_in)
+        .min()
+        .expect("halving froze someone");
+    let early_frozen = outcome
+        .entries
+        .iter()
+        .filter(|e| e.eliminated_in == Some(first_barrier))
+        .map(|e| e.children)
+        .max()
+        .expect("someone froze at the first barrier");
+    let winner = &outcome.entries[outcome.winner];
+    assert!(
+        winner.children > early_frozen,
+        "the winner ({}) must outspend engines frozen at the first barrier ({} vs {early_frozen})",
+        winner.name,
+        winner.children
+    );
+}
+
+#[test]
+fn diversity_telemetry_flows_through_the_race() {
+    // Population engines report per-iteration diversity uniformly
+    // through the Observer hook; trajectory engines (SA/Tabu) simply
+    // contribute no points.
+    let p = problem();
+    let cma = CmaConfig::paper();
+    let sa = SimulatedAnnealing::default();
+    let tabu = TabuSearch::default();
+    let ssga = SteadyStateGa::default();
+    let struggle = StruggleGa::default();
+    let config = PortfolioConfig::successive_halving(5, 400).with_diversity();
+    let outcome = race(
+        &config,
+        contenders(&p, &cma, &sa, &tabu, &ssga, &struggle, 9),
+        |o| p.fitness(o),
+    );
+    let by_name = |name: &str| {
+        outcome
+            .entries
+            .iter()
+            .find(|e| e.name == name)
+            .expect("entry present")
+    };
+    assert!(
+        !by_name("cMA").diversity.is_empty(),
+        "the cMA must report diversity"
+    );
+    assert!(by_name("SA").diversity.is_empty());
+    assert!(by_name("Tabu").diversity.is_empty());
+    for entry in &outcome.entries {
+        let iters: Vec<u64> = entry.diversity.iter().map(|d| d.iteration).collect();
+        let mut sorted = iters.clone();
+        sorted.dedup();
+        assert_eq!(
+            iters, sorted,
+            "{}: no duplicate boundary samples",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn islands_on_the_portfolio_runtime_are_deterministic() {
+    let p = problem();
+    let config = IslandConfig {
+        island: CmaConfig::paper().with_stop(StopCondition::iterations(4)),
+        islands: 4,
+        migration_interval: 2,
+    };
+    let a = run_islands(&config, &p, 21);
+    let b = run_islands(&config, &p, 21);
+    assert_eq!(a.schedule, b.schedule);
+    assert_eq!(a.fitness.to_bits(), b.fitness.to_bits());
+    assert_eq!(a.island_fitness, b.island_fitness);
+    assert_eq!(a.migrants_accepted, b.migrants_accepted);
+    assert_eq!(
+        cmags::core::evaluate(&p, &a.schedule),
+        a.objectives,
+        "reported objectives must re-evaluate exactly"
+    );
+}
