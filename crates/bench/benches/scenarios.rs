@@ -1,0 +1,115 @@
+//! Scenario-family benchmark: the dynamic-grid scheduler roster swept
+//! across the whole [`ScenarioFamily`] catalog.
+//!
+//! Two layers:
+//!
+//! * `scenario_sim_*` timing groups — wall-clock cost of one full
+//!   discrete-event run under a constructive scheduler (criterion), the
+//!   number to watch when touching the event loop (the O(1)
+//!   activation re-arm lives on this path);
+//! * a quality sweep printed as `scenario-quality` /
+//!   `scenario-winner` lines (and recorded in `BENCH_scenarios.json`):
+//!   per family × scheduler, the realized makespan and mean response
+//!   averaged over seeds. The per-family *winner* is ranked on
+//!   realized makespan — the paper's primary objective (λ = 0.75) —
+//!   with the response ranking printed alongside; the point of the
+//!   catalog is that the winner is *not* the same scheduler in every
+//!   family.
+//!
+//! Set `SCENARIO_BENCH_QUICK=1` for the CI smoke configuration (one
+//! seed, small per-activation budgets, two samples).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::hint::black_box;
+
+use cmags_bench::experiments::dynamic::scenario_sweep;
+use cmags_cma::StopCondition;
+use cmags_gridsim::scheduler::HeuristicScheduler;
+use cmags_gridsim::{ScenarioFamily, SimConfig, Simulation};
+use cmags_heuristics::constructive::ConstructiveKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_scenarios(c: &mut Criterion) {
+    let quick = std::env::var_os("SCENARIO_BENCH_QUICK").is_some();
+    let (budget, seeds): (u64, &[u64]) = if quick {
+        (200, &[1])
+    } else {
+        (2_000, &[1, 2, 3])
+    };
+
+    // --- Timing: the raw event loop under a cheap scheduler. ---
+    let mut group = c.benchmark_group("scenario_sim");
+    group.sample_size(if quick { 2 } else { 10 });
+    for family in [ScenarioFamily::Calm, ScenarioFamily::Bursty] {
+        group.bench_function(format!("{family}_minmin"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut s = HeuristicScheduler::new(ConstructiveKind::MinMin);
+                let report = Simulation::new(SimConfig::from_family(family), seed).run(&mut s);
+                black_box(report.flowtime)
+            });
+        });
+    }
+    group.finish();
+
+    // --- Quality: every family × scheduler, averaged over seeds. ---
+    let stop = StopCondition::children(budget);
+    // (family, scheduler) -> (mean makespan, mean response).
+    let mut totals: BTreeMap<(String, String), (f64, f64)> = BTreeMap::new();
+    for &seed in seeds {
+        for cell in scenario_sweep(&ScenarioFamily::ALL, seed, stop) {
+            let entry = totals
+                .entry((cell.family.name().to_owned(), cell.scheduler))
+                .or_insert((0.0, 0.0));
+            entry.0 += cell.realized_makespan / seeds.len() as f64;
+            entry.1 += cell.mean_response / seeds.len() as f64;
+        }
+    }
+    let mut winners: BTreeMap<&str, String> = BTreeMap::new();
+    for family in ScenarioFamily::ALL {
+        let mut field: Vec<(&String, f64, f64)> = totals
+            .iter()
+            .filter(|((f, _), _)| f == family.name())
+            .map(|((_, scheduler), &(makespan, response))| (scheduler, makespan, response))
+            .collect();
+        // Rank on realized makespan, the paper's primary objective.
+        field.sort_by(|a, b| a.1.total_cmp(&b.1));
+        for (scheduler, makespan, response) in &field {
+            println!(
+                "scenario-quality family={} scheduler={scheduler} makespan={makespan:.1} mean_response={response:.1}",
+                family.name()
+            );
+        }
+        let (best, best_makespan, _) = field[0];
+        // The roster always fields several schedulers, but degrade
+        // gracefully if it is ever trimmed to one.
+        let runner_up_delta_pct = field.get(1).map_or(0.0, |&(_, m, _)| {
+            (m - best_makespan) / best_makespan * 100.0
+        });
+        let best_response = field
+            .iter()
+            .min_by(|a, b| a.2.total_cmp(&b.2))
+            .expect("non-empty field");
+        println!(
+            "scenario-winner family={} winner={best} makespan={best_makespan:.1} runner_up_delta_pct={runner_up_delta_pct:+.2} response_winner={}",
+            family.name(),
+            best_response.0,
+        );
+        winners.insert(family.name(), best.clone());
+    }
+    let distinct: BTreeSet<&str> = winners.values().map(String::as_str).collect();
+    println!(
+        "scenario-summary budget={budget} seeds={} winners={} distinct_winners={}",
+        seeds.len(),
+        winners
+            .iter()
+            .map(|(family, winner)| format!("{family}={winner}"))
+            .collect::<Vec<_>>()
+            .join(","),
+        distinct.len()
+    );
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

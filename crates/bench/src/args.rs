@@ -9,6 +9,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use cmags_cma::{CmaConfig, StopCondition};
+use cmags_gridsim::ScenarioFamily;
 
 /// Parsed command line.
 #[derive(Debug, Clone, Default)]
@@ -98,6 +99,10 @@ pub struct Ctx {
     pub out_dir: PathBuf,
     /// Suppress stdout tables.
     pub quiet: bool,
+    /// Dynamic-grid scenario families swept by the `dynamic`
+    /// experiment (`--families calm,bursty,…`; default: the whole
+    /// catalog).
+    pub families: Vec<ScenarioFamily>,
 }
 
 impl Ctx {
@@ -107,8 +112,25 @@ impl Ctx {
     /// instances. `--paper` switches to the paper protocol (10 runs ×
     /// 90 s). `--budget-ms N` and `--budget-children N` override the
     /// budget; if both are given, whichever trips first stops the run.
+    /// `--families calm,bursty` restricts the dynamic experiment's
+    /// scenario sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--families` names an unknown scenario family.
     #[must_use]
     pub fn from_args(args: &Args) -> Self {
+        let families = match args.get("--families") {
+            None => ScenarioFamily::ALL.to_vec(),
+            Some(raw) => raw
+                .split(',')
+                .map(|name| {
+                    name.trim()
+                        .parse()
+                        .unwrap_or_else(|e| panic!("invalid --families: {e}"))
+                })
+                .collect(),
+        };
         let paper = args.flag("--paper");
         let runs = args.num("--runs", if paper { 10 } else { 3 });
         let default_ms: u64 = if paper { 90_000 } else { 500 };
@@ -133,6 +155,7 @@ impl Ctx {
             nb_machines: args.num("--machines", 16),
             out_dir: PathBuf::from(args.get("--out").unwrap_or("results")),
             quiet: args.flag("--quiet"),
+            families,
         }
     }
 
@@ -224,6 +247,27 @@ mod tests {
         // The wired config carries the engine share.
         assert_eq!(ctx("--threads 8 --runs 1").cma_config().threads, 8);
         assert_eq!(ctx("--threads 6 --runs 3").cma_config().threads, 2);
+    }
+
+    #[test]
+    fn families_default_to_the_whole_catalog() {
+        let ctx = Ctx::from_args(&args(""));
+        assert_eq!(ctx.families, ScenarioFamily::ALL.to_vec());
+    }
+
+    #[test]
+    fn families_parse_a_comma_list() {
+        let ctx = Ctx::from_args(&args("--families bursty,flash_crowd"));
+        assert_eq!(
+            ctx.families,
+            vec![ScenarioFamily::Bursty, ScenarioFamily::FlashCrowd]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid --families")]
+    fn unknown_family_panics() {
+        let _ = Ctx::from_args(&args("--families warm"));
     }
 
     #[test]

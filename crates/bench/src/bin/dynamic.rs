@@ -1,5 +1,6 @@
 //! Runs the dynamic-scheduler experiment (paper §1/§6 claim) on the
-//! discrete-event grid simulator.
+//! discrete-event grid simulator, sweeping the scenario-family catalog
+//! (restrict with `--families calm,bursty,…`).
 
 use cmags_bench::args::{Args, Ctx};
 use cmags_bench::experiments::dynamic::dynamic;

@@ -1,22 +1,26 @@
 //! DYN: the dynamic-scheduler experiment (paper §1/§6 claim).
 //!
 //! Runs the discrete-event simulator with the cMA in periodic batch mode
-//! against the fast constructive baselines, on a calm and a churny grid.
+//! against the racing portfolio and the fast constructive baselines,
+//! sweeping the whole [`ScenarioFamily`] catalog (calm, churny, bursty,
+//! diurnal, flash-crowd, degrading, volatile) — or the `--families`
+//! subset.
 
 use cmags_cma::StopCondition;
 use cmags_gridsim::scheduler::{
     BatchScheduler, CmaScheduler, HeuristicScheduler, PortfolioScheduler, RandomScheduler,
 };
-use cmags_gridsim::{SimConfig, Simulation};
+use cmags_gridsim::{ScenarioFamily, SimConfig, Simulation};
 use cmags_heuristics::constructive::ConstructiveKind;
 
 use crate::args::Ctx;
 use crate::report::{fmt_value, Table};
 
-/// Builds the scheduler roster compared in the experiment. The racing
-/// portfolio gets the same per-activation budget as the cMA — children
-/// split across its contenders, time/target bounds capping the whole
-/// race — so the comparison is equal-effort on every axis.
+/// Builds the scheduler roster shared by the experiment tables and the
+/// [`scenario_sweep`]. The racing portfolio gets the same
+/// per-activation budget as the cMA — children split across its
+/// contenders, time/target bounds capping the whole race — so the
+/// comparison is equal-effort on every axis.
 fn roster(budget: StopCondition) -> Vec<Box<dyn BatchScheduler>> {
     vec![
         Box::new(CmaScheduler::new(budget)),
@@ -68,7 +72,8 @@ pub fn scenario_table(
     table
 }
 
-/// The full dynamic experiment: calm and churny scenarios.
+/// The full dynamic experiment: one table per scenario family in the
+/// context's sweep (default: the whole catalog).
 #[must_use]
 pub fn dynamic(ctx: &Ctx) -> Vec<Table> {
     // Scale the per-activation cMA budget off the context: the dynamic
@@ -78,20 +83,63 @@ pub fn dynamic(ctx: &Ctx) -> Vec<Table> {
             .time_limit
             .unwrap_or_else(|| std::time::Duration::from_millis(500)),
     );
-    vec![
-        scenario_table(
-            "Dynamic grid calm scenario",
-            &SimConfig::small(),
-            ctx.seed,
-            budget,
-        ),
-        scenario_table(
-            "Dynamic grid churny scenario",
-            &SimConfig::churny(),
-            ctx.seed,
-            budget,
-        ),
-    ]
+    ctx.families
+        .iter()
+        .map(|&family| {
+            scenario_table(
+                &format!("Dynamic grid {family} scenario"),
+                &SimConfig::from_family(family),
+                ctx.seed,
+                budget,
+            )
+        })
+        .collect()
+}
+
+/// One `(family, scheduler)` cell of the scenario sweep.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Scenario family of the run.
+    pub family: ScenarioFamily,
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Mean response time per completed job.
+    pub mean_response: f64,
+    /// Completion time of the last job.
+    pub realized_makespan: f64,
+}
+
+/// Sweeps every `(family, scheduler)` cell at one seed — the quality
+/// comparison behind `BENCH_scenarios.json`.
+///
+/// # Panics
+///
+/// Panics if any simulation fails to complete every submitted job.
+#[must_use]
+pub fn scenario_sweep(
+    families: &[ScenarioFamily],
+    seed: u64,
+    budget: StopCondition,
+) -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for &family in families {
+        for mut scheduler in roster(budget) {
+            let config = SimConfig::from_family(family);
+            let report = Simulation::new(config, seed).run(scheduler.as_mut());
+            assert_eq!(
+                report.jobs_completed, report.jobs_submitted,
+                "{family}/{}: simulation lost jobs",
+                report.scheduler
+            );
+            cells.push(SweepCell {
+                family,
+                mean_response: report.mean_response(),
+                realized_makespan: report.realized_makespan,
+                scheduler: report.scheduler,
+            });
+        }
+    }
+    cells
 }
 
 #[cfg(test)]
@@ -127,16 +175,37 @@ mod tests {
     }
 
     #[test]
-    fn dynamic_produces_two_scenarios() {
-        let ctx = test_ctx(32, 4, 1, 100);
+    fn dynamic_produces_one_table_per_family() {
+        let mut ctx = test_ctx(32, 4, 1, 100);
+        ctx.families = vec![ScenarioFamily::Calm, ScenarioFamily::Bursty];
         let tables = dynamic(&ctx);
         assert_eq!(tables.len(), 2);
+        assert!(tables[0].title.contains("calm"));
+        assert!(tables[1].title.contains("bursty"));
         for t in &tables {
             // Every scheduler finished every job.
             for row in &t.rows {
                 let jobs: u64 = row[1].parse().unwrap();
                 assert!(jobs > 0);
             }
+        }
+    }
+
+    #[test]
+    fn scenario_sweep_covers_every_cell() {
+        let families = [ScenarioFamily::Calm, ScenarioFamily::FlashCrowd];
+        let cells = scenario_sweep(&families, 3, StopCondition::children(150));
+        let per_family = roster(StopCondition::children(150)).len();
+        assert_eq!(cells.len(), families.len() * per_family);
+        for cell in &cells {
+            assert!(families.contains(&cell.family));
+            assert!(!cell.scheduler.is_empty());
+            assert!(
+                cell.mean_response > 0.0 && cell.realized_makespan > 0.0,
+                "{}/{}",
+                cell.family,
+                cell.scheduler
+            );
         }
     }
 }

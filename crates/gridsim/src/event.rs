@@ -30,6 +30,9 @@ pub enum Event {
         /// Machine identifier.
         machine: u64,
     },
+    /// A correlated mass-departure shock removes a fraction of the
+    /// alive pool at one instant ([`crate::scenario::ChurnModel`]).
+    MassDeparture,
 }
 
 /// An event scheduled at a simulation time.

@@ -9,13 +9,20 @@
 //!
 //! ## Model
 //!
-//! * **Jobs** arrive as a Poisson process; each carries a baseline
-//!   workload drawn from the ETC class ranges ([`workload`]).
+//! * **Jobs** arrive through a configurable [`workload::ArrivalProcess`]
+//!   — stationary Poisson, bursty on/off MMPP, diurnal sinusoidal-rate,
+//!   or flash-crowd spikes; each carries a baseline workload drawn from
+//!   the ETC class ranges ([`workload`]).
 //! * **Machines** have speed characteristics consistent with the chosen
-//!   [`cmags_etc::Consistency`] class; they can join and leave the grid
-//!   (churn), mirroring "resources could dynamically be added/dropped".
-//!   A leaving machine kills its running job; killed and queued jobs are
-//!   resubmitted.
+//!   [`cmags_etc::Consistency`] class; a [`scenario::ChurnModel`]
+//!   governs how they join and leave the grid (independent churn,
+//!   correlated mass-departure shocks, or a degrading pool), mirroring
+//!   "resources could dynamically be added/dropped". A leaving machine
+//!   kills its running job; killed and queued jobs are resubmitted.
+//! * The named regimes combining these axes live in the
+//!   [`scenario::ScenarioFamily`] catalog (`calm`, `churny`, `bursty`,
+//!   `diurnal`, `flash_crowd`, `degrading`, `volatile`); every family
+//!   is deterministic per seed.
 //! * Every `activation_interval` simulated seconds, the **batch
 //!   scheduler** ([`scheduler::BatchScheduler`]) receives the pending jobs
 //!   and the alive machines (with their *ready times* — the remaining
@@ -44,8 +51,11 @@
 pub mod event;
 pub mod machine;
 pub mod metrics;
+pub mod scenario;
 pub mod scheduler;
 mod sim;
 pub mod workload;
 
+pub use scenario::{ChurnModel, ScenarioFamily};
 pub use sim::{SimConfig, Simulation};
+pub use workload::ArrivalProcess;

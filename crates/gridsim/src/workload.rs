@@ -8,8 +8,8 @@
 //! * machine `m` has a consistent slowness factor `s_m ~ U(1, φ_mach)`;
 //! * the ETC of `(j, m)` depends on the consistency class:
 //!   - **consistent**: `B_j · s_m` — machine orderings agree everywhere;
-//!   - **inconsistent**: `B_j · u(j, m)` with `u(j, m) ~ U(1, φ_mach)`
-//!     drawn from a deterministic per-pair hash;
+//!   - **inconsistent**: `B_j · u(j, m)` with `u(j, m)` uniform on the
+//!     half-open `[1, φ_mach)`, drawn from a deterministic per-pair hash;
 //!   - **semi-consistent**: even-indexed machines behave consistently,
 //!     odd-indexed machines draw per-pair noise.
 //!
@@ -107,7 +107,9 @@ impl World {
         job.baseline * multiplier
     }
 
-    /// Per-pair multiplier in `[1, φ_mach]` from a splitmix64 hash.
+    /// Per-pair multiplier from a splitmix64 hash, uniform on the
+    /// half-open `[1, φ_mach)`: the unit draw is `[0, 1)`, so `φ_mach`
+    /// itself is never attained.
     fn pair_noise(&self, job: u64, machine: u64) -> f64 {
         let mut x = self
             .noise_seed
@@ -123,26 +125,244 @@ impl World {
     }
 }
 
-/// Poisson job source: exponential inter-arrival times with the given
-/// rate (jobs per simulated second).
-#[derive(Debug, Clone, Copy)]
-pub struct PoissonArrivals {
-    /// Mean arrivals per simulated second.
-    pub rate: f64,
+/// Job arrival process of the dynamic grid.
+///
+/// Generalizes the original stationary Poisson source into a family of
+/// stochastic arrival models. A process is a pure *description*; the
+/// simulator drives it through a stateful [`ArrivalGen`], so cloning a
+/// [`crate::SimConfig`] never aliases generator state and every run is
+/// deterministic per seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Stationary Poisson: exponential inter-arrival gaps at `rate`
+    /// (jobs per simulated second). The seed model.
+    Poisson {
+        /// Mean arrivals per simulated second.
+        rate: f64,
+    },
+    /// Bursty on/off Markov-modulated Poisson process: the source
+    /// alternates between a quiet phase emitting at `base_rate` and a
+    /// burst phase emitting at `burst_rate`, with exponentially
+    /// distributed phase dwell times. Models batch users dumping work
+    /// in correlated bursts.
+    Mmpp {
+        /// Arrival rate of the quiet phase (may be zero: pure on/off).
+        base_rate: f64,
+        /// Arrival rate of the burst phase (must exceed `base_rate`).
+        burst_rate: f64,
+        /// Mean dwell time of the quiet phase, simulated seconds.
+        mean_off: f64,
+        /// Mean dwell time of the burst phase, simulated seconds.
+        mean_on: f64,
+    },
+    /// Diurnal sinusoidal-rate Poisson process:
+    /// `rate(t) = base_rate · (1 + amplitude · sin(2πt / period))`,
+    /// sampled by Lewis–Shedler thinning against the peak rate. Models
+    /// day/night load cycles on a utility grid.
+    Diurnal {
+        /// Mean arrival rate (the sinusoid's midline).
+        base_rate: f64,
+        /// Relative swing in `[0, 1]`; `1` silences the trough entirely.
+        amplitude: f64,
+        /// Cycle length in simulated seconds.
+        period: f64,
+    },
+    /// Flash crowd: a background Poisson stream at `base_rate` plus
+    /// rare spike events (Poisson at `spike_rate`) that each deliver
+    /// `burst` jobs at the same instant. Models deadline stampedes and
+    /// workflow fan-outs hitting the queue at once.
+    FlashCrowd {
+        /// Background arrival rate.
+        base_rate: f64,
+        /// Rate of spike events.
+        spike_rate: f64,
+        /// Jobs delivered simultaneously per spike (≥ 1).
+        burst: u32,
+    },
 }
 
-impl PoissonArrivals {
-    /// Draws the next inter-arrival gap.
+impl ArrivalProcess {
+    /// Checks the process parameters.
     ///
     /// # Panics
     ///
-    /// Panics if the rate is not strictly positive.
-    pub fn next_gap(&self, rng: &mut SmallRng) -> f64 {
-        assert!(self.rate > 0.0, "arrival rate must be positive");
-        // Inverse CDF of Exp(rate); clamp the uniform away from 0.
-        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-        -u.ln() / self.rate
+    /// Panics on non-positive rates/periods, an MMPP whose burst rate
+    /// does not exceed its base rate, an out-of-range diurnal
+    /// amplitude, or an empty flash-crowd burst.
+    pub fn validate(&self) {
+        match *self {
+            Self::Poisson { rate } => {
+                assert!(rate > 0.0, "arrival rate must be positive");
+            }
+            Self::Mmpp {
+                base_rate,
+                burst_rate,
+                mean_off,
+                mean_on,
+            } => {
+                assert!(base_rate >= 0.0, "MMPP base rate must be non-negative");
+                assert!(
+                    burst_rate > base_rate,
+                    "MMPP burst rate must exceed the base rate"
+                );
+                assert!(
+                    mean_off > 0.0 && mean_on > 0.0,
+                    "MMPP phase dwell times must be positive"
+                );
+            }
+            Self::Diurnal {
+                base_rate,
+                amplitude,
+                period,
+            } => {
+                assert!(base_rate > 0.0, "diurnal base rate must be positive");
+                assert!(
+                    (0.0..=1.0).contains(&amplitude),
+                    "diurnal amplitude must lie in [0, 1]"
+                );
+                assert!(period > 0.0, "diurnal period must be positive");
+            }
+            Self::FlashCrowd {
+                base_rate,
+                spike_rate,
+                burst,
+            } => {
+                assert!(base_rate > 0.0, "flash-crowd base rate must be positive");
+                assert!(spike_rate > 0.0, "flash-crowd spike rate must be positive");
+                assert!(
+                    burst >= 1,
+                    "flash-crowd burst must deliver at least one job"
+                );
+            }
+        }
     }
+
+    /// Builds the stateful per-run generator for this process.
+    #[must_use]
+    pub fn generator(self) -> ArrivalGen {
+        self.validate();
+        ArrivalGen {
+            process: self,
+            // The MMPP flips phase whenever the dwell hits zero, so
+            // starting "on" with nothing left makes the first drawn
+            // phase the quiet one.
+            bursting: true,
+            phase_left: 0.0,
+            burst_left: 0,
+            next_spike: None,
+        }
+    }
+}
+
+/// Stateful arrival generator of one simulation run.
+///
+/// `next_gap(now, rng)` returns the gap from `now` to the next arrival;
+/// a zero gap means the next job lands at the same instant (flash-crowd
+/// spikes). All randomness flows through the caller's RNG, so runs are
+/// deterministic per seed.
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    process: ArrivalProcess,
+    /// MMPP: whether the source is in its burst phase.
+    bursting: bool,
+    /// MMPP: simulated time left in the current phase.
+    phase_left: f64,
+    /// Flash crowd: jobs still due at the current spike instant.
+    burst_left: u32,
+    /// Flash crowd: absolute time of the next spike event.
+    next_spike: Option<f64>,
+}
+
+impl ArrivalGen {
+    /// Draws the gap from `now` to the next job arrival.
+    pub fn next_gap(&mut self, now: f64, rng: &mut SmallRng) -> f64 {
+        match self.process {
+            ArrivalProcess::Poisson { rate } => exp_gap(rng, rate),
+            ArrivalProcess::Mmpp {
+                base_rate,
+                burst_rate,
+                mean_off,
+                mean_on,
+            } => {
+                let mut offset = 0.0;
+                loop {
+                    if self.phase_left <= 0.0 {
+                        self.bursting = !self.bursting;
+                        let mean = if self.bursting { mean_on } else { mean_off };
+                        self.phase_left = exp_gap(rng, 1.0 / mean);
+                        continue;
+                    }
+                    let rate = if self.bursting { burst_rate } else { base_rate };
+                    if rate <= 0.0 {
+                        // A silent phase passes with no arrival.
+                        offset += self.phase_left;
+                        self.phase_left = 0.0;
+                        continue;
+                    }
+                    let gap = exp_gap(rng, rate);
+                    if gap <= self.phase_left {
+                        self.phase_left -= gap;
+                        return offset + gap;
+                    }
+                    offset += self.phase_left;
+                    self.phase_left = 0.0;
+                }
+            }
+            ArrivalProcess::Diurnal {
+                base_rate,
+                amplitude,
+                period,
+            } => {
+                // Lewis–Shedler thinning against the peak rate.
+                let peak = base_rate * (1.0 + amplitude);
+                let mut t = now;
+                loop {
+                    t += exp_gap(rng, peak);
+                    let phase = std::f64::consts::TAU * t / period;
+                    let rate = base_rate * (1.0 + amplitude * phase.sin());
+                    let u: f64 = rng.gen();
+                    if u * peak < rate {
+                        return t - now;
+                    }
+                }
+            }
+            ArrivalProcess::FlashCrowd {
+                base_rate,
+                spike_rate,
+                burst,
+            } => {
+                if self.burst_left > 0 {
+                    self.burst_left -= 1;
+                    return 0.0;
+                }
+                let next_spike = match self.next_spike {
+                    Some(t) => t,
+                    None => {
+                        let t = now + exp_gap(rng, spike_rate);
+                        self.next_spike = Some(t);
+                        t
+                    }
+                };
+                let base_gap = exp_gap(rng, base_rate);
+                if now + base_gap < next_spike {
+                    return base_gap;
+                }
+                // The spike fires first: `burst` jobs land at its
+                // instant — this one now, the rest via zero gaps.
+                self.burst_left = burst - 1;
+                self.next_spike = Some(next_spike + exp_gap(rng, spike_rate));
+                (next_spike - now).max(0.0)
+            }
+        }
+    }
+}
+
+/// Exponential inter-event gap with mean `1 / rate`.
+pub(crate) fn exp_gap(rng: &mut SmallRng, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0);
+    // Inverse CDF of Exp(rate); clamp the uniform away from 0.
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() / rate
 }
 
 #[cfg(test)]
@@ -225,22 +445,181 @@ mod tests {
         for j in 0..100 {
             for m in 0..8 {
                 let noise = world.pair_noise(j, m);
-                assert!((1.0..=world.phi_mach).contains(&noise));
+                // Half-open: the unit draw is [0, 1), so φ_mach itself
+                // is never attained.
+                assert!((1.0..world.phi_mach).contains(&noise));
             }
         }
     }
 
+    /// Mean inter-arrival gap over `n` draws, starting at t = 0.
+    fn mean_gap(process: ArrivalProcess, seed: u64, n: usize) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut gen = process.generator();
+        let mut now = 0.0;
+        for _ in 0..n {
+            now += gen.next_gap(now, &mut rng);
+        }
+        now / n as f64
+    }
+
     #[test]
     fn poisson_gaps_have_plausible_mean() {
-        let mut rng = SmallRng::seed_from_u64(6);
-        let arrivals = PoissonArrivals { rate: 4.0 };
-        let n = 4000;
-        let total: f64 = (0..n).map(|_| arrivals.next_gap(&mut rng)).sum();
-        let mean = total / n as f64;
+        let mean = mean_gap(ArrivalProcess::Poisson { rate: 4.0 }, 6, 4000);
         assert!(
             (mean - 0.25).abs() < 0.03,
             "mean inter-arrival {mean} should approximate 1/rate = 0.25"
         );
+    }
+
+    #[test]
+    fn mmpp_mean_rate_interpolates_the_phases() {
+        // Expected long-run rate: (λ_off·T_off + λ_on·T_on)/(T_off+T_on)
+        // = (1·3 + 9·1)/4 = 3 arrivals per second.
+        let process = ArrivalProcess::Mmpp {
+            base_rate: 1.0,
+            burst_rate: 9.0,
+            mean_off: 3.0,
+            mean_on: 1.0,
+        };
+        let mean = mean_gap(process, 7, 20_000);
+        assert!(
+            (mean - 1.0 / 3.0).abs() < 0.05,
+            "mean inter-arrival {mean} should approximate 1/3"
+        );
+    }
+
+    #[test]
+    fn mmpp_with_silent_off_phase_still_advances() {
+        let process = ArrivalProcess::Mmpp {
+            base_rate: 0.0,
+            burst_rate: 5.0,
+            mean_off: 2.0,
+            mean_on: 1.0,
+        };
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut gen = process.generator();
+        let mut now = 0.0;
+        for _ in 0..200 {
+            let gap = gen.next_gap(now, &mut rng);
+            assert!(gap.is_finite() && gap > 0.0);
+            now += gap;
+        }
+    }
+
+    #[test]
+    fn diurnal_clusters_arrivals_around_the_peak() {
+        let process = ArrivalProcess::Diurnal {
+            base_rate: 1.0,
+            amplitude: 0.95,
+            period: 100.0,
+        };
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut gen = process.generator();
+        let mut now = 0.0;
+        let (mut rising, mut falling) = (0u32, 0u32);
+        for _ in 0..4000 {
+            now += gen.next_gap(now, &mut rng);
+            // sin > 0 on the first half-cycle (rising load), < 0 on the
+            // second.
+            if (now % 100.0) < 50.0 {
+                rising += 1;
+            } else {
+                falling += 1;
+            }
+        }
+        assert!(
+            rising > falling * 2,
+            "peak half-cycle must dominate: {rising} vs {falling}"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_delivers_whole_bursts() {
+        let process = ArrivalProcess::FlashCrowd {
+            base_rate: 0.05,
+            spike_rate: 0.2,
+            burst: 5,
+        };
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mut gen = process.generator();
+        let mut now = 0.0;
+        let mut zero_gaps = 0u32;
+        for _ in 0..500 {
+            let gap = gen.next_gap(now, &mut rng);
+            if gap == 0.0 {
+                zero_gaps += 1;
+            }
+            now += gap;
+        }
+        // Every spike contributes burst−1 = 4 simultaneous arrivals, so
+        // several spikes must have fired over 500 draws at these rates.
+        assert!(
+            zero_gaps >= 8,
+            "expected multiple spikes, saw {zero_gaps} zero gaps"
+        );
+    }
+
+    #[test]
+    fn arrival_generators_are_deterministic_per_seed() {
+        let processes = [
+            ArrivalProcess::Poisson { rate: 2e-4 },
+            ArrivalProcess::Mmpp {
+                base_rate: 1e-4,
+                burst_rate: 1e-3,
+                mean_off: 6e4,
+                mean_on: 1.5e4,
+            },
+            ArrivalProcess::Diurnal {
+                base_rate: 2e-4,
+                amplitude: 0.9,
+                period: 1e5,
+            },
+            ArrivalProcess::FlashCrowd {
+                base_rate: 1e-4,
+                spike_rate: 2e-5,
+                burst: 12,
+            },
+        ];
+        for process in processes {
+            let draw = |seed: u64| {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut gen = process.generator();
+                let mut now = 0.0;
+                (0..64)
+                    .map(|_| {
+                        let gap = gen.next_gap(now, &mut rng);
+                        now += gap;
+                        gap.to_bits()
+                    })
+                    .collect::<Vec<u64>>()
+            };
+            assert_eq!(draw(3), draw(3), "{process:?} must replay bit-for-bit");
+            assert_ne!(draw(3), draw(4), "{process:?} must depend on the seed");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "burst rate must exceed")]
+    fn mmpp_rejects_inverted_rates() {
+        ArrivalProcess::Mmpp {
+            base_rate: 2.0,
+            burst_rate: 1.0,
+            mean_off: 1.0,
+            mean_on: 1.0,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude must lie in [0, 1]")]
+    fn diurnal_rejects_overdriven_amplitude() {
+        ArrivalProcess::Diurnal {
+            base_rate: 1.0,
+            amplitude: 1.5,
+            period: 10.0,
+        }
+        .validate();
     }
 
     #[test]

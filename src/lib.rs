@@ -24,9 +24,11 @@
 //!   several engines race under one shared budget with
 //!   successive-halving elimination and warm-start elite sharing;
 //! * [`gridsim`] — a discrete-event dynamic grid simulator exercising the
-//!   paper's batch-mode dynamic-scheduler claim (including a
+//!   paper's batch-mode dynamic-scheduler claim, with a
 //!   [`gridsim::scheduler::PortfolioScheduler`] racing engines per
-//!   batch activation).
+//!   batch activation and a [`gridsim::ScenarioFamily`] catalog of
+//!   arrival/churn regimes (calm, churny, bursty, diurnal, flash
+//!   crowd, degrading, volatile).
 //!
 //! This facade re-exports all of them plus a [`prelude`] with the types
 //! an application typically needs.
@@ -78,6 +80,7 @@ pub mod prelude {
         BraunGa, GeneticSimulatedAnnealing, PanmicticMa, SimulatedAnnealing, SteadyStateGa,
         StruggleGa, TabuSearch,
     };
+    pub use cmags_gridsim::{ArrivalProcess, ChurnModel, ScenarioFamily, SimConfig, Simulation};
     pub use cmags_heuristics::constructive::{
         Constructive, ConstructiveKind, Duplex, LjfrSjfr, MaxMin, Mct, Met, MinMin, Olb,
         RandomAssign, Sufferage,

@@ -1,7 +1,7 @@
 //! Integration tests of the dynamic-scheduler claim on the simulator.
 
 use cmags::gridsim::scheduler::{CmaScheduler, HeuristicScheduler, RandomScheduler};
-use cmags::gridsim::{SimConfig, Simulation};
+use cmags::gridsim::{ScenarioFamily, SimConfig, Simulation};
 use cmags::prelude::*;
 
 #[test]
@@ -33,6 +33,66 @@ fn churny_grid_still_finishes_everything() {
     let report = Simulation::new(SimConfig::churny(), 5).run(&mut scheduler);
     assert_eq!(report.jobs_completed, report.jobs_submitted);
     assert!(report.resubmissions > 0, "churn should force resubmissions");
+}
+
+// Per-seed bitwise determinism across the whole catalog is pinned by
+// the gridsim unit suite (`every_family_is_deterministic_and_completes`
+// in crates/gridsim/src/sim.rs); the tests here cover the facade-level
+// surfaces on top of it.
+
+#[test]
+fn scenario_catalog_runs_the_cma_scheduler_through_every_family() {
+    for family in ScenarioFamily::ALL {
+        let mut scheduler = CmaScheduler::new(StopCondition::children(120));
+        let report = Simulation::new(SimConfig::from_family(family), 1).run(&mut scheduler);
+        assert_eq!(
+            report.jobs_completed, report.jobs_submitted,
+            "{family}: cMA batch mode must drain the grid"
+        );
+        assert!(report.activations > 0, "{family}");
+    }
+}
+
+#[test]
+fn churny_families_resubmit_and_still_drain() {
+    // (family, seed) pairs known to kill busy machines: independent
+    // churn, the degrading grid, and a correlated mass-departure shock.
+    for (family, seed) in [
+        (ScenarioFamily::Churny, 0),
+        (ScenarioFamily::Degrading, 0),
+        (ScenarioFamily::Volatile, 2),
+    ] {
+        let mut s = HeuristicScheduler::new(ConstructiveKind::Mct);
+        let report = Simulation::new(SimConfig::from_family(family), seed).run(&mut s);
+        assert_eq!(report.jobs_completed, report.jobs_submitted, "{family}");
+        assert!(
+            report.resubmissions > 0,
+            "{family} seed {seed}: expected killed work"
+        );
+    }
+}
+
+#[test]
+fn noisy_runs_replay_bit_for_bit_across_scenario_variants() {
+    // Regression companion to the `kick` RNG fix: with execution noise
+    // on, the stream depends only on the job-start sequence, so noisy
+    // runs replay exactly under every arrival/churn regime.
+    for family in ScenarioFamily::ALL {
+        let run = || {
+            let mut config = SimConfig::from_family(family);
+            config.execution_noise = 0.15;
+            let mut s = HeuristicScheduler::new(ConstructiveKind::MinMin);
+            Simulation::new(config, 23).run(&mut s)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(
+            a.realized_makespan.to_bits(),
+            b.realized_makespan.to_bits(),
+            "{family}: noisy runs must replay bit-for-bit"
+        );
+        assert_eq!(a.jobs_completed, a.jobs_submitted, "{family}");
+    }
 }
 
 #[test]
