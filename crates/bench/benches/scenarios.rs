@@ -1,7 +1,8 @@
 //! Scenario-family benchmark: the dynamic-grid scheduler roster swept
-//! across the whole [`ScenarioFamily`] catalog.
+//! across the whole [`ScenarioFamily`] catalog, with a tunable-objective
+//! (λ) axis for the metaheuristic schedulers.
 //!
-//! Two layers:
+//! Three layers:
 //!
 //! * `scenario_sim_*` timing groups — wall-clock cost of one full
 //!   discrete-event run under a constructive scheduler (criterion), the
@@ -15,15 +16,20 @@
 //!   with the response ranking printed alongside; the point of the
 //!   catalog is that the winner is *not* the same scheduler in every
 //!   family.
+//! * a λ sweep printed as `scenario-lambda` lines: per family × λ, the
+//!   best metaheuristic mean response versus Min-Min's (the response
+//!   champion of every family at λ = 0) — measuring whether the
+//!   response-targeted objective closes that gap.
 //!
 //! Set `SCENARIO_BENCH_QUICK=1` for the CI smoke configuration (one
-//! seed, small per-activation budgets, two samples).
+//! seed, small per-activation budgets, two samples, two λ values).
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::hint::black_box;
 
 use cmags_bench::experiments::dynamic::scenario_sweep;
 use cmags_cma::StopCondition;
+use cmags_core::Objective;
 use cmags_gridsim::scheduler::HeuristicScheduler;
 use cmags_gridsim::{ScenarioFamily, SimConfig, Simulation};
 use cmags_heuristics::constructive::ConstructiveKind;
@@ -35,6 +41,17 @@ fn bench_scenarios(c: &mut Criterion) {
         (200, &[1])
     } else {
         (2_000, &[1, 2, 3])
+    };
+    // The λ axis: classic, plus the pure-response target (and the
+    // midpoint outside quick mode).
+    let lambdas: Vec<Objective> = if quick {
+        vec![Objective::classic(), Objective::mean_flowtime()]
+    } else {
+        vec![
+            Objective::classic(),
+            Objective::weighted(0.5),
+            Objective::mean_flowtime(),
+        ]
     };
 
     // --- Timing: the raw event loop under a cheap scheduler. ---
@@ -53,43 +70,53 @@ fn bench_scenarios(c: &mut Criterion) {
     }
     group.finish();
 
-    // --- Quality: every family × scheduler, averaged over seeds. ---
+    // --- Quality: every family × scheduler × λ, averaged over seeds. ---
     let stop = StopCondition::children(budget);
-    // (family, scheduler) -> (mean makespan, mean response).
-    let mut totals: BTreeMap<(String, String), (f64, f64)> = BTreeMap::new();
+    // (family, scheduler) -> (λ, mean makespan, mean response); the
+    // scheduler name is λ-tagged for retargeted metaheuristics, so λ
+    // variants land in distinct cells.
+    let mut totals: BTreeMap<(String, String), (f64, f64, f64)> = BTreeMap::new();
     for &seed in seeds {
-        for cell in scenario_sweep(&ScenarioFamily::ALL, seed, stop) {
+        for cell in scenario_sweep(&ScenarioFamily::ALL, seed, stop, &lambdas) {
             let entry = totals
                 .entry((cell.family.name().to_owned(), cell.scheduler))
-                .or_insert((0.0, 0.0));
-            entry.0 += cell.realized_makespan / seeds.len() as f64;
-            entry.1 += cell.mean_response / seeds.len() as f64;
+                .or_insert((cell.lambda, 0.0, 0.0));
+            entry.1 += cell.realized_makespan / seeds.len() as f64;
+            entry.2 += cell.mean_response / seeds.len() as f64;
         }
     }
     let mut winners: BTreeMap<&str, String> = BTreeMap::new();
     for family in ScenarioFamily::ALL {
-        let mut field: Vec<(&String, f64, f64)> = totals
+        let mut field: Vec<(&String, f64, f64, f64)> = totals
             .iter()
             .filter(|((f, _), _)| f == family.name())
-            .map(|((_, scheduler), &(makespan, response))| (scheduler, makespan, response))
+            .map(|((_, scheduler), &(lambda, makespan, response))| {
+                (scheduler, lambda, makespan, response)
+            })
             .collect();
-        // Rank on realized makespan, the paper's primary objective.
-        field.sort_by(|a, b| a.1.total_cmp(&b.1));
-        for (scheduler, makespan, response) in &field {
+        // Rank on realized makespan, the paper's primary objective —
+        // over the classic (λ = 0) roster only, so the winner lines
+        // stay comparable across λ-sweep configurations.
+        field.sort_by(|a, b| a.2.total_cmp(&b.2));
+        for (scheduler, lambda, makespan, response) in &field {
             println!(
-                "scenario-quality family={} scheduler={scheduler} makespan={makespan:.1} mean_response={response:.1}",
+                "scenario-quality family={} scheduler={scheduler} lambda={lambda} makespan={makespan:.1} mean_response={response:.1}",
                 family.name()
             );
         }
-        let (best, best_makespan, _) = field[0];
+        let classic: Vec<&(&String, f64, f64, f64)> = field
+            .iter()
+            .filter(|&&(_, lambda, _, _)| lambda == 0.0)
+            .collect();
+        let (best, _, best_makespan, _) = *classic[0];
         // The roster always fields several schedulers, but degrade
         // gracefully if it is ever trimmed to one.
-        let runner_up_delta_pct = field.get(1).map_or(0.0, |&(_, m, _)| {
+        let runner_up_delta_pct = classic.get(1).map_or(0.0, |&&(_, _, m, _)| {
             (m - best_makespan) / best_makespan * 100.0
         });
-        let best_response = field
+        let best_response = classic
             .iter()
-            .min_by(|a, b| a.2.total_cmp(&b.2))
+            .min_by(|a, b| a.3.total_cmp(&b.3))
             .expect("non-empty field");
         println!(
             "scenario-winner family={} winner={best} makespan={best_makespan:.1} runner_up_delta_pct={runner_up_delta_pct:+.2} response_winner={}",
@@ -97,11 +124,43 @@ fn bench_scenarios(c: &mut Criterion) {
             best_response.0,
         );
         winners.insert(family.name(), best.clone());
+
+        // --- The λ axis: per response weight, the best metaheuristic
+        // mean response versus Min-Min's. ---
+        let minmin_response = field
+            .iter()
+            .find(|(name, _, _, _)| name.as_str() == "Min-Min")
+            .expect("Min-Min always races")
+            .3;
+        let mut swept: Vec<f64> = field.iter().map(|&(_, lambda, _, _)| lambda).collect();
+        swept.sort_by(f64::total_cmp);
+        swept.dedup();
+        for lambda in swept {
+            let best_meta = field
+                .iter()
+                .filter(|&&(name, l, _, _)| {
+                    l == lambda && (name.starts_with("cMA") || name.starts_with("Portfolio"))
+                })
+                .min_by(|a, b| a.3.total_cmp(&b.3));
+            let Some(&(name, _, _, response)) = best_meta else {
+                continue;
+            };
+            let gap_pct = (response - minmin_response) / minmin_response * 100.0;
+            println!(
+                "scenario-lambda family={} lambda={lambda} best_meta={name} mean_response={response:.1} minmin_response={minmin_response:.1} gap_pct={gap_pct:+.2}",
+                family.name()
+            );
+        }
     }
     let distinct: BTreeSet<&str> = winners.values().map(String::as_str).collect();
     println!(
-        "scenario-summary budget={budget} seeds={} winners={} distinct_winners={}",
+        "scenario-summary budget={budget} seeds={} lambdas={} winners={} distinct_winners={}",
         seeds.len(),
+        lambdas
+            .iter()
+            .map(|o| o.lambda().to_string())
+            .collect::<Vec<_>>()
+            .join(","),
         winners
             .iter()
             .map(|(family, winner)| format!("{family}={winner}"))

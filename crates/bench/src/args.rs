@@ -9,6 +9,7 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use cmags_cma::{CmaConfig, StopCondition};
+use cmags_core::Objective;
 use cmags_gridsim::ScenarioFamily;
 
 /// Parsed command line.
@@ -103,6 +104,11 @@ pub struct Ctx {
     /// experiment (`--families calm,bursty,…`; default: the whole
     /// catalog).
     pub families: Vec<ScenarioFamily>,
+    /// Response-objective weights swept by the λ-aware experiments
+    /// (`--lambda 0,0.5,1`; default: the classic λ = 0 only). Each
+    /// entry retargets the batch schedulers at
+    /// `(1-λ)·classic_fitness + λ·mean_flowtime`.
+    pub lambdas: Vec<Objective>,
 }
 
 impl Ctx {
@@ -113,11 +119,13 @@ impl Ctx {
     /// 90 s). `--budget-ms N` and `--budget-children N` override the
     /// budget; if both are given, whichever trips first stops the run.
     /// `--families calm,bursty` restricts the dynamic experiment's
-    /// scenario sweep.
+    /// scenario sweep; `--lambda 0,0.5,1` sweeps the response
+    /// objective.
     ///
     /// # Panics
     ///
-    /// Panics when `--families` names an unknown scenario family.
+    /// Panics when `--families` names an unknown scenario family or
+    /// `--lambda` holds a weight outside `[0, 1]`.
     #[must_use]
     pub fn from_args(args: &Args) -> Self {
         let families = match args.get("--families") {
@@ -128,6 +136,18 @@ impl Ctx {
                     name.trim()
                         .parse()
                         .unwrap_or_else(|e| panic!("invalid --families: {e}"))
+                })
+                .collect(),
+        };
+        let lambdas = match args.get("--lambda") {
+            None => vec![Objective::classic()],
+            Some(raw) => raw
+                .split(',')
+                .map(|weight| {
+                    weight
+                        .trim()
+                        .parse()
+                        .unwrap_or_else(|e| panic!("invalid --lambda: {e}"))
                 })
                 .collect(),
         };
@@ -156,6 +176,7 @@ impl Ctx {
             out_dir: PathBuf::from(args.get("--out").unwrap_or("results")),
             quiet: args.flag("--quiet"),
             families,
+            lambdas,
         }
     }
 
@@ -262,6 +283,27 @@ mod tests {
             ctx.families,
             vec![ScenarioFamily::Bursty, ScenarioFamily::FlashCrowd]
         );
+    }
+
+    #[test]
+    fn lambdas_default_to_classic_and_parse_a_list() {
+        let ctx = Ctx::from_args(&args(""));
+        assert_eq!(ctx.lambdas, vec![Objective::classic()]);
+        let swept = Ctx::from_args(&args("--lambda 0,0.5,1"));
+        assert_eq!(
+            swept.lambdas,
+            vec![
+                Objective::classic(),
+                Objective::weighted(0.5),
+                Objective::mean_flowtime()
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid --lambda")]
+    fn out_of_range_lambda_panics() {
+        let _ = Ctx::from_args(&args("--lambda 1.5"));
     }
 
     #[test]

@@ -4,9 +4,13 @@
 //! against the racing portfolio and the fast constructive baselines,
 //! sweeping the whole [`ScenarioFamily`] catalog (calm, churny, bursty,
 //! diurnal, flash-crowd, degrading, volatile) — or the `--families`
-//! subset.
+//! subset — and, when `--lambda` names several response weights, the
+//! tunable objective axis: each λ retargets the metaheuristic batch
+//! schedulers at `(1-λ)·classic_fitness + λ·mean_flowtime`, probing
+//! whether they can close the mean-response gap to Min-Min.
 
 use cmags_cma::StopCondition;
+use cmags_core::Objective;
 use cmags_gridsim::scheduler::{
     BatchScheduler, CmaScheduler, HeuristicScheduler, PortfolioScheduler, RandomScheduler,
 };
@@ -16,20 +20,78 @@ use cmags_heuristics::constructive::ConstructiveKind;
 use crate::args::Ctx;
 use crate::report::{fmt_value, Table};
 
-/// Builds the scheduler roster shared by the experiment tables and the
-/// [`scenario_sweep`]. The racing portfolio gets the same
-/// per-activation budget as the cMA — children split across its
-/// contenders, time/target bounds capping the whole race — so the
-/// comparison is equal-effort on every axis.
-fn roster(budget: StopCondition) -> Vec<Box<dyn BatchScheduler>> {
+/// The λ-targetable metaheuristic schedulers of the roster (the racing
+/// portfolio gets the same per-activation budget as the cMA — children
+/// split across its contenders, time/target bounds capping the whole
+/// race — so the comparison is equal-effort on every axis).
+fn metaheuristics(budget: StopCondition, objective: Objective) -> Vec<Box<dyn BatchScheduler>> {
     vec![
-        Box::new(CmaScheduler::new(budget)),
-        Box::new(PortfolioScheduler::new(budget)),
+        Box::new(CmaScheduler::new(budget).with_objective(objective)),
+        Box::new(PortfolioScheduler::new(budget).with_objective(objective)),
+    ]
+}
+
+/// The λ-independent constructive baselines.
+fn baselines() -> Vec<Box<dyn BatchScheduler>> {
+    vec![
         Box::new(HeuristicScheduler::new(ConstructiveKind::MinMin)),
         Box::new(HeuristicScheduler::new(ConstructiveKind::Mct)),
         Box::new(HeuristicScheduler::new(ConstructiveKind::Olb)),
         Box::new(RandomScheduler),
     ]
+}
+
+/// Builds the scheduler roster shared by the experiment tables and the
+/// [`scenario_sweep`]: the objective-retargeted metaheuristics plus
+/// (when `with_baselines`) the constructive baselines.
+fn roster(
+    budget: StopCondition,
+    objective: Objective,
+    with_baselines: bool,
+) -> Vec<Box<dyn BatchScheduler>> {
+    let mut schedulers = metaheuristics(budget, objective);
+    if with_baselines {
+        schedulers.extend(baselines());
+    }
+    schedulers
+}
+
+/// Column headers of the scenario tables.
+const SCENARIO_COLUMNS: [&str; 9] = [
+    "Scheduler",
+    "jobs",
+    "resub",
+    "makespan",
+    "mean response",
+    "mean wait",
+    "util %",
+    "activations",
+    "sched wall s",
+];
+
+/// Runs `schedulers` over one scenario and renders one row per run.
+fn scenario_rows(
+    schedulers: Vec<Box<dyn BatchScheduler>>,
+    config: &SimConfig,
+    seed: u64,
+) -> Vec<Vec<String>> {
+    schedulers
+        .into_iter()
+        .map(|mut scheduler| {
+            let report = Simulation::new(config.clone(), seed).run(scheduler.as_mut());
+            vec![
+                report.scheduler.clone(),
+                report.jobs_completed.to_string(),
+                report.resubmissions.to_string(),
+                fmt_value(report.realized_makespan),
+                fmt_value(report.mean_response()),
+                fmt_value(report.mean_wait()),
+                format!("{:.1}", report.utilization() * 100.0),
+                report.activations.to_string(),
+                format!("{:.3}", report.scheduler_wall_s),
+            ]
+        })
+        .collect()
 }
 
 /// Runs one scenario for every scheduler and tabulates the realized
@@ -40,40 +102,18 @@ pub fn scenario_table(
     config: &SimConfig,
     seed: u64,
     cma_budget: StopCondition,
+    objective: Objective,
 ) -> Table {
-    let mut table = Table::new(
-        title,
-        &[
-            "Scheduler",
-            "jobs",
-            "resub",
-            "makespan",
-            "mean response",
-            "mean wait",
-            "util %",
-            "activations",
-            "sched wall s",
-        ],
-    );
-    for mut scheduler in roster(cma_budget) {
-        let report = Simulation::new(config.clone(), seed).run(scheduler.as_mut());
-        table.push_row(vec![
-            report.scheduler.clone(),
-            report.jobs_completed.to_string(),
-            report.resubmissions.to_string(),
-            fmt_value(report.realized_makespan),
-            fmt_value(report.mean_response()),
-            fmt_value(report.mean_wait()),
-            format!("{:.1}", report.utilization() * 100.0),
-            report.activations.to_string(),
-            format!("{:.3}", report.scheduler_wall_s),
-        ]);
+    let mut table = Table::new(title, &SCENARIO_COLUMNS);
+    for row in scenario_rows(roster(cma_budget, objective, true), config, seed) {
+        table.push_row(row);
     }
     table
 }
 
 /// The full dynamic experiment: one table per scenario family in the
-/// context's sweep (default: the whole catalog).
+/// context's sweep (default: the whole catalog) and per `--lambda`
+/// response weight (default: classic only).
 #[must_use]
 pub fn dynamic(ctx: &Ctx) -> Vec<Table> {
     // Scale the per-activation cMA budget off the context: the dynamic
@@ -83,60 +123,108 @@ pub fn dynamic(ctx: &Ctx) -> Vec<Table> {
             .time_limit
             .unwrap_or_else(|| std::time::Duration::from_millis(500)),
     );
-    ctx.families
-        .iter()
-        .map(|&family| {
-            scenario_table(
-                &format!("Dynamic grid {family} scenario"),
-                &SimConfig::from_family(family),
-                ctx.seed,
-                budget,
-            )
-        })
-        .collect()
+    let mut tables = Vec::new();
+    for &family in &ctx.families {
+        let config = SimConfig::from_family(family);
+        // The constructive baselines are λ-independent: simulate them
+        // once per family and splice the identical rows into every λ
+        // table instead of re-running full simulations per weight.
+        let baseline_rows = scenario_rows(baselines(), &config, ctx.seed);
+        for &objective in &ctx.lambdas {
+            let title = if objective.is_classic() {
+                format!("Dynamic grid {family} scenario")
+            } else {
+                format!("Dynamic grid {family} scenario (λ = {objective})")
+            };
+            let mut table = Table::new(&title, &SCENARIO_COLUMNS);
+            for row in scenario_rows(metaheuristics(budget, objective), &config, ctx.seed)
+                .into_iter()
+                .chain(baseline_rows.iter().cloned())
+            {
+                table.push_row(row);
+            }
+            tables.push(table);
+        }
+    }
+    tables
 }
 
-/// One `(family, scheduler)` cell of the scenario sweep.
+/// One `(family, scheduler, λ)` cell of the scenario sweep.
 #[derive(Debug, Clone)]
 pub struct SweepCell {
     /// Scenario family of the run.
     pub family: ScenarioFamily,
-    /// Scheduler name.
+    /// Scheduler name (λ-tagged for retargeted metaheuristics).
     pub scheduler: String,
+    /// Response weight the scheduler optimised (0 for the λ-independent
+    /// baselines).
+    pub lambda: f64,
     /// Mean response time per completed job.
     pub mean_response: f64,
     /// Completion time of the last job.
     pub realized_makespan: f64,
+    /// Digest of the exogenous event stream — identical across the
+    /// whole roster of one `(family, seed)` sweep by construction
+    /// (asserted, so a scheduler perturbing the simulation RNG cannot
+    /// slip through a bench run unnoticed).
+    pub event_digest: u64,
 }
 
-/// Sweeps every `(family, scheduler)` cell at one seed — the quality
-/// comparison behind `BENCH_scenarios.json`.
+/// Sweeps every `(family, scheduler, λ)` cell at one seed — the quality
+/// comparison behind `BENCH_scenarios.json`. The λ-independent
+/// constructive baselines run once per family; the metaheuristics run
+/// once per entry of `objectives`.
 ///
 /// # Panics
 ///
-/// Panics if any simulation fails to complete every submitted job.
+/// Panics if any simulation fails to complete every submitted job, or
+/// if two schedulers of the same `(family, seed)` observe different
+/// exogenous event streams.
 #[must_use]
 pub fn scenario_sweep(
     families: &[ScenarioFamily],
     seed: u64,
     budget: StopCondition,
+    objectives: &[Objective],
 ) -> Vec<SweepCell> {
     let mut cells = Vec::new();
     for &family in families {
-        for mut scheduler in roster(budget) {
-            let config = SimConfig::from_family(family);
-            let report = Simulation::new(config, seed).run(scheduler.as_mut());
-            assert_eq!(
-                report.jobs_completed, report.jobs_submitted,
-                "{family}/{}: simulation lost jobs",
-                report.scheduler
+        let mut family_digest: Option<u64> = None;
+        let mut sweep =
+            |schedulers: Vec<Box<dyn BatchScheduler>>, lambda: f64, cells: &mut Vec<SweepCell>| {
+                for mut scheduler in schedulers {
+                    let config = SimConfig::from_family(family);
+                    let report = Simulation::new(config, seed).run(scheduler.as_mut());
+                    assert_eq!(
+                        report.jobs_completed, report.jobs_submitted,
+                        "{family}/{}: simulation lost jobs",
+                        report.scheduler
+                    );
+                    let expected = *family_digest.get_or_insert(report.event_digest);
+                    assert_eq!(
+                        report.event_digest, expected,
+                        "{family}/{}: scheduler perturbed the exogenous event stream",
+                        report.scheduler
+                    );
+                    cells.push(SweepCell {
+                        family,
+                        lambda,
+                        mean_response: report.mean_response(),
+                        realized_makespan: report.realized_makespan,
+                        event_digest: report.event_digest,
+                        scheduler: report.scheduler,
+                    });
+                }
+            };
+        // Baselines once per family, always recorded at λ = 0 — they
+        // never optimise a scalarisation, whatever the sweep's list.
+        sweep(baselines(), 0.0, &mut cells);
+        for &objective in objectives {
+            sweep(
+                metaheuristics(budget, objective),
+                objective.lambda(),
+                &mut cells,
             );
-            cells.push(SweepCell {
-                family,
-                mean_response: report.mean_response(),
-                realized_makespan: report.realized_makespan,
-                scheduler: report.scheduler,
-            });
         }
     }
     cells
@@ -154,6 +242,7 @@ mod tests {
             &SimConfig::small(),
             3,
             StopCondition::children(300),
+            Objective::classic(),
         );
         assert_eq!(t.rows.len(), 6);
         let response_of = |name: &str| -> f64 {
@@ -175,13 +264,15 @@ mod tests {
     }
 
     #[test]
-    fn dynamic_produces_one_table_per_family() {
+    fn dynamic_produces_one_table_per_family_and_lambda() {
         let mut ctx = test_ctx(32, 4, 1, 100);
         ctx.families = vec![ScenarioFamily::Calm, ScenarioFamily::Bursty];
+        ctx.lambdas = vec![Objective::classic(), Objective::mean_flowtime()];
         let tables = dynamic(&ctx);
-        assert_eq!(tables.len(), 2);
+        assert_eq!(tables.len(), 4);
         assert!(tables[0].title.contains("calm"));
-        assert!(tables[1].title.contains("bursty"));
+        assert!(tables[1].title.contains("calm") && tables[1].title.contains("λ = 1"));
+        assert!(tables[2].title.contains("bursty"));
         for t in &tables {
             // Every scheduler finished every job.
             for row in &t.rows {
@@ -192,11 +283,22 @@ mod tests {
     }
 
     #[test]
-    fn scenario_sweep_covers_every_cell() {
+    fn scenario_sweep_covers_every_cell_once_per_lambda() {
         let families = [ScenarioFamily::Calm, ScenarioFamily::FlashCrowd];
-        let cells = scenario_sweep(&families, 3, StopCondition::children(150));
-        let per_family = roster(StopCondition::children(150)).len();
-        assert_eq!(cells.len(), families.len() * per_family);
+        let objectives = [Objective::classic(), Objective::mean_flowtime()];
+        let cells = scenario_sweep(&families, 3, StopCondition::children(150), &objectives);
+        // Per family: 4 baselines (once, at λ = 0) plus 2 metaheuristics
+        // per swept objective.
+        assert_eq!(cells.len(), families.len() * (4 + 2 * 2));
+        assert!(
+            cells
+                .iter()
+                .filter(
+                    |c| !(c.scheduler.starts_with("cMA") || c.scheduler.starts_with("Portfolio"))
+                )
+                .all(|c| c.lambda == 0.0),
+            "baseline cells are always recorded at λ = 0"
+        );
         for cell in &cells {
             assert!(families.contains(&cell.family));
             assert!(!cell.scheduler.is_empty());
@@ -205,6 +307,19 @@ mod tests {
                 "{}/{}",
                 cell.family,
                 cell.scheduler
+            );
+        }
+        let tagged = cells.iter().filter(|c| c.lambda == 1.0).count();
+        assert_eq!(tagged, families.len() * 2, "λ-tagged metaheuristic cells");
+        for family in families {
+            let digests: Vec<u64> = cells
+                .iter()
+                .filter(|c| c.family == family)
+                .map(|c| c.event_digest)
+                .collect();
+            assert!(
+                digests.windows(2).all(|w| w[0] == w[1]),
+                "{family}: event stream must be identical across the roster"
             );
         }
     }

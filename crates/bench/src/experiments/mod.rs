@@ -71,6 +71,7 @@ pub(crate) fn test_ctx(jobs: u32, machines: u32, runs: usize, children: u64) -> 
         out_dir: std::env::temp_dir().join("cmags-bench-tests"),
         quiet: true,
         families: cmags_gridsim::ScenarioFamily::ALL.to_vec(),
+        lambdas: vec![cmags_core::Objective::classic()],
     }
 }
 

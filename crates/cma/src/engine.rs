@@ -539,7 +539,10 @@ pub fn inject_elite(
     schedule: &Schedule,
 ) -> bool {
     let mut immigrant = Individual::new(problem, schedule.clone());
-    immigrant.fitness = weights.fitness(immigrant.objectives(), problem.nb_machines());
+    immigrant.fitness =
+        problem
+            .objective()
+            .fitness(weights, immigrant.objectives(), problem.nb_machines());
     let worst = population
         .iter()
         .enumerate()

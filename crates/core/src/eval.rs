@@ -30,7 +30,7 @@
 //! benchmark baseline.
 
 use crate::ticks;
-use crate::{evaluate, FitnessWeights, JobId, MachineId, Objectives, Problem, Schedule};
+use crate::{evaluate, FitnessWeights, JobId, MachineId, Objective, Objectives, Problem, Schedule};
 
 /// One job occupying a position in a machine's SPT order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -409,6 +409,42 @@ impl ScoreBuf {
         best_weighted(&self.makespan, &self.flowtime, 0.0, 1.0, 1.0)
     }
 
+    /// Index and fitness of the first candidate minimising the
+    /// **objective-blended** fitness
+    /// `(1-λ)·(a·makespan + b·flowtime/m) + λ·(flowtime/m)` — the
+    /// chunked reduction matching [`Objective::fitness`] per candidate
+    /// bit for bit. With a classic objective (λ = 0) this is exactly
+    /// [`ScoreBuf::best_fitness`], same expression, same bits.
+    #[must_use]
+    pub fn best_objective_fitness(
+        &self,
+        objective: Objective,
+        weights: FitnessWeights,
+        nb_machines: usize,
+    ) -> Option<(usize, f64)> {
+        if objective.is_classic() {
+            return self.best_fitness(weights, nb_machines);
+        }
+        // The scalar path itself is the per-lane score, so the reduction
+        // cannot desynchronise from `Objective::fitness` — it *is* it.
+        best_scored(&self.makespan, &self.flowtime, |makespan, flowtime| {
+            objective.fitness(weights, Objectives { makespan, flowtime }, nb_machines)
+        })
+    }
+
+    /// [`ScoreBuf::best_objective_fitness`] under a problem's active
+    /// weights and objective — the ranking every λ-aware local-search
+    /// strategy drives, bit-identical to scanning
+    /// `problem.fitness(objectives(i))`.
+    #[must_use]
+    pub fn best_for(&self, problem: &Problem) -> Option<(usize, f64)> {
+        self.best_objective_fitness(
+            problem.objective(),
+            problem.weights(),
+            problem.nb_machines(),
+        )
+    }
+
     fn clear_and_reserve(&mut self, n: usize) {
         self.makespan.clear();
         self.flowtime.clear();
@@ -432,13 +468,20 @@ const SCORE_LANES: usize = 8;
 /// First-minimum argmin of `a·makespan[i] + (b·flowtime[i])/d` over the
 /// SoA columns (the exact expression [`FitnessWeights::fitness`]
 /// evaluates, so results are bit-identical to the scalar closure path).
+fn best_weighted(mk: &[f64], ft: &[f64], a: f64, b: f64, d: f64) -> Option<(usize, f64)> {
+    best_scored(mk, ft, |m, f| a * m + b * f / d)
+}
+
+/// First-minimum argmin of `score(makespan[i], flowtime[i])` over the
+/// SoA columns, for any branch-free two-column scalarisation.
 ///
 /// The reduction runs in [`SCORE_LANES`]-wide chunks: each chunk's
-/// scores are computed into a fixed-size array (vectorisable), its
-/// minimum folded branch-free, and only chunks that beat the incumbent
-/// are rescanned in order for the earliest winning index — preserving
-/// the strict `<` first-minimum tie rule of [`ScoreBuf::best_by`].
-fn best_weighted(mk: &[f64], ft: &[f64], a: f64, b: f64, d: f64) -> Option<(usize, f64)> {
+/// scores are computed into a fixed-size array (the monomorphised
+/// closure inlines, keeping the lane loop vectorisable), its minimum
+/// folded branch-free, and only chunks that beat the incumbent are
+/// rescanned in order for the earliest winning index — preserving the
+/// strict `<` first-minimum tie rule of [`ScoreBuf::best_by`].
+fn best_scored<F: Fn(f64, f64) -> f64>(mk: &[f64], ft: &[f64], score: F) -> Option<(usize, f64)> {
     debug_assert_eq!(mk.len(), ft.len());
     if mk.is_empty() {
         return None;
@@ -453,7 +496,7 @@ fn best_weighted(mk: &[f64], ft: &[f64], a: f64, b: f64, d: f64) -> Option<(usiz
         .zip(ft.chunks_exact(SCORE_LANES))
     {
         for lane in 0..SCORE_LANES {
-            scores[lane] = a * mkc[lane] + b * ftc[lane] / d;
+            scores[lane] = score(mkc[lane], ftc[lane]);
         }
         let mut chunk_min = scores[0];
         for &s in &scores[1..] {
@@ -471,7 +514,7 @@ fn best_weighted(mk: &[f64], ft: &[f64], a: f64, b: f64, d: f64) -> Option<(usiz
         base += SCORE_LANES;
     }
     for i in base..mk.len() {
-        let s = a * mk[i] + b * ft[i] / d;
+        let s = score(mk[i], ft[i]);
         if !found || s < best {
             best = s;
             best_idx = i;
@@ -1288,6 +1331,53 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "score must be bit-identical");
             }
         }
+    }
+
+    #[test]
+    fn objective_reduction_matches_the_scalar_blend_bitwise() {
+        // Random-ish columns at every chunk shape; each λ of the grid
+        // must reduce to exactly what the scalar Objective path scores.
+        let weights = FitnessWeights::default();
+        for lambda in [0.0, 0.25, 0.5, 0.75, 1.0, 0.3] {
+            let objective = Objective::weighted(lambda);
+            for len in [0usize, 1, 7, 8, 9, 16, 23, 64, 67] {
+                let mut buf = ScoreBuf::new();
+                for i in 0..len {
+                    let v = ((i * 7919) % 23) as f64 + 1.0;
+                    let w = ((i * 104_729) % 17) as f64 + 1.0;
+                    buf.push(Objectives {
+                        makespan: v,
+                        flowtime: v + w,
+                    });
+                }
+                let by_closure = buf.best_by(|o| objective.fitness(weights, o, 16));
+                let chunked = buf.best_objective_fitness(objective, weights, 16);
+                assert_eq!(by_closure, chunked, "λ={lambda}, len {len}");
+                if let (Some((i, a)), Some((j, b))) = (by_closure, chunked) {
+                    assert_eq!(i, j);
+                    assert_eq!(a.to_bits(), b.to_bits(), "λ={lambda}: bits must match");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_for_matches_problem_fitness_scan() {
+        let p = problem().retargeted(Objective::weighted(0.5));
+        let s = Schedule::uniform(5, 0);
+        let eval = EvalState::new(&p, &s);
+        let candidates: Vec<(u32, u32)> = (0..5u32).flat_map(|j| [(j, 1u32), (j, 2)]).collect();
+        let mut buf = ScoreBuf::new();
+        eval.score_moves(&p, &s, &candidates, &mut buf);
+        let scan = buf.best_by(|o| p.fitness(o));
+        let chunked = buf.best_for(&p);
+        assert_eq!(scan, chunked);
+        let (idx, fitness) = chunked.expect("candidates are non-empty");
+        assert_eq!(
+            fitness.to_bits(),
+            p.fitness(buf.objectives(idx)).to_bits(),
+            "reduced score must be the exact blended fitness"
+        );
     }
 
     #[test]

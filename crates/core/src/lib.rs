@@ -54,6 +54,7 @@ pub mod diversity;
 pub mod engine;
 mod eval;
 mod fitness;
+mod objective;
 mod objectives;
 mod problem;
 mod schedule;
@@ -62,6 +63,7 @@ mod ticks;
 pub use engine::{Metaheuristic, Observer, RunStats, Runner, StopCondition, TracePoint};
 pub use eval::{EvalState, ScoreBuf};
 pub use fitness::FitnessWeights;
+pub use objective::Objective;
 pub use objectives::{evaluate, Objectives};
 pub use problem::Problem;
 pub use schedule::{JobId, MachineId, Schedule, ScheduleError};

@@ -1,0 +1,289 @@
+//! The tunable user-facing objective: a response-blend weight λ.
+//!
+//! The scenario sweep of the dynamic grid showed the workspace's
+//! metaheuristics winning realized **makespan** in every family while
+//! the greedy Min-Min heuristic won **mean response** everywhere — the
+//! batch schedulers simply could not *target* the response objective:
+//! every engine optimised its fixed classic scalarisation (the paper's
+//! Eq. 3 weights, or pure makespan for the Braun-style GAs). QoS-driven
+//! grid schedulers make the user-facing objective a first-class tunable
+//! instead; this module is that knob.
+//!
+//! [`Objective`] carries a single weight **λ ∈ [0, 1]** blending the
+//! engine's classic fitness toward pure mean flowtime (the batch proxy
+//! of mean response):
+//!
+//! ```text
+//! fitness(λ) = (1 − λ) · classic_fitness + λ · flowtime / nb_machines
+//! ```
+//!
+//! * **λ = 0** is the exact identity: the expression reproduces the
+//!   classic fitness **bit for bit** (`1.0 · f + 0.0 · g == f` for the
+//!   non-negative finite values the evaluator produces), so every
+//!   engine, schedule and trace is unchanged — pinned by
+//!   `tests/objective.rs` across all ten engines.
+//! * **λ = 1** optimises pure mean flowtime — the mean-response target
+//!   Min-Min excels at.
+//! * For engines whose classic fitness is pure makespan (Braun's GA,
+//!   GSA) the blend is literally
+//!   `(1 − λ)·makespan + λ·mean_flowtime`; for Eq.-3 engines it
+//!   interpolates between the paper's makespan-dominant scalarisation
+//!   and the response objective.
+//!
+//! ## Reproducibility
+//!
+//! λ is stored as a **Q32 fixed-point** numerator (`λ = k / 2³²`), not a
+//! free-form `f64`: every representable λ converts to `f64` *exactly*
+//! (≤ 33 significant bits), so a λ parsed from a CLI flag, recorded in a
+//! bench JSON and rebuilt from its bits always scalarises identically.
+//! The blend itself is one canonical `f64` expression over the
+//! tick-exact makespan/flowtime values of [`crate::evaluate`] /
+//! [`crate::EvalState`]; since those agree bit-for-bit across the full,
+//! incremental and batched paths by construction, so does the blended
+//! fitness — order-independent and bit-reproducible on every path.
+
+use crate::{FitnessWeights, Objectives};
+
+/// Number of fractional bits of the fixed-point λ.
+const LAMBDA_SHIFT: u32 = 32;
+
+/// Fixed-point representation of λ = 1 (2³²).
+const LAMBDA_ONE: u64 = 1 << LAMBDA_SHIFT;
+
+/// The tunable response-blend objective (see the module docs).
+///
+/// `Objective::default()` is [`Objective::classic`] (λ = 0): the exact
+/// pre-λ behaviour of every engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Objective {
+    /// Q32 numerator of λ: `lambda = bits / 2³²`, `0 ..= 2³²`.
+    bits: u64,
+}
+
+impl Objective {
+    /// The classic objective (λ = 0): every engine keeps its historical
+    /// scalarisation, bit for bit.
+    #[must_use]
+    pub fn classic() -> Self {
+        Self { bits: 0 }
+    }
+
+    /// Pure mean-flowtime optimisation (λ = 1) — the batch proxy of the
+    /// mean-response objective.
+    #[must_use]
+    pub fn mean_flowtime() -> Self {
+        Self { bits: LAMBDA_ONE }
+    }
+
+    /// An objective with the given response weight λ ∈ [0, 1], quantised
+    /// to the nearest Q32 step (every step is exact in `f64`, and every
+    /// dyadic λ with ≤ 32 fractional bits — 0.25, 0.5, 0.75, … — is
+    /// represented exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is outside `[0, 1]` or not finite.
+    #[must_use]
+    pub fn weighted(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && (0.0..=1.0).contains(&lambda),
+            "response weight lambda must be in [0, 1]"
+        );
+        // The multiply is exact at these magnitudes; `round` fixes the
+        // quantisation deterministically.
+        Self {
+            bits: (lambda * LAMBDA_ONE as f64).round() as u64,
+        }
+    }
+
+    /// The response weight λ in effect — exact (`bits / 2³²` has at most
+    /// 33 significant bits, well inside `f64`'s 53).
+    #[must_use]
+    pub fn lambda(self) -> f64 {
+        self.bits as f64 / LAMBDA_ONE as f64
+    }
+
+    /// The raw Q32 numerator (for compact, lossless recording).
+    #[must_use]
+    pub fn lambda_bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Whether this is the classic λ = 0 objective.
+    #[must_use]
+    pub fn is_classic(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Blends a classic fitness value toward mean flowtime — **the**
+    /// canonical scalarisation expression; every fitness path in the
+    /// workspace (single peeks, batched [`crate::ScoreBuf`] reductions,
+    /// engine replacement rules) evaluates exactly this, so results
+    /// agree bit-for-bit across paths.
+    ///
+    /// At λ = 0 the expression reduces to `classic_fitness` exactly:
+    /// `1.0 · f` is `f`, `0.0 · g` is `+0.0` for the non-negative finite
+    /// flowtimes the evaluator produces, and `f + 0.0` is `f`.
+    #[inline]
+    #[must_use]
+    pub fn blend(self, classic_fitness: f64, flowtime: f64, nb_machines: usize) -> f64 {
+        let lambda = self.lambda();
+        // Both weights are exact: 1 − k/2³² = (2³² − k)/2³², a ≤ 33-bit
+        // numerator over an exact power of two.
+        (1.0 - lambda) * classic_fitness + lambda * (flowtime / nb_machines as f64)
+    }
+
+    /// Full scalarisation of an objective pair: the classic weighted
+    /// fitness (Eq. 3 under `weights`) blended by λ.
+    #[inline]
+    #[must_use]
+    pub fn fitness(
+        self,
+        weights: FitnessWeights,
+        objectives: Objectives,
+        nb_machines: usize,
+    ) -> f64 {
+        self.blend(
+            weights.fitness(objectives, nb_machines),
+            objectives.flowtime,
+            nb_machines,
+        )
+    }
+}
+
+impl Default for Objective {
+    /// The classic λ = 0 objective.
+    fn default() -> Self {
+        Self::classic()
+    }
+}
+
+impl std::fmt::Display for Objective {
+    /// Displays λ rounded to six decimals (trailing zeros trimmed by
+    /// the shortest-representation `f64` formatter), so a CLI weight
+    /// like `0.3` — which quantises to `1288490189/2³²` — reads back as
+    /// `0.3`, not `0.30000000004656613`. [`Objective::lambda`] remains
+    /// the exact quantised value; this rounding is display-only.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", (self.lambda() * 1e6).round() / 1e6)
+    }
+}
+
+impl std::str::FromStr for Objective {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lambda: f64 = s
+            .parse()
+            .map_err(|e| format!("invalid lambda {s:?}: {e}"))?;
+        if !(lambda.is_finite() && (0.0..=1.0).contains(&lambda)) {
+            return Err(format!("lambda {s:?} outside [0, 1]"));
+        }
+        Ok(Self::weighted(lambda))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_classic() {
+        assert!(Objective::default().is_classic());
+        assert_eq!(Objective::default(), Objective::classic());
+        assert_eq!(Objective::classic().lambda(), 0.0);
+        assert_eq!(Objective::mean_flowtime().lambda(), 1.0);
+    }
+
+    #[test]
+    fn dyadic_lambdas_are_exact() {
+        for lambda in [0.0, 0.25, 0.5, 0.75, 1.0, 0.125, 0.6875] {
+            assert_eq!(Objective::weighted(lambda).lambda(), lambda);
+        }
+    }
+
+    #[test]
+    fn classic_blend_is_the_bitwise_identity() {
+        let objective = Objective::classic();
+        for fitness in [0.0f64, 1.5, 3.7e6, 123.456, f64::MIN_POSITIVE] {
+            for flowtime in [0.0f64, 9.75, 8.1e8] {
+                assert_eq!(
+                    objective.blend(fitness, flowtime, 16).to_bits(),
+                    fitness.to_bits(),
+                    "λ=0 must reproduce the classic fitness bit for bit"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_weight_selects_mean_flowtime() {
+        let objective = Objective::mean_flowtime();
+        assert_eq!(objective.blend(123.0, 800.0, 4), 200.0);
+        let pair = Objectives {
+            makespan: 100.0,
+            flowtime: 800.0,
+        };
+        assert_eq!(objective.fitness(FitnessWeights::default(), pair, 4), 200.0);
+    }
+
+    #[test]
+    fn blend_interpolates_between_the_extremes() {
+        let pair = Objectives {
+            makespan: 100.0,
+            flowtime: 800.0,
+        };
+        let weights = FitnessWeights::makespan_only();
+        // (1 − λ)·makespan + λ·mean_flowtime, the issue's formula for
+        // makespan-only engines.
+        let f = Objective::weighted(0.25).fitness(weights, pair, 4);
+        assert!((f - (0.75 * 100.0 + 0.25 * 200.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parses_and_displays_round_trip() {
+        let objective: Objective = "0.25".parse().unwrap();
+        assert_eq!(objective, Objective::weighted(0.25));
+        assert_eq!(objective.to_string(), "0.25");
+        assert!("1.5".parse::<Objective>().is_err());
+        assert!("nan".parse::<Objective>().is_err());
+        assert!("x".parse::<Objective>().is_err());
+    }
+
+    #[test]
+    fn display_stays_readable_for_non_dyadic_weights() {
+        // 0.3 is not Q32-representable; the display must not leak the
+        // quantisation noise.
+        let objective: Objective = "0.3".parse().unwrap();
+        assert_eq!(objective.to_string(), "0.3");
+        assert_ne!(
+            objective.lambda(),
+            0.3,
+            "the exact λ is the quantised value"
+        );
+        assert_eq!(Objective::classic().to_string(), "0");
+        assert_eq!(Objective::mean_flowtime().to_string(), "1");
+    }
+
+    #[test]
+    fn bits_round_trip_losslessly() {
+        let objective = Objective::weighted(0.3);
+        let rebuilt = Objective {
+            bits: objective.lambda_bits(),
+        };
+        assert_eq!(objective, rebuilt);
+        assert_eq!(objective.lambda().to_bits(), rebuilt.lambda().to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be in [0, 1]")]
+    fn rejects_out_of_range() {
+        let _ = Objective::weighted(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be in [0, 1]")]
+    fn rejects_non_finite() {
+        let _ = Objective::weighted(f64::INFINITY);
+    }
+}

@@ -2,7 +2,7 @@
 
 use cmags_etc::GridInstance;
 
-use crate::{ticks, FitnessWeights, JobId, MachineId, Objectives};
+use crate::{ticks, FitnessWeights, JobId, MachineId, Objective, Objectives};
 
 /// An immutable, evaluation-optimised view of a scheduling instance.
 ///
@@ -25,6 +25,9 @@ pub struct Problem {
     etc_ticks: Box<[i64]>,
     ready_ticks: Box<[i64]>,
     weights: FitnessWeights,
+    /// Response-blend objective layered over `weights`
+    /// ([`Objective::classic`] = the historical behaviour, bit for bit).
+    objective: Objective,
 }
 
 impl Problem {
@@ -50,6 +53,7 @@ impl Problem {
             etc_ticks,
             ready_ticks,
             weights,
+            objective: Objective::classic(),
         }
     }
 
@@ -129,6 +133,33 @@ impl Problem {
         self.weights
     }
 
+    /// The response-blend objective in effect
+    /// ([`Objective::classic`] unless retargeted).
+    #[must_use]
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// A copy of this problem targeting a different response-blend
+    /// objective (λ).
+    ///
+    /// Like [`Problem::reweighted`], only the scalarisation changes: the
+    /// raw objectives, schedules and every [`crate::EvalState`] cache
+    /// computed against `self` stay valid. `Objective::classic()`
+    /// reproduces the historical fitness bit for bit.
+    #[must_use]
+    pub fn retargeted(&self, objective: Objective) -> Self {
+        self.clone().targeting(objective)
+    }
+
+    /// The consuming variant of [`Problem::retargeted`] — no copy of the
+    /// ETC/tick data, for freshly built per-activation problems.
+    #[must_use]
+    pub fn targeting(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
     /// A copy of this problem with different fitness weights.
     ///
     /// Objectives are weight-independent, so any algorithm state computed
@@ -144,11 +175,15 @@ impl Problem {
         }
     }
 
-    /// Scalarised fitness of a pair of objective values (Eq. 3).
+    /// Scalarised fitness of a pair of objective values: the classic
+    /// Eq.-3 weighting blended by the active response objective λ
+    /// (identical to the pure Eq.-3 value when the objective is
+    /// classic).
     #[inline]
     #[must_use]
     pub fn fitness(&self, objectives: Objectives) -> f64 {
-        self.weights.fitness(objectives, self.nb_machines)
+        self.objective
+            .fitness(self.weights, objectives, self.nb_machines)
     }
 
     /// Mean ETC of a job across machines (workload proxy).
@@ -252,6 +287,30 @@ mod tests {
         // lambda 0.25: 0.25*10 + 0.75*(40/2) = 2.5 + 15 = 17.5
         assert!((q.fitness(obj) - 17.5).abs() < 1e-12);
         assert!((p.fitness(obj) - 12.5).abs() < 1e-12, "original untouched");
+    }
+
+    #[test]
+    fn retargeted_blends_toward_mean_flowtime() {
+        let p = problem();
+        let obj = Objectives {
+            makespan: 10.0,
+            flowtime: 40.0,
+        };
+        // Classic default: bitwise the pure Eq.-3 value.
+        assert_eq!(p.objective(), Objective::classic());
+        assert_eq!(
+            p.fitness(obj).to_bits(),
+            p.weights().fitness(obj, p.nb_machines()).to_bits()
+        );
+        // λ = 1: pure mean flowtime (40 / 2 machines).
+        let response = p.retargeted(Objective::mean_flowtime());
+        assert_eq!(response.fitness(obj), 20.0);
+        // λ = 0.5: halfway between Eq. 3 (12.5) and mean flowtime (20).
+        let half = p.retargeted(Objective::weighted(0.5));
+        assert!((half.fitness(obj) - 16.25).abs() < 1e-12);
+        // Instance data untouched.
+        assert_eq!(p.etc_row(1), response.etc_row(1));
+        assert_eq!(p.fitness(obj), 12.5, "original untouched");
     }
 
     #[test]

@@ -4,10 +4,22 @@
 //! peeks) on arbitrary problems and operation sequences, including CVB
 //! consistency classes, machines with ready times and heavy ETC ties.
 
-use cmags_core::{evaluate, EvalState, Problem, Schedule, ScoreBuf};
+use cmags_core::{evaluate, EvalState, Objective, Problem, Schedule, ScoreBuf};
 use cmags_etc::cvb::{self, CvbParams};
 use cmags_etc::{EtcMatrix, GridInstance, InstanceClass};
 use proptest::prelude::*;
+
+/// Strategy producing a random response objective: the exact λ ∈ {0, 1}
+/// boundaries plus arbitrary Q32 fixed-point weights.
+fn arb_objective() -> impl Strategy<Value = Objective> {
+    prop_oneof![
+        Just(Objective::classic()),
+        Just(Objective::mean_flowtime()),
+        any::<u32>()
+            .prop_map(|k| Objective::weighted(f64::from(k) / f64::from(u32::MAX)))
+            .boxed(),
+    ]
+}
 
 /// Strategy producing a random problem (2–24 jobs, 2–6 machines, ETC in
 /// (0, 1000], ready times in [0, 50]) together with a feasible schedule.
@@ -281,6 +293,86 @@ proptest! {
             prop_assert_eq!(eval.objectives(), evaluate(&problem, &schedule));
         }
         eval.debug_validate(&problem, &schedule);
+    }
+
+    /// Weighted-objective consistency: for random problems and random λ,
+    /// the scalarised fitness of a candidate is **bit-for-bit** the same
+    /// whether its objectives come from the batched `score_moves` /
+    /// `score_swaps` buffers, a single `peek_*`, or a from-scratch
+    /// `evaluate` of the applied schedule — and the chunked `ScoreBuf`
+    /// reduction agrees with the scalar scan.
+    #[test]
+    fn weighted_fitness_is_path_independent(
+        (problem, mut schedule) in problem_and_schedule(),
+        objective in arb_objective(),
+        raw in proptest::collection::vec((any::<bool>(), 0u32..1024, 0u32..1024), 1..24),
+    ) {
+        let problem = problem.retargeted(objective);
+        let mut eval = EvalState::new(&problem, &schedule);
+        let mut scores = ScoreBuf::new();
+        for (is_swap, a, b) in raw {
+            let ja = a % problem.nb_jobs() as u32;
+            let jb = b % problem.nb_jobs() as u32;
+            let to = b % problem.nb_machines() as u32;
+            let (batched, peeked) = if is_swap {
+                eval.score_swaps(&problem, &schedule, ja, &[jb], &mut scores);
+                (scores.objectives(0), eval.peek_swap(&problem, &schedule, ja, jb))
+            } else {
+                eval.score_moves(&problem, &schedule, &[(ja, to)], &mut scores);
+                (scores.objectives(0), eval.peek_move(&problem, &schedule, ja, to))
+            };
+            // Chunked reduction == scalar scan, bits included.
+            let chunked = scores.best_for(&problem).expect("one candidate");
+            let scanned = scores.best_by(|o| problem.fitness(o)).expect("one candidate");
+            prop_assert_eq!(chunked.0, scanned.0);
+            prop_assert_eq!(chunked.1.to_bits(), scanned.1.to_bits());
+            // Batched == single peek == from-scratch, through the blend.
+            prop_assert_eq!(
+                problem.fitness(batched).to_bits(),
+                problem.fitness(peeked).to_bits()
+            );
+            if is_swap {
+                eval.apply_swap(&problem, &mut schedule, ja, jb);
+            } else {
+                eval.apply_move(&problem, &mut schedule, ja, to);
+            }
+            let fresh = evaluate(&problem, &schedule);
+            prop_assert_eq!(
+                problem.fitness(peeked).to_bits(),
+                problem.fitness(fresh).to_bits(),
+                "λ={}: peek fitness must predict the applied schedule's",
+                objective.lambda()
+            );
+            prop_assert_eq!(eval.fitness(&problem).to_bits(), problem.fitness(fresh).to_bits());
+        }
+    }
+
+    /// λ = 0 reproduces the classic weighted fitness bit-for-bit on every
+    /// CVB consistency class (consistent, semi-consistent, inconsistent —
+    /// the strategy spans all three), and the blend is exact at both
+    /// extremes: λ = 1 is exactly the mean flowtime.
+    #[test]
+    fn lambda_extremes_are_exact_on_every_consistency_class(
+        (problem, schedule) in cvb_problem_and_schedule(),
+    ) {
+        let objectives = evaluate(&problem, &schedule);
+        let classic = problem.weights().fitness(objectives, problem.nb_machines());
+        prop_assert_eq!(
+            problem.fitness(objectives).to_bits(),
+            classic.to_bits(),
+            "a default problem must scalarise classically"
+        );
+        prop_assert_eq!(
+            problem.retargeted(Objective::weighted(0.0)).fitness(objectives).to_bits(),
+            classic.to_bits(),
+            "explicit λ=0 must be the bitwise identity"
+        );
+        let response = problem.retargeted(Objective::mean_flowtime()).fitness(objectives);
+        prop_assert_eq!(
+            response.to_bits(),
+            (objectives.flowtime / problem.nb_machines() as f64).to_bits(),
+            "λ=1 must be exactly the mean flowtime"
+        );
     }
 
     /// SPT order is flowtime-optimal for a fixed assignment: the evaluator

@@ -71,14 +71,20 @@ pub(crate) fn run_to_outcome<E: BaselineEngine>(
 
 /// An `Individual` evaluated under engine-specific weights (the engines
 /// may optimise different scalarisations than the problem's λ, e.g.
-/// Braun's GA optimises makespan only).
+/// Braun's GA optimises makespan only), blended by the problem's active
+/// response objective. For makespan-only engines the blend is literally
+/// `(1-λ)·makespan + λ·mean_flowtime`; a classic objective (λ = 0)
+/// reproduces the engine's historical fitness bit for bit.
 pub(crate) fn individual_with_weights(
     problem: &Problem,
     schedule: Schedule,
     weights: FitnessWeights,
 ) -> Individual {
     let mut individual = Individual::new(problem, schedule);
-    individual.fitness = weights.fitness(individual.objectives(), problem.nb_machines());
+    individual.fitness =
+        problem
+            .objective()
+            .fitness(weights, individual.objectives(), problem.nb_machines());
     individual
 }
 

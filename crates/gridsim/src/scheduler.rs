@@ -8,12 +8,25 @@
 //! arriving to the system since the last activation".
 
 use cmags_cma::{CmaConfig, CmaEngine, StopCondition};
-use cmags_core::{Problem, Schedule};
+use cmags_core::{Objective, Problem, Schedule};
 use cmags_etc::GridInstance;
 use cmags_heuristics::constructive::ConstructiveKind;
+use cmags_mo::{MoCellConfig, MoCellEngine, Nsga2Config, Nsga2Engine};
 use cmags_portfolio::{entry_seed, race, Contender, PortfolioConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// Display name of an objective-aware scheduler: the base name, tagged
+/// with the response weight when it deviates from the classic λ = 0
+/// (via `Objective`'s readable display rounding, so a `--lambda 0.3`
+/// scheduler is named `cMA[λ=0.3]`, not the raw Q32 quantisation).
+fn objective_name(base: &str, objective: Objective) -> String {
+    if objective.is_classic() {
+        base.to_owned()
+    } else {
+        format!("{base}[λ={objective}]")
+    }
+}
 
 /// A scheduler invoked in batch mode by the simulator.
 pub trait BatchScheduler {
@@ -59,6 +72,7 @@ impl BatchScheduler for HeuristicScheduler {
 #[derive(Debug, Clone)]
 pub struct CmaScheduler {
     config: CmaConfig,
+    objective: Objective,
 }
 
 impl CmaScheduler {
@@ -68,13 +82,26 @@ impl CmaScheduler {
     pub fn new(budget: StopCondition) -> Self {
         Self {
             config: CmaConfig::paper().with_stop(budget),
+            objective: Objective::classic(),
         }
     }
 
     /// cMA scheduler with a custom configuration.
     #[must_use]
     pub fn with_config(config: CmaConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            objective: Objective::classic(),
+        }
+    }
+
+    /// Retargets every activation's batch problem at the given response
+    /// objective (λ). The simulation's event RNG is untouched — only the
+    /// scalarisation the engine optimises changes.
+    #[must_use]
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
     }
 }
 
@@ -86,11 +113,11 @@ impl Default for CmaScheduler {
 
 impl BatchScheduler for CmaScheduler {
     fn name(&self) -> String {
-        "cMA".to_owned()
+        objective_name("cMA", self.objective)
     }
 
     fn schedule(&mut self, instance: &GridInstance, seed: u64) -> Schedule {
-        let problem = Problem::from_instance(instance);
+        let problem = Problem::from_instance(instance).targeting(self.objective);
         // Tiny batches: the grid population would dwarf the problem; fall
         // back to the seeding heuristic directly.
         if instance.nb_jobs() < 2 || instance.nb_machines() < 2 {
@@ -106,6 +133,7 @@ impl BatchScheduler for CmaScheduler {
 #[derive(Debug, Clone)]
 pub struct SaScheduler {
     config: cmags_ga::SimulatedAnnealing,
+    objective: Objective,
 }
 
 impl SaScheduler {
@@ -115,7 +143,15 @@ impl SaScheduler {
     pub fn new(budget: StopCondition) -> Self {
         Self {
             config: cmags_ga::SimulatedAnnealing::default().with_stop(budget),
+            objective: Objective::classic(),
         }
+    }
+
+    /// Retargets every activation at the given response objective (λ).
+    #[must_use]
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
     }
 }
 
@@ -127,11 +163,11 @@ impl Default for SaScheduler {
 
 impl BatchScheduler for SaScheduler {
     fn name(&self) -> String {
-        "SA".to_owned()
+        objective_name("SA", self.objective)
     }
 
     fn schedule(&mut self, instance: &GridInstance, seed: u64) -> Schedule {
-        let problem = Problem::from_instance(instance);
+        let problem = Problem::from_instance(instance).targeting(self.objective);
         self.config.run(&problem, seed).schedule
     }
 }
@@ -140,6 +176,7 @@ impl BatchScheduler for SaScheduler {
 #[derive(Debug, Clone)]
 pub struct TabuScheduler {
     config: cmags_ga::TabuSearch,
+    objective: Objective,
 }
 
 impl TabuScheduler {
@@ -149,7 +186,15 @@ impl TabuScheduler {
     pub fn new(budget: StopCondition) -> Self {
         Self {
             config: cmags_ga::TabuSearch::default().with_stop(budget),
+            objective: Objective::classic(),
         }
+    }
+
+    /// Retargets every activation at the given response objective (λ).
+    #[must_use]
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
     }
 }
 
@@ -161,23 +206,25 @@ impl Default for TabuScheduler {
 
 impl BatchScheduler for TabuScheduler {
     fn name(&self) -> String {
-        "Tabu".to_owned()
+        objective_name("Tabu", self.objective)
     }
 
     fn schedule(&mut self, instance: &GridInstance, seed: u64) -> Schedule {
-        let problem = Problem::from_instance(instance);
+        let problem = Problem::from_instance(instance).targeting(self.objective);
         self.config.run(&problem, seed).schedule
     }
 }
 
 /// A racing portfolio as a batch scheduler: every activation races a
-/// cMA, SA, Tabu and steady-state GA engine over the snapshot under one
-/// shared children budget, with successive-halving elimination and
-/// broadcast elite sharing ([`cmags_portfolio`]). The paper's cMA wins
-/// on some ETC consistency regimes and loses on others; a dynamic grid
-/// drifts through regimes as machines come and go, so racing per batch
-/// picks the right engine for the snapshot at hand instead of betting
-/// the whole trace on one.
+/// cMA, SA, Tabu and steady-state GA engine — plus the dominance-based
+/// MoCell and NSGA-II, whose archive-aware warm-start hooks let them
+/// exchange elites with the scalarised engines — over the snapshot
+/// under one shared children budget, with successive-halving
+/// elimination and broadcast elite sharing ([`cmags_portfolio`]). The
+/// paper's cMA wins on some ETC consistency regimes and loses on
+/// others; a dynamic grid drifts through regimes as machines come and
+/// go, so racing per batch picks the right engine for the snapshot at
+/// hand instead of betting the whole trace on one.
 #[derive(Debug, Clone)]
 pub struct PortfolioScheduler {
     /// Per-activation budget: `max_children` is the total children
@@ -187,6 +234,9 @@ pub struct PortfolioScheduler {
     budget: StopCondition,
     /// Per-activation cMA configuration.
     cma: CmaConfig,
+    /// Response objective every contender optimises (and the race ranks
+    /// on).
+    objective: Objective,
 }
 
 impl PortfolioScheduler {
@@ -204,7 +254,16 @@ impl PortfolioScheduler {
         Self {
             budget,
             cma: CmaConfig::paper(),
+            objective: Objective::classic(),
         }
+    }
+
+    /// Retargets every activation's race (engine scalarisations and the
+    /// race ranking alike) at the given response objective (λ).
+    #[must_use]
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
     }
 }
 
@@ -218,11 +277,11 @@ impl Default for PortfolioScheduler {
 
 impl BatchScheduler for PortfolioScheduler {
     fn name(&self) -> String {
-        "Portfolio".to_owned()
+        objective_name("Portfolio", self.objective)
     }
 
     fn schedule(&mut self, instance: &GridInstance, seed: u64) -> Schedule {
-        let problem = Problem::from_instance(instance);
+        let problem = Problem::from_instance(instance).targeting(self.objective);
         // Tiny batches: racing (or even evolving) is pointless; fall
         // back to the cMA scheduler's seeding heuristic directly.
         if instance.nb_jobs() < 2 || instance.nb_machines() < 2 {
@@ -232,6 +291,11 @@ impl BatchScheduler for PortfolioScheduler {
         let sa = cmags_ga::SimulatedAnnealing::default();
         let tabu = cmags_ga::TabuSearch::default();
         let ssga = cmags_ga::SteadyStateGa::default();
+        // The dominance engines hold whole fronts; their archive-aware
+        // hooks surrender (and absorb) the member optimal under the
+        // active λ, so they race the scalarised field on equal terms.
+        let mocell = MoCellConfig::suggested();
+        let nsga2 = Nsga2Config::suggested().with_population(30);
         let contenders: Vec<Contender<'_>> = vec![
             Contender::new(
                 "cMA",
@@ -242,6 +306,14 @@ impl BatchScheduler for PortfolioScheduler {
             Contender::new(
                 "SS-GA",
                 Box::new(ssga.engine(&problem, entry_seed(seed, 3))),
+            ),
+            Contender::new(
+                "MoCell",
+                Box::new(MoCellEngine::new(&mocell, &problem, entry_seed(seed, 4))),
+            ),
+            Contender::new(
+                "NSGA-II",
+                Box::new(Nsga2Engine::new(&nsga2, &problem, entry_seed(seed, 5))),
             ),
         ];
         let total_children = self.budget.max_children.unwrap_or(2000);
@@ -376,6 +448,68 @@ mod tests {
             |schedule: &Schedule| problem.fitness(cmags_core::evaluate(&problem, schedule));
         let rnd = fitness_of(&RandomScheduler.schedule(&inst, 7));
         assert!(fitness_of(&plan) < rnd, "portfolio must beat random");
+    }
+
+    #[test]
+    fn objective_retargeted_schedulers_are_named_and_feasible() {
+        use cmags_core::Objective;
+        let inst = instance();
+        let response = Objective::mean_flowtime();
+        let mut cma = CmaScheduler::new(StopCondition::children(150)).with_objective(response);
+        assert_eq!(cma.name(), "cMA[λ=1]");
+        assert_eq!(
+            CmaScheduler::new(StopCondition::children(1))
+                .with_objective(Objective::weighted(0.3))
+                .name(),
+            "cMA[λ=0.3]",
+            "non-dyadic weights must display readably"
+        );
+        assert_eq!(
+            CmaScheduler::new(StopCondition::children(1)).name(),
+            "cMA",
+            "classic objective keeps the bare name"
+        );
+        let plan = cma.schedule(&inst, 3);
+        assert!(Schedule::try_new(plan.assignment().to_vec(), 24, 4).is_ok());
+        let mut portfolio =
+            PortfolioScheduler::new(StopCondition::children(300)).with_objective(response);
+        assert_eq!(portfolio.name(), "Portfolio[λ=1]");
+        let plan = portfolio.schedule(&inst, 3);
+        assert!(Schedule::try_new(plan.assignment().to_vec(), 24, 4).is_ok());
+        assert_eq!(
+            SaScheduler::new(StopCondition::children(1))
+                .with_objective(Objective::weighted(0.5))
+                .name(),
+            "SA[λ=0.5]"
+        );
+        assert_eq!(
+            TabuScheduler::new(StopCondition::children(1))
+                .with_objective(Objective::weighted(0.5))
+                .name(),
+            "Tabu[λ=0.5]"
+        );
+    }
+
+    #[test]
+    fn lambda_one_cma_prefers_flowtime_on_the_snapshot() {
+        // On the same snapshot and seed, the λ=1 scheduler's plan must
+        // score at least as well on mean flowtime as the classic plan
+        // scores (they optimise different scalarisations).
+        use cmags_core::Objective;
+        let inst = instance();
+        let problem = Problem::from_instance(&inst);
+        let budget = StopCondition::children(400);
+        let classic = CmaScheduler::new(budget).schedule(&inst, 9);
+        let response = CmaScheduler::new(budget)
+            .with_objective(Objective::mean_flowtime())
+            .schedule(&inst, 9);
+        let flowtime = |s: &Schedule| cmags_core::evaluate(&problem, s).flowtime;
+        assert!(
+            flowtime(&response) <= flowtime(&classic),
+            "λ=1 plan ({}) must not lose to classic ({}) on flowtime",
+            flowtime(&response),
+            flowtime(&classic)
+        );
     }
 
     #[test]

@@ -219,6 +219,8 @@ impl Simulation {
             arrival: self.now,
             baseline: self.config.world.draw_baseline(&mut self.rng),
         };
+        self.report
+            .fold_event(&[1, job, self.now.to_bits(), spec.baseline.to_bits()]);
         self.jobs.insert(
             job,
             JobState {
@@ -403,6 +405,8 @@ impl Simulation {
 
     fn on_join(&mut self) {
         let slowness = self.config.world.draw_slowness(&mut self.rng);
+        self.report
+            .fold_event(&[2, self.now.to_bits(), slowness.to_bits()]);
         self.pool.join(slowness, self.now);
         // Next join.
         let gap = exp_gap(&mut self.rng, self.config.churn.join_rate());
@@ -422,6 +426,7 @@ impl Simulation {
         // Deterministic victim: uniform index over alive ids.
         let ids = self.pool.ids();
         let victim = ids[self.rng.gen_range(0..ids.len())];
+        self.report.fold_event(&[3, self.now.to_bits(), victim]);
         if let Some(dead) = self.pool.leave(victim) {
             // Kill the running job (non-preemptive loss) and resubmit
             // it and the queue.
@@ -459,6 +464,8 @@ impl Simulation {
         // Remove ⌈fraction · alive⌉ machines at this instant; the
         // two-machine floor still applies per victim.
         let victims = ((self.pool.len() as f64 * fraction).ceil() as usize).max(1);
+        self.report
+            .fold_event(&[4, self.now.to_bits(), victims as u64]);
         for _ in 0..victims {
             self.kill_random_machine();
         }
@@ -623,6 +630,51 @@ mod tests {
 
     // Noisy replay across every family lives in tests/dynamic_grid.rs
     // (`noisy_runs_replay_bit_for_bit_across_scenario_variants`).
+
+    #[test]
+    fn event_digest_is_scheduler_invariant_without_noise() {
+        // The exogenous event stream (arrivals + churn) must not depend
+        // on which scheduler — or which objective λ — plans the batches,
+        // as long as execution noise is off.
+        use cmags_core::Objective;
+        let config = SimConfig::churny();
+        let digest_of = |scheduler: &mut dyn crate::scheduler::BatchScheduler| {
+            Simulation::new(config.clone(), 5)
+                .run(scheduler)
+                .event_digest
+        };
+        let reference = digest_of(&mut HeuristicScheduler::new(ConstructiveKind::MinMin));
+        assert_ne!(reference, 0, "a non-trivial run must fold events");
+        assert_eq!(
+            digest_of(&mut HeuristicScheduler::new(ConstructiveKind::Mct)),
+            reference
+        );
+        assert_eq!(digest_of(&mut RandomScheduler), reference);
+        assert_eq!(
+            digest_of(&mut CmaScheduler::new(StopCondition::children(60))),
+            reference
+        );
+        assert_eq!(
+            digest_of(
+                &mut CmaScheduler::new(StopCondition::children(60))
+                    .with_objective(Objective::mean_flowtime())
+            ),
+            reference,
+            "the objective λ must not perturb the simulation RNG"
+        );
+    }
+
+    #[test]
+    fn event_digest_depends_on_the_seed() {
+        let run = |seed| {
+            let mut s = HeuristicScheduler::new(ConstructiveKind::Mct);
+            Simulation::new(SimConfig::churny(), seed)
+                .run(&mut s)
+                .event_digest
+        };
+        assert_eq!(run(3), run(3), "same seed, same stream");
+        assert_ne!(run(3), run(4), "different seed, different stream");
+    }
 
     #[test]
     fn degrading_family_shrinks_the_pool_and_resubmits() {

@@ -56,7 +56,7 @@ impl LocalSearch for LocalMctSwap {
             );
             let (best, fitness) = scratch
                 .scores
-                .best_fitness(problem.weights(), problem.nb_machines())
+                .best_for(problem)
                 .expect("partners is non-empty");
             if fitness < eval.fitness(problem) {
                 let partner = scratch.partners[best];

@@ -44,7 +44,7 @@ impl LocalSearch for SteepestLocalMove {
             eval.score_moves(problem, schedule, &scratch.moves, &mut scratch.scores);
             let (best, fitness) = scratch
                 .scores
-                .best_fitness(problem.weights(), problem.nb_machines())
+                .best_for(problem)
                 .expect("at least one candidate machine");
             if fitness < eval.fitness(problem) {
                 let (job, target) = scratch.moves[best];

@@ -29,7 +29,7 @@ use std::time::{Duration, Instant};
 
 use cmags_cma::{Neighborhood, StopCondition, SweepOrder, SweepState, Torus};
 use cmags_core::engine::{Metaheuristic, RunStats, Runner};
-use cmags_core::{EvalState, FitnessWeights, Objectives, Problem, Schedule};
+use cmags_core::{evaluate, EvalState, FitnessWeights, Objectives, Problem, Schedule};
 use cmags_heuristics::constructive::ConstructiveKind;
 use cmags_heuristics::local_search::LocalSearchKind;
 use cmags_heuristics::ops::{Crossover, Mutation};
@@ -480,9 +480,59 @@ impl Metaheuristic for MoCellEngine<'_> {
         -self.front_hv
     }
 
+    /// Objectives of the archive member optimal under the problem's
+    /// **active objective** (λ-blended fitness) — a realizable point, so
+    /// racing harnesses rank the engine by a schedule it can actually
+    /// surrender, not by the unattainable ideal point.
     fn best_objectives(&self) -> Objectives {
-        ideal_point(&self.archive.objectives())
+        match archive_best(self.problem, &self.archive) {
+            Some(best) => best.objectives,
+            None => ideal_point(&self.archive.objectives()),
+        }
     }
+
+    /// The archive member optimal under the active λ (see
+    /// [`archive_best`]) — the warm-start extraction that lets this
+    /// dominance engine join the racing portfolio roster.
+    fn best_schedule(&self) -> Option<&Schedule> {
+        archive_best(self.problem, &self.archive).map(|best| &best.schedule)
+    }
+
+    /// Archive-aware warm start: the offer is evaluated and submitted to
+    /// the external archive under its usual dominance rules — rejected
+    /// when dominated by (or duplicating) a member, evicting members it
+    /// dominates, and displacing the worst-crowding entry at capacity.
+    /// Archive feedback then channels accepted elites into breeding
+    /// without touching the RNG stream or the grid population, so
+    /// injection never perturbs determinism. `inject(best_schedule())`
+    /// is a no-op: the member's objectives are already archived, so the
+    /// duplicate is rejected.
+    fn inject(&mut self, schedule: &Schedule) -> bool {
+        self.archive.offer(MoSolution {
+            schedule: schedule.clone(),
+            objectives: evaluate(self.problem, schedule),
+        })
+    }
+}
+
+/// The archived solution minimising the problem's active scalarised
+/// fitness (λ-blended; ties keep the earliest entry, i.e. the lowest
+/// makespan since archives sort by makespan).
+pub(crate) fn archive_best<'a>(
+    problem: &Problem,
+    archive: &'a CrowdingArchive,
+) -> Option<&'a MoSolution> {
+    archive
+        .solutions()
+        .iter()
+        .enumerate()
+        .min_by(|a, b| {
+            problem
+                .fitness(a.1.objectives)
+                .total_cmp(&problem.fitness(b.1.objectives))
+                .then(a.0.cmp(&b.0))
+        })
+        .map(|(_, solution)| solution)
 }
 
 /// Componentwise minimum of a front — the ideal point.
@@ -635,6 +685,76 @@ mod tests {
             .run(&problem(), 17);
         assert_eq!(outcome.children, 300);
         assert!(outcome.archive.is_consistent());
+    }
+
+    #[test]
+    fn best_schedule_is_the_lambda_optimal_archive_member() {
+        use cmags_core::engine::Runner;
+        use cmags_core::Objective;
+        let p = problem();
+        for objective in [
+            Objective::classic(),
+            Objective::weighted(0.5),
+            Objective::mean_flowtime(),
+        ] {
+            let retargeted = p.retargeted(objective);
+            let config = quick();
+            let mut engine = MoCellEngine::new(&config, &retargeted, 7);
+            let _ = Runner::new(StopCondition::children(150)).run_traced(&mut engine);
+            let best = engine.best_schedule().expect("archive is never empty");
+            let best_fitness = retargeted.fitness(cmags_core::evaluate(&retargeted, best));
+            let archive_min = engine
+                .archive
+                .solutions()
+                .iter()
+                .map(|s| retargeted.fitness(s.objectives))
+                .fold(f64::INFINITY, f64::min);
+            assert_eq!(
+                best_fitness.to_bits(),
+                archive_min.to_bits(),
+                "λ={}: extraction must minimise the active fitness",
+                objective.lambda()
+            );
+            assert_eq!(
+                engine.best_objectives(),
+                cmags_core::evaluate(&retargeted, best),
+                "best_objectives must describe the extractable schedule"
+            );
+        }
+    }
+
+    #[test]
+    fn inject_of_own_best_is_a_noop_on_the_archive() {
+        use cmags_core::engine::Runner;
+        let p = problem();
+        let config = quick();
+        let mut engine = MoCellEngine::new(&config, &p, 3);
+        let _ = Runner::new(StopCondition::children(120)).run_traced(&mut engine);
+        let before = engine.archive.objectives();
+        let elite = engine.best_schedule().expect("archive non-empty").clone();
+        assert!(
+            !engine.inject(&elite),
+            "re-offering an archived member must be rejected"
+        );
+        assert_eq!(engine.archive.objectives(), before, "archive unchanged");
+    }
+
+    #[test]
+    fn inject_accepts_a_non_dominated_elite() {
+        // A fresh engine's archive holds only the initial population; a
+        // schedule refined by a dedicated scalarised search is not
+        // dominated by it and must enter under the dominance rules.
+        let p = problem();
+        let config = quick();
+        let mut engine = MoCellEngine::new(&config, &p, 5);
+        let refined = cmags_cma::CmaConfig::paper()
+            .with_stop(StopCondition::children(600))
+            .run(&p, 11)
+            .schedule;
+        let before = engine.archive.objectives();
+        assert!(engine.inject(&refined), "elite must enter the archive");
+        assert_ne!(engine.archive.objectives(), before);
+        assert!(engine.archive.is_consistent());
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 
 use cmags_cma::StopCondition;
 use cmags_core::engine::{Metaheuristic, RunStats, Runner};
-use cmags_core::{FitnessWeights, Objectives, Problem};
+use cmags_core::{evaluate, FitnessWeights, Objectives, Problem, Schedule};
 use cmags_heuristics::constructive::ConstructiveKind;
 use cmags_heuristics::local_search::LocalSearchKind;
 use cmags_heuristics::ops::{Crossover, Mutation};
@@ -331,15 +331,79 @@ impl Metaheuristic for Nsga2Engine<'_> {
         -self.front_hv
     }
 
+    /// Objectives of the first-front member optimal under the problem's
+    /// active objective (λ-blended fitness) — a realizable point
+    /// matching [`Metaheuristic::best_schedule`], so racing harnesses
+    /// rank the engine by a schedule it can actually surrender.
     fn best_objectives(&self) -> Objectives {
-        let front: Vec<Objectives> = self
+        match self.front_best() {
+            Some(best) => self.population[best].objectives(),
+            None => crate::mocell::ideal_point(&[]),
+        }
+    }
+
+    /// The first-front member optimal under the active λ — NSGA-II's
+    /// elitist population *is* its archive, so extraction mirrors
+    /// MoCell's archive-member rule.
+    fn best_schedule(&self) -> Option<&Schedule> {
+        self.front_best()
+            .map(|best| &self.population[best].schedule)
+    }
+
+    /// Archive-aware warm start over the elitist population: the offer
+    /// is rejected when any member dominates (or duplicates) it;
+    /// otherwise it displaces the worst member under the crowded
+    /// comparison — highest front rank, smallest crowding distance
+    /// within that rank, ties keeping the earliest index — and the
+    /// selection metadata is rebuilt. No RNG is touched, so injection
+    /// never perturbs determinism; `inject(best_schedule())` is a no-op
+    /// because the member duplicates itself.
+    fn inject(&mut self, schedule: &Schedule) -> bool {
+        let objectives = evaluate(self.problem, schedule);
+        let rejected = self.population.iter().any(|member| {
+            matches!(
+                crate::dominance::compare(member.objectives(), objectives),
+                crate::dominance::ParetoOrdering::Dominates
+                    | crate::dominance::ParetoOrdering::Equal
+            )
+        });
+        if rejected {
+            return false;
+        }
+        let victim = (0..self.population.len())
+            .max_by(|&a, &b| {
+                self.rank[a]
+                    .cmp(&self.rank[b])
+                    .then(self.crowding[b].total_cmp(&self.crowding[a]))
+                    .then(b.cmp(&a))
+            })
+            .expect("population is never empty");
+        self.population[victim] = MoIndividual::new(self.problem, schedule.clone());
+        let all: Vec<Objectives> = self
             .population
             .iter()
-            .zip(&self.rank)
-            .filter(|(_, &r)| r == 0)
-            .map(|(i, _)| i.objectives())
+            .map(MoIndividual::objectives)
             .collect();
-        crate::mocell::ideal_point(&front)
+        let (rank, crowding) = rank_and_crowding(&all);
+        self.front_hv = first_front_hypervolume(&all, &rank, self.reference);
+        self.rank = rank;
+        self.crowding = crowding;
+        true
+    }
+}
+
+impl Nsga2Engine<'_> {
+    /// Index of the rank-0 population member minimising the problem's
+    /// active scalarised fitness (ties keep the earliest index).
+    fn front_best(&self) -> Option<usize> {
+        (0..self.population.len())
+            .filter(|&i| self.rank[i] == 0)
+            .min_by(|&a, &b| {
+                self.problem
+                    .fitness(self.population[a].objectives())
+                    .total_cmp(&self.problem.fitness(self.population[b].objectives()))
+                    .then(a.cmp(&b))
+            })
     }
 }
 
@@ -524,5 +588,72 @@ mod tests {
     #[should_panic(expected = "at least two individuals")]
     fn tiny_population_rejected() {
         let _ = Nsga2Config::suggested().with_population(1);
+    }
+
+    #[test]
+    fn best_schedule_minimises_the_active_fitness_over_the_front() {
+        use cmags_core::engine::Runner;
+        use cmags_core::Objective;
+        let p = problem().retargeted(Objective::mean_flowtime());
+        let config = quick();
+        let mut engine = Nsga2Engine::new(&config, &p, 2);
+        let _ = Runner::new(StopCondition::children(100)).run_traced(&mut engine);
+        let best = engine.best_schedule().expect("front is never empty");
+        let best_fitness = p.fitness(cmags_core::evaluate(&p, best));
+        let front_min = engine
+            .population
+            .iter()
+            .zip(&engine.rank)
+            .filter(|(_, &r)| r == 0)
+            .map(|(i, _)| p.fitness(i.objectives()))
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(best_fitness.to_bits(), front_min.to_bits());
+        assert_eq!(engine.best_objectives(), cmags_core::evaluate(&p, best));
+    }
+
+    #[test]
+    fn inject_of_own_best_is_a_noop() {
+        use cmags_core::engine::Runner;
+        let p = problem();
+        let config = quick();
+        let mut engine = Nsga2Engine::new(&config, &p, 4);
+        let _ = Runner::new(StopCondition::children(60)).run_traced(&mut engine);
+        let before: Vec<Objectives> = engine
+            .population
+            .iter()
+            .map(MoIndividual::objectives)
+            .collect();
+        let elite = engine.best_schedule().expect("front non-empty").clone();
+        assert!(!engine.inject(&elite), "duplicate offer must be rejected");
+        let after: Vec<Objectives> = engine
+            .population
+            .iter()
+            .map(MoIndividual::objectives)
+            .collect();
+        assert_eq!(before, after, "population unchanged");
+    }
+
+    #[test]
+    fn inject_displaces_the_worst_crowding_member() {
+        // A freshly initialised population (no search yet) cannot
+        // dominate a schedule refined by a dedicated scalarised search.
+        let p = problem();
+        let config = quick();
+        let mut engine = Nsga2Engine::new(&config, &p, 6);
+        let refined = cmags_cma::CmaConfig::paper()
+            .with_stop(StopCondition::children(600))
+            .run(&p, 13)
+            .schedule;
+        let size = engine.population.len();
+        assert!(engine.inject(&refined), "elite must displace a member");
+        assert_eq!(engine.population.len(), size, "population size preserved");
+        assert!(
+            engine.population.iter().any(|m| m.schedule == refined),
+            "the elite must be present after injection"
+        );
+        // Selection metadata was rebuilt consistently.
+        assert_eq!(engine.rank.len(), size);
+        assert_eq!(engine.crowding.len(), size);
+        assert!(engine.rank.contains(&0));
     }
 }

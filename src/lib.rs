@@ -71,7 +71,8 @@ pub mod prelude {
         Metaheuristic, Observer, RunStats, Runner, Snapshot, TracePoint, TraceSink,
     };
     pub use cmags_core::{
-        evaluate, EvalState, FitnessWeights, JobId, MachineId, Objectives, Problem, Schedule,
+        evaluate, EvalState, FitnessWeights, JobId, MachineId, Objective, Objectives, Problem,
+        Schedule,
     };
     pub use cmags_etc::{
         braun, Consistency, EtcMatrix, GridInstance, Heterogeneity, InstanceClass,

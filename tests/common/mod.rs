@@ -1,0 +1,50 @@
+//! Shared helpers of the integration-test suite.
+//!
+//! The objective/fitness recomputation assertions used to be duplicated
+//! ad hoc across `reproduction_claims.rs` and `multiobjective.rs` (each
+//! carried its own instance builder and from-scratch makespan/flowtime
+//! re-derivation); they live here once now. Each integration-test binary
+//! compiles this module independently, so not every binary uses every
+//! helper.
+#![allow(dead_code)]
+
+use cmags::prelude::*;
+
+/// Generates a Braun-class instance at test-friendly dimensions.
+///
+/// # Panics
+///
+/// Panics when `label` is not a valid instance-class label.
+pub fn braun_instance(label: &str, jobs: u32, machines: u32) -> GridInstance {
+    let class: InstanceClass = label.parse().expect("valid instance class label");
+    braun::generate(class.with_dims(jobs, machines), 0)
+}
+
+/// [`braun_instance`] wrapped into the scheduler-facing [`Problem`]
+/// (classic objective, the paper's λ-weights).
+pub fn braun_problem(label: &str, jobs: u32, machines: u32) -> Problem {
+    Problem::from_instance(&braun_instance(label, jobs, machines))
+}
+
+/// Asserts that `stored` is exactly what a from-scratch evaluation of
+/// `schedule` produces — the canonical "reported objectives re-evaluate
+/// bit-for-bit" check (tick arithmetic makes equality exact, so no
+/// tolerance is involved).
+///
+/// # Panics
+///
+/// Panics when the stored objectives diverge from the evaluator's.
+pub fn assert_reevaluates(problem: &Problem, schedule: &Schedule, stored: Objectives) {
+    let fresh = evaluate(problem, schedule);
+    assert_eq!(
+        fresh, stored,
+        "stored objectives must re-evaluate exactly (fresh {fresh:?} vs stored {stored:?})"
+    );
+}
+
+/// From-scratch scalarised fitness of a schedule under the problem's
+/// active objective — the single implementation behind every
+/// "recompute the fitness and compare" assertion in the suite.
+pub fn fitness_of(problem: &Problem, schedule: &Schedule) -> f64 {
+    problem.fitness(evaluate(problem, schedule))
+}

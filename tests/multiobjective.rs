@@ -7,9 +7,10 @@ use cmags::mo::indicators::{hypervolume, reference_point};
 use cmags::mo::ranking::non_dominated;
 use cmags::prelude::*;
 
+mod common;
+
 fn instance() -> GridInstance {
-    let class: InstanceClass = "u_s_hihi.0".parse().unwrap();
-    braun::generate(class.with_dims(96, 8), 0)
+    common::braun_instance("u_s_hihi.0", 96, 8)
 }
 
 #[test]
@@ -29,7 +30,7 @@ fn mocell_front_members_are_real_schedules() {
             .iter()
             .all(|&m| (m as usize) < problem.nb_machines()));
         // ...whose stored objectives are exactly the evaluator's.
-        assert_eq!(evaluate(&problem, &solution.schedule), solution.objectives);
+        common::assert_reevaluates(&problem, &solution.schedule, solution.objectives);
     }
 }
 

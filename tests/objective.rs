@@ -1,0 +1,197 @@
+//! Cross-engine objective pins: the tunable response-blend objective at
+//! λ = 0 must be **bit-for-bit** identical to the classic (pre-λ)
+//! scalarisation for every engine in the workspace.
+//!
+//! The constants below were captured from the workspace *before* the
+//! `Objective` plumbing landed; they pin seed-fixed short runs of all
+//! ten engines. If any of them changes, the λ = 0 path stopped being the
+//! identity — which breaks the whole-workspace compatibility contract,
+//! not just a test. Update them only for a deliberate change to an
+//! engine's search behaviour.
+
+use cmags::ga::GaOutcome;
+use cmags::prelude::*;
+
+mod common;
+
+fn problem() -> Problem {
+    common::braun_problem("u_c_hihi.0", 64, 8)
+}
+
+/// Drives one engine for a fixed tiny children budget and returns the
+/// best-fitness bits.
+fn bits_of(engine: &mut dyn Metaheuristic, children: u64) -> u64 {
+    let _ = Runner::new(StopCondition::children(children)).run_traced(engine);
+    engine.best_fitness().to_bits()
+}
+
+#[test]
+fn all_ten_engines_pin_their_classic_fitness_bits() {
+    let p = problem();
+    let seed = 3u64;
+    let budget = 120u64;
+
+    let cma_config = CmaConfig::paper();
+    let sa = SimulatedAnnealing::default();
+    let tabu = TabuSearch::default();
+    let ssga = SteadyStateGa::default();
+    let struggle = StruggleGa::default();
+    let braun_ga = BraunGa::default();
+    let gsa = GeneticSimulatedAnnealing::default();
+    let panmictic = PanmicticMa::default();
+    let mocell = cmags::mo::MoCellConfig::suggested();
+    let nsga2 = cmags::mo::Nsga2Config::suggested().with_population(20);
+
+    let observed: Vec<(&str, u64)> = vec![
+        (
+            "cMA",
+            bits_of(
+                &mut cmags::cma::CmaEngine::new(&cma_config, &p, seed),
+                budget,
+            ),
+        ),
+        ("SA", bits_of(&mut sa.engine(&p, seed), budget)),
+        ("Tabu", bits_of(&mut tabu.engine(&p, seed), budget)),
+        ("SS-GA", bits_of(&mut ssga.engine(&p, seed), budget)),
+        ("Struggle", bits_of(&mut struggle.engine(&p, seed), budget)),
+        ("BraunGA", bits_of(&mut braun_ga.engine(&p, seed), budget)),
+        ("GSA", bits_of(&mut gsa.engine(&p, seed), budget)),
+        (
+            "PanmicticMA",
+            bits_of(&mut panmictic.engine(&p, seed), budget),
+        ),
+        (
+            "MoCell",
+            bits_of(&mut cmags::mo::MoCellEngine::new(&mocell, &p, seed), budget),
+        ),
+        (
+            "NSGA-II",
+            bits_of(&mut cmags::mo::Nsga2Engine::new(&nsga2, &p, seed), budget),
+        ),
+    ];
+    for (name, bits) in &observed {
+        println!("PIN {name} 0x{bits:016x}");
+    }
+    let expected: &[(&str, u64)] = &[
+        ("cMA", 0x4148_e14f_b8a9_6faa),
+        ("SA", 0x4156_676a_2644_4545),
+        ("Tabu", 0x4149_27bf_23e6_32e7),
+        ("SS-GA", 0x414c_2f18_dc2a_11fc),
+        ("Struggle", 0x414c_2f18_dc2a_11fc),
+        ("BraunGA", 0x4147_9355_db31_a40c),
+        ("GSA", 0x4147_9355_db31_a40c),
+        ("PanmicticMA", 0x414c_869b_dd7d_fff0),
+        ("MoCell", 0xc300_2c6e_fb36_1ff2),
+        ("NSGA-II", 0xc304_6539_16f0_a247),
+    ];
+    for ((name, bits), (expected_name, expected_bits)) in observed.iter().zip(expected) {
+        assert_eq!(name, expected_name);
+        assert_eq!(
+            *bits, *expected_bits,
+            "{name}: λ=0 fitness bits drifted from the pre-λ pin"
+        );
+    }
+}
+
+/// The outcome-level pin: a classic cMA run's (fitness, objectives)
+/// round-trips through the facade API unchanged.
+fn outcome_bits(outcome: &GaOutcome) -> (u64, u64, u64) {
+    (
+        outcome.fitness.to_bits(),
+        outcome.objectives.makespan.to_bits(),
+        outcome.objectives.flowtime.to_bits(),
+    )
+}
+
+#[test]
+fn steady_state_outcome_pins_its_bits() {
+    let p = problem();
+    let outcome = SteadyStateGa::default()
+        .with_stop(StopCondition::children(150))
+        .run(&p, 5);
+    let (f, mk, ft) = outcome_bits(&outcome);
+    println!("PIN ssga-outcome 0x{f:016x} 0x{mk:016x} 0x{ft:016x}");
+    assert_eq!(f, 0x414c_2f18_dc2a_11fc);
+    assert_eq!(mk, 0x4147_9355_db31_a40c);
+    assert_eq!(ft, 0x4185_0130_ef89_ade6);
+}
+
+/// Retargeting an explicit λ = 0 objective is *also* the identity — not
+/// just the default-constructed problem.
+#[test]
+fn explicit_lambda_zero_matches_the_default_problem() {
+    let p = problem();
+    let zero = p.retargeted(Objective::weighted(0.0));
+    let classic = CmaConfig::paper()
+        .with_stop(StopCondition::children(200))
+        .run(&p, 9);
+    let retargeted = CmaConfig::paper()
+        .with_stop(StopCondition::children(200))
+        .run(&zero, 9);
+    assert_eq!(classic.schedule, retargeted.schedule);
+    assert_eq!(classic.fitness.to_bits(), retargeted.fitness.to_bits());
+}
+
+/// The knob actually steers the search: aggregated over seeds (to damp
+/// run-to-run noise), the cMA at λ = 1 reaches lower total flowtime
+/// than at λ = 0 under the same budget — it is optimising flowtime
+/// directly — and its reported fitness is exactly the mean flowtime.
+#[test]
+fn lambda_one_targets_mean_flowtime() {
+    let p = problem();
+    let response_problem = p.retargeted(Objective::mean_flowtime());
+    let budget = StopCondition::children(800);
+    let mut classic_total = 0.0;
+    let mut response_total = 0.0;
+    for seed in 0..8u64 {
+        let classic = CmaConfig::paper().with_stop(budget).run(&p, seed);
+        let response = CmaConfig::paper()
+            .with_stop(budget)
+            .run(&response_problem, seed);
+        assert_eq!(
+            response.fitness.to_bits(),
+            (response.objectives.flowtime / p.nb_machines() as f64).to_bits(),
+            "λ=1 fitness must be the pure mean flowtime"
+        );
+        classic_total += classic.objectives.flowtime;
+        response_total += response.objectives.flowtime;
+    }
+    assert!(
+        response_total < classic_total,
+        "λ=1 total flowtime ({response_total}) must beat λ=0 ({classic_total})"
+    );
+}
+
+/// Every scalarised engine accepts a retargeted problem and reports the
+/// blended fitness consistently with its reported objectives.
+#[test]
+fn all_engines_report_consistent_blended_fitness() {
+    let p = problem().retargeted(Objective::weighted(0.5));
+    let budget = StopCondition::children(120);
+    let check = |name: &str, fitness: f64, objectives: Objectives, weights: FitnessWeights| {
+        let expected = p.objective().fitness(weights, objectives, p.nb_machines());
+        assert_eq!(
+            fitness.to_bits(),
+            expected.to_bits(),
+            "{name}: reported fitness must be the blended scalarisation"
+        );
+    };
+    let cma = CmaConfig::paper().with_stop(budget).run(&p, 3);
+    check("cMA", cma.fitness, cma.objectives, p.weights());
+    let sa = SimulatedAnnealing::default().with_stop(budget).run(&p, 3);
+    check("SA", sa.fitness, sa.objectives, p.weights());
+    let ssga = SteadyStateGa::default().with_stop(budget).run(&p, 3);
+    check(
+        "SS-GA",
+        ssga.fitness,
+        ssga.objectives,
+        FitnessWeights::default(),
+    );
+    let braun_ga = BraunGa::default().with_stop(budget).run(&p, 3);
+    check(
+        "BraunGA",
+        braun_ga.fitness,
+        braun_ga.objectives,
+        FitnessWeights::makespan_only(),
+    );
+}

@@ -3,58 +3,91 @@
 //! bit-identical best fitness and stable elimination order at every
 //! worker-thread count — and the warm-start hooks behave (elites land,
 //! frozen engines spend nothing further, islands stay deterministic).
+//! The roster includes the dominance-based engines (MoCell, NSGA-II),
+//! whose archive-aware `best_schedule`/`inject` hooks let them exchange
+//! elites with the scalarised engines.
 
 use cmags::cma::{run_islands, CmaEngine, IslandConfig};
+use cmags::mo::{MoCellConfig, MoCellEngine, Nsga2Engine};
 use cmags::prelude::*;
 
+mod common;
+
 fn problem() -> Problem {
-    let class: InstanceClass = "u_c_hihi.0".parse().unwrap();
-    Problem::from_instance(&braun::generate(class.with_dims(96, 8), 0))
+    common::braun_problem("u_c_hihi.0", 96, 8)
 }
 
-/// The full scalarised roster as racing contenders (per-entry RNG
-/// streams split off `seed`).
-fn contenders<'a>(
-    p: &'a Problem,
-    cma: &'a CmaConfig,
-    sa: &'a SimulatedAnnealing,
-    tabu: &'a TabuSearch,
-    ssga: &'a SteadyStateGa,
-    struggle: &'a StruggleGa,
-    seed: u64,
-) -> Vec<Contender<'a>> {
-    vec![
-        Contender::new("cMA", Box::new(CmaEngine::new(cma, p, entry_seed(seed, 0)))),
-        Contender::new("SA", Box::new(sa.engine(p, entry_seed(seed, 1)))),
-        Contender::new("Tabu", Box::new(tabu.engine(p, entry_seed(seed, 2)))),
-        Contender::new("SS-GA", Box::new(ssga.engine(p, entry_seed(seed, 3)))),
-        Contender::new(
-            "Struggle",
-            Box::new(struggle.engine(p, entry_seed(seed, 4))),
-        ),
-    ]
+/// Every engine configuration of the racing roster: the five scalarised
+/// engines plus both dominance engines.
+struct Roster {
+    cma: CmaConfig,
+    sa: SimulatedAnnealing,
+    tabu: TabuSearch,
+    ssga: SteadyStateGa,
+    struggle: StruggleGa,
+    mocell: MoCellConfig,
+    nsga2: Nsga2Config,
+}
+
+impl Roster {
+    fn new() -> Self {
+        Self {
+            cma: CmaConfig::paper(),
+            sa: SimulatedAnnealing::default(),
+            tabu: TabuSearch::default(),
+            ssga: SteadyStateGa::default(),
+            struggle: StruggleGa::default(),
+            mocell: MoCellConfig::suggested(),
+            nsga2: Nsga2Config::suggested().with_population(20),
+        }
+    }
+
+    /// The full roster as racing contenders (per-entry RNG streams split
+    /// off `seed`).
+    fn contenders<'a>(&'a self, p: &'a Problem, seed: u64) -> Vec<Contender<'a>> {
+        vec![
+            Contender::new(
+                "cMA",
+                Box::new(CmaEngine::new(&self.cma, p, entry_seed(seed, 0))),
+            ),
+            Contender::new("SA", Box::new(self.sa.engine(p, entry_seed(seed, 1)))),
+            Contender::new("Tabu", Box::new(self.tabu.engine(p, entry_seed(seed, 2)))),
+            Contender::new("SS-GA", Box::new(self.ssga.engine(p, entry_seed(seed, 3)))),
+            Contender::new(
+                "Struggle",
+                Box::new(self.struggle.engine(p, entry_seed(seed, 4))),
+            ),
+            Contender::new(
+                "MoCell",
+                Box::new(MoCellEngine::new(&self.mocell, p, entry_seed(seed, 5))),
+            ),
+            Contender::new(
+                "NSGA-II",
+                Box::new(Nsga2Engine::new(&self.nsga2, p, entry_seed(seed, 6))),
+            ),
+        ]
+    }
 }
 
 #[test]
 fn race_winner_and_fitness_are_bit_identical_at_1_2_and_8_threads() {
     let p = problem();
-    let cma = CmaConfig::paper();
-    let sa = SimulatedAnnealing::default();
-    let tabu = TabuSearch::default();
-    let ssga = SteadyStateGa::default();
-    let struggle = StruggleGa::default();
+    let roster = Roster::new();
 
     let run = |threads: usize| {
-        let config = PortfolioConfig::successive_halving(5, 600).with_threads(threads);
-        race(
-            &config,
-            contenders(&p, &cma, &sa, &tabu, &ssga, &struggle, 7),
-            |o| p.fitness(o),
-        )
+        let contenders = roster.contenders(&p, 7);
+        let config =
+            PortfolioConfig::successive_halving(contenders.len(), 800).with_threads(threads);
+        race(&config, contenders, |o| p.fitness(o))
     };
 
     let reference = run(1);
     assert!(reference.best_schedule.is_some());
+    let names: Vec<&str> = reference.entries.iter().map(|e| e.name.as_str()).collect();
+    assert!(
+        names.contains(&"MoCell") && names.contains(&"NSGA-II"),
+        "the dominance engines must be racing"
+    );
     for threads in [2, 8] {
         let outcome = run(threads);
         assert_eq!(outcome.winner, reference.winner, "{threads} threads");
@@ -82,18 +115,11 @@ fn race_winner_and_fitness_are_bit_identical_at_1_2_and_8_threads() {
 #[test]
 fn elimination_order_is_stable_under_rerun() {
     let p = problem();
-    let cma = CmaConfig::paper();
-    let sa = SimulatedAnnealing::default();
-    let tabu = TabuSearch::default();
-    let ssga = SteadyStateGa::default();
-    let struggle = StruggleGa::default();
+    let roster = Roster::new();
     let run = || {
-        let config = PortfolioConfig::successive_halving(5, 500);
-        race(
-            &config,
-            contenders(&p, &cma, &sa, &tabu, &ssga, &struggle, 11),
-            |o| p.fitness(o),
-        )
+        let contenders = roster.contenders(&p, 11);
+        let config = PortfolioConfig::successive_halving(contenders.len(), 700);
+        race(&config, contenders, |o| p.fitness(o))
     };
     let a = run();
     let b = run();
@@ -112,37 +138,22 @@ fn race_beats_every_contenders_initialisation() {
     // The winner's score must improve on the best pure initialisation
     // (a zero-budget race), i.e. racing actually searches.
     let p = problem();
-    let cma = CmaConfig::paper();
-    let sa = SimulatedAnnealing::default();
-    let tabu = TabuSearch::default();
-    let ssga = SteadyStateGa::default();
-    let struggle = StruggleGa::default();
+    let roster = Roster::new();
     let at_budget = |budget: u64| {
-        let config = PortfolioConfig::successive_halving(5, budget);
-        race(
-            &config,
-            contenders(&p, &cma, &sa, &tabu, &ssga, &struggle, 3),
-            |o| p.fitness(o),
-        )
-        .best_score
+        let contenders = roster.contenders(&p, 3);
+        let config = PortfolioConfig::successive_halving(contenders.len(), budget);
+        race(&config, contenders, |o| p.fitness(o)).best_score
     };
-    assert!(at_budget(600) < at_budget(10));
+    assert!(at_budget(800) < at_budget(14));
 }
 
 #[test]
 fn frozen_contenders_spend_no_further_budget() {
     let p = problem();
-    let cma = CmaConfig::paper();
-    let sa = SimulatedAnnealing::default();
-    let tabu = TabuSearch::default();
-    let ssga = SteadyStateGa::default();
-    let struggle = StruggleGa::default();
-    let config = PortfolioConfig::successive_halving(5, 500);
-    let outcome = race(
-        &config,
-        contenders(&p, &cma, &sa, &tabu, &ssga, &struggle, 5),
-        |o| p.fitness(o),
-    );
+    let roster = Roster::new();
+    let contenders = roster.contenders(&p, 5);
+    let config = PortfolioConfig::successive_halving(contenders.len(), 700);
+    let outcome = race(&config, contenders, |o| p.fitness(o));
     let first_barrier = outcome
         .entries
         .iter()
@@ -166,22 +177,37 @@ fn frozen_contenders_spend_no_further_budget() {
 }
 
 #[test]
+fn dominance_engines_produce_realizable_scores() {
+    // A dominance engine's uniform score must equal the active fitness
+    // of a schedule it can actually surrender — not the ideal point.
+    let p = problem();
+    let roster = Roster::new();
+    let contenders = roster.contenders(&p, 13);
+    let config = PortfolioConfig::successive_halving(contenders.len(), 500);
+    let outcome = race(&config, contenders, |o| p.fitness(o));
+    let winner = &outcome.entries[outcome.winner];
+    let schedule = outcome
+        .best_schedule
+        .as_ref()
+        .expect("every roster engine surrenders a schedule");
+    assert_eq!(
+        p.fitness(evaluate(&p, schedule)).to_bits(),
+        winner.score.to_bits(),
+        "winner {}: score must re-evaluate from its schedule",
+        winner.name
+    );
+}
+
+#[test]
 fn diversity_telemetry_flows_through_the_race() {
     // Population engines report per-iteration diversity uniformly
     // through the Observer hook; trajectory engines (SA/Tabu) simply
     // contribute no points.
     let p = problem();
-    let cma = CmaConfig::paper();
-    let sa = SimulatedAnnealing::default();
-    let tabu = TabuSearch::default();
-    let ssga = SteadyStateGa::default();
-    let struggle = StruggleGa::default();
-    let config = PortfolioConfig::successive_halving(5, 400).with_diversity();
-    let outcome = race(
-        &config,
-        contenders(&p, &cma, &sa, &tabu, &ssga, &struggle, 9),
-        |o| p.fitness(o),
-    );
+    let roster = Roster::new();
+    let contenders = roster.contenders(&p, 9);
+    let config = PortfolioConfig::successive_halving(contenders.len(), 560).with_diversity();
+    let outcome = race(&config, contenders, |o| p.fitness(o));
     let by_name = |name: &str| {
         outcome
             .entries

@@ -3,9 +3,11 @@
 
 use cmags::prelude::*;
 
+mod common;
+
+/// All reproduction checks run at the same test-friendly scale.
 fn problem(label: &str) -> Problem {
-    let class: InstanceClass = label.parse().unwrap();
-    Problem::from_instance(&braun::generate(class.with_dims(128, 8), 0))
+    common::braun_problem(label, 128, 8)
 }
 
 /// Table 4's claim: the cMA improves massively over the LJFR-SJFR
@@ -18,6 +20,7 @@ fn cma_improves_flowtime_over_ljfr_sjfr() {
         let outcome = CmaConfig::paper()
             .with_stop(StopCondition::children(1_500))
             .run(&p, 7);
+        common::assert_reevaluates(&p, &outcome.schedule, outcome.objectives);
         let improvement = (seed_flowtime - outcome.objectives.flowtime) / seed_flowtime * 100.0;
         assert!(
             improvement > 5.0,
@@ -59,6 +62,11 @@ fn local_search_is_load_bearing() {
         .with_local_search(LocalSearchKind::None)
         .with_stop(budget)
         .run(&p, 3);
+    assert_eq!(
+        with_ls.fitness.to_bits(),
+        common::fitness_of(&p, &with_ls.schedule).to_bits(),
+        "reported fitness must recompute exactly from the schedule"
+    );
     assert!(
         with_ls.fitness < without_ls.fitness,
         "LMCTS ({}) must beat no-LS ({})",
