@@ -58,7 +58,7 @@ mod objective;
 mod objectives;
 mod problem;
 mod schedule;
-mod ticks;
+pub mod ticks;
 
 pub use engine::{Metaheuristic, Observer, RunStats, Runner, StopCondition, TracePoint};
 pub use eval::{EvalState, ScoreBuf};

@@ -33,7 +33,7 @@
 
 /// Binary point of the fixed-point representation: 1 tick = 2⁻³² time
 /// units.
-pub(crate) const TICK_SHIFT: u32 = 32;
+pub const TICK_SHIFT: u32 = 32;
 
 /// Ticks per time unit (2³² — an exact `f64`).
 const TICK_SCALE: f64 = (1u64 << TICK_SHIFT) as f64;
@@ -42,7 +42,7 @@ const TICK_SCALE: f64 = (1u64 << TICK_SHIFT) as f64;
 /// saturating at the `i64` range (non-finite inputs map to 0 / the
 /// saturation bounds, deterministically).
 #[inline]
-pub(crate) fn ticks(value: f64) -> i64 {
+pub fn ticks(value: f64) -> i64 {
     debug_assert!(
         value.is_nan() || value.abs() < (i64::MAX as f64) / TICK_SCALE,
         "time value {value} exceeds the tick range (±2³¹ units) and would saturate"
@@ -56,7 +56,7 @@ pub(crate) fn ticks(value: f64) -> i64 {
 /// rounds to nearest-even and the division by a power of two is exact,
 /// so the result is the correctly rounded value of the exact sum.
 #[inline]
-pub(crate) fn time(ticks: i128) -> f64 {
+pub fn time(ticks: i128) -> f64 {
     (ticks as f64) / TICK_SCALE
 }
 

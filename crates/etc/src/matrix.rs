@@ -46,6 +46,15 @@ impl EtcMatrix {
         }
     }
 
+    /// Consumes the matrix and returns its row-major backing storage,
+    /// so callers that rebuild snapshot matrices every round (the
+    /// dynamic-grid dispatcher) can recycle the allocation via
+    /// [`EtcMatrix::from_rows`].
+    #[must_use]
+    pub fn into_rows(self) -> Vec<f64> {
+        self.data.into_vec()
+    }
+
     /// Builds a matrix by evaluating `f(job, machine)` for every cell.
     #[must_use]
     pub fn from_fn(

@@ -1,7 +1,32 @@
 //! Event queue of the discrete-event simulation.
+//!
+//! Simulation time is measured in **ticks** — the workspace's exact
+//! fixed-point representation ([`cmags_core::ticks`], 1 tick = 2⁻³²
+//! time units) — so event ordering is a plain integer comparison with
+//! no `total_cmp`/epsilon subtleties, and two queue implementations can
+//! be required to agree *bit for bit*.
+//!
+//! Two backends share one deterministic contract (earliest tick first,
+//! ties broken by insertion sequence):
+//!
+//! * [`QueueKind::Calendar`] — the default: a calendar queue (dynamic
+//!   timing wheel, Brown 1988) whose bucket array and bucket width
+//!   resize with the population, giving O(1) amortized push/pop
+//!   however many events are pending. This is what lets the simulator
+//!   drain 10⁶+ jobs at flat per-event cost.
+//! * [`QueueKind::Heap`] — the seed's `BinaryHeap` kept as the hidden
+//!   *reference* implementation (the same oracle pattern as the
+//!   `peek_*_merge` evaluator reference): property tests pin the
+//!   calendar queue against it on random streams, and the
+//!   `million_jobs` bench reports it as the before/after baseline.
+//!
+//! Both backends support **lazy cancellation** (the dslab
+//! `SimulationState` idiom): [`EventQueue::cancel`] marks a scheduled
+//! event's token and [`EventQueue::pop`] silently discards it, so a
+//! machine departure can retract its in-flight `JobFinish` instead of
+//! every handler re-validating machine state.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 /// Simulation event kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,108 +45,392 @@ pub enum Event {
         /// Job identifier.
         job: u64,
     },
-    /// A new machine joins the grid.
+    /// A new machine joins the grid. The id is allocated (reserved in
+    /// the pool) when the event is *scheduled*, so the event stream
+    /// carries the machine's real identity, not a placeholder.
     MachineJoin {
-        /// Machine identifier.
+        /// Machine identifier, reserved at schedule time.
         machine: u64,
     },
-    /// A machine leaves the grid (killing its running job).
-    MachineLeave {
-        /// Machine identifier.
-        machine: u64,
-    },
+    /// A machine leaves the grid (killing its running job). The victim
+    /// is drawn uniformly from the alive pool when the event fires, so
+    /// the variant carries no id.
+    MachineLeave,
     /// A correlated mass-departure shock removes a fraction of the
     /// alive pool at one instant ([`crate::scenario::ChurnModel`]).
     MassDeparture,
 }
 
-/// An event scheduled at a simulation time.
-///
-/// Ordering: earliest time first; ties broken by insertion sequence so
-/// the simulation is fully deterministic.
+/// Token identifying one scheduled event, for [`EventQueue::cancel`].
+pub type EventToken = u64;
+
+/// An event scheduled at a simulation time (ticks).
 #[derive(Debug, Clone, Copy)]
-struct Scheduled {
-    time: f64,
+struct Entry {
+    time: i64,
     seq: u64,
     event: Event,
 }
 
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl Entry {
+    /// The global ordering key: earliest tick first, ties broken by
+    /// insertion sequence.
+    #[inline]
+    fn key(&self) -> (i64, u64) {
+        (self.time, self.seq)
     }
 }
-impl Eq for Scheduled {}
 
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+/// Which backend an [`EventQueue`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    /// Calendar queue / timing wheel: O(1) amortized push/pop.
+    #[default]
+    Calendar,
+    /// The seed's `BinaryHeap`: O(log n) push/pop, kept as the
+    /// reference implementation and bench baseline.
+    Heap,
+}
+
+// --- heap backend (reference) ------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry(Entry);
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key() == other.0.key()
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // BinaryHeap is a max-heap; reverse for earliest-first.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.0.key().cmp(&self.0.key())
     }
 }
 
-/// Deterministic earliest-first event queue.
+// --- calendar backend ---------------------------------------------------
+
+/// Calendar queue: `nbuckets` (a power of two) buckets, each covering a
+/// "day" of `2^bucket_bits` ticks; day `d` maps to bucket `d % nbuckets`,
+/// so the array wraps around like a wall calendar and one "year" spans
+/// `nbuckets` days. Buckets keep their entries sorted by key
+/// *descending*, so the due-soonest entry of a bucket is at the back
+/// and pops are `Vec::pop`. Both the bucket count and the bucket width
+/// adapt on resize, keeping the population spread at O(1) entries per
+/// bucket whatever the event-time density.
 #[derive(Debug, Default)]
+struct Calendar {
+    buckets: Vec<Vec<Entry>>,
+    /// log₂ of the bucket width in ticks.
+    bucket_bits: u32,
+    /// Day (`time >> bucket_bits`) of the pop cursor: no stored entry
+    /// lies on an earlier day.
+    day: i64,
+    /// Stored entries, including not-yet-collected cancelled ones.
+    stored: usize,
+}
+
+/// Initial bucket count (power of two).
+const INIT_BUCKETS: usize = 16;
+/// Smallest bucket count a shrink may reach.
+const MIN_BUCKETS: usize = 16;
+/// Initial bucket width: 2⁴² ticks = 1024 time units. Resizes adapt it
+/// to the observed event-time span almost immediately.
+const INIT_BUCKET_BITS: u32 = 42;
+
+impl Calendar {
+    fn new() -> Self {
+        Self {
+            buckets: (0..INIT_BUCKETS).map(|_| Vec::new()).collect(),
+            bucket_bits: INIT_BUCKET_BITS,
+            day: 0,
+            stored: 0,
+        }
+    }
+
+    #[inline]
+    fn day_of(&self, time: i64) -> i64 {
+        time >> self.bucket_bits
+    }
+
+    #[inline]
+    fn bucket_of(&self, day: i64) -> usize {
+        (day as u64 as usize) & (self.buckets.len() - 1)
+    }
+
+    fn push(&mut self, entry: Entry) {
+        let day = self.day_of(entry.time);
+        if self.stored == 0 || day < self.day {
+            // The cursor must never sit past a stored entry.
+            self.day = day;
+        }
+        let bucket = self.bucket_of(day);
+        let slot = &mut self.buckets[bucket];
+        // Descending by (time, seq): binary-search the insertion point.
+        let key = entry.key();
+        let pos = slot.partition_point(|e| e.key() > key);
+        slot.insert(pos, entry);
+        self.stored += 1;
+        if self.stored > 2 * self.buckets.len() {
+            self.resize();
+        }
+    }
+
+    fn pop(&mut self) -> Option<Entry> {
+        if self.stored == 0 {
+            return None;
+        }
+        let nbuckets = self.buckets.len();
+        for _ in 0..nbuckets {
+            let bucket = self.bucket_of(self.day);
+            if let Some(last) = self.buckets[bucket].last() {
+                if self.day_of(last.time) == self.day {
+                    let entry = self.buckets[bucket].pop().expect("non-empty bucket");
+                    self.stored -= 1;
+                    if self.buckets.len() > MIN_BUCKETS && self.stored < self.buckets.len() / 4 {
+                        self.resize();
+                    }
+                    return Some(entry);
+                }
+            }
+            self.day += 1;
+        }
+        // A whole year of empty days: the population is sparse relative
+        // to the bucket width. Jump the cursor straight to the global
+        // minimum (each bucket's candidate is its back entry).
+        let (mut best_bucket, mut best_key) = (usize::MAX, (i64::MAX, u64::MAX));
+        for (idx, slot) in self.buckets.iter().enumerate() {
+            if let Some(last) = slot.last() {
+                if last.key() < best_key {
+                    best_key = last.key();
+                    best_bucket = idx;
+                }
+            }
+        }
+        debug_assert_ne!(best_bucket, usize::MAX, "stored > 0 but no entry found");
+        let entry = self.buckets[best_bucket].pop().expect("non-empty bucket");
+        self.day = self.day_of(entry.time);
+        self.stored -= 1;
+        Some(entry)
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<&Entry> {
+        if self.stored == 0 {
+            return None;
+        }
+        // Scan one year from the cursor, then fall back to a full scan.
+        for offset in 0..self.buckets.len() as i64 {
+            let day = self.day + offset;
+            if let Some(last) = self.buckets[self.bucket_of(day)].last() {
+                if self.day_of(last.time) == day {
+                    return Some(last);
+                }
+            }
+        }
+        self.buckets
+            .iter()
+            .filter_map(|slot| slot.last())
+            .min_by_key(|e| e.key())
+    }
+
+    /// Rebuilds the bucket array for the current population: the bucket
+    /// count tracks the number of stored entries (so load stays O(1)
+    /// per bucket) and the bucket width tracks the mean gap between
+    /// stored event times (so a day holds a handful of events and pops
+    /// rarely cross empty days). Both inputs are functions of the
+    /// stored entries alone, so resizes are deterministic.
+    fn resize(&mut self) {
+        let target = self.stored.next_power_of_two().clamp(MIN_BUCKETS, 1 << 26);
+        // Width from the observed span: ~4 mean gaps per day.
+        let (mut lo, mut hi) = (i64::MAX, i64::MIN);
+        for slot in &self.buckets {
+            for entry in slot {
+                lo = lo.min(entry.time);
+                hi = hi.max(entry.time);
+            }
+        }
+        let new_bits = if self.stored < 2 || hi <= lo {
+            self.bucket_bits
+        } else {
+            let mean_gap = ((hi - lo) as u128 / self.stored as u128).max(1);
+            // log₂(4 · mean_gap), i.e. the width that puts ~4 entries
+            // in each day at the current density.
+            (128 - (mean_gap << 2).leading_zeros()).min(62)
+        };
+        let mut old = std::mem::take(&mut self.buckets);
+        self.buckets = (0..target).map(|_| Vec::new()).collect();
+        self.bucket_bits = new_bits;
+        let stored = self.stored;
+        self.stored = 0;
+        let mut min_day = i64::MAX;
+        for slot in &mut old {
+            for entry in slot.drain(..) {
+                min_day = min_day.min(self.day_of(entry.time));
+                let bucket = self.bucket_of(self.day_of(entry.time));
+                let dest = &mut self.buckets[bucket];
+                let key = entry.key();
+                let pos = dest.partition_point(|e| e.key() > key);
+                dest.insert(pos, entry);
+            }
+        }
+        self.stored = stored;
+        self.day = if self.stored == 0 { 0 } else { min_day };
+    }
+}
+
+// --- the public queue ----------------------------------------------------
+
+#[derive(Debug)]
+enum Backend {
+    Calendar(Calendar),
+    Heap(BinaryHeap<HeapEntry>),
+}
+
+impl Backend {
+    fn push(&mut self, entry: Entry) {
+        match self {
+            Self::Calendar(q) => q.push(entry),
+            Self::Heap(q) => q.push(HeapEntry(entry)),
+        }
+    }
+
+    fn pop(&mut self) -> Option<Entry> {
+        match self {
+            Self::Calendar(q) => q.pop(),
+            Self::Heap(q) => q.pop().map(|e| e.0),
+        }
+    }
+
+    fn peek_seq(&self) -> Option<u64> {
+        match self {
+            Self::Calendar(q) => q.peek().map(|e| e.seq),
+            Self::Heap(q) => q.peek().map(|e| e.0.seq),
+        }
+    }
+
+    fn peek_time(&self) -> Option<i64> {
+        match self {
+            Self::Calendar(q) => q.peek().map(|e| e.time),
+            Self::Heap(q) => q.peek().map(|e| e.0.time),
+        }
+    }
+}
+
+/// Deterministic earliest-first event queue over tick timestamps, with
+/// lazy cancellation. See the module docs for the backend contract.
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Scheduled>,
+    backend: Backend,
+    cancelled: HashSet<EventToken>,
+    /// Insertion sequence, doubling as the cancellation token.
     seq: u64,
+    /// Live (scheduled and not cancelled) events.
+    live: usize,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl EventQueue {
-    /// Creates an empty queue.
+    /// Creates an empty calendar queue (the default backend).
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self::with_kind(QueueKind::Calendar)
     }
 
-    /// Schedules `event` at absolute simulation time `time`.
+    /// Creates an empty queue on the given backend.
+    #[must_use]
+    pub fn with_kind(kind: QueueKind) -> Self {
+        Self {
+            backend: match kind {
+                QueueKind::Calendar => Backend::Calendar(Calendar::new()),
+                QueueKind::Heap => Backend::Heap(BinaryHeap::new()),
+            },
+            cancelled: HashSet::new(),
+            seq: 0,
+            live: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute simulation time `time` (ticks) and
+    /// returns a token that can later [`cancel`](Self::cancel) it.
     ///
     /// # Panics
     ///
-    /// Panics if `time` is NaN or negative.
-    pub fn push(&mut self, time: f64, event: Event) {
-        assert!(
-            time.is_finite() && time >= 0.0,
-            "event time must be finite and non-negative"
-        );
-        self.heap.push(Scheduled {
+    /// Panics if `time` is negative.
+    pub fn push(&mut self, time: i64, event: Event) -> EventToken {
+        assert!(time >= 0, "event time must be non-negative");
+        let token = self.seq;
+        self.backend.push(Entry {
             time,
-            seq: self.seq,
+            seq: token,
             event,
         });
         self.seq += 1;
+        self.live += 1;
+        token
     }
 
-    /// Pops the earliest event, if any.
-    pub fn pop(&mut self) -> Option<(f64, Event)> {
-        self.heap.pop().map(|s| (s.time, s.event))
+    /// Lazily cancels a scheduled event: the entry stays in its bucket
+    /// and [`pop`](Self::pop) discards it when reached. The caller must
+    /// only cancel tokens of still-pending events, and each at most
+    /// once (the simulator cancels a machine's `JobFinish` exactly when
+    /// the machine is removed).
+    pub fn cancel(&mut self, token: EventToken) {
+        debug_assert!(token < self.seq, "cancel of a never-issued token");
+        let fresh = self.cancelled.insert(token);
+        debug_assert!(fresh, "token {token} cancelled twice");
+        self.live -= usize::from(fresh);
     }
 
-    /// Time of the earliest pending event.
+    /// Pops the earliest live event, if any, as `(ticks, event)`.
+    pub fn pop(&mut self) -> Option<(i64, Event)> {
+        while let Some(entry) = self.backend.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.live -= 1;
+            return Some((entry.time, entry.event));
+        }
+        debug_assert_eq!(self.live, 0);
+        None
+    }
+
+    /// Tick time of the earliest live pending event.
     #[must_use]
-    pub fn peek_time(&self) -> Option<f64> {
-        self.heap.peek().map(|s| s.time)
+    pub fn peek_time(&mut self) -> Option<i64> {
+        // Purge cancelled entries off the head so the peek is live.
+        while let Some(seq) = self.backend.peek_seq() {
+            if !self.cancelled.contains(&seq) {
+                break;
+            }
+            let entry = self.backend.pop().expect("peeked entry");
+            self.cancelled.remove(&entry.seq);
+        }
+        self.backend.peek_time()
     }
 
-    /// Number of pending events.
+    /// Number of live pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.live
     }
 
-    /// Whether no events are pending.
+    /// Whether no live events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.live == 0
     }
 }
 
@@ -129,40 +438,149 @@ impl EventQueue {
 mod tests {
     use super::*;
 
-    #[test]
-    fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.push(5.0, Event::SchedulerActivation);
-        q.push(1.0, Event::JobArrival { job: 1 });
-        q.push(3.0, Event::JobArrival { job: 2 });
-        let times: Vec<f64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
-        assert_eq!(times, vec![1.0, 3.0, 5.0]);
+    fn drain(q: &mut EventQueue) -> Vec<(i64, Event)> {
+        std::iter::from_fn(|| q.pop()).collect()
     }
 
     #[test]
-    fn ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
-        q.push(2.0, Event::JobArrival { job: 10 });
-        q.push(2.0, Event::JobArrival { job: 20 });
-        q.push(2.0, Event::SchedulerActivation);
-        assert_eq!(q.pop().unwrap().1, Event::JobArrival { job: 10 });
-        assert_eq!(q.pop().unwrap().1, Event::JobArrival { job: 20 });
-        assert_eq!(q.pop().unwrap().1, Event::SchedulerActivation);
+    fn pops_in_time_order_on_both_backends() {
+        for kind in [QueueKind::Calendar, QueueKind::Heap] {
+            let mut q = EventQueue::with_kind(kind);
+            q.push(5_000, Event::SchedulerActivation);
+            q.push(1_000, Event::JobArrival { job: 1 });
+            q.push(3_000, Event::JobArrival { job: 2 });
+            let times: Vec<i64> = drain(&mut q).iter().map(|&(t, _)| t).collect();
+            assert_eq!(times, vec![1_000, 3_000, 5_000], "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order_on_both_backends() {
+        for kind in [QueueKind::Calendar, QueueKind::Heap] {
+            let mut q = EventQueue::with_kind(kind);
+            q.push(2, Event::JobArrival { job: 10 });
+            q.push(2, Event::JobArrival { job: 20 });
+            q.push(2, Event::SchedulerActivation);
+            assert_eq!(q.pop().unwrap().1, Event::JobArrival { job: 10 });
+            assert_eq!(q.pop().unwrap().1, Event::JobArrival { job: 20 });
+            assert_eq!(q.pop().unwrap().1, Event::SchedulerActivation);
+        }
     }
 
     #[test]
     fn peek_and_len() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
-        q.push(4.0, Event::MachineJoin { machine: 0 });
-        assert_eq!(q.peek_time(), Some(4.0));
+        q.push(4, Event::MachineJoin { machine: 7 });
+        assert_eq!(q.peek_time(), Some(4));
         assert_eq!(q.len(), 1);
     }
 
     #[test]
-    #[should_panic(expected = "finite and non-negative")]
-    fn rejects_nan_time() {
+    fn cancelled_events_never_pop() {
+        for kind in [QueueKind::Calendar, QueueKind::Heap] {
+            let mut q = EventQueue::with_kind(kind);
+            let _a = q.push(1, Event::JobArrival { job: 1 });
+            let b = q.push(2, Event::JobFinish { machine: 0, job: 1 });
+            let _c = q.push(3, Event::SchedulerActivation);
+            q.cancel(b);
+            assert_eq!(q.len(), 2, "{kind:?}");
+            let events: Vec<Event> = drain(&mut q).iter().map(|&(_, e)| e).collect();
+            assert_eq!(
+                events,
+                vec![Event::JobArrival { job: 1 }, Event::SchedulerActivation],
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cancelling_the_head_keeps_peek_live() {
         let mut q = EventQueue::new();
-        q.push(f64::NAN, Event::SchedulerActivation);
+        let head = q.push(1, Event::JobFinish { machine: 0, job: 0 });
+        q.push(9, Event::SchedulerActivation);
+        q.cancel(head);
+        assert_eq!(q.peek_time(), Some(9));
+        assert_eq!(q.pop(), Some((9, Event::SchedulerActivation)));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn calendar_survives_growth_and_sparse_jumps() {
+        // Push enough to force several resizes, with times spread far
+        // beyond a year of the initial width, then drain in order.
+        let mut q = EventQueue::new();
+        let mut expect: Vec<i64> = Vec::new();
+        let mut t: i64 = 0;
+        for i in 0..4_000u32 {
+            // Deterministic scatter: clusters, ties, and huge gaps.
+            t += match i % 7 {
+                0 => 0, // tie with the previous push
+                1..=4 => i64::from(i % 5) + 1,
+                5 => 1 << 45, // beyond one initial-width year
+                _ => 1 << 20,
+            };
+            q.push(t, Event::JobArrival { job: u64::from(i) });
+            expect.push(t);
+        }
+        expect.sort_unstable();
+        let got: Vec<i64> = drain(&mut q).iter().map(|&(time, _)| time).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn calendar_matches_heap_on_interleaved_ops() {
+        // Deterministic interleaving of pushes, pops and cancels; the
+        // randomised version lives in tests/prop_queue.rs.
+        use std::collections::BTreeSet;
+        let mut cal = EventQueue::with_kind(QueueKind::Calendar);
+        let mut heap = EventQueue::with_kind(QueueKind::Heap);
+        // Model of the pending set, keyed exactly like the queues, so
+        // cancels only ever target still-pending tokens (the contract).
+        let mut pending: BTreeSet<(i64, EventToken)> = BTreeSet::new();
+        let mut state = 0x243f_6a88_85a3_08d3u64;
+        for step in 0..2_000u64 {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            match state % 5 {
+                0..=2 => {
+                    let time = (state >> 16) as i64 % 1_000_000;
+                    let token = cal.push(time, Event::JobArrival { job: step });
+                    let h = heap.push(time, Event::JobArrival { job: step });
+                    assert_eq!(token, h);
+                    pending.insert((time, token));
+                }
+                3 => {
+                    let expect = pending.pop_first();
+                    let got = cal.pop();
+                    assert_eq!(got, heap.pop());
+                    assert_eq!(got.map(|(t, _)| t), expect.map(|(t, _)| t));
+                }
+                _ => {
+                    if let Some(&victim) = pending.iter().nth((state >> 32) as usize % 7) {
+                        pending.remove(&victim);
+                        cal.cancel(victim.1);
+                        heap.cancel(victim.1);
+                    }
+                }
+            }
+            assert_eq!(cal.len(), heap.len());
+            assert_eq!(cal.len(), pending.len());
+        }
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_time() {
+        let mut q = EventQueue::new();
+        q.push(-1, Event::SchedulerActivation);
     }
 }

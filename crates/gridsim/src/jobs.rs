@@ -1,0 +1,121 @@
+//! Flat job-state arena of the simulation.
+//!
+//! Job ids are issued densely from zero and never recycled, so the job
+//! table is a slab indexed *directly* by id: `O(1)` state access on the
+//! event hot path with no hashing or tree walks (the seed kept a
+//! `BTreeMap<u64, JobState>`, an `O(log n)` pointer chase per lookup —
+//! measurable at 10⁶ jobs). Generational staleness tracking collapses
+//! to a `done` flag because ids are never reused: a slot's only
+//! possible stale access is touching a job after completion, which the
+//! accessors reject in debug builds.
+
+use crate::workload::JobSpec;
+
+/// Job lifecycle state.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct JobState {
+    /// Static characteristics.
+    pub spec: JobSpec,
+    /// First execution start (ticks), if started.
+    pub started: Option<i64>,
+    /// How many times the job was resubmitted after machine departures.
+    pub resubmissions: u32,
+    /// Whether the job has completed (stale-access guard).
+    pub done: bool,
+}
+
+/// Id-indexed slab of every job the run has admitted.
+#[derive(Debug, Default)]
+pub(crate) struct JobArena {
+    slots: Vec<JobState>,
+}
+
+impl JobArena {
+    /// Admits the next job; its id must equal the number of jobs
+    /// admitted so far (ids are dense and monotone by construction).
+    pub fn insert(&mut self, spec: JobSpec) {
+        debug_assert_eq!(spec.id as usize, self.slots.len(), "job ids must be dense");
+        self.slots.push(JobState {
+            spec,
+            started: None,
+            resubmissions: 0,
+            done: false,
+        });
+    }
+
+    /// State of a live (not completed) job.
+    #[inline]
+    pub fn get(&self, id: u64) -> &JobState {
+        let state = &self.slots[id as usize];
+        debug_assert!(!state.done, "stale access to completed job {id}");
+        state
+    }
+
+    /// Mutable state of a live job.
+    #[inline]
+    pub fn get_mut(&mut self, id: u64) -> &mut JobState {
+        let state = &mut self.slots[id as usize];
+        debug_assert!(!state.done, "stale access to completed job {id}");
+        state
+    }
+
+    /// Marks a job completed, returning its final state.
+    #[inline]
+    pub fn complete(&mut self, id: u64) -> JobState {
+        let state = &mut self.slots[id as usize];
+        debug_assert!(!state.done, "job {id} completed twice");
+        state.done = true;
+        *state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(id: u64) -> JobSpec {
+        JobSpec {
+            id,
+            arrival: id as f64,
+            baseline: 1.0,
+        }
+    }
+
+    #[test]
+    fn insert_and_access_by_id() {
+        let mut arena = JobArena::default();
+        arena.insert(spec(0));
+        arena.insert(spec(1));
+        assert_eq!(arena.get(1).spec.arrival, 1.0);
+        arena.get_mut(0).resubmissions += 1;
+        assert_eq!(arena.get(0).resubmissions, 1);
+    }
+
+    #[test]
+    fn complete_returns_final_state() {
+        let mut arena = JobArena::default();
+        arena.insert(spec(0));
+        arena.get_mut(0).started = Some(42);
+        let state = arena.complete(0);
+        assert_eq!(state.started, Some(42));
+        assert!(state.done);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    #[cfg(debug_assertions)]
+    fn rejects_sparse_ids() {
+        let mut arena = JobArena::default();
+        arena.insert(spec(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "stale access")]
+    #[cfg(debug_assertions)]
+    fn rejects_stale_access() {
+        let mut arena = JobArena::default();
+        arena.insert(spec(0));
+        arena.complete(0);
+        let _ = arena.get(0);
+    }
+}

@@ -32,6 +32,14 @@
 //!   workspace).
 //! * [`metrics::SimReport`] aggregates realized makespan, flowtime,
 //!   waiting times, utilisation and scheduler statistics.
+//! * The **event core** runs on exact fixed-point ticks
+//!   (`cmags_core::ticks`): the [`event`] module's calendar queue
+//!   drains events in O(1) amortised with lazy cancellation of stale
+//!   finishes, job state lives in an id-indexed arena, and dispatch
+//!   works out of reusable scratch — the hot loop is allocation-free
+//!   in steady state. A `BinaryHeap` reference backend
+//!   ([`QueueKind::Heap`]) is retained and pinned bit-identical for
+//!   oracle tests and the `million_jobs` benchmark baseline.
 //!
 //! ## Example
 //!
@@ -49,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod event;
+mod jobs;
 pub mod machine;
 pub mod metrics;
 pub mod scenario;
@@ -56,6 +65,7 @@ pub mod scheduler;
 mod sim;
 pub mod workload;
 
+pub use event::QueueKind;
 pub use scenario::{ChurnModel, ScenarioFamily};
-pub use sim::{SimConfig, Simulation};
+pub use sim::{ticks_to_time, time_to_ticks, SimConfig, Simulation};
 pub use workload::ArrivalProcess;

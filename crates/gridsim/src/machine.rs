@@ -1,8 +1,30 @@
 //! Machine pool with dynamic membership.
+//!
+//! Machine ids are dense, monotone and never recycled, so the pool is a
+//! **slab**: a flat vector indexed directly by id (`O(1)` access on the
+//! event hot path, no tree walks), plus a sorted vector of alive ids
+//! for deterministic id-order iteration and snapshots. Joins are O(1);
+//! departures are O(alive) for the id-list splice — churn events are
+//! orders of magnitude rarer than job events, so the hot loop never
+//! pays for it.
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
+use crate::event::EventToken;
 use crate::workload::MachineSpec;
+
+/// The job a machine is currently executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunningJob {
+    /// Job identifier.
+    pub job: u64,
+    /// Expected finish time, in ticks.
+    pub finish: i64,
+    /// Token of the scheduled `JobFinish` event, so a departure can
+    /// cancel it instead of leaving a stale event for the handler to
+    /// re-validate.
+    pub finish_event: EventToken,
+}
 
 /// Execution state of one grid machine.
 #[derive(Debug, Clone)]
@@ -10,10 +32,11 @@ pub struct Machine {
     /// Static characteristics.
     pub spec: MachineSpec,
     /// Job ids queued on this machine, executed front-to-back (the
-    /// dispatcher enqueues each batch in SPT order).
-    pub queue: Vec<u64>,
-    /// The running job, if any, with its expected finish time.
-    pub running: Option<(u64, f64)>,
+    /// dispatcher enqueues each batch in SPT order). A deque: starts
+    /// pop the front in O(1) whatever the backlog depth.
+    pub queue: VecDeque<u64>,
+    /// The running job, if any.
+    pub running: Option<RunningJob>,
     /// Sum of busy time accumulated so far (for utilisation).
     pub busy_time: f64,
     /// Time the machine joined the grid.
@@ -26,7 +49,7 @@ impl Machine {
     pub fn new(spec: MachineSpec, now: f64) -> Self {
         Self {
             spec,
-            queue: Vec::new(),
+            queue: VecDeque::new(),
             running: None,
             busy_time: 0.0,
             joined_at: now,
@@ -36,11 +59,13 @@ impl Machine {
     /// When the machine will have finished everything currently committed
     /// to it (running job + queue), given a closure mapping job id to its
     /// ETC on this machine. This is the machine's **ready time** for the
-    /// next scheduler activation (paper §2).
+    /// next scheduler activation (paper §2). `finish_time` converts the
+    /// running job's tick finish to seconds (the simulation clock's
+    /// conversion, so snapshots agree with the event times).
     #[must_use]
     pub fn ready_time(&self, now: f64, etc_of: impl Fn(u64) -> f64) -> f64 {
         let mut ready = match self.running {
-            Some((_, finish)) => finish,
+            Some(running) => crate::sim::ticks_to_time(running.finish),
             None => now,
         };
         for &job in &self.queue {
@@ -56,11 +81,14 @@ impl Machine {
     }
 }
 
-/// The set of alive machines, keyed by id (deterministic iteration).
+/// The set of alive machines: a slab indexed by id, with a sorted
+/// alive-id list for deterministic iteration.
 #[derive(Debug, Default)]
 pub struct MachinePool {
-    machines: BTreeMap<u64, Machine>,
-    next_id: u64,
+    /// Slot per ever-issued id; `None` for departed or reserved ids.
+    slots: Vec<Option<Machine>>,
+    /// Alive ids, ascending.
+    alive: Vec<u64>,
 }
 
 impl MachinePool {
@@ -70,59 +98,93 @@ impl MachinePool {
         Self::default()
     }
 
+    /// Reserves the next machine id without bringing the machine up.
+    /// Used to stamp `MachineJoin` events with their real identity at
+    /// schedule time; the reservation is filled by
+    /// [`join_reserved`](Self::join_reserved) when the event fires.
+    pub fn reserve_id(&mut self) -> u64 {
+        let id = self.slots.len() as u64;
+        self.slots.push(None);
+        id
+    }
+
     /// Adds a machine with the given spec characteristics, returning its
     /// id.
     pub fn join(&mut self, slowness: f64, now: f64) -> u64 {
-        let id = self.next_id;
-        self.next_id += 1;
-        self.machines
-            .insert(id, Machine::new(MachineSpec { id, slowness }, now));
+        let id = self.reserve_id();
+        self.join_reserved(id, slowness, now);
         id
+    }
+
+    /// Brings up a machine on an id previously returned by
+    /// [`reserve_id`](Self::reserve_id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was never reserved or is already alive.
+    pub fn join_reserved(&mut self, id: u64, slowness: f64, now: f64) {
+        let slot = self
+            .slots
+            .get_mut(id as usize)
+            .expect("join of an unreserved machine id");
+        assert!(slot.is_none(), "machine {id} is already alive");
+        *slot = Some(Machine::new(MachineSpec { id, slowness }, now));
+        // Ids are issued in increasing order and a reserved id joins
+        // before the next reservation is made, so pushing keeps the
+        // alive list sorted.
+        debug_assert!(self.alive.last().is_none_or(|&last| last < id));
+        self.alive.push(id);
     }
 
     /// Removes a machine, returning it (with any queued/running work) if
     /// it was alive.
     pub fn leave(&mut self, id: u64) -> Option<Machine> {
-        self.machines.remove(&id)
+        let machine = self.slots.get_mut(id as usize)?.take()?;
+        let pos = self
+            .alive
+            .binary_search(&id)
+            .expect("alive list out of sync");
+        self.alive.remove(pos);
+        Some(machine)
     }
 
     /// Immutable access to a machine.
+    #[inline]
     #[must_use]
     pub fn get(&self, id: u64) -> Option<&Machine> {
-        self.machines.get(&id)
+        self.slots.get(id as usize)?.as_ref()
     }
 
     /// Mutable access to a machine.
+    #[inline]
     pub fn get_mut(&mut self, id: u64) -> Option<&mut Machine> {
-        self.machines.get_mut(&id)
+        self.slots.get_mut(id as usize)?.as_mut()
     }
 
     /// Alive machines in id order.
     pub fn iter(&self) -> impl Iterator<Item = &Machine> {
-        self.machines.values()
-    }
-
-    /// Mutable iteration in id order.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Machine> {
-        self.machines.values_mut()
+        self.alive
+            .iter()
+            .map(|&id| self.slots[id as usize].as_ref().expect("alive machine"))
     }
 
     /// Number of alive machines.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.machines.len()
+        self.alive.len()
     }
 
     /// Whether no machines are alive.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.machines.is_empty()
+        self.alive.is_empty()
     }
 
-    /// Ids of alive machines, ascending.
+    /// Ids of alive machines, ascending — a borrow, so the hot path
+    /// copies it into reusable scratch instead of allocating.
     #[must_use]
-    pub fn ids(&self) -> Vec<u64> {
-        self.machines.keys().copied().collect()
+    pub fn ids(&self) -> &[u64] {
+        &self.alive
     }
 }
 
@@ -137,14 +199,14 @@ mod tests {
         let b = pool.join(3.0, 1.0);
         assert_eq!((a, b), (0, 1));
         assert_eq!(pool.len(), 2);
-        assert_eq!(pool.ids(), vec![0, 1]);
+        assert_eq!(pool.ids(), &[0, 1]);
     }
 
     #[test]
     fn leave_returns_machine_with_work() {
         let mut pool = MachinePool::new();
         let id = pool.join(1.0, 0.0);
-        pool.get_mut(id).unwrap().queue.push(42);
+        pool.get_mut(id).unwrap().queue.push_back(42);
         let gone = pool.leave(id).unwrap();
         assert_eq!(gone.queue, vec![42]);
         assert!(pool.is_empty());
@@ -163,8 +225,12 @@ mod tests {
         // Idle: ready now.
         assert_eq!(machine.ready_time(5.0, |_| 1.0), 5.0);
         // Running until t=10 plus two queued jobs of ETC 3 each.
-        machine.running = Some((1, 10.0));
-        machine.queue = vec![2, 3];
+        machine.running = Some(RunningJob {
+            job: 1,
+            finish: crate::sim::time_to_ticks(10.0),
+            finish_event: 0,
+        });
+        machine.queue = VecDeque::from([2, 3]);
         assert_eq!(machine.ready_time(5.0, |_| 3.0), 16.0);
     }
 
@@ -175,5 +241,19 @@ mod tests {
         pool.leave(a);
         let b = pool.join(1.0, 1.0);
         assert_ne!(a, b, "machine ids must stay unique across churn");
+    }
+
+    #[test]
+    fn reserved_ids_join_later() {
+        let mut pool = MachinePool::new();
+        pool.join(1.0, 0.0);
+        let reserved = pool.reserve_id();
+        assert_eq!(reserved, 1);
+        assert_eq!(pool.len(), 1, "a reservation is not alive yet");
+        assert!(pool.get(reserved).is_none());
+        pool.join_reserved(reserved, 4.0, 2.0);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.get(reserved).unwrap().spec.slowness, 4.0);
+        assert_eq!(pool.ids(), &[0, 1]);
     }
 }

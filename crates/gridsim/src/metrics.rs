@@ -53,6 +53,11 @@ pub struct SimReport {
     /// draws interleave with the arrival process, so the stream is
     /// genuinely schedule-dependent and digests may differ.)
     pub event_digest: u64,
+    /// Events drained from the queue over the whole run.
+    pub events_processed: u64,
+    /// Wall-clock seconds of the whole run, *including* scheduler time
+    /// ([`SimReport::scheduler_wall_s`] is the scheduler-only share).
+    pub sim_wall_s: f64,
 }
 
 impl SimReport {

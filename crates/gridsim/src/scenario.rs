@@ -18,6 +18,7 @@
 //! Every family is deterministic per seed: all randomness flows through
 //! the simulation's single RNG stream.
 
+use crate::event::QueueKind;
 use crate::sim::SimConfig;
 use crate::workload::{ArrivalProcess, World};
 
@@ -223,6 +224,7 @@ impl ScenarioFamily {
             churn: ChurnModel::Static,
             execution_noise: 0.0,
             max_events: 1_000_000,
+            queue: QueueKind::Calendar,
         };
         match self {
             Self::Calm => base,

@@ -1,18 +1,41 @@
 //! The discrete-event simulation loop.
+//!
+//! Simulation time runs on the workspace's exact fixed-point **ticks**
+//! ([`cmags_core::ticks`], 1 tick = 2⁻³² s): the event queue orders
+//! plain integers (no `total_cmp`, no epsilon), clock monotonicity is
+//! an exact integer assertion, and two queue backends can be pinned to
+//! agree bit-for-bit. The event hot loop is allocation-free in steady
+//! state: job state lives in an id-indexed arena, machine state in an
+//! id-indexed slab, and every per-activation buffer (ETC snapshot,
+//! ready times, per-machine buckets) is reusable scratch owned by the
+//! [`Simulation`].
 
-use std::collections::BTreeMap;
 use std::time::Instant;
 
 use cmags_etc::{EtcMatrix, GridInstance};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::event::{Event, EventQueue};
-use crate::machine::MachinePool;
+use crate::event::{Event, EventQueue, QueueKind};
+use crate::jobs::JobArena;
+use crate::machine::{MachinePool, RunningJob};
 use crate::metrics::{JobRecord, SimReport};
 use crate::scenario::{ChurnModel, ScenarioFamily};
 use crate::scheduler::BatchScheduler;
-use crate::workload::{exp_gap, ArrivalGen, ArrivalProcess, JobSpec, World};
+use crate::workload::{exp_gap, ArrivalGen, ArrivalProcess, JobSpec, MachineSpec, World};
+
+/// Converts seconds (the workload/metrics unit) to the simulation's
+/// tick clock. Rounds to the nearest tick.
+#[must_use]
+pub fn time_to_ticks(seconds: f64) -> i64 {
+    cmags_core::ticks::ticks(seconds)
+}
+
+/// Converts a tick timestamp back to seconds (correctly rounded).
+#[must_use]
+pub fn ticks_to_time(ticks: i64) -> f64 {
+    cmags_core::ticks::time(i128::from(ticks))
+}
 
 /// Simulation parameters.
 #[derive(Debug, Clone)]
@@ -37,6 +60,10 @@ pub struct SimConfig {
     pub execution_noise: f64,
     /// Safety valve on total processed events.
     pub max_events: u64,
+    /// Event-queue backend: the calendar queue by default;
+    /// [`QueueKind::Heap`] selects the retained `BinaryHeap` reference
+    /// (bit-identical results, used as the bench baseline).
+    pub queue: QueueKind,
 }
 
 impl SimConfig {
@@ -60,32 +87,92 @@ impl SimConfig {
     pub fn from_family(family: ScenarioFamily) -> Self {
         family.config()
     }
+
+    /// A production-scale stress configuration: `machines` consistent
+    /// lolo machines under stationary Poisson arrivals at `rate` jobs/s
+    /// over `horizon` seconds (≈ `rate · horizon` total jobs), a fixed
+    /// pool, no noise, and an uncapped event valve sized from the
+    /// expected traffic. The `million_jobs` bench drives this at 10⁴
+    /// machines × 10⁶ jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive rate/horizon/interval (via
+    /// [`Simulation::new`]'s validation) or fewer than two machines.
+    #[must_use]
+    pub fn heavy_traffic(
+        machines: usize,
+        rate: f64,
+        horizon: f64,
+        activation_interval: f64,
+    ) -> Self {
+        let expected_jobs = (rate * horizon).ceil() as u64;
+        Self {
+            world: World {
+                consistency: cmags_etc::Consistency::Consistent,
+                phi_task: cmags_etc::braun::PHI_TASK_LO,
+                phi_mach: cmags_etc::braun::PHI_MACH_LO,
+                noise_seed: 17,
+            },
+            arrivals: ArrivalProcess::Poisson { rate },
+            arrival_horizon: horizon,
+            activation_interval,
+            initial_machines: machines,
+            churn: ChurnModel::Static,
+            execution_noise: 0.0,
+            // Arrivals + finishes + activations, with generous slack
+            // for the drain tail.
+            max_events: expected_jobs.saturating_mul(8).saturating_add(1_000_000),
+            queue: QueueKind::Calendar,
+        }
+    }
 }
 
-/// Job lifecycle state.
-#[derive(Debug, Clone, Copy)]
-struct JobState {
-    spec: JobSpec,
-    started: Option<f64>,
-    resubmissions: u32,
+/// Reusable per-activation buffers of [`Simulation::dispatch_pending`]:
+/// the dispatcher clears and refills these instead of allocating fresh
+/// vectors every activation (the ETC/ready buffers round-trip through
+/// the `GridInstance` handed to the scheduler and come back via
+/// [`GridInstance::into_parts`]).
+#[derive(Debug, Default)]
+struct DispatchScratch {
+    /// Alive machine ids (snapshot column order).
+    machine_ids: Vec<u64>,
+    /// Specs of the alive machines, in column order.
+    specs: Vec<MachineSpec>,
+    /// Pending job ids (snapshot row order).
+    job_ids: Vec<u64>,
+    /// Row-major ETC snapshot buffer.
+    etc: Vec<f64>,
+    /// Relative ready times, in column order.
+    ready: Vec<f64>,
+    /// Per-machine buckets of snapshot row indices.
+    buckets: Vec<Vec<u32>>,
 }
 
 /// The simulator. Owns all mutable state of one run.
 pub struct Simulation {
     config: SimConfig,
+    /// `arrival_horizon` in ticks.
+    horizon: i64,
+    /// `activation_interval` in ticks.
+    interval: i64,
     rng: SmallRng,
     arrivals: ArrivalGen,
     events: EventQueue,
     pool: MachinePool,
     /// Jobs waiting for the next scheduler activation, in arrival order.
     pending: Vec<u64>,
-    /// All job states, keyed by id.
-    jobs: BTreeMap<u64, JobState>,
-    now: f64,
+    /// All job states, indexed by id.
+    jobs: JobArena,
+    /// Simulation clock, ticks.
+    now: i64,
+    /// Simulation clock, seconds (cached conversion of `now`).
+    now_f: f64,
     next_job_id: u64,
     report: SimReport,
-    /// Accumulates (alive machines × elapsed) for utilisation.
-    last_avail_update: f64,
+    /// Tick of the last availability update (for utilisation).
+    last_avail_update: i64,
+    scratch: DispatchScratch,
 }
 
 impl Simulation {
@@ -118,24 +205,32 @@ impl Simulation {
             let slowness = config.world.draw_slowness(&mut rng);
             pool.join(slowness, 0.0);
         }
+        let horizon = time_to_ticks(config.arrival_horizon);
+        let interval = time_to_ticks(config.activation_interval);
+        let events = EventQueue::with_kind(config.queue);
         Self {
             config,
+            horizon,
+            interval,
             rng,
             arrivals,
-            events: EventQueue::new(),
+            events,
             pool,
             pending: Vec::new(),
-            jobs: BTreeMap::new(),
-            now: 0.0,
+            jobs: JobArena::default(),
+            now: 0,
+            now_f: 0.0,
             next_job_id: 0,
             report: SimReport::default(),
-            last_avail_update: 0.0,
+            last_avail_update: 0,
+            scratch: DispatchScratch::default(),
         }
     }
 
     /// Runs the simulation to completion under `scheduler` and returns
     /// the report.
     pub fn run(mut self, scheduler: &mut dyn BatchScheduler) -> SimReport {
+        let wall = Instant::now();
         self.report.scheduler = scheduler.name();
         self.schedule_initial_events();
 
@@ -153,61 +248,73 @@ impl Simulation {
                 Event::JobArrival { job } => self.on_arrival(job),
                 Event::SchedulerActivation => self.on_activation(scheduler),
                 Event::JobFinish { machine, job } => self.on_finish(machine, job),
-                Event::MachineJoin { .. } => self.on_join(),
-                Event::MachineLeave { machine } => self.on_leave(machine),
+                Event::MachineJoin { machine } => self.on_join(machine),
+                Event::MachineLeave => self.on_leave(),
                 Event::MassDeparture => self.on_mass_departure(),
             }
         }
         // Final availability update and sanity.
         self.advance_clock(self.now);
         debug_assert_eq!(self.report.jobs_completed, self.report.jobs_submitted);
+        self.report.events_processed = processed;
+        self.report.sim_wall_s = wall.elapsed().as_secs_f64();
         self.report
     }
 
     // --- event generation -------------------------------------------------
 
+    /// Schedules an event `gap` seconds after `now`, if the instant
+    /// still lies within the arrival horizon; returns the scheduled
+    /// tick.
+    fn push_within_horizon(&mut self, gap: f64, event: Event) -> Option<i64> {
+        let t = self.now + time_to_ticks(gap);
+        if t <= self.horizon {
+            self.events.push(t, event);
+            Some(t)
+        } else {
+            None
+        }
+    }
+
     fn schedule_initial_events(&mut self) {
         // First arrival.
         let gap = self.arrivals.next_gap(0.0, &mut self.rng);
-        if gap <= self.config.arrival_horizon {
-            self.events.push(
-                gap,
-                Event::JobArrival {
-                    job: self.next_job_id,
-                },
-            );
-        }
+        self.push_within_horizon(
+            gap,
+            Event::JobArrival {
+                job: self.next_job_id,
+            },
+        );
         // First activation.
-        self.events
-            .push(self.config.activation_interval, Event::SchedulerActivation);
+        self.events.push(self.interval, Event::SchedulerActivation);
         // Churn processes.
         let churn = self.config.churn;
         if churn.join_rate() > 0.0 {
             let gap = exp_gap(&mut self.rng, churn.join_rate());
-            if gap <= self.config.arrival_horizon {
-                self.events.push(gap, Event::MachineJoin { machine: 0 });
+            if time_to_ticks(gap) <= self.horizon {
+                let machine = self.pool.reserve_id();
+                self.push_within_horizon(gap, Event::MachineJoin { machine });
             }
         }
         if churn.leave_rate() > 0.0 {
             let gap = exp_gap(&mut self.rng, churn.leave_rate());
-            if gap <= self.config.arrival_horizon {
-                self.events.push(gap, Event::MachineLeave { machine: 0 });
-            }
+            self.push_within_horizon(gap, Event::MachineLeave);
         }
         if let Some((shock_rate, _)) = churn.shock() {
             let gap = exp_gap(&mut self.rng, shock_rate);
-            if gap <= self.config.arrival_horizon {
-                self.events.push(gap, Event::MassDeparture);
-            }
+            self.push_within_horizon(gap, Event::MassDeparture);
         }
     }
 
-    fn advance_clock(&mut self, time: f64) {
-        debug_assert!(time + 1e-9 >= self.now, "time went backwards");
-        let elapsed = (time - self.last_avail_update).max(0.0);
+    fn advance_clock(&mut self, time: i64) {
+        debug_assert!(time >= self.now, "time went backwards");
+        let elapsed = ticks_to_time(time - self.last_avail_update);
         self.report.available_machine_seconds += elapsed * self.pool.len() as f64;
         self.last_avail_update = time;
-        self.now = self.now.max(time);
+        if time > self.now {
+            self.now = time;
+            self.now_f = ticks_to_time(time);
+        }
     }
 
     // --- event handlers ----------------------------------------------------
@@ -216,34 +323,24 @@ impl Simulation {
         debug_assert_eq!(job, self.next_job_id);
         let spec = JobSpec {
             id: job,
-            arrival: self.now,
+            arrival: self.now_f,
             baseline: self.config.world.draw_baseline(&mut self.rng),
         };
         self.report
-            .fold_event(&[1, job, self.now.to_bits(), spec.baseline.to_bits()]);
-        self.jobs.insert(
-            job,
-            JobState {
-                spec,
-                started: None,
-                resubmissions: 0,
-            },
-        );
+            .fold_event(&[1, job, self.now as u64, spec.baseline.to_bits()]);
+        self.jobs.insert(spec);
         self.pending.push(job);
         self.report.jobs_submitted += 1;
         self.next_job_id += 1;
 
         // Next arrival, if still within the horizon.
-        let gap = self.arrivals.next_gap(self.now, &mut self.rng);
-        let t = self.now + gap;
-        if t <= self.config.arrival_horizon {
-            self.events.push(
-                t,
-                Event::JobArrival {
-                    job: self.next_job_id,
-                },
-            );
-        }
+        let gap = self.arrivals.next_gap(self.now_f, &mut self.rng);
+        self.push_within_horizon(
+            gap,
+            Event::JobArrival {
+                job: self.next_job_id,
+            },
+        );
     }
 
     fn on_activation(&mut self, scheduler: &mut dyn BatchScheduler) {
@@ -253,86 +350,102 @@ impl Simulation {
         // Re-arm while work can still appear or remains in flight. The
         // completed-vs-submitted gap covers every unfinished job —
         // pending, queued, running or killed-awaiting-resubmission — so
-        // the check is O(1) (the seed scanned all jobs against the
-        // pending list here, O(jobs × pending) per activation).
-        let more_arrivals = self.now < self.config.arrival_horizon;
+        // the check is O(1).
+        let more_arrivals = self.now < self.horizon;
         if more_arrivals || self.report.jobs_completed < self.report.jobs_submitted {
-            self.events.push(
-                self.now + self.config.activation_interval,
-                Event::SchedulerActivation,
-            );
+            self.events
+                .push(self.now + self.interval, Event::SchedulerActivation);
         }
     }
 
     /// Snapshot pending jobs + alive machines into a `GridInstance`, ask
-    /// the scheduler, dispatch assignments in SPT order per machine.
+    /// the scheduler, dispatch assignments in SPT order per machine. All
+    /// buffers come from (and return to) the per-simulation scratch.
     fn dispatch_pending(&mut self, scheduler: &mut dyn BatchScheduler) {
-        let machine_ids = self.pool.ids();
-        let job_ids: Vec<u64> = self.pending.drain(..).collect();
-
-        // ETC snapshot: rows in pending order, columns in machine-id order.
+        let mut scratch = std::mem::take(&mut self.scratch);
         let world = self.config.world;
-        let jobs = &self.jobs;
-        let pool = &self.pool;
-        let etc = EtcMatrix::from_fn(job_ids.len(), machine_ids.len(), |r, c| {
-            let spec = &jobs[&job_ids[r]].spec;
-            let machine = pool.get(machine_ids[c]).expect("alive machine");
-            world.etc(spec, &machine.spec)
-        });
-        let ready: Vec<f64> = machine_ids
-            .iter()
-            .map(|&id| {
-                let machine = self.pool.get(id).expect("alive machine");
-                let ready_abs =
-                    machine.ready_time(self.now, |job| world.etc(&jobs[&job].spec, &machine.spec));
-                // Ready times are relative to "now" for the snapshot.
-                (ready_abs - self.now).max(0.0)
-            })
-            .collect();
-        let instance =
-            GridInstance::with_ready_times(format!("activation@{:.0}", self.now), etc, ready);
+        let now_f = self.now_f;
+
+        // Columns: alive machines in id order, with specs and relative
+        // ready times gathered in one O(machines + queued) pass.
+        scratch.machine_ids.clear();
+        scratch.machine_ids.extend_from_slice(self.pool.ids());
+        scratch.specs.clear();
+        scratch.ready.clear();
+        for &id in &scratch.machine_ids {
+            let machine = self.pool.get(id).expect("alive machine");
+            scratch.specs.push(machine.spec);
+            let ready_abs = machine.ready_time(now_f, |job| {
+                world.etc(&self.jobs.get(job).spec, &machine.spec)
+            });
+            // Ready times are relative to "now" for the snapshot.
+            scratch.ready.push((ready_abs - now_f).max(0.0));
+        }
+
+        // Rows: pending jobs in arrival order.
+        scratch.job_ids.clear();
+        scratch.job_ids.append(&mut self.pending);
+        let (nb_jobs, nb_machines) = (scratch.job_ids.len(), scratch.machine_ids.len());
+
+        // ETC snapshot into the reusable row-major buffer.
+        scratch.etc.clear();
+        scratch.etc.reserve(nb_jobs * nb_machines);
+        for &job in &scratch.job_ids {
+            let spec = self.jobs.get(job).spec;
+            for machine_spec in &scratch.specs {
+                scratch.etc.push(world.etc(&spec, machine_spec));
+            }
+        }
+        let etc = EtcMatrix::from_rows(nb_jobs, nb_machines, std::mem::take(&mut scratch.etc));
+        let ready = std::mem::take(&mut scratch.ready);
+        let instance = GridInstance::with_ready_times(format!("activation@{now_f:.0}"), etc, ready);
 
         let wall = Instant::now();
         let schedule = scheduler.schedule(&instance, self.report.activations);
         self.report.scheduler_wall_s += wall.elapsed().as_secs_f64();
         self.report.activations += 1;
-        assert_eq!(
-            schedule.nb_jobs(),
-            job_ids.len(),
-            "scheduler must plan every job"
-        );
+        assert_eq!(schedule.nb_jobs(), nb_jobs, "scheduler must plan every job");
+        // Recycle the snapshot buffers for the next activation.
+        let (_name, etc, ready) = instance.into_parts();
+        scratch.etc = etc.into_rows();
+        scratch.ready = ready;
 
-        // Group per machine, enqueue in SPT order (our evaluation
-        // convention), then kick idle machines.
-        let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); machine_ids.len()];
-        for (row, &job) in job_ids.iter().enumerate() {
-            let col = schedule.machine_of(row as u32) as usize;
-            assert!(
-                col < machine_ids.len(),
-                "scheduler assigned an unknown machine"
-            );
-            buckets[col].push(job);
+        // Group rows per machine, enqueue each bucket in SPT order (our
+        // evaluation convention), then kick idle machines.
+        if scratch.buckets.len() < nb_machines {
+            scratch.buckets.resize_with(nb_machines, Vec::new);
         }
-        let mut dispatches: Vec<(u64, Vec<u64>)> = Vec::with_capacity(machine_ids.len());
-        for (col, mut bucket) in buckets.into_iter().enumerate() {
-            if bucket.is_empty() {
+        for bucket in &mut scratch.buckets[..nb_machines] {
+            bucket.clear();
+        }
+        for row in 0..nb_jobs {
+            let col = schedule.machine_of(row as u32) as usize;
+            assert!(col < nb_machines, "scheduler assigned an unknown machine");
+            scratch.buckets[col].push(row as u32);
+        }
+        for col in 0..nb_machines {
+            if scratch.buckets[col].is_empty() {
                 continue;
             }
-            let machine_id = machine_ids[col];
-            let machine_spec = self.pool.get(machine_id).expect("alive machine").spec;
-            bucket.sort_by(|&a, &b| {
-                world
-                    .etc(&jobs[&a].spec, &machine_spec)
-                    .total_cmp(&world.etc(&jobs[&b].spec, &machine_spec))
-                    .then(a.cmp(&b))
-            });
-            dispatches.push((machine_id, bucket));
-        }
-        for (machine_id, bucket) in dispatches {
+            {
+                let (etc, job_ids) = (&scratch.etc, &scratch.job_ids);
+                scratch.buckets[col].sort_unstable_by(|&a, &b| {
+                    let (a, b) = (a as usize, b as usize);
+                    etc[a * nb_machines + col]
+                        .total_cmp(&etc[b * nb_machines + col])
+                        .then(job_ids[a].cmp(&job_ids[b]))
+                });
+            }
+            let machine_id = scratch.machine_ids[col];
             let machine = self.pool.get_mut(machine_id).expect("alive machine");
-            machine.queue.extend(bucket);
+            machine.queue.extend(
+                scratch.buckets[col]
+                    .iter()
+                    .map(|&row| scratch.job_ids[row as usize]),
+            );
             self.kick(machine_id);
         }
+        self.scratch = scratch;
     }
 
     /// Starts the next queued job on `machine` if it is idle.
@@ -347,30 +460,38 @@ impl Simulation {
         if machine.running.is_some() || machine.queue.is_empty() {
             return;
         }
+        let machine_spec = machine.spec;
         let noise = self.draw_noise();
         let world = self.config.world;
-        let now = self.now;
-        let machine = self
+        let job = self
             .pool
             .get_mut(machine_id)
-            .expect("machine alive: checked above");
-        let job = machine.queue.remove(0);
-        let spec = self.jobs[&job].spec;
-        let duration = world.etc(&spec, &machine.spec) * noise;
-        let finish = now + duration;
-        machine.running = Some((job, finish));
-        machine.busy_time += duration;
-        self.report.busy_machine_seconds += duration;
-        if let Some(state) = self.jobs.get_mut(&job) {
-            state.started.get_or_insert(now);
-        }
-        self.events.push(
+            .expect("machine alive: checked above")
+            .queue
+            .pop_front()
+            .expect("non-empty queue: checked above");
+        let spec = self.jobs.get(job).spec;
+        let duration = world.etc(&spec, &machine_spec) * noise;
+        let finish = self.now + time_to_ticks(duration);
+        let finish_event = self.events.push(
             finish,
             Event::JobFinish {
                 machine: machine_id,
                 job,
             },
         );
+        let machine = self
+            .pool
+            .get_mut(machine_id)
+            .expect("machine alive: checked above");
+        machine.running = Some(RunningJob {
+            job,
+            finish,
+            finish_event,
+        });
+        machine.busy_time += duration;
+        self.report.busy_machine_seconds += duration;
+        self.jobs.get_mut(job).started.get_or_insert(self.now);
     }
 
     fn draw_noise(&mut self) -> f64 {
@@ -383,36 +504,41 @@ impl Simulation {
     }
 
     fn on_finish(&mut self, machine_id: u64, job: u64) {
-        // The machine may have left before the finish event fired; the
-        // kill path already handled the job then.
-        let Some(machine) = self.pool.get_mut(machine_id) else {
-            return;
-        };
-        match machine.running {
-            Some((running, _)) if running == job => machine.running = None,
-            _ => return, // stale event
-        }
-        let state = self.jobs[&job];
+        // Stale finishes no longer exist: a departure cancels its
+        // machine's pending `JobFinish`, so a delivered finish always
+        // targets an alive machine running exactly this job.
+        let machine = self
+            .pool
+            .get_mut(machine_id)
+            .expect("JobFinish for a departed machine must have been cancelled");
+        let running = machine
+            .running
+            .take()
+            .expect("JobFinish for an idle machine must have been cancelled");
+        debug_assert_eq!(running.job, job, "finish/running job mismatch");
+        let state = self.jobs.complete(job);
         self.report.record_completion(&JobRecord {
             job,
             arrival: state.spec.arrival,
-            started: state.started.expect("finished job must have started"),
-            finished: self.now,
+            started: ticks_to_time(state.started.expect("finished job must have started")),
+            finished: self.now_f,
             resubmissions: state.resubmissions,
         });
         self.kick(machine_id);
     }
 
-    fn on_join(&mut self) {
+    fn on_join(&mut self, machine_id: u64) {
         let slowness = self.config.world.draw_slowness(&mut self.rng);
+        // The id was reserved when the event was scheduled, so the
+        // digest records the machine's real identity.
         self.report
-            .fold_event(&[2, self.now.to_bits(), slowness.to_bits()]);
-        self.pool.join(slowness, self.now);
+            .fold_event(&[2, machine_id, self.now as u64, slowness.to_bits()]);
+        self.pool.join_reserved(machine_id, slowness, self.now_f);
         // Next join.
         let gap = exp_gap(&mut self.rng, self.config.churn.join_rate());
-        let t = self.now + gap;
-        if t <= self.config.arrival_horizon {
-            self.events.push(t, Event::MachineJoin { machine: 0 });
+        if self.now + time_to_ticks(gap) <= self.horizon {
+            let machine = self.pool.reserve_id();
+            self.push_within_horizon(gap, Event::MachineJoin { machine });
         }
     }
 
@@ -426,33 +552,30 @@ impl Simulation {
         // Deterministic victim: uniform index over alive ids.
         let ids = self.pool.ids();
         let victim = ids[self.rng.gen_range(0..ids.len())];
-        self.report.fold_event(&[3, self.now.to_bits(), victim]);
+        self.report.fold_event(&[3, self.now as u64, victim]);
         if let Some(dead) = self.pool.leave(victim) {
-            // Kill the running job (non-preemptive loss) and resubmit
-            // it and the queue.
+            // Kill the running job (non-preemptive loss), retract its
+            // finish event, and resubmit it and the queue.
             let mut orphans = dead.queue;
-            if let Some((job, _)) = dead.running {
-                orphans.insert(0, job);
+            if let Some(running) = dead.running {
+                self.events.cancel(running.finish_event);
+                orphans.push_front(running.job);
             }
             for job in orphans {
-                if let Some(state) = self.jobs.get_mut(&job) {
-                    state.resubmissions += 1;
-                    // A killed running job restarts from scratch.
-                    state.started = None;
-                }
+                let state = self.jobs.get_mut(job);
+                state.resubmissions += 1;
+                // A killed running job restarts from scratch.
+                state.started = None;
                 self.pending.push(job);
             }
         }
     }
 
-    fn on_leave(&mut self, _hint: u64) {
+    fn on_leave(&mut self) {
         self.kill_random_machine();
         // Next departure.
         let gap = exp_gap(&mut self.rng, self.config.churn.leave_rate());
-        let t = self.now + gap;
-        if t <= self.config.arrival_horizon {
-            self.events.push(t, Event::MachineLeave { machine: 0 });
-        }
+        self.push_within_horizon(gap, Event::MachineLeave);
     }
 
     fn on_mass_departure(&mut self) {
@@ -465,16 +588,13 @@ impl Simulation {
         // two-machine floor still applies per victim.
         let victims = ((self.pool.len() as f64 * fraction).ceil() as usize).max(1);
         self.report
-            .fold_event(&[4, self.now.to_bits(), victims as u64]);
+            .fold_event(&[4, self.now as u64, victims as u64]);
         for _ in 0..victims {
             self.kill_random_machine();
         }
         // Next shock.
         let gap = exp_gap(&mut self.rng, shock_rate);
-        let t = self.now + gap;
-        if t <= self.config.arrival_horizon {
-            self.events.push(t, Event::MassDeparture);
-        }
+        self.push_within_horizon(gap, Event::MassDeparture);
     }
 }
 
@@ -571,7 +691,11 @@ mod tests {
         // the stream depended on incidental kick ordering).
         sim.kick(999);
         sim.kick(0);
-        sim.pool.get_mut(1).expect("machine 1 alive").running = Some((42, 10.0));
+        sim.pool.get_mut(1).expect("machine 1 alive").running = Some(RunningJob {
+            job: 42,
+            finish: time_to_ticks(10.0),
+            finish_event: 0,
+        });
         sim.kick(1);
         let mut after = sim.rng.clone();
         let mut before = reference;
@@ -587,14 +711,15 @@ mod tests {
     #[test]
     fn kick_fix_pins_the_noise_stream() {
         // Pinned against the vendored RNG: a stray noise draw on any
-        // no-op kick (the pre-fix behaviour) shifts the stream and
-        // changes these bits. Update the constant only for a deliberate
-        // change to the simulator's draw ordering.
+        // no-op kick shifts the stream and changes these bits. Update
+        // the constant only for a deliberate change to the simulator's
+        // draw ordering or clock representation (re-pinned once when
+        // simulation time moved to exact fixed-point ticks).
         let mut config = SimConfig::small();
         config.execution_noise = 0.2;
         let mut s = HeuristicScheduler::new(ConstructiveKind::Mct);
         let report = Simulation::new(config, 11).run(&mut s);
-        assert_eq!(report.realized_makespan.to_bits(), 0x4133_cd1b_761d_9d5b);
+        assert_eq!(report.realized_makespan.to_bits(), 0x4133_cd1b_761d_9d5a);
     }
 
     #[test]
@@ -630,6 +755,69 @@ mod tests {
 
     // Noisy replay across every family lives in tests/dynamic_grid.rs
     // (`noisy_runs_replay_bit_for_bit_across_scenario_variants`).
+
+    #[test]
+    fn both_queue_backends_replay_bit_for_bit() {
+        // The calendar queue must be observationally identical to the
+        // retained BinaryHeap reference: same pops, same clock, same
+        // makespan bits, same exogenous digest — across every family.
+        for family in ScenarioFamily::ALL {
+            let run = |kind| {
+                let mut config = SimConfig::from_family(family);
+                config.queue = kind;
+                let mut s = HeuristicScheduler::new(ConstructiveKind::Mct);
+                Simulation::new(config, 5).run(&mut s)
+            };
+            let cal = run(QueueKind::Calendar);
+            let heap = run(QueueKind::Heap);
+            assert_eq!(
+                cal.realized_makespan.to_bits(),
+                heap.realized_makespan.to_bits(),
+                "{family}: backends disagree on makespan"
+            );
+            assert_eq!(
+                cal.flowtime.to_bits(),
+                heap.flowtime.to_bits(),
+                "{family}: backends disagree on flowtime"
+            );
+            assert_eq!(
+                cal.event_digest, heap.event_digest,
+                "{family}: backends disagree on the event stream"
+            );
+            assert_eq!(
+                cal.events_processed, heap.events_processed,
+                "{family}: backends processed different event counts"
+            );
+        }
+    }
+
+    #[test]
+    fn machine_join_events_carry_real_ids() {
+        // The seed stamped `MachineJoin { machine: 0 }` and assigned the
+        // id only when the event fired; ids are now reserved at schedule
+        // time, so the event (and the digest fold) carries the actual
+        // identity.
+        let mut config = SimConfig::small();
+        config.churn = ChurnModel::Independent {
+            join_rate: 1e-3, // mean gap ≪ horizon: a join is scheduled
+            leave_rate: 0.0,
+        };
+        let mut sim = Simulation::new(config, 1);
+        sim.schedule_initial_events();
+        let expected = sim.config.initial_machines as u64;
+        let mut joins = 0;
+        while let Some((_, event)) = sim.events.pop() {
+            if let Event::MachineJoin { machine } = event {
+                assert_eq!(
+                    machine, expected,
+                    "first join must carry the next real machine id"
+                );
+                joins += 1;
+                break;
+            }
+        }
+        assert_eq!(joins, 1, "a join must be scheduled at this rate");
+    }
 
     #[test]
     fn event_digest_is_scheduler_invariant_without_noise() {
