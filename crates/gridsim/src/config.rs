@@ -1,0 +1,212 @@
+//! Typed validation errors of the simulator's configuration surface.
+//!
+//! Every knob of a [`crate::SimConfig`] — arrival process, churn model,
+//! failure model, recovery policy, pool size, horizon — validates
+//! through one [`ConfigError`] type, so malformed scenarios fail loudly
+//! in **release** builds too (the seed guarded them with asserts that a
+//! `debug_assertions`-free build would have skipped entirely for the
+//! churn paths). [`crate::SimConfig::validate`] aggregates the checks;
+//! [`crate::Simulation::try_new`] surfaces them as a `Result`, while
+//! the panicking constructors format the same error.
+
+/// A rejected simulator-configuration knob.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// A quantity that must be strictly positive was not.
+    NonPositive {
+        /// Which knob.
+        what: &'static str,
+        /// Offending value.
+        got: f64,
+    },
+    /// A rate that must be non-negative was negative (or NaN).
+    Negative {
+        /// Which knob.
+        what: &'static str,
+        /// Offending value.
+        got: f64,
+    },
+    /// A value that must lie in a documented interval did not.
+    OutOfRange {
+        /// Which knob.
+        what: &'static str,
+        /// The interval, spelled in interval notation (e.g. `[0, 1)`).
+        bounds: &'static str,
+        /// Offending value.
+        got: f64,
+    },
+    /// An MMPP whose burst rate does not exceed its base rate.
+    BurstNotAboveBase {
+        /// Quiet-phase rate.
+        base: f64,
+        /// Burst-phase rate.
+        burst: f64,
+    },
+    /// A backoff cap below its base delay.
+    BackoffCapBelowBase {
+        /// First-retry delay.
+        base: f64,
+        /// Configured cap.
+        cap: f64,
+    },
+    /// Fewer than two initial machines.
+    TooFewMachines {
+        /// Offending pool size.
+        got: usize,
+    },
+    /// A count that must be at least one was zero.
+    ZeroCount {
+        /// Which knob.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Self::NonPositive { what, got } => {
+                write!(f, "{what} must be positive (got {got})")
+            }
+            Self::Negative { what, got } => {
+                write!(f, "{what} must be non-negative (got {got})")
+            }
+            Self::OutOfRange { what, bounds, got } => {
+                write!(f, "{what} must lie in {bounds} (got {got})")
+            }
+            Self::BurstNotAboveBase { base, burst } => {
+                write!(
+                    f,
+                    "MMPP burst rate must exceed the base rate ({burst} vs {base})"
+                )
+            }
+            Self::BackoffCapBelowBase { base, cap } => {
+                write!(
+                    f,
+                    "backoff cap {cap} must not undercut its base delay {base}"
+                )
+            }
+            Self::TooFewMachines { got } => {
+                write!(f, "need at least two initial machines (got {got})")
+            }
+            Self::ZeroCount { what } => write!(f, "{what} must be at least one"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// `Ok` iff `got` is strictly positive (NaN and non-positive values
+/// fail; `+inf` passes — callers that need finiteness use
+/// [`require_finite_positive`]).
+pub(crate) fn require_positive(what: &'static str, got: f64) -> Result<(), ConfigError> {
+    if got > 0.0 {
+        Ok(())
+    } else {
+        Err(ConfigError::NonPositive { what, got })
+    }
+}
+
+/// `Ok` iff `got` is non-negative (NaN fails).
+pub(crate) fn require_non_negative(what: &'static str, got: f64) -> Result<(), ConfigError> {
+    if got >= 0.0 {
+        Ok(())
+    } else {
+        Err(ConfigError::Negative { what, got })
+    }
+}
+
+/// `Ok` iff `got` is strictly positive *and* finite.
+pub(crate) fn require_finite_positive(what: &'static str, got: f64) -> Result<(), ConfigError> {
+    if got > 0.0 && got.is_finite() {
+        Ok(())
+    } else {
+        Err(ConfigError::NonPositive { what, got })
+    }
+}
+
+/// `Ok` iff `got` is non-negative *and* finite.
+pub(crate) fn require_finite_non_negative(what: &'static str, got: f64) -> Result<(), ConfigError> {
+    if got >= 0.0 && got.is_finite() {
+        Ok(())
+    } else {
+        Err(ConfigError::Negative { what, got })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_knob_and_the_value() {
+        let cases: [(ConfigError, &str); 7] = [
+            (
+                ConfigError::NonPositive {
+                    what: "arrival rate",
+                    got: 0.0,
+                },
+                "arrival rate must be positive",
+            ),
+            (
+                ConfigError::Negative {
+                    what: "join rate",
+                    got: -1.0,
+                },
+                "join rate must be non-negative",
+            ),
+            (
+                ConfigError::OutOfRange {
+                    what: "shock fraction",
+                    bounds: "(0, 1]",
+                    got: 0.0,
+                },
+                "shock fraction must lie in (0, 1]",
+            ),
+            (
+                ConfigError::BurstNotAboveBase {
+                    base: 2.0,
+                    burst: 1.0,
+                },
+                "burst rate must exceed",
+            ),
+            (
+                ConfigError::BackoffCapBelowBase {
+                    base: 9.0,
+                    cap: 1.0,
+                },
+                "backoff cap",
+            ),
+            (
+                ConfigError::TooFewMachines { got: 1 },
+                "at least two initial machines",
+            ),
+            (
+                ConfigError::ZeroCount {
+                    what: "flash-crowd burst",
+                },
+                "must be at least one",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn range_helpers_reject_nan_and_respect_infinity() {
+        assert!(require_positive("x", 1.0).is_ok());
+        assert!(require_positive("x", f64::INFINITY).is_ok());
+        assert!(require_positive("x", 0.0).is_err());
+        assert!(require_positive("x", f64::NAN).is_err());
+        assert!(require_non_negative("x", 0.0).is_ok());
+        assert!(require_non_negative("x", -1.0).is_err());
+        assert!(require_non_negative("x", f64::NAN).is_err());
+        assert!(require_finite_positive("x", 1.0).is_ok());
+        assert!(require_finite_positive("x", f64::INFINITY).is_err());
+        assert!(require_finite_positive("x", f64::NAN).is_err());
+        assert!(require_finite_non_negative("x", 0.0).is_ok());
+        assert!(require_finite_non_negative("x", f64::INFINITY).is_err());
+        assert!(require_finite_non_negative("x", f64::NAN).is_err());
+    }
+}

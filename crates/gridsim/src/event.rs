@@ -59,6 +59,35 @@ pub enum Event {
     /// A correlated mass-departure shock removes a fraction of the
     /// alive pool at one instant ([`crate::scenario::ChurnModel`]).
     MassDeparture,
+    /// The running job on a machine fails transiently
+    /// ([`crate::FailureModel`]): the attempt is lost but the machine
+    /// stays up, and the job retries under the
+    /// [`crate::RecoveryPolicy`].
+    JobFail {
+        /// Machine identifier.
+        machine: u64,
+        /// Job identifier.
+        job: u64,
+    },
+    /// A failed job's retry delay elapses and it re-enters the pending
+    /// queue for the next scheduler activation.
+    JobRetry {
+        /// Job identifier.
+        job: u64,
+    },
+    /// A machine crashes: the running job is killed and the machine is
+    /// quarantined (removed from the schedulable pool but *not*
+    /// departed) until the matching [`Event::MachineRecover`] fires.
+    MachineCrash {
+        /// Machine identifier.
+        machine: u64,
+    },
+    /// A crashed machine finishes repair and rejoins the schedulable
+    /// pool under the same identity.
+    MachineRecover {
+        /// Machine identifier.
+        machine: u64,
+    },
 }
 
 /// Token identifying one scheduled event, for [`EventQueue::cancel`].

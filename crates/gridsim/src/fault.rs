@@ -1,0 +1,519 @@
+//! Fault model and recovery policies of the dynamic grid.
+//!
+//! The reproduced paper's premise is that grid resources are
+//! *unreliable*, yet the seed simulator only modelled permanent machine
+//! departures. This module adds the two missing failure axes and the
+//! policies that absorb them:
+//!
+//! * a [`FailureModel`] drives **transient job failures** (a Poisson
+//!   process per running job-second) and **machine crash/repair
+//!   cycles** (exponential MTBF/MTTR per machine) — a crash kills the
+//!   running job and quarantines the machine until it recovers,
+//!   *distinct* from a permanent departure;
+//! * a [`RetryPolicy`] decides when a failed job re-enters the pending
+//!   queue (immediately, after a fixed delay, or under capped
+//!   exponential backoff with jitter), bounded by `give_up_after`
+//!   attempts before the job is **dropped** terminally;
+//! * a [`RecoveryPolicy`] composes the retry policy with optional
+//!   checkpoint/restart (progress survives in `checkpoint_every`
+//!   slices), a consecutive-failure blacklist with probationary
+//!   re-admission, and a failure-aware ETC inflation hook for the batch
+//!   schedulers.
+//!
+//! All fault randomness flows through **dedicated counter-based hash
+//! streams** (the same splitmix64 idiom as `World::pair_noise`), keyed
+//! by `(seed, stream, entity, attempt)`: enabling failures never
+//! touches — or shifts — the simulation's main RNG, so the exogenous
+//! arrival/churn stream of a seeded run is byte-identical with and
+//! without faults.
+
+use crate::config::ConfigError;
+
+/// Reliability model of the grid's execution substrate.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum FailureModel {
+    /// Perfectly reliable execution (the seed behaviour).
+    #[default]
+    None,
+    /// Unreliable execution: transient job failures and/or machine
+    /// crash/repair cycles.
+    Faulty {
+        /// Poisson rate of transient failures per running job-second
+        /// (zero disables transient failures).
+        job_fail_rate: f64,
+        /// Mean time between crashes of one machine, simulated seconds
+        /// (`f64::INFINITY` disables crashes).
+        mtbf: f64,
+        /// Mean time to repair a crashed machine, simulated seconds.
+        mttr: f64,
+    },
+}
+
+impl FailureModel {
+    /// Transient job failures only, at `job_fail_rate` failures per
+    /// running job-second.
+    #[must_use]
+    pub fn transient(job_fail_rate: f64) -> Self {
+        Self::Faulty {
+            job_fail_rate,
+            mtbf: f64::INFINITY,
+            mttr: 1.0,
+        }
+    }
+
+    /// Machine crash/repair cycles only, with the given mean time
+    /// between failures and mean time to repair (simulated seconds).
+    #[must_use]
+    pub fn crashes(mtbf: f64, mttr: f64) -> Self {
+        Self::Faulty {
+            job_fail_rate: 0.0,
+            mtbf,
+            mttr,
+        }
+    }
+
+    /// Rate of transient job failures (zero when disabled).
+    #[must_use]
+    pub fn job_fail_rate(&self) -> f64 {
+        match *self {
+            Self::None => 0.0,
+            Self::Faulty { job_fail_rate, .. } => job_fail_rate,
+        }
+    }
+
+    /// The machine crash/repair process, if any: `(mtbf, mttr)`.
+    #[must_use]
+    pub fn crash(&self) -> Option<(f64, f64)> {
+        match *self {
+            Self::Faulty { mtbf, mttr, .. } if mtbf.is_finite() => Some((mtbf, mttr)),
+            _ => None,
+        }
+    }
+
+    /// Whether any failure process is active.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.job_fail_rate() > 0.0 || self.crash().is_some()
+    }
+
+    /// Checks the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a negative or non-finite failure rate, a non-positive
+    /// MTBF, or a crash model whose MTTR is not positive and finite.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let Self::Faulty {
+            job_fail_rate,
+            mtbf,
+            mttr,
+        } = *self
+        else {
+            return Ok(());
+        };
+        crate::config::require_finite_non_negative("job failure rate", job_fail_rate)?;
+        // An infinite MTBF means "never crashes" and is the transient
+        // constructor's spelling, so only finiteness of MTTR is tied
+        // to an actual crash process.
+        crate::config::require_positive("machine MTBF", mtbf)?;
+        if mtbf.is_finite() {
+            crate::config::require_finite_positive("machine MTTR", mttr)?;
+        }
+        Ok(())
+    }
+}
+
+/// When a failed job re-enters the pending queue, and when to stop
+/// trying: after `give_up_after` failures the job moves to the
+/// **dropped** terminal state instead of retrying.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RetryPolicy {
+    /// Resubmit at the failure instant (next activation plans it).
+    Immediate {
+        /// Failures after which the job is dropped.
+        give_up_after: u32,
+    },
+    /// Resubmit after a constant delay.
+    FixedDelay {
+        /// Delay before each retry, simulated seconds.
+        delay: f64,
+        /// Failures after which the job is dropped.
+        give_up_after: u32,
+    },
+    /// Capped exponential backoff with multiplicative jitter: retry
+    /// `n` waits `min(cap, base · 2ⁿ⁻¹) · (1 + jitter · u)` seconds,
+    /// with `u` a `[0, 1)` draw from the job's dedicated jitter stream.
+    ExponentialBackoff {
+        /// Delay before the first retry, simulated seconds.
+        base: f64,
+        /// Upper bound on the un-jittered delay.
+        cap: f64,
+        /// Relative jitter amplitude in `[0, 1]` (zero disables it).
+        jitter: f64,
+        /// Failures after which the job is dropped.
+        give_up_after: u32,
+    },
+}
+
+impl RetryPolicy {
+    /// A `give_up_after` bound that never drops ("retry forever").
+    pub const FOREVER: u32 = u32::MAX;
+
+    /// Immediate resubmission with no give-up bound (the behaviour
+    /// closest to the seed's departure handling).
+    #[must_use]
+    pub fn immediate() -> Self {
+        Self::Immediate {
+            give_up_after: Self::FOREVER,
+        }
+    }
+
+    /// The policy's give-up bound: a job is dropped once its failure
+    /// count reaches this.
+    #[must_use]
+    pub fn give_up_after(&self) -> u32 {
+        match *self {
+            Self::Immediate { give_up_after }
+            | Self::FixedDelay { give_up_after, .. }
+            | Self::ExponentialBackoff { give_up_after, .. } => give_up_after,
+        }
+    }
+
+    /// Delay before retry number `failures` (1-based), in simulated
+    /// seconds. `unit` is a `[0, 1)` draw from the job's jitter stream
+    /// (ignored except under backoff). Saturates: the exponent is
+    /// clamped, so a `u32::MAX` failure count cannot overflow.
+    #[must_use]
+    pub fn delay(&self, failures: u32, unit: f64) -> f64 {
+        match *self {
+            Self::Immediate { .. } => 0.0,
+            Self::FixedDelay { delay, .. } => delay,
+            Self::ExponentialBackoff {
+                base, cap, jitter, ..
+            } => {
+                let exp = failures.saturating_sub(1).min(64);
+                let raw = (base * 2f64.powi(exp as i32)).min(cap);
+                raw * (1.0 + jitter * unit)
+            }
+        }
+    }
+
+    /// Checks the policy parameters.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a negative fixed delay, a non-positive backoff base, a
+    /// cap under the base, jitter outside `[0, 1]`, or a zero give-up
+    /// bound (which would drop jobs before their first retry).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.give_up_after() == 0 {
+            return Err(ConfigError::ZeroCount {
+                what: "retry give-up bound",
+            });
+        }
+        match *self {
+            Self::Immediate { .. } => Ok(()),
+            Self::FixedDelay { delay, .. } => {
+                crate::config::require_finite_non_negative("retry delay", delay)
+            }
+            Self::ExponentialBackoff {
+                base, cap, jitter, ..
+            } => {
+                crate::config::require_finite_positive("backoff base delay", base)?;
+                if cap < base || cap.is_nan() {
+                    return Err(ConfigError::BackoffCapBelowBase { base, cap });
+                }
+                if !(0.0..=1.0).contains(&jitter) {
+                    return Err(ConfigError::OutOfRange {
+                        what: "backoff jitter",
+                        bounds: "[0, 1]",
+                        got: jitter,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// How the simulator absorbs failures: retry scheduling, optional
+/// checkpoint/restart, a machine blacklist, and the failure-aware ETC
+/// hook the batch schedulers see.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Retry scheduling and the give-up bound.
+    pub retry: RetryPolicy,
+    /// Checkpoint interval in simulated seconds: a lost attempt keeps
+    /// the progress of its last whole checkpoint, so the retry resumes
+    /// from there instead of zero. `None` restarts from scratch (the
+    /// seed behaviour for departures).
+    pub checkpoint_every: Option<f64>,
+    /// Quarantine a machine from *new* assignments after this many
+    /// consecutive failures (`None` disables the blacklist).
+    pub blacklist_after: Option<u32>,
+    /// Blacklist duration in simulated seconds; when it expires the
+    /// machine re-enters the eligible set on probation (one more
+    /// failure re-quarantines it instantly, a success clears it).
+    pub probation: f64,
+    /// Inflate the ETC snapshot the schedulers see by the expected
+    /// retry cost ([`RecoveryPolicy::inflate`]), so plans account for
+    /// reliability. Realized execution always uses the true ETC.
+    pub etc_inflation: bool,
+}
+
+impl Default for RecoveryPolicy {
+    /// Immediate retry forever, no checkpointing, no blacklist, no ETC
+    /// inflation — with [`FailureModel::None`] this reproduces the seed
+    /// simulator byte-for-byte.
+    fn default() -> Self {
+        Self {
+            retry: RetryPolicy::immediate(),
+            checkpoint_every: None,
+            blacklist_after: None,
+            probation: 0.0,
+            etc_inflation: false,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Failure-aware expected completion time of `etc` seconds of work.
+    ///
+    /// Under restart-from-scratch with total failure rate λ (transient
+    /// rate + 1/MTBF), the expected execution until one uninterrupted
+    /// window of length `D` survives is `(e^{λD} − 1)/λ`; with
+    /// checkpoints every `C` seconds only each segment restarts, giving
+    /// `⌈D/C⌉ · (e^{λC'} − 1)/λ` over equal segments `C' = D/⌈D/C⌉`.
+    /// Quiet failure models return `etc` unchanged. The exponent is
+    /// capped so pathological `λ·D` products stay finite — monotone in
+    /// `etc` either way, which is all a ranking scheduler needs.
+    #[must_use]
+    pub fn inflate(&self, etc: f64, failures: &FailureModel) -> f64 {
+        let mut lambda = failures.job_fail_rate();
+        if let Some((mtbf, _)) = failures.crash() {
+            lambda += 1.0 / mtbf;
+        }
+        if lambda <= 0.0 || etc <= 0.0 {
+            return etc;
+        }
+        let segments = match self.checkpoint_every {
+            Some(every) if every < etc => (etc / every).ceil(),
+            _ => 1.0,
+        };
+        let segment = etc / segments;
+        segments * (lambda * segment).min(30.0).exp_m1() / lambda
+    }
+
+    /// Checks the policy parameters.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an invalid retry policy, a non-positive checkpoint
+    /// interval, a zero blacklist threshold, or a negative probation.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.retry.validate()?;
+        if let Some(every) = self.checkpoint_every {
+            crate::config::require_finite_positive("checkpoint interval", every)?;
+        }
+        if self.blacklist_after == Some(0) {
+            return Err(ConfigError::ZeroCount {
+                what: "blacklist threshold",
+            });
+        }
+        crate::config::require_finite_non_negative("blacklist probation", self.probation)
+    }
+}
+
+// --- dedicated fault streams --------------------------------------------
+
+/// Stream tag: transient-failure gaps, indexed by `(job, attempt)`.
+pub(crate) const STREAM_JOB_FAIL: u64 = 1;
+/// Stream tag: backoff jitter, indexed by `(job, failure count)`.
+pub(crate) const STREAM_JITTER: u64 = 2;
+/// Stream tag: machine crash/repair gaps, indexed by
+/// `(machine, crash sequence)`.
+pub(crate) const STREAM_CRASH: u64 = 3;
+
+/// Counter-based unit draw in `[0, 1)` from the dedicated fault
+/// streams: a splitmix64-style hash of `(seed, stream, a, b)` — the
+/// `World::pair_noise` idiom — so fault draws never consume (or shift)
+/// the simulation's main RNG stream.
+#[must_use]
+pub(crate) fn unit_stream(seed: u64, stream: u64, a: u64, b: u64) -> f64 {
+    let mut x = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(stream.wrapping_mul(0xd6e8_feb8_6659_fd93))
+        .wrapping_add(a.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(b.wrapping_mul(0x94d0_49bb_1331_11eb));
+    // splitmix64 finalizer.
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Exponential gap with mean `1/rate` from the dedicated fault streams
+/// (inverse CDF of the unit draw, clamped away from zero).
+#[must_use]
+pub(crate) fn exp_stream(seed: u64, stream: u64, a: u64, b: u64, rate: f64) -> f64 {
+    debug_assert!(rate > 0.0);
+    let u = unit_stream(seed, stream, a, b).max(f64::EPSILON);
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_recovery_matches_the_seed_behaviour() {
+        let policy = RecoveryPolicy::default();
+        assert_eq!(policy.retry.give_up_after(), RetryPolicy::FOREVER);
+        assert_eq!(policy.retry.delay(3, 0.7), 0.0);
+        assert!(policy.checkpoint_every.is_none());
+        assert!(policy.blacklist_after.is_none());
+        assert!(!policy.etc_inflation);
+        policy.validate().expect("default policy must validate");
+        assert!(!FailureModel::default().enabled());
+    }
+
+    #[test]
+    fn backoff_doubles_until_the_cap() {
+        let policy = RetryPolicy::ExponentialBackoff {
+            base: 10.0,
+            cap: 45.0,
+            jitter: 0.0,
+            give_up_after: 8,
+        };
+        assert_eq!(policy.delay(1, 0.9), 10.0);
+        assert_eq!(policy.delay(2, 0.9), 20.0);
+        assert_eq!(policy.delay(3, 0.9), 40.0);
+        assert_eq!(policy.delay(4, 0.9), 45.0, "capped");
+        // Saturating: a u32::MAX failure count must not overflow the
+        // exponent (the overflow test of the retry counters).
+        assert_eq!(policy.delay(u32::MAX, 0.9), 45.0);
+    }
+
+    #[test]
+    fn jitter_scales_multiplicatively() {
+        let policy = RetryPolicy::ExponentialBackoff {
+            base: 100.0,
+            cap: 1000.0,
+            jitter: 0.5,
+            give_up_after: 3,
+        };
+        assert_eq!(policy.delay(1, 0.0), 100.0);
+        assert_eq!(policy.delay(1, 1.0), 150.0);
+    }
+
+    #[test]
+    fn inflate_grows_with_failure_rate_and_shrinks_with_checkpoints() {
+        let quiet = RecoveryPolicy::default();
+        assert_eq!(quiet.inflate(500.0, &FailureModel::None), 500.0);
+        let faulty = FailureModel::transient(1e-3);
+        let from_scratch = quiet.inflate(500.0, &faulty);
+        assert!(
+            from_scratch > 500.0,
+            "expected completion must exceed the raw ETC under failures"
+        );
+        let checkpointed = RecoveryPolicy {
+            checkpoint_every: Some(50.0),
+            ..quiet
+        }
+        .inflate(500.0, &faulty);
+        assert!(
+            checkpointed > 500.0 && checkpointed < from_scratch,
+            "checkpoints must cut the expected retry cost \
+             ({checkpointed} vs {from_scratch})"
+        );
+        // Crash rate composes into λ.
+        let crashy = FailureModel::crashes(1e3, 10.0);
+        assert!(quiet.inflate(500.0, &crashy) > 500.0);
+    }
+
+    #[test]
+    fn inflate_is_monotone_in_etc() {
+        let policy = RecoveryPolicy {
+            checkpoint_every: Some(100.0),
+            ..RecoveryPolicy::default()
+        };
+        let faulty = FailureModel::transient(2e-3);
+        let mut last = 0.0;
+        for etc in [10.0, 100.0, 250.0, 1000.0, 5000.0] {
+            let inflated = policy.inflate(etc, &faulty);
+            assert!(inflated > last, "inflation must preserve ETC order");
+            last = inflated;
+        }
+    }
+
+    #[test]
+    fn fault_streams_are_deterministic_and_distinct() {
+        let a = unit_stream(7, STREAM_JOB_FAIL, 3, 1);
+        assert_eq!(a, unit_stream(7, STREAM_JOB_FAIL, 3, 1));
+        assert_ne!(a, unit_stream(7, STREAM_JITTER, 3, 1), "streams differ");
+        assert_ne!(a, unit_stream(8, STREAM_JOB_FAIL, 3, 1), "seeds differ");
+        assert_ne!(a, unit_stream(7, STREAM_JOB_FAIL, 3, 2), "indices differ");
+        assert!((0.0..1.0).contains(&a));
+        let gap = exp_stream(7, STREAM_CRASH, 0, 0, 1e-3);
+        assert!(gap.is_finite() && gap > 0.0);
+    }
+
+    #[test]
+    fn accessors_expose_the_processes() {
+        assert_eq!(FailureModel::None.job_fail_rate(), 0.0);
+        assert_eq!(FailureModel::None.crash(), None);
+        let transient = FailureModel::transient(1e-6);
+        assert_eq!(transient.job_fail_rate(), 1e-6);
+        assert_eq!(transient.crash(), None, "infinite MTBF disables crashes");
+        assert!(transient.enabled());
+        let crashy = FailureModel::crashes(1e6, 1e4);
+        assert_eq!(crashy.crash(), Some((1e6, 1e4)));
+        assert!(crashy.enabled());
+    }
+
+    #[test]
+    fn validation_rejects_bad_knobs() {
+        assert!(FailureModel::transient(-1.0).validate().is_err());
+        assert!(FailureModel::crashes(0.0, 1.0).validate().is_err());
+        assert!(FailureModel::crashes(1e6, 0.0).validate().is_err());
+        assert!(FailureModel::crashes(1e6, f64::INFINITY)
+            .validate()
+            .is_err());
+        assert!(RetryPolicy::Immediate { give_up_after: 0 }
+            .validate()
+            .is_err());
+        assert!(RetryPolicy::FixedDelay {
+            delay: -1.0,
+            give_up_after: 3
+        }
+        .validate()
+        .is_err());
+        let err = RetryPolicy::ExponentialBackoff {
+            base: 100.0,
+            cap: 10.0,
+            jitter: 0.0,
+            give_up_after: 3,
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.to_string().contains("backoff cap"));
+        assert!(RecoveryPolicy {
+            checkpoint_every: Some(0.0),
+            ..RecoveryPolicy::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RecoveryPolicy {
+            blacklist_after: Some(0),
+            ..RecoveryPolicy::default()
+        }
+        .validate()
+        .is_err());
+        assert!(RecoveryPolicy {
+            probation: -5.0,
+            ..RecoveryPolicy::default()
+        }
+        .validate()
+        .is_err());
+    }
+}

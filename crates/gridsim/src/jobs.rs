@@ -5,23 +5,49 @@
 //! event hot path with no hashing or tree walks (the seed kept a
 //! `BTreeMap<u64, JobState>`, an `O(log n)` pointer chase per lookup —
 //! measurable at 10⁶ jobs). Generational staleness tracking collapses
-//! to a `done` flag because ids are never reused: a slot's only
-//! possible stale access is touching a job after completion, which the
+//! to a terminal-phase flag because ids are never reused: a slot's only
+//! possible stale access is touching a job after it reached a terminal
+//! phase ([`JobPhase::Completed`] or [`JobPhase::Dropped`]), which the
 //! accessors reject in debug builds.
 
 use crate::workload::JobSpec;
+
+/// Lifecycle phase of a job. `Active` covers everything in flight
+/// (pending, queued, running, awaiting retry); the two terminal phases
+/// are completion and the fault layer's give-up drop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum JobPhase {
+    /// In flight: pending, queued, running, or awaiting retry.
+    Active,
+    /// Finished successfully.
+    Completed,
+    /// Dropped after exhausting its retry budget
+    /// ([`crate::RetryPolicy`]'s `give_up_after`).
+    Dropped,
+}
 
 /// Job lifecycle state.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct JobState {
     /// Static characteristics.
     pub spec: JobSpec,
-    /// First execution start (ticks), if started.
+    /// Start of the *current* attempt (ticks), if running.
     pub started: Option<i64>,
-    /// How many times the job was resubmitted after machine departures.
+    /// How many times the job was resubmitted after machine departures
+    /// or crashes (saturating).
     pub resubmissions: u32,
-    /// Whether the job has completed (stale-access guard).
-    pub done: bool,
+    /// How many execution attempts were lost to transient failures or
+    /// crashes (saturating).
+    pub failures: u32,
+    /// How many execution attempts have begun (saturating); indexes the
+    /// job's dedicated failure stream so each attempt draws fresh.
+    pub starts: u32,
+    /// Fraction of the job's work already banked in checkpoints, in
+    /// `[0, 1)`. Zero without checkpointing; a retry executes only the
+    /// remaining `1 − done_fraction` of its ETC.
+    pub done_fraction: f64,
+    /// Lifecycle phase (stale-access guard).
+    pub phase: JobPhase,
 }
 
 /// Id-indexed slab of every job the run has admitted.
@@ -39,15 +65,21 @@ impl JobArena {
             spec,
             started: None,
             resubmissions: 0,
-            done: false,
+            failures: 0,
+            starts: 0,
+            done_fraction: 0.0,
+            phase: JobPhase::Active,
         });
     }
 
-    /// State of a live (not completed) job.
+    /// State of a live (non-terminal) job.
     #[inline]
     pub fn get(&self, id: u64) -> &JobState {
         let state = &self.slots[id as usize];
-        debug_assert!(!state.done, "stale access to completed job {id}");
+        debug_assert!(
+            state.phase == JobPhase::Active,
+            "stale access to completed job {id}"
+        );
         state
     }
 
@@ -55,7 +87,10 @@ impl JobArena {
     #[inline]
     pub fn get_mut(&mut self, id: u64) -> &mut JobState {
         let state = &mut self.slots[id as usize];
-        debug_assert!(!state.done, "stale access to completed job {id}");
+        debug_assert!(
+            state.phase == JobPhase::Active,
+            "stale access to completed job {id}"
+        );
         state
     }
 
@@ -63,8 +98,18 @@ impl JobArena {
     #[inline]
     pub fn complete(&mut self, id: u64) -> JobState {
         let state = &mut self.slots[id as usize];
-        debug_assert!(!state.done, "job {id} completed twice");
-        state.done = true;
+        debug_assert!(state.phase == JobPhase::Active, "job {id} completed twice");
+        state.phase = JobPhase::Completed;
+        *state
+    }
+
+    /// Drops a job terminally (retry budget exhausted), returning its
+    /// final state.
+    #[inline]
+    pub fn drop_job(&mut self, id: u64) -> JobState {
+        let state = &mut self.slots[id as usize];
+        debug_assert!(state.phase == JobPhase::Active, "job {id} dropped twice");
+        state.phase = JobPhase::Dropped;
         *state
     }
 }
@@ -98,7 +143,36 @@ mod tests {
         arena.get_mut(0).started = Some(42);
         let state = arena.complete(0);
         assert_eq!(state.started, Some(42));
-        assert!(state.done);
+        assert_eq!(state.phase, JobPhase::Completed);
+    }
+
+    #[test]
+    fn drop_is_terminal_and_distinct_from_completion() {
+        let mut arena = JobArena::default();
+        arena.insert(spec(0));
+        arena.get_mut(0).failures = 8;
+        let state = arena.drop_job(0);
+        assert_eq!(state.phase, JobPhase::Dropped);
+        assert_eq!(state.failures, 8);
+    }
+
+    #[test]
+    fn attempt_counters_saturate_instead_of_wrapping() {
+        // The overflow contract of the retry counters: a pathological
+        // run can fail one job more than u32::MAX times without the
+        // counter wrapping back to a small value.
+        let mut arena = JobArena::default();
+        arena.insert(spec(0));
+        let job = arena.get_mut(0);
+        job.failures = u32::MAX;
+        job.failures = job.failures.saturating_add(1);
+        job.resubmissions = u32::MAX;
+        job.resubmissions = job.resubmissions.saturating_add(1);
+        job.starts = u32::MAX;
+        job.starts = job.starts.saturating_add(1);
+        assert_eq!(arena.get(0).failures, u32::MAX);
+        assert_eq!(arena.get(0).resubmissions, u32::MAX);
+        assert_eq!(arena.get(0).starts, u32::MAX);
     }
 
     #[test]
@@ -116,6 +190,16 @@ mod tests {
         let mut arena = JobArena::default();
         arena.insert(spec(0));
         arena.complete(0);
+        let _ = arena.get(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale access")]
+    #[cfg(debug_assertions)]
+    fn rejects_access_to_dropped_jobs() {
+        let mut arena = JobArena::default();
+        arena.insert(spec(0));
+        arena.drop_job(0);
         let _ = arena.get(0);
     }
 }

@@ -19,10 +19,22 @@
 //!   correlated mass-departure shocks, or a degrading pool), mirroring
 //!   "resources could dynamically be added/dropped". A leaving machine
 //!   kills its running job; killed and queued jobs are resubmitted.
+//! * **Faults** are modelled separately from churn by a
+//!   [`fault::FailureModel`]: jobs can fail transiently mid-execution,
+//!   and machines can *crash* — a crash quarantines the machine until
+//!   its exponential repair completes and kills the running job, where
+//!   a churn *departure* removes the machine permanently and
+//!   resubmits its whole queue. A [`fault::RecoveryPolicy`] governs
+//!   what happens next: retry with backoff ([`fault::RetryPolicy`]),
+//!   optional checkpoint/restart that banks completed progress, ETC
+//!   inflation so the scheduler prices failure risk, and blacklisting
+//!   of repeat-offender machines. All fault randomness flows through
+//!   dedicated counter-based streams, so enabling faults never shifts
+//!   the exogenous arrival/churn stream.
 //! * The named regimes combining these axes live in the
 //!   [`scenario::ScenarioFamily`] catalog (`calm`, `churny`, `bursty`,
-//!   `diurnal`, `flash_crowd`, `degrading`, `volatile`); every family
-//!   is deterministic per seed.
+//!   `diurnal`, `flash_crowd`, `degrading`, `volatile`, `flaky`,
+//!   `crashy`); every family is deterministic per seed.
 //! * Every `activation_interval` simulated seconds, the **batch
 //!   scheduler** ([`scheduler::BatchScheduler`]) receives the pending jobs
 //!   and the alive machines (with their *ready times* — the remaining
@@ -56,7 +68,9 @@
 
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod event;
+pub mod fault;
 mod jobs;
 pub mod machine;
 pub mod metrics;
@@ -65,7 +79,9 @@ pub mod scheduler;
 mod sim;
 pub mod workload;
 
+pub use config::ConfigError;
 pub use event::QueueKind;
+pub use fault::{FailureModel, RecoveryPolicy, RetryPolicy};
 pub use scenario::{ChurnModel, ScenarioFamily};
 pub use sim::{ticks_to_time, time_to_ticks, SimConfig, Simulation};
 pub use workload::ArrivalProcess;

@@ -18,11 +18,18 @@ use crate::workload::MachineSpec;
 pub struct RunningJob {
     /// Job identifier.
     pub job: u64,
-    /// Expected finish time, in ticks.
+    /// When the current attempt's scheduled event fires, in ticks: the
+    /// planned completion, or an earlier transient-failure instant if
+    /// the fault layer drew one inside the attempt.
     pub finish: i64,
-    /// Token of the scheduled `JobFinish` event, so a departure can
-    /// cancel it instead of leaving a stale event for the handler to
-    /// re-validate.
+    /// Planned completion time absent failure, in ticks. Ready-time
+    /// snapshots use this so schedulers plan against intended work, and
+    /// checkpoint salvage measures attempt progress against it. Equal
+    /// to `finish` when the attempt will not fail.
+    pub planned: i64,
+    /// Token of the scheduled `JobFinish`/`JobFail` event, so a
+    /// departure or crash can cancel it instead of leaving a stale
+    /// event for the handler to re-validate.
     pub finish_event: EventToken,
 }
 
@@ -41,6 +48,19 @@ pub struct Machine {
     pub busy_time: f64,
     /// Time the machine joined the grid.
     pub joined_at: f64,
+    /// Crash/repair draws taken so far: indexes the machine's dedicated
+    /// reliability stream so every MTBF/MTTR gap is a fresh draw.
+    pub crash_seq: u32,
+    /// Token of the machine's armed `MachineCrash` event, if the
+    /// failure model schedules crashes; cancelled on departure and at
+    /// drain quiescence.
+    pub next_crash: Option<EventToken>,
+    /// Consecutive failed attempts on this machine (crashes and
+    /// transient failures); a success resets it. Feeds the blacklist.
+    pub consecutive_failures: u32,
+    /// The machine is quarantined from new assignments until this tick
+    /// (blacklist probation); zero means never blacklisted.
+    pub blacklisted_until: i64,
 }
 
 impl Machine {
@@ -53,6 +73,10 @@ impl Machine {
             running: None,
             busy_time: 0.0,
             joined_at: now,
+            crash_seq: 0,
+            next_crash: None,
+            consecutive_failures: 0,
+            blacklisted_until: 0,
         }
     }
 
@@ -65,7 +89,10 @@ impl Machine {
     #[must_use]
     pub fn ready_time(&self, now: f64, etc_of: impl Fn(u64) -> f64) -> f64 {
         let mut ready = match self.running {
-            Some(running) => crate::sim::ticks_to_time(running.finish),
+            // Plan against the intended completion: an attempt that
+            // will fail early still owes the machine the planned work
+            // (the retry lands somewhere, usually here).
+            Some(running) => crate::sim::ticks_to_time(running.planned),
             None => now,
         };
         for &job in &self.queue {
@@ -82,13 +109,19 @@ impl Machine {
 }
 
 /// The set of alive machines: a slab indexed by id, with a sorted
-/// alive-id list for deterministic iteration.
+/// alive-id list for deterministic iteration. Crashed machines move to
+/// a disjoint sorted `down` list — quarantined but not departed: their
+/// slot (identity, accumulated busy time, reliability stream cursor)
+/// survives until [`recover`](Self::recover) re-admits them.
 #[derive(Debug, Default)]
 pub struct MachinePool {
     /// Slot per ever-issued id; `None` for departed or reserved ids.
+    /// Crashed machines keep their slot.
     slots: Vec<Option<Machine>>,
-    /// Alive ids, ascending.
+    /// Alive (schedulable) ids, ascending.
     alive: Vec<u64>,
+    /// Crashed (quarantined, under repair) ids, ascending.
+    down: Vec<u64>,
 }
 
 impl MachinePool {
@@ -186,6 +219,95 @@ impl MachinePool {
     pub fn ids(&self) -> &[u64] {
         &self.alive
     }
+
+    /// Quarantines a crashed machine: removed from the alive list (so
+    /// schedulers and departures no longer see it) but its slot
+    /// survives. Returns the work it was holding — the queued job ids
+    /// and the running job, both stripped from the machine — or `None`
+    /// if the id is not alive.
+    pub fn crash(&mut self, id: u64) -> Option<(VecDeque<u64>, Option<RunningJob>)> {
+        let pos = self.alive.binary_search(&id).ok()?;
+        self.alive.remove(pos);
+        let down_pos = self
+            .down
+            .binary_search(&id)
+            .expect_err("machine both alive and down");
+        self.down.insert(down_pos, id);
+        let machine = self.slots[id as usize]
+            .as_mut()
+            .expect("crashed machine has a slot");
+        Some((std::mem::take(&mut machine.queue), machine.running.take()))
+    }
+
+    /// Re-admits a repaired machine to the alive list under its
+    /// original identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine is not currently down.
+    pub fn recover(&mut self, id: u64) {
+        let pos = self
+            .down
+            .binary_search(&id)
+            .expect("recover of an up machine");
+        self.down.remove(pos);
+        let alive_pos = self
+            .alive
+            .binary_search(&id)
+            .expect_err("machine both alive and down");
+        self.alive.insert(alive_pos, id);
+    }
+
+    /// Whether the machine is crashed and under repair.
+    #[must_use]
+    pub fn is_down(&self, id: u64) -> bool {
+        self.down.binary_search(&id).is_ok()
+    }
+
+    /// Ids of crashed machines, ascending.
+    #[must_use]
+    pub fn down_ids(&self) -> &[u64] {
+        &self.down
+    }
+
+    /// Structural invariants of the pool, checked allocation-free (the
+    /// chaos harness runs this every scheduler activation inside the
+    /// hot loop's allocation budget): both id lists strictly ascending,
+    /// disjoint, every listed id backed by a populated slot, and no
+    /// down machine holding work (a crash strips its queue and running
+    /// job).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant is violated.
+    pub fn check_consistency(&self) {
+        for list in [&self.alive, &self.down] {
+            for pair in list.windows(2) {
+                assert!(pair[0] < pair[1], "machine id list out of order");
+            }
+            for &id in list {
+                assert!(
+                    self.slots.get(id as usize).is_some_and(Option::is_some),
+                    "listed machine {id} has no slot"
+                );
+            }
+        }
+        // Disjointness by a two-pointer walk over the sorted lists.
+        let (mut a, mut d) = (0, 0);
+        while a < self.alive.len() && d < self.down.len() {
+            match self.alive[a].cmp(&self.down[d]) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => d += 1,
+                std::cmp::Ordering::Equal => {
+                    panic!("machine {} both alive and down", self.alive[a])
+                }
+            }
+        }
+        for &id in &self.down {
+            let machine = self.slots[id as usize].as_ref().expect("checked above");
+            assert!(machine.is_idle(), "down machine {id} still holds work");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -228,10 +350,31 @@ mod tests {
         machine.running = Some(RunningJob {
             job: 1,
             finish: crate::sim::time_to_ticks(10.0),
+            planned: crate::sim::time_to_ticks(10.0),
             finish_event: 0,
         });
         machine.queue = VecDeque::from([2, 3]);
         assert_eq!(machine.ready_time(5.0, |_| 3.0), 16.0);
+    }
+
+    #[test]
+    fn ready_time_uses_the_planned_completion_under_failure() {
+        // An attempt that will fail at t=4 still owes the machine its
+        // planned work until t=10: snapshots plan against intent.
+        let mut machine = Machine::new(
+            MachineSpec {
+                id: 0,
+                slowness: 1.0,
+            },
+            0.0,
+        );
+        machine.running = Some(RunningJob {
+            job: 1,
+            finish: crate::sim::time_to_ticks(4.0),
+            planned: crate::sim::time_to_ticks(10.0),
+            finish_event: 0,
+        });
+        assert_eq!(machine.ready_time(0.0, |_| 0.0), 10.0);
     }
 
     #[test]
@@ -241,6 +384,40 @@ mod tests {
         pool.leave(a);
         let b = pool.join(1.0, 1.0);
         assert_ne!(a, b, "machine ids must stay unique across churn");
+    }
+
+    #[test]
+    fn crash_quarantines_without_departing() {
+        let mut pool = MachinePool::new();
+        let a = pool.join(1.0, 0.0);
+        let b = pool.join(2.0, 0.0);
+        pool.get_mut(a).unwrap().queue.push_back(5);
+        pool.get_mut(a).unwrap().busy_time = 7.5;
+        let (orphans, running) = pool.crash(a).unwrap();
+        assert_eq!(orphans, vec![5]);
+        assert!(running.is_none());
+        assert_eq!(pool.ids(), &[b], "crashed machine leaves the alive list");
+        assert_eq!(pool.down_ids(), &[a]);
+        assert!(pool.is_down(a));
+        assert!(pool.crash(a).is_none(), "a down machine cannot re-crash");
+        pool.check_consistency();
+        pool.recover(a);
+        assert_eq!(pool.ids(), &[a, b], "recovery restores id order");
+        assert!(pool.down_ids().is_empty());
+        // Identity survives the crash: accumulated state is intact.
+        assert_eq!(pool.get(a).unwrap().busy_time, 7.5);
+        pool.check_consistency();
+    }
+
+    #[test]
+    #[should_panic(expected = "still holds work")]
+    fn consistency_rejects_a_down_machine_with_work() {
+        let mut pool = MachinePool::new();
+        let a = pool.join(1.0, 0.0);
+        pool.join(2.0, 0.0);
+        pool.crash(a);
+        pool.get_mut(a).unwrap().queue.push_back(9);
+        pool.check_consistency();
     }
 
     #[test]

@@ -13,6 +13,9 @@ pub struct JobRecord {
     pub finished: f64,
     /// How many times the job was (re)submitted after machine departures.
     pub resubmissions: u32,
+    /// How many execution attempts were lost to transient failures or
+    /// machine crashes before this completion.
+    pub failures: u32,
 }
 
 /// Aggregated outcome of one simulation run.
@@ -26,6 +29,24 @@ pub struct SimReport {
     pub jobs_completed: u64,
     /// Jobs killed by machine departures and resubmitted.
     pub resubmissions: u64,
+    /// Jobs dropped terminally after exhausting their retry budget
+    /// ([`crate::RetryPolicy`]'s `give_up_after`).
+    pub jobs_dropped: u64,
+    /// Execution attempts lost to transient failures or crash kills.
+    pub job_failures: u64,
+    /// Machine crash events (quarantine until repair; permanent
+    /// departures are counted by the churn layer, not here).
+    pub machine_crashes: u64,
+    /// Machine repair completions.
+    pub machine_recoveries: u64,
+    /// Execution ticks lost to failed attempts, net of checkpoint
+    /// salvage: the work a retry has to redo. Checkpointing exists to
+    /// shrink this.
+    pub wasted_ticks: u64,
+    /// Largest per-job resubmission count observed (saturating).
+    pub max_resubmits: u32,
+    /// Largest per-job failed-attempt count observed (saturating).
+    pub max_failures: u32,
     /// Completion time of the last job (paper's makespan analogue).
     pub realized_makespan: f64,
     /// Sum of completion times (the paper's flowtime definition).
@@ -53,6 +74,15 @@ pub struct SimReport {
     /// draws interleave with the arrival process, so the stream is
     /// genuinely schedule-dependent and digests may differ.)
     pub event_digest: u64,
+    /// Order-sensitive FNV-1a fold of the **fault** stream: transient
+    /// failures, retry scheduling, crash kills and terminal drops in
+    /// processing order. Kept separate from
+    /// [`SimReport::event_digest`] because fault instants depend on
+    /// *where* jobs run — the fault stream is schedule-dependent by
+    /// nature, while the exogenous digest must stay
+    /// scheduler-invariant. The chaos harness pins this digest
+    /// bit-identical across queue backends and worker-thread counts.
+    pub fault_digest: u64,
     /// Events drained from the queue over the whole run.
     pub events_processed: u64,
     /// Wall-clock seconds of the whole run, *including* scheduler time
@@ -94,13 +124,18 @@ impl SimReport {
     /// Folds one exogenous event into [`SimReport::event_digest`]
     /// (FNV-1a over the little-endian bytes of each word).
     pub(crate) fn fold_event(&mut self, parts: &[u64]) {
-        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-        for &part in parts {
-            for byte in part.to_le_bytes() {
-                self.event_digest ^= u64::from(byte);
-                self.event_digest = self.event_digest.wrapping_mul(FNV_PRIME);
-            }
-        }
+        fnv_fold(&mut self.event_digest, parts);
+    }
+
+    /// Folds one fault-layer event into [`SimReport::fault_digest`].
+    pub(crate) fn fold_fault(&mut self, parts: &[u64]) {
+        fnv_fold(&mut self.fault_digest, parts);
+    }
+
+    /// Updates the per-job attempt maxima (on completion *and* drop).
+    pub(crate) fn note_attempts(&mut self, resubmissions: u32, failures: u32) {
+        self.max_resubmits = self.max_resubmits.max(resubmissions);
+        self.max_failures = self.max_failures.max(failures);
     }
 
     /// Folds one completed job into the aggregates.
@@ -111,6 +146,18 @@ impl SimReport {
         self.total_response += record.finished - record.arrival;
         self.total_wait += record.started - record.arrival;
         self.resubmissions += u64::from(record.resubmissions);
+        self.note_attempts(record.resubmissions, record.failures);
+    }
+}
+
+/// Order-sensitive FNV-1a over the little-endian bytes of each word.
+fn fnv_fold(digest: &mut u64, parts: &[u64]) {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    for &part in parts {
+        for byte in part.to_le_bytes() {
+            *digest ^= u64::from(byte);
+            *digest = digest.wrapping_mul(FNV_PRIME);
+        }
     }
 }
 
@@ -125,6 +172,7 @@ mod tests {
             started,
             finished,
             resubmissions: 0,
+            failures: 0,
         }
     }
 
@@ -153,6 +201,36 @@ mod tests {
         c.fold_event(&[1]);
         c.fold_event(&[2]);
         assert_eq!(a.event_digest, c.event_digest, "folds concatenate");
+    }
+
+    #[test]
+    fn fault_digest_is_independent_of_the_event_digest() {
+        let mut report = SimReport::default();
+        report.fold_event(&[1, 2, 3]);
+        assert_eq!(report.fault_digest, 0, "event folds leave faults alone");
+        let exogenous = report.event_digest;
+        report.fold_fault(&[4, 5]);
+        assert_eq!(
+            report.event_digest, exogenous,
+            "fault folds leave events alone"
+        );
+        assert_ne!(report.fault_digest, 0);
+    }
+
+    #[test]
+    fn attempt_maxima_track_completions_and_drops() {
+        let mut report = SimReport::default();
+        report.record_completion(&JobRecord {
+            job: 0,
+            arrival: 0.0,
+            started: 1.0,
+            finished: 2.0,
+            resubmissions: 3,
+            failures: 1,
+        });
+        report.note_attempts(1, 7); // e.g. a dropped job's final counts
+        assert_eq!(report.max_resubmits, 3);
+        assert_eq!(report.max_failures, 7);
     }
 
     #[test]

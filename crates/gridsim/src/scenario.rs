@@ -18,7 +18,9 @@
 //! Every family is deterministic per seed: all randomness flows through
 //! the simulation's single RNG stream.
 
+use crate::config::ConfigError;
 use crate::event::QueueKind;
+use crate::fault::{FailureModel, RecoveryPolicy, RetryPolicy};
 use crate::sim::SimConfig;
 use crate::workload::{ArrivalProcess, World};
 
@@ -62,21 +64,25 @@ pub enum ChurnModel {
 impl ChurnModel {
     /// Checks the model parameters.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on negative rates or a shock fraction outside `(0, 1]`.
-    pub fn validate(&self) {
-        let non_negative = |rate: f64, what: &str| {
-            assert!(rate >= 0.0, "{what} must be non-negative");
+    /// Rejects negative rates and a shock fraction outside `(0, 1]`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let non_negative = |rate: f64, what: &'static str| {
+            if rate < 0.0 {
+                Err(ConfigError::Negative { what, got: rate })
+            } else {
+                Ok(())
+            }
         };
         match *self {
-            Self::Static => {}
+            Self::Static => Ok(()),
             Self::Independent {
                 join_rate,
                 leave_rate,
             } => {
-                non_negative(join_rate, "join rate");
-                non_negative(leave_rate, "leave rate");
+                non_negative(join_rate, "join rate")?;
+                non_negative(leave_rate, "leave rate")
             }
             Self::Correlated {
                 join_rate,
@@ -84,16 +90,31 @@ impl ChurnModel {
                 shock_rate,
                 shock_fraction,
             } => {
-                non_negative(join_rate, "join rate");
-                non_negative(leave_rate, "leave rate");
-                assert!(shock_rate > 0.0, "shock rate must be positive");
-                assert!(
-                    shock_fraction > 0.0 && shock_fraction <= 1.0,
-                    "shock fraction must lie in (0, 1]"
-                );
+                non_negative(join_rate, "join rate")?;
+                non_negative(leave_rate, "leave rate")?;
+                if shock_rate <= 0.0 {
+                    return Err(ConfigError::NonPositive {
+                        what: "shock rate",
+                        got: shock_rate,
+                    });
+                }
+                if !(shock_fraction > 0.0 && shock_fraction <= 1.0) {
+                    return Err(ConfigError::OutOfRange {
+                        what: "shock fraction",
+                        bounds: "(0, 1]",
+                        got: shock_fraction,
+                    });
+                }
+                Ok(())
             }
             Self::Degrading { leave_rate } => {
-                assert!(leave_rate > 0.0, "a degrading grid needs departures");
+                if leave_rate <= 0.0 {
+                    return Err(ConfigError::NonPositive {
+                        what: "a degrading grid's leave rate",
+                        got: leave_rate,
+                    });
+                }
+                Ok(())
             }
         }
     }
@@ -170,11 +191,26 @@ pub enum ScenarioFamily {
     /// loss — the regime where per-machine failure independence
     /// assumptions break down.
     Volatile,
+    /// Flaky grid: calm arrivals on a fixed pool whose *jobs* suffer
+    /// transient failures (5·10⁻⁷ failures per executed second).
+    /// Recovery uses exponential backoff (base 10⁴ s, cap 1.6·10⁵ s,
+    /// 25% jitter, give up after 8 attempts), machines are blacklisted
+    /// after 3 consecutive failures with a 10⁵ s probation, and the
+    /// scheduler sees failure-inflated ETCs. Stresses retry policy and
+    /// failure-aware placement without any machine loss.
+    Flaky,
+    /// Crashy grid: calm arrivals on a fixed pool whose *machines*
+    /// crash (MTBF 1.5·10⁶ s, MTTR 10⁵ s) — quarantined until repair,
+    /// not departed. Jobs checkpoint every 5·10⁴ s of execution, retry
+    /// with the flaky family's backoff (give up after 10), and the
+    /// killed work is tracked as wasted ticks. Stresses
+    /// checkpoint/restart economics under repairable outages.
+    Crashy,
 }
 
 impl ScenarioFamily {
     /// Every named family, in catalog order.
-    pub const ALL: [Self; 7] = [
+    pub const ALL: [Self; 9] = [
         Self::Calm,
         Self::Churny,
         Self::Bursty,
@@ -182,6 +218,8 @@ impl ScenarioFamily {
         Self::FlashCrowd,
         Self::Degrading,
         Self::Volatile,
+        Self::Flaky,
+        Self::Crashy,
     ];
 
     /// The catalog name (also the CLI spelling).
@@ -195,6 +233,8 @@ impl ScenarioFamily {
             Self::FlashCrowd => "flash_crowd",
             Self::Degrading => "degrading",
             Self::Volatile => "volatile",
+            Self::Flaky => "flaky",
+            Self::Crashy => "crashy",
         }
     }
 
@@ -209,6 +249,8 @@ impl ScenarioFamily {
             Self::FlashCrowd => "background arrivals plus simultaneous 64-job spikes",
             Self::Degrading => "grid that only loses machines while jobs keep arriving",
             Self::Volatile => "independent churn plus correlated mass-departure shocks",
+            Self::Flaky => "transient job failures with backoff retries and blacklisting",
+            Self::Crashy => "machine crash/repair cycles with checkpointed restarts",
         }
     }
 
@@ -225,6 +267,16 @@ impl ScenarioFamily {
             execution_noise: 0.0,
             max_events: 1_000_000,
             queue: QueueKind::Calendar,
+            failures: FailureModel::None,
+            recovery: RecoveryPolicy::default(),
+        };
+        // Shared retry policy of the fault families: exponential
+        // backoff from 10^4 s capped at 1.6*10^5 s with 25% jitter.
+        let backoff = |give_up_after: u32| RetryPolicy::ExponentialBackoff {
+            base: 1e4,
+            cap: 1.6e5,
+            jitter: 0.25,
+            give_up_after,
         };
         match self {
             Self::Calm => base,
@@ -275,6 +327,28 @@ impl ScenarioFamily {
                 },
                 ..base
             },
+            Self::Flaky => SimConfig {
+                failures: FailureModel::transient(5e-7),
+                recovery: RecoveryPolicy {
+                    retry: backoff(8),
+                    checkpoint_every: None,
+                    blacklist_after: Some(3),
+                    probation: 1e5,
+                    etc_inflation: true,
+                },
+                ..base
+            },
+            Self::Crashy => SimConfig {
+                failures: FailureModel::crashes(1.5e6, 1e5),
+                recovery: RecoveryPolicy {
+                    retry: backoff(10),
+                    checkpoint_every: Some(5e4),
+                    blacklist_after: None,
+                    probation: 0.0,
+                    etc_inflation: false,
+                },
+                ..base
+            },
         }
     }
 }
@@ -318,9 +392,29 @@ mod tests {
     fn every_family_config_validates() {
         for family in ScenarioFamily::ALL {
             let config = family.config();
-            config.arrivals.validate();
-            config.churn.validate();
+            config
+                .validate()
+                .unwrap_or_else(|e| panic!("{family}: {e}"));
             assert!(config.initial_machines >= 2);
+        }
+    }
+
+    #[test]
+    fn fault_families_carry_a_failure_model() {
+        let flaky = ScenarioFamily::Flaky.config();
+        assert!(flaky.failures.enabled());
+        assert!(flaky.failures.crash().is_none(), "flaky machines stay up");
+        assert!(flaky.recovery.etc_inflation);
+        let crashy = ScenarioFamily::Crashy.config();
+        assert!(crashy.failures.crash().is_some());
+        assert_eq!(crashy.recovery.checkpoint_every, Some(5e4));
+        for family in ScenarioFamily::ALL {
+            if family != ScenarioFamily::Flaky && family != ScenarioFamily::Crashy {
+                assert!(
+                    !family.config().failures.enabled(),
+                    "{family} must stay fault-free"
+                );
+            }
         }
     }
 
@@ -348,14 +442,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "shock fraction")]
     fn correlated_rejects_zero_fraction() {
-        ChurnModel::Correlated {
+        let err = ChurnModel::Correlated {
             join_rate: 0.0,
             leave_rate: 0.0,
             shock_rate: 1.0,
             shock_fraction: 0.0,
         }
-        .validate();
+        .validate()
+        .unwrap_err();
+        assert!(err.to_string().contains("shock fraction"), "got: {err}");
     }
 }

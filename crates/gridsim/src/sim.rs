@@ -16,7 +16,12 @@ use cmags_etc::{EtcMatrix, GridInstance};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use crate::config::ConfigError;
 use crate::event::{Event, EventQueue, QueueKind};
+use crate::fault::{
+    exp_stream, unit_stream, FailureModel, RecoveryPolicy, RetryPolicy, STREAM_CRASH,
+    STREAM_JITTER, STREAM_JOB_FAIL,
+};
 use crate::jobs::JobArena;
 use crate::machine::{MachinePool, RunningJob};
 use crate::metrics::{JobRecord, SimReport};
@@ -58,6 +63,15 @@ pub struct SimConfig {
     /// Multiplicative execution-time noise: realized time is
     /// `ETC · U(1-ε, 1+ε)`. Zero keeps execution exactly at ETC.
     pub execution_noise: f64,
+    /// Reliability of the execution substrate: transient job failures
+    /// and machine crash/repair cycles ([`FailureModel::None`] keeps
+    /// the seed's perfectly reliable behaviour). Composes with `churn`:
+    /// a crash quarantines a machine until repair, a departure removes
+    /// it permanently.
+    pub failures: FailureModel,
+    /// How failures are absorbed: retry scheduling, checkpoint/restart,
+    /// machine blacklisting and failure-aware ETC inflation.
+    pub recovery: RecoveryPolicy,
     /// Safety valve on total processed events.
     pub max_events: u64,
     /// Event-queue backend: the calendar queue by default;
@@ -83,9 +97,61 @@ impl SimConfig {
     }
 
     /// Builds the named scenario family's configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the family's configuration fails [`Self::validate`]
+    /// (a catalog bug — the test suite validates every family).
     #[must_use]
     pub fn from_family(family: ScenarioFamily) -> Self {
-        family.config()
+        Self::try_from_family(family).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the named scenario family's configuration, validating
+    /// every knob.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn try_from_family(family: ScenarioFamily) -> Result<Self, ConfigError> {
+        let config = family.config();
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Validates every knob of this configuration: horizon, activation
+    /// interval, pool size, noise bounds, and the arrival, churn,
+    /// failure and recovery models. This is the single gate behind both
+    /// [`Simulation::try_new`] and the panicking constructors, so
+    /// malformed scenarios fail loudly in release builds too.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        crate::config::require_finite_positive("horizon", self.arrival_horizon)?;
+        crate::config::require_finite_positive("activation interval", self.activation_interval)?;
+        if self.initial_machines < 2 {
+            return Err(ConfigError::TooFewMachines {
+                got: self.initial_machines,
+            });
+        }
+        if !(0.0..1.0).contains(&self.execution_noise) {
+            return Err(ConfigError::OutOfRange {
+                what: "execution noise",
+                bounds: "[0, 1)",
+                got: self.execution_noise,
+            });
+        }
+        if self.max_events == 0 {
+            return Err(ConfigError::ZeroCount {
+                what: "the max_events valve",
+            });
+        }
+        self.arrivals.validate()?;
+        self.churn.validate()?;
+        self.failures.validate()?;
+        self.recovery.validate()
     }
 
     /// A production-scale stress configuration: `machines` consistent
@@ -120,6 +186,8 @@ impl SimConfig {
             initial_machines: machines,
             churn: ChurnModel::Static,
             execution_noise: 0.0,
+            failures: FailureModel::None,
+            recovery: RecoveryPolicy::default(),
             // Arrivals + finishes + activations, with generous slack
             // for the drain tail.
             max_events: expected_jobs.saturating_mul(8).saturating_add(1_000_000),
@@ -173,6 +241,17 @@ pub struct Simulation {
     /// Tick of the last availability update (for utilisation).
     last_avail_update: i64,
     scratch: DispatchScratch,
+    /// Seed of the dedicated fault streams (the run seed): fault draws
+    /// are counter-based hashes, never the main RNG, so enabling
+    /// failures cannot shift the arrival/churn stream.
+    fault_seed: u64,
+    /// Jobs parked on a scheduled `JobRetry` (neither pending nor on a
+    /// machine); part of the conservation invariant.
+    awaiting_retry: u64,
+    /// `recovery.checkpoint_every` in ticks (≥ 1 when set).
+    ckpt_ticks: Option<i64>,
+    /// `recovery.probation` in ticks.
+    probation_ticks: i64,
 }
 
 impl Simulation {
@@ -180,24 +259,22 @@ impl Simulation {
     ///
     /// # Panics
     ///
-    /// Panics on non-positive horizon/interval, fewer than two initial
-    /// machines, or invalid arrival/churn parameters.
+    /// Panics on any [`ConfigError`]: non-positive horizon/interval,
+    /// fewer than two initial machines, or invalid
+    /// arrival/churn/failure/recovery parameters.
     #[must_use]
     pub fn new(config: SimConfig, seed: u64) -> Self {
-        assert!(config.arrival_horizon > 0.0, "horizon must be positive");
-        assert!(
-            config.activation_interval > 0.0,
-            "activation interval must be positive"
-        );
-        assert!(
-            config.initial_machines >= 2,
-            "need at least two initial machines"
-        );
-        assert!(
-            (0.0..1.0).contains(&config.execution_noise),
-            "noise must be in [0, 1)"
-        );
-        config.churn.validate();
+        Self::try_new(config, seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Prepares a simulation with the given seed, surfacing
+    /// configuration problems as a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] of [`SimConfig::validate`].
+    pub fn try_new(config: SimConfig, seed: u64) -> Result<Self, ConfigError> {
+        config.validate()?;
         let arrivals = config.arrivals.generator();
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut pool = MachinePool::new();
@@ -208,7 +285,14 @@ impl Simulation {
         let horizon = time_to_ticks(config.arrival_horizon);
         let interval = time_to_ticks(config.activation_interval);
         let events = EventQueue::with_kind(config.queue);
-        Self {
+        // A positive-seconds checkpoint interval can still round to
+        // zero ticks; clamp so progress arithmetic never divides by it.
+        let ckpt_ticks = config
+            .recovery
+            .checkpoint_every
+            .map(|every| time_to_ticks(every).max(1));
+        let probation_ticks = time_to_ticks(config.recovery.probation);
+        Ok(Self {
             config,
             horizon,
             interval,
@@ -224,7 +308,11 @@ impl Simulation {
             report: SimReport::default(),
             last_avail_update: 0,
             scratch: DispatchScratch::default(),
-        }
+            fault_seed: seed,
+            awaiting_retry: 0,
+            ckpt_ticks,
+            probation_ticks,
+        })
     }
 
     /// Runs the simulation to completion under `scheduler` and returns
@@ -251,11 +339,21 @@ impl Simulation {
                 Event::MachineJoin { machine } => self.on_join(machine),
                 Event::MachineLeave => self.on_leave(),
                 Event::MassDeparture => self.on_mass_departure(),
+                Event::JobFail { machine, job } => self.on_fail(machine, job),
+                Event::JobRetry { job } => self.on_retry(job),
+                Event::MachineCrash { machine } => self.on_crash(machine),
+                Event::MachineRecover { machine } => self.on_recover(machine),
             }
         }
-        // Final availability update and sanity.
+        // Final availability update and sanity: every submitted job
+        // reached a terminal state and nothing is left in flight.
         self.advance_clock(self.now);
-        debug_assert_eq!(self.report.jobs_completed, self.report.jobs_submitted);
+        assert_eq!(
+            self.report.jobs_completed + self.report.jobs_dropped,
+            self.report.jobs_submitted,
+            "run ended with jobs in flight"
+        );
+        self.check_invariants();
         self.report.events_processed = processed;
         self.report.sim_wall_s = wall.elapsed().as_secs_f64();
         self.report
@@ -304,10 +402,20 @@ impl Simulation {
             let gap = exp_gap(&mut self.rng, shock_rate);
             self.push_within_horizon(gap, Event::MassDeparture);
         }
+        // Reliability: arm every initial machine's first crash from its
+        // dedicated MTBF stream.
+        if self.config.failures.crash().is_some() {
+            for i in 0..self.pool.ids().len() {
+                let id = self.pool.ids()[i];
+                self.schedule_next_crash(id);
+            }
+        }
     }
 
     fn advance_clock(&mut self, time: i64) {
-        debug_assert!(time >= self.now, "time went backwards");
+        // Exact-tick monotonicity is a chaos-harness invariant, so it
+        // holds in release builds too.
+        assert!(time >= self.now, "time went backwards");
         let elapsed = ticks_to_time(time - self.last_avail_update);
         self.report.available_machine_seconds += elapsed * self.pool.len() as f64;
         self.last_avail_update = time;
@@ -344,18 +452,41 @@ impl Simulation {
     }
 
     fn on_activation(&mut self, scheduler: &mut dyn BatchScheduler) {
+        // The chaos-harness invariants hold at every activation: job
+        // conservation and machine-list consistency, checked
+        // allocation-free so the hot loop's allocation budget stands.
+        self.check_invariants();
         if !self.pending.is_empty() && !self.pool.is_empty() {
             self.dispatch_pending(scheduler);
         }
         // Re-arm while work can still appear or remains in flight. The
-        // completed-vs-submitted gap covers every unfinished job —
-        // pending, queued, running or killed-awaiting-resubmission — so
-        // the check is O(1).
+        // terminal-vs-submitted gap covers every unfinished job —
+        // pending, queued, running, awaiting retry or
+        // killed-awaiting-resubmission — so the check is O(1).
         let more_arrivals = self.now < self.horizon;
-        if more_arrivals || self.report.jobs_completed < self.report.jobs_submitted {
+        let terminal = self.report.jobs_completed + self.report.jobs_dropped;
+        if more_arrivals || terminal < self.report.jobs_submitted {
             self.events
                 .push(self.now + self.interval, Event::SchedulerActivation);
         }
+    }
+
+    /// The chaos harness's structural invariants: every submitted job
+    /// is accounted for exactly once (completed, dropped, pending,
+    /// awaiting retry, queued, or running) and the machine pool's
+    /// alive/down bookkeeping is consistent. Allocation-free; hard
+    /// asserts so release chaos runs catch violations too.
+    fn check_invariants(&self) {
+        self.pool.check_consistency();
+        let mut in_flight = self.pending.len() as u64 + self.awaiting_retry;
+        for machine in self.pool.iter() {
+            in_flight += machine.queue.len() as u64 + u64::from(machine.running.is_some());
+        }
+        assert_eq!(
+            self.report.jobs_submitted,
+            self.report.jobs_completed + self.report.jobs_dropped + in_flight,
+            "job conservation violated"
+        );
     }
 
     /// Snapshot pending jobs + alive machines into a `GridInstance`, ask
@@ -368,8 +499,20 @@ impl Simulation {
 
         // Columns: alive machines in id order, with specs and relative
         // ready times gathered in one O(machines + queued) pass.
+        // Blacklisted machines (too many consecutive failures, still on
+        // probation) are excluded from the snapshot — unless that would
+        // empty it, in which case the full pool is used so the system
+        // stays schedulable.
+        let now_ticks = self.now;
         scratch.machine_ids.clear();
-        scratch.machine_ids.extend_from_slice(self.pool.ids());
+        scratch
+            .machine_ids
+            .extend(self.pool.ids().iter().copied().filter(|&id| {
+                self.pool.get(id).expect("alive machine").blacklisted_until <= now_ticks
+            }));
+        if scratch.machine_ids.is_empty() {
+            scratch.machine_ids.extend_from_slice(self.pool.ids());
+        }
         scratch.specs.clear();
         scratch.ready.clear();
         for &id in &scratch.machine_ids {
@@ -387,13 +530,26 @@ impl Simulation {
         scratch.job_ids.append(&mut self.pending);
         let (nb_jobs, nb_machines) = (scratch.job_ids.len(), scratch.machine_ids.len());
 
-        // ETC snapshot into the reusable row-major buffer.
+        // ETC snapshot into the reusable row-major buffer. With
+        // failure-aware scheduling on, the snapshot carries the
+        // *expected completion under retries* ([`RecoveryPolicy::
+        // inflate`]) — strictly monotone in the raw ETC, so per-machine
+        // SPT order is unchanged; realized execution always uses the
+        // true ETC.
+        let inflate = self.config.recovery.etc_inflation && self.config.failures.enabled();
+        let recovery = self.config.recovery;
+        let failures = self.config.failures;
         scratch.etc.clear();
         scratch.etc.reserve(nb_jobs * nb_machines);
         for &job in &scratch.job_ids {
             let spec = self.jobs.get(job).spec;
             for machine_spec in &scratch.specs {
-                scratch.etc.push(world.etc(&spec, machine_spec));
+                let etc = world.etc(&spec, machine_spec);
+                scratch.etc.push(if inflate {
+                    recovery.inflate(etc, &failures)
+                } else {
+                    etc
+                });
             }
         }
         let etc = EtcMatrix::from_rows(nb_jobs, nb_machines, std::mem::take(&mut scratch.etc));
@@ -470,16 +626,50 @@ impl Simulation {
             .queue
             .pop_front()
             .expect("non-empty queue: checked above");
-        let spec = self.jobs.get(job).spec;
-        let duration = world.etc(&spec, &machine_spec) * noise;
-        let finish = self.now + time_to_ticks(duration);
-        let finish_event = self.events.push(
-            finish,
-            Event::JobFinish {
-                machine: machine_id,
+        let state = self.jobs.get_mut(job);
+        state.starts = state.starts.saturating_add(1);
+        let attempt = state.starts;
+        let spec = state.spec;
+        let done = state.done_fraction;
+        // This attempt executes only the work not already banked in
+        // checkpoints. Without checkpointing `done` is 0 and the factor
+        // is exactly 1.0, so the seed's durations are bit-identical.
+        let duration = world.etc(&spec, &machine_spec) * noise * (1.0 - done);
+        let planned = self.now + time_to_ticks(duration);
+        // Transient-failure draw on the job's dedicated stream, indexed
+        // by attempt so every retry draws fresh. Exactly one event is
+        // scheduled per attempt: the failure if it lands inside the
+        // attempt, the finish otherwise.
+        let fail_rate = self.config.failures.job_fail_rate();
+        let mut fails_at = i64::MAX;
+        if fail_rate > 0.0 {
+            let gap = exp_stream(
+                self.fault_seed,
+                STREAM_JOB_FAIL,
                 job,
-            },
-        );
+                u64::from(attempt),
+                fail_rate,
+            );
+            fails_at = self.now.saturating_add(time_to_ticks(gap));
+        }
+        let (finish, event) = if fails_at < planned {
+            (
+                fails_at,
+                Event::JobFail {
+                    machine: machine_id,
+                    job,
+                },
+            )
+        } else {
+            (
+                planned,
+                Event::JobFinish {
+                    machine: machine_id,
+                    job,
+                },
+            )
+        };
+        let finish_event = self.events.push(finish, event);
         let machine = self
             .pool
             .get_mut(machine_id)
@@ -487,10 +677,14 @@ impl Simulation {
         machine.running = Some(RunningJob {
             job,
             finish,
+            planned,
             finish_event,
         });
-        machine.busy_time += duration;
-        self.report.busy_machine_seconds += duration;
+        // Busy time runs until the scheduled event (failure or finish);
+        // a crash or departure mid-attempt refunds the unexecuted tail.
+        let busy = ticks_to_time(finish - self.now);
+        machine.busy_time += busy;
+        self.report.busy_machine_seconds += busy;
         self.jobs.get_mut(job).started.get_or_insert(self.now);
     }
 
@@ -516,6 +710,9 @@ impl Simulation {
             .take()
             .expect("JobFinish for an idle machine must have been cancelled");
         debug_assert_eq!(running.job, job, "finish/running job mismatch");
+        // A success clears the machine's blacklist state.
+        machine.consecutive_failures = 0;
+        machine.blacklisted_until = 0;
         let state = self.jobs.complete(job);
         self.report.record_completion(&JobRecord {
             job,
@@ -523,8 +720,259 @@ impl Simulation {
             started: ticks_to_time(state.started.expect("finished job must have started")),
             finished: self.now_f,
             resubmissions: state.resubmissions,
+            failures: state.failures,
         });
+        self.maybe_quiesce_faults();
         self.kick(machine_id);
+    }
+
+    // --- fault handling ----------------------------------------------------
+
+    /// The running job on `machine_id` fails transiently: the attempt
+    /// is lost, the machine stays up and moves on to its queue, and the
+    /// job retries under the recovery policy.
+    fn on_fail(&mut self, machine_id: u64, job: u64) {
+        let machine = self
+            .pool
+            .get_mut(machine_id)
+            .expect("JobFail for a departed machine must have been cancelled");
+        let running = machine
+            .running
+            .take()
+            .expect("JobFail for an idle machine must have been cancelled");
+        debug_assert_eq!(running.job, job, "fail/running job mismatch");
+        self.report.job_failures += 1;
+        self.report
+            .fold_fault(&[1, job, machine_id, self.now as u64]);
+        self.note_machine_failure(machine_id);
+        self.fail_running_job(job, running.planned);
+        self.kick(machine_id);
+    }
+
+    /// A failed job's retry delay elapses: back to the pending queue.
+    fn on_retry(&mut self, job: u64) {
+        debug_assert!(self.awaiting_retry > 0, "retry without a scheduled delay");
+        self.awaiting_retry -= 1;
+        self.pending.push(job);
+    }
+
+    /// Books a lost attempt for `job` (failure counter, checkpoint
+    /// salvage, wasted work) and routes it: terminal drop once the
+    /// give-up bound is hit, otherwise a retry now or after the
+    /// policy's delay.
+    fn fail_running_job(&mut self, job: u64, planned: i64) {
+        let state = self.jobs.get_mut(job);
+        state.failures = state.failures.saturating_add(1);
+        let failures = state.failures;
+        self.salvage_checkpoint(job, planned);
+        let retry = self.config.recovery.retry;
+        let give_up = retry.give_up_after();
+        if give_up != RetryPolicy::FOREVER && failures >= give_up {
+            let final_state = self.jobs.drop_job(job);
+            self.report.jobs_dropped += 1;
+            self.report
+                .note_attempts(final_state.resubmissions, final_state.failures);
+            self.report.fold_fault(&[3, job, self.now as u64]);
+            self.maybe_quiesce_faults();
+            return;
+        }
+        let unit = unit_stream(self.fault_seed, STREAM_JITTER, job, u64::from(failures));
+        let delay = retry.delay(failures, unit);
+        if delay <= 0.0 {
+            self.pending.push(job);
+        } else {
+            let at = self.now.saturating_add(time_to_ticks(delay));
+            self.events.push(at, Event::JobRetry { job });
+            self.awaiting_retry += 1;
+            self.report.fold_fault(&[2, job, at as u64]);
+        }
+    }
+
+    /// Settles a killed attempt's progress: work since the last whole
+    /// checkpoint is wasted (counted in ticks), work up to it is banked
+    /// into the job's `done_fraction` so the retry resumes from there.
+    /// Without checkpointing everything executed this attempt is
+    /// wasted — the quantity the `wasted_ticks` metric compares.
+    fn salvage_checkpoint(&mut self, job: u64, planned: i64) {
+        let now = self.now;
+        let ckpt = self.ckpt_ticks;
+        let state = self.jobs.get_mut(job);
+        let started = state
+            .started
+            .take()
+            .expect("a killed running job must have started");
+        let executed = now - started;
+        debug_assert!(executed >= 0, "attempt executed negative time");
+        let saved = match ckpt {
+            Some(every) => executed - executed % every,
+            None => 0,
+        };
+        let span = planned - started;
+        if saved > 0 && span > 0 {
+            // `saved / span` of this attempt's remaining work is banked.
+            let fraction = saved as f64 / span as f64;
+            state.done_fraction += (1.0 - state.done_fraction) * fraction;
+        }
+        self.report.wasted_ticks = self
+            .report
+            .wasted_ticks
+            .saturating_add((executed - saved) as u64);
+    }
+
+    /// Bumps a machine's consecutive-failure count and quarantines it
+    /// for the probation window once the blacklist threshold is hit.
+    fn note_machine_failure(&mut self, machine_id: u64) {
+        let threshold = self.config.recovery.blacklist_after;
+        let until = self.now.saturating_add(self.probation_ticks);
+        let machine = self
+            .pool
+            .get_mut(machine_id)
+            .expect("failing machine has a slot");
+        machine.consecutive_failures = machine.consecutive_failures.saturating_add(1);
+        if let Some(k) = threshold {
+            if machine.consecutive_failures >= k {
+                machine.blacklisted_until = until;
+            }
+        }
+    }
+
+    /// A machine crashes: its running job is killed (and retries), its
+    /// queue is resubmitted, and the machine is quarantined until the
+    /// repair clock fires `MachineRecover`. Distinct from a departure —
+    /// the machine keeps its identity and returns.
+    fn on_crash(&mut self, machine_id: u64) {
+        self.pool
+            .get_mut(machine_id)
+            .expect("MachineCrash for a departed machine must have been cancelled")
+            .next_crash = None;
+        // The two-machine floor applies to crashes like departures:
+        // skip the outage (folded so the stream stays auditable) and
+        // re-arm the machine's crash clock.
+        if self.pool.len() <= 2 {
+            self.report.fold_fault(&[7, self.now as u64, machine_id]);
+            self.schedule_next_crash(machine_id);
+            return;
+        }
+        self.report.machine_crashes += 1;
+        self.report.fold_fault(&[5, self.now as u64, machine_id]);
+        self.note_machine_failure(machine_id);
+        let (orphans, running) = self
+            .pool
+            .crash(machine_id)
+            .expect("crash victim must be alive");
+        if let Some(running) = running {
+            // The attempt dies mid-flight: retract its event, refund
+            // the unexecuted busy tail, and send the job down the same
+            // retry path as a transient failure.
+            self.events.cancel(running.finish_event);
+            let refund = ticks_to_time(running.finish - self.now);
+            self.report.busy_machine_seconds -= refund;
+            if let Some(machine) = self.pool.get_mut(machine_id) {
+                machine.busy_time -= refund;
+            }
+            self.report.job_failures += 1;
+            self.report
+                .fold_fault(&[4, running.job, machine_id, self.now as u64]);
+            self.fail_running_job(running.job, running.planned);
+        }
+        for job in orphans {
+            let state = self.jobs.get_mut(job);
+            state.resubmissions = state.resubmissions.saturating_add(1);
+            state.started = None;
+            self.pending.push(job);
+        }
+        // Repair clock from the machine's dedicated MTTR stream.
+        let (_, mttr) = self
+            .config
+            .failures
+            .crash()
+            .expect("MachineCrash fired without a crash model");
+        let gap = self.machine_stream_gap(machine_id, 1.0 / mttr);
+        self.events.push(
+            self.now.saturating_add(time_to_ticks(gap)),
+            Event::MachineRecover {
+                machine: machine_id,
+            },
+        );
+    }
+
+    /// A repaired machine rejoins the schedulable pool and re-arms its
+    /// crash clock.
+    fn on_recover(&mut self, machine_id: u64) {
+        self.report.machine_recoveries += 1;
+        self.report.fold_fault(&[6, self.now as u64, machine_id]);
+        self.pool.recover(machine_id);
+        self.schedule_next_crash(machine_id);
+    }
+
+    /// Arms `machine_id`'s next crash from its MTBF stream — unless
+    /// crashes are off or the run has drained (no more arrivals and
+    /// every job terminal), so reliability chains cannot extend the
+    /// clock past the last real work.
+    fn schedule_next_crash(&mut self, machine_id: u64) {
+        let Some((mtbf, _)) = self.config.failures.crash() else {
+            return;
+        };
+        if self.drained() {
+            return;
+        }
+        let gap = self.machine_stream_gap(machine_id, 1.0 / mtbf);
+        let at = self.now.saturating_add(time_to_ticks(gap));
+        let token = self.events.push(
+            at,
+            Event::MachineCrash {
+                machine: machine_id,
+            },
+        );
+        self.pool
+            .get_mut(machine_id)
+            .expect("crash armed on a departed machine")
+            .next_crash = Some(token);
+    }
+
+    /// Next gap of `machine_id`'s reliability stream (MTBF and MTTR
+    /// draws alternate on one per-machine counter).
+    fn machine_stream_gap(&mut self, machine_id: u64, rate: f64) -> f64 {
+        let machine = self
+            .pool
+            .get_mut(machine_id)
+            .expect("reliability draw for a departed machine");
+        let seq = machine.crash_seq;
+        machine.crash_seq = seq.saturating_add(1);
+        exp_stream(
+            self.fault_seed,
+            STREAM_CRASH,
+            machine_id,
+            u64::from(seq),
+            rate,
+        )
+    }
+
+    /// Whether the run is past the arrival horizon with every job
+    /// terminal — the moment the fault layer quiesces.
+    fn drained(&self) -> bool {
+        self.now >= self.horizon
+            && self.report.jobs_completed + self.report.jobs_dropped >= self.report.jobs_submitted
+    }
+
+    /// Cancels every armed crash clock once the run drains, so the
+    /// crash/repair chains stop exactly when the workload does.
+    fn maybe_quiesce_faults(&mut self) {
+        if self.config.failures.crash().is_none() || !self.drained() {
+            return;
+        }
+        for i in 0..self.pool.ids().len() {
+            let id = self.pool.ids()[i];
+            let armed = self
+                .pool
+                .get_mut(id)
+                .expect("alive machine")
+                .next_crash
+                .take();
+            if let Some(token) = armed {
+                self.events.cancel(token);
+            }
+        }
     }
 
     fn on_join(&mut self, machine_id: u64) {
@@ -552,19 +1000,35 @@ impl Simulation {
         // Deterministic victim: uniform index over alive ids.
         let ids = self.pool.ids();
         let victim = ids[self.rng.gen_range(0..ids.len())];
+        self.depart_machine(victim);
+    }
+
+    /// Permanently removes `victim` from the grid: retracts its armed
+    /// events, refunds the running attempt's unexecuted busy tail,
+    /// salvages any checkpointed progress, and resubmits the killed
+    /// running job *before* its queued jobs (the pinned orphan order).
+    fn depart_machine(&mut self, victim: u64) {
         self.report.fold_event(&[3, self.now as u64, victim]);
         if let Some(dead) = self.pool.leave(victim) {
+            // A departed machine's crash clock dies with it.
+            if let Some(token) = dead.next_crash {
+                self.events.cancel(token);
+            }
             // Kill the running job (non-preemptive loss), retract its
             // finish event, and resubmit it and the queue.
             let mut orphans = dead.queue;
             if let Some(running) = dead.running {
                 self.events.cancel(running.finish_event);
+                let refund = ticks_to_time(running.finish - self.now);
+                self.report.busy_machine_seconds -= refund;
+                self.salvage_checkpoint(running.job, running.planned);
                 orphans.push_front(running.job);
             }
             for job in orphans {
                 let state = self.jobs.get_mut(job);
-                state.resubmissions += 1;
-                // A killed running job restarts from scratch.
+                state.resubmissions = state.resubmissions.saturating_add(1);
+                // A killed running job restarts from scratch (minus any
+                // checkpointed progress salvaged above).
                 state.started = None;
                 self.pending.push(job);
             }
@@ -694,6 +1158,7 @@ mod tests {
         sim.pool.get_mut(1).expect("machine 1 alive").running = Some(RunningJob {
             job: 42,
             finish: time_to_ticks(10.0),
+            planned: time_to_ticks(10.0),
             finish_event: 0,
         });
         sim.kick(1);
@@ -732,7 +1197,11 @@ mod tests {
             let a = run(5);
             let b = run(5);
             assert!(a.jobs_submitted > 10, "{family}: workload too small");
-            assert_eq!(a.jobs_completed, a.jobs_submitted, "{family}: lost jobs");
+            assert_eq!(
+                a.jobs_completed + a.jobs_dropped,
+                a.jobs_submitted,
+                "{family}: lost jobs"
+            );
             assert_eq!(a.jobs_submitted, b.jobs_submitted, "{family}");
             assert_eq!(
                 a.realized_makespan.to_bits(),
@@ -785,8 +1254,17 @@ mod tests {
                 "{family}: backends disagree on the event stream"
             );
             assert_eq!(
+                cal.fault_digest, heap.fault_digest,
+                "{family}: backends disagree on the fault stream"
+            );
+            assert_eq!(
                 cal.events_processed, heap.events_processed,
                 "{family}: backends processed different event counts"
+            );
+            assert_eq!(
+                (cal.jobs_dropped, cal.job_failures, cal.machine_crashes),
+                (heap.jobs_dropped, heap.job_failures, heap.machine_crashes),
+                "{family}: backends disagree on fault counters"
             );
         }
     }
@@ -894,5 +1372,189 @@ mod tests {
         let mut config = SimConfig::small();
         config.initial_machines = 1;
         let _ = Simulation::new(config, 0);
+    }
+
+    #[test]
+    fn try_new_surfaces_typed_errors() {
+        let mut config = SimConfig::small();
+        config.initial_machines = 1;
+        assert_eq!(
+            Simulation::try_new(config, 0).err(),
+            Some(crate::config::ConfigError::TooFewMachines { got: 1 })
+        );
+        let mut config = SimConfig::small();
+        config.arrival_horizon = -3.0;
+        let err = Simulation::try_new(config, 0)
+            .err()
+            .expect("a negative horizon must be rejected");
+        assert!(err.to_string().contains("horizon must be positive"));
+        let mut config = SimConfig::small();
+        config.failures = FailureModel::crashes(-1.0, 1.0);
+        assert!(Simulation::try_new(config, 0).is_err());
+        let mut config = SimConfig::small();
+        config.recovery.retry = RetryPolicy::ExponentialBackoff {
+            base: 10.0,
+            cap: 1.0,
+            jitter: 0.0,
+            give_up_after: 3,
+        };
+        assert!(Simulation::try_new(config, 0).is_err());
+        assert!(Simulation::try_new(SimConfig::small(), 0).is_ok());
+    }
+
+    #[test]
+    fn departure_resubmits_running_job_before_its_queue() {
+        // The pinned orphan order: a departed machine's killed running
+        // job re-enters `pending` ahead of its queued jobs, which keep
+        // their queue order. The digest-stability pin across backends
+        // lives in tests/dynamic_grid.rs.
+        let mut sim = Simulation::new(SimConfig::small(), 1);
+        for id in 0..4u64 {
+            sim.jobs.insert(JobSpec {
+                id,
+                arrival: 0.0,
+                baseline: 1.0,
+            });
+            sim.report.jobs_submitted += 1;
+        }
+        sim.next_job_id = 4;
+        let machine = sim.pool.get_mut(0).expect("machine 0 alive");
+        machine.running = Some(RunningJob {
+            job: 0,
+            finish: time_to_ticks(50.0),
+            planned: time_to_ticks(50.0),
+            finish_event: sim
+                .events
+                .push(time_to_ticks(50.0), Event::JobFinish { machine: 0, job: 0 }),
+        });
+        machine.queue.extend([1, 2]);
+        sim.jobs.get_mut(0).started = Some(0);
+        sim.pending.push(3);
+        sim.depart_machine(0);
+        assert_eq!(
+            sim.pending,
+            vec![3, 0, 1, 2],
+            "killed running job first, then its queue in order"
+        );
+        sim.check_invariants();
+    }
+
+    #[test]
+    fn flaky_family_fails_retries_and_completes() {
+        let mut s = HeuristicScheduler::new(ConstructiveKind::Mct);
+        let report = Simulation::new(SimConfig::from_family(ScenarioFamily::Flaky), 3).run(&mut s);
+        assert_eq!(
+            report.jobs_completed + report.jobs_dropped,
+            report.jobs_submitted
+        );
+        assert!(report.job_failures > 0, "flaky must produce failures");
+        assert!(report.wasted_ticks > 0, "failures must waste work");
+        assert_ne!(report.fault_digest, 0, "fault stream must fold");
+        assert_eq!(report.machine_crashes, 0, "flaky has no crash model");
+        assert!(
+            report.max_failures > 0,
+            "per-job failure maxima must surface"
+        );
+    }
+
+    #[test]
+    fn crashy_family_crashes_recovers_and_completes() {
+        let mut s = HeuristicScheduler::new(ConstructiveKind::Mct);
+        let report = Simulation::new(SimConfig::from_family(ScenarioFamily::Crashy), 3).run(&mut s);
+        assert_eq!(
+            report.jobs_completed + report.jobs_dropped,
+            report.jobs_submitted
+        );
+        assert!(report.machine_crashes > 0, "crashy must crash machines");
+        assert!(
+            report.machine_recoveries > 0,
+            "crashed machines must come back"
+        );
+        assert!(report.resubmissions > 0, "crashes must orphan queued work");
+    }
+
+    #[test]
+    fn enabling_faults_never_shifts_the_exogenous_stream() {
+        // Faults draw from dedicated hash streams, never the main RNG:
+        // the arrival stream (and thus the exogenous digest) of a
+        // seeded run must be byte-identical with and without failures.
+        let digest = |failures: FailureModel| {
+            let mut config = SimConfig::small();
+            config.failures = failures;
+            config.recovery.retry = RetryPolicy::ExponentialBackoff {
+                base: 1e3,
+                cap: 1e5,
+                jitter: 0.3,
+                give_up_after: 5,
+            };
+            let mut s = HeuristicScheduler::new(ConstructiveKind::Mct);
+            Simulation::new(config, 9).run(&mut s)
+        };
+        let clean = digest(FailureModel::None);
+        let flaky = digest(FailureModel::transient(5e-7));
+        let crashy = digest(FailureModel::crashes(2e6, 1e5));
+        assert_eq!(clean.event_digest, flaky.event_digest);
+        assert_eq!(clean.event_digest, crashy.event_digest);
+        assert_eq!(clean.jobs_submitted, flaky.jobs_submitted);
+        assert_eq!(clean.fault_digest, 0, "no faults, no fault stream");
+    }
+
+    #[test]
+    fn give_up_bound_drops_jobs_terminally() {
+        // A fail rate high enough that 750k-second jobs essentially
+        // always die before finishing, with a tight give-up bound:
+        // every job must reach the dropped state, not hang the run.
+        let mut config = SimConfig::small();
+        config.failures = FailureModel::transient(1e-3);
+        config.recovery.retry = RetryPolicy::Immediate { give_up_after: 2 };
+        let mut s = HeuristicScheduler::new(ConstructiveKind::Mct);
+        let report = Simulation::new(config, 7).run(&mut s);
+        assert!(report.jobs_dropped > 0, "the give-up bound must drop jobs");
+        assert_eq!(
+            report.jobs_completed + report.jobs_dropped,
+            report.jobs_submitted
+        );
+        assert!(report.max_failures <= 2, "drops happen at the bound");
+    }
+
+    #[test]
+    fn checkpointing_banks_progress_across_failures() {
+        // Same failure stream, with and without checkpoints: the
+        // checkpointed run must waste strictly less work. (The pinned
+        // crashy-family regression lives in tests/dynamic_grid.rs.)
+        let run = |checkpoint_every: Option<f64>| {
+            let mut config = SimConfig::from_family(ScenarioFamily::Crashy);
+            config.recovery.checkpoint_every = checkpoint_every;
+            let mut s = HeuristicScheduler::new(ConstructiveKind::Mct);
+            Simulation::new(config, 5).run(&mut s)
+        };
+        let durable = run(Some(5e4));
+        let naive = run(None);
+        assert!(durable.machine_crashes > 0, "the comparison needs crashes");
+        assert!(
+            durable.wasted_ticks < naive.wasted_ticks,
+            "checkpoints must cut wasted work ({} vs {})",
+            durable.wasted_ticks,
+            naive.wasted_ticks
+        );
+    }
+
+    #[test]
+    fn blacklist_quarantines_failing_machines() {
+        // Force the blacklist on under a transient-failure storm and
+        // check the machinery engages (consecutive failures reset on
+        // success keeps this probabilistic, so just require activity).
+        let mut config = SimConfig::small();
+        config.failures = FailureModel::transient(2e-6);
+        config.recovery.blacklist_after = Some(1);
+        config.recovery.probation = 1e5;
+        let mut s = HeuristicScheduler::new(ConstructiveKind::Mct);
+        let report = Simulation::new(config, 2).run(&mut s);
+        assert!(report.job_failures > 0, "the storm must produce failures");
+        assert_eq!(
+            report.jobs_completed + report.jobs_dropped,
+            report.jobs_submitted,
+            "blacklisting must never wedge the run"
+        );
     }
 }

@@ -184,15 +184,16 @@ pub enum ArrivalProcess {
 impl ArrivalProcess {
     /// Checks the process parameters.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on non-positive rates/periods, an MMPP whose burst rate
+    /// Rejects non-positive rates/periods, an MMPP whose burst rate
     /// does not exceed its base rate, an out-of-range diurnal
     /// amplitude, or an empty flash-crowd burst.
-    pub fn validate(&self) {
+    pub fn validate(&self) -> Result<(), crate::config::ConfigError> {
+        use crate::config::{require_non_negative, require_positive, ConfigError};
         match *self {
             Self::Poisson { rate } => {
-                assert!(rate > 0.0, "arrival rate must be positive");
+                require_positive("arrival rate", rate)?;
             }
             Self::Mmpp {
                 base_rate,
@@ -200,47 +201,57 @@ impl ArrivalProcess {
                 mean_off,
                 mean_on,
             } => {
-                assert!(base_rate >= 0.0, "MMPP base rate must be non-negative");
-                assert!(
-                    burst_rate > base_rate,
-                    "MMPP burst rate must exceed the base rate"
-                );
-                assert!(
-                    mean_off > 0.0 && mean_on > 0.0,
-                    "MMPP phase dwell times must be positive"
-                );
+                require_non_negative("MMPP base rate", base_rate)?;
+                if burst_rate <= base_rate || burst_rate.is_nan() {
+                    return Err(ConfigError::BurstNotAboveBase {
+                        base: base_rate,
+                        burst: burst_rate,
+                    });
+                }
+                require_positive("MMPP phase dwell time", mean_off)?;
+                require_positive("MMPP phase dwell time", mean_on)?;
             }
             Self::Diurnal {
                 base_rate,
                 amplitude,
                 period,
             } => {
-                assert!(base_rate > 0.0, "diurnal base rate must be positive");
-                assert!(
-                    (0.0..=1.0).contains(&amplitude),
-                    "diurnal amplitude must lie in [0, 1]"
-                );
-                assert!(period > 0.0, "diurnal period must be positive");
+                require_positive("diurnal base rate", base_rate)?;
+                if !(0.0..=1.0).contains(&amplitude) {
+                    return Err(ConfigError::OutOfRange {
+                        what: "diurnal amplitude",
+                        bounds: "[0, 1]",
+                        got: amplitude,
+                    });
+                }
+                require_positive("diurnal period", period)?;
             }
             Self::FlashCrowd {
                 base_rate,
                 spike_rate,
                 burst,
             } => {
-                assert!(base_rate > 0.0, "flash-crowd base rate must be positive");
-                assert!(spike_rate > 0.0, "flash-crowd spike rate must be positive");
-                assert!(
-                    burst >= 1,
-                    "flash-crowd burst must deliver at least one job"
-                );
+                require_positive("flash-crowd base rate", base_rate)?;
+                require_positive("flash-crowd spike rate", spike_rate)?;
+                if burst == 0 {
+                    return Err(ConfigError::ZeroCount {
+                        what: "flash-crowd burst",
+                    });
+                }
             }
         }
+        Ok(())
     }
 
     /// Builds the stateful per-run generator for this process.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid process — validate through
+    /// [`crate::SimConfig::validate`] first to get a typed error.
     #[must_use]
     pub fn generator(self) -> ArrivalGen {
-        self.validate();
+        self.validate().unwrap_or_else(|e| panic!("{e}"));
         ArrivalGen {
             process: self,
             // The MMPP flips phase whenever the dwell hits zero, so
@@ -600,26 +611,34 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "burst rate must exceed")]
     fn mmpp_rejects_inverted_rates() {
-        ArrivalProcess::Mmpp {
+        let err = ArrivalProcess::Mmpp {
             base_rate: 2.0,
             burst_rate: 1.0,
             mean_off: 1.0,
             mean_on: 1.0,
         }
-        .validate();
+        .validate()
+        .unwrap_err();
+        assert!(err.to_string().contains("burst rate must exceed"));
     }
 
     #[test]
-    #[should_panic(expected = "amplitude must lie in [0, 1]")]
     fn diurnal_rejects_overdriven_amplitude() {
-        ArrivalProcess::Diurnal {
+        let err = ArrivalProcess::Diurnal {
             base_rate: 1.0,
             amplitude: 1.5,
             period: 10.0,
         }
-        .validate();
+        .validate()
+        .unwrap_err();
+        assert!(err.to_string().contains("amplitude must lie in [0, 1]"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn generator_still_fails_loudly_on_bad_knobs() {
+        let _ = ArrivalProcess::Poisson { rate: 0.0 }.generator();
     }
 
     #[test]

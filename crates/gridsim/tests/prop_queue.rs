@@ -28,6 +28,20 @@ enum Op {
     Peek,
 }
 
+/// Cycles through every event kind the simulator schedules — including
+/// the fault-layer variants — so backend equality is pinned over the
+/// full payload space, not just arrivals.
+fn event_for(i: u64) -> Event {
+    match i % 6 {
+        0 => Event::JobArrival { job: i },
+        1 => Event::JobFinish { machine: i, job: i },
+        2 => Event::JobFail { machine: i, job: i },
+        3 => Event::JobRetry { job: i },
+        4 => Event::MachineCrash { machine: i },
+        _ => Event::MachineRecover { machine: i },
+    }
+}
+
 fn arb_op() -> impl Strategy<Value = Op> {
     // The vendored `prop_oneof!` is unweighted, so pushes are repeated
     // to dominate the mix (queues must actually grow through resizes).
@@ -66,7 +80,7 @@ proptest! {
                         _ => last_time, // tie with the previous push (t = 0 first)
                     };
                     last_time = time;
-                    let event = Event::JobArrival { job };
+                    let event = event_for(job);
                     job += 1;
                     let a = cal.push(time, event);
                     let b = heap.push(time, event);
@@ -136,7 +150,7 @@ proptest! {
         let mut t: i64 = 0;
         for i in 0..bulk {
             t = (t + ((i as i64).wrapping_mul(0x9E37_79B9) & ((1 << spread_bits) - 1))).abs();
-            let event = Event::JobArrival { job: i as u64 };
+            let event = event_for(i as u64);
             prop_assert_eq!(cal.push(t, event), heap.push(t, event));
         }
         // Partial drain (shrink pressure), then refill a cluster

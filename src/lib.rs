@@ -27,8 +27,11 @@
 //!   paper's batch-mode dynamic-scheduler claim, with a
 //!   [`gridsim::scheduler::PortfolioScheduler`] racing engines per
 //!   batch activation and a [`gridsim::ScenarioFamily`] catalog of
-//!   arrival/churn regimes (calm, churny, bursty, diurnal, flash
-//!   crowd, degrading, volatile).
+//!   arrival/churn/fault regimes (calm, churny, bursty, diurnal,
+//!   flash crowd, degrading, volatile, flaky, crashy), backed by a
+//!   fault-tolerant execution layer ([`gridsim::FailureModel`],
+//!   [`gridsim::RecoveryPolicy`]) with transient failures, machine
+//!   crash/repair cycles, retry backoff and checkpoint/restart.
 //!
 //! This facade re-exports all of them plus a [`prelude`] with the types
 //! an application typically needs.
@@ -81,7 +84,10 @@ pub mod prelude {
         BraunGa, GeneticSimulatedAnnealing, PanmicticMa, SimulatedAnnealing, SteadyStateGa,
         StruggleGa, TabuSearch,
     };
-    pub use cmags_gridsim::{ArrivalProcess, ChurnModel, ScenarioFamily, SimConfig, Simulation};
+    pub use cmags_gridsim::{
+        ArrivalProcess, ChurnModel, ConfigError, FailureModel, RecoveryPolicy, RetryPolicy,
+        ScenarioFamily, SimConfig, Simulation,
+    };
     pub use cmags_heuristics::constructive::{
         Constructive, ConstructiveKind, Duplex, LjfrSjfr, MaxMin, Mct, Met, MinMin, Olb,
         RandomAssign, Sufferage,
