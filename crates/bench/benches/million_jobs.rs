@@ -28,6 +28,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 
+use cmags_core::telemetry::Phase;
 use cmags_gridsim::event::{Event, EventQueue, QueueKind};
 use cmags_gridsim::metrics::SimReport;
 use cmags_gridsim::scheduler::HeuristicScheduler;
@@ -214,6 +215,27 @@ fn full_sim_benches(quick: bool) {
         burst: if quick { 500 } else { 5_000 },
     };
     run_sim("flash_1m", flash, QueueKind::Calendar);
+
+    // Phase attribution: one dedicated *profiled* Calendar run — kept
+    // out of the headline measurements above, which stay telemetry-off
+    // so their per-event numbers remain comparable across revisions.
+    // This replaces the hand-instrumented scheduler/snapshot/queue
+    // split previously quoted in the roadmap.
+    let mut scheduler = HeuristicScheduler::new(ConstructiveKind::Mct);
+    let profiled = Simulation::new(poisson, 42)
+        .with_profiling()
+        .run(&mut scheduler);
+    let phases = &profiled.telemetry.phases;
+    let pct = |p: Phase| phases.share(p) * 100.0;
+    println!(
+        "sim-phases scenario=poisson_1m backend=Calendar profiled_wall_s={:.2} scheduler_pct={:.1} snapshot_pct={:.1} dispatch_pct={:.1} queue_pct={:.1} fault_pct={:.1}",
+        phases.total_wall_s(),
+        pct(Phase::Scheduler),
+        pct(Phase::SnapshotBuild),
+        pct(Phase::Dispatch),
+        pct(Phase::Queue),
+        pct(Phase::FaultHandling),
+    );
 
     // Flatness: the same system stopped at a tenth of the horizon. The
     // per-event cost must not grow with cumulative jobs drained.

@@ -72,46 +72,51 @@ fn bench_scenarios(c: &mut Criterion) {
 
     // --- Quality: every family × scheduler × λ, averaged over seeds. ---
     let stop = StopCondition::children(budget);
-    // (family, scheduler) -> (λ, mean makespan, mean response); the
-    // scheduler name is λ-tagged for retargeted metaheuristics, so λ
-    // variants land in distinct cells.
-    let mut totals: BTreeMap<(String, String), (f64, f64, f64)> = BTreeMap::new();
+    // (family, scheduler) -> (λ, mean makespan, mean response, mean p95
+    // response, mean p99 response); the scheduler name is λ-tagged for
+    // retargeted metaheuristics, so λ variants land in distinct cells.
+    type QualityCell = (f64, f64, f64, f64, f64);
+    let mut totals: BTreeMap<(String, String), QualityCell> = BTreeMap::new();
     for &seed in seeds {
         for cell in scenario_sweep(&ScenarioFamily::ALL, seed, stop, &lambdas) {
             let entry = totals
                 .entry((cell.family.name().to_owned(), cell.scheduler))
-                .or_insert((cell.lambda, 0.0, 0.0));
+                .or_insert((cell.lambda, 0.0, 0.0, 0.0, 0.0));
             entry.1 += cell.realized_makespan / seeds.len() as f64;
             entry.2 += cell.mean_response / seeds.len() as f64;
+            entry.3 += cell.p95_response / seeds.len() as f64;
+            entry.4 += cell.p99_response / seeds.len() as f64;
         }
     }
     let mut winners: BTreeMap<&str, String> = BTreeMap::new();
     for family in ScenarioFamily::ALL {
-        let mut field: Vec<(&String, f64, f64, f64)> = totals
+        let mut field: Vec<(&String, f64, f64, f64, f64, f64)> = totals
             .iter()
             .filter(|((f, _), _)| f == family.name())
-            .map(|((_, scheduler), &(lambda, makespan, response))| {
-                (scheduler, lambda, makespan, response)
-            })
+            .map(
+                |((_, scheduler), &(lambda, makespan, response, p95, p99))| {
+                    (scheduler, lambda, makespan, response, p95, p99)
+                },
+            )
             .collect();
         // Rank on realized makespan, the paper's primary objective —
         // over the classic (λ = 0) roster only, so the winner lines
         // stay comparable across λ-sweep configurations.
         field.sort_by(|a, b| a.2.total_cmp(&b.2));
-        for (scheduler, lambda, makespan, response) in &field {
+        for (scheduler, lambda, makespan, response, p95, p99) in &field {
             println!(
-                "scenario-quality family={} scheduler={scheduler} lambda={lambda} makespan={makespan:.1} mean_response={response:.1}",
+                "scenario-quality family={} scheduler={scheduler} lambda={lambda} makespan={makespan:.1} mean_response={response:.1} p95_response={p95:.1} p99_response={p99:.1}",
                 family.name()
             );
         }
-        let classic: Vec<&(&String, f64, f64, f64)> = field
+        let classic: Vec<&(&String, f64, f64, f64, f64, f64)> = field
             .iter()
-            .filter(|&&(_, lambda, _, _)| lambda == 0.0)
+            .filter(|&&(_, lambda, _, _, _, _)| lambda == 0.0)
             .collect();
-        let (best, _, best_makespan, _) = *classic[0];
+        let (best, _, best_makespan, ..) = *classic[0];
         // The roster always fields several schedulers, but degrade
         // gracefully if it is ever trimmed to one.
-        let runner_up_delta_pct = classic.get(1).map_or(0.0, |&&(_, _, m, _)| {
+        let runner_up_delta_pct = classic.get(1).map_or(0.0, |&&(_, _, m, ..)| {
             (m - best_makespan) / best_makespan * 100.0
         });
         let best_response = classic
@@ -129,20 +134,20 @@ fn bench_scenarios(c: &mut Criterion) {
         // mean response versus Min-Min's. ---
         let minmin_response = field
             .iter()
-            .find(|(name, _, _, _)| name.as_str() == "Min-Min")
+            .find(|(name, ..)| name.as_str() == "Min-Min")
             .expect("Min-Min always races")
             .3;
-        let mut swept: Vec<f64> = field.iter().map(|&(_, lambda, _, _)| lambda).collect();
+        let mut swept: Vec<f64> = field.iter().map(|&(_, lambda, ..)| lambda).collect();
         swept.sort_by(f64::total_cmp);
         swept.dedup();
         for lambda in swept {
             let best_meta = field
                 .iter()
-                .filter(|&&(name, l, _, _)| {
+                .filter(|&&(name, l, ..)| {
                     l == lambda && (name.starts_with("cMA") || name.starts_with("Portfolio"))
                 })
                 .min_by(|a, b| a.3.total_cmp(&b.3));
-            let Some(&(name, _, _, response)) = best_meta else {
+            let Some(&(name, _, _, response, ..)) = best_meta else {
                 continue;
             };
             let gap_pct = (response - minmin_response) / minmin_response * 100.0;

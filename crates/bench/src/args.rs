@@ -34,7 +34,7 @@ impl Args {
     /// Parses an explicit token stream (tests).
     #[must_use]
     pub fn parse(tokens: impl IntoIterator<Item = String>) -> Self {
-        const BOOL_FLAGS: [&str; 4] = ["--paper", "--quiet", "--help", "--large"];
+        const BOOL_FLAGS: [&str; 5] = ["--paper", "--quiet", "--help", "--large", "--metrics"];
         let mut values = BTreeMap::new();
         let mut flags = BTreeSet::new();
         let mut iter = tokens.into_iter().peekable();
@@ -109,6 +109,15 @@ pub struct Ctx {
     /// entry retargets the batch schedulers at
     /// `(1-λ)·classic_fitness + λ·mean_flowtime`.
     pub lambdas: Vec<Objective>,
+    /// JSONL trace destination (`--trace-out <path>`): the `dynamic`
+    /// experiment attaches a structured event trace to every simulation
+    /// run, appended to this one file (schema in the README's
+    /// Observability section).
+    pub trace_out: Option<PathBuf>,
+    /// Print telemetry summary tables (`--metrics`): per-scenario phase
+    /// profiles and portfolio per-contender counters. Also enables
+    /// wall-clock phase profiling on the simulations.
+    pub metrics: bool,
 }
 
 impl Ctx {
@@ -177,6 +186,8 @@ impl Ctx {
             quiet: args.flag("--quiet"),
             families,
             lambdas,
+            trace_out: args.get("--trace-out").map(PathBuf::from),
+            metrics: args.flag("--metrics"),
         }
     }
 
@@ -298,6 +309,16 @@ mod tests {
                 Objective::mean_flowtime()
             ]
         );
+    }
+
+    #[test]
+    fn telemetry_flags_parse() {
+        let ctx = Ctx::from_args(&args(""));
+        assert_eq!(ctx.trace_out, None);
+        assert!(!ctx.metrics);
+        let ctx = Ctx::from_args(&args("--trace-out /tmp/trace.jsonl --metrics"));
+        assert_eq!(ctx.trace_out, Some(PathBuf::from("/tmp/trace.jsonl")));
+        assert!(ctx.metrics);
     }
 
     #[test]

@@ -9,12 +9,16 @@
 //! schedulers at `(1-λ)·classic_fitness + λ·mean_flowtime`, probing
 //! whether they can close the mean-response gap to Min-Min.
 
+use std::io;
+use std::path::Path;
+
 use cmags_cma::StopCondition;
+use cmags_core::telemetry::{MetricsRegistry, Phase};
 use cmags_core::Objective;
 use cmags_gridsim::scheduler::{
     BatchScheduler, CmaScheduler, HeuristicScheduler, PortfolioScheduler, RandomScheduler,
 };
-use cmags_gridsim::{ScenarioFamily, SimConfig, Simulation};
+use cmags_gridsim::{ScenarioFamily, SimConfig, Simulation, TelemetryReport};
 use cmags_heuristics::constructive::ConstructiveKind;
 
 use crate::args::Ctx;
@@ -56,18 +60,102 @@ fn roster(
     schedulers
 }
 
-/// Column headers of the scenario tables.
-const SCENARIO_COLUMNS: [&str; 9] = [
+/// Column headers of the scenario tables. The response percentiles come
+/// from the tick-domain histograms of [`TelemetryReport`] — exact counts,
+/// ≤ 12.5 % bucket-edge quantile error.
+const SCENARIO_COLUMNS: [&str; 12] = [
     "Scheduler",
     "jobs",
     "resub",
     "makespan",
     "mean response",
+    "p50 resp",
+    "p95 resp",
+    "p99 resp",
     "mean wait",
     "util %",
     "activations",
     "sched wall s",
 ];
+
+/// Opt-in observability attachments for the experiment's simulations
+/// (derived from `--metrics` / `--trace-out`; default: both off).
+#[derive(Debug, Clone, Copy, Default)]
+struct RunOpts<'a> {
+    /// Enable wall-clock phase profiling on every run.
+    profile: bool,
+    /// Append a JSONL event trace of every run to this one file.
+    trace_out: Option<&'a Path>,
+}
+
+/// One scheduler's simulation of one scenario: the rendered table row
+/// plus the telemetry the `--metrics` summary tables are built from.
+struct RunRecord {
+    row: Vec<String>,
+    scheduler: String,
+    telemetry: TelemetryReport,
+    portfolio: Option<MetricsRegistry>,
+}
+
+/// Opens the shared trace file in append mode, so every run of the
+/// sweep lands in one JSONL stream (runs are delimited by their
+/// `run_start`/`run_end` records).
+fn open_trace(path: &Path) -> Option<Box<dyn io::Write>> {
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        Ok(file) => Some(Box::new(io::BufWriter::new(file))),
+        Err(e) => {
+            eprintln!("warning: cannot open trace file {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Runs `schedulers` over one scenario, one record per run.
+fn scenario_runs(
+    schedulers: Vec<Box<dyn BatchScheduler>>,
+    config: &SimConfig,
+    seed: u64,
+    opts: RunOpts<'_>,
+) -> Vec<RunRecord> {
+    schedulers
+        .into_iter()
+        .map(|mut scheduler| {
+            let mut sim = Simulation::new(config.clone(), seed);
+            if opts.profile {
+                sim = sim.with_profiling();
+            }
+            if let Some(writer) = opts.trace_out.and_then(open_trace) {
+                sim = sim.with_trace(writer);
+            }
+            let report = sim.run(scheduler.as_mut());
+            let pct = |q: f64| fmt_value(report.response_percentile(q).unwrap_or(f64::NAN));
+            let row = vec![
+                report.scheduler.clone(),
+                report.jobs_completed.to_string(),
+                report.resubmissions.to_string(),
+                fmt_value(report.realized_makespan),
+                fmt_value(report.mean_response()),
+                pct(0.50),
+                pct(0.95),
+                pct(0.99),
+                fmt_value(report.mean_wait()),
+                format!("{:.1}", report.utilization() * 100.0),
+                report.activations.to_string(),
+                format!("{:.3}", report.scheduler_wall_s),
+            ];
+            RunRecord {
+                row,
+                scheduler: report.scheduler.clone(),
+                portfolio: scheduler.metrics().cloned(),
+                telemetry: report.telemetry,
+            }
+        })
+        .collect()
+}
 
 /// Runs `schedulers` over one scenario and renders one row per run.
 fn scenario_rows(
@@ -75,23 +163,77 @@ fn scenario_rows(
     config: &SimConfig,
     seed: u64,
 ) -> Vec<Vec<String>> {
-    schedulers
+    scenario_runs(schedulers, config, seed, RunOpts::default())
         .into_iter()
-        .map(|mut scheduler| {
-            let report = Simulation::new(config.clone(), seed).run(scheduler.as_mut());
-            vec![
-                report.scheduler.clone(),
-                report.jobs_completed.to_string(),
-                report.resubmissions.to_string(),
-                fmt_value(report.realized_makespan),
-                fmt_value(report.mean_response()),
-                fmt_value(report.mean_wait()),
-                format!("{:.1}", report.utilization() * 100.0),
-                report.activations.to_string(),
-                format!("{:.3}", report.scheduler_wall_s),
-            ]
-        })
+        .map(|r| r.row)
         .collect()
+}
+
+/// Column headers of the `--metrics` phase-profile tables.
+const PHASE_COLUMNS: [&str; 9] = [
+    "Scheduler",
+    "scheduler %",
+    "snapshot %",
+    "dispatch %",
+    "queue %",
+    "fault %",
+    "profiled wall s",
+    "dispatches",
+    "retries",
+];
+
+/// Renders the per-scheduler phase attribution of one scenario (the
+/// `--metrics` companion of a scenario table).
+fn telemetry_table<'a>(title: &str, records: impl Iterator<Item = &'a RunRecord>) -> Table {
+    let mut table = Table::new(title, &PHASE_COLUMNS);
+    for record in records {
+        let phases = &record.telemetry.phases;
+        let share = |p: Phase| format!("{:.1}", phases.share(p) * 100.0);
+        table.push_row(vec![
+            record.scheduler.clone(),
+            share(Phase::Scheduler),
+            share(Phase::SnapshotBuild),
+            share(Phase::Dispatch),
+            share(Phase::Queue),
+            share(Phase::FaultHandling),
+            format!("{:.3}", phases.total_wall_s()),
+            record.telemetry.dispatches.to_string(),
+            record.telemetry.retries_scheduled.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Flattens a scheduler's metrics registry (the portfolio's per-contender
+/// per-round counters) into a two-column summary table.
+fn registry_table(title: &str, registry: &MetricsRegistry) -> Table {
+    let mut table = Table::new(title, &["metric", "value"]);
+    for (name, counter) in registry.counters() {
+        table.push_row(vec![name.to_owned(), counter.get().to_string()]);
+    }
+    for (name, gauge) in registry.gauges() {
+        table.push_row(vec![
+            name.to_owned(),
+            format!("last={} high={}", gauge.get(), gauge.high_water()),
+        ]);
+    }
+    for (name, hist) in registry.histograms() {
+        let q = |q: f64| {
+            hist.quantile(q)
+                .map_or_else(|| "—".to_owned(), |v| v.to_string())
+        };
+        table.push_row(vec![
+            name.to_owned(),
+            format!(
+                "count={} p50={} p95={} p99={}",
+                hist.count(),
+                q(0.50),
+                q(0.95),
+                q(0.99)
+            ),
+        ]);
+    }
+    table
 }
 
 /// Runs one scenario for every scheduler and tabulates the realized
@@ -113,7 +255,10 @@ pub fn scenario_table(
 
 /// The full dynamic experiment: one table per scenario family in the
 /// context's sweep (default: the whole catalog) and per `--lambda`
-/// response weight (default: classic only).
+/// response weight (default: classic only). `--metrics` appends a
+/// phase-attribution table per scenario table plus the portfolio's
+/// per-contender registry; `--trace-out` appends every run's JSONL
+/// event trace to the named file.
 #[must_use]
 pub fn dynamic(ctx: &Ctx) -> Vec<Table> {
     // Scale the per-activation cMA budget off the context: the dynamic
@@ -123,27 +268,48 @@ pub fn dynamic(ctx: &Ctx) -> Vec<Table> {
             .time_limit
             .unwrap_or_else(|| std::time::Duration::from_millis(500)),
     );
+    let opts = RunOpts {
+        profile: ctx.metrics,
+        trace_out: ctx.trace_out.as_deref(),
+    };
     let mut tables = Vec::new();
     for &family in &ctx.families {
         let config = SimConfig::from_family(family);
         // The constructive baselines are λ-independent: simulate them
         // once per family and splice the identical rows into every λ
         // table instead of re-running full simulations per weight.
-        let baseline_rows = scenario_rows(baselines(), &config, ctx.seed);
+        let baseline_runs = scenario_runs(baselines(), &config, ctx.seed, opts);
         for &objective in &ctx.lambdas {
             let title = if objective.is_classic() {
                 format!("Dynamic grid {family} scenario")
             } else {
                 format!("Dynamic grid {family} scenario (λ = {objective})")
             };
+            let meta_runs =
+                scenario_runs(metaheuristics(budget, objective), &config, ctx.seed, opts);
             let mut table = Table::new(&title, &SCENARIO_COLUMNS);
-            for row in scenario_rows(metaheuristics(budget, objective), &config, ctx.seed)
-                .into_iter()
-                .chain(baseline_rows.iter().cloned())
+            for row in meta_runs
+                .iter()
+                .map(|r| r.row.clone())
+                .chain(baseline_runs.iter().map(|r| r.row.clone()))
             {
                 table.push_row(row);
             }
             tables.push(table);
+            if ctx.metrics {
+                tables.push(telemetry_table(
+                    &format!("{title} telemetry"),
+                    meta_runs.iter().chain(baseline_runs.iter()),
+                ));
+                for run in &meta_runs {
+                    if let Some(registry) = &run.portfolio {
+                        tables.push(registry_table(
+                            &format!("{title} portfolio metrics"),
+                            registry,
+                        ));
+                    }
+                }
+            }
         }
     }
     tables
@@ -161,6 +327,14 @@ pub struct SweepCell {
     pub lambda: f64,
     /// Mean response time per completed job.
     pub mean_response: f64,
+    /// Median response time (seconds), from the exact tick-domain
+    /// histogram (NaN when no job completed).
+    pub p50_response: f64,
+    /// 95th-percentile response time (seconds).
+    pub p95_response: f64,
+    /// 99th-percentile response time (seconds) — the tail-latency
+    /// column of the per-family quality comparison.
+    pub p99_response: f64,
     /// Completion time of the last job.
     pub realized_makespan: f64,
     /// Digest of the exogenous event stream — identical across the
@@ -212,6 +386,9 @@ pub fn scenario_sweep(
                         family,
                         lambda,
                         mean_response: report.mean_response(),
+                        p50_response: report.response_percentile(0.50).unwrap_or(f64::NAN),
+                        p95_response: report.response_percentile(0.95).unwrap_or(f64::NAN),
+                        p99_response: report.response_percentile(0.99).unwrap_or(f64::NAN),
                         realized_makespan: report.realized_makespan,
                         event_digest: report.event_digest,
                         scheduler: report.scheduler,
@@ -263,6 +440,63 @@ mod tests {
             response_of("Portfolio") < response_of("Random"),
             "the racing portfolio must beat random dispatch too"
         );
+        // The percentile columns are populated and ordered for every row.
+        for row in &t.rows {
+            let p: Vec<f64> = (5..8).map(|i| row[i].parse().unwrap()).collect();
+            assert!(
+                p[0] > 0.0 && p[0] <= p[1] && p[1] <= p[2],
+                "{}: p50/p95/p99 must be positive and ordered: {p:?}",
+                row[0]
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_flag_appends_telemetry_tables_and_trace_lands_in_the_file() {
+        let mut ctx = test_ctx(24, 3, 1, 80);
+        ctx.families = vec![ScenarioFamily::Calm];
+        ctx.metrics = true;
+        let dir = std::env::temp_dir().join("cmags-bench-dyn-trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        let _ = std::fs::remove_file(&path);
+        ctx.trace_out = Some(path.clone());
+        let tables = dynamic(&ctx);
+        // Scenario table + phase table + portfolio registry table.
+        assert_eq!(tables.len(), 3);
+        let phases = tables
+            .iter()
+            .find(|t| t.title.ends_with("telemetry"))
+            .expect("--metrics must append a phase table");
+        assert_eq!(phases.rows.len(), 6, "one phase row per scheduler");
+        for row in &phases.rows {
+            let wall: f64 = row[6].parse().unwrap();
+            assert!(wall > 0.0, "{}: profiling must attribute wall time", row[0]);
+        }
+        let portfolio = tables
+            .iter()
+            .find(|t| t.title.ends_with("portfolio metrics"))
+            .expect("--metrics must dump the portfolio registry");
+        assert!(
+            portfolio
+                .rows
+                .iter()
+                .any(|r| r[0] == "portfolio.activations" && r[1] != "0"),
+            "registry dump must carry the activation counter"
+        );
+        // Every run appended its trace to the one file; records are
+        // flat JSON objects delimited per run.
+        let trace = std::fs::read_to_string(&path).unwrap();
+        let starts = trace
+            .lines()
+            .filter(|l| l.starts_with("{\"type\":\"run_start\""))
+            .count();
+        let ends = trace
+            .lines()
+            .filter(|l| l.starts_with("{\"type\":\"run_end\""))
+            .count();
+        assert_eq!((starts, ends), (6, 6), "one trace per scheduler run");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]
@@ -307,6 +541,14 @@ mod tests {
             assert!(
                 cell.mean_response > 0.0 && cell.realized_makespan > 0.0,
                 "{}/{}",
+                cell.family,
+                cell.scheduler
+            );
+            assert!(
+                cell.p50_response > 0.0
+                    && cell.p50_response <= cell.p95_response
+                    && cell.p95_response <= cell.p99_response,
+                "{}/{}: percentile columns must be positive and ordered",
                 cell.family,
                 cell.scheduler
             );

@@ -72,6 +72,8 @@ pub(crate) fn test_ctx(jobs: u32, machines: u32, runs: usize, children: u64) -> 
         quiet: true,
         families: cmags_gridsim::ScenarioFamily::ALL.to_vec(),
         lambdas: vec![cmags_core::Objective::classic()],
+        trace_out: None,
+        metrics: false,
     }
 }
 

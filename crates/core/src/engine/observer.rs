@@ -18,9 +18,16 @@ use crate::engine::{Metaheuristic, TracePoint};
 use crate::Objectives;
 
 /// One observation of a running engine.
+///
+/// Everything except [`Snapshot::elapsed`] is exact and deterministic;
+/// `elapsed` is wall-clock and **informational-only** (see
+/// `cmags_core::telemetry` for the split). Sinks that feed determinism
+/// pins — [`crate::telemetry::MetricsSink`], trace-key comparisons —
+/// must not record it.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Snapshot {
     /// Wall-clock time since run start.
+    /// Informational-only: nondeterministic across runs and hosts.
     pub elapsed: Duration,
     /// Engine-defined outer iterations completed.
     pub iterations: u64,

@@ -3,9 +3,17 @@
 use std::time::Duration;
 
 /// One sample of the best-so-far solution during a run.
+///
+/// All fields except [`TracePoint::elapsed_ms`] are exact tick-domain
+/// quantities and replay bit-identically across runs, queue backends and
+/// worker-thread counts. `elapsed_ms` is **wall-clock and
+/// informational-only** — it varies run to run, so determinism tests
+/// must compare traces on [`TracePoint::key`], never on the whole
+/// struct. See `cmags_core::telemetry` for the general split.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TracePoint {
     /// Wall-clock time since run start, in milliseconds.
+    /// Informational-only: nondeterministic across runs and hosts.
     pub elapsed_ms: f64,
     /// Outer iterations completed.
     pub iterations: u64,
@@ -38,6 +46,21 @@ impl TracePoint {
             flowtime,
             fitness,
         }
+    }
+
+    /// The deterministic identity of this point: every field except the
+    /// wall-clock `elapsed_ms`, with floats compared by bit pattern.
+    /// Trace-equality tests (notably the cross-thread-count sweeps)
+    /// compare on this key so timing jitter cannot flake them.
+    #[must_use]
+    pub fn key(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.iterations,
+            self.children,
+            self.makespan.to_bits(),
+            self.flowtime.to_bits(),
+            self.fitness.to_bits(),
+        )
     }
 }
 
@@ -78,5 +101,15 @@ mod tests {
     fn elapsed_converted_to_ms() {
         let p = TracePoint::new(Duration::from_secs(2), 1, 2, 3.0, 4.0, 5.0);
         assert_eq!(p.elapsed_ms, 2000.0);
+    }
+
+    #[test]
+    fn key_ignores_wall_clock_only() {
+        let a = TracePoint::new(Duration::from_millis(10), 1, 37, 90.0, 900.0, 110.0);
+        let b = TracePoint::new(Duration::from_millis(999), 1, 37, 90.0, 900.0, 110.0);
+        assert_ne!(a, b, "wall clock differs");
+        assert_eq!(a.key(), b.key(), "identity must ignore wall clock");
+        let c = TracePoint::new(Duration::from_millis(10), 1, 38, 90.0, 900.0, 110.0);
+        assert_ne!(a.key(), c.key(), "every tick-domain field is identity");
     }
 }

@@ -58,6 +58,7 @@ mod objective;
 mod objectives;
 mod problem;
 mod schedule;
+pub mod telemetry;
 pub mod ticks;
 
 pub use engine::{Metaheuristic, Observer, RunStats, Runner, StopCondition, TracePoint};

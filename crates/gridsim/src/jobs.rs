@@ -31,6 +31,9 @@ pub(crate) enum JobPhase {
 pub(crate) struct JobState {
     /// Static characteristics.
     pub spec: JobSpec,
+    /// Arrival instant in exact ticks (the telemetry histograms' time
+    /// base; `spec.arrival` is the same instant in float seconds).
+    pub arrival_ticks: i64,
     /// Start of the *current* attempt (ticks), if running.
     pub started: Option<i64>,
     /// How many times the job was resubmitted after machine departures
@@ -59,10 +62,11 @@ pub(crate) struct JobArena {
 impl JobArena {
     /// Admits the next job; its id must equal the number of jobs
     /// admitted so far (ids are dense and monotone by construction).
-    pub fn insert(&mut self, spec: JobSpec) {
+    pub fn insert(&mut self, spec: JobSpec, arrival_ticks: i64) {
         debug_assert_eq!(spec.id as usize, self.slots.len(), "job ids must be dense");
         self.slots.push(JobState {
             spec,
+            arrival_ticks,
             started: None,
             resubmissions: 0,
             failures: 0,
@@ -129,8 +133,8 @@ mod tests {
     #[test]
     fn insert_and_access_by_id() {
         let mut arena = JobArena::default();
-        arena.insert(spec(0));
-        arena.insert(spec(1));
+        arena.insert(spec(0), 0);
+        arena.insert(spec(1), 0);
         assert_eq!(arena.get(1).spec.arrival, 1.0);
         arena.get_mut(0).resubmissions += 1;
         assert_eq!(arena.get(0).resubmissions, 1);
@@ -139,7 +143,7 @@ mod tests {
     #[test]
     fn complete_returns_final_state() {
         let mut arena = JobArena::default();
-        arena.insert(spec(0));
+        arena.insert(spec(0), 0);
         arena.get_mut(0).started = Some(42);
         let state = arena.complete(0);
         assert_eq!(state.started, Some(42));
@@ -149,7 +153,7 @@ mod tests {
     #[test]
     fn drop_is_terminal_and_distinct_from_completion() {
         let mut arena = JobArena::default();
-        arena.insert(spec(0));
+        arena.insert(spec(0), 0);
         arena.get_mut(0).failures = 8;
         let state = arena.drop_job(0);
         assert_eq!(state.phase, JobPhase::Dropped);
@@ -162,7 +166,7 @@ mod tests {
         // run can fail one job more than u32::MAX times without the
         // counter wrapping back to a small value.
         let mut arena = JobArena::default();
-        arena.insert(spec(0));
+        arena.insert(spec(0), 0);
         let job = arena.get_mut(0);
         job.failures = u32::MAX;
         job.failures = job.failures.saturating_add(1);
@@ -180,7 +184,7 @@ mod tests {
     #[cfg(debug_assertions)]
     fn rejects_sparse_ids() {
         let mut arena = JobArena::default();
-        arena.insert(spec(3));
+        arena.insert(spec(3), 0);
     }
 
     #[test]
@@ -188,7 +192,7 @@ mod tests {
     #[cfg(debug_assertions)]
     fn rejects_stale_access() {
         let mut arena = JobArena::default();
-        arena.insert(spec(0));
+        arena.insert(spec(0), 0);
         arena.complete(0);
         let _ = arena.get(0);
     }
@@ -198,7 +202,7 @@ mod tests {
     #[cfg(debug_assertions)]
     fn rejects_access_to_dropped_jobs() {
         let mut arena = JobArena::default();
-        arena.insert(spec(0));
+        arena.insert(spec(0), 0);
         arena.drop_job(0);
         let _ = arena.get(0);
     }

@@ -43,7 +43,14 @@
 //!   executed in SPT order (the evaluation convention of the whole
 //!   workspace).
 //! * [`metrics::SimReport`] aggregates realized makespan, flowtime,
-//!   waiting times, utilisation and scheduler statistics.
+//!   waiting times, utilisation and scheduler statistics, plus a
+//!   [`metrics::TelemetryReport`] of always-on tick-domain telemetry:
+//!   exact wait/response histograms with p50/p95/p99, load gauges and
+//!   fault counters. Wall-clock phase profiling
+//!   ([`Simulation::with_profiling`]) and JSONL event tracing
+//!   ([`Simulation::with_trace`]) are opt-in; the tick-domain-exact vs
+//!   wall-clock-informational split is defined in
+//!   [`cmags_core::telemetry`].
 //! * The **event core** runs on exact fixed-point ticks
 //!   (`cmags_core::ticks`): the [`event`] module's calendar queue
 //!   drains events in O(1) amortised with lazy cancellation of stale
@@ -82,6 +89,7 @@ pub mod workload;
 pub use config::ConfigError;
 pub use event::QueueKind;
 pub use fault::{FailureModel, RecoveryPolicy, RetryPolicy};
+pub use metrics::{SimReport, TelemetryReport};
 pub use scenario::{ChurnModel, ScenarioFamily};
 pub use sim::{ticks_to_time, time_to_ticks, SimConfig, Simulation};
 pub use workload::ArrivalProcess;

@@ -1,4 +1,17 @@
 //! Aggregate metrics of one simulation run.
+//!
+//! Two kinds of quantities live here, and they must not be conflated
+//! (the split is defined in [`cmags_core::telemetry`]):
+//!
+//! * **Tick-domain, exact, deterministic** — job counts, digests, and
+//!   the [`TelemetryReport`] histograms/gauges. These replay
+//!   bit-identically across runs, queue backends and worker-thread
+//!   counts, and the determinism tests pin them.
+//! * **Wall-clock, informational-only** — `scheduler_wall_s`,
+//!   `sim_wall_s`, and the [`TelemetryReport::phases`] durations. They
+//!   vary run to run; nothing deterministic may depend on them.
+
+use cmags_core::telemetry::{Gauge, PhaseProfile, TickHistogram};
 
 /// Per-job record of one completed job.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -11,11 +24,43 @@ pub struct JobRecord {
     pub started: f64,
     /// Completion time.
     pub finished: f64,
+    /// Waiting time (final-attempt start − arrival) in exact ticks —
+    /// the histogram-domain twin of `started - arrival`.
+    pub wait_ticks: u64,
+    /// Response time (completion − arrival) in exact ticks.
+    pub response_ticks: u64,
     /// How many times the job was (re)submitted after machine departures.
     pub resubmissions: u32,
     /// How many execution attempts were lost to transient failures or
     /// machine crashes before this completion.
     pub failures: u32,
+}
+
+/// Deterministic telemetry of one simulation run: tick-domain
+/// histograms and gauges (exact, pinned by the determinism tests) plus
+/// the wall-clock phase profile (informational-only, empty unless
+/// profiling was enabled via `Simulation::with_profiling`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryReport {
+    /// Job waiting times (final-attempt start − arrival), exact ticks.
+    pub wait: TickHistogram,
+    /// Job response times (completion − arrival), exact ticks.
+    pub response: TickHistogram,
+    /// Pending (unscheduled) jobs, sampled at every scheduler
+    /// activation.
+    pub pending_jobs: Gauge,
+    /// Live event-queue depth, sampled at every scheduler activation.
+    /// Backend-invariant: cancelled-but-unpopped entries are excluded.
+    pub queue_depth: Gauge,
+    /// Job dispatches handed to machines (one per job per activation it
+    /// was planned in).
+    pub dispatches: u64,
+    /// Delayed retries armed by the fault layer.
+    pub retries_scheduled: u64,
+    /// Wall-clock phase attribution (scheduler / snapshot_build /
+    /// dispatch / queue / fault_handling). **Informational-only** —
+    /// durations vary run to run; span *counts* are deterministic.
+    pub phases: PhaseProfile,
 }
 
 /// Aggregated outcome of one simulation run.
@@ -88,6 +133,9 @@ pub struct SimReport {
     /// Wall-clock seconds of the whole run, *including* scheduler time
     /// ([`SimReport::scheduler_wall_s`] is the scheduler-only share).
     pub sim_wall_s: f64,
+    /// Deterministic telemetry: tail-latency histograms, load gauges,
+    /// and (when profiling is on) the wall-clock phase profile.
+    pub telemetry: TelemetryReport,
 }
 
 impl SimReport {
@@ -109,6 +157,28 @@ impl SimReport {
         } else {
             self.total_wait / self.jobs_completed as f64
         }
+    }
+
+    /// A waiting-time percentile in seconds, resolved from the exact
+    /// tick-domain histogram (`q ∈ [0, 1]`; `None` before the first
+    /// completion). Bucket-granular: overshoots the true order
+    /// statistic by at most 12.5% relative.
+    #[must_use]
+    pub fn wait_percentile(&self, q: f64) -> Option<f64> {
+        self.telemetry
+            .wait
+            .quantile(q)
+            .map(|t| cmags_core::ticks::time(i128::from(t)))
+    }
+
+    /// A response-time percentile in seconds (see
+    /// [`SimReport::wait_percentile`] for resolution semantics).
+    #[must_use]
+    pub fn response_percentile(&self, q: f64) -> Option<f64> {
+        self.telemetry
+            .response
+            .quantile(q)
+            .map(|t| cmags_core::ticks::time(i128::from(t)))
     }
 
     /// Fraction of available machine time spent busy, in `[0, 1]`.
@@ -138,13 +208,16 @@ impl SimReport {
         self.max_failures = self.max_failures.max(failures);
     }
 
-    /// Folds one completed job into the aggregates.
+    /// Folds one completed job into the aggregates (means *and* the
+    /// exact tick-domain tail histograms).
     pub fn record_completion(&mut self, record: &JobRecord) {
         self.jobs_completed += 1;
         self.realized_makespan = self.realized_makespan.max(record.finished);
         self.flowtime += record.finished;
         self.total_response += record.finished - record.arrival;
         self.total_wait += record.started - record.arrival;
+        self.telemetry.wait.record(record.wait_ticks);
+        self.telemetry.response.record(record.response_ticks);
         self.resubmissions += u64::from(record.resubmissions);
         self.note_attempts(record.resubmissions, record.failures);
     }
@@ -171,6 +244,8 @@ mod tests {
             arrival,
             started,
             finished,
+            wait_ticks: cmags_core::ticks::ticks(started - arrival).max(0) as u64,
+            response_ticks: cmags_core::ticks::ticks(finished - arrival).max(0) as u64,
             resubmissions: 0,
             failures: 0,
         }
@@ -225,6 +300,8 @@ mod tests {
             arrival: 0.0,
             started: 1.0,
             finished: 2.0,
+            wait_ticks: 0,
+            response_ticks: 0,
             resubmissions: 3,
             failures: 1,
         });
@@ -239,6 +316,31 @@ mod tests {
         assert_eq!(report.mean_response(), 0.0);
         assert_eq!(report.mean_wait(), 0.0);
         assert_eq!(report.utilization(), 0.0);
+        assert_eq!(report.wait_percentile(0.95), None);
+        assert_eq!(report.response_percentile(0.99), None);
+    }
+
+    #[test]
+    fn percentiles_track_the_tick_histograms() {
+        let mut report = SimReport::default();
+        for i in 1..=100u32 {
+            report.record_completion(&record(0.0, f64::from(i), f64::from(i) * 2.0));
+        }
+        let p50_wait = report.wait_percentile(0.5).expect("non-empty");
+        let p99_resp = report.response_percentile(0.99).expect("non-empty");
+        // Bucket-granular: at most 12.5% relative overshoot plus the
+        // tick→seconds rounding.
+        assert!((50.0..=57.0).contains(&p50_wait), "p50 wait = {p50_wait}");
+        assert!((198.0..=223.0).contains(&p99_resp), "p99 resp = {p99_resp}");
+        assert_eq!(report.telemetry.wait.count(), 100);
+        assert_eq!(report.telemetry.response.count(), 100);
+        // The histogram's exact sum agrees with the float aggregate.
+        let mean_from_hist = cmags_core::ticks::time(report.telemetry.wait.sum() as i128) / 100.0;
+        assert!(
+            (mean_from_hist - report.mean_wait()).abs() < 1e-6,
+            "histogram mean {mean_from_hist} vs float mean {}",
+            report.mean_wait()
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! arriving to the system since the last activation".
 
 use cmags_cma::{CmaConfig, CmaEngine, StopCondition};
+use cmags_core::telemetry::MetricsRegistry;
 use cmags_core::{Objective, Problem, Schedule};
 use cmags_etc::GridInstance;
 use cmags_heuristics::constructive::ConstructiveKind;
@@ -36,6 +37,13 @@ pub trait BatchScheduler {
     /// Plans every job of `instance` onto its machines. `seed` is unique
     /// per activation, so stochastic schedulers stay reproducible.
     fn schedule(&mut self, instance: &GridInstance, seed: u64) -> Schedule;
+
+    /// Telemetry the scheduler accumulated across activations, if it
+    /// keeps any (the racing portfolio tags counters per contender per
+    /// round; the stateless schedulers return `None`).
+    fn metrics(&self) -> Option<&MetricsRegistry> {
+        None
+    }
 }
 
 /// Wraps any constructive heuristic as a batch scheduler.
@@ -237,6 +245,11 @@ pub struct PortfolioScheduler {
     /// Response objective every contender optimises (and the race ranks
     /// on).
     objective: Objective,
+    /// Per-contender race telemetry, accumulated across activations:
+    /// wins, children/iterations, per-round survival. Tick-domain only
+    /// (counts, never wall-clock), so its contents are deterministic
+    /// per `(config, seed)`.
+    metrics: MetricsRegistry,
 }
 
 impl PortfolioScheduler {
@@ -255,6 +268,7 @@ impl PortfolioScheduler {
             budget,
             cma: CmaConfig::paper(),
             objective: Objective::classic(),
+            metrics: MetricsRegistry::new(),
         }
     }
 
@@ -264,6 +278,48 @@ impl PortfolioScheduler {
     pub fn with_objective(mut self, objective: Objective) -> Self {
         self.objective = objective;
         self
+    }
+
+    /// The accumulated per-contender race telemetry. Keys are dotted
+    /// paths under `portfolio.`: per contender `<name>.wins`,
+    /// `<name>.children`, `<name>.iterations`, a
+    /// `<name>.children_per_activation` histogram, and per-round
+    /// participation counters `<name>.round.<r>.raced` (a contender
+    /// "races" every round up to the one it is frozen in).
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Folds one race outcome into the registry, tagged per contender
+    /// and per round.
+    fn record_race(&mut self, outcome: &cmags_portfolio::PortfolioOutcome) {
+        self.metrics.counter("portfolio.activations").inc();
+        let total_rounds = outcome.rounds.len() as u64;
+        self.metrics
+            .histogram("portfolio.rounds")
+            .record(total_rounds);
+        self.metrics
+            .counter(&format!("portfolio.{}.wins", outcome.winner_name))
+            .inc();
+        for entry in &outcome.entries {
+            let name = entry.name.as_str();
+            self.metrics
+                .counter(&format!("portfolio.{name}.children"))
+                .add(entry.children);
+            self.metrics
+                .counter(&format!("portfolio.{name}.iterations"))
+                .add(entry.iterations);
+            self.metrics
+                .histogram(&format!("portfolio.{name}.children_per_activation"))
+                .record(entry.children);
+            let last_round = entry.eliminated_in.unwrap_or(total_rounds);
+            for round in 1..=last_round {
+                self.metrics
+                    .counter(&format!("portfolio.{name}.round.{round}.raced"))
+                    .inc();
+            }
+        }
     }
 }
 
@@ -278,6 +334,10 @@ impl Default for PortfolioScheduler {
 impl BatchScheduler for PortfolioScheduler {
     fn name(&self) -> String {
         objective_name("Portfolio", self.objective)
+    }
+
+    fn metrics(&self) -> Option<&MetricsRegistry> {
+        Some(&self.metrics)
     }
 
     fn schedule(&mut self, instance: &GridInstance, seed: u64) -> Schedule {
@@ -320,6 +380,7 @@ impl BatchScheduler for PortfolioScheduler {
         let config = PortfolioConfig::successive_halving(contenders.len(), total_children)
             .with_stop(self.budget);
         let outcome = race(&config, contenders, |o| problem.fitness(o));
+        self.record_race(&outcome);
         outcome
             .best_schedule
             .expect("every contender exposes a best schedule")
@@ -510,6 +571,57 @@ mod tests {
             flowtime(&response),
             flowtime(&classic)
         );
+    }
+
+    #[test]
+    fn portfolio_metrics_tag_per_contender_per_round() {
+        let inst = instance();
+        let mut s = PortfolioScheduler::new(StopCondition::children(400));
+        let _ = s.schedule(&inst, 7);
+        let _ = s.schedule(&inst, 8);
+        let m = s.metrics();
+        assert_eq!(m.counter_value("portfolio.activations"), 2);
+        // Exactly one winner per activation.
+        let wins: u64 = m
+            .counters()
+            .filter(|(k, _)| k.ends_with(".wins"))
+            .map(|(_, c)| c.get())
+            .sum();
+        assert_eq!(wins, 2, "one win per activation");
+        // Every contender raced round 1 of both activations, and its
+        // per-activation children histogram has one sample per race.
+        for name in ["cMA", "SA", "Tabu", "SS-GA", "MoCell", "NSGA-II"] {
+            assert_eq!(
+                m.counter_value(&format!("portfolio.{name}.round.1.raced")),
+                2,
+                "{name} must race round 1 of every activation"
+            );
+            assert!(
+                m.counter_value(&format!("portfolio.{name}.children")) > 0,
+                "{name} must generate children"
+            );
+            let h = m
+                .get_histogram(&format!("portfolio.{name}.children_per_activation"))
+                .expect("histogram tagged per contender");
+            assert_eq!(h.count(), 2, "{name}: one sample per activation");
+        }
+        // Successive halving freezes somebody before the last round, so
+        // later rounds have fewer racers than round 1.
+        let raced = |round: u64| -> u64 {
+            m.counters()
+                .filter(|(k, _)| k.ends_with(&format!(".round.{round}.raced")))
+                .map(|(_, c)| c.get())
+                .sum()
+        };
+        let rounds = m.get_histogram("portfolio.rounds").expect("recorded");
+        assert_eq!(rounds.count(), 2);
+        let last = rounds.max().expect("non-empty");
+        if last > 1 {
+            assert!(
+                raced(last) < raced(1),
+                "elimination must thin the field by round {last}"
+            );
+        }
     }
 
     #[test]

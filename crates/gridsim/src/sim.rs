@@ -9,9 +9,31 @@
 //! id-indexed slab, and every per-activation buffer (ETC snapshot,
 //! ready times, per-machine buckets) is reusable scratch owned by the
 //! [`Simulation`].
+//!
+//! ## Observability
+//!
+//! The simulator's telemetry obeys the split defined in
+//! [`cmags_core::telemetry`]:
+//!
+//! * **Tick-domain metrics are always on.** Wait/response histograms,
+//!   load gauges and fault counters in
+//!   [`SimReport::telemetry`](crate::metrics::TelemetryReport) are
+//!   exact integer updates into preallocated storage — no allocation,
+//!   no RNG, no branching on configuration — so their contents are
+//!   bit-identical across queue backends and worker-thread counts, and
+//!   the hot loop's allocation pin (`tests/alloc.rs`) is unaffected.
+//! * **Wall-clock phase profiling is opt-in**
+//!   ([`Simulation::with_profiling`]): `Instant` reads attribute host
+//!   time to scheduler / snapshot_build / dispatch / queue /
+//!   fault_handling spans. Durations are informational-only.
+//! * **JSONL tracing is opt-in** ([`Simulation::with_trace`]): one flat
+//!   JSON object per simulation event, schema documented in the README's
+//!   Observability section. Tracing buffers through the writer and
+//!   never touches any RNG stream, so digests are unchanged.
 
 use std::time::Instant;
 
+use cmags_core::telemetry::{JsonlWriter, Phase, PhaseTimer};
 use cmags_etc::{EtcMatrix, GridInstance};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -252,6 +274,15 @@ pub struct Simulation {
     ckpt_ticks: Option<i64>,
     /// `recovery.probation` in ticks.
     probation_ticks: i64,
+    /// Wall-clock phase profiling: when on, `Instant` spans attribute
+    /// host time to the telemetry [`Phase`]s. Off by default — the hot
+    /// loop then takes no timing reads beyond the seed's existing
+    /// scheduler/sim wall measurements.
+    profile_on: bool,
+    /// Optional JSONL event trace. `None` (the default) keeps the hot
+    /// loop allocation-free; when set, every simulation event emits one
+    /// structured line.
+    trace: Option<JsonlWriter<Box<dyn std::io::Write>>>,
 }
 
 impl Simulation {
@@ -312,7 +343,49 @@ impl Simulation {
             awaiting_retry: 0,
             ckpt_ticks,
             probation_ticks,
+            profile_on: false,
+            trace: None,
         })
+    }
+
+    /// Enables wall-clock phase profiling: the run's
+    /// [`TelemetryReport::phases`](crate::metrics::TelemetryReport)
+    /// attributes host time to scheduler / snapshot_build / dispatch /
+    /// queue / fault_handling spans. Durations are informational-only
+    /// and never feed anything deterministic; tick-domain results are
+    /// bit-identical with profiling on or off.
+    #[must_use]
+    pub fn with_profiling(mut self) -> Self {
+        self.profile_on = true;
+        self
+    }
+
+    /// Attaches a JSONL event trace: one flat JSON object per
+    /// simulation event, written to `out` (schema in the README's
+    /// Observability section). Tracing never touches any RNG stream, so
+    /// digests and results are bit-identical with tracing on or off.
+    #[must_use]
+    pub fn with_trace(mut self, out: Box<dyn std::io::Write>) -> Self {
+        self.trace = Some(JsonlWriter::new(out));
+        self
+    }
+
+    /// The wall-clock phase an event's handler is attributed to.
+    /// `SchedulerActivation` returns `None`: `dispatch_pending` splits
+    /// it internally into snapshot_build / scheduler / dispatch spans.
+    fn phase_of(event: &Event) -> Option<Phase> {
+        match event {
+            Event::JobArrival { .. }
+            | Event::JobFinish { .. }
+            | Event::MachineJoin { .. }
+            | Event::MachineLeave
+            | Event::MassDeparture => Some(Phase::Queue),
+            Event::JobFail { .. }
+            | Event::JobRetry { .. }
+            | Event::MachineCrash { .. }
+            | Event::MachineRecover { .. } => Some(Phase::FaultHandling),
+            Event::SchedulerActivation => None,
+        }
     }
 
     /// Runs the simulation to completion under `scheduler` and returns
@@ -320,10 +393,27 @@ impl Simulation {
     pub fn run(mut self, scheduler: &mut dyn BatchScheduler) -> SimReport {
         let wall = Instant::now();
         self.report.scheduler = scheduler.name();
+        if let Some(trace) = self.trace.as_mut() {
+            trace
+                .record("run_start")
+                .str("scheduler", &self.report.scheduler)
+                .end();
+        }
         self.schedule_initial_events();
 
         let mut processed = 0u64;
-        while let Some((time, event)) = self.events.pop() {
+        loop {
+            // Queue pops are attributed to the `queue` phase; with
+            // profiling off this is exactly the seed's bare pop.
+            let popped = if self.profile_on {
+                let timer = PhaseTimer::start(Phase::Queue);
+                let popped = self.events.pop();
+                timer.stop(&mut self.report.telemetry.phases);
+                popped
+            } else {
+                self.events.pop()
+            };
+            let Some((time, event)) = popped else { break };
             processed += 1;
             if processed > self.config.max_events {
                 panic!(
@@ -332,6 +422,10 @@ impl Simulation {
                 );
             }
             self.advance_clock(time);
+            let timer = self
+                .profile_on
+                .then(|| Self::phase_of(&event).map(PhaseTimer::start))
+                .flatten();
             match event {
                 Event::JobArrival { job } => self.on_arrival(job),
                 Event::SchedulerActivation => self.on_activation(scheduler),
@@ -343,6 +437,9 @@ impl Simulation {
                 Event::JobRetry { job } => self.on_retry(job),
                 Event::MachineCrash { machine } => self.on_crash(machine),
                 Event::MachineRecover { machine } => self.on_recover(machine),
+            }
+            if let Some(timer) = timer {
+                timer.stop(&mut self.report.telemetry.phases);
             }
         }
         // Final availability update and sanity: every submitted job
@@ -356,6 +453,29 @@ impl Simulation {
         self.check_invariants();
         self.report.events_processed = processed;
         self.report.sim_wall_s = wall.elapsed().as_secs_f64();
+        if let Some(trace) = self.trace.as_mut() {
+            let mut record = trace
+                .record("run_end")
+                .str("scheduler", &self.report.scheduler)
+                .u64("jobs_submitted", self.report.jobs_submitted)
+                .u64("jobs_completed", self.report.jobs_completed)
+                .u64("jobs_dropped", self.report.jobs_dropped)
+                .u64("events", self.report.events_processed)
+                .hex("event_digest", self.report.event_digest)
+                .hex("fault_digest", self.report.fault_digest);
+            for (key, value) in [
+                ("p50_wait_s", self.report.wait_percentile(0.50)),
+                ("p95_wait_s", self.report.wait_percentile(0.95)),
+                ("p99_wait_s", self.report.wait_percentile(0.99)),
+                ("p50_response_s", self.report.response_percentile(0.50)),
+                ("p95_response_s", self.report.response_percentile(0.95)),
+                ("p99_response_s", self.report.response_percentile(0.99)),
+            ] {
+                record = record.f64(key, value.unwrap_or(f64::NAN));
+            }
+            record.end();
+            trace.flush();
+        }
         self.report
     }
 
@@ -436,7 +556,15 @@ impl Simulation {
         };
         self.report
             .fold_event(&[1, job, self.now as u64, spec.baseline.to_bits()]);
-        self.jobs.insert(spec);
+        if let Some(trace) = self.trace.as_mut() {
+            trace
+                .record("arrival")
+                .i64("t", self.now)
+                .u64("job", job)
+                .f64("baseline", spec.baseline)
+                .end();
+        }
+        self.jobs.insert(spec, self.now);
         self.pending.push(job);
         self.report.jobs_submitted += 1;
         self.next_job_id += 1;
@@ -456,6 +584,26 @@ impl Simulation {
         // conservation and machine-list consistency, checked
         // allocation-free so the hot loop's allocation budget stands.
         self.check_invariants();
+        // Load gauges, sampled once per activation. Both inputs are
+        // tick-domain facts (`EventQueue::len` counts live entries, so
+        // it is backend-invariant) and the gauges are plain field
+        // updates: deterministic, allocation-free, always on.
+        self.report
+            .telemetry
+            .pending_jobs
+            .set(self.pending.len() as i64);
+        self.report
+            .telemetry
+            .queue_depth
+            .set(self.events.len() as i64);
+        if let Some(trace) = self.trace.as_mut() {
+            trace
+                .record("activation")
+                .i64("t", self.now)
+                .u64("pending", self.pending.len() as u64)
+                .u64("machines", self.pool.len() as u64)
+                .end();
+        }
         if !self.pending.is_empty() && !self.pool.is_empty() {
             self.dispatch_pending(scheduler);
         }
@@ -493,6 +641,9 @@ impl Simulation {
     /// the scheduler, dispatch assignments in SPT order per machine. All
     /// buffers come from (and return to) the per-simulation scratch.
     fn dispatch_pending(&mut self, scheduler: &mut dyn BatchScheduler) {
+        let snapshot_timer = self
+            .profile_on
+            .then(|| PhaseTimer::start(Phase::SnapshotBuild));
         let mut scratch = std::mem::take(&mut self.scratch);
         let world = self.config.world;
         let now_f = self.now_f;
@@ -555,12 +706,26 @@ impl Simulation {
         let etc = EtcMatrix::from_rows(nb_jobs, nb_machines, std::mem::take(&mut scratch.etc));
         let ready = std::mem::take(&mut scratch.ready);
         let instance = GridInstance::with_ready_times(format!("activation@{now_f:.0}"), etc, ready);
+        if let Some(timer) = snapshot_timer {
+            timer.stop(&mut self.report.telemetry.phases);
+        }
 
         let wall = Instant::now();
         let schedule = scheduler.schedule(&instance, self.report.activations);
-        self.report.scheduler_wall_s += wall.elapsed().as_secs_f64();
+        let scheduler_span = wall.elapsed().as_secs_f64();
+        self.report.scheduler_wall_s += scheduler_span;
+        if self.profile_on {
+            // Reuse the existing measurement rather than stacking a
+            // second pair of Instant reads around the scheduler call.
+            self.report
+                .telemetry
+                .phases
+                .record(Phase::Scheduler, scheduler_span);
+        }
         self.report.activations += 1;
         assert_eq!(schedule.nb_jobs(), nb_jobs, "scheduler must plan every job");
+        let dispatch_timer = self.profile_on.then(|| PhaseTimer::start(Phase::Dispatch));
+        self.report.telemetry.dispatches += nb_jobs as u64;
         // Recycle the snapshot buffers for the next activation.
         let (_name, etc, ready) = instance.into_parts();
         scratch.etc = etc.into_rows();
@@ -602,6 +767,9 @@ impl Simulation {
             self.kick(machine_id);
         }
         self.scratch = scratch;
+        if let Some(timer) = dispatch_timer {
+            timer.stop(&mut self.report.telemetry.phases);
+        }
     }
 
     /// Starts the next queued job on `machine` if it is idle.
@@ -714,14 +882,32 @@ impl Simulation {
         machine.consecutive_failures = 0;
         machine.blacklisted_until = 0;
         let state = self.jobs.complete(job);
+        let started_ticks = state.started.expect("finished job must have started");
+        // Exact tick-domain twins of the float wait/response aggregates
+        // (final-attempt start − arrival, completion − arrival); these
+        // feed the telemetry histograms the percentiles resolve from.
+        let wait_ticks = (started_ticks - state.arrival_ticks).max(0) as u64;
+        let response_ticks = (self.now - state.arrival_ticks).max(0) as u64;
         self.report.record_completion(&JobRecord {
             job,
             arrival: state.spec.arrival,
-            started: ticks_to_time(state.started.expect("finished job must have started")),
+            started: ticks_to_time(started_ticks),
             finished: self.now_f,
+            wait_ticks,
+            response_ticks,
             resubmissions: state.resubmissions,
             failures: state.failures,
         });
+        if let Some(trace) = self.trace.as_mut() {
+            trace
+                .record("finish")
+                .i64("t", self.now)
+                .u64("job", job)
+                .u64("machine", machine_id)
+                .u64("wait_ticks", wait_ticks)
+                .u64("response_ticks", response_ticks)
+                .end();
+        }
         self.maybe_quiesce_faults();
         self.kick(machine_id);
     }
@@ -744,6 +930,14 @@ impl Simulation {
         self.report.job_failures += 1;
         self.report
             .fold_fault(&[1, job, machine_id, self.now as u64]);
+        if let Some(trace) = self.trace.as_mut() {
+            trace
+                .record("fail")
+                .i64("t", self.now)
+                .u64("job", job)
+                .u64("machine", machine_id)
+                .end();
+        }
         self.note_machine_failure(machine_id);
         self.fail_running_job(job, running.planned);
         self.kick(machine_id);
@@ -773,6 +967,13 @@ impl Simulation {
             self.report
                 .note_attempts(final_state.resubmissions, final_state.failures);
             self.report.fold_fault(&[3, job, self.now as u64]);
+            if let Some(trace) = self.trace.as_mut() {
+                trace
+                    .record("drop")
+                    .i64("t", self.now)
+                    .u64("job", job)
+                    .end();
+            }
             self.maybe_quiesce_faults();
             return;
         }
@@ -784,7 +985,16 @@ impl Simulation {
             let at = self.now.saturating_add(time_to_ticks(delay));
             self.events.push(at, Event::JobRetry { job });
             self.awaiting_retry += 1;
+            self.report.telemetry.retries_scheduled += 1;
             self.report.fold_fault(&[2, job, at as u64]);
+            if let Some(trace) = self.trace.as_mut() {
+                trace
+                    .record("retry")
+                    .i64("t", self.now)
+                    .u64("job", job)
+                    .i64("at", at)
+                    .end();
+            }
         }
     }
 
@@ -855,6 +1065,13 @@ impl Simulation {
         }
         self.report.machine_crashes += 1;
         self.report.fold_fault(&[5, self.now as u64, machine_id]);
+        if let Some(trace) = self.trace.as_mut() {
+            trace
+                .record("crash")
+                .i64("t", self.now)
+                .u64("machine", machine_id)
+                .end();
+        }
         self.note_machine_failure(machine_id);
         let (orphans, running) = self
             .pool
@@ -901,6 +1118,13 @@ impl Simulation {
     fn on_recover(&mut self, machine_id: u64) {
         self.report.machine_recoveries += 1;
         self.report.fold_fault(&[6, self.now as u64, machine_id]);
+        if let Some(trace) = self.trace.as_mut() {
+            trace
+                .record("recover")
+                .i64("t", self.now)
+                .u64("machine", machine_id)
+                .end();
+        }
         self.pool.recover(machine_id);
         self.schedule_next_crash(machine_id);
     }
@@ -981,6 +1205,13 @@ impl Simulation {
         // digest records the machine's real identity.
         self.report
             .fold_event(&[2, machine_id, self.now as u64, slowness.to_bits()]);
+        if let Some(trace) = self.trace.as_mut() {
+            trace
+                .record("join")
+                .i64("t", self.now)
+                .u64("machine", machine_id)
+                .end();
+        }
         self.pool.join_reserved(machine_id, slowness, self.now_f);
         // Next join.
         let gap = exp_gap(&mut self.rng, self.config.churn.join_rate());
@@ -1009,6 +1240,13 @@ impl Simulation {
     /// running job *before* its queued jobs (the pinned orphan order).
     fn depart_machine(&mut self, victim: u64) {
         self.report.fold_event(&[3, self.now as u64, victim]);
+        if let Some(trace) = self.trace.as_mut() {
+            trace
+                .record("leave")
+                .i64("t", self.now)
+                .u64("machine", victim)
+                .end();
+        }
         if let Some(dead) = self.pool.leave(victim) {
             // A departed machine's crash clock dies with it.
             if let Some(token) = dead.next_crash {
@@ -1053,6 +1291,13 @@ impl Simulation {
         let victims = ((self.pool.len() as f64 * fraction).ceil() as usize).max(1);
         self.report
             .fold_event(&[4, self.now as u64, victims as u64]);
+        if let Some(trace) = self.trace.as_mut() {
+            trace
+                .record("shock")
+                .i64("t", self.now)
+                .u64("victims", victims as u64)
+                .end();
+        }
         for _ in 0..victims {
             self.kill_random_machine();
         }
@@ -1410,11 +1655,14 @@ mod tests {
         // lives in tests/dynamic_grid.rs.
         let mut sim = Simulation::new(SimConfig::small(), 1);
         for id in 0..4u64 {
-            sim.jobs.insert(JobSpec {
-                id,
-                arrival: 0.0,
-                baseline: 1.0,
-            });
+            sim.jobs.insert(
+                JobSpec {
+                    id,
+                    arrival: 0.0,
+                    baseline: 1.0,
+                },
+                0,
+            );
             sim.report.jobs_submitted += 1;
         }
         sim.next_job_id = 4;

@@ -33,6 +33,14 @@
 //!   [`gridsim::RecoveryPolicy`]) with transient failures, machine
 //!   crash/repair cycles, retry backoff and checkpoint/restart.
 //!
+//! Cross-cutting observability lives in [`core::telemetry`]: exact
+//! tick-domain counters/gauges/histograms (always on, deterministic,
+//! allocation-free), opt-in wall-clock phase profiling
+//! ([`gridsim::Simulation::with_profiling`]) and structured JSONL
+//! event tracing ([`gridsim::Simulation::with_trace`]); every
+//! [`gridsim::SimReport`] embeds a [`gridsim::TelemetryReport`] with
+//! p50/p95/p99 wait and response percentiles.
+//!
 //! This facade re-exports all of them plus a [`prelude`] with the types
 //! an application typically needs.
 //!
@@ -73,6 +81,7 @@ pub mod prelude {
     pub use cmags_core::engine::{
         Metaheuristic, Observer, RunStats, Runner, Snapshot, TracePoint, TraceSink,
     };
+    pub use cmags_core::telemetry::{MetricsRegistry, MetricsSink, TickHistogram};
     pub use cmags_core::{
         evaluate, EvalState, FitnessWeights, JobId, MachineId, Objective, Objectives, Problem,
         Schedule,
@@ -86,7 +95,7 @@ pub mod prelude {
     };
     pub use cmags_gridsim::{
         ArrivalProcess, ChurnModel, ConfigError, FailureModel, RecoveryPolicy, RetryPolicy,
-        ScenarioFamily, SimConfig, Simulation,
+        ScenarioFamily, SimConfig, SimReport, Simulation, TelemetryReport,
     };
     pub use cmags_heuristics::constructive::{
         Constructive, ConstructiveKind, Duplex, LjfrSjfr, MaxMin, Mct, Met, MinMin, Olb,
