@@ -223,8 +223,8 @@ mod tests {
         }
         // ...and strict monotonicity on the quantity actually optimised,
         // per individual run (variant, seed).
-        use std::collections::HashMap;
-        let mut per_run: HashMap<(String, String), Vec<f64>> = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut per_run: BTreeMap<(String, String), Vec<f64>> = BTreeMap::new();
         for row in &raw.rows {
             per_run
                 .entry((row[0].clone(), row[1].clone()))

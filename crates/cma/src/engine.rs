@@ -693,6 +693,7 @@ fn improve(
 /// [`CmaConfig::validate`]).
 #[must_use]
 pub fn run(config: &CmaConfig, problem: &Problem, seed: u64) -> CmaOutcome {
+    // lint:allow(no-wall-clock-in-sim): legit wall-clock budget anchor — the paper-protocol time limit is opt-in and informational; the parallel sweep's bit-identity across thread counts never consults this read.
     let start = Instant::now();
     let mut engine = CmaEngine::new(config, problem, seed);
     let mut trace = TraceSink::new();

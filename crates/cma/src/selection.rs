@@ -110,7 +110,7 @@ mod tests {
     fn tournament_of_one_is_uniform() {
         let mut rng = SmallRng::seed_from_u64(1);
         let candidates: Vec<usize> = (0..10).collect();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..200 {
             seen.insert(Selection::NTournament(1).select(&candidates, &fit, &mut rng));
         }

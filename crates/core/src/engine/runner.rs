@@ -57,6 +57,7 @@ impl Runner {
         engine: &mut dyn Metaheuristic,
         observers: &mut [&mut dyn Observer],
     ) -> RunStats {
+        // lint:allow(no-wall-clock-in-sim): legit run-elapsed anchor — RunStats.elapsed and Snapshot.elapsed are informational-only (MetricsSink never records them); exact budgets come from iteration/children counters, not this read.
         self.run_from(Instant::now(), engine, observers)
     }
 
@@ -127,6 +128,7 @@ impl Runner {
     /// Convenience: runs with a single [`TraceSink`] and returns the
     /// recorded best-so-far trace alongside the stats.
     pub fn run_traced(&self, engine: &mut dyn Metaheuristic) -> (RunStats, Vec<TracePoint>) {
+        // lint:allow(no-wall-clock-in-sim): legit trace-timestamp anchor — TracePoint.elapsed_ms is informational-only; determinism tests compare TracePoint::key(), which excludes it.
         self.run_traced_from(Instant::now(), engine)
     }
 

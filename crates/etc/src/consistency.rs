@@ -352,7 +352,8 @@ mod tests {
     fn suite_has_twelve_distinct_classes() {
         let suite = InstanceClass::braun_suite(0);
         assert_eq!(suite.len(), 12);
-        let labels: std::collections::HashSet<_> = suite.iter().map(InstanceClass::label).collect();
+        let labels: std::collections::BTreeSet<_> =
+            suite.iter().map(InstanceClass::label).collect();
         assert_eq!(labels.len(), 12);
     }
 

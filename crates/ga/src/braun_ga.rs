@@ -79,6 +79,7 @@ impl BraunGa {
     /// smaller than two.
     #[must_use]
     pub fn run(&self, problem: &Problem, seed: u64) -> GaOutcome {
+        // lint:allow(no-wall-clock-in-sim): legit wall-clock budget anchor — the paper-protocol time limit in StopCondition is opt-in and informational; deterministic runs use exact children/iteration budgets and no tick-domain value derives from this read.
         let start = Instant::now();
         let engine = self.engine(problem, seed);
         run_to_outcome(self.stop, start, engine, seed)

@@ -391,6 +391,7 @@ impl Simulation {
     /// Runs the simulation to completion under `scheduler` and returns
     /// the report.
     pub fn run(mut self, scheduler: &mut dyn BatchScheduler) -> SimReport {
+        // lint:allow(no-wall-clock-in-sim): legit profiling span — feeds only SimReport.sim_wall_s, which the module docs pin as informational-only; simulation time itself advances on exact ticks.
         let wall = Instant::now();
         self.report.scheduler = scheduler.name();
         if let Some(trace) = self.trace.as_mut() {
@@ -710,6 +711,7 @@ impl Simulation {
             timer.stop(&mut self.report.telemetry.phases);
         }
 
+        // lint:allow(no-wall-clock-in-sim): legit profiling span — feeds scheduler_wall_s and the Phase::Scheduler attribution (both informational-only); the dispatch decisions below depend only on the returned schedule, never on this measurement.
         let wall = Instant::now();
         let schedule = scheduler.schedule(&instance, self.report.activations);
         let scheduler_span = wall.elapsed().as_secs_f64();

@@ -9,6 +9,10 @@
 //! fixed activation schedule: events must grow ≈4×, allocator calls
 //! must not even double.
 
+// The workspace denies unsafe_code (see [workspace.lints] in the root
+// manifest); implementing GlobalAlloc is the one sanctioned exception.
+#![allow(unsafe_code)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 

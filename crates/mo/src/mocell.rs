@@ -552,6 +552,7 @@ pub(crate) fn ideal_point(front: &[Objectives]) -> Objectives {
 /// [`MoCellConfig::run`]).
 #[must_use]
 pub fn run(config: &MoCellConfig, problem: &Problem, seed: u64) -> MoCellOutcome {
+    // lint:allow(no-wall-clock-in-sim): legit wall-clock budget anchor — same contract as the ga engines: opt-in time limit plus informational elapsed, never a tick-domain input.
     let start = Instant::now();
     let mut engine = MoCellEngine::new(config, problem, seed);
     let stats = Runner::new(config.stop).run_from(start, &mut engine, &mut []);

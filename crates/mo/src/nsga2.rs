@@ -426,6 +426,7 @@ fn first_front_hypervolume(
 /// [`Nsga2Config::run`]).
 #[must_use]
 pub fn run(config: &Nsga2Config, problem: &Problem, seed: u64) -> Nsga2Outcome {
+    // lint:allow(no-wall-clock-in-sim): legit wall-clock budget anchor — same contract as the ga engines: opt-in time limit plus informational elapsed, never a tick-domain input.
     let start = Instant::now();
     let mut engine = Nsga2Engine::new(config, problem, seed);
     let stats = Runner::new(config.stop).run_from(start, &mut engine, &mut []);

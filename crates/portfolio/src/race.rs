@@ -141,6 +141,7 @@ where
 {
     assert!(!contenders.is_empty(), "race needs at least one contender");
     config.validate();
+    // lint:allow(no-wall-clock-in-sim): legit race-elapsed anchor — per-round budgets are exact children/iteration counts (bit-identical across 1/2/8 worker threads); this read only stamps the informational elapsed field of the outcome.
     let start = Instant::now();
 
     let mut entries: Vec<EntryState<'a>> = contenders

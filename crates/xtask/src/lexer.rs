@@ -1,0 +1,400 @@
+//! A comment- and string-stripping Rust lexer.
+//!
+//! The rule engine ([`crate::rules`]) matches determinism-sensitive
+//! tokens (`HashMap`, `Instant::now`, `as usize`, …) against source
+//! text, so the first job is to make sure a token mentioned in a doc
+//! comment, a string literal, or a `#[should_panic(expected = "…")]`
+//! message never fires a finding. This module produces a **masked**
+//! copy of each file — byte-for-byte the same length and line
+//! structure, with every comment and every string/char-literal payload
+//! replaced by spaces — plus the list of `//` line comments (with their
+//! line numbers) so the pragma parser can read suppression directives
+//! that the mask just erased.
+//!
+//! The lexer handles the full set of Rust literal syntaxes that matter
+//! for masking: line comments (`//`, `///`, `//!`), *nested* block
+//! comments, plain/byte strings with escapes, raw (byte) strings with
+//! arbitrary `#` fences, char and byte-char literals, and the
+//! char-vs-lifetime ambiguity (`'a'` masks, `'a` in `&'a T` does not).
+//! It is deliberately *not* a full tokenizer: everything that is not a
+//! comment or a literal is copied through verbatim.
+
+/// One `//` line comment, carrying the text after the slashes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based source line the comment starts on.
+    pub line: usize,
+    /// Comment text after the leading `//` (and any further `/` or
+    /// `!`), not including the newline.
+    pub text: String,
+    /// Whether anything other than whitespace precedes the comment on
+    /// its line (a *trailing* comment annotates its own line; a
+    /// *standalone* comment annotates the next code line).
+    pub trailing: bool,
+}
+
+/// Result of masking one source file.
+#[derive(Debug, Clone)]
+pub struct Lexed {
+    /// The source with comments and literal payloads blanked to spaces
+    /// (newlines preserved, so line/column arithmetic still holds).
+    pub masked: String,
+    /// Every `//` line comment, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Strips comments and string/char literals from `source`.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut masked = Vec::with_capacity(bytes.len());
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut line_has_code = false;
+    let mut i = 0usize;
+
+    // Pushes a masked (blanked) byte, preserving newlines.
+    fn blank(masked: &mut Vec<u8>, b: u8) {
+        masked.push(if b == b'\n' { b'\n' } else { b' ' });
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                masked.push(b'\n');
+                line += 1;
+                line_has_code = false;
+                i += 1;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                // Line comment (also catches /// and //!).
+                let start = i + 2;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != b'\n' {
+                    end += 1;
+                }
+                let mut text = String::from_utf8_lossy(&bytes[start..end]).into_owned();
+                // ///-doc and //!-doc markers are not comment text.
+                while text.starts_with('/') || text.starts_with('!') {
+                    text.remove(0);
+                }
+                comments.push(Comment {
+                    line,
+                    text,
+                    trailing: line_has_code,
+                });
+                for &c in &bytes[i..end] {
+                    blank(&mut masked, c);
+                }
+                i = end;
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                // Block comment; Rust block comments nest.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                blank(&mut masked, b'/');
+                blank(&mut masked, b'*');
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'/' && j + 1 < bytes.len() && bytes[j + 1] == b'*' {
+                        depth += 1;
+                        blank(&mut masked, bytes[j]);
+                        blank(&mut masked, bytes[j + 1]);
+                        j += 2;
+                    } else if bytes[j] == b'*' && j + 1 < bytes.len() && bytes[j + 1] == b'/' {
+                        depth -= 1;
+                        blank(&mut masked, bytes[j]);
+                        blank(&mut masked, bytes[j + 1]);
+                        j += 2;
+                    } else {
+                        if bytes[j] == b'\n' {
+                            line += 1;
+                            line_has_code = false;
+                        }
+                        blank(&mut masked, bytes[j]);
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            b'"' => {
+                i = mask_string(bytes, i, &mut masked, &mut line, &mut line_has_code);
+            }
+            b'r' | b'b' if starts_raw_string(bytes, i) => {
+                i = mask_raw_string(bytes, i, &mut masked, &mut line, &mut line_has_code);
+            }
+            b'b' if i + 1 < bytes.len() && bytes[i + 1] == b'"' => {
+                masked.push(b'b');
+                line_has_code = true;
+                i = mask_string(bytes, i + 1, &mut masked, &mut line, &mut line_has_code);
+            }
+            b'b' if i + 2 < bytes.len() && bytes[i + 1] == b'\'' => {
+                masked.push(b'b');
+                line_has_code = true;
+                i = mask_char(bytes, i + 1, &mut masked);
+            }
+            b'\'' => {
+                if is_char_literal(bytes, i) {
+                    i = mask_char(bytes, i, &mut masked);
+                    line_has_code = true;
+                } else {
+                    // A lifetime (`'a`) or label (`'outer:`): keep it.
+                    masked.push(b);
+                    line_has_code = true;
+                    i += 1;
+                }
+            }
+            _ => {
+                if !b.is_ascii_whitespace() {
+                    line_has_code = true;
+                }
+                masked.push(b);
+                i += 1;
+            }
+        }
+    }
+
+    Lexed {
+        masked: String::from_utf8_lossy(&masked).into_owned(),
+        comments,
+    }
+}
+
+/// Whether position `i` starts a raw string: `r"`, `r#`, `br"`, `br#`.
+fn starts_raw_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if j >= bytes.len() || bytes[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < bytes.len() && bytes[j] == b'#' {
+        j += 1;
+    }
+    j < bytes.len() && bytes[j] == b'"'
+}
+
+/// Masks a plain (escaped) string literal starting at the opening `"`.
+/// Returns the index just past the closing quote.
+fn mask_string(
+    bytes: &[u8],
+    start: usize,
+    masked: &mut Vec<u8>,
+    line: &mut usize,
+    line_has_code: &mut bool,
+) -> usize {
+    debug_assert_eq!(bytes[start], b'"');
+    masked.push(b' ');
+    *line_has_code = true;
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if i + 1 < bytes.len() => {
+                masked.push(b' ');
+                masked.push(if bytes[i + 1] == b'\n' { b'\n' } else { b' ' });
+                if bytes[i + 1] == b'\n' {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            b'"' => {
+                masked.push(b' ');
+                return i + 1;
+            }
+            b'\n' => {
+                masked.push(b'\n');
+                *line += 1;
+                i += 1;
+            }
+            _ => {
+                masked.push(b' ');
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Masks a raw string literal (`r"…"`, `r##"…"##`, `br#"…"#`) starting
+/// at the `r`/`b`. Returns the index just past the closing fence.
+fn mask_raw_string(
+    bytes: &[u8],
+    start: usize,
+    masked: &mut Vec<u8>,
+    line: &mut usize,
+    line_has_code: &mut bool,
+) -> usize {
+    let mut i = start;
+    *line_has_code = true;
+    if bytes[i] == b'b' {
+        masked.push(b' ');
+        i += 1;
+    }
+    debug_assert_eq!(bytes[i], b'r');
+    masked.push(b' ');
+    i += 1;
+    let mut hashes = 0usize;
+    while i < bytes.len() && bytes[i] == b'#' {
+        masked.push(b' ');
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert_eq!(bytes[i], b'"');
+    masked.push(b' ');
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"'
+            && bytes[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == b'#')
+                .count()
+                == hashes
+            && bytes[i + 1..].len() >= hashes
+        {
+            for _ in 0..=hashes {
+                masked.push(b' ');
+            }
+            return i + 1 + hashes;
+        }
+        if bytes[i] == b'\n' {
+            masked.push(b'\n');
+            *line += 1;
+        } else {
+            masked.push(b' ');
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Whether the `'` at `i` opens a char literal (as opposed to a
+/// lifetime). `'\…'` and `'x'` are char literals; `'ident` without a
+/// closing quote right after one character is a lifetime.
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(b'\\') => true,
+        Some(_) => bytes.get(i + 2) == Some(&b'\''),
+        None => false,
+    }
+}
+
+/// Masks a char literal starting at the opening `'`. Returns the index
+/// just past the closing quote.
+fn mask_char(bytes: &[u8], start: usize, masked: &mut Vec<u8>) -> usize {
+    debug_assert_eq!(bytes[start], b'\'');
+    masked.push(b' ');
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if i + 1 < bytes.len() => {
+                masked.push(b' ');
+                masked.push(b' ');
+                i += 2;
+            }
+            b'\'' => {
+                masked.push(b' ');
+                return i + 1;
+            }
+            _ => {
+                masked.push(b' ');
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_comments_and_collects_text() {
+        let lexed = lex("let x = 1; // uses a map\n// standalone\nlet y = 2;\n");
+        assert!(!lexed.masked.contains("uses"));
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(lexed.comments[0].trailing);
+        assert_eq!(lexed.comments[1].line, 2);
+        assert!(!lexed.comments[1].trailing);
+        assert_eq!(lexed.comments[1].text.trim(), "standalone");
+    }
+
+    #[test]
+    fn doc_comment_markers_are_stripped_from_text() {
+        let lexed = lex("/// doc line\n//! inner doc\nfn f() {}\n");
+        assert_eq!(lexed.comments[0].text.trim(), "doc line");
+        assert_eq!(lexed.comments[1].text.trim(), "inner doc");
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let lexed = lex("a /* one /* two */ still comment */ b\n");
+        assert!(lexed.masked.contains('a'));
+        assert!(lexed.masked.contains('b'));
+        assert!(!lexed.masked.contains("still"));
+    }
+
+    #[test]
+    fn masks_strings_but_keeps_line_numbers() {
+        let src = "let s = \"line one\nline two\";\nlet t = 3;\n";
+        let lexed = lex(src);
+        assert!(!lexed.masked.contains("line one"));
+        assert_eq!(
+            lexed.masked.matches('\n').count(),
+            src.matches('\n').count()
+        );
+        assert!(lexed.masked.contains("let t = 3;"));
+    }
+
+    #[test]
+    fn masks_raw_strings_with_fences() {
+        let lexed = lex("let s = r#\"has \"quotes\" inside\"#; let u = 1;\n");
+        assert!(!lexed.masked.contains("quotes"));
+        assert!(lexed.masked.contains("let u = 1;"));
+    }
+
+    #[test]
+    fn masks_escaped_quote_in_string() {
+        let lexed = lex("let s = \"a\\\"b\"; let k = 2;\n");
+        assert!(lexed.masked.contains("let k = 2;"));
+        assert!(!lexed.masked.contains('a'), "payload must be blanked");
+    }
+
+    #[test]
+    fn char_literals_mask_but_lifetimes_survive() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'y' }\n");
+        assert!(lexed.masked.contains("&'a str"));
+        assert!(!lexed.masked.contains("'y'"));
+    }
+
+    #[test]
+    fn escaped_char_literal_is_not_a_lifetime() {
+        let lexed = lex("let c = '\\n'; let d = 'x';\n");
+        assert!(lexed.masked.contains("let d ="));
+        assert!(!lexed.masked.contains('x'));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars_mask() {
+        let lexed = lex("let a = b\"bytes\"; let b2 = b'z'; let c = 1;\n");
+        assert!(!lexed.masked.contains("bytes"));
+        assert!(!lexed.masked.contains("'z'"));
+        assert!(lexed.masked.contains("let c = 1;"));
+    }
+
+    #[test]
+    fn comment_inside_string_is_not_a_comment() {
+        let lexed = lex("let s = \"// not a comment\";\n");
+        assert!(lexed.comments.is_empty());
+    }
+
+    #[test]
+    fn string_inside_comment_is_not_a_string() {
+        let lexed = lex("// \"quoted\" text\nlet x = 1;\n");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.masked.contains("let x = 1;"));
+    }
+}

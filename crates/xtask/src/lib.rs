@@ -1,0 +1,136 @@
+//! # cmags-xtask — the determinism lint pass
+//!
+//! A zero-dependency static analyzer that enforces the workspace's
+//! bit-identity invariants *by construction*. Every headline claim in
+//! this reproduction — same digests across queue backends, across
+//! 1/2/8 worker threads, with telemetry on or off — rests on a handful
+//! of coding rules (no hash-ordered containers, no wall-clock or
+//! ambient entropy in the deterministic core, exact integer arithmetic
+//! in tick modules). Example-based tests catch violations after the
+//! fact; this pass rejects them at commit time, the way
+//! discrete-event-simulation frameworks guard their deterministic
+//! event cores.
+//!
+//! The analyzer is hand-rolled in the house style (like the telemetry
+//! JSONL writer): a comment/string-stripping lexer ([`lexer`]) feeds a
+//! token-level rule engine ([`rules`]) that walks `crates/*/src` and
+//! `src/`. Findings are file:line precise; suppressions require an
+//! inline `// lint:allow(rule): reason` pragma with a mandatory
+//! reason, and stale or malformed pragmas are findings themselves.
+//!
+//! Run it as a CI gate:
+//!
+//! ```text
+//! cargo run -p cmags-xtask -- lint     # exit 0 iff the workspace is clean
+//! cargo run -p cmags-xtask -- rules    # print the rule table
+//! ```
+//!
+//! ## What the lexical approach can and cannot see
+//!
+//! The engine matches masked token streams, not resolved types. That
+//! makes it fast, dependency-free and immune to false positives from
+//! comments/strings — and blind to aliasing (`use Instant as T`),
+//! macro expansion, and types reached through generics. Those evasions
+//! are visible in review precisely *because* they are contortions; the
+//! lint's job is to make the default, idiomatic spelling of a
+//! determinism bug impossible to commit silently.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use rules::{lint_source, Finding, RuleInfo, META_RULES, RULES};
+
+/// Result of linting a whole workspace.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Workspace-relative paths of every file linted, sorted.
+    pub files: Vec<String>,
+    /// Surviving findings, sorted by path then line.
+    pub findings: Vec<Finding>,
+}
+
+impl LintReport {
+    /// Whether the workspace lints clean.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Collects every `.rs` file under `crates/*/src` and `src/` of the
+/// workspace rooted at `root`, sorted for deterministic reports.
+/// Deliberately excluded: `vendor/` (external stand-ins), `tests/`,
+/// `benches/` and `examples/` (not part of the deterministic core; the
+/// bench crate's *sources* are walked but wall-clock-exempted).
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        members.sort();
+        for member in members {
+            let src = member.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            collect_rs(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let mut findings = Vec::new();
+    let mut files = Vec::new();
+    for path in workspace_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let source = std::fs::read_to_string(&path)?;
+        findings.extend(lint_source(&rel, &source));
+        files.push(rel);
+    }
+    findings.sort();
+    Ok(LintReport { files, findings })
+}
+
+/// Locates the workspace root: the manifest dir's grandparent when
+/// built inside `crates/xtask`, else the current directory.
+#[must_use]
+pub fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map_or_else(|| PathBuf::from("."), Path::to_path_buf)
+}

@@ -1,0 +1,100 @@
+//! CLI entry point: `cargo run -p cmags-xtask -- <command>`.
+//!
+//! Commands:
+//!
+//! * `lint [--root <path>]` — walk `crates/*/src` and `src/`, report
+//!   determinism-rule findings as `file:line: [rule] message`, and exit
+//!   nonzero if any survive. This is the CI gate.
+//! * `rules` — print the rule table (name, what, why, scope) including
+//!   the always-on pragma meta rules.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cmags_xtask::{default_root, lint_workspace, META_RULES, RULES};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("rules") => {
+            print_rules();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`");
+            usage();
+            ExitCode::from(2)
+        }
+        None => {
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: cargo run -p cmags-xtask -- <lint [--root <path>] | rules>");
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" => match iter.next() {
+                Some(path) => root = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown lint flag `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+    let report = match lint_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("lint failed to walk {}: {err}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if report.is_clean() {
+        println!(
+            "determinism lint clean: {} files, {} rules",
+            report.files.len(),
+            RULES.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    eprintln!(
+        "determinism lint: {} finding(s) in {} files — suppress only with \
+         `// lint:allow(rule): reason`",
+        report.findings.len(),
+        report.files.len()
+    );
+    ExitCode::FAILURE
+}
+
+fn print_rules() {
+    println!("determinism rules (suppress with `// lint:allow(rule): reason`):\n");
+    for rule in RULES {
+        println!("  {}", rule.name);
+        println!("    flags: {}", rule.what);
+        println!("    why:   {}", rule.why);
+        println!("    scope: {}\n", rule.scope);
+    }
+    println!("pragma meta rules (always on, not suppressible):\n");
+    for rule in META_RULES {
+        println!("  {}", rule.name);
+        println!("    flags: {}", rule.what);
+        println!("    why:   {}\n", rule.why);
+    }
+}

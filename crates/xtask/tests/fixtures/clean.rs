@@ -1,0 +1,26 @@
+//! Negative fixture: idiomatic deterministic code. Nothing here may
+//! fire — ordered containers, explicit counter-based randomness, and
+//! exact integer arithmetic are exactly what the rules steer toward.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Deterministic frequency table.
+pub fn histogram(values: &[u64]) -> BTreeMap<u64, u64> {
+    let mut table = BTreeMap::new();
+    for &v in values {
+        *table.entry(v).or_insert(0) += 1;
+    }
+    table
+}
+
+/// Dense-id membership without hashing.
+pub fn dedup(values: &[u64]) -> BTreeSet<u64> {
+    values.iter().copied().collect()
+}
+
+/// SplitMix64 step: counter-based, no ambient entropy.
+pub fn splitmix(state: u64) -> u64 {
+    let z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^ (z >> 31)
+}

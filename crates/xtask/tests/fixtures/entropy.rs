@@ -1,0 +1,17 @@
+//! Seeded violation fixture: `no-ambient-entropy` positives. Ambient
+//! OS randomness silently breaks seeded replay; each spelling fires.
+
+/// Thread-local RNG handle.
+pub fn draw() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+/// Seeding from the OS entropy pool.
+pub fn seed_from_os() -> u64 {
+    let rng = SmallRng::from_entropy();
+    let _alt = StdRng::from_os_rng();
+    let _direct = OsRng.next_u64();
+    getrandom(&mut [0u8; 8]);
+    rng.next_u64()
+}

@@ -1,0 +1,25 @@
+//! Lexer-evasion fixture: every banned token appears here — but only
+//! inside comments, strings, raw strings and doc text, where the
+//! masking lexer must hide them. The file must lint clean.
+//!
+//! Prose mentions that would trip a naive grep: HashMap, HashSet,
+//! RandomState, thread_rng, from_entropy, OsRng, getrandom,
+//! SystemTime, and Instant::now().
+
+/// Returns ban-list documentation; `HashMap` in a doc comment is text,
+/// not code.
+pub fn ban_list() -> &'static str {
+    "HashMap HashSet RandomState thread_rng from_entropy OsRng getrandom SystemTime Instant::now()"
+}
+
+/// Raw strings with `#` fences are masked too.
+pub fn raw() -> &'static str {
+    r#"let t = Instant::now(); // "HashMap" inside a raw string"#
+}
+
+/* Block comments as well: SystemTime::now() never fires.
+   /* Even nested ones: thread_rng() */
+   Still inside the outer comment: HashSet. */
+pub fn byte_strings() -> &'static [u8] {
+    b"getrandom OsRng from_os_rng"
+}

@@ -1,0 +1,13 @@
+//! Seeded violation fixture: `no-hash-collections` positives.
+//! Every identifier here is in ordinary code position, so each
+//! occurrence must fire — six in total: two in the `use`, one per
+//! type position, one per constructor call.
+
+use std::collections::{HashMap, HashSet};
+
+/// A scheduler table keyed by job id — randomized iteration order
+/// would make replay digests machine-dependent.
+pub fn build() -> HashMap<u64, u64> {
+    let _seen: HashSet<u64> = HashSet::new();
+    HashMap::new()
+}

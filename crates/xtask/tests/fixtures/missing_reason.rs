@@ -1,0 +1,12 @@
+//! Rejected-pragma fixture: a `lint:allow` with no reason clause. The
+//! pragma itself must be reported (`pragma-missing-reason`) AND the
+//! violation it failed to justify must still fire — a reason-less
+//! suppression suppresses nothing.
+
+use std::time::Instant;
+
+/// The pragma below is malformed on purpose.
+pub fn stamp() -> Instant {
+    // lint:allow(no-wall-clock-in-sim)
+    Instant::now()
+}

@@ -1,0 +1,15 @@
+//! Meta-rule fixture: pragmas that are themselves defects. The first
+//! suppresses nothing (`pragma-unused`); the second names a rule that
+//! does not exist (`pragma-unknown-rule`).
+
+/// Nothing on the next line violates anything, so the pragma is stale.
+pub fn innocent() -> u64 {
+    // lint:allow(no-hash-collections): left behind after a refactor
+    42
+}
+
+/// Typo'd rule name: suppresses nothing and hides intent.
+pub fn typo() -> u64 {
+    // lint:allow(no-hash-maps): misremembered rule name
+    7
+}

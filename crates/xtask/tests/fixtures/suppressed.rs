@@ -1,0 +1,18 @@
+//! Pragma-suppressed fixture: both pragma placements. The wall-clock
+//! reads are real rule hits, but each carries a reasoned
+//! `lint:allow`, so the file must lint clean.
+
+use std::time::Instant;
+
+/// Trailing pragma: covers its own line.
+pub fn stamp() -> Instant {
+    Instant::now() // lint:allow(no-wall-clock-in-sim): informational timestamp, never enters the tick domain
+}
+
+/// Standalone pragma: covers the next code line, skipping further
+/// commentary in between.
+pub fn budget_anchor() -> Instant {
+    // lint:allow(no-wall-clock-in-sim): wall budget anchor for an opt-in stop condition
+    // (prose between pragma and code is fine)
+    Instant::now()
+}

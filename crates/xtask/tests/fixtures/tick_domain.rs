@@ -1,0 +1,18 @@
+// lint:tick-domain
+//! Opt-in tick-domain fixture: the marker above puts this file under
+//! `no-float-in-tick-domain` and `no-lossy-casts-in-ticks`. Each
+//! violation class appears once.
+
+/// Float type in a tick module (fires: parameter and return).
+pub fn to_seconds(ticks: i64) -> f64 {
+    // Float-suffixed literal and a float literal both fire too.
+    let scale = 1f64 / 4_294_967_296.0;
+    // Narrowing `as` cast without a pragma fires.
+    let low = ticks as u32;
+    f64::from(low) * scale
+}
+
+/// Widening casts stay legal: `i128`/`u128` cannot truncate.
+pub fn widen(ticks: i64) -> i128 {
+    ticks as i128
+}

@@ -1,0 +1,23 @@
+//! Seeded violation fixture: `no-wall-clock-in-sim` positives. In a
+//! non-exempt path both the `Instant::now()` call and any `SystemTime`
+//! use fire; under `crates/bench/` or the telemetry module the same
+//! source is exempt by construction.
+
+use std::time::{Instant, SystemTime};
+
+/// Host-clock read (fires outside exempt paths).
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+/// `SystemTime` in any position fires (here: the `use` above, the
+/// return type, and the `::now()` call — three in total).
+pub fn epoch() -> SystemTime {
+    SystemTime::now()
+}
+
+/// `Instant` as a plain type (no `::now`) is fine: storing or
+/// subtracting an instant someone else read is not a clock read.
+pub fn span(start: Instant, end: Instant) -> std::time::Duration {
+    end.duration_since(start)
+}

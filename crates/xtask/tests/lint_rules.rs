@@ -1,0 +1,196 @@
+//! Fixture-based integration tests for the determinism lint.
+//!
+//! Each fixture under `tests/fixtures/` is a small Rust source seeded
+//! with one rule's positives, negatives, or pragma cases. They are
+//! linted through [`cmags_xtask::lint_source`] under scope-appropriate
+//! fake workspace paths (rule scoping keys off the path), and the CLI
+//! binary is exercised end to end against a temp mini-workspace to pin
+//! the exit-code contract: 0 on clean, nonzero on findings.
+//!
+//! The final test is the self-check: the *live* workspace must lint
+//! clean, so this suite fails the moment anyone commits a violation
+//! without a reasoned pragma.
+
+use std::collections::BTreeMap;
+
+use cmags_xtask::{default_root, lint_source, lint_workspace, Finding};
+
+/// Path under which most fixtures are linted: an ordinary core-crate
+/// module, where all path-scoped exemptions are off.
+const CORE_PATH: &str = "crates/core/src/fixture.rs";
+
+/// Rule-name multiset of the findings for one fixture.
+fn rule_counts(path: &str, source: &str) -> BTreeMap<&'static str, usize> {
+    let mut counts = BTreeMap::new();
+    for finding in lint_source(path, source) {
+        *counts.entry(finding.rule).or_insert(0) += 1;
+    }
+    counts
+}
+
+fn lines_for(findings: &[Finding], rule: &str) -> Vec<usize> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+// --- per-rule positives --------------------------------------------------
+
+#[test]
+fn hash_collections_fixture_fires_on_every_occurrence() {
+    let src = include_str!("fixtures/hash_collections.rs");
+    let findings = lint_source(CORE_PATH, src);
+    assert_eq!(findings.len(), 6, "six occurrences, six findings");
+    assert!(findings.iter().all(|f| f.rule == "no-hash-collections"));
+    // The `use` line carries two findings (HashMap and HashSet).
+    assert_eq!(lines_for(&findings, "no-hash-collections")[..2], [6, 6]);
+}
+
+#[test]
+fn entropy_fixture_fires_on_every_spelling() {
+    let src = include_str!("fixtures/entropy.rs");
+    let counts = rule_counts(CORE_PATH, src);
+    assert_eq!(counts.get("no-ambient-entropy"), Some(&5));
+    assert_eq!(counts.len(), 1, "nothing but entropy findings: {counts:?}");
+}
+
+#[test]
+fn wall_clock_fixture_fires_outside_exempt_paths_only() {
+    let src = include_str!("fixtures/wall_clock.rs");
+    let counts = rule_counts(CORE_PATH, src);
+    // use + return type + SystemTime::now + Instant::now.
+    assert_eq!(counts.get("no-wall-clock-in-sim"), Some(&4));
+    // The identical source is exempt by construction in bench and
+    // telemetry paths.
+    assert!(rule_counts("crates/bench/src/fixture.rs", src).is_empty());
+    assert!(rule_counts("crates/core/src/telemetry.rs", src).is_empty());
+}
+
+#[test]
+fn tick_domain_fixture_fires_float_and_cast_rules() {
+    let src = include_str!("fixtures/tick_domain.rs");
+    let findings = lint_source(CORE_PATH, src);
+    let floats = lines_for(&findings, "no-float-in-tick-domain");
+    // f64 return type, 1f64 suffix + `.0` literal, f64::from.
+    assert_eq!(floats.len(), 4, "float findings: {findings:?}");
+    // `ticks as u32` fires; `ticks as i128` (widening) must not.
+    assert_eq!(lines_for(&findings, "no-lossy-casts-in-ticks").len(), 1);
+    assert_eq!(findings.len(), 5);
+    // Without the marker the same source is out of scope — strip the
+    // first line to prove the marker alone activates the rules.
+    let unmarked = src.split_once('\n').expect("fixture has lines").1;
+    assert!(lint_source(CORE_PATH, unmarked).is_empty());
+}
+
+// --- negatives -----------------------------------------------------------
+
+#[test]
+fn clean_fixture_is_clean() {
+    let src = include_str!("fixtures/clean.rs");
+    assert!(lint_source(CORE_PATH, src).is_empty());
+}
+
+#[test]
+fn evasion_fixture_never_fires_through_comments_or_strings() {
+    let src = include_str!("fixtures/evasion.rs");
+    let findings = lint_source(CORE_PATH, src);
+    assert!(
+        findings.is_empty(),
+        "masked tokens must not fire: {findings:?}"
+    );
+}
+
+// --- pragma mechanics ----------------------------------------------------
+
+#[test]
+fn suppressed_fixture_lints_clean_via_both_pragma_placements() {
+    let src = include_str!("fixtures/suppressed.rs");
+    let findings = lint_source(CORE_PATH, src);
+    assert!(
+        findings.is_empty(),
+        "reasoned pragmas must suppress: {findings:?}"
+    );
+}
+
+#[test]
+fn missing_reason_fixture_keeps_violation_and_reports_pragma() {
+    let src = include_str!("fixtures/missing_reason.rs");
+    let counts = rule_counts(CORE_PATH, src);
+    assert_eq!(counts.get("pragma-missing-reason"), Some(&1));
+    assert_eq!(
+        counts.get("no-wall-clock-in-sim"),
+        Some(&1),
+        "a reason-less pragma must not suppress"
+    );
+}
+
+#[test]
+fn stale_pragma_fixture_reports_unused_and_unknown() {
+    let src = include_str!("fixtures/stale_pragma.rs");
+    let counts = rule_counts(CORE_PATH, src);
+    assert_eq!(counts.get("pragma-unused"), Some(&1));
+    assert_eq!(counts.get("pragma-unknown-rule"), Some(&1));
+    assert_eq!(counts.len(), 2);
+}
+
+// --- CLI exit-code contract ----------------------------------------------
+
+/// Assembles a throwaway workspace whose single crate source is
+/// `source`, under `$TMPDIR/<tag>-<pid>/crates/core/src/lib.rs`.
+fn scratch_workspace(tag: &str, source: &str) -> std::path::PathBuf {
+    let root = std::env::temp_dir().join(format!("cmags-xtask-{tag}-{}", std::process::id()));
+    let src_dir = root.join("crates/core/src");
+    std::fs::create_dir_all(&src_dir).expect("scratch workspace");
+    std::fs::write(src_dir.join("lib.rs"), source).expect("scratch source");
+    root
+}
+
+fn run_lint(root: &std::path::Path) -> std::process::Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_cmags-xtask"))
+        .args(["lint", "--root"])
+        .arg(root)
+        .output()
+        .expect("spawn cmags-xtask")
+}
+
+#[test]
+fn cli_exits_nonzero_on_seeded_violations_and_zero_on_clean() {
+    let dirty = scratch_workspace("dirty", include_str!("fixtures/hash_collections.rs"));
+    let out = run_lint(&dirty);
+    assert_eq!(out.status.code(), Some(1), "findings must exit 1");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(
+        stdout.contains("crates/core/src/lib.rs:6: [no-hash-collections]"),
+        "findings are file:line precise: {stdout}"
+    );
+    std::fs::remove_dir_all(&dirty).ok();
+
+    let clean = scratch_workspace("clean", include_str!("fixtures/clean.rs"));
+    let out = run_lint(&clean);
+    assert_eq!(out.status.code(), Some(0), "clean workspace must exit 0");
+    std::fs::remove_dir_all(&clean).ok();
+}
+
+// --- self-check ----------------------------------------------------------
+
+#[test]
+fn live_workspace_lints_clean() {
+    let report = lint_workspace(&default_root()).expect("walk workspace");
+    assert!(
+        report.files.len() >= 100,
+        "sanity floor: the walk found only {} files — wrong root?",
+        report.files.len()
+    );
+    assert!(
+        report.is_clean(),
+        "the workspace must lint clean; findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
