@@ -13,7 +13,18 @@
 //!   timing wheel, Brown 1988) whose bucket array and bucket width
 //!   resize with the population, giving O(1) amortized push/pop
 //!   however many events are pending. This is what lets the simulator
-//!   drain 10⁶+ jobs at flat per-event cost.
+//!   drain 10⁶+ jobs at flat per-event cost. The bucket width is
+//!   derived from the **head** of the queue (the smallest pending
+//!   times), not the global time span: a hold-model steady state
+//!   concentrates every pending event within one maximum inter-event
+//!   gap of the current minimum no matter how far simulated time has
+//!   advanced, and a span-derived width parks that whole window in a
+//!   couple of buckets — O(window) memmove per push, which is exactly
+//!   how an earlier revision lost to the heap below 10⁵ pending.
+//!   Overcrowded buckets trigger a cheap cursor-local width
+//!   re-derivation (narrowing, hysteresis ≥ 2 bits, full rebuilds
+//!   amortised over `stored` pushes), and repeated sparse-fallback
+//!   pops trigger the symmetric widening from the global span.
 //! * [`QueueKind::Heap`] — the seed's `BinaryHeap` kept as the hidden
 //!   *reference* implementation (the same oracle pattern as the
 //!   `peek_*_merge` evaluator reference): property tests pin the
@@ -164,6 +175,15 @@ struct Calendar {
     day: i64,
     /// Stored entries, including not-yet-collected cancelled ones.
     stored: usize,
+    /// Pushes since the last width-derivation attempt: rate-limits the
+    /// cursor-local sampling of the overcrowding trigger.
+    pushes_since_attempt: usize,
+    /// Pushes since the last actual rebuild: amortises the O(stored)
+    /// bucket redistribution of a narrowing resize to O(1) per push.
+    pushes_since_rebuild: usize,
+    /// Consecutive pops that fell through a whole empty year to the
+    /// sparse full-bucket scan: the symmetric *widening* signal.
+    sparse_pops: usize,
 }
 
 /// Initial bucket count (power of two).
@@ -173,6 +193,23 @@ const MIN_BUCKETS: usize = 16;
 /// Initial bucket width: 2⁴² ticks = 1024 time units. Resizes adapt it
 /// to the observed event-time span almost immediately.
 const INIT_BUCKET_BITS: u32 = 42;
+/// Largest bucket count a grow may reach. Beyond ~10⁵ stored entries,
+/// more buckets stop paying: the header array outgrows cache and every
+/// push becomes a miss, while a moderately-loaded bucket costs one
+/// cached binary search. Days wrap around the year more often at the
+/// cap, which the per-pop day check already handles.
+const MAX_BUCKETS: usize = 1 << 16;
+/// A bucket absorbing this many entries on push signals that the bucket
+/// width no longer matches the local event-time density (see
+/// [`Calendar::push`]).
+const OVERCROWD: usize = 32;
+/// How many of the smallest stored event times feed the bucket-width
+/// derivation on resize.
+const HEAD_SAMPLE: usize = 64;
+/// Pushes between width-derivation attempts on the overcrowding path.
+const ATTEMPT_EVERY: usize = 64;
+/// Consecutive sparse-fallback pops before the queue widens its days.
+const SPARSE_POPS: usize = 16;
 
 impl Calendar {
     fn new() -> Self {
@@ -181,6 +218,9 @@ impl Calendar {
             bucket_bits: INIT_BUCKET_BITS,
             day: 0,
             stored: 0,
+            pushes_since_attempt: 0,
+            pushes_since_rebuild: 0,
+            sparse_pops: 0,
         }
     }
 
@@ -207,9 +247,35 @@ impl Calendar {
         let key = entry.key();
         let pos = slot.partition_point(|e| e.key() > key);
         slot.insert(pos, entry);
+        let crowded = slot.len();
         self.stored += 1;
-        if self.stored > 2 * self.buckets.len() {
+        self.pushes_since_attempt += 1;
+        self.pushes_since_rebuild += 1;
+        if self.stored > 2 * self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
             self.resize();
+        } else if crowded >= OVERCROWD && self.pushes_since_attempt >= ATTEMPT_EVERY {
+            // One bucket is absorbing the population: the width was
+            // derived for an older, sparser distribution and pushes
+            // now pay an O(bucket) insertion shift. Re-derive the
+            // width from the head of the queue — but only narrow
+            // (overcrowding never calls for *wider* days; widening is
+            // the sparse-pop trigger below), with a ≥ 2-bit hysteresis
+            // so borderline estimates cannot flap. The cursor-local
+            // sample is cheap (O(HEAD_SAMPLE + days walked)), so it
+            // may run every ATTEMPT_EVERY pushes; the O(stored)
+            // redistribution of an actual rebuild is the expensive
+            // part and additionally requires `stored` pushes since the
+            // last rebuild, keeping resize work amortised O(1) per
+            // push. A same-tick burst (span 0 over the head sample)
+            // keeps the current width: no bucket width can split
+            // simultaneous events.
+            self.pushes_since_attempt = 0;
+            if self.pushes_since_rebuild >= self.stored {
+                let bits = self.derived_bits();
+                if bits + 1 < self.bucket_bits {
+                    self.resize_to(bits);
+                }
+            }
         }
     }
 
@@ -224,6 +290,7 @@ impl Calendar {
                 if self.day_of(last.time) == self.day {
                     let entry = self.buckets[bucket].pop().expect("non-empty bucket");
                     self.stored -= 1;
+                    self.sparse_pops = 0;
                     if self.buckets.len() > MIN_BUCKETS && self.stored < self.buckets.len() / 4 {
                         self.resize();
                     }
@@ -234,20 +301,43 @@ impl Calendar {
         }
         // A whole year of empty days: the population is sparse relative
         // to the bucket width. Jump the cursor straight to the global
-        // minimum (each bucket's candidate is its back entry).
+        // minimum (each bucket's candidate is its back entry), tracking
+        // the global max on the way — the scan visits every entry's
+        // bucket head anyway, so the span estimate is free.
         let (mut best_bucket, mut best_key) = (usize::MAX, (i64::MAX, u64::MAX));
+        let mut hi = i64::MIN;
         for (idx, slot) in self.buckets.iter().enumerate() {
             if let Some(last) = slot.last() {
                 if last.key() < best_key {
                     best_key = last.key();
                     best_bucket = idx;
                 }
+                // Buckets are sorted descending, so the front is the
+                // bucket's latest entry.
+                hi = hi.max(slot[0].time);
             }
         }
         debug_assert_ne!(best_bucket, usize::MAX, "stored > 0 but no entry found");
         let entry = self.buckets[best_bucket].pop().expect("non-empty bucket");
         self.day = self.day_of(entry.time);
         self.stored -= 1;
+        // Repeated sparse fallbacks mean the days are far too narrow
+        // for the current population (e.g. after a dense burst drained
+        // and only long-horizon events remain): every pop is paying an
+        // O(buckets) scan. Widen to spread the remaining span at ~1
+        // entry per day, with the same ≥ 2-bit hysteresis as the
+        // narrowing path. The cursor-local head sample cannot see this
+        // case (the next entry is beyond the sampled year), so the
+        // widening estimate uses the global span just measured.
+        self.sparse_pops += 1;
+        if self.sparse_pops >= SPARSE_POPS && self.stored >= 2 && hi > entry.time {
+            self.sparse_pops = 0;
+            let mean_gap = ((hi - entry.time) as u128 / self.stored as u128).max(1);
+            let bits = (128 - mean_gap.leading_zeros()).min(62);
+            if bits > self.bucket_bits + 1 {
+                self.resize_to(bits);
+            }
+        }
         Some(entry)
     }
 
@@ -272,35 +362,85 @@ impl Calendar {
             .min_by_key(|e| e.key())
     }
 
-    /// Rebuilds the bucket array for the current population: the bucket
-    /// count tracks the number of stored entries (so load stays O(1)
-    /// per bucket) and the bucket width tracks the mean gap between
-    /// stored event times (so a day holds a handful of events and pops
-    /// rarely cross empty days). Both inputs are functions of the
-    /// stored entries alone, so resizes are deterministic.
-    fn resize(&mut self) {
-        let target = self.stored.next_power_of_two().clamp(MIN_BUCKETS, 1 << 26);
-        // Width from the observed span: ~4 mean gaps per day.
-        let (mut lo, mut hi) = (i64::MAX, i64::MIN);
-        for slot in &self.buckets {
-            for entry in slot {
-                lo = lo.min(entry.time);
-                hi = hi.max(entry.time);
+    /// Derives the bucket width (log₂) from the **head** of the queue:
+    /// the mean gap between the `HEAD_SAMPLE` smallest distinct stored
+    /// event times, aiming at ~4 entries per day (Brown's original
+    /// width sampling, made deterministic and allocation-free). The
+    /// head is what pops and near-cursor pushes traverse, so it — not
+    /// the global span — is the density that sets per-op cost: a
+    /// steady-state population concentrates within one max-gap of the
+    /// current minimum however wide the times ranged historically, and
+    /// a global-span estimate then leaves the whole population in a
+    /// handful of days. Returns the current width when the sample is
+    /// degenerate (fewer than two distinct times).
+    ///
+    /// The sample walks days forward from the pop cursor, so its cost
+    /// is O(`HEAD_SAMPLE` + days walked) — independent of the stored
+    /// count, which is what lets the overcrowding trigger attempt a
+    /// re-derivation every few dozen pushes.
+    fn derived_bits(&self) -> u32 {
+        // Walking days in cursor order and each day's bucket back-run
+        // in reverse yields stored times in ascending order (buckets
+        // are sorted descending, and no stored entry lies on a day
+        // before the cursor), so the first HEAD_SAMPLE collected are
+        // exactly the smallest within the walked year.
+        let mut heads = [0i64; HEAD_SAMPLE];
+        let mut len = 0usize;
+        // lint:allow(no-lossy-casts-in-ticks): bucket counts are clamped to at most 2^16 on resize, far inside i64 range, so the cast is lossless by construction.
+        'walk: for offset in 0..self.buckets.len() as i64 {
+            let day = self.day + offset;
+            let slot = &self.buckets[self.bucket_of(day)];
+            for entry in slot.iter().rev() {
+                if self.day_of(entry.time) != day {
+                    break;
+                }
+                heads[len] = entry.time;
+                len += 1;
+                if len == HEAD_SAMPLE {
+                    break 'walk;
+                }
             }
         }
-        let new_bits = if self.stored < 2 || hi <= lo {
-            self.bucket_bits
-        } else {
-            let mean_gap = ((hi - lo) as u128 / self.stored as u128).max(1);
-            // log₂(4 · mean_gap), i.e. the width that puts ~4 entries
-            // in each day at the current density.
-            (128 - (mean_gap << 2).leading_zeros()).min(62)
-        };
+        if len < 2 {
+            return self.bucket_bits;
+        }
+        let span = heads[len - 1] - heads[0];
+        let distinct = 1 + heads[..len]
+            .windows(2)
+            .filter(|pair| pair[0] != pair[1])
+            .count();
+        if span <= 0 || distinct < 2 {
+            return self.bucket_bits;
+        }
+        let mean_gap = (span as u128 / (distinct as u128 - 1)).max(1);
+        // log₂(4 · mean_gap), i.e. the width that puts ~4 entries in
+        // each day at the head density.
+        (128 - (mean_gap << 2).leading_zeros()).min(62)
+    }
+
+    /// Rebuilds the bucket array for the current population: the bucket
+    /// count tracks the number of stored entries (so load stays O(1)
+    /// per bucket) and the bucket width tracks the head density (see
+    /// [`Self::derived_bits`]). Both inputs are functions of the stored
+    /// entries alone, so resizes are deterministic.
+    fn resize(&mut self) {
+        self.resize_to(self.derived_bits());
+    }
+
+    /// Rebuilds the bucket array at the given bucket width.
+    fn resize_to(&mut self, new_bits: u32) {
+        let target = self
+            .stored
+            .next_power_of_two()
+            .clamp(MIN_BUCKETS, MAX_BUCKETS);
         let mut old = std::mem::take(&mut self.buckets);
         self.buckets = (0..target).map(|_| Vec::new()).collect();
         self.bucket_bits = new_bits;
         let stored = self.stored;
         self.stored = 0;
+        self.pushes_since_attempt = 0;
+        self.pushes_since_rebuild = 0;
+        self.sparse_pops = 0;
         let mut min_day = i64::MAX;
         for slot in &mut old {
             for entry in slot.drain(..) {
@@ -344,6 +484,13 @@ impl Backend {
         match self {
             Self::Calendar(q) => q.peek().map(|e| e.seq),
             Self::Heap(q) => q.peek().map(|e| e.0.seq),
+        }
+    }
+
+    fn peek_key(&self) -> Option<(i64, u64)> {
+        match self {
+            Self::Calendar(q) => q.peek().map(Entry::key),
+            Self::Heap(q) => q.peek().map(|e| e.0.key()),
         }
     }
 
@@ -418,6 +565,36 @@ impl EventQueue {
         self.seq += 1;
         self.live += 1;
         token
+    }
+
+    /// Schedules `event` under an externally-allocated sequence number:
+    /// the sharded queue ([`crate::shard::ShardedEventQueue`]) draws
+    /// seqs from one shared global counter so the merged pop order over
+    /// its partitioned sub-queues is exactly the single-queue order.
+    /// Seqs must arrive strictly increasing per queue (the shared
+    /// counter guarantees it globally).
+    pub(crate) fn push_with_seq(&mut self, time: i64, seq: u64, event: Event) -> EventToken {
+        assert!(time >= 0, "event time must be non-negative");
+        debug_assert!(seq >= self.seq, "shared sequence numbers must increase");
+        self.seq = seq + 1;
+        self.backend.push(Entry { time, seq, event });
+        self.live += 1;
+        seq
+    }
+
+    /// `(tick, seq)` ordering key of the earliest live pending event —
+    /// what the sharded queue compares across its sub-queues to find
+    /// the global minimum. Purges cancelled heads like
+    /// [`peek_time`](Self::peek_time).
+    pub(crate) fn peek_key(&mut self) -> Option<(i64, u64)> {
+        while let Some(seq) = self.backend.peek_seq() {
+            if self.cancelled.binary_search(&seq).is_err() {
+                break;
+            }
+            let entry = self.backend.pop().expect("peeked entry");
+            self.take_cancelled(entry.seq);
+        }
+        self.backend.peek_key()
     }
 
     /// Lazily cancels a scheduled event: the entry stays in its bucket

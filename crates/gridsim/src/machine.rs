@@ -61,6 +61,14 @@ pub struct Machine {
     /// The machine is quarantined from new assignments until this tick
     /// (blacklist probation); zero means never blacklisted.
     pub blacklisted_until: i64,
+    /// Memoized [`ready_time`](Self::ready_time): the exact left-fold
+    /// value of the last recompute, extended in place by
+    /// [`enqueue`](Self::enqueue) and dropped by
+    /// [`invalidate_ready`](Self::invalidate_ready) on any structural
+    /// change left of the queue tail (start/finish/fail/crash). Only
+    /// populated while a job is running — an idle machine's ready time
+    /// is the activation's `now`, which changes between queries.
+    ready_cache: Option<f64>,
 }
 
 impl Machine {
@@ -77,6 +85,7 @@ impl Machine {
             next_crash: None,
             consecutive_failures: 0,
             blacklisted_until: 0,
+            ready_cache: None,
         }
     }
 
@@ -86,8 +95,41 @@ impl Machine {
     /// next scheduler activation (paper §2). `finish_time` converts the
     /// running job's tick finish to seconds (the simulation clock's
     /// conversion, so snapshots agree with the event times).
+    ///
+    /// Memoized: the full queue fold runs only when the cache is cold
+    /// (the machine's commitments changed since the last activation);
+    /// an untouched machine answers in O(1) instead of rescanning its
+    /// whole backlog every activation. The cached value is the *exact*
+    /// fold — [`enqueue`](Self::enqueue) extends it bit-identically and
+    /// every structural change invalidates it — so snapshots are
+    /// bit-identical with and without the cache (debug builds assert
+    /// coherence against [`ready_time_recomputed`](Self::ready_time_recomputed)
+    /// at every chaos-harness invariant check).
     #[must_use]
-    pub fn ready_time(&self, now: f64, etc_of: impl Fn(u64) -> f64) -> f64 {
+    pub fn ready_time(&mut self, now: f64, etc_of: impl Fn(u64) -> f64) -> f64 {
+        if let Some(cached) = self.ready_cache {
+            debug_assert_eq!(
+                cached.to_bits(),
+                self.ready_time_recomputed(now, &etc_of).to_bits(),
+                "stale ready-time cache on machine {}",
+                self.spec.id
+            );
+            return cached;
+        }
+        let ready = self.ready_time_recomputed(now, etc_of);
+        if self.running.is_some() {
+            // Only a busy machine's ready time is a function of its own
+            // state alone (planned completion + queue); an idle one
+            // starts the fold at the caller's `now`.
+            self.ready_cache = Some(ready);
+        }
+        ready
+    }
+
+    /// The uncached ready-time fold: the reference the memo in
+    /// [`ready_time`](Self::ready_time) is pinned against.
+    #[must_use]
+    pub fn ready_time_recomputed(&self, now: f64, etc_of: impl Fn(u64) -> f64) -> f64 {
         let mut ready = match self.running {
             // Plan against the intended completion: an attempt that
             // will fail early still owes the machine the planned work
@@ -99,6 +141,33 @@ impl Machine {
             ready += etc_of(job);
         }
         ready
+    }
+
+    /// Appends a job to the machine's queue, extending the memoized
+    /// ready time by the job's ETC — the exact operation the full fold
+    /// would perform on its last element, so the cache stays
+    /// bit-identical to a recompute.
+    pub fn enqueue(&mut self, job: u64, etc: f64) {
+        self.queue.push_back(job);
+        if let Some(cached) = &mut self.ready_cache {
+            *cached += etc;
+        }
+    }
+
+    /// Drops the memoized ready time. Must be called whenever the
+    /// running job or the queue changes anywhere left of the tail
+    /// (job start, finish, transient failure, crash, recovery,
+    /// resubmission) — appends go through [`enqueue`](Self::enqueue)
+    /// instead.
+    pub fn invalidate_ready(&mut self) {
+        self.ready_cache = None;
+    }
+
+    /// The memoized ready time, if valid — exposed for the
+    /// chaos-harness coherence check.
+    #[must_use]
+    pub fn ready_cache(&self) -> Option<f64> {
+        self.ready_cache
     }
 
     /// Whether the machine has nothing to do.
@@ -236,6 +305,7 @@ impl MachinePool {
         let machine = self.slots[id as usize]
             .as_mut()
             .expect("crashed machine has a slot");
+        machine.invalidate_ready();
         Some((std::mem::take(&mut machine.queue), machine.running.take()))
     }
 
@@ -375,6 +445,66 @@ mod tests {
             finish_event: 0,
         });
         assert_eq!(machine.ready_time(0.0, |_| 0.0), 10.0);
+    }
+
+    #[test]
+    fn ready_cache_extends_and_invalidates_bit_identically() {
+        let mut machine = Machine::new(
+            MachineSpec {
+                id: 3,
+                slowness: 2.0,
+            },
+            0.0,
+        );
+        let etc_of = |job: u64| 0.1 * (job as f64 + 1.0);
+        // Idle machines never cache: the fold starts at `now`.
+        assert_eq!(machine.ready_time(5.0, etc_of), 5.0);
+        assert!(machine.ready_cache().is_none());
+        machine.running = Some(RunningJob {
+            job: 0,
+            finish: crate::sim::time_to_ticks(7.0),
+            planned: crate::sim::time_to_ticks(7.0),
+            finish_event: 0,
+        });
+        // First busy query populates the memo.
+        let first = machine.ready_time(0.0, etc_of);
+        assert_eq!(machine.ready_cache(), Some(first));
+        // Appends extend the memo exactly as a recompute would fold.
+        for job in 1..=9 {
+            machine.enqueue(job, etc_of(job));
+            assert_eq!(
+                machine.ready_cache().unwrap().to_bits(),
+                machine.ready_time_recomputed(0.0, etc_of).to_bits(),
+                "cache must stay the exact left-fold after enqueue {job}"
+            );
+        }
+        // Structural change: drop and re-derive.
+        machine.queue.pop_front();
+        machine.invalidate_ready();
+        assert!(machine.ready_cache().is_none());
+        let again = machine.ready_time(0.0, etc_of);
+        assert_eq!(
+            again.to_bits(),
+            machine.ready_time_recomputed(0.0, etc_of).to_bits()
+        );
+    }
+
+    #[test]
+    fn crash_invalidates_ready_cache() {
+        let mut pool = MachinePool::new();
+        let a = pool.join(1.0, 0.0);
+        pool.join(1.0, 0.0);
+        let machine = pool.get_mut(a).unwrap();
+        machine.running = Some(RunningJob {
+            job: 1,
+            finish: crate::sim::time_to_ticks(4.0),
+            planned: crate::sim::time_to_ticks(4.0),
+            finish_event: 0,
+        });
+        let _ = machine.ready_time(0.0, |_| 1.0);
+        assert!(pool.get(a).unwrap().ready_cache().is_some());
+        pool.crash(a);
+        assert!(pool.get(a).unwrap().ready_cache().is_none());
     }
 
     #[test]

@@ -1,0 +1,361 @@
+//! Sharded event core: one event loop per [`crate::site`], plus a
+//! coordinator loop, merged deterministically.
+//!
+//! Each site owns its own queue (its machines' `JobFinish`/`JobFail`/
+//! `MachineCrash`/`MachineRecover` events — the site-local traffic);
+//! the coordinator owns the global processes (arrivals, scheduler
+//! activations, churn, retries). All queues draw insertion sequence
+//! numbers from **one shared global counter**, and [`ShardedEventQueue::
+//! pop`] always delivers the globally smallest `(tick, seq)` key across
+//! every sub-queue. Because `(tick, seq)` is the exact total order the
+//! single-queue reference pops in, the merged trace is **unconditionally
+//! bit-identical** to the single-loop simulation — for any site count,
+//! either backend, and any number of snapshot worker threads. That is
+//! the determinism argument, and the sharding property tests pin it
+//! against the pinned single-loop digests of every scenario family.
+//!
+//! Epochs: simulation time between scheduler activations is one
+//! **lockstep epoch** (the activation interval bounds it). Activations
+//! are coordinator events, so every epoch boundary is a barrier at
+//! which the coordinator observes all sites' state (the per-site
+//! snapshot slices) and cross-shard messages take effect — assignments
+//! flowing coordinator→site, finish-driven pending updates and retry
+//! requests flowing site→coordinator. The queue counts epochs and
+//! cross-domain messages for telemetry; ordering never depends on
+//! them.
+
+use crate::event::{Event, EventQueue, EventToken, QueueKind};
+use crate::site::SiteTopology;
+
+/// Which event loop owns an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Domain {
+    /// The global loop: arrivals, activations, churn, retries.
+    Coordinator,
+    /// A site-local loop: execution and reliability events of the
+    /// site's machines.
+    Site(usize),
+}
+
+/// Partitioned event core: per-site queues plus a coordinator queue,
+/// popped in global `(tick, seq)` order. Mirrors [`EventQueue`]'s API;
+/// only [`cancel`](Self::cancel) additionally takes the machine whose
+/// event is being retracted (every cancellable event is machine-scoped,
+/// and the machine names the owning site).
+#[derive(Debug)]
+pub struct ShardedEventQueue {
+    coordinator: EventQueue,
+    sites: Vec<EventQueue>,
+    topology: SiteTopology,
+    /// Shared global insertion sequence — the single-queue order.
+    seq: u64,
+    /// Domain of the most recently popped (currently executing) event;
+    /// pushes landing in a different domain are cross-shard messages.
+    current: Domain,
+    /// Events executed per site loop.
+    site_pops: Vec<u64>,
+    /// Events executed by the coordinator loop.
+    coordinator_pops: u64,
+    /// Pushes that crossed domains (site→coordinator or
+    /// coordinator→site or site→site).
+    cross_messages: u64,
+    /// Epoch barriers crossed (scheduler activations popped).
+    epochs: u64,
+}
+
+impl ShardedEventQueue {
+    /// An empty sharded queue over `topology`, every sub-queue on the
+    /// given backend.
+    #[must_use]
+    pub fn new(kind: QueueKind, topology: SiteTopology) -> Self {
+        Self {
+            coordinator: EventQueue::with_kind(kind),
+            sites: (0..topology.sites())
+                .map(|_| EventQueue::with_kind(kind))
+                .collect(),
+            topology,
+            seq: 0,
+            // Run setup (initial arrivals, activation, churn clocks) is
+            // coordinator work.
+            current: Domain::Coordinator,
+            site_pops: vec![0; topology.sites()],
+            coordinator_pops: 0,
+            cross_messages: 0,
+            epochs: 0,
+        }
+    }
+
+    /// The owning loop of an event: machine-scoped execution and
+    /// reliability events belong to the machine's site, everything
+    /// global to the coordinator.
+    fn domain_of(&self, event: &Event) -> Domain {
+        match event {
+            Event::JobFinish { machine, .. }
+            | Event::JobFail { machine, .. }
+            | Event::MachineCrash { machine }
+            | Event::MachineRecover { machine } => Domain::Site(self.topology.site_of(*machine)),
+            Event::JobArrival { .. }
+            | Event::SchedulerActivation
+            | Event::MachineJoin { .. }
+            | Event::MachineLeave
+            | Event::MassDeparture
+            | Event::JobRetry { .. } => Domain::Coordinator,
+        }
+    }
+
+    fn queue_mut(&mut self, domain: Domain) -> &mut EventQueue {
+        match domain {
+            Domain::Coordinator => &mut self.coordinator,
+            Domain::Site(site) => &mut self.sites[site],
+        }
+    }
+
+    /// Schedules `event` at `time`, routing it to its owning loop under
+    /// the shared global sequence. Same contract (and panics) as
+    /// [`EventQueue::push`].
+    pub fn push(&mut self, time: i64, event: Event) -> EventToken {
+        let domain = self.domain_of(&event);
+        if domain != self.current {
+            self.cross_messages += 1;
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue_mut(domain).push_with_seq(time, seq, event)
+    }
+
+    /// Lazily cancels `machine`'s scheduled event (its pending finish,
+    /// failure, or crash — every cancellable event is machine-scoped,
+    /// so the machine id names the owning site queue).
+    pub fn cancel(&mut self, machine: u64, token: EventToken) {
+        let site = self.topology.site_of(machine);
+        self.sites[site].cancel(token);
+    }
+
+    /// Pops the globally earliest live event across every loop — the
+    /// exact single-queue `(tick, seq)` order.
+    pub fn pop(&mut self) -> Option<(i64, Event)> {
+        let mut best: Option<((i64, u64), Domain)> = self
+            .coordinator
+            .peek_key()
+            .map(|key| (key, Domain::Coordinator));
+        for (site, queue) in self.sites.iter_mut().enumerate() {
+            if let Some(key) = queue.peek_key() {
+                if best.is_none_or(|(bkey, _)| key < bkey) {
+                    best = Some((key, Domain::Site(site)));
+                }
+            }
+        }
+        let (_, domain) = best?;
+        match domain {
+            Domain::Coordinator => self.coordinator_pops += 1,
+            Domain::Site(site) => self.site_pops[site] += 1,
+        }
+        self.current = domain;
+        let popped = self
+            .queue_mut(domain)
+            .pop()
+            .expect("peeked sub-queue must pop");
+        if matches!(popped.1, Event::SchedulerActivation) {
+            self.epochs += 1;
+        }
+        Some(popped)
+    }
+
+    /// Tick time of the earliest live pending event across all loops.
+    #[must_use]
+    pub fn peek_time(&mut self) -> Option<i64> {
+        let mut best = self.coordinator.peek_key();
+        for queue in &mut self.sites {
+            if let Some(key) = queue.peek_key() {
+                if best.is_none_or(|bkey| key < bkey) {
+                    best = Some(key);
+                }
+            }
+        }
+        best.map(|(time, _)| time)
+    }
+
+    /// Live pending events across all loops.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.coordinator.len() + self.sites.iter().map(EventQueue::len).sum::<usize>()
+    }
+
+    /// Whether every loop is drained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of site loops.
+    #[must_use]
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Live pending events of one site loop (for the per-site backlog
+    /// gauges).
+    #[must_use]
+    pub fn site_len(&self, site: usize) -> usize {
+        self.sites[site].len()
+    }
+
+    /// Events executed per site loop so far.
+    #[must_use]
+    pub fn site_pops(&self) -> &[u64] {
+        &self.site_pops
+    }
+
+    /// Events executed by the coordinator loop so far.
+    #[must_use]
+    pub fn coordinator_pops(&self) -> u64 {
+        self.coordinator_pops
+    }
+
+    /// Cross-domain messages scheduled so far.
+    #[must_use]
+    pub fn cross_messages(&self) -> u64 {
+        self.cross_messages
+    }
+
+    /// Epoch barriers (scheduler activations) crossed so far.
+    #[must_use]
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drains a sharded queue and a reference single queue fed the same
+    /// stream and asserts identical pop order.
+    fn assert_matches_reference(sites: usize, kind: QueueKind, stream: &[(i64, Event)]) {
+        let mut sharded = ShardedEventQueue::new(kind, SiteTopology::new(sites));
+        let mut reference = EventQueue::with_kind(kind);
+        for &(time, event) in stream {
+            sharded.push(time, event);
+            reference.push(time, event);
+        }
+        loop {
+            let (a, b) = (sharded.pop(), reference.pop());
+            assert_eq!(a, b, "{sites} sites diverged from the single queue");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    fn mixed_stream(len: u64) -> Vec<(i64, Event)> {
+        // Deterministic xorshift mix of site and coordinator events,
+        // with plenty of exact-tick collisions (time & !7).
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        (0..len)
+            .map(|i| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                // lint:allow(no-lossy-casts-in-ticks): masked to 16 bits before the cast, lossless by construction.
+                let time = ((state >> 8) & 0xFFFF) as i64 & !7;
+                let machine = state % 64;
+                let event = match i % 5 {
+                    0 => Event::JobArrival { job: i },
+                    1 => Event::JobFinish { machine, job: i },
+                    2 => Event::MachineCrash { machine },
+                    3 => Event::JobRetry { job: i },
+                    _ => Event::SchedulerActivation,
+                };
+                (time, event)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merged_order_matches_single_queue_across_shard_counts() {
+        let stream = mixed_stream(500);
+        for sites in [1usize, 2, 4, 8] {
+            for kind in [QueueKind::Calendar, QueueKind::Heap] {
+                assert_matches_reference(sites, kind, &stream);
+            }
+        }
+    }
+
+    #[test]
+    fn same_tick_events_on_different_sites_pop_in_insertion_order() {
+        // The shard-boundary tie case: three events on three different
+        // sites (plus a coordinator event) at the same tick must pop in
+        // global insertion order, not site order.
+        let mut queue = ShardedEventQueue::new(QueueKind::Calendar, SiteTopology::new(4));
+        queue.push(1_000, Event::JobFinish { machine: 2, job: 0 }); // site 2
+        queue.push(1_000, Event::SchedulerActivation); // coordinator
+        queue.push(1_000, Event::JobFinish { machine: 1, job: 1 }); // site 1
+        queue.push(1_000, Event::MachineCrash { machine: 3 }); // site 3
+        assert_eq!(
+            queue.pop(),
+            Some((1_000, Event::JobFinish { machine: 2, job: 0 }))
+        );
+        assert_eq!(queue.pop(), Some((1_000, Event::SchedulerActivation)));
+        assert_eq!(
+            queue.pop(),
+            Some((1_000, Event::JobFinish { machine: 1, job: 1 }))
+        );
+        assert_eq!(
+            queue.pop(),
+            Some((1_000, Event::MachineCrash { machine: 3 }))
+        );
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn handoff_landing_exactly_at_an_epoch_barrier_keeps_order() {
+        // A site event scheduled at exactly the activation tick: the
+        // earlier-pushed activation (lower seq) fires first, the
+        // site-local finish lands inside the new epoch.
+        let mut queue = ShardedEventQueue::new(QueueKind::Calendar, SiteTopology::new(2));
+        queue.push(2_000, Event::SchedulerActivation);
+        queue.push(2_000, Event::JobFinish { machine: 5, job: 9 }); // site 1, same tick
+        assert_eq!(queue.pop(), Some((2_000, Event::SchedulerActivation)));
+        assert_eq!(queue.epochs(), 1);
+        assert_eq!(
+            queue.pop(),
+            Some((2_000, Event::JobFinish { machine: 5, job: 9 }))
+        );
+    }
+
+    #[test]
+    fn cancel_routes_to_the_owning_site() {
+        let mut queue = ShardedEventQueue::new(QueueKind::Calendar, SiteTopology::new(4));
+        let token = queue.push(500, Event::JobFinish { machine: 6, job: 1 }); // site 2
+        queue.push(600, Event::JobFinish { machine: 7, job: 2 }); // site 3
+        queue.cancel(6, token);
+        assert_eq!(queue.len(), 1);
+        assert_eq!(
+            queue.pop(),
+            Some((600, Event::JobFinish { machine: 7, job: 2 }))
+        );
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn counters_attribute_pops_and_cross_messages() {
+        let mut queue = ShardedEventQueue::new(QueueKind::Calendar, SiteTopology::new(2));
+        // Setup (current = coordinator): a site push crosses, a
+        // coordinator push does not.
+        queue.push(100, Event::JobFinish { machine: 0, job: 0 }); // → site 0, cross
+        queue.push(200, Event::JobArrival { job: 1 }); // → coordinator, local
+        assert_eq!(queue.cross_messages(), 1);
+        // Popping the site event makes site 0 current; a push to site 0
+        // is now local, a coordinator push crosses back.
+        assert_eq!(
+            queue.pop(),
+            Some((100, Event::JobFinish { machine: 0, job: 0 }))
+        );
+        queue.push(300, Event::JobFinish { machine: 2, job: 2 }); // site 0, local
+        queue.push(400, Event::JobRetry { job: 0 }); // coordinator, cross
+        assert_eq!(queue.cross_messages(), 2);
+        while queue.pop().is_some() {}
+        assert_eq!(queue.coordinator_pops(), 2);
+        assert_eq!(queue.site_pops(), &[2, 0]);
+    }
+}

@@ -33,13 +33,13 @@
 
 use std::time::Instant;
 
-use cmags_core::telemetry::{JsonlWriter, Phase, PhaseTimer};
+use cmags_core::telemetry::{Gauge, JsonlWriter, Phase, PhaseTimer};
 use cmags_etc::{EtcMatrix, GridInstance};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::ConfigError;
-use crate::event::{Event, EventQueue, QueueKind};
+use crate::event::{Event, QueueKind};
 use crate::fault::{
     exp_stream, unit_stream, FailureModel, RecoveryPolicy, RetryPolicy, STREAM_CRASH,
     STREAM_JITTER, STREAM_JOB_FAIL,
@@ -49,6 +49,8 @@ use crate::machine::{MachinePool, RunningJob};
 use crate::metrics::{JobRecord, SimReport};
 use crate::scenario::{ChurnModel, ScenarioFamily};
 use crate::scheduler::BatchScheduler;
+use crate::shard::ShardedEventQueue;
+use crate::site::{self, SiteScratch, SiteTopology};
 use crate::workload::{exp_gap, ArrivalGen, ArrivalProcess, JobSpec, MachineSpec, World};
 
 /// Converts seconds (the workload/metrics unit) to the simulation's
@@ -100,6 +102,16 @@ pub struct SimConfig {
     /// [`QueueKind::Heap`] selects the retained `BinaryHeap` reference
     /// (bit-identical results, used as the bench baseline).
     pub queue: QueueKind,
+    /// Grid sites: machines are partitioned `machine mod sites` and
+    /// each site runs its own event loop, merged deterministically at
+    /// the shared `(tick, seq)` order ([`crate::shard`]). `1` (the
+    /// default) is the classic centralized grid; every site count
+    /// produces bit-identical results.
+    pub sites: usize,
+    /// Worker threads for the per-site snapshot build (ETC slice
+    /// gathering). `1` keeps everything on the simulation thread;
+    /// results are bit-identical at any worker count.
+    pub shard_workers: usize,
 }
 
 impl SimConfig {
@@ -170,6 +182,16 @@ impl SimConfig {
                 what: "the max_events valve",
             });
         }
+        if self.sites == 0 {
+            return Err(ConfigError::ZeroCount {
+                what: "the site count",
+            });
+        }
+        if self.shard_workers == 0 {
+            return Err(ConfigError::ZeroCount {
+                what: "the shard worker count",
+            });
+        }
         self.arrivals.validate()?;
         self.churn.validate()?;
         self.failures.validate()?;
@@ -214,7 +236,20 @@ impl SimConfig {
             // for the drain tail.
             max_events: expected_jobs.saturating_mul(8).saturating_add(1_000_000),
             queue: QueueKind::Calendar,
+            sites: 1,
+            shard_workers: 1,
         }
+    }
+
+    /// Returns this configuration sharded across `sites` site-local
+    /// event loops with `workers` snapshot-build threads. Results are
+    /// bit-identical to the centralized configuration at any `(sites,
+    /// workers)` — the sharding property tests pin this.
+    #[must_use]
+    pub fn with_sites(mut self, sites: usize, workers: usize) -> Self {
+        self.sites = sites;
+        self.shard_workers = workers;
+        self
     }
 }
 
@@ -237,6 +272,8 @@ struct DispatchScratch {
     ready: Vec<f64>,
     /// Per-machine buckets of snapshot row indices.
     buckets: Vec<Vec<u32>>,
+    /// Per-site buffers of the sharded snapshot build.
+    site: SiteScratch,
 }
 
 /// The simulator. Owns all mutable state of one run.
@@ -248,7 +285,9 @@ pub struct Simulation {
     interval: i64,
     rng: SmallRng,
     arrivals: ArrivalGen,
-    events: EventQueue,
+    events: ShardedEventQueue,
+    /// The machine→site partition (shared with `events`).
+    topology: SiteTopology,
     pool: MachinePool,
     /// Jobs waiting for the next scheduler activation, in arrival order.
     pending: Vec<u64>,
@@ -315,7 +354,10 @@ impl Simulation {
         }
         let horizon = time_to_ticks(config.arrival_horizon);
         let interval = time_to_ticks(config.activation_interval);
-        let events = EventQueue::with_kind(config.queue);
+        let topology = SiteTopology::new(config.sites);
+        let events = ShardedEventQueue::new(config.queue, topology);
+        let mut report = SimReport::default();
+        report.telemetry.site_queue_depth = vec![Gauge::default(); config.sites];
         // A positive-seconds checkpoint interval can still round to
         // zero ticks; clamp so progress arithmetic never divides by it.
         let ckpt_ticks = config
@@ -330,13 +372,14 @@ impl Simulation {
             rng,
             arrivals,
             events,
+            topology,
             pool,
             pending: Vec::new(),
             jobs: JobArena::default(),
             now: 0,
             now_f: 0.0,
             next_job_id: 0,
-            report: SimReport::default(),
+            report,
             last_avail_update: 0,
             scratch: DispatchScratch::default(),
             fault_seed: seed,
@@ -454,6 +497,13 @@ impl Simulation {
         self.check_invariants();
         self.report.events_processed = processed;
         self.report.sim_wall_s = wall.elapsed().as_secs_f64();
+        // Shard attribution: which loop executed each event, how much
+        // traffic crossed domains, how many epoch barriers passed. All
+        // tick-domain exact (functions of the merged pop order alone).
+        self.report.telemetry.site_events = self.events.site_pops().to_vec();
+        self.report.telemetry.coordinator_events = self.events.coordinator_pops();
+        self.report.telemetry.cross_shard_messages = self.events.cross_messages();
+        self.report.telemetry.epochs = self.events.epochs();
         if let Some(trace) = self.trace.as_mut() {
             let mut record = trace
                 .record("run_end")
@@ -597,6 +647,9 @@ impl Simulation {
             .telemetry
             .queue_depth
             .set(self.events.len() as i64);
+        for s in 0..self.events.site_count() {
+            self.report.telemetry.site_queue_depth[s].set(self.events.site_len(s) as i64);
+        }
         if let Some(trace) = self.trace.as_mut() {
             trace
                 .record("activation")
@@ -630,6 +683,26 @@ impl Simulation {
         let mut in_flight = self.pending.len() as u64 + self.awaiting_retry;
         for machine in self.pool.iter() {
             in_flight += machine.queue.len() as u64 + u64::from(machine.running.is_some());
+        }
+        // Debug builds re-derive every memoized ready time from scratch
+        // at each activation and require bit-equality — the regression
+        // net under the chaos harness for the incremental cache.
+        #[cfg(debug_assertions)]
+        {
+            let world = self.config.world;
+            for machine in self.pool.iter() {
+                if let Some(cached) = machine.ready_cache() {
+                    let recomputed = machine.ready_time_recomputed(self.now_f, |job| {
+                        world.etc(&self.jobs.get(job).spec, &machine.spec)
+                    });
+                    assert_eq!(
+                        cached.to_bits(),
+                        recomputed.to_bits(),
+                        "ready-time cache diverged on machine {}",
+                        machine.spec.id
+                    );
+                }
+            }
         }
         assert_eq!(
             self.report.jobs_submitted,
@@ -667,12 +740,16 @@ impl Simulation {
         }
         scratch.specs.clear();
         scratch.ready.clear();
+        let jobs = &self.jobs;
         for &id in &scratch.machine_ids {
-            let machine = self.pool.get(id).expect("alive machine");
-            scratch.specs.push(machine.spec);
-            let ready_abs = machine.ready_time(now_f, |job| {
-                world.etc(&self.jobs.get(job).spec, &machine.spec)
-            });
+            let machine = self.pool.get_mut(id).expect("alive machine");
+            let machine_spec = machine.spec;
+            scratch.specs.push(machine_spec);
+            // Memoized per machine: an untouched backlog answers in
+            // O(1); only machines whose commitments changed since the
+            // last activation pay the queue fold.
+            let ready_abs =
+                machine.ready_time(now_f, |job| world.etc(&jobs.get(job).spec, &machine_spec));
             // Ready times are relative to "now" for the snapshot.
             scratch.ready.push((ready_abs - now_f).max(0.0));
         }
@@ -682,27 +759,39 @@ impl Simulation {
         scratch.job_ids.append(&mut self.pending);
         let (nb_jobs, nb_machines) = (scratch.job_ids.len(), scratch.machine_ids.len());
 
-        // ETC snapshot into the reusable row-major buffer. With
-        // failure-aware scheduling on, the snapshot carries the
-        // *expected completion under retries* ([`RecoveryPolicy::
+        // ETC snapshot into the reusable row-major buffer, built per
+        // site ([`crate::site`]) — each site's column slice is gathered
+        // independently (on `shard_workers` threads when configured)
+        // and scattered into the global matrix the scheduler plans
+        // over. With failure-aware scheduling on, the snapshot carries
+        // the *expected completion under retries* ([`RecoveryPolicy::
         // inflate`]) — strictly monotone in the raw ETC, so per-machine
         // SPT order is unchanged; realized execution always uses the
         // true ETC.
-        let inflate = self.config.recovery.etc_inflation && self.config.failures.enabled();
-        let recovery = self.config.recovery;
-        let failures = self.config.failures;
-        scratch.etc.clear();
-        scratch.etc.reserve(nb_jobs * nb_machines);
-        for &job in &scratch.job_ids {
-            let spec = self.jobs.get(job).spec;
-            for machine_spec in &scratch.specs {
-                let etc = world.etc(&spec, machine_spec);
-                scratch.etc.push(if inflate {
-                    recovery.inflate(etc, &failures)
-                } else {
-                    etc
-                });
+        let inflate = (self.config.recovery.etc_inflation && self.config.failures.enabled())
+            .then_some((self.config.recovery, self.config.failures));
+        scratch.site.job_specs.clear();
+        scratch
+            .site
+            .job_specs
+            .extend(scratch.job_ids.iter().map(|&job| self.jobs.get(job).spec));
+        let spans = site::fill_etc_snapshot(
+            self.topology,
+            self.config.shard_workers,
+            &world,
+            inflate,
+            &scratch.machine_ids,
+            &scratch.specs,
+            &mut scratch.site,
+            &mut scratch.etc,
+            self.profile_on,
+        );
+        for (s, secs) in spans {
+            let per_site = &mut self.report.telemetry.site_snapshot_s;
+            if per_site.len() <= s {
+                per_site.resize(self.topology.sites(), 0.0);
             }
+            per_site[s] += secs;
         }
         let etc = EtcMatrix::from_rows(nb_jobs, nb_machines, std::mem::take(&mut scratch.etc));
         let ready = std::mem::take(&mut scratch.ready);
@@ -760,12 +849,16 @@ impl Simulation {
                 });
             }
             let machine_id = scratch.machine_ids[col];
+            let jobs = &self.jobs;
             let machine = self.pool.get_mut(machine_id).expect("alive machine");
-            machine.queue.extend(
-                scratch.buckets[col]
-                    .iter()
-                    .map(|&row| scratch.job_ids[row as usize]),
-            );
+            let machine_spec = machine.spec;
+            for &row in &scratch.buckets[col] {
+                let job = scratch.job_ids[row as usize];
+                // Extend the machine's memoized ready time by the raw
+                // ETC — the same value the snapshot fold uses (the
+                // inflated ETC is a planning-only view).
+                machine.enqueue(job, world.etc(&jobs.get(job).spec, &machine_spec));
+            }
             self.kick(machine_id);
         }
         self.scratch = scratch;
@@ -850,6 +943,9 @@ impl Simulation {
             planned,
             finish_event,
         });
+        // The fold's base (planned completion) and the queue's front
+        // both changed: the memoized ready time is stale.
+        machine.invalidate_ready();
         // Busy time runs until the scheduled event (failure or finish);
         // a crash or departure mid-attempt refunds the unexecuted tail.
         let busy = ticks_to_time(finish - self.now);
@@ -880,6 +976,7 @@ impl Simulation {
             .take()
             .expect("JobFinish for an idle machine must have been cancelled");
         debug_assert_eq!(running.job, job, "finish/running job mismatch");
+        machine.invalidate_ready();
         // A success clears the machine's blacklist state.
         machine.consecutive_failures = 0;
         machine.blacklisted_until = 0;
@@ -929,6 +1026,7 @@ impl Simulation {
             .take()
             .expect("JobFail for an idle machine must have been cancelled");
         debug_assert_eq!(running.job, job, "fail/running job mismatch");
+        machine.invalidate_ready();
         self.report.job_failures += 1;
         self.report
             .fold_fault(&[1, job, machine_id, self.now as u64]);
@@ -1083,7 +1181,7 @@ impl Simulation {
             // The attempt dies mid-flight: retract its event, refund
             // the unexecuted busy tail, and send the job down the same
             // retry path as a transient failure.
-            self.events.cancel(running.finish_event);
+            self.events.cancel(machine_id, running.finish_event);
             let refund = ticks_to_time(running.finish - self.now);
             self.report.busy_machine_seconds -= refund;
             if let Some(machine) = self.pool.get_mut(machine_id) {
@@ -1196,7 +1294,7 @@ impl Simulation {
                 .next_crash
                 .take();
             if let Some(token) = armed {
-                self.events.cancel(token);
+                self.events.cancel(id, token);
             }
         }
     }
@@ -1252,13 +1350,13 @@ impl Simulation {
         if let Some(dead) = self.pool.leave(victim) {
             // A departed machine's crash clock dies with it.
             if let Some(token) = dead.next_crash {
-                self.events.cancel(token);
+                self.events.cancel(victim, token);
             }
             // Kill the running job (non-preemptive loss), retract its
             // finish event, and resubmit it and the queue.
             let mut orphans = dead.queue;
             if let Some(running) = dead.running {
-                self.events.cancel(running.finish_event);
+                self.events.cancel(victim, running.finish_event);
                 let refund = ticks_to_time(running.finish - self.now);
                 self.report.busy_machine_seconds -= refund;
                 self.salvage_checkpoint(running.job, running.planned);

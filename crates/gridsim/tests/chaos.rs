@@ -56,6 +56,8 @@ fn chaos_base() -> SimConfig {
         execution_noise: 0.0,
         max_events: 1_000_000,
         queue: QueueKind::Calendar,
+        sites: 1,
+        shard_workers: 1,
         failures: FailureModel::None,
         recovery: RecoveryPolicy::default(),
     }
@@ -263,6 +265,43 @@ fn catalog_sweep_with_failure_overlay_preserves_invariants() {
     // pass because the overlay never fired.
     assert!(total_failures > 0, "overlay produced no transient failures");
     assert!(total_crashes > 0, "overlay produced no machine crashes");
+}
+
+#[test]
+fn ready_time_cache_agrees_with_recompute_under_chaos() {
+    // Regression net for the incremental ready-time cache
+    // (`Machine::ready_time`): in debug builds the simulator re-derives
+    // every memoized ready time from scratch at each activation's
+    // invariant check and asserts bit-equality, so this fault-heavy
+    // sweep fails loudly if any enqueue/kick/finish/crash/recover path
+    // forgets to extend or invalidate the memo. The cross-backend
+    // digest comparison additionally pins that the cache cannot perturb
+    // the event stream in release builds.
+    let failures = FailureModel::Faulty {
+        job_fail_rate: 5e-4,
+        mtbf: 1e4,
+        mttr: 5e2,
+    };
+    let recovery = RecoveryPolicy {
+        retry: RetryPolicy::FixedDelay {
+            delay: 50.0,
+            give_up_after: 4,
+        },
+        checkpoint_every: Some(100.0),
+        blacklist_after: Some(2),
+        probation: 500.0,
+        etc_inflation: true,
+    };
+    for seed in [0u64, 11, 23] {
+        let calendar = run_chaos(failures, recovery, seed, QueueKind::Calendar);
+        let heap = run_chaos(failures, recovery, seed, QueueKind::Heap);
+        assert_bit_identical(&calendar, &heap, "ready-cache chaos run");
+        assert_conserved(&calendar, "ready-cache chaos run");
+        assert!(
+            calendar.job_failures > 0 || calendar.machine_crashes > 0,
+            "seed {seed}: sweep must exercise the fault-driven invalidation paths"
+        );
+    }
 }
 
 #[test]

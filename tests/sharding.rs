@@ -1,0 +1,197 @@
+//! Sharded-event-loop determinism: a grid split across site-local
+//! event loops must be **bit-identical** to the centralized single-loop
+//! reference — same event/fault digests, same makespan bits — at every
+//! shard count, on both queue backends, at any snapshot-worker count.
+//!
+//! The argument (see `cmags_gridsim::shard`): all site queues share one
+//! global insertion-sequence counter and the merged pop always takes
+//! the globally smallest `(tick, seq)` key, which is exactly the order
+//! the single queue pops in. These tests pin that argument against the
+//! catalog's pinned single-loop digests, and the property test sweeps
+//! random `(family, sites, workers, backend, seed)` combinations.
+
+use cmags::gridsim::scheduler::HeuristicScheduler;
+use cmags::gridsim::{QueueKind, ScenarioFamily, SimConfig, Simulation};
+use cmags::prelude::*;
+use proptest::prelude::*;
+
+fn run_sharded(
+    family: ScenarioFamily,
+    seed: u64,
+    sites: usize,
+    workers: usize,
+    queue: QueueKind,
+) -> SimReport {
+    let mut config = SimConfig::from_family(family).with_sites(sites, workers);
+    config.queue = queue;
+    let mut scheduler = HeuristicScheduler::new(ConstructiveKind::Mct);
+    Simulation::new(config, seed).run(&mut scheduler)
+}
+
+/// Every simulation-visible output that must not move by a single bit
+/// when the event core is sharded.
+fn assert_bit_identical(reference: &SimReport, sharded: &SimReport, what: &str) {
+    assert_eq!(
+        reference.event_digest, sharded.event_digest,
+        "{what}: event digest"
+    );
+    assert_eq!(
+        reference.fault_digest, sharded.fault_digest,
+        "{what}: fault digest"
+    );
+    assert_eq!(
+        reference.realized_makespan.to_bits(),
+        sharded.realized_makespan.to_bits(),
+        "{what}: makespan bits"
+    );
+    assert_eq!(
+        reference.flowtime.to_bits(),
+        sharded.flowtime.to_bits(),
+        "{what}: flowtime bits"
+    );
+    assert_eq!(
+        reference.events_processed, sharded.events_processed,
+        "{what}: event count"
+    );
+    assert_eq!(
+        (
+            reference.jobs_submitted,
+            reference.jobs_completed,
+            reference.jobs_dropped,
+            reference.resubmissions,
+            reference.job_failures,
+            reference.machine_crashes,
+            reference.wasted_ticks,
+        ),
+        (
+            sharded.jobs_submitted,
+            sharded.jobs_completed,
+            sharded.jobs_dropped,
+            sharded.resubmissions,
+            sharded.job_failures,
+            sharded.machine_crashes,
+            sharded.wasted_ticks,
+        ),
+        "{what}: job/fault accounting"
+    );
+    assert_eq!(
+        (&reference.telemetry.wait, &reference.telemetry.response),
+        (&sharded.telemetry.wait, &sharded.telemetry.response),
+        "{what}: tick histograms"
+    );
+}
+
+#[test]
+fn every_family_reproduces_the_pinned_single_loop_digests_at_every_shard_count() {
+    // The same pinned constants as `per_family_event_digests_are_pinned`
+    // (tests/dynamic_grid.rs): sharding must land on the *pinned*
+    // digests, not merely agree with itself.
+    for (family, pinned) in [
+        (ScenarioFamily::Calm, 0xee7e_53e6_ac0f_55dc_u64),
+        (ScenarioFamily::Churny, 0x2aa8_2026_81a6_31aa),
+        (ScenarioFamily::Bursty, 0x1578_5dbc_2f8b_0a18),
+        (ScenarioFamily::Diurnal, 0x7d29_263c_a2ac_98f0),
+        (ScenarioFamily::FlashCrowd, 0xc23a_55f0_f5cb_4d8e),
+        (ScenarioFamily::Degrading, 0x344f_e49f_30c8_4d04),
+        (ScenarioFamily::Volatile, 0x3722_447e_d5ca_b9fd),
+        (ScenarioFamily::Flaky, 0xee7e_53e6_ac0f_55dc),
+        (ScenarioFamily::Crashy, 0xee7e_53e6_ac0f_55dc),
+    ] {
+        let reference = run_sharded(family, 5, 1, 1, QueueKind::Calendar);
+        assert_eq!(
+            reference.event_digest, pinned,
+            "{family}: centralized run drifted off the pinned digest"
+        );
+        for sites in [2usize, 4, 8] {
+            for queue in [QueueKind::Calendar, QueueKind::Heap] {
+                let sharded = run_sharded(family, 5, sites, 1, queue);
+                assert_eq!(
+                    sharded.event_digest, pinned,
+                    "{family}: {sites} sites on {queue:?} drifted off the pinned digest"
+                );
+                assert_bit_identical(&reference, &sharded, &format!("{family}/{sites}/{queue:?}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_worker_threads_never_move_a_bit() {
+    // Threaded per-site snapshot builds on the churniest fault-heavy
+    // families: 4 sites at 1/2/4/8 workers must match the centralized
+    // reference exactly.
+    for family in [ScenarioFamily::Volatile, ScenarioFamily::Crashy] {
+        let reference = run_sharded(family, 5, 1, 1, QueueKind::Calendar);
+        for workers in [1usize, 2, 4, 8] {
+            let sharded = run_sharded(family, 5, 4, workers, QueueKind::Calendar);
+            assert_bit_identical(&reference, &sharded, &format!("{family}/{workers} workers"));
+        }
+    }
+}
+
+#[test]
+fn shard_telemetry_attributes_every_event_exactly_once() {
+    let report = run_sharded(ScenarioFamily::Churny, 5, 4, 1, QueueKind::Calendar);
+    let telemetry = &report.telemetry;
+    assert_eq!(telemetry.site_events.len(), 4);
+    let site_total: u64 = telemetry.site_events.iter().sum();
+    assert_eq!(
+        site_total + telemetry.coordinator_events,
+        report.events_processed,
+        "every processed event belongs to exactly one loop"
+    );
+    assert!(site_total > 0, "site loops must execute finish events");
+    // Every activation pop is an epoch barrier; `report.activations`
+    // counts only the ones that had work to dispatch.
+    assert!(
+        telemetry.epochs >= report.activations,
+        "at least one epoch barrier per dispatching activation"
+    );
+    assert!(telemetry.epochs > 0, "a run crosses epoch barriers");
+    assert!(
+        telemetry.cross_shard_messages > 0,
+        "dispatch must cross the coordinator→site boundary"
+    );
+    assert_eq!(telemetry.site_queue_depth.len(), 4);
+    // The same run, centralized: one site loop plus the coordinator
+    // still account for every event.
+    let centralized = run_sharded(ScenarioFamily::Churny, 5, 1, 1, QueueKind::Calendar);
+    assert_eq!(centralized.telemetry.site_events.len(), 1);
+    assert_eq!(
+        centralized.telemetry.site_events[0] + centralized.telemetry.coordinator_events,
+        centralized.events_processed
+    );
+    // Attribution is itself deterministic: replaying the sharded run
+    // reproduces the exact counters.
+    let replay = run_sharded(ScenarioFamily::Churny, 5, 4, 1, QueueKind::Calendar);
+    assert_eq!(replay.telemetry.site_events, telemetry.site_events);
+    assert_eq!(
+        replay.telemetry.cross_shard_messages,
+        telemetry.cross_shard_messages
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random `(family, sites, workers, backend, seed)`: the sharded
+    /// run is bit-identical to the centralized calendar reference.
+    #[test]
+    fn sharding_is_bit_identical_for_any_topology(
+        family_idx in 0..ScenarioFamily::ALL.len(),
+        sites in 1usize..=8,
+        workers in 1usize..=4,
+        heap in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let family = ScenarioFamily::ALL[family_idx];
+        let queue = if heap { QueueKind::Heap } else { QueueKind::Calendar };
+        let reference = run_sharded(family, seed, 1, 1, QueueKind::Calendar);
+        let sharded = run_sharded(family, seed, sites, workers, queue);
+        assert_bit_identical(
+            &reference,
+            &sharded,
+            &format!("{family}/seed {seed}/{sites} sites/{workers} workers/{queue:?}"),
+        );
+    }
+}
